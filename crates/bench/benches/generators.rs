@@ -1,0 +1,32 @@
+//! Instance generation throughput (platform + workload + normalisations) —
+//! the paper's sweeps mint >100k instances, so generation must be cheap
+//! relative to the solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmplace_sim::{Scenario, ScenarioConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(50).measurement_time(Duration::from_secs(4));
+    for &services in &[100usize, 500, 2000] {
+        let scenario = Scenario::new(ScenarioConfig {
+            hosts: if services == 2000 { 512 } else { 64 },
+            services,
+            cov: 0.5,
+            memory_slack: 0.4,
+            ..ScenarioConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("instance", services), &scenario, |b, sc| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                sc.instance(seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

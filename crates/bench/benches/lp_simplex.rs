@@ -1,0 +1,42 @@
+//! LP substrate: relaxation solves of the paper's MILP encoding (the inner
+//! loop of RRND/RRNZ) and the effect of presolve on encoding size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmplace_bench::small_instance;
+use vmplace_lp::{SimplexOptions, YieldLp};
+
+fn bench_relaxation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_relaxation");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for &(hosts, services) in &[(8usize, 16usize), (16, 32), (32, 50)] {
+        let instance = small_instance(hosts, services, 3);
+        if YieldLp::build(&instance).is_none() {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("solve", format!("{hosts}h_{services}s")),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    let ylp = YieldLp::build(inst).unwrap();
+                    ylp.solve_relaxed(&SimplexOptions::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_encoding");
+    group.sample_size(30).measurement_time(Duration::from_secs(4));
+    let instance = small_instance(64, 100, 3);
+    group.bench_function("build_with_presolve", |b| {
+        b.iter(|| YieldLp::build(&instance))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_relaxation, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Individual vector-packing heuristics: a single `pack()` call at a fixed
+//! yield, isolating heuristic cost from the binary search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmplace_bench::paper_instance;
+use vmplace_core::vp::{
+    BestFit, BinSort, FirstFit, ItemSort, PackingHeuristic, PermutationPack, SortOrder,
+    VectorMetric, VpProblem,
+};
+
+fn bench_single_packs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vp_pack");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    let item = ItemSort(Some((VectorMetric::Max, SortOrder::Descending)));
+    let bin = BinSort(Some((VectorMetric::Sum, SortOrder::Ascending)));
+    for &services in &[100usize, 500] {
+        let instance = paper_instance(services, 1);
+        let vp = VpProblem::new(&instance, 0.4);
+        let ff = FirstFit {
+            item_sort: item,
+            bin_sort: bin,
+        };
+        let bf = BestFit {
+            item_sort: item,
+            heterogeneous: true,
+        };
+        let pp = PermutationPack {
+            item_sort: item,
+            bin_sort: bin,
+            window: usize::MAX,
+            choose: false,
+            heterogeneous: true,
+        };
+        group.bench_with_input(BenchmarkId::new("first_fit", services), &vp, |b, vp| {
+            b.iter(|| ff.pack(vp))
+        });
+        group.bench_with_input(BenchmarkId::new("best_fit", services), &vp, |b, vp| {
+            b.iter(|| bf.pack(vp))
+        });
+        group.bench_with_input(BenchmarkId::new("perm_pack", services), &vp, |b, vp| {
+            b.iter(|| pp.pack(vp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_packs);
+criterion_main!(benches);

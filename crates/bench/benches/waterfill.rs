@@ -1,0 +1,43 @@
+//! The §6 work-conserving redistribution and the per-node max–min yield
+//! evaluator — both sit on the hot path of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmplace_bench::paper_instance;
+use vmplace_core::{Algorithm, MetaVp};
+use vmplace_model::evaluate_placement;
+use vmplace_sim::weighted_water_fill;
+
+fn bench_water_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill");
+    group.sample_size(100).measurement_time(Duration::from_secs(4));
+    for &n in &[8usize, 64, 512] {
+        let demands: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64 * 0.13).collect();
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("shares", n), &n, |b, _| {
+            b.iter(|| weighted_water_fill(2.5, &demands, &weights))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yield_evaluator");
+    group.sample_size(50).measurement_time(Duration::from_secs(5));
+    let light = MetaVp::metahvp_light();
+    for &services in &[100usize, 500] {
+        let instance = paper_instance(services, 0);
+        let Some(sol) = light.solve(&instance) else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_placement", services),
+            &instance,
+            |b, inst| b.iter(|| evaluate_placement(inst, &sol.placement)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_water_fill, bench_evaluator);
+criterion_main!(benches);

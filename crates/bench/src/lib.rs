@@ -1,0 +1,49 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! The benches regenerate the paper's Table 2 (algorithm run times per
+//! service count) and ablate the design choices called out in `DESIGN.md`
+//! §7 (Permutation-Pack key mapping, METAHVPLIGHT subset, binary-search
+//! resolution, LP presolve).
+
+use vmplace_model::ProblemInstance;
+use vmplace_sim::{Scenario, ScenarioConfig};
+
+/// The paper's evaluation platform at a given service count: 64 hosts,
+/// cov 0.5, memory slack 0.5 — a representative mid-grid scenario.
+pub fn paper_instance(services: usize, seed: u64) -> ProblemInstance {
+    Scenario::new(ScenarioConfig {
+        hosts: 64,
+        services,
+        cov: 0.5,
+        memory_slack: 0.5,
+        ..ScenarioConfig::default()
+    })
+    .instance(seed)
+}
+
+/// A smaller instance for the expensive LP benchmarks.
+pub fn small_instance(hosts: usize, services: usize, seed: u64) -> ProblemInstance {
+    Scenario::new(ScenarioConfig {
+        hosts,
+        services,
+        cov: 0.5,
+        memory_slack: 0.6,
+        ..ScenarioConfig::default()
+    })
+    .instance(seed)
+}
+
+/// Returns a seed whose instance is feasible for METAHVPLIGHT (generation
+/// can produce trivially infeasible instances, which would make timing
+/// numbers meaningless).
+pub fn feasible_seed(services: usize) -> u64 {
+    use vmplace_core::{Algorithm, MetaVp};
+    let light = MetaVp::metahvp_light();
+    for seed in 0..20 {
+        let inst = paper_instance(services, seed);
+        if light.solve(&inst).is_some() {
+            return seed;
+        }
+    }
+    0
+}

@@ -1,0 +1,36 @@
+//! The common interface every placement algorithm implements.
+
+use vmplace_model::{ProblemInstance, Solution};
+
+/// A complete resource-allocation algorithm: takes an instance, returns a
+/// full placement with achieved yields, or `None` on failure (some rigid
+/// requirement cannot be satisfied by the algorithm).
+///
+/// Failure is a first-class outcome — the paper's `S_{A,B}` metric compares
+/// success rates across algorithms.
+pub trait Algorithm {
+    /// Human-readable identifier used in experiment reports
+    /// (e.g. `"METAHVP"`, `"GREEDY_S3_P2"`).
+    fn name(&self) -> String;
+
+    /// Attempts to solve the instance.
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution>;
+}
+
+impl<T: Algorithm + ?Sized> Algorithm for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        (**self).solve(instance)
+    }
+}
+
+impl<T: Algorithm + ?Sized> Algorithm for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        (**self).solve(instance)
+    }
+}

@@ -1,0 +1,92 @@
+//! Exact optimal placement via the MILP (§3.2) — tractable for small
+//! instances only, used as ground truth in tests and ablations.
+
+use crate::algorithm::Algorithm;
+use vmplace_lp::{MilpOptions, YieldLp};
+use vmplace_model::{evaluate_placement, ProblemInstance, Solution};
+
+/// Exact minimum-yield maximisation by branch & bound on the paper's MILP.
+#[derive(Clone, Debug, Default)]
+pub struct ExactMilp {
+    /// Branch & bound options.
+    pub options: MilpOptions,
+}
+
+impl ExactMilp {
+    /// Exact solver with a custom node budget.
+    pub fn with_node_limit(max_nodes: usize) -> Self {
+        let mut options = MilpOptions::default();
+        options.max_nodes = max_nodes;
+        ExactMilp { options }
+    }
+}
+
+impl Algorithm for ExactMilp {
+    fn name(&self) -> String {
+        "MILP".to_string()
+    }
+
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        let ylp = YieldLp::build(instance)?;
+        let (placement, _objective) = ylp.solve_exact(&self.options)?;
+        evaluate_placement(instance, &placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::MetaGreedy;
+    use crate::vp::MetaVp;
+    use vmplace_model::{Node, ProblemInstance, Service};
+
+    fn small() -> ProblemInstance {
+        let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.4, 0.6)];
+        let mk = |rc: f64, nc: f64, mem: f64| {
+            Service::new(
+                vec![rc / 2.0, mem],
+                vec![rc, mem],
+                vec![nc / 2.0, 0.0],
+                vec![nc, 0.0],
+            )
+        };
+        let services = vec![mk(0.2, 0.6, 0.3), mk(0.1, 0.5, 0.4), mk(0.15, 0.7, 0.2)];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn exact_dominates_heuristics() {
+        let inst = small();
+        let exact = ExactMilp::default().solve(&inst).expect("feasible");
+        for sol in [
+            MetaGreedy.solve(&inst),
+            MetaVp::metavp().solve(&inst),
+            MetaVp::metahvp().solve(&inst),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            assert!(
+                exact.min_yield >= sol.min_yield - 1e-4,
+                "exact {} < heuristic {}",
+                exact.min_yield,
+                sol.min_yield
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_figure1() {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let services = vec![Service::new(
+            vec![0.5, 0.5],
+            vec![1.0, 0.5],
+            vec![0.5, 0.0],
+            vec![1.0, 0.0],
+        )];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        let sol = ExactMilp::default().solve(&inst).unwrap();
+        assert_eq!(sol.placement.node_of(0), Some(1));
+        assert!((sol.min_yield - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,201 @@
+//! The greedy algorithm family of §3.4 (imported from the authors' earlier
+//! homogeneous-platform work \[3\]).
+//!
+//! A greedy algorithm is a pair *(service sorting strategy S1–S7, node
+//! picking strategy P1–P7)*: services are considered in sorted order and
+//! each is placed on the node chosen by the picker among those whose spare
+//! capacity still covers the service's rigid requirements. Yields are then
+//! computed by the shared water-filling evaluator. [`MetaGreedy`] runs all
+//! 49 combinations and keeps the best minimum yield.
+
+mod picking;
+mod sorting;
+
+pub use picking::NodePicker;
+pub use sorting::ServiceSort;
+
+use crate::algorithm::Algorithm;
+use vmplace_model::{evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON};
+
+/// One member of the greedy family: a (sorting, picking) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GreedyAlgorithm {
+    /// Service ordering strategy (S1–S7).
+    pub sort: ServiceSort,
+    /// Node selection strategy (P1–P7).
+    pub pick: NodePicker,
+}
+
+/// Mutable platform state threaded through a greedy run.
+pub(crate) struct GreedyState {
+    /// Σ placed aggregate requirements per node (feasibility).
+    pub req_load: Vec<ResourceVector>,
+    /// Σ placed `rᵃ + nᵃ` per node (the "load" the pickers reason about).
+    pub load: Vec<ResourceVector>,
+}
+
+impl GreedyState {
+    fn new(instance: &ProblemInstance) -> Self {
+        let dims = instance.dims();
+        GreedyState {
+            req_load: vec![ResourceVector::zeros(dims); instance.num_nodes()],
+            load: vec![ResourceVector::zeros(dims); instance.num_nodes()],
+        }
+    }
+
+    /// Whether service `j` can still be placed on node `h` (rigid
+    /// requirements only — elementary and aggregate).
+    pub fn fits(&self, instance: &ProblemInstance, j: usize, h: usize) -> bool {
+        let s = &instance.services()[j];
+        let n = &instance.nodes()[h];
+        if !s.req_elem.le(&n.elementary, EPSILON) {
+            return false;
+        }
+        for d in 0..instance.dims() {
+            if self.req_load[h][d] + s.req_agg[d] > n.aggregate[d] + EPSILON {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn place(&mut self, instance: &ProblemInstance, j: usize, h: usize) {
+        let s = &instance.services()[j];
+        self.req_load[h].add_assign(&s.req_agg);
+        self.load[h].add_assign(&s.req_agg);
+        self.load[h].add_assign(&s.need_agg);
+    }
+}
+
+impl GreedyAlgorithm {
+    /// All 49 members of the family, S-major order.
+    pub fn all() -> Vec<GreedyAlgorithm> {
+        let mut out = Vec::with_capacity(49);
+        for sort in ServiceSort::ALL {
+            for pick in NodePicker::ALL {
+                out.push(GreedyAlgorithm { sort, pick });
+            }
+        }
+        out
+    }
+
+    /// Runs the placement loop only (no yield evaluation); exposed for the
+    /// meta algorithm and for tests.
+    pub fn place(&self, instance: &ProblemInstance) -> Option<Placement> {
+        let order = self.sort.order(instance);
+        let mut state = GreedyState::new(instance);
+        let mut placement = Placement::empty(instance.num_services());
+        for &j in &order {
+            let h = self.pick.pick(instance, &state, j)?;
+            state.place(instance, j, h);
+            placement.assign(j, h);
+        }
+        Some(placement)
+    }
+}
+
+impl Algorithm for GreedyAlgorithm {
+    fn name(&self) -> String {
+        format!("GREEDY_{}_{}", self.sort.label(), self.pick.label())
+    }
+
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        let placement = self.place(instance)?;
+        evaluate_placement(instance, &placement)
+    }
+}
+
+/// METAGREEDY: run all 49 greedy algorithms, keep the best minimum yield
+/// among those that succeed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetaGreedy;
+
+impl Algorithm for MetaGreedy {
+    fn name(&self) -> String {
+        "METAGREEDY".to_string()
+    }
+
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        let mut best: Option<Solution> = None;
+        for alg in GreedyAlgorithm::all() {
+            if let Some(sol) = alg.solve(instance) {
+                if best
+                    .as_ref()
+                    .map(|b| sol.min_yield > b.min_yield)
+                    .unwrap_or(true)
+                {
+                    best = Some(sol);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{Node, Service};
+
+    fn two_node_instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let services = vec![
+            Service::new(vec![0.5, 0.5], vec![1.0, 0.5], vec![0.5, 0.0], vec![1.0, 0.0]),
+            Service::rigid(vec![0.2, 0.4], vec![0.2, 0.4]),
+        ];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn every_greedy_member_runs() {
+        let inst = two_node_instance();
+        let algs = GreedyAlgorithm::all();
+        assert_eq!(algs.len(), 49);
+        let mut successes = 0;
+        for alg in algs {
+            if let Some(sol) = alg.solve(&inst) {
+                successes += 1;
+                assert!(sol.min_yield >= 0.0 && sol.min_yield <= 1.0);
+                assert!(sol.placement.is_complete());
+            }
+        }
+        assert!(successes > 0, "at least some greedy variants must succeed");
+    }
+
+    #[test]
+    fn metagreedy_at_least_as_good_as_each_member() {
+        let inst = two_node_instance();
+        let meta = MetaGreedy.solve(&inst).expect("feasible");
+        for alg in GreedyAlgorithm::all() {
+            if let Some(sol) = alg.solve(&inst) {
+                assert!(
+                    meta.min_yield >= sol.min_yield - 1e-12,
+                    "METAGREEDY {} < {} ({})",
+                    meta.min_yield,
+                    sol.min_yield,
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_fails_when_memory_cannot_fit() {
+        // Two services of 0.6 memory each; nodes have 0.5 and 1.0 total.
+        let nodes = vec![Node::multicore(2, 1.0, 0.5), Node::multicore(2, 1.0, 1.0)];
+        let svc = Service::rigid(vec![0.1, 0.6], vec![0.1, 0.6]);
+        let inst = ProblemInstance::new(nodes, vec![svc.clone(), svc]).unwrap();
+        // Only one node can hold one 0.6 service; the second service fails.
+        for alg in GreedyAlgorithm::all() {
+            assert!(alg.solve(&inst).is_none(), "{} should fail", alg.name());
+        }
+        assert!(MetaGreedy.solve(&inst).is_none());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            GreedyAlgorithm::all().iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 49);
+    }
+}

@@ -1,0 +1,216 @@
+//! Node picking strategies P1–P7 (§3.4).
+
+use super::GreedyState;
+use vmplace_model::ProblemInstance;
+
+/// How a greedy pass selects the hosting node for the current service,
+/// among the nodes that can still satisfy its rigid requirements.
+///
+/// "Load" is the sum of placed services' `rᵃ + nᵃ` (demand at yield 1);
+/// "available capacity" is aggregate capacity minus that load (may be
+/// negative on overcommitted nodes, which the comparisons handle fine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodePicker {
+    /// P1: most available capacity in the dimension of the service's
+    /// maximum need.
+    MostAvailInMaxNeedDim,
+    /// P2: minimum ratio of summed load (after placement) to summed
+    /// capacity.
+    MinLoadRatio,
+    /// P3: least remaining capacity in the dimension of the service's
+    /// largest requirement (best fit).
+    BestFitMaxReqDim,
+    /// P4: least total available capacity (best fit).
+    BestFitTotal,
+    /// P5: most remaining capacity in the dimension of the service's
+    /// largest requirement (worst fit).
+    WorstFitMaxReqDim,
+    /// P6: most total available capacity (worst fit).
+    WorstFitTotal,
+    /// P7: first feasible node (first fit).
+    FirstFit,
+}
+
+impl NodePicker {
+    /// All seven strategies in paper order.
+    pub const ALL: [NodePicker; 7] = [
+        NodePicker::MostAvailInMaxNeedDim,
+        NodePicker::MinLoadRatio,
+        NodePicker::BestFitMaxReqDim,
+        NodePicker::BestFitTotal,
+        NodePicker::WorstFitMaxReqDim,
+        NodePicker::WorstFitTotal,
+        NodePicker::FirstFit,
+    ];
+
+    /// Paper label (P1–P7).
+    pub fn label(&self) -> &'static str {
+        match self {
+            NodePicker::MostAvailInMaxNeedDim => "P1",
+            NodePicker::MinLoadRatio => "P2",
+            NodePicker::BestFitMaxReqDim => "P3",
+            NodePicker::BestFitTotal => "P4",
+            NodePicker::WorstFitMaxReqDim => "P5",
+            NodePicker::WorstFitTotal => "P6",
+            NodePicker::FirstFit => "P7",
+        }
+    }
+
+    /// Chooses a node for service `j`, or `None` if it fits nowhere.
+    /// Ties break toward the lower node index (determinism).
+    pub(crate) fn pick(
+        &self,
+        instance: &ProblemInstance,
+        state: &GreedyState,
+        j: usize,
+    ) -> Option<usize> {
+        let dims = instance.dims();
+        let s = &instance.services()[j];
+        let max_need_dim = argmax(s.need_agg.as_slice());
+        let max_req_dim = argmax(s.req_agg.as_slice());
+
+        let mut best: Option<(usize, f64)> = None;
+        for h in 0..instance.num_nodes() {
+            if !state.fits(instance, j, h) {
+                continue;
+            }
+            if *self == NodePicker::FirstFit {
+                return Some(h);
+            }
+            let node = &instance.nodes()[h];
+            // Higher score wins.
+            let score = match self {
+                NodePicker::MostAvailInMaxNeedDim => {
+                    node.aggregate[max_need_dim] - state.load[h][max_need_dim]
+                }
+                NodePicker::MinLoadRatio => {
+                    let mut load_after = 0.0;
+                    let mut cap = 0.0;
+                    for d in 0..dims {
+                        load_after += state.load[h][d] + s.req_agg[d] + s.need_agg[d];
+                        cap += node.aggregate[d];
+                    }
+                    if cap <= 0.0 {
+                        f64::NEG_INFINITY
+                    } else {
+                        -(load_after / cap)
+                    }
+                }
+                NodePicker::BestFitMaxReqDim => {
+                    -(node.aggregate[max_req_dim] - state.load[h][max_req_dim])
+                }
+                NodePicker::BestFitTotal => {
+                    let avail: f64 = (0..dims)
+                        .map(|d| node.aggregate[d] - state.load[h][d])
+                        .sum();
+                    -avail
+                }
+                NodePicker::WorstFitMaxReqDim => {
+                    node.aggregate[max_req_dim] - state.load[h][max_req_dim]
+                }
+                NodePicker::WorstFitTotal => (0..dims)
+                    .map(|d| node.aggregate[d] - state.load[h][d])
+                    .sum(),
+                NodePicker::FirstFit => unreachable!(),
+            };
+            if best.map(|(_, b)| score > b).unwrap_or(true) {
+                best = Some((h, score));
+            }
+        }
+        best.map(|(h, _)| h)
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::{GreedyAlgorithm, ServiceSort};
+    use crate::Algorithm;
+    use vmplace_model::{Node, Service};
+
+    /// One big node and one small node; a single CPU-needy service.
+    fn instance() -> ProblemInstance {
+        let nodes = vec![
+            Node::multicore(4, 0.5, 1.0), // 2.0 CPU
+            Node::multicore(2, 0.5, 1.0), // 1.0 CPU
+        ];
+        let services = vec![Service::new(
+            vec![0.1, 0.2],
+            vec![0.1, 0.2],
+            vec![0.4, 0.0],
+            vec![0.8, 0.0],
+        )];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn worst_fit_prefers_big_node_best_fit_small() {
+        let inst = instance();
+        let wf = GreedyAlgorithm {
+            sort: ServiceSort::None,
+            pick: NodePicker::WorstFitTotal,
+        };
+        let bf = GreedyAlgorithm {
+            sort: ServiceSort::None,
+            pick: NodePicker::BestFitTotal,
+        };
+        assert_eq!(wf.place(&inst).unwrap().node_of(0), Some(0));
+        assert_eq!(bf.place(&inst).unwrap().node_of(0), Some(1));
+    }
+
+    #[test]
+    fn first_fit_takes_first_feasible() {
+        let inst = instance();
+        let ff = GreedyAlgorithm {
+            sort: ServiceSort::None,
+            pick: NodePicker::FirstFit,
+        };
+        assert_eq!(ff.place(&inst).unwrap().node_of(0), Some(0));
+    }
+
+    #[test]
+    fn p1_uses_dimension_of_max_need() {
+        // Node 0 has more CPU available, node 1 more memory. Service needs
+        // memory (need dim = memory) → P1 must pick node 1.
+        let nodes = vec![Node::multicore(2, 1.0, 0.4), Node::multicore(1, 1.0, 1.0)];
+        let services = vec![Service::new(
+            vec![0.1, 0.1],
+            vec![0.1, 0.1],
+            vec![0.0, 0.3],
+            vec![0.0, 0.3],
+        )];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        let g = GreedyAlgorithm {
+            sort: ServiceSort::None,
+            pick: NodePicker::MostAvailInMaxNeedDim,
+        };
+        assert_eq!(g.place(&inst).unwrap().node_of(0), Some(1));
+    }
+
+    #[test]
+    fn load_accumulates_across_placements() {
+        // Two rigid services that both fit node 0 initially but not together.
+        let nodes = vec![Node::multicore(1, 1.0, 1.0), Node::multicore(1, 1.0, 1.0)];
+        let svc = Service::rigid(vec![0.6, 0.1], vec![0.6, 0.1]);
+        let inst = ProblemInstance::new(nodes, vec![svc.clone(), svc]).unwrap();
+        let ff = GreedyAlgorithm {
+            sort: ServiceSort::None,
+            pick: NodePicker::FirstFit,
+        };
+        let p = ff.place(&inst).unwrap();
+        assert_eq!(p.node_of(0), Some(0));
+        assert_eq!(p.node_of(1), Some(1)); // CPU requirement forces spill
+        let sol = ff.solve(&inst).unwrap();
+        assert_eq!(sol.min_yield, 1.0); // rigid services run at yield 1
+    }
+}

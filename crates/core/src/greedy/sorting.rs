@@ -1,0 +1,128 @@
+//! Service sorting strategies S1–S7 (§3.4).
+
+use vmplace_model::ProblemInstance;
+
+/// How the greedy pass orders the services before placing them.
+///
+/// All "decreasing" orders are stable with respect to the natural service
+/// index, so runs are deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceSort {
+    /// S1: no sorting (natural order).
+    None,
+    /// S2: decreasing by maximum aggregate need.
+    MaxNeed,
+    /// S3: decreasing by sum of aggregate needs.
+    SumNeed,
+    /// S4: decreasing by maximum aggregate requirement.
+    MaxRequirement,
+    /// S5: decreasing by sum of aggregate requirements.
+    SumRequirement,
+    /// S6: decreasing by max(sum of requirements, sum of needs).
+    MaxOfSums,
+    /// S7: decreasing by sum of requirements and needs.
+    SumOfAll,
+}
+
+impl ServiceSort {
+    /// All seven strategies in paper order.
+    pub const ALL: [ServiceSort; 7] = [
+        ServiceSort::None,
+        ServiceSort::MaxNeed,
+        ServiceSort::SumNeed,
+        ServiceSort::MaxRequirement,
+        ServiceSort::SumRequirement,
+        ServiceSort::MaxOfSums,
+        ServiceSort::SumOfAll,
+    ];
+
+    /// Paper label (S1–S7).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceSort::None => "S1",
+            ServiceSort::MaxNeed => "S2",
+            ServiceSort::SumNeed => "S3",
+            ServiceSort::MaxRequirement => "S4",
+            ServiceSort::SumRequirement => "S5",
+            ServiceSort::MaxOfSums => "S6",
+            ServiceSort::SumOfAll => "S7",
+        }
+    }
+
+    /// The service indices in placement order.
+    pub fn order(&self, instance: &ProblemInstance) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..instance.num_services()).collect();
+        if *self == ServiceSort::None {
+            return idx;
+        }
+        let keys: Vec<f64> = instance
+            .services()
+            .iter()
+            .map(|s| match self {
+                ServiceSort::None => 0.0,
+                ServiceSort::MaxNeed => s.need_agg.max_component(),
+                ServiceSort::SumNeed => s.need_agg.sum(),
+                ServiceSort::MaxRequirement => s.req_agg.max_component(),
+                ServiceSort::SumRequirement => s.req_agg.sum(),
+                ServiceSort::MaxOfSums => s.req_agg.sum().max(s.need_agg.sum()),
+                ServiceSort::SumOfAll => s.req_agg.sum() + s.need_agg.sum(),
+            })
+            .collect();
+        idx.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{Node, Service};
+
+    fn instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 1.0, 1.0)];
+        // service 0: req sum 0.3, need sum 0.9; service 1: req 0.8, need 0.2;
+        // service 2: req 0.5, need 0.5.
+        let mk = |r: [f64; 2], n: [f64; 2]| {
+            Service::new(vec![r[0], r[1]], vec![r[0], r[1]], vec![n[0], n[1]], vec![n[0], n[1]])
+        };
+        let services = vec![
+            mk([0.1, 0.2], [0.8, 0.1]),
+            mk([0.6, 0.2], [0.1, 0.1]),
+            mk([0.25, 0.25], [0.3, 0.2]),
+        ];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn s1_is_natural_order() {
+        assert_eq!(ServiceSort::None.order(&instance()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn s2_sorts_by_max_need() {
+        // max needs: 0.8, 0.1, 0.3 → order 0, 2, 1.
+        assert_eq!(ServiceSort::MaxNeed.order(&instance()), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn s5_sorts_by_sum_requirement() {
+        // req sums: 0.3, 0.8, 0.5 → order 1, 2, 0.
+        assert_eq!(ServiceSort::SumRequirement.order(&instance()), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn s7_sorts_by_total() {
+        // totals: 0.3+0.9=1.2, 0.8+0.2=1.0, 0.5+0.5=1.0 → 0 first, tie 1,2 by index.
+        assert_eq!(ServiceSort::SumOfAll.order(&instance()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_index_for_determinism() {
+        let nodes = vec![Node::multicore(1, 1.0, 1.0)];
+        let svc = Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1]);
+        let inst = ProblemInstance::new(nodes, vec![svc.clone(), svc.clone(), svc]).unwrap();
+        for s in ServiceSort::ALL {
+            assert_eq!(s.order(&inst), vec![0, 1, 2], "{}", s.label());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Placement and resource-allocation algorithms for heterogeneous
+//! virtualized platforms.
+//!
+//! This crate implements every algorithm evaluated in
+//! *Casanova, Stillwell, Vivien — IPDPS 2012*:
+//!
+//! | Paper name | Here |
+//! |------------|------|
+//! | greedy S1–S7 × P1–P7 | [`greedy::GreedyAlgorithm`] |
+//! | METAGREEDY | [`greedy::MetaGreedy`] |
+//! | VP First/Best-Fit, Permutation/Choose-Pack | [`vp`] |
+//! | METAVP (33 strategies) | [`vp::MetaVp::metavp`] |
+//! | heterogeneous HVP variants, METAHVP (253) | [`vp::MetaVp::metahvp`] |
+//! | METAHVPLIGHT (60) | [`vp::MetaVp::metahvp_light`] |
+//! | RRND / RRNZ | [`rounding::RandomizedRounding`] |
+//! | exact MILP (small instances) | [`exact::ExactMilp`] |
+//!
+//! All algorithms consume a [`vmplace_model::ProblemInstance`] and produce an
+//! `Option<Solution>` — `None` encodes *failure* (some rigid requirement
+//! cannot be met), matching the paper's success-rate metric. Achieved yields
+//! are always computed by the shared water-filling evaluator so that
+//! solution quality is comparable across algorithms.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod exact;
+pub mod greedy;
+pub mod rounding;
+pub mod vp;
+
+pub use algorithm::Algorithm;
+pub use exact::ExactMilp;
+pub use greedy::{GreedyAlgorithm, MetaGreedy, NodePicker, ServiceSort};
+pub use rounding::RandomizedRounding;
+pub use vp::{
+    binary_search_yield, BinSort, ItemSort, MetaVp, PackingHeuristic, SortOrder, VectorMetric,
+    VpAlgorithm, VpProblem,
+};

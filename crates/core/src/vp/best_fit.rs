@@ -1,0 +1,122 @@
+//! Best-Fit vector packing (§3.5.1, heterogeneous variant §3.5.4).
+
+use super::{ItemSort, PackingHeuristic, VpProblem};
+use vmplace_model::Placement;
+
+/// Best Fit: items in `item_sort` order; each item goes to the *fullest*
+/// feasible bin.
+///
+/// * Homogeneous variant (§3.5.1): bins ranked by **descending sum of
+///   loads** across dimensions.
+/// * Heterogeneous variant (§3.5.4): bins ranked by **ascending total
+///   remaining capacity** — identical on homogeneous platforms but aware of
+///   differing bin sizes otherwise.
+///
+/// Best Fit imposes its own bin ranking, so it takes no bin-sort strategy
+/// (which is why METAHVP counts `11 + 2×11×11` strategies).
+#[derive(Clone, Copy, Debug)]
+pub struct BestFit {
+    /// Item ordering strategy.
+    pub item_sort: ItemSort,
+    /// Use the heterogeneity-aware remaining-capacity ranking.
+    pub heterogeneous: bool,
+}
+
+impl PackingHeuristic for BestFit {
+    fn name(&self) -> String {
+        format!(
+            "{}/{}",
+            if self.heterogeneous { "HBF" } else { "BF" },
+            self.item_sort.label()
+        )
+    }
+
+    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
+        let items = self.item_sort.order(vp);
+        let dims = vp.dims();
+        let mut loads = vec![0.0; vp.num_bins() * dims];
+        let mut placement = Placement::empty(vp.num_items());
+        for &j in &items {
+            let mut best: Option<(usize, f64)> = None; // (bin, score) higher wins
+            for h in 0..vp.num_bins() {
+                if !vp.fits(j, h, &loads) {
+                    continue;
+                }
+                let score = if self.heterogeneous {
+                    // Most-full = least remaining capacity.
+                    let remaining: f64 = (0..dims)
+                        .map(|d| vp.instance.nodes()[h].aggregate[d] - loads[h * dims + d])
+                        .sum();
+                    -remaining
+                } else {
+                    (0..dims).map(|d| loads[h * dims + d]).sum()
+                };
+                if best.map(|(_, s)| score > s).unwrap_or(true) {
+                    best = Some((h, score));
+                }
+            }
+            let (h, _) = best?;
+            vp.place(j, h, &mut loads);
+            placement.assign(j, h);
+        }
+        Some(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::test_support::small_hetero;
+    use vmplace_model::{Node, ProblemInstance, Service};
+
+    #[test]
+    fn best_fit_consolidates_onto_loaded_bin() {
+        // Two identical nodes; after the first placement the second small
+        // item must join the already-loaded node under BF.
+        let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.5, 1.0)];
+        let svc = Service::rigid(vec![0.1, 0.2], vec![0.1, 0.2]);
+        let inst = ProblemInstance::new(nodes, vec![svc.clone(), svc]).unwrap();
+        let vp = VpProblem::new(&inst, 0.0);
+        let bf = BestFit {
+            item_sort: ItemSort::NONE,
+            heterogeneous: false,
+        };
+        let p = bf.pack(&vp).unwrap();
+        assert_eq!(p.node_of(0), p.node_of(1));
+    }
+
+    #[test]
+    fn heterogeneous_best_fit_prefers_tightest_bin() {
+        // Bins of different sizes, empty: HBF picks the smallest feasible
+        // one (least remaining capacity), homogeneous BF sees equal zero
+        // loads and falls back to the first bin.
+        let inst = small_hetero();
+        let vp = VpProblem::new(&inst, 0.0);
+        let hbf = BestFit {
+            item_sort: ItemSort::NONE,
+            heterogeneous: true,
+        };
+        let p = hbf.pack(&vp).unwrap();
+        // Node 2 has the smallest total capacity (1.2 + 0.8 = 2.0).
+        assert_eq!(p.node_of(0), Some(2));
+        let bf = BestFit {
+            item_sort: ItemSort::NONE,
+            heterogeneous: false,
+        };
+        let q = bf.pack(&vp).unwrap();
+        assert_eq!(q.node_of(0), Some(0));
+    }
+
+    #[test]
+    fn returns_none_when_an_item_fits_nowhere() {
+        let nodes = vec![Node::multicore(1, 0.5, 0.2)];
+        let svc = Service::rigid(vec![0.1, 0.5], vec![0.1, 0.5]);
+        let inst = ProblemInstance::new(nodes, vec![svc]).unwrap();
+        let vp = VpProblem::new(&inst, 0.0);
+        let bf = BestFit {
+            item_sort: ItemSort::NONE,
+            heterogeneous: true,
+        };
+        assert!(bf.pack(&vp).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! The binary search on yield that turns any packing heuristic into a
+//! minimum-yield maximiser (§3.5).
+
+use super::{PackingHeuristic, VpProblem};
+use crate::algorithm::Algorithm;
+use vmplace_model::{evaluate_placement, Placement, ProblemInstance, Solution};
+
+/// The paper's binary-search resolution (0.0001).
+pub const DEFAULT_RESOLUTION: f64 = 1e-4;
+
+/// Runs the binary search for the largest uniform yield at which
+/// `heuristic` finds a packing. Returns `None` when even the rigid
+/// requirements (`λ = 0`) cannot be packed.
+///
+/// The final placement is scored with the shared water-filling evaluator,
+/// which can only improve on the search's lower bound (e.g. services capped
+/// by elementary limits free aggregate capacity for the others).
+pub fn binary_search_yield<H: PackingHeuristic + ?Sized>(
+    instance: &ProblemInstance,
+    heuristic: &H,
+    resolution: f64,
+) -> Option<Solution> {
+    let best = binary_search_placement(instance, heuristic, resolution)?;
+    evaluate_placement(instance, &best.1)
+}
+
+/// As [`binary_search_yield`] but returns the raw searched yield and
+/// placement without re-evaluation (used by the error-mitigation pipeline,
+/// which needs the *target* allocations computed from estimated needs).
+pub fn binary_search_placement<H: PackingHeuristic + ?Sized>(
+    instance: &ProblemInstance,
+    heuristic: &H,
+    resolution: f64,
+) -> Option<(f64, Placement)> {
+    let p0 = heuristic.pack(&VpProblem::new(instance, 0.0))?;
+    // Cheap upper probe: many under-constrained instances pack at yield 1.
+    if let Some(p1) = heuristic.pack(&VpProblem::new(instance, 1.0)) {
+        return Some((1.0, p1));
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let mut best = p0;
+    while hi - lo > resolution {
+        let mid = 0.5 * (lo + hi);
+        match heuristic.pack(&VpProblem::new(instance, mid)) {
+            Some(p) => {
+                best = p;
+                lo = mid;
+            }
+            None => hi = mid,
+        }
+    }
+    Some((lo, best))
+}
+
+/// A packing heuristic lifted to a full [`Algorithm`] via binary search.
+pub struct VpAlgorithm<H> {
+    /// The packing heuristic.
+    pub heuristic: H,
+    /// Binary-search resolution.
+    pub resolution: f64,
+}
+
+impl<H: PackingHeuristic> VpAlgorithm<H> {
+    /// Wraps `heuristic` with the paper's default resolution.
+    pub fn new(heuristic: H) -> Self {
+        VpAlgorithm {
+            heuristic,
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+}
+
+impl<H: PackingHeuristic> Algorithm for VpAlgorithm<H> {
+    fn name(&self) -> String {
+        self.heuristic.name()
+    }
+
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        binary_search_yield(instance, &self.heuristic, self.resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::test_support::{small_hetero, tight_memory};
+    use crate::vp::{BinSort, FirstFit, ItemSort, SortOrder, VectorMetric};
+    use vmplace_model::{Node, ProblemInstance, Service};
+
+    fn ff() -> FirstFit {
+        FirstFit {
+            item_sort: ItemSort(Some((VectorMetric::Max, SortOrder::Descending))),
+            bin_sort: BinSort::NONE,
+        }
+    }
+
+    #[test]
+    fn figure1_single_service_reaches_yield_one() {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let services = vec![Service::new(
+            vec![0.5, 0.5],
+            vec![1.0, 0.5],
+            vec![0.5, 0.0],
+            vec![1.0, 0.0],
+        )];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        let sol = binary_search_yield(&inst, &ff(), DEFAULT_RESOLUTION).unwrap();
+        // First-fit at λ=1 needs elementary 1.0 → node B works; search finds 1.
+        assert!((sol.min_yield - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_respects_resolution() {
+        // A single node and service where the achievable yield is 0.37:
+        // CPU capacity 0.5 aggregate; req 0.13, need 1.0 → λ* = 0.37.
+        let nodes = vec![Node::multicore(1, 0.5, 1.0)];
+        let services = vec![Service::new(
+            vec![0.13, 0.1],
+            vec![0.13, 0.1],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+        )];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        let (lambda, _) = binary_search_placement(&inst, &ff(), 1e-4).unwrap();
+        assert!((lambda - 0.37).abs() < 1e-3, "lambda = {lambda}");
+        // And the evaluator recovers the exact value.
+        let sol = binary_search_yield(&inst, &ff(), 1e-4).unwrap();
+        assert!((sol.min_yield - 0.37).abs() < 1e-9, "{}", sol.min_yield);
+    }
+
+    #[test]
+    fn evaluator_can_exceed_searched_lambda() {
+        let inst = small_hetero();
+        let (lambda, placement) = binary_search_placement(&inst, &ff(), 1e-4).unwrap();
+        let sol = evaluate_placement(&inst, &placement).unwrap();
+        assert!(sol.min_yield >= lambda - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_at_zero_returns_none() {
+        let nodes = vec![Node::multicore(1, 0.5, 0.1)];
+        let services = vec![Service::rigid(vec![0.1, 0.5], vec![0.1, 0.5])];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        assert!(binary_search_yield(&inst, &ff(), 1e-4).is_none());
+    }
+
+    #[test]
+    fn tight_instance_gets_partial_yield() {
+        let inst = tight_memory();
+        let sol = binary_search_yield(&inst, &ff(), 1e-4).unwrap();
+        // Feasible at 0, infeasible at 1 → strictly between.
+        assert!(sol.min_yield > 0.0 && sol.min_yield < 1.0, "{}", sol.min_yield);
+    }
+}

@@ -1,0 +1,241 @@
+//! The META* combinations (§3.5.3–§3.5.5 and §5.1).
+//!
+//! At each step of the binary search the meta algorithm tries its whole
+//! roster of packing heuristics until one succeeds — so the meta algorithm
+//! succeeds at a yield whenever *any* member does, and necessarily performs
+//! at least as well as every member.
+
+use super::{
+    binary_search_yield, BestFit, BinSort, FirstFit, ItemSort, PackingHeuristic, PermutationPack,
+    SortOrder, VectorMetric, VpProblem, DEFAULT_RESOLUTION,
+};
+use crate::algorithm::Algorithm;
+use vmplace_model::{Placement, ProblemInstance, Solution};
+
+/// A roster of packing heuristics tried in order at every binary-search
+/// step. Instantiate via [`MetaVp::metavp`], [`MetaVp::metahvp`] or
+/// [`MetaVp::metahvp_light`].
+pub struct MetaVp {
+    label: String,
+    heuristics: Vec<Box<dyn PackingHeuristic>>,
+    /// Binary-search resolution (the paper's 1e-4 by default).
+    pub resolution: f64,
+}
+
+impl MetaVp {
+    /// METAVP (§3.5.3): the homogeneous-platform roster — First Fit, Best
+    /// Fit and Permutation Pack, each under all 11 item sortings
+    /// (3 × 11 = 33 strategies). Bins keep their natural order (FF/PP) or
+    /// BF's own load-based ranking.
+    pub fn metavp() -> MetaVp {
+        let mut hs: Vec<Box<dyn PackingHeuristic>> = Vec::with_capacity(33);
+        for item in ItemSort::all() {
+            hs.push(Box::new(FirstFit {
+                item_sort: item,
+                bin_sort: BinSort::NONE,
+            }));
+        }
+        for item in ItemSort::all() {
+            hs.push(Box::new(BestFit {
+                item_sort: item,
+                heterogeneous: false,
+            }));
+        }
+        for item in ItemSort::all() {
+            hs.push(Box::new(PermutationPack {
+                item_sort: item,
+                bin_sort: BinSort::NONE,
+                window: usize::MAX, // clamped to D
+                choose: false,
+                heterogeneous: false,
+            }));
+        }
+        MetaVp {
+            label: "METAVP".to_string(),
+            heuristics: hs,
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+
+    /// METAHVP (§3.5.5): the heterogeneous roster — FF and PP under all
+    /// 11 item × 11 bin sortings, plus heterogeneous BF under the 11 item
+    /// sortings: `11 + 2×11×11 = 253` strategies.
+    pub fn metahvp() -> MetaVp {
+        let items = ItemSort::all();
+        let bins = BinSort::all();
+        Self::hvp_roster("METAHVP", &items, &bins)
+    }
+
+    /// METAHVPLIGHT (§5.1): the engineered subset — item sortings
+    /// descending by MAX, SUM, MAXDIFFERENCE and MAXRATIO; bin sortings
+    /// ascending by LEX, MAX and SUM, descending by MAX, MAXDIFFERENCE and
+    /// MAXRATIO, plus unsorted bins: `4 + 2×4×7 = 60` strategies, ~10×
+    /// faster than METAHVP for near-identical quality.
+    pub fn metahvp_light() -> MetaVp {
+        let items: Vec<ItemSort> = [
+            VectorMetric::Max,
+            VectorMetric::Sum,
+            VectorMetric::MaxDifference,
+            VectorMetric::MaxRatio,
+        ]
+        .into_iter()
+        .map(|m| ItemSort(Some((m, SortOrder::Descending))))
+        .collect();
+        let bins: Vec<BinSort> = vec![
+            BinSort(Some((VectorMetric::Lex, SortOrder::Ascending))),
+            BinSort(Some((VectorMetric::Max, SortOrder::Ascending))),
+            BinSort(Some((VectorMetric::Sum, SortOrder::Ascending))),
+            BinSort(Some((VectorMetric::Max, SortOrder::Descending))),
+            BinSort(Some((VectorMetric::MaxDifference, SortOrder::Descending))),
+            BinSort(Some((VectorMetric::MaxRatio, SortOrder::Descending))),
+            BinSort::NONE,
+        ];
+        Self::hvp_roster("METAHVPLIGHT", &items, &bins)
+    }
+
+    fn hvp_roster(label: &str, items: &[ItemSort], bins: &[BinSort]) -> MetaVp {
+        let mut hs: Vec<Box<dyn PackingHeuristic>> =
+            Vec::with_capacity(items.len() * (1 + 2 * bins.len()));
+        for &item in items {
+            hs.push(Box::new(BestFit {
+                item_sort: item,
+                heterogeneous: true,
+            }));
+        }
+        for &item in items {
+            for &bin in bins {
+                hs.push(Box::new(FirstFit {
+                    item_sort: item,
+                    bin_sort: bin,
+                }));
+            }
+        }
+        for &item in items {
+            for &bin in bins {
+                hs.push(Box::new(PermutationPack {
+                    item_sort: item,
+                    bin_sort: bin,
+                    window: usize::MAX,
+                    choose: false,
+                    heterogeneous: true,
+                }));
+            }
+        }
+        MetaVp {
+            label: label.to_string(),
+            heuristics: hs,
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+
+    /// Number of member strategies.
+    pub fn len(&self) -> usize {
+        self.heuristics.len()
+    }
+
+    /// Whether the roster is empty (never, for the stock constructors).
+    pub fn is_empty(&self) -> bool {
+        self.heuristics.is_empty()
+    }
+
+    /// Member heuristics (for diagnostics / ablation sweeps).
+    pub fn members(&self) -> impl Iterator<Item = &dyn PackingHeuristic> {
+        self.heuristics.iter().map(|h| h.as_ref())
+    }
+
+    /// Builds a custom roster.
+    pub fn custom(label: &str, heuristics: Vec<Box<dyn PackingHeuristic>>) -> MetaVp {
+        MetaVp {
+            label: label.to_string(),
+            heuristics,
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+}
+
+impl PackingHeuristic for MetaVp {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    /// First member that packs the problem wins.
+    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
+        self.heuristics.iter().find_map(|h| h.pack(vp))
+    }
+}
+
+impl Algorithm for MetaVp {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        binary_search_yield(instance, self, self.resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::test_support::{small_hetero, tight_memory};
+    use crate::vp::VpAlgorithm;
+
+    #[test]
+    fn roster_sizes_match_the_paper() {
+        assert_eq!(MetaVp::metavp().len(), 33);
+        assert_eq!(MetaVp::metahvp().len(), 253);
+        assert_eq!(MetaVp::metahvp_light().len(), 60);
+    }
+
+    #[test]
+    fn metahvp_dominates_every_member_on_small_instance() {
+        let inst = small_hetero();
+        let meta = MetaVp::metahvp_light();
+        let meta_sol = meta.solve(&inst).expect("feasible");
+        for h in meta.members() {
+            let member = VpAlgorithm {
+                heuristic: h,
+                resolution: DEFAULT_RESOLUTION,
+            };
+            if let Some(sol) = member.solve(&inst) {
+                assert!(
+                    meta_sol.min_yield >= sol.min_yield - 1e-9,
+                    "meta {} < member {} ({})",
+                    meta_sol.min_yield,
+                    sol.min_yield,
+                    h.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metahvp_at_least_as_good_as_metavp() {
+        for inst in [small_hetero(), tight_memory()] {
+            let mv = MetaVp::metavp().solve(&inst);
+            let mh = MetaVp::metahvp().solve(&inst);
+            match (mv, mh) {
+                (Some(a), Some(b)) => assert!(b.min_yield >= a.min_yield - 1e-4),
+                (Some(_), None) => panic!("METAHVP failed where METAVP succeeded"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn light_close_to_full_on_small_instances() {
+        let inst = small_hetero();
+        let full = MetaVp::metahvp().solve(&inst).unwrap();
+        let light = MetaVp::metahvp_light().solve(&inst).unwrap();
+        assert!((full.min_yield - light.min_yield).abs() < 0.05);
+    }
+
+    #[test]
+    fn member_names_are_unique() {
+        for meta in [MetaVp::metavp(), MetaVp::metahvp(), MetaVp::metahvp_light()] {
+            let names: std::collections::HashSet<String> =
+                meta.members().map(|h| h.name()).collect();
+            assert_eq!(names.len(), meta.len(), "{}", meta.label);
+        }
+    }
+}

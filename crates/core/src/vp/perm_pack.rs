@@ -1,0 +1,254 @@
+//! Permutation-Pack and Choose-Pack (§3.5.2, Leinberger et al.), with the
+//! paper's `O(J²·D)` key-mapping improvement.
+//!
+//! The algorithms are bin-centric: for the current bin, items are selected
+//! to *go against the bin's capacity imbalance* — an ideal item has its
+//! largest demand in the dimension where the bin has the most headroom.
+//!
+//! Instead of Leinberger's `D!` permutation lists, each candidate item's
+//! descending-size dimension permutation is mapped into the permutation
+//! space defined by the bin's dimension ranking (an `O(D)` key), and the
+//! lexicographically smallest key wins — `O(J·D)` per selection, `O(J²·D)`
+//! per bin sweep, as described in the paper. With a window `w < D` only the
+//! first `w` key positions are compared; Choose-Pack compares the windowed
+//! key positions as a *set* rather than an ordered tuple.
+
+use super::{BinSort, ItemSort, PackingHeuristic, VpProblem};
+use vmplace_model::Placement;
+
+/// Permutation-Pack / Choose-Pack.
+#[derive(Clone, Copy, Debug)]
+pub struct PermutationPack {
+    /// Item ordering strategy (tie-break among equal keys).
+    pub item_sort: ItemSort,
+    /// Bin ordering strategy (HVP variants sort bins by capacity).
+    pub bin_sort: BinSort,
+    /// Window size `w ∈ [1, D]`: number of leading key positions compared.
+    pub window: usize,
+    /// `true` for Choose-Pack (windowed positions compared as a set).
+    pub choose: bool,
+    /// Rank bin dimensions by remaining capacity (§3.5.4 heterogeneous
+    /// variant) instead of by current load.
+    pub heterogeneous: bool,
+}
+
+impl PermutationPack {
+    /// Dimension ranking of the current bin: the dimension with the most
+    /// headroom first. The homogeneous variant uses ascending load; the
+    /// heterogeneous variant descending remaining capacity (identical when
+    /// all bins share one capacity vector).
+    fn bin_perm(&self, vp: &VpProblem, h: usize, loads: &[f64], out: &mut Vec<usize>) {
+        let dims = vp.dims();
+        out.clear();
+        out.extend(0..dims);
+        if self.heterogeneous {
+            let node = &vp.instance.nodes()[h];
+            out.sort_by(|&a, &b| {
+                let ra = node.aggregate[a] - loads[h * dims + a];
+                let rb = node.aggregate[b] - loads[h * dims + b];
+                rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+            });
+        } else {
+            out.sort_by(|&a, &b| {
+                let la = loads[h * dims + a];
+                let lb = loads[h * dims + b];
+                la.partial_cmp(&lb).unwrap().then(a.cmp(&b))
+            });
+        }
+    }
+
+    /// The item's key in the bin's permutation space: `key[i]` is the rank
+    /// (within the bin's dimension ordering) of the item's `i`-th largest
+    /// dimension. The perfectly matched item has key `(0, 1, 2, …)`.
+    fn item_key(&self, vp: &VpProblem, j: usize, bin_rank_of_dim: &[usize], key: &mut Vec<usize>) {
+        let dims = vp.dims();
+        let sizes = vp.item_agg(j);
+        key.clear();
+        key.extend(0..dims);
+        // Descending by item size; ties by dimension index for determinism.
+        key.sort_by(|&a, &b| sizes[b].partial_cmp(&sizes[a]).unwrap().then(a.cmp(&b)));
+        for slot in key.iter_mut() {
+            *slot = bin_rank_of_dim[*slot];
+        }
+        if self.choose {
+            let w = self.window.min(dims);
+            key[..w].sort_unstable();
+        }
+    }
+}
+
+impl PackingHeuristic for PermutationPack {
+    fn name(&self) -> String {
+        format!(
+            "{}{}w{}/{}/{}",
+            if self.heterogeneous { "H" } else { "" },
+            if self.choose { "CP" } else { "PP" },
+            self.window,
+            self.item_sort.label(),
+            self.bin_sort.label()
+        )
+    }
+
+    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
+        let dims = vp.dims();
+        let w = self.window.clamp(1, dims);
+        let items = self.item_sort.order(vp);
+        let bins = self.bin_sort.order(vp);
+        let mut loads = vec![0.0; vp.num_bins() * dims];
+        let mut placement = Placement::empty(vp.num_items());
+        let mut unplaced: Vec<usize> = items; // maintained in item-sort order
+        let mut bin_perm: Vec<usize> = Vec::with_capacity(dims);
+        let mut rank_of_dim: Vec<usize> = vec![0; dims];
+        let mut key: Vec<usize> = Vec::with_capacity(dims);
+        let mut best_key: Vec<usize> = Vec::with_capacity(dims);
+
+        for &h in &bins {
+            loop {
+                if unplaced.is_empty() {
+                    break;
+                }
+                self.bin_perm(vp, h, &loads, &mut bin_perm);
+                for (rank, &d) in bin_perm.iter().enumerate() {
+                    rank_of_dim[d] = rank;
+                }
+                // Select the fitting item whose windowed key is smallest;
+                // ties resolve to the earliest item in item-sort order.
+                let mut best: Option<usize> = None; // position in `unplaced`
+                for (pos, &j) in unplaced.iter().enumerate() {
+                    if !vp.fits(j, h, &loads) {
+                        continue;
+                    }
+                    self.item_key(vp, j, &rank_of_dim, &mut key);
+                    let better = match best {
+                        None => true,
+                        Some(_) => key[..w] < best_key[..w],
+                    };
+                    if better {
+                        best = Some(pos);
+                        best_key.clear();
+                        best_key.extend_from_slice(&key);
+                        // Perfect match cannot be beaten; stop scanning.
+                        if best_key[..w].iter().enumerate().all(|(i, &r)| r == i) {
+                            break;
+                        }
+                    }
+                }
+                match best {
+                    None => break, // nothing fits; move to next bin
+                    Some(pos) => {
+                        let j = unplaced.remove(pos);
+                        vp.place(j, h, &mut loads);
+                        placement.assign(j, h);
+                    }
+                }
+            }
+        }
+        if unplaced.is_empty() {
+            Some(placement)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::test_support::{small_hetero, tight_memory};
+    use crate::vp::{SortOrder, VectorMetric};
+    use vmplace_model::{Node, ProblemInstance, Service};
+
+    fn pp(window: usize, choose: bool) -> PermutationPack {
+        PermutationPack {
+            item_sort: ItemSort(Some((VectorMetric::Max, SortOrder::Descending))),
+            bin_sort: BinSort::NONE,
+            window,
+            choose,
+            heterogeneous: false,
+        }
+    }
+
+    #[test]
+    fn packs_feasible_instances() {
+        let inst = small_hetero();
+        let vp = VpProblem::new(&inst, 0.0);
+        for (w, c) in [(1, false), (2, false), (2, true)] {
+            let p = pp(w, c).pack(&vp).unwrap_or_else(|| panic!("w={w} c={c}"));
+            assert!(p.feasible_at_yield(&inst, 0.0));
+        }
+    }
+
+    #[test]
+    fn goes_against_capacity_imbalance() {
+        // One bin, CPU-heavy item A and memory-heavy item B, then the bin is
+        // CPU-loaded: PP must select the memory-heavy item next.
+        let nodes = vec![Node::multicore(1, 1.0, 1.0)];
+        let cpu_heavy = Service::rigid(vec![0.6, 0.1], vec![0.6, 0.1]);
+        let mem_heavy = Service::rigid(vec![0.1, 0.6], vec![0.1, 0.6]);
+        let cpu_heavy2 = Service::rigid(vec![0.3, 0.05], vec![0.3, 0.05]);
+        let inst =
+            ProblemInstance::new(nodes, vec![cpu_heavy, cpu_heavy2, mem_heavy]).unwrap();
+        let vp = VpProblem::new(&inst, 0.0);
+        // Natural item order → first selection by key only.
+        let alg = PermutationPack {
+            item_sort: ItemSort::NONE,
+            bin_sort: BinSort::NONE,
+            window: 2,
+            choose: false,
+            heterogeneous: false,
+        };
+        let p = alg.pack(&vp).unwrap();
+        // All fit on one node (CPU 1.0 = 0.6+0.3+0.1, mem 0.75).
+        assert!(p.is_complete());
+        assert!(p.feasible_at_yield(&inst, 0.0));
+    }
+
+    #[test]
+    fn window_one_equals_permutation_and_choose() {
+        // The paper: with window 1, PP and CP are identical.
+        let inst = small_hetero();
+        for lambda in [0.0, 0.4, 0.8] {
+            let vp = VpProblem::new(&inst, lambda);
+            let a = pp(1, false).pack(&vp);
+            let b = pp(1, true).pack(&vp);
+            match (a, b) {
+                (Some(x), Some(y)) => assert_eq!(x, y, "lambda={lambda}"),
+                (None, None) => {}
+                _ => panic!("divergent success at lambda={lambda}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fails_on_infeasible_instance() {
+        let inst = tight_memory();
+        let vp = VpProblem::new(&inst, 1.0);
+        assert!(pp(2, false).pack(&vp).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_ranking_uses_remaining_capacity() {
+        // Bin with asymmetric capacities (CPU 2.0, mem 0.5), zero loads:
+        // homogeneous ranking ties (loads 0,0) → dim 0 first;
+        // heterogeneous ranking puts CPU (more remaining) first too, but
+        // after loading CPU to 1.8 the orders diverge: remaining CPU 0.2 <
+        // mem 0.5, while loads say CPU 1.8 > mem 0.0.
+        let nodes = vec![Node::multicore(4, 0.5, 0.5)];
+        let filler = Service::rigid(vec![0.45, 0.0], vec![1.8, 0.0]);
+        let cpu_item = Service::rigid(vec![0.1, 0.05], vec![0.1, 0.05]);
+        let mem_item = Service::rigid(vec![0.05, 0.3], vec![0.05, 0.3]);
+        let inst = ProblemInstance::new(nodes, vec![filler, cpu_item, mem_item]).unwrap();
+        let vp = VpProblem::new(&inst, 0.0);
+        for hetero in [false, true] {
+            let alg = PermutationPack {
+                item_sort: ItemSort(Some((VectorMetric::Sum, SortOrder::Descending))),
+                bin_sort: BinSort::NONE,
+                window: 2,
+                choose: false,
+                heterogeneous: hetero,
+            };
+            let p = alg.pack(&vp).unwrap();
+            assert!(p.is_complete());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Vector-to-scalar metrics and the 11 sorting strategies (§3.5).
+//!
+//! "The largest source of difficulty in designing vector-packing heuristics
+//! is that there is no single unambiguous definition of vector size" — the
+//! paper therefore evaluates five mappings (MAX, SUM, MAXRATIO,
+//! MAXDIFFERENCE, plus full lexicographic comparison) in both directions,
+//! and the option not to sort: 11 strategies for items and, in the
+//! heterogeneous algorithms, the same 11 for bins.
+
+use super::VpProblem;
+use std::cmp::Ordering;
+
+/// Scalar "size" metric of a vector (or LEX for full lexicographic order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VectorMetric {
+    /// Largest component.
+    Max,
+    /// Sum of components.
+    Sum,
+    /// Ratio of largest to smallest component (∞-guarded).
+    MaxRatio,
+    /// Difference between largest and smallest component.
+    MaxDifference,
+    /// Lexicographic comparison, dimension 0 first (CPU before memory in
+    /// the paper's two-dimensional experiments).
+    Lex,
+}
+
+/// Sorting direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SortOrder {
+    /// Smallest first.
+    Ascending,
+    /// Largest first.
+    Descending,
+}
+
+impl VectorMetric {
+    /// All five metrics.
+    pub const ALL: [VectorMetric; 5] = [
+        VectorMetric::Max,
+        VectorMetric::Sum,
+        VectorMetric::MaxRatio,
+        VectorMetric::MaxDifference,
+        VectorMetric::Lex,
+    ];
+
+    /// Scalar value of the metric (`Lex` has no scalar; callers must use
+    /// [`VectorMetric::compare`] instead, which all sorting here does).
+    pub fn scalar(&self, v: &[f64]) -> f64 {
+        let mut mx = f64::NEG_INFINITY;
+        let mut mn = f64::INFINITY;
+        let mut sum = 0.0;
+        for &x in v {
+            mx = mx.max(x);
+            mn = mn.min(x);
+            sum += x;
+        }
+        match self {
+            VectorMetric::Max => mx,
+            VectorMetric::Sum => sum,
+            VectorMetric::MaxRatio => {
+                if mn.abs() < 1e-12 {
+                    mx / 1e-12
+                } else {
+                    mx / mn
+                }
+            }
+            VectorMetric::MaxDifference => mx - mn,
+            VectorMetric::Lex => 0.0,
+        }
+    }
+
+    /// Compares two vectors under this metric (ascending orientation).
+    pub fn compare(&self, a: &[f64], b: &[f64]) -> Ordering {
+        match self {
+            VectorMetric::Lex => {
+                for (x, y) in a.iter().zip(b) {
+                    match x.partial_cmp(y).unwrap_or(Ordering::Equal) {
+                        Ordering::Equal => continue,
+                        o => return o,
+                    }
+                }
+                Ordering::Equal
+            }
+            _ => self
+                .scalar(a)
+                .partial_cmp(&self.scalar(b))
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+
+    /// Short label used in heuristic names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VectorMetric::Max => "MAX",
+            VectorMetric::Sum => "SUM",
+            VectorMetric::MaxRatio => "MAXRATIO",
+            VectorMetric::MaxDifference => "MAXDIFF",
+            VectorMetric::Lex => "LEX",
+        }
+    }
+}
+
+/// Item ordering strategy: one of the 5 metrics × 2 directions, or natural
+/// order (`None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ItemSort(pub Option<(VectorMetric, SortOrder)>);
+
+/// Bin ordering strategy (heterogeneous algorithms sort bins by capacity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BinSort(pub Option<(VectorMetric, SortOrder)>);
+
+fn sorted_indices<F>(count: usize, vec_of: F, strategy: Option<(VectorMetric, SortOrder)>) -> Vec<usize>
+where
+    F: Fn(usize) -> Vec<f64>,
+{
+    let mut idx: Vec<usize> = (0..count).collect();
+    let Some((metric, order)) = strategy else {
+        return idx;
+    };
+    let vecs: Vec<Vec<f64>> = (0..count).map(vec_of).collect();
+    idx.sort_by(|&a, &b| {
+        let o = metric.compare(&vecs[a], &vecs[b]);
+        let o = match order {
+            SortOrder::Ascending => o,
+            SortOrder::Descending => o.reverse(),
+        };
+        o.then(a.cmp(&b)) // stable & deterministic
+    });
+    idx
+}
+
+impl ItemSort {
+    /// Natural order.
+    pub const NONE: ItemSort = ItemSort(None);
+
+    /// All 11 strategies (5 metrics × 2 directions + natural).
+    pub fn all() -> Vec<ItemSort> {
+        let mut out = vec![ItemSort::NONE];
+        for m in VectorMetric::ALL {
+            for o in [SortOrder::Descending, SortOrder::Ascending] {
+                out.push(ItemSort(Some((m, o))));
+            }
+        }
+        out
+    }
+
+    /// Item indices in packing order, keyed on aggregate size at the
+    /// problem's target yield.
+    pub fn order(&self, vp: &VpProblem) -> Vec<usize> {
+        sorted_indices(vp.num_items(), |j| vp.item_agg(j).to_vec(), self.0)
+    }
+
+    /// Label used in heuristic names.
+    pub fn label(&self) -> String {
+        match self.0 {
+            None => "NONE".to_string(),
+            Some((m, SortOrder::Ascending)) => format!("{}_ASC", m.label()),
+            Some((m, SortOrder::Descending)) => format!("{}_DESC", m.label()),
+        }
+    }
+}
+
+impl BinSort {
+    /// Natural order.
+    pub const NONE: BinSort = BinSort(None);
+
+    /// All 11 strategies.
+    pub fn all() -> Vec<BinSort> {
+        let mut out = vec![BinSort::NONE];
+        for m in VectorMetric::ALL {
+            for o in [SortOrder::Ascending, SortOrder::Descending] {
+                out.push(BinSort(Some((m, o))));
+            }
+        }
+        out
+    }
+
+    /// Bin indices in packing order, keyed on aggregate capacity.
+    pub fn order(&self, vp: &VpProblem) -> Vec<usize> {
+        sorted_indices(
+            vp.num_bins(),
+            |h| vp.instance.nodes()[h].aggregate.as_slice().to_vec(),
+            self.0,
+        )
+    }
+
+    /// Label used in heuristic names.
+    pub fn label(&self) -> String {
+        match self.0 {
+            None => "NAT".to_string(),
+            Some((m, SortOrder::Ascending)) => format!("CAP_{}_ASC", m.label()),
+            Some((m, SortOrder::Descending)) => format!("CAP_{}_DESC", m.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::test_support::small_hetero;
+    use crate::vp::VpProblem;
+
+    #[test]
+    fn eleven_strategies_each() {
+        assert_eq!(ItemSort::all().len(), 11);
+        assert_eq!(BinSort::all().len(), 11);
+    }
+
+    #[test]
+    fn metric_scalars() {
+        let v = [0.2, 0.8];
+        assert_eq!(VectorMetric::Max.scalar(&v), 0.8);
+        assert!((VectorMetric::Sum.scalar(&v) - 1.0).abs() < 1e-12);
+        assert!((VectorMetric::MaxRatio.scalar(&v) - 4.0).abs() < 1e-12);
+        assert!((VectorMetric::MaxDifference.scalar(&v) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_min_ratio_is_guarded() {
+        let v = [0.0, 0.5];
+        assert!(VectorMetric::MaxRatio.scalar(&v).is_finite());
+        assert!(VectorMetric::MaxRatio.scalar(&v) > 1e9);
+    }
+
+    #[test]
+    fn lex_compares_first_dimension_first() {
+        assert_eq!(
+            VectorMetric::Lex.compare(&[0.1, 0.9], &[0.2, 0.0]),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(
+            VectorMetric::Lex.compare(&[0.2, 0.1], &[0.2, 0.3]),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn descending_max_puts_biggest_item_first() {
+        let inst = small_hetero();
+        let vp = VpProblem::new(&inst, 1.0);
+        let order = ItemSort(Some((VectorMetric::Max, SortOrder::Descending))).order(&vp);
+        // Largest aggregate CPU at yield 1: item 0 (0.2+0.8=1.0).
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn bin_sort_ascending_sum_puts_smallest_bin_first() {
+        let inst = small_hetero();
+        let vp = VpProblem::new(&inst, 0.0);
+        let order = BinSort(Some((VectorMetric::Sum, SortOrder::Ascending))).order(&vp);
+        // Capacity sums: node0 3.2+1.0=4.2, node1 2.0+0.5=2.5, node2 1.2+0.8=2.0.
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn natural_order_is_identity() {
+        let inst = small_hetero();
+        let vp = VpProblem::new(&inst, 0.5);
+        assert_eq!(ItemSort::NONE.order(&vp), vec![0, 1, 2, 3, 4]);
+        assert_eq!(BinSort::NONE.order(&vp), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,88 @@
+//! A minimal `--key value` command-line parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: `--key value` pairs and bare flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (after the binary name).
+    pub fn parse() -> Args {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let takes_value = iter
+                    .peek()
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if takes_value {
+                    values.insert(key.to_string(), iter.next().unwrap());
+                } else {
+                    flags.push(key.to_string());
+                }
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Bare-flag presence (`--full`).
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args("--services 250 --slack 0.3 --full");
+        assert_eq!(a.get("services", 0usize), 250);
+        assert_eq!(a.get("slack", 0.0f64), 0.3);
+        assert!(a.has_flag("full"));
+        assert!(!a.has_flag("fast"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args("--x 1");
+        assert_eq!(a.get("services", 100usize), 100);
+        assert_eq!(a.get_str("out"), None);
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        // A value starting with '-' but not '--' is consumed as a value.
+        let a = args("--delta -0.5");
+        assert_eq!(a.get("delta", 0.0f64), -0.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Regenerates every table and figure at the chosen scale.
+//!
+//! ```text
+//! cargo run --release -p vmplace-experiments --bin all -- \
+//!     [--scale smoke|default|paper] [--out results]
+//! ```
+//!
+//! * Table 1 & 2 over the full service grid;
+//! * Figures 2–4 (500 services, slack 0.3, plus the homogeneous variants);
+//! * representative members of the Figures 8–34 family (each slack/service
+//!   combination is reachable via `--bin fig_cov`);
+//! * Figures 5–7 (slack 0.4, cov 0.5, 100/250/500 services).
+
+use vmplace_experiments::{
+    run_fig_cov, run_fig_error, run_table1, AlgoId, Args, FigCovConfig, FigErrorConfig, Roster,
+    SweepConfig, Table1Config,
+};
+use vmplace_sim::HomogeneousDim;
+
+fn main() {
+    let args = Args::parse();
+    let out = args.get_str("out").unwrap_or("results").to_string();
+    let scale = args.get_str("scale").unwrap_or("default").to_string();
+    let roster = Roster::new();
+
+    // ---- Table 1 (also produces raw timing data used as Table 2 input) --
+    let t1 = match scale.as_str() {
+        "paper" => Table1Config::paper_scale(&out),
+        "smoke" => Table1Config::smoke_scale(&out),
+        _ => Table1Config::default_scale(&out),
+    };
+    eprintln!("[all] Table 1…");
+    let results = run_table1(&t1, &roster);
+
+    // Table 2 digest from the same runs.
+    let mut t2_rows = Vec::new();
+    println!("\n=== Table 2: mean run times (s) from the Table 1 sweep ===");
+    for &algo in &t1.sweep.algos {
+        let mut line = format!("{:<14}", algo.label());
+        let mut row = vec![algo.label().to_string()];
+        for &j in &t1.sweep.services {
+            let times: Vec<f64> = results
+                .iter()
+                .filter(|r| r.algo == algo && r.services == j)
+                .map(|r| r.runtime_s)
+                .collect();
+            let mean = if times.is_empty() {
+                f64::NAN
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            };
+            line.push_str(&format!("{mean:>12.3}"));
+            row.push(vmplace_experiments::csv::fnum(mean));
+        }
+        println!("{line}");
+        t2_rows.push(row);
+    }
+    let mut hdr = vec!["algorithm".to_string()];
+    hdr.extend(t1.sweep.services.iter().map(|j| j.to_string()));
+    let hdr_refs: Vec<&str> = hdr.iter().map(|s| s.as_str()).collect();
+    vmplace_experiments::csv::write_csv(format!("{out}/table2_from_table1.csv"), &hdr_refs, &t2_rows)
+        .unwrap();
+
+    // ---- Figures 2–4 ----------------------------------------------------
+    let (fig_instances, cov_step) = match scale.as_str() {
+        "paper" => (100, 0.025),
+        "smoke" => (2, 0.5),
+        _ => (4, 0.1),
+    };
+    let fig_services = if scale == "smoke" { 30 } else { 500 };
+    let fig_hosts = if scale == "smoke" { 16 } else { 64 };
+    for (tag, homog) in [
+        ("fig2", None),
+        ("fig3", Some(HomogeneousDim::Cpu)),
+        ("fig4", Some(HomogeneousDim::Memory)),
+    ] {
+        eprintln!("[all] {tag}…");
+        run_fig_cov(
+            &FigCovConfig {
+                hosts: fig_hosts,
+                services: fig_services,
+                slack: 0.3,
+                homogeneous: homog,
+                covs: SweepConfig::grid(0.0, 1.0, cov_step),
+                instances: fig_instances,
+                algos: vec![AlgoId::MetaGreedy, AlgoId::MetaVp],
+                out_dir: out.clone(),
+                tag: tag.to_string(),
+            },
+            &roster,
+        );
+    }
+
+    // Representative members of the Figures 8–34 family.
+    if scale != "smoke" {
+        for (tag, services, slack) in [("fig11_j100_s04", 100, 0.4), ("fig20_j250_s04", 250, 0.4)] {
+            eprintln!("[all] {tag}…");
+            run_fig_cov(
+                &FigCovConfig {
+                    hosts: 64,
+                    services,
+                    slack,
+                    homogeneous: None,
+                    covs: SweepConfig::grid(0.0, 1.0, cov_step),
+                    instances: fig_instances,
+                    algos: vec![AlgoId::MetaGreedy, AlgoId::MetaVp],
+                    out_dir: out.clone(),
+                    tag: tag.to_string(),
+                },
+                &roster,
+            );
+        }
+    }
+
+    // ---- Figures 5–7 -----------------------------------------------------
+    let (err_instances, err_step) = match scale.as_str() {
+        "paper" => (50, 0.02),
+        "smoke" => (2, 0.2),
+        _ => (3, 0.04),
+    };
+    let err_services: Vec<(usize, &str)> = if scale == "smoke" {
+        vec![(30, "fig5")]
+    } else {
+        vec![(100, "fig5"), (250, "fig6"), (500, "fig7")]
+    };
+    for (services, tag) in err_services {
+        eprintln!("[all] {tag}…");
+        run_fig_error(
+            &FigErrorConfig {
+                hosts: fig_hosts,
+                services,
+                slack: 0.4,
+                cov: 0.5,
+                errors: SweepConfig::grid(0.0, 0.4, err_step),
+                instances: err_instances,
+                thresholds: vec![0.0, 0.10, 0.30],
+                use_full_hvp: scale == "paper",
+                out_dir: out.clone(),
+                tag: tag.to_string(),
+            },
+            &roster,
+        );
+    }
+    eprintln!("[all] done → {out}/");
+}

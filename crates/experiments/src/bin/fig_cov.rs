@@ -1,0 +1,54 @@
+//! Figures 2–4 and 8–34: yield difference from METAHVP vs coefficient of
+//! variation.
+//!
+//! ```text
+//! cargo run --release -p vmplace-experiments --bin fig_cov -- \
+//!     [--services 500] [--slack 0.3] [--homog cpu|mem] \
+//!     [--cov-step 0.1] [--instances 4] [--algos rrnz,metagreedy,metavp] [--out results]
+//! ```
+//!
+//! Figure 2 = defaults; Figure 3 = `--homog cpu`; Figure 4 = `--homog mem`;
+//! Figures 8–34 vary `--services` and `--slack`.
+
+use vmplace_experiments::{run_fig_cov, AlgoId, Args, FigCovConfig, Roster, SweepConfig};
+use vmplace_sim::HomogeneousDim;
+
+fn main() {
+    let args = Args::parse();
+    let services: usize = args.get("services", 500);
+    let slack: f64 = args.get("slack", 0.3);
+    let homog = match args.get_str("homog") {
+        Some("cpu") => Some(HomogeneousDim::Cpu),
+        Some("mem") | Some("memory") => Some(HomogeneousDim::Memory),
+        _ => None,
+    };
+    let algos = args
+        .get_str("algos")
+        .map(AlgoId::parse_list)
+        .unwrap_or_else(|| vec![AlgoId::MetaGreedy, AlgoId::MetaVp]);
+    let tag = args
+        .get_str("tag")
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            let h = match homog {
+                Some(HomogeneousDim::Cpu) => "_cpuhomog",
+                Some(HomogeneousDim::Memory) => "_memhomog",
+                None => "",
+            };
+            format!("figcov_j{services}_s{slack}{h}")
+        });
+    let config = FigCovConfig {
+        hosts: args.get("hosts", 64),
+        services,
+        slack,
+        homogeneous: homog,
+        covs: SweepConfig::grid(0.0, 1.0, args.get("cov-step", 0.1)),
+        instances: args.get("instances", 4),
+        algos,
+        out_dir: args.get_str("out").unwrap_or("results").to_string(),
+        tag,
+    };
+    let roster = Roster::new();
+    let points = run_fig_cov(&config, &roster);
+    eprintln!("fig_cov: {} scatter points → {}/{}_*.csv", points.len(), config.out_dir, config.tag);
+}

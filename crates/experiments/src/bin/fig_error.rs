@@ -1,0 +1,40 @@
+//! Figures 5–7 and 35–66: achieved minimum yield vs maximum estimation
+//! error.
+//!
+//! ```text
+//! cargo run --release -p vmplace-experiments --bin fig_error -- \
+//!     [--services 100] [--slack 0.4] [--cov 0.5] [--error-step 0.04] \
+//!     [--instances 3] [--full-hvp] [--out results]
+//! ```
+//!
+//! Figure 5/6/7 = `--services 100/250/500 --slack 0.4 --cov 0.5`;
+//! Figures 35–66 vary slack and cov. `--full-hvp` places with the complete
+//! 253-strategy METAHVP (default uses METAHVPLIGHT; §5.1 shows the quality
+//! difference is negligible at a tenth of the run time).
+
+use vmplace_experiments::{run_fig_error, Args, FigErrorConfig, Roster, SweepConfig};
+
+fn main() {
+    let args = Args::parse();
+    let services: usize = args.get("services", 100);
+    let slack: f64 = args.get("slack", 0.4);
+    let cov: f64 = args.get("cov", 0.5);
+    let tag = args
+        .get_str("tag")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("figerr_j{services}_s{slack}_c{cov}"));
+    let config = FigErrorConfig {
+        hosts: args.get("hosts", 64),
+        services,
+        slack,
+        cov,
+        errors: SweepConfig::grid(0.0, 0.4, args.get("error-step", 0.04)),
+        instances: args.get("instances", 3),
+        thresholds: vec![0.0, 0.10, 0.30],
+        use_full_hvp: args.has_flag("full-hvp"),
+        out_dir: args.get_str("out").unwrap_or("results").to_string(),
+        tag,
+    };
+    let roster = Roster::new();
+    run_fig_error(&config, &roster);
+}

@@ -1,0 +1,39 @@
+//! Table 1: pairwise comparison matrices of the major heuristics.
+//!
+//! ```text
+//! cargo run --release -p vmplace-experiments --bin table1 -- \
+//!     [--scale smoke|default|paper] [--services 100,250,500] \
+//!     [--instances 5] [--lp-instances 30] [--out results]
+//! ```
+
+use vmplace_experiments::{run_table1, Args, Roster, Table1Config};
+
+fn main() {
+    let args = Args::parse();
+    let out = args.get_str("out").unwrap_or("results").to_string();
+    let mut config = match args.get_str("scale").unwrap_or("default") {
+        "paper" => Table1Config::paper_scale(&out),
+        "smoke" => Table1Config::smoke_scale(&out),
+        _ => Table1Config::default_scale(&out),
+    };
+    if let Some(s) = args.get_str("services") {
+        config.sweep.services = s.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+    }
+    config.sweep.instances = args.get("instances", config.sweep.instances);
+    config.sweep.lp_instance_cap = args.get("lp-instances", config.sweep.lp_instance_cap);
+    if let Some(a) = args.get_str("algos") {
+        config.sweep.algos = vmplace_experiments::AlgoId::parse_list(a);
+    }
+
+    eprintln!(
+        "table1: {} services × {} covs × {} slacks × {} instances, algorithms {:?}",
+        config.sweep.services.len(),
+        config.sweep.covs.len(),
+        config.sweep.slacks.len(),
+        config.sweep.instances,
+        config.sweep.algos.iter().map(|a| a.label()).collect::<Vec<_>>()
+    );
+    let roster = Roster::new();
+    let results = run_table1(&config, &roster);
+    eprintln!("table1: {} result rows → {}/table1_*.csv", results.len(), config.out_dir);
+}

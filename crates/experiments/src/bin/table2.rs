@@ -1,0 +1,113 @@
+//! Table 2: algorithm run times (seconds) per service count, plus the §5.1
+//! 512-host / 2000-service METAHVP vs METAHVPLIGHT comparison.
+//!
+//! ```text
+//! cargo run --release -p vmplace-experiments --bin table2 -- \
+//!     [--services 100,250,500] [--instances 3] [--lp-instances 1] [--big] [--out results]
+//! ```
+
+use vmplace_experiments::{csv, Args, Roster};
+use vmplace_experiments::{run_sweep, AlgoId, SweepConfig};
+use vmplace_sim::{Scenario, ScenarioConfig};
+
+fn main() {
+    let args = Args::parse();
+    let services: Vec<usize> = args
+        .get_str("services")
+        .unwrap_or("100,250,500")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let instances: u64 = args.get("instances", 3);
+    let lp_instances: usize = args.get("lp-instances", 1);
+    let out_dir = args.get_str("out").unwrap_or("results").to_string();
+    let algos = args
+        .get_str("algos")
+        .map(AlgoId::parse_list)
+        .unwrap_or_else(|| {
+            vec![
+                AlgoId::Rrnz,
+                AlgoId::MetaGreedy,
+                AlgoId::MetaVp,
+                AlgoId::MetaHvp,
+                AlgoId::MetaHvpLight,
+            ]
+        });
+
+    let roster = Roster::new();
+    let config = SweepConfig {
+        hosts: 64,
+        services,
+        covs: vec![0.5],
+        slacks: vec![0.5],
+        instances,
+        algos: algos.clone(),
+        lp_instance_cap: lp_instances,
+        lp_max_services: args.get("lp-max-services", 250),
+    };
+    eprintln!("table2: timing sweep over {:?} services…", config.services);
+    let results = run_sweep(&config, &roster);
+
+    // Aggregate mean runtime per (algo, services).
+    println!("\nTable 2: mean run times in seconds (this machine)");
+    println!("{:<14} {:>10} {:>10} {:>10}", "Algorithm", "100", "250", "500");
+    let mut rows = Vec::new();
+    for &algo in &algos {
+        let mut cells = Vec::new();
+        for &j in &config.services {
+            let times: Vec<f64> = results
+                .iter()
+                .filter(|r| r.algo == algo && r.services == j)
+                .map(|r| r.runtime_s)
+                .collect();
+            let mean = if times.is_empty() {
+                f64::NAN
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            };
+            cells.push(mean);
+        }
+        println!(
+            "{:<14} {:>10} {:>10} {:>10}",
+            algo.label(),
+            cells.first().map(|c| format!("{c:.3}")).unwrap_or_default(),
+            cells.get(1).map(|c| format!("{c:.3}")).unwrap_or_default(),
+            cells.get(2).map(|c| format!("{c:.3}")).unwrap_or_default(),
+        );
+        let mut row = vec![algo.label().to_string()];
+        row.extend(cells.iter().map(|&c| csv::fnum(c)));
+        rows.push(row);
+    }
+    let mut header = vec!["algorithm"];
+    let hdr_services: Vec<String> = config.services.iter().map(|j| j.to_string()).collect();
+    header.extend(hdr_services.iter().map(|s| s.as_str()));
+    csv::write_csv(format!("{out_dir}/table2_runtimes.csv"), &header, &rows).unwrap();
+
+    if args.has_flag("big") {
+        // §5.1: "512 hosts and 2000 services: METAHVP 134.52 s vs
+        // METAHVPLIGHT 15.25 s" — the shape claim is the ~10× ratio.
+        eprintln!("table2: big-instance METAHVP vs METAHVPLIGHT (512 hosts, 2000 services)…");
+        let scenario = Scenario::new(ScenarioConfig {
+            hosts: 512,
+            services: 2000,
+            cov: 0.5,
+            memory_slack: 0.5,
+            ..ScenarioConfig::default()
+        });
+        let instance = scenario.instance(0);
+        let (_, t_full) = roster.solve(AlgoId::MetaHvp, &instance, 0);
+        let (_, t_light) = roster.solve(AlgoId::MetaHvpLight, &instance, 0);
+        println!("\n512 hosts / 2000 services:");
+        println!("  METAHVP      {t_full:.2} s");
+        println!("  METAHVPLIGHT {t_light:.2} s   (ratio {:.1}×)", t_full / t_light);
+        csv::write_csv(
+            format!("{out_dir}/table2_big.csv"),
+            &["algorithm", "seconds"],
+            &[
+                vec!["METAHVP".into(), csv::fnum(t_full)],
+                vec!["METAHVPLIGHT".into(), csv::fnum(t_light)],
+            ],
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! Hand-rolled CSV emission (values are numeric or simple identifiers; no
+//! quoting needed).
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes a CSV file, creating parent directories as needed.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a float compactly for CSV cells.
+pub fn fnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "nan".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("vmplace_csv_test");
+        let path = dir.join("x/t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["1".into(), fnum(0.5)]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,0.500000\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,154 @@
+//! Figures 2–4 and 8–34: minimum-yield difference from METAHVP versus the
+//! platform's coefficient of variation.
+//!
+//! Each point is one instance and one algorithm; `y` is that algorithm's
+//! achieved minimum yield minus METAHVP's on the same instance (points
+//! exist only where both succeed). Per-cov averages reproduce the figures'
+//! solid lines.
+
+use crate::csv::{fnum, write_csv};
+use crate::roster::{AlgoId, Roster};
+use vmplace_sim::{HomogeneousDim, Scenario, ScenarioConfig};
+
+/// Configuration for one figure of the family.
+#[derive(Clone, Debug)]
+pub struct FigCovConfig {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Number of services.
+    pub services: usize,
+    /// Memory slack.
+    pub slack: f64,
+    /// Homogeneity variant (`None` = Figure 2 style, `Cpu` = Figure 3,
+    /// `Memory` = Figure 4).
+    pub homogeneous: Option<HomogeneousDim>,
+    /// Coefficient-of-variation grid.
+    pub covs: Vec<f64>,
+    /// Instances per cov value.
+    pub instances: u64,
+    /// Algorithms compared against METAHVP.
+    pub algos: Vec<AlgoId>,
+    /// Output directory.
+    pub out_dir: String,
+    /// Tag used in output file names (e.g. `"fig2"`).
+    pub tag: String,
+}
+
+/// One scatter point of the figure.
+#[derive(Clone, Debug)]
+pub struct CovPoint {
+    /// Coefficient of variation.
+    pub cov: f64,
+    /// Instance seed.
+    pub seed: u64,
+    /// Compared algorithm.
+    pub algo: AlgoId,
+    /// `min_yield(algo) − min_yield(METAHVP)`.
+    pub diff: f64,
+}
+
+/// Runs the experiment; emits scatter + average CSVs and a stdout summary.
+pub fn run_fig_cov(config: &FigCovConfig, roster: &Roster) -> Vec<CovPoint> {
+    struct Task {
+        cov: f64,
+        seed: u64,
+    }
+    let mut tasks = Vec::new();
+    for &cov in &config.covs {
+        for seed in 0..config.instances {
+            tasks.push(Task { cov, seed });
+        }
+    }
+
+    let points: Vec<Vec<CovPoint>> = vmplace_par::par_map(&tasks, |t| {
+        let scenario = Scenario::new(ScenarioConfig {
+            hosts: config.hosts,
+            services: config.services,
+            cov: t.cov,
+            memory_slack: config.slack,
+            homogeneous: config.homogeneous,
+            ..ScenarioConfig::default()
+        });
+        let instance = scenario.instance(t.seed);
+        let (reference, _) = roster.solve(AlgoId::MetaHvp, &instance, t.seed);
+        let Some(reference) = reference else {
+            return Vec::new(); // METAHVP failed: no reference point
+        };
+        let mut out = Vec::new();
+        for &algo in &config.algos {
+            let (sol, _) = roster.solve(algo, &instance, t.seed);
+            if let Some(sol) = sol {
+                out.push(CovPoint {
+                    cov: t.cov,
+                    seed: t.seed,
+                    algo,
+                    diff: sol.min_yield - reference.min_yield,
+                });
+            }
+        }
+        out
+    });
+    let points: Vec<CovPoint> = points.into_iter().flatten().collect();
+
+    // Scatter CSV.
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                fnum(p.cov),
+                p.seed.to_string(),
+                p.algo.label().to_string(),
+                fnum(p.diff),
+            ]
+        })
+        .collect();
+    write_csv(
+        format!("{}/{}_scatter.csv", config.out_dir, config.tag),
+        &["cov", "seed", "algo", "diff_from_metahvp"],
+        &rows,
+    )
+    .unwrap();
+
+    // Per-cov averages (the figures' solid lines). Sign convention of the
+    // paper: plotted is METAHVP-relative difference, ≤ 0 when METAHVP wins.
+    let mut avg_rows = Vec::new();
+    println!(
+        "\n=== Fig[{}]: avg min-yield difference from METAHVP ({} services, slack {}, {:?}) ===",
+        config.tag, config.services, config.slack, config.homogeneous
+    );
+    print!("{:<8}", "cov");
+    for a in &config.algos {
+        print!("{:>14}", a.label());
+    }
+    println!();
+    for &cov in &config.covs {
+        print!("{:<8}", format!("{cov:.3}"));
+        for &algo in &config.algos {
+            let vals: Vec<f64> = points
+                .iter()
+                .filter(|p| p.algo == algo && (p.cov - cov).abs() < 1e-9)
+                .map(|p| p.diff)
+                .collect();
+            let avg = if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+            print!("{:>14}", format!("{avg:+.4}"));
+            avg_rows.push(vec![
+                fnum(cov),
+                algo.label().to_string(),
+                fnum(avg),
+                vals.len().to_string(),
+            ]);
+        }
+        println!();
+    }
+    write_csv(
+        format!("{}/{}_avg.csv", config.out_dir, config.tag),
+        &["cov", "algo", "avg_diff", "points"],
+        &avg_rows,
+    )
+    .unwrap();
+    points
+}

@@ -1,0 +1,239 @@
+//! Figures 5–7 and 35–66: achieved minimum yield versus the maximum CPU
+//! need estimation error.
+//!
+//! Eight curves per figure, averaged over successful instances:
+//! `ideal` (perfect estimates), `zero-knowledge` (even spread +
+//! EQUALWEIGHTS), and `weight`/`equal` (ALLOCWEIGHTS / EQUALWEIGHTS on the
+//! placement computed from perturbed estimates) for minimum-threshold
+//! values τ ∈ {0, 0.10, 0.30}. An `caps` curve (ALLOCCAPS, τ = 0) backs the
+//! §6.2 claim that hard caps collapse under error.
+
+use crate::csv::{fnum, write_csv};
+use crate::roster::Roster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmplace_core::vp::{binary_search_placement, DEFAULT_RESOLUTION};
+use vmplace_model::evaluate_placement;
+use vmplace_sim::{
+    apply_min_threshold, perturb_cpu_needs, zero_knowledge_placement, AllocationPolicy, ErrorRun,
+    Scenario, ScenarioConfig,
+};
+
+/// Configuration of one error figure.
+#[derive(Clone, Debug)]
+pub struct FigErrorConfig {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Number of services.
+    pub services: usize,
+    /// Memory slack.
+    pub slack: f64,
+    /// Platform coefficient of variation.
+    pub cov: f64,
+    /// Maximum-error grid (paper: 0 → 0.4).
+    pub errors: Vec<f64>,
+    /// Instances per error value.
+    pub instances: u64,
+    /// Mitigation thresholds (paper: 0, 0.10, 0.30).
+    pub thresholds: Vec<f64>,
+    /// Use the full METAHVP roster for placement (default: METAHVPLIGHT,
+    /// which §5.1 shows is quality-equivalent at a tenth of the cost).
+    pub use_full_hvp: bool,
+    /// Output directory.
+    pub out_dir: String,
+    /// Output file tag (e.g. `"fig5"`).
+    pub tag: String,
+}
+
+/// Curve identifier → averaged minimum achieved yield per error value.
+#[derive(Clone, Debug)]
+pub struct ErrorCurves {
+    /// Error grid.
+    pub errors: Vec<f64>,
+    /// `(curve label, values parallel to errors)`.
+    pub curves: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the experiment and emits CSV + stdout summary.
+pub fn run_fig_error(config: &FigErrorConfig, roster: &Roster) -> ErrorCurves {
+    let solver: &dyn vmplace_core::vp::PackingHeuristic = if config.use_full_hvp {
+        roster.metahvp()
+    } else {
+        roster.metahvp_light()
+    };
+
+    // Curve labels in plot order.
+    let mut labels: Vec<String> = vec!["ideal".into(), "zero-knowledge".into(), "caps_t0.00".into()];
+    for &t in &config.thresholds {
+        labels.push(format!("weight_t{t:.2}"));
+        labels.push(format!("equal_t{t:.2}"));
+    }
+
+    // Instance generation can produce trivially infeasible instances (a
+    // service larger than every node); the paper averages over *successful*
+    // instances, so scan seeds until enough feasible ones are found.
+    let feasible_seeds: Vec<u64> = {
+        let mut seeds = Vec::new();
+        for seed in 0..config.instances * 20 {
+            let scenario = Scenario::new(ScenarioConfig {
+                hosts: config.hosts,
+                services: config.services,
+                cov: config.cov,
+                memory_slack: config.slack,
+                ..ScenarioConfig::default()
+            });
+            let instance = scenario.instance(seed);
+            let feasible = solver
+                .pack(&vmplace_core::vp::VpProblem::new(&instance, 0.0))
+                .is_some();
+            if feasible {
+                seeds.push(seed);
+                if seeds.len() as u64 >= config.instances {
+                    break;
+                }
+            }
+        }
+        seeds
+    };
+    if feasible_seeds.is_empty() {
+        eprintln!(
+            "fig_error[{}]: no feasible instance in {} seeds — emitting empty curves",
+            config.tag,
+            config.instances * 20
+        );
+    }
+
+    struct Task {
+        error: f64,
+        error_idx: usize,
+        seed: u64,
+    }
+    let mut tasks = Vec::new();
+    for (error_idx, &error) in config.errors.iter().enumerate() {
+        for &seed in &feasible_seeds {
+            tasks.push(Task {
+                error,
+                error_idx,
+                seed,
+            });
+        }
+    }
+
+    // Each task returns (error_idx, per-curve Option<yield>).
+    let rows: Vec<Option<(usize, Vec<Option<f64>>)>> = vmplace_par::par_map(&tasks, |t| {
+        let scenario = Scenario::new(ScenarioConfig {
+            hosts: config.hosts,
+            services: config.services,
+            cov: config.cov,
+            memory_slack: config.slack,
+            ..ScenarioConfig::default()
+        });
+        let instance = scenario.instance(t.seed);
+        let run = ErrorRun::new(&instance);
+        let mut values: Vec<Option<f64>> = vec![None; labels.len()];
+
+        // Ideal: perfect knowledge.
+        let ideal = binary_search_placement(&instance, solver, DEFAULT_RESOLUTION)
+            .and_then(|(_, p)| evaluate_placement(&instance, &p));
+        let Some(ideal) = ideal else {
+            return None; // infeasible instance: excluded from averages
+        };
+        values[0] = Some(ideal.min_yield);
+
+        // Zero knowledge: even spread + equal shares.
+        if let Some(p) = zero_knowledge_placement(&instance) {
+            let planned = vec![0.0; instance.num_services()];
+            values[1] = run.actual_min_yield(&p, &planned, AllocationPolicy::EqualWeights);
+        }
+
+        // Perturbed estimates (deterministic per (seed, error index)).
+        let mut rng = StdRng::seed_from_u64(
+            t.seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(t.error_idx as u64),
+        );
+        let estimates = perturb_cpu_needs(instance.services(), t.error, &mut rng);
+
+        let mut slot = 3;
+        for (ti, &tau) in config.thresholds.iter().enumerate() {
+            let est = apply_min_threshold(&estimates, tau);
+            let est_instance = instance.with_services(est.clone()).ok()?;
+            let placed = binary_search_placement(&est_instance, solver, DEFAULT_RESOLUTION);
+            if let Some((_, placement)) = placed {
+                if let Some(planned) = run.planned_extras(&est, &placement) {
+                    if ti == 0 {
+                        // ALLOCCAPS at τ = 0 (diagnostic curve).
+                        values[2] =
+                            run.actual_min_yield(&placement, &planned, AllocationPolicy::AllocCaps);
+                    }
+                    values[slot] =
+                        run.actual_min_yield(&placement, &planned, AllocationPolicy::AllocWeights);
+                    values[slot + 1] =
+                        run.actual_min_yield(&placement, &planned, AllocationPolicy::EqualWeights);
+                }
+            }
+            slot += 2;
+        }
+        Some((t.error_idx, values))
+    });
+
+    // Average per (error, curve) over successful instances.
+    let mut sums = vec![vec![0.0f64; config.errors.len()]; labels.len()];
+    let mut counts = vec![vec![0usize; config.errors.len()]; labels.len()];
+    for row in rows.into_iter().flatten() {
+        let (ei, values) = row;
+        for (ci, v) in values.iter().enumerate() {
+            if let Some(v) = v {
+                sums[ci][ei] += v;
+                counts[ci][ei] += 1;
+            }
+        }
+    }
+    let curves: Vec<(String, Vec<f64>)> = labels
+        .iter()
+        .enumerate()
+        .map(|(ci, label)| {
+            let vals: Vec<f64> = (0..config.errors.len())
+                .map(|ei| {
+                    if counts[ci][ei] == 0 {
+                        f64::NAN
+                    } else {
+                        sums[ci][ei] / counts[ci][ei] as f64
+                    }
+                })
+                .collect();
+            (label.clone(), vals)
+        })
+        .collect();
+
+    // Emit.
+    println!(
+        "\n=== Fig[{}]: min achieved yield vs max error ({} services, slack {}, cov {}) ===",
+        config.tag, config.services, config.slack, config.cov
+    );
+    print!("{:<8}", "error");
+    for (label, _) in &curves {
+        print!("{:>16}", label);
+    }
+    println!();
+    let mut csv_rows = Vec::new();
+    for (ei, &e) in config.errors.iter().enumerate() {
+        print!("{:<8}", format!("{e:.2}"));
+        for (label, vals) in &curves {
+            print!("{:>16}", format!("{:.4}", vals[ei]));
+            csv_rows.push(vec![fnum(e), label.clone(), fnum(vals[ei])]);
+        }
+        println!();
+    }
+    write_csv(
+        format!("{}/{}_curves.csv", config.out_dir, config.tag),
+        &["max_error", "curve", "avg_min_yield"],
+        &csv_rows,
+    )
+    .unwrap();
+
+    ErrorCurves {
+        errors: config.errors.clone(),
+        curves,
+    }
+}

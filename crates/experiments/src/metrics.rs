@@ -1,0 +1,148 @@
+//! The paper's pairwise comparison metrics (§5).
+//!
+//! * `Y_{A,B}` — average percent minimum-yield difference of A relative to
+//!   B, over instances solved by both;
+//! * `S_{A,B}` — percentage of instances where A succeeds and B fails,
+//!   minus the percentage where B succeeds and A fails.
+//!
+//! Positive values favour A.
+
+use crate::roster::AlgoId;
+use crate::sweep::InstanceResult;
+use std::collections::HashMap;
+
+/// One cell of the Table 1 matrices.
+#[derive(Clone, Copy, Debug)]
+pub struct PairwiseCell {
+    /// `Y_{A,B}` in percent.
+    pub yield_diff_pct: f64,
+    /// `S_{A,B}` in percentage points.
+    pub success_diff_pct: f64,
+    /// Instances solved by both (the `Y` average's support).
+    pub both_solved: usize,
+    /// Total instances on which both algorithms ran.
+    pub total: usize,
+}
+
+/// Computes `(Y_{A,B}, S_{A,B})` over a result set. Instances are keyed by
+/// `(services, cov, slack, seed)`; only instances attempted by *both*
+/// algorithms enter the statistics (the LP cap may exclude some from
+/// RRND/RRNZ).
+pub fn pairwise(results: &[InstanceResult], a: AlgoId, b: AlgoId) -> PairwiseCell {
+    type Key = (usize, u64, u64, u64);
+    let key = |r: &InstanceResult| -> Key {
+        (r.services, r.cov.to_bits(), r.slack.to_bits(), r.seed)
+    };
+    let mut map: HashMap<Key, [Option<(bool, f64)>; 2]> = HashMap::new();
+    for r in results {
+        let slot = if r.algo == a {
+            0
+        } else if r.algo == b {
+            1
+        } else {
+            continue;
+        };
+        map.entry(key(r)).or_default()[slot] = Some((r.success, r.min_yield));
+    }
+
+    let mut total = 0usize;
+    let mut both_solved = 0usize;
+    let mut yield_sum = 0.0f64;
+    let mut a_only = 0usize;
+    let mut b_only = 0usize;
+    for entry in map.values() {
+        let (Some((sa, ya)), Some((sb, yb))) = (entry[0], entry[1]) else {
+            continue;
+        };
+        total += 1;
+        match (sa, sb) {
+            (true, true) => {
+                if yb > 1e-9 {
+                    both_solved += 1;
+                    yield_sum += (ya - yb) / yb * 100.0;
+                }
+            }
+            (true, false) => a_only += 1,
+            (false, true) => b_only += 1,
+            (false, false) => {}
+        }
+    }
+    PairwiseCell {
+        yield_diff_pct: if both_solved > 0 {
+            yield_sum / both_solved as f64
+        } else {
+            0.0
+        },
+        success_diff_pct: if total > 0 {
+            (a_only as f64 - b_only as f64) / total as f64 * 100.0
+        } else {
+            0.0
+        },
+        both_solved,
+        total,
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(algo: AlgoId, seed: u64, success: bool, min_yield: f64) -> InstanceResult {
+        InstanceResult {
+            services: 100,
+            cov: 0.5,
+            slack: 0.3,
+            seed,
+            algo,
+            success,
+            min_yield,
+            runtime_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn yield_and_success_metrics() {
+        let results = vec![
+            // instance 0: both succeed, A 10% better.
+            row(AlgoId::MetaHvp, 0, true, 0.55),
+            row(AlgoId::MetaVp, 0, true, 0.50),
+            // instance 1: A succeeds, B fails.
+            row(AlgoId::MetaHvp, 1, true, 0.8),
+            row(AlgoId::MetaVp, 1, false, 0.0),
+            // instance 2: both fail.
+            row(AlgoId::MetaHvp, 2, false, 0.0),
+            row(AlgoId::MetaVp, 2, false, 0.0),
+            // instance 3: attempted only by A — excluded entirely.
+            row(AlgoId::MetaHvp, 3, true, 1.0),
+        ];
+        let cell = pairwise(&results, AlgoId::MetaHvp, AlgoId::MetaVp);
+        assert_eq!(cell.total, 3);
+        assert_eq!(cell.both_solved, 1);
+        assert!((cell.yield_diff_pct - 10.0).abs() < 1e-9);
+        assert!((cell.success_diff_pct - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antisymmetry_of_success_metric() {
+        let results = vec![
+            row(AlgoId::MetaHvp, 0, true, 0.5),
+            row(AlgoId::MetaVp, 0, false, 0.0),
+            row(AlgoId::MetaHvp, 1, false, 0.0),
+            row(AlgoId::MetaVp, 1, true, 0.4),
+            row(AlgoId::MetaHvp, 2, true, 0.6),
+            row(AlgoId::MetaVp, 2, true, 0.6),
+        ];
+        let ab = pairwise(&results, AlgoId::MetaHvp, AlgoId::MetaVp);
+        let ba = pairwise(&results, AlgoId::MetaVp, AlgoId::MetaHvp);
+        assert!((ab.success_diff_pct + ba.success_diff_pct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! The algorithm roster evaluated in the paper's Table 1 and figures.
+
+use std::time::Instant;
+use vmplace_core::{Algorithm, MetaGreedy, MetaVp, RandomizedRounding};
+use vmplace_model::{ProblemInstance, Solution};
+
+/// The major heuristics of §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgoId {
+    /// Randomized rounding (zero probabilities kept).
+    Rrnd,
+    /// Randomized rounding with ε-floored probabilities.
+    Rrnz,
+    /// Best of the 49 greedy algorithms.
+    MetaGreedy,
+    /// Best of the 33 homogeneous vector-packing strategies.
+    MetaVp,
+    /// Best of the 253 heterogeneous vector-packing strategies.
+    MetaHvp,
+    /// The engineered 60-strategy subset of METAHVP (§5.1).
+    MetaHvpLight,
+}
+
+impl AlgoId {
+    /// Paper name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgoId::Rrnd => "RRND",
+            AlgoId::Rrnz => "RRNZ",
+            AlgoId::MetaGreedy => "METAGREEDY",
+            AlgoId::MetaVp => "METAVP",
+            AlgoId::MetaHvp => "METAHVP",
+            AlgoId::MetaHvpLight => "METAHVPLIGHT",
+        }
+    }
+
+    /// Whether the algorithm requires an LP relaxation solve (orders of
+    /// magnitude slower than the others; sweeps cap its instance count).
+    pub fn is_lp_based(&self) -> bool {
+        matches!(self, AlgoId::Rrnd | AlgoId::Rrnz)
+    }
+
+    /// Parses a comma-separated list like `"metagreedy,metavp,metahvp"`.
+    pub fn parse_list(s: &str) -> Vec<AlgoId> {
+        s.split(',')
+            .filter_map(|t| match t.trim().to_ascii_lowercase().as_str() {
+                "rrnd" => Some(AlgoId::Rrnd),
+                "rrnz" => Some(AlgoId::Rrnz),
+                "metagreedy" | "greedy" => Some(AlgoId::MetaGreedy),
+                "metavp" | "vp" => Some(AlgoId::MetaVp),
+                "metahvp" | "hvp" => Some(AlgoId::MetaHvp),
+                "metahvplight" | "light" => Some(AlgoId::MetaHvpLight),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Pre-built shareable algorithm instances (the meta rosters are immutable
+/// and `Sync`, so one copy serves all worker threads).
+pub struct Roster {
+    meta_greedy: MetaGreedy,
+    meta_vp: MetaVp,
+    meta_hvp: MetaVp,
+    meta_hvp_light: MetaVp,
+}
+
+impl Default for Roster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Roster {
+    /// Builds the roster.
+    pub fn new() -> Roster {
+        Roster {
+            meta_greedy: MetaGreedy,
+            meta_vp: MetaVp::metavp(),
+            meta_hvp: MetaVp::metahvp(),
+            meta_hvp_light: MetaVp::metahvp_light(),
+        }
+    }
+
+    /// Runs `algo` on `instance`; `seed` feeds the randomized-rounding RNG.
+    /// Returns the solution (if any) and the wall-clock seconds spent.
+    pub fn solve(&self, algo: AlgoId, instance: &ProblemInstance, seed: u64) -> (Option<Solution>, f64) {
+        let start = Instant::now();
+        let sol = match algo {
+            AlgoId::Rrnd => RandomizedRounding::rrnd(seed).solve(instance),
+            AlgoId::Rrnz => RandomizedRounding::rrnz(seed).solve(instance),
+            AlgoId::MetaGreedy => self.meta_greedy.solve(instance),
+            AlgoId::MetaVp => self.meta_vp.solve(instance),
+            AlgoId::MetaHvp => self.meta_hvp.solve(instance),
+            AlgoId::MetaHvpLight => self.meta_hvp_light.solve(instance),
+        };
+        (sol, start.elapsed().as_secs_f64())
+    }
+
+    /// The METAHVP roster (error experiments place with it by default when
+    /// `--algo hvp` is chosen).
+    pub fn metahvp(&self) -> &MetaVp {
+        &self.meta_hvp
+    }
+
+    /// The METAHVPLIGHT roster.
+    pub fn metahvp_light(&self) -> &MetaVp {
+        &self.meta_hvp_light
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_list_accepts_aliases() {
+        let v = AlgoId::parse_list("light, metavp ,HVP");
+        assert_eq!(v, vec![AlgoId::MetaHvpLight, AlgoId::MetaVp, AlgoId::MetaHvp]);
+    }
+
+    #[test]
+    fn labels_are_paper_names() {
+        assert_eq!(AlgoId::MetaHvp.label(), "METAHVP");
+        assert_eq!(AlgoId::Rrnz.label(), "RRNZ");
+    }
+}

@@ -1,0 +1,146 @@
+//! Table 1: pairwise (Y_{A,B}, S_{A,B}) matrices per service count.
+
+use crate::csv::{fnum, write_csv};
+use crate::metrics::pairwise;
+use crate::roster::{AlgoId, Roster};
+use crate::sweep::{run_sweep, InstanceResult, SweepConfig};
+
+/// Table 1 configuration.
+#[derive(Clone, Debug)]
+pub struct Table1Config {
+    /// The sweep grid.
+    pub sweep: SweepConfig,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+}
+
+impl Table1Config {
+    /// Default-scale grid (trimmed from the paper's 41-point cov grid and
+    /// 100 seeds; shapes are stable at this size — see EXPERIMENTS.md).
+    pub fn default_scale(out_dir: &str) -> Table1Config {
+        Table1Config {
+            sweep: SweepConfig {
+                hosts: 64,
+                services: vec![100, 250, 500],
+                covs: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+                slacks: vec![0.2, 0.4, 0.6, 0.8],
+                instances: 5,
+                algos: vec![
+                    AlgoId::Rrnd,
+                    AlgoId::Rrnz,
+                    AlgoId::MetaGreedy,
+                    AlgoId::MetaVp,
+                    AlgoId::MetaHvp,
+                    AlgoId::MetaHvpLight,
+                ],
+                lp_instance_cap: 8,
+                lp_max_services: 250,
+            },
+            out_dir: out_dir.to_string(),
+        }
+    }
+
+    /// The paper's full grid (Grid'5000-sized; expect a long run).
+    pub fn paper_scale(out_dir: &str) -> Table1Config {
+        let mut cfg = Self::default_scale(out_dir);
+        cfg.sweep.covs = SweepConfig::grid(0.0, 1.0, 0.025);
+        cfg.sweep.slacks = SweepConfig::grid(0.1, 0.9, 0.1);
+        cfg.sweep.instances = 100;
+        cfg.sweep.lp_instance_cap = usize::MAX;
+        cfg.sweep.lp_max_services = usize::MAX;
+        cfg
+    }
+
+    /// A seconds-scale smoke grid (CI / tests).
+    pub fn smoke_scale(out_dir: &str) -> Table1Config {
+        Table1Config {
+            sweep: SweepConfig {
+                hosts: 16,
+                services: vec![30],
+                covs: vec![0.0, 0.5],
+                slacks: vec![0.5],
+                instances: 2,
+                algos: vec![AlgoId::MetaGreedy, AlgoId::MetaVp, AlgoId::MetaHvpLight],
+                lp_instance_cap: 0,
+                lp_max_services: 250,
+            },
+            out_dir: out_dir.to_string(),
+        }
+    }
+}
+
+/// Runs the sweep and emits the matrices (stdout + CSV). Returns the raw
+/// per-instance results for reuse.
+pub fn run_table1(config: &Table1Config, roster: &Roster) -> Vec<InstanceResult> {
+    let results = run_sweep(&config.sweep, roster);
+
+    // Raw dump for downstream analysis.
+    let raw_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.services.to_string(),
+                fnum(r.cov),
+                fnum(r.slack),
+                r.seed.to_string(),
+                r.algo.label().to_string(),
+                (r.success as u8).to_string(),
+                fnum(r.min_yield),
+                fnum(r.runtime_s),
+            ]
+        })
+        .collect();
+    write_csv(
+        format!("{}/table1_raw.csv", config.out_dir),
+        &["services", "cov", "slack", "seed", "algo", "success", "min_yield", "runtime_s"],
+        &raw_rows,
+    )
+    .unwrap();
+
+    let algos = &config.sweep.algos;
+    let mut matrix_rows: Vec<Vec<String>> = Vec::new();
+    for &j in &config.sweep.services {
+        let subset: Vec<InstanceResult> = results
+            .iter()
+            .filter(|r| r.services == j)
+            .cloned()
+            .collect();
+        println!("\n=== Table 1, {j} services: (Y_A,B %, S_A,B pp), positive favours row A ===");
+        print!("{:<14}", "A\\B");
+        for b in algos {
+            print!("{:>24}", b.label());
+        }
+        println!();
+        for &a in algos {
+            print!("{:<14}", a.label());
+            for &b in algos {
+                if a == b {
+                    print!("{:>24}", "—");
+                    continue;
+                }
+                let cell = pairwise(&subset, a, b);
+                print!(
+                    "{:>24}",
+                    format!("({:+.1}%, {:+.1}%)", cell.yield_diff_pct, cell.success_diff_pct)
+                );
+                matrix_rows.push(vec![
+                    j.to_string(),
+                    a.label().to_string(),
+                    b.label().to_string(),
+                    fnum(cell.yield_diff_pct),
+                    fnum(cell.success_diff_pct),
+                    cell.both_solved.to_string(),
+                    cell.total.to_string(),
+                ]);
+            }
+            println!();
+        }
+    }
+    write_csv(
+        format!("{}/table1_pairwise.csv", config.out_dir),
+        &["services", "A", "B", "Y_AB_pct", "S_AB_pp", "both_solved", "total"],
+        &matrix_rows,
+    )
+    .unwrap();
+    results
+}

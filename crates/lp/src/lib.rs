@@ -1,0 +1,33 @@
+//! A from-scratch linear/mixed-integer programming substrate.
+//!
+//! The paper solves its §3.1 MILP (and the rational relaxation used by the
+//! RRND/RRNZ rounding algorithms) with GLPK or CPLEX. Neither is available
+//! here, so this crate implements the required solver stack natively:
+//!
+//! * [`sparse`] — compressed sparse column matrices;
+//! * [`lu`] — sparse LU factorisation with partial pivoting
+//!   (left-looking Gilbert–Peierls), including transpose solves;
+//! * [`simplex`] — a bounded-variable, two-phase revised simplex method with
+//!   product-form-of-the-inverse updates and periodic refactorisation;
+//! * [`milp`] — depth-first branch & bound on integer variables;
+//! * [`yield_lp`] — the paper's Equations 1–7 encoded from a
+//!   [`vmplace_model::ProblemInstance`], with a presolve pass that removes
+//!   impossible placements and never-binding elementary rows.
+//!
+//! The simplex method is deliberately general (arbitrary bounds, ≤/≥/=
+//! rows) so the MILP search can tighten variable bounds without rebuilding
+//! the matrix.
+
+#![warn(missing_docs)]
+
+pub mod lu;
+pub mod milp;
+pub mod problem;
+pub mod simplex;
+pub mod sparse;
+pub mod yield_lp;
+
+pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use problem::{LinearProgram, RowSense, VarId};
+pub use simplex::{LpSolution, LpStatus, SimplexOptions};
+pub use yield_lp::{RelaxedSolution, YieldLp};

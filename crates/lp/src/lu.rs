@@ -1,0 +1,395 @@
+//! Sparse LU factorisation with partial pivoting.
+//!
+//! Left-looking Gilbert–Peierls: each column of the input matrix is
+//! processed by a sparse triangular solve against the already-computed part
+//! of `L` (reachability found by DFS over the column graph), followed by
+//! partial pivoting on the not-yet-pivoted rows.
+//!
+//! The factorisation satisfies `P·B = L·U` with `L` unit lower triangular
+//! and `U` upper triangular in pivot order; `P` maps pivot order to original
+//! row indices. Both ordinary and transpose solves are provided — the
+//! simplex method needs `B·x = a` (FTRAN) and `Bᵀ·y = c_B` (BTRAN).
+
+/// Error returned when the matrix is numerically singular.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingularMatrix {
+    /// Column at which no acceptable pivot was found.
+    pub column: usize,
+}
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+const PIVOT_TOL: f64 = 1e-11;
+
+/// A sparse LU factorisation of a square matrix.
+#[derive(Clone, Debug)]
+pub struct SparseLu {
+    n: usize,
+    // L (unit diagonal implicit), stored by column in *original* row indices.
+    l_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    // U stored by column in *pivot* indices (strictly above diagonal).
+    u_ptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    diag: Vec<f64>,
+    // pivot_row[k] = original row pivoted at step k; pivot_of_row inverse.
+    pivot_row: Vec<usize>,
+    pivot_of_row: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factorises an `n×n` matrix given by a column-provider callback:
+    /// `column(j, buf)` must fill `buf` with the `(row, value)` entries of
+    /// column `j` (unsorted is fine, duplicates are not allowed).
+    pub fn factorize<F>(n: usize, mut column: F) -> Result<SparseLu, SingularMatrix>
+    where
+        F: FnMut(usize, &mut Vec<(usize, f64)>),
+    {
+        const UNPIVOTED: usize = usize::MAX;
+        let mut lu = SparseLu {
+            n,
+            l_ptr: vec![0],
+            l_rows: Vec::new(),
+            l_vals: Vec::new(),
+            u_ptr: vec![0],
+            u_rows: Vec::new(),
+            u_vals: Vec::new(),
+            diag: vec![0.0; n],
+            pivot_row: vec![0; n],
+            pivot_of_row: vec![UNPIVOTED; n],
+        };
+
+        let mut x = vec![0.0f64; n]; // dense accumulator
+        let mut in_pattern = vec![false; n]; // row -> currently in pattern
+        let mut pattern: Vec<usize> = Vec::new(); // touched rows
+        let mut colbuf: Vec<(usize, f64)> = Vec::new();
+        let mut reached: Vec<usize> = Vec::new(); // pivot indices to apply
+        let mut visited = vec![false; n]; // pivot index -> visited this column
+        let mut stack: Vec<(usize, usize)> = Vec::new(); // DFS (pivot, l-cursor)
+
+        for j in 0..n {
+            colbuf.clear();
+            column(j, &mut colbuf);
+
+            // Scatter column j and collect DFS roots.
+            pattern.clear();
+            reached.clear();
+            for &(r, v) in &colbuf {
+                debug_assert!(r < n);
+                if !in_pattern[r] {
+                    in_pattern[r] = true;
+                    pattern.push(r);
+                    x[r] = v;
+                } else {
+                    x[r] += v;
+                }
+            }
+
+            // Symbolic phase: find every pivot column reachable from the
+            // pattern through L (fill-in), iteratively to bound stack depth.
+            for pi in 0..pattern.len() {
+                let r = pattern[pi];
+                let k0 = lu.pivot_of_row[r];
+                if k0 == UNPIVOTED || visited[k0] {
+                    continue;
+                }
+                visited[k0] = true;
+                stack.push((k0, lu.l_ptr[k0]));
+                while let Some(&(k, cursor)) = stack.last() {
+                    let end = lu.l_ptr[k + 1];
+                    let mut next_child = None;
+                    let mut c = cursor;
+                    while c < end {
+                        let r2 = lu.l_rows[c];
+                        c += 1;
+                        let k2 = lu.pivot_of_row[r2];
+                        if k2 != UNPIVOTED && !visited[k2] {
+                            next_child = Some(k2);
+                            break;
+                        }
+                    }
+                    stack.last_mut().unwrap().1 = c;
+                    match next_child {
+                        Some(k2) => {
+                            visited[k2] = true;
+                            stack.push((k2, lu.l_ptr[k2]));
+                        }
+                        None => {
+                            reached.push(k);
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+            // Dependencies always point from smaller to larger pivot index,
+            // so ascending order is a valid elimination order.
+            reached.sort_unstable();
+
+            // Numeric phase: sparse lower-triangular solve.
+            for &k in &reached {
+                visited[k] = false; // reset for next column
+                let xk = x[lu.pivot_row[k]];
+                if xk == 0.0 {
+                    continue;
+                }
+                for idx in lu.l_ptr[k]..lu.l_ptr[k + 1] {
+                    let r2 = lu.l_rows[idx];
+                    if !in_pattern[r2] {
+                        in_pattern[r2] = true;
+                        pattern.push(r2);
+                        x[r2] = 0.0;
+                    }
+                    x[r2] -= lu.l_vals[idx] * xk;
+                }
+            }
+
+            // Partial pivoting over not-yet-pivoted rows.
+            let mut best_row = UNPIVOTED;
+            let mut best_abs = 0.0f64;
+            for &r in &pattern {
+                if lu.pivot_of_row[r] == UNPIVOTED {
+                    let a = x[r].abs();
+                    if a > best_abs {
+                        best_abs = a;
+                        best_row = r;
+                    }
+                }
+            }
+            if best_row == UNPIVOTED || best_abs <= PIVOT_TOL {
+                // Clean up scratch before erroring out.
+                for &r in &pattern {
+                    in_pattern[r] = false;
+                    x[r] = 0.0;
+                }
+                return Err(SingularMatrix { column: j });
+            }
+
+            // Emit U column (pivoted rows) and L column (unpivoted rows).
+            for &r in &pattern {
+                let k = lu.pivot_of_row[r];
+                if k != UNPIVOTED {
+                    if x[r] != 0.0 {
+                        lu.u_rows.push(k);
+                        lu.u_vals.push(x[r]);
+                    }
+                }
+            }
+            lu.u_ptr.push(lu.u_rows.len());
+            let pivot_val = x[best_row];
+            lu.diag[j] = pivot_val;
+            for &r in &pattern {
+                if lu.pivot_of_row[r] == UNPIVOTED && r != best_row && x[r] != 0.0 {
+                    lu.l_rows.push(r);
+                    lu.l_vals.push(x[r] / pivot_val);
+                }
+            }
+            lu.l_ptr.push(lu.l_rows.len());
+            lu.pivot_of_row[best_row] = j;
+            lu.pivot_row[j] = best_row;
+
+            // Clear scratch.
+            for &r in &pattern {
+                in_pattern[r] = false;
+                x[r] = 0.0;
+            }
+        }
+        Ok(lu)
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros in `L` and `U` (diagnostics).
+    pub fn fill_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_rows.len() + self.n
+    }
+
+    /// Solves `B·x = b`.
+    ///
+    /// `b` is indexed by original row on input; on output it is garbage.
+    /// The solution is written to `out`, indexed by pivot order — which for
+    /// a simplex basis equals the basis *position*.
+    pub fn solve(&self, b: &mut [f64], out: &mut [f64]) {
+        debug_assert_eq!(b.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        // Forward: L·w = P·b, w in pivot coordinates (stored into out).
+        for k in 0..self.n {
+            let wk = b[self.pivot_row[k]];
+            out[k] = wk;
+            if wk != 0.0 {
+                for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                    b[self.l_rows[idx]] -= self.l_vals[idx] * wk;
+                }
+            }
+        }
+        // Backward: U·x = w, processed by columns.
+        for k in (0..self.n).rev() {
+            let xk = out[k] / self.diag[k];
+            out[k] = xk;
+            if xk != 0.0 {
+                for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                    out[self.u_rows[idx]] -= self.u_vals[idx] * xk;
+                }
+            }
+        }
+    }
+
+    /// Solves `Bᵀ·y = c`.
+    ///
+    /// `c` is indexed by basis position (pivot order) on input and is
+    /// consumed as scratch. The solution is written to `out`, indexed by
+    /// original row.
+    pub fn solve_transpose(&self, c: &mut [f64], out: &mut [f64]) {
+        debug_assert_eq!(c.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        // Forward: Uᵀ·z = c (U column k gives U[m, k], m < k).
+        for k in 0..self.n {
+            let mut s = c[k];
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                s -= self.u_vals[idx] * c[self.u_rows[idx]];
+            }
+            c[k] = s / self.diag[k];
+            // c[m] for m < k already hold final z values; entries m > k are
+            // untouched, so in-place forward substitution is safe.
+        }
+        // Backward: Lᵀ·w = z; L column k holds rows pivoted later (κ(r) > k).
+        for k in (0..self.n).rev() {
+            let mut s = c[k];
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                s -= self.l_vals[idx] * c[self.pivot_of_row[self.l_rows[idx]]];
+            }
+            c[k] = s;
+        }
+        // y = Pᵀ·w.
+        for k in 0..self.n {
+            out[self.pivot_row[k]] = c[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_cols(a: &[&[f64]]) -> Vec<Vec<(usize, f64)>> {
+        let n = a.len();
+        (0..n)
+            .map(|j| {
+                (0..n)
+                    .filter(|&i| a[i][j] != 0.0)
+                    .map(|i| (i, a[i][j]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn factor(a: &[&[f64]]) -> SparseLu {
+        let cols = dense_cols(a);
+        SparseLu::factorize(a.len(), |j, buf| buf.extend_from_slice(&cols[j])).unwrap()
+    }
+
+    fn check_solve(a: &[&[f64]], b: &[f64]) {
+        let n = a.len();
+        let lu = factor(a);
+        let mut rhs = b.to_vec();
+        let mut x = vec![0.0; n];
+        lu.solve(&mut rhs, &mut x);
+        // x is in pivot order; column k of the basis is column k of A here,
+        // so the solution for variable j is x[j] directly (columns were
+        // processed in natural order and pivot order == column order).
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| a[i][j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-9, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    fn check_solve_transpose(a: &[&[f64]], c: &[f64]) {
+        let n = a.len();
+        let lu = factor(a);
+        let mut rhs = c.to_vec();
+        let mut y = vec![0.0; n];
+        lu.solve_transpose(&mut rhs, &mut y);
+        // Verify Aᵀ y = c, i.e. for each column j: Σ_i A[i][j]·y[i] = c[j].
+        for j in 0..n {
+            let aty: f64 = (0..n).map(|i| a[i][j] * y[i]).sum();
+            assert!((aty - c[j]).abs() < 1e-9, "col {j}: {aty} vs {}", c[j]);
+        }
+    }
+
+    #[test]
+    fn identity() {
+        let a: &[&[f64]] = &[&[1.0, 0.0], &[0.0, 1.0]];
+        check_solve(a, &[3.0, -4.0]);
+        check_solve_transpose(a, &[1.5, 2.5]);
+    }
+
+    #[test]
+    fn requires_row_pivoting() {
+        // Zero on the natural diagonal forces a permutation.
+        let a: &[&[f64]] = &[&[0.0, 2.0, 0.0], &[1.0, 0.0, 0.5], &[0.0, 1.0, 1.0]];
+        check_solve(a, &[1.0, 2.0, 3.0]);
+        check_solve_transpose(a, &[-1.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn dense_3x3() {
+        let a: &[&[f64]] = &[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]];
+        check_solve(a, &[12.0, -25.0, 32.0]);
+        check_solve_transpose(a, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let cols = dense_cols(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let r = SparseLu::factorize(2, |j, buf| buf.extend_from_slice(&cols[j]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn larger_random_matrix() {
+        // Deterministic pseudo-random sparse diagonally-dominant matrix.
+        let n = 60;
+        let mut a = vec![vec![0.0f64; n]; n];
+        let mut state = 0x12345678u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) - 1.0
+        };
+        for i in 0..n {
+            for _ in 0..5 {
+                let j = ((rnd().abs() * n as f64) as usize).min(n - 1);
+                a[i][j] += rnd();
+            }
+            a[i][i] += 8.0; // dominance => nonsingular
+        }
+        let refs: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 2.0).collect();
+        check_solve(&refs, &b);
+        check_solve_transpose(&refs, &b);
+    }
+
+    #[test]
+    fn pivot_order_differs_from_column_order_is_consistent() {
+        // Solve with a matrix whose pivoting shuffles rows, verify A·x = b
+        // through the public interface only.
+        let a: &[&[f64]] = &[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 3.0, 1.0],
+            &[5.0, 0.0, 0.0, 2.0],
+            &[0.0, 0.5, 0.0, 1.0],
+        ];
+        check_solve(a, &[1.0, -1.0, 2.0, 0.0]);
+        check_solve_transpose(a, &[0.0, 1.0, 0.0, -2.0]);
+    }
+}

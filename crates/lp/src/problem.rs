@@ -1,0 +1,144 @@
+//! LP model builder.
+
+use crate::simplex::{solve_simplex, LpSolution, SimplexOptions};
+
+/// Identifier of a decision variable (index into the model's columns).
+pub type VarId = usize;
+
+/// Sense of a linear constraint row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowSense {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A linear program with bounded variables:
+///
+/// ```text
+/// max/min  c·x
+/// s.t.     a_i·x {≤,≥,=} b_i   for every row i
+///          l ≤ x ≤ u
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    maximize: bool,
+    pub(crate) obj: Vec<f64>,
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) cols: Vec<Vec<(usize, f64)>>,
+    pub(crate) sense: Vec<RowSense>,
+    pub(crate) rhs: Vec<f64>,
+}
+
+impl LinearProgram {
+    /// An empty model (minimisation by default).
+    pub fn new() -> Self {
+        LinearProgram::default()
+    }
+
+    /// Sets the optimisation direction.
+    pub fn set_maximize(&mut self, maximize: bool) {
+        self.maximize = maximize;
+    }
+
+    /// Whether the model maximises its objective.
+    pub fn is_maximize(&self) -> bool {
+        self.maximize
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and objective
+    /// coefficient `obj`. At least one bound must be finite.
+    pub fn add_var(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
+        assert!(
+            lower.is_finite() || upper.is_finite(),
+            "free variables are not supported"
+        );
+        assert!(lower <= upper, "empty variable domain [{lower}, {upper}]");
+        self.obj.push(obj);
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.cols.push(Vec::new());
+        self.obj.len() - 1
+    }
+
+    /// Adds a constraint row. `coeffs` lists `(variable, coefficient)`
+    /// pairs; duplicates are summed.
+    pub fn add_row(&mut self, sense: RowSense, rhs: f64, coeffs: &[(VarId, f64)]) -> usize {
+        let row = self.rhs.len();
+        self.sense.push(sense);
+        self.rhs.push(rhs);
+        for &(v, c) in coeffs {
+            assert!(v < self.cols.len(), "unknown variable {v}");
+            if c != 0.0 {
+                self.cols[v].push((row, c));
+            }
+        }
+        row
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Solves the LP with default options.
+    pub fn solve(&self) -> LpSolution {
+        self.solve_with(&SimplexOptions::default())
+    }
+
+    /// Solves the LP with explicit simplex options.
+    pub fn solve_with(&self, options: &SimplexOptions) -> LpSolution {
+        solve_simplex(self, &self.lower, &self.upper, options)
+    }
+
+    /// Solves the LP with per-variable bound overrides (used by branch &
+    /// bound to fix / tighten integer variables without copying the matrix).
+    pub fn solve_with_bounds(
+        &self,
+        lower: &[f64],
+        upper: &[f64],
+        options: &SimplexOptions,
+    ) -> LpSolution {
+        assert_eq!(lower.len(), self.num_vars());
+        assert_eq!(upper.len(), self.num_vars());
+        solve_simplex(self, lower, upper, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_bookkeeping() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, f64::INFINITY, 2.0);
+        lp.add_row(RowSense::Le, 5.0, &[(x, 1.0), (y, 1.0)]);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn free_variables_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_domain_rejected() {
+        let mut lp = LinearProgram::new();
+        lp.add_var(1.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,881 @@
+//! Bounded-variable two-phase revised simplex.
+//!
+//! Implementation notes:
+//!
+//! * Rows are converted to equalities with slack columns whose bounds encode
+//!   the sense (`≤ → s ∈ [0, ∞)`, `≥ → s ∈ (−∞, 0]`, `= → s ∈ [0, 0]`).
+//! * Phase 1 installs artificial columns only on rows whose slack start
+//!   value violates its bounds, and minimises the sum of artificials; on
+//!   success artificials are fixed to `[0, 0]` and phase 2 optimises the
+//!   real objective.
+//! * The basis inverse is kept as a sparse LU factorisation
+//!   ([`crate::lu::SparseLu`]) of a reference basis plus a product-form eta
+//!   file; the basis is refactorised every `refactor_interval` pivots, which
+//!   also recomputes the basic values to wash out drift.
+//! * Pricing is Dantzig (most negative reduced cost) with an automatic
+//!   switch to Bland's rule after a long degenerate stall, restoring the
+//!   termination guarantee.
+//! * The ratio test performs bound flips for the entering variable when the
+//!   opposite bound is reached first, and breaks near-ties by pivot
+//!   magnitude for numerical stability.
+
+use crate::lu::SparseLu;
+use crate::problem::{LinearProgram, RowSense};
+use crate::sparse::CscMatrix;
+
+/// Options controlling the simplex method.
+#[derive(Clone, Debug)]
+pub struct SimplexOptions {
+    /// Hard iteration cap; 0 means automatic (`1000 + 40·(m+n)`).
+    pub max_iterations: usize,
+    /// Pivots between basis refactorisations.
+    pub refactor_interval: usize,
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Dual (reduced-cost) tolerance.
+    pub opt_tol: f64,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub stall_threshold: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_iterations: 0,
+            refactor_interval: 96,
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            stall_threshold: 800,
+        }
+    }
+}
+
+/// Termination status of an LP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Optimal solution found.
+    Optimal,
+    /// No feasible point exists (phase 1 could not reach zero).
+    Infeasible,
+    /// Objective unbounded along a feasible ray.
+    Unbounded,
+    /// Iteration limit hit before convergence.
+    IterationLimit,
+    /// Numerical failure (singular basis after recovery attempts).
+    Numerical,
+}
+
+/// Result of an LP solve.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Termination status; `objective`/`values` are meaningful for
+    /// [`LpStatus::Optimal`] only.
+    pub status: LpStatus,
+    /// Objective value in the *user's* orientation (max or min).
+    pub objective: f64,
+    /// Values of the structural variables.
+    pub values: Vec<f64>,
+    /// Simplex iterations performed (both phases).
+    pub iterations: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum VarStatus {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Eta {
+    pos: usize,
+    pivot: f64,
+    // Entries of the FTRAN column t, excluding the pivot position.
+    entries: Vec<(usize, f64)>,
+}
+
+const PIVOT_TOL: f64 = 1e-9;
+
+struct Solver<'a> {
+    m: usize,
+    n_struct: usize,
+    a: CscMatrix, // structural + slack + artificial columns
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    cost: Vec<f64>, // phase-dependent
+    real_cost: Vec<f64>,
+    status: Vec<VarStatus>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    rhs: Vec<f64>,
+    lu: Option<SparseLu>,
+    etas: Vec<Eta>,
+    opts: &'a SimplexOptions,
+    // scratch
+    scratch_a: Vec<f64>,
+    scratch_b: Vec<f64>,
+    y: Vec<f64>,
+    t: Vec<f64>,
+    t_pattern: Vec<usize>,
+    iterations: usize,
+    degenerate_streak: usize,
+    bland: bool,
+}
+
+/// Solves `lp` with the given structural-variable bounds (callers may
+/// override the model's own bounds, which branch & bound relies on).
+pub fn solve_simplex(
+    lp: &LinearProgram,
+    lower: &[f64],
+    upper: &[f64],
+    opts: &SimplexOptions,
+) -> LpSolution {
+    let m = lp.num_rows();
+    let n = lp.num_vars();
+    for j in 0..n {
+        if lower[j] > upper[j] {
+            return LpSolution {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+                iterations: 0,
+            };
+        }
+    }
+    if m == 0 {
+        // Box-constrained optimum: each variable at its best finite bound.
+        let mut values = vec![0.0; n];
+        let mut obj = 0.0;
+        let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
+        for j in 0..n {
+            let c = sign * lp.obj[j];
+            let v = if c > 0.0 {
+                lower[j]
+            } else if c < 0.0 {
+                upper[j]
+            } else {
+                lower[j].max(upper[j].min(0.0))
+            };
+            if !v.is_finite() {
+                return LpSolution {
+                    status: LpStatus::Unbounded,
+                    objective: 0.0,
+                    values: Vec::new(),
+                    iterations: 0,
+                };
+            }
+            values[j] = v;
+            obj += lp.obj[j] * v;
+        }
+        return LpSolution {
+            status: LpStatus::Optimal,
+            objective: obj,
+            values,
+            iterations: 0,
+        };
+    }
+
+    let mut solver = Solver::build(lp, lower, upper, opts);
+    let (status, iterations) = solver.run();
+    let mut objective = 0.0;
+    let mut values = vec![0.0; n];
+    if status == LpStatus::Optimal {
+        for j in 0..n {
+            let v = solver.value_of(j);
+            values[j] = v;
+            objective += lp.obj[j] * v;
+        }
+    }
+    LpSolution {
+        status,
+        objective,
+        values,
+        iterations,
+    }
+}
+
+impl<'a> Solver<'a> {
+    fn build(lp: &LinearProgram, lower_s: &[f64], upper_s: &[f64], opts: &'a SimplexOptions) -> Self {
+        let m = lp.num_rows();
+        let n = lp.num_vars();
+        let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
+
+        let mut columns: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n + m);
+        let mut lower = Vec::with_capacity(n + 2 * m);
+        let mut upper = Vec::with_capacity(n + 2 * m);
+        let mut real_cost = Vec::with_capacity(n + 2 * m);
+        for j in 0..n {
+            columns.push(lp.cols[j].clone());
+            lower.push(lower_s[j]);
+            upper.push(upper_s[j]);
+            real_cost.push(sign * lp.obj[j]);
+        }
+        // Slack columns.
+        for i in 0..m {
+            columns.push(vec![(i, 1.0)]);
+            let (lo, hi) = match lp.sense[i] {
+                RowSense::Le => (0.0, f64::INFINITY),
+                RowSense::Ge => (f64::NEG_INFINITY, 0.0),
+                RowSense::Eq => (0.0, 0.0),
+            };
+            lower.push(lo);
+            upper.push(hi);
+            real_cost.push(0.0);
+        }
+
+        // Initial nonbasic statuses for structural variables.
+        let mut status = Vec::with_capacity(n + 2 * m);
+        for j in 0..n {
+            status.push(initial_bound_status(lower[j], upper[j]));
+        }
+
+        // Row activity with nonbasic structural values.
+        let mut activity = vec![0.0; m];
+        for j in 0..n {
+            let v = nonbasic_value(lower[j], upper[j], status[j]);
+            if v != 0.0 {
+                for &(r, c) in &columns[j] {
+                    activity[r] += c * v;
+                }
+            }
+        }
+
+        // Slack / artificial installation. Slack statuses occupy indices
+        // n..n+m; artificial columns (and their statuses) strictly follow at
+        // n+m.., keeping `is_artificial` a simple index test.
+        let mut basis = Vec::with_capacity(m);
+        let mut xb = Vec::with_capacity(m);
+        let mut artificials: Vec<(usize, f64, f64)> = Vec::new(); // (row, sign, value)
+        for i in 0..m {
+            let sj = n + i;
+            let want = lp.rhs[i] - activity[i];
+            if want >= lower[sj] - opts.feas_tol && want <= upper[sj] + opts.feas_tol {
+                status.push(VarStatus::Basic(i));
+                basis.push(sj);
+                xb.push(want);
+            } else {
+                // Slack pinned to its nearest bound; artificial covers the rest.
+                let pinned = want.clamp(lower[sj], upper[sj]);
+                status.push(if lower[sj].is_finite() && pinned == lower[sj] {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::AtUpper
+                });
+                let residual = want - pinned;
+                artificials.push((i, residual.signum(), residual.abs()));
+                basis.push(usize::MAX); // patched below once index is known
+                xb.push(residual.abs());
+            }
+        }
+        for &(i, sign, _value) in &artificials {
+            let aj = columns.len();
+            columns.push(vec![(i, sign)]);
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            real_cost.push(0.0);
+            status.push(VarStatus::Basic(i));
+            basis[i] = aj;
+        }
+
+        let a = CscMatrix::from_columns(m, &columns);
+        let n_total = a.ncols();
+        debug_assert_eq!(status.len(), n_total);
+
+        Solver {
+            m,
+            n_struct: n,
+            a,
+            lower,
+            upper,
+            cost: vec![0.0; n_total],
+            real_cost,
+            status,
+            basis,
+            xb,
+            rhs: lp.rhs.clone(),
+            lu: None,
+            etas: Vec::new(),
+            opts,
+            scratch_a: vec![0.0; m],
+            scratch_b: vec![0.0; m],
+            y: vec![0.0; m],
+            t: vec![0.0; m],
+            t_pattern: Vec::new(),
+            iterations: 0,
+            degenerate_streak: 0,
+            bland: false,
+        }
+    }
+
+    #[inline]
+    fn n_total(&self) -> usize {
+        self.a.ncols()
+    }
+
+    #[inline]
+    fn is_artificial(&self, j: usize) -> bool {
+        j >= self.n_struct + self.m
+    }
+
+    fn value_of(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::Basic(p) => self.xb[p],
+            s => nonbasic_value(self.lower[j], self.upper[j], s),
+        }
+    }
+
+    fn max_iterations(&self) -> usize {
+        if self.opts.max_iterations > 0 {
+            self.opts.max_iterations
+        } else {
+            1000 + 40 * (self.m + self.n_total())
+        }
+    }
+
+    fn run(&mut self) -> (LpStatus, usize) {
+        if self.refactorize().is_err() {
+            return (LpStatus::Numerical, self.iterations);
+        }
+
+        // Phase 1: minimise Σ artificials (if any are in the basis).
+        let has_artificials = self.n_total() > self.n_struct + self.m;
+        if has_artificials {
+            for j in 0..self.n_total() {
+                self.cost[j] = if self.is_artificial(j) { 1.0 } else { 0.0 };
+            }
+            match self.optimize() {
+                Ok(()) => {}
+                Err(st) => return (st, self.iterations),
+            }
+            let infeas: f64 = (self.n_struct + self.m..self.n_total())
+                .map(|j| self.value_of(j))
+                .sum();
+            if infeas > self.opts.feas_tol * 10.0 * (1.0 + self.m as f64).sqrt() {
+                return (LpStatus::Infeasible, self.iterations);
+            }
+            // Fix artificials at zero for phase 2.
+            for j in self.n_struct + self.m..self.n_total() {
+                self.lower[j] = 0.0;
+                self.upper[j] = 0.0;
+            }
+        }
+
+        // Phase 2: the real objective.
+        self.cost.copy_from_slice(&self.real_cost);
+        self.bland = false;
+        self.degenerate_streak = 0;
+        match self.optimize() {
+            Ok(()) => (LpStatus::Optimal, self.iterations),
+            Err(st) => (st, self.iterations),
+        }
+    }
+
+    /// Runs primal iterations until optimality for the current cost vector.
+    fn optimize(&mut self) -> Result<(), LpStatus> {
+        let max_iters = self.max_iterations();
+        loop {
+            if self.iterations >= max_iters {
+                return Err(LpStatus::IterationLimit);
+            }
+            self.iterations += 1;
+
+            self.compute_duals();
+            let entering = self.price();
+            let Some((q, dir)) = entering else {
+                return Ok(()); // optimal for current costs
+            };
+            self.ftran(q);
+
+            match self.ratio_test(q, dir) {
+                RatioOutcome::Unbounded => return Err(LpStatus::Unbounded),
+                RatioOutcome::BoundFlip(step) => {
+                    // Entering variable jumps to its opposite bound.
+                    let delta = dir * step;
+                    for &p in &self.t_pattern {
+                        self.xb[p] -= delta * self.t[p];
+                    }
+                    self.status[q] = match self.status[q] {
+                        VarStatus::AtLower => VarStatus::AtUpper,
+                        VarStatus::AtUpper => VarStatus::AtLower,
+                        b => b,
+                    };
+                    if step <= self.opts.feas_tol {
+                        self.note_degenerate(true);
+                    } else {
+                        self.note_degenerate(false);
+                    }
+                }
+                RatioOutcome::Pivot { pos, step, to_upper } => {
+                    let delta = dir * step;
+                    let xq_new = nonbasic_value(self.lower[q], self.upper[q], self.status[q]) + delta;
+                    for &p in &self.t_pattern {
+                        self.xb[p] -= delta * self.t[p];
+                    }
+                    let leaving = self.basis[pos];
+                    self.status[leaving] = if to_upper {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                    self.basis[pos] = q;
+                    self.status[q] = VarStatus::Basic(pos);
+                    self.xb[pos] = xq_new;
+
+                    // Record the eta before clearing t.
+                    let pivot = self.t[pos];
+                    let mut entries = Vec::with_capacity(self.t_pattern.len());
+                    for &p in &self.t_pattern {
+                        if p != pos && self.t[p] != 0.0 {
+                            entries.push((p, self.t[p]));
+                        }
+                    }
+                    self.etas.push(Eta {
+                        pos,
+                        pivot,
+                        entries,
+                    });
+                    self.note_degenerate(step <= self.opts.feas_tol);
+
+                    if self.etas.len() >= self.opts.refactor_interval {
+                        self.refactorize().map_err(|_| LpStatus::Numerical)?;
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_degenerate(&mut self, degenerate: bool) {
+        if degenerate {
+            self.degenerate_streak += 1;
+            if self.degenerate_streak > self.opts.stall_threshold {
+                self.bland = true;
+            }
+        } else {
+            self.degenerate_streak = 0;
+            self.bland = false;
+        }
+    }
+
+    /// y = Bᵀ⁻¹ c_B via the eta file and the LU transpose solve.
+    fn compute_duals(&mut self) {
+        let m = self.m;
+        let u = &mut self.scratch_a;
+        for p in 0..m {
+            u[p] = self.cost[self.basis[p]];
+        }
+        for eta in self.etas.iter().rev() {
+            // uᵀ ← uᵀ E⁻¹: only component `pos` changes.
+            let mut dot = 0.0;
+            for &(p, v) in &eta.entries {
+                dot += v * u[p];
+            }
+            u[eta.pos] = (u[eta.pos] - dot) / eta.pivot;
+        }
+        self.lu
+            .as_ref()
+            .expect("factorized")
+            .solve_transpose(u, &mut self.y);
+    }
+
+    /// Chooses the entering variable; returns `(column, direction)` where
+    /// direction +1 means increase from lower bound, −1 decrease from upper.
+    fn price(&self) -> Option<(usize, f64)> {
+        let tol = self.opts.opt_tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
+        for j in 0..self.n_total() {
+            let (dir, d) = match self.status[j] {
+                VarStatus::Basic(_) => continue,
+                VarStatus::AtLower => {
+                    if self.upper[j] - self.lower[j] <= 0.0 {
+                        continue; // fixed
+                    }
+                    let d = self.reduced_cost(j);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarStatus::AtUpper => {
+                    if self.upper[j] - self.lower[j] <= 0.0 {
+                        continue;
+                    }
+                    let d = self.reduced_cost(j);
+                    if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if self.bland {
+                return Some((j, dir));
+            }
+            if best.map(|(_, _, s)| d > s).unwrap_or(true) {
+                best = Some((j, dir, d));
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    #[inline]
+    fn reduced_cost(&self, j: usize) -> f64 {
+        self.cost[j] - self.a.col_dot(j, &self.y)
+    }
+
+    /// t = B⁻¹ a_q (dense with recorded pattern).
+    fn ftran(&mut self, q: usize) {
+        let m = self.m;
+        for p in 0..m {
+            self.scratch_a[p] = 0.0;
+        }
+        {
+            let (rows, vals) = self.a.col(q);
+            for (&r, &v) in rows.iter().zip(vals) {
+                self.scratch_a[r] = v;
+            }
+        }
+        self.lu
+            .as_ref()
+            .expect("factorized")
+            .solve(&mut self.scratch_a, &mut self.t);
+        for eta in &self.etas {
+            let tr = self.t[eta.pos] / eta.pivot;
+            self.t[eta.pos] = tr;
+            if tr != 0.0 {
+                for &(p, v) in &eta.entries {
+                    self.t[p] -= v * tr;
+                }
+            }
+        }
+        self.t_pattern.clear();
+        for p in 0..m {
+            if self.t[p].abs() > 1e-12 {
+                self.t_pattern.push(p);
+            } else {
+                self.t[p] = 0.0;
+            }
+        }
+    }
+
+    fn ratio_test(&self, q: usize, dir: f64) -> RatioOutcome {
+        let feas_tol = self.opts.feas_tol;
+        // Bound-flip distance of the entering variable itself.
+        let range = self.upper[q] - self.lower[q];
+        let mut best_step = range; // may be +inf
+        let mut best: Option<(usize, bool, f64)> = None; // (pos, to_upper, |pivot|)
+
+        for &p in &self.t_pattern {
+            let tp = self.t[p];
+            if tp.abs() < PIVOT_TOL {
+                continue;
+            }
+            let b = self.basis[p];
+            // xb[p] changes at rate -dir*tp per unit of entering step.
+            let rate = -dir * tp;
+            let (limit, to_upper) = if rate < 0.0 {
+                if self.lower[b] == f64::NEG_INFINITY {
+                    continue;
+                }
+                (((self.xb[p] - self.lower[b]).max(0.0)) / -rate, false)
+            } else {
+                if self.upper[b] == f64::INFINITY {
+                    continue;
+                }
+                (((self.upper[b] - self.xb[p]).max(0.0)) / rate, true)
+            };
+            if limit < best_step - feas_tol {
+                best_step = limit;
+                best = Some((p, to_upper, tp.abs()));
+            } else if limit <= best_step + feas_tol {
+                // Near-tie: prefer larger pivot magnitude (stability), or
+                // smallest variable index under Bland's rule.
+                if let Some((bp, _, babs)) = best {
+                    let replace = if self.bland {
+                        self.basis[p] < self.basis[bp]
+                    } else {
+                        tp.abs() > babs
+                    };
+                    if replace {
+                        best_step = best_step.min(limit);
+                        best = Some((p, to_upper, tp.abs()));
+                    }
+                } else if limit < best_step {
+                    best_step = limit;
+                    best = Some((p, to_upper, tp.abs()));
+                }
+            }
+        }
+
+        match best {
+            None => {
+                if best_step.is_finite() {
+                    RatioOutcome::BoundFlip(best_step)
+                } else {
+                    RatioOutcome::Unbounded
+                }
+            }
+            Some((pos, to_upper, _)) => {
+                if range.is_finite() && range < best_step {
+                    RatioOutcome::BoundFlip(range)
+                } else {
+                    RatioOutcome::Pivot {
+                        pos,
+                        step: best_step.max(0.0),
+                        to_upper,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the LU factorisation of the current basis and recomputes the
+    /// basic values from scratch (washing out accumulated drift).
+    fn refactorize(&mut self) -> Result<(), ()> {
+        let a = &self.a;
+        let basis = &self.basis;
+        let lu = SparseLu::factorize(self.m, |p, buf| {
+            let (rows, vals) = a.col(basis[p]);
+            buf.extend(rows.iter().copied().zip(vals.iter().copied()));
+        })
+        .map_err(|_| ())?;
+        self.lu = Some(lu);
+        self.etas.clear();
+
+        // xb = B⁻¹ (rhs − Σ nonbasic a_j v_j)
+        let m = self.m;
+        for p in 0..m {
+            self.scratch_b[p] = self.rhs[p];
+        }
+        for j in 0..self.n_total() {
+            match self.status[j] {
+                VarStatus::Basic(_) => {}
+                s => {
+                    let v = nonbasic_value(self.lower[j], self.upper[j], s);
+                    if v != 0.0 {
+                        self.a.col_axpy(j, -v, &mut self.scratch_b);
+                    }
+                }
+            }
+        }
+        let lu = self.lu.as_ref().unwrap();
+        lu.solve(&mut self.scratch_b, &mut self.scratch_a);
+        self.xb.copy_from_slice(&self.scratch_a[..m]);
+        Ok(())
+    }
+}
+
+enum RatioOutcome {
+    Unbounded,
+    BoundFlip(f64),
+    Pivot { pos: usize, step: f64, to_upper: bool },
+}
+
+#[inline]
+fn initial_bound_status(lower: f64, upper: f64) -> VarStatus {
+    if lower.is_finite() && (lower.abs() <= upper.abs() || !upper.is_finite()) {
+        VarStatus::AtLower
+    } else {
+        VarStatus::AtUpper
+    }
+}
+
+#[inline]
+fn nonbasic_value(lower: f64, upper: f64, status: VarStatus) -> f64 {
+    match status {
+        VarStatus::AtLower => lower,
+        VarStatus::AtUpper => upper,
+        VarStatus::Basic(_) => unreachable!("nonbasic_value on basic variable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LinearProgram, RowSense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn tiny_maximization() {
+        // max 3x + 2y s.t. x + y ≤ 4, x + 3y ≤ 6, 0 ≤ x,y ≤ 10 → x=4, y=0.
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 10.0, 3.0);
+        let y = lp.add_var(0.0, 10.0, 2.0);
+        lp.add_row(RowSense::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(RowSense::Le, 6.0, &[(x, 1.0), (y, 3.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 12.0);
+        assert_close(s.values[x], 4.0);
+        assert_close(s.values[y], 0.0);
+    }
+
+    #[test]
+    fn classic_lp_with_interior_optimum_vertex() {
+        // max 5x + 4y s.t. 6x + 4y ≤ 24, x + 2y ≤ 6 → x=3, y=1.5, obj=21.
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 100.0, 5.0);
+        let y = lp.add_var(0.0, 100.0, 4.0);
+        lp.add_row(RowSense::Le, 24.0, &[(x, 6.0), (y, 4.0)]);
+        lp.add_row(RowSense::Le, 6.0, &[(x, 1.0), (y, 2.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 21.0);
+        assert_close(s.values[x], 3.0);
+        assert_close(s.values[y], 1.5);
+    }
+
+    #[test]
+    fn equality_rows_need_phase_one() {
+        // min x + y s.t. x + y = 2, x − y = 0 → x=y=1, obj=2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(RowSense::Eq, 2.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(RowSense::Eq, 0.0, &[(x, 1.0), (y, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+        assert_close(s.values[x], 1.0);
+        assert_close(s.values[y], 1.0);
+    }
+
+    #[test]
+    fn ge_rows() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≤ 4 → x=4, y=6, obj=26.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 4.0, 2.0);
+        let y = lp.add_var(0.0, 100.0, 3.0);
+        lp.add_row(RowSense::Ge, 10.0, &[(x, 1.0), (y, 1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 26.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≤ 1 and x ≥ 3 with 0 ≤ x ≤ 10.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(RowSense::Le, 1.0, &[(x, 1.0)]);
+        lp.add_row(RowSense::Ge, 3.0, &[(x, 1.0)]);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with x ≥ 0 unbounded above, one irrelevant row.
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let _x = lp.add_var(0.0, f64::INFINITY, 1.0);
+        let y = lp.add_var(0.0, 1.0, 0.0);
+        lp.add_row(RowSense::Le, 1.0, &[(y, 1.0)]);
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // max x + y s.t. x − y ≤ 0, x,y ∈ [0,1] → x=y=1: requires y to move
+        // to its upper bound (bound flip or pivot).
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        let y = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(RowSense::Le, 0.0, &[(x, 1.0), (y, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_equality() {
+        // min x s.t. −x = −5 → x = 5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(RowSense::Eq, -5.0, &[(x, -1.0)]);
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.values[x], 5.0);
+    }
+
+    #[test]
+    fn degenerate_instance_terminates() {
+        // Many redundant rows through the same vertex.
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        let y = lp.add_var(0.0, 10.0, 1.0);
+        for k in 1..8 {
+            lp.add_row(RowSense::Le, k as f64, &[(x, k as f64), (y, k as f64)]);
+        }
+        let s = lp.solve();
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 1.0);
+    }
+
+    #[test]
+    fn solve_with_bounds_overrides() {
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(RowSense::Le, 8.0, &[(x, 1.0)]);
+        let s = lp.solve_with_bounds(&[0.0], &[3.0], &SimplexOptions::default());
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn larger_randomised_vs_bruteforce_2d() {
+        // Random 2-variable LPs cross-checked against a dense vertex
+        // enumeration. Catches sign errors in pricing / ratio logic.
+        let mut state = 0xdeadbeefu64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 2.0 - 1.0
+        };
+        for trial in 0..200 {
+            let mut lp = LinearProgram::new();
+            lp.set_maximize(true);
+            let cx = rnd();
+            let cy = rnd();
+            let x = lp.add_var(0.0, 1.0, cx);
+            let y = lp.add_var(0.0, 1.0, cy);
+            let mut rows = Vec::new();
+            for _ in 0..4 {
+                let a = rnd();
+                let b = rnd();
+                let c = rnd() + 1.2; // keep origin feasible
+                lp.add_row(RowSense::Le, c, &[(x, a), (y, b)]);
+                rows.push((a, b, c));
+            }
+            let s = lp.solve();
+            assert_eq!(s.status, LpStatus::Optimal, "trial {trial}");
+            // brute force on a fine grid (origin is feasible so optimum ≥ 0 grid pt)
+            let mut best = f64::NEG_INFINITY;
+            let n = 200;
+            for i in 0..=n {
+                for jj in 0..=n {
+                    let px = i as f64 / n as f64;
+                    let py = jj as f64 / n as f64;
+                    if rows.iter().all(|&(a, b, c)| a * px + b * py <= c + 1e-9) {
+                        best = best.max(cx * px + cy * py);
+                    }
+                }
+            }
+            assert!(
+                s.objective >= best - 1e-6,
+                "trial {trial}: simplex {} < grid {}",
+                s.objective,
+                best
+            );
+            // and the simplex solution must itself be feasible
+            for &(a, b, c) in &rows {
+                assert!(a * s.values[x] + b * s.values[y] <= c + 1e-6, "trial {trial}");
+            }
+        }
+    }
+}

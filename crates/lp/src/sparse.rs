@@ -1,0 +1,149 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! The simplex method accesses the constraint matrix strictly by column
+//! (pricing computes `yᵀ·a_j`, FTRAN solves against one column), so CSC is
+//! the only layout we need.
+
+/// A sparse matrix in compressed sparse column format.
+#[derive(Clone, Debug)]
+pub struct CscMatrix {
+    nrows: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from per-column entry lists. Entries within a
+    /// column may be unsorted and may contain duplicates (summed).
+    pub fn from_columns(nrows: usize, columns: &[Vec<(usize, f64)>]) -> Self {
+        let mut col_ptr = Vec::with_capacity(columns.len() + 1);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        col_ptr.push(0);
+        let mut buf: Vec<(usize, f64)> = Vec::new();
+        for col in columns {
+            buf.clear();
+            buf.extend_from_slice(col);
+            buf.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < buf.len() {
+                let r = buf[i].0;
+                debug_assert!(r < nrows, "row index {r} out of bounds ({nrows} rows)");
+                let mut v = 0.0;
+                while i < buf.len() && buf[i].0 == r {
+                    v += buf[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            nrows,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.col_ptr.len() - 1
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The (row indices, values) of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    #[inline]
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        let mut acc = 0.0;
+        for (&r, &v) in rows.iter().zip(vals) {
+            acc += v * y[r];
+        }
+        acc
+    }
+
+    /// Scatters `scale × column j` into a dense vector: `out[r] += scale·v`.
+    #[inline]
+    pub fn col_axpy(&self, j: usize, scale: f64, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            out[r] += scale * v;
+        }
+    }
+
+    /// Dense `m×n` reconstruction (tests only; quadratic memory).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; self.ncols()]; self.nrows];
+        for j in 0..self.ncols() {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                out[r][j] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_and_dedups() {
+        let m = CscMatrix::from_columns(3, &[vec![(2, 1.0), (0, 2.0), (2, 3.0)], vec![], vec![(1, -1.0)]]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 3);
+        let (rows, vals) = m.col(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 4.0]);
+        assert_eq!(m.col(1).0.len(), 0);
+    }
+
+    #[test]
+    fn drops_exact_zero_sums() {
+        let m = CscMatrix::from_columns(2, &[vec![(0, 1.0), (0, -1.0)]]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let m = CscMatrix::from_columns(2, &[vec![(0, 2.0), (1, 3.0)]]);
+        assert_eq!(m.col_dot(0, &[1.0, 10.0]), 32.0);
+        let mut out = vec![0.0, 1.0];
+        m.col_axpy(0, 0.5, &mut out);
+        assert_eq!(out, vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let cols = vec![vec![(0, 1.0)], vec![(1, 5.0), (0, -2.0)]];
+        let m = CscMatrix::from_columns(2, &cols);
+        assert_eq!(m.to_dense(), vec![vec![1.0, -2.0], vec![0.0, 5.0]]);
+    }
+}

@@ -1,0 +1,350 @@
+//! The paper's MILP formulation (§3.1, Equations 1–7) built from a
+//! [`ProblemInstance`], with presolve.
+//!
+//! Variables: `e_jh ∈ {0,1}` (relaxed to `[0,1]`) places service `j` on node
+//! `h`; `y_jh ∈ [0,1]` is its yield there; `Y` is the minimum yield.
+//!
+//! ```text
+//! max Y
+//! (3) ∀j          Σ_h e_jh = 1
+//! (4) ∀j,h        y_jh ≤ e_jh
+//! (5) ∀j,h,d      e_jh·rᵉ_jd + y_jh·nᵉ_jd ≤ cᵉ_hd
+//! (6) ∀h,d        Σ_j (e_jh·rᵃ_jd + y_jh·nᵃ_jd) ≤ cᵃ_hd
+//! (7) ∀j          Σ_h y_jh ≥ Y
+//! ```
+//!
+//! Presolve (exact, loss-free):
+//! * pairs `(j,h)` whose rigid requirements exceed a capacity of `h` in any
+//!   dimension get no variables at all (`e_jh = y_jh = 0` is forced);
+//! * elementary rows (5) with `rᵉ_jd + nᵉ_jd ≤ cᵉ_hd` can never bind for
+//!   `e, y ∈ [0,1]` and are dropped — on the paper's workloads this removes
+//!   the bulk of the rows (memory is poolable, so its elementary rows are
+//!   all redundant);
+//! * aggregate rows (6) are dropped when even the sum of *all* services'
+//!   `rᵃ + nᵃ` fits.
+
+use crate::milp::{solve_milp, MilpOptions, MilpStatus};
+use crate::problem::{LinearProgram, RowSense, VarId};
+use crate::simplex::{LpStatus, SimplexOptions};
+use vmplace_model::{Placement, ProblemInstance};
+
+/// The LP/MILP encoding of an instance, with variable maps.
+pub struct YieldLp {
+    lp: LinearProgram,
+    e_vars: Vec<Vec<Option<VarId>>>,
+    y_vars: Vec<Vec<Option<VarId>>>,
+    y_min: VarId,
+    num_nodes: usize,
+}
+
+/// Solution of the rational relaxation.
+#[derive(Clone, Debug)]
+pub struct RelaxedSolution {
+    /// Optimal relaxed objective — an upper bound on the achievable
+    /// minimum yield of any (integral) placement.
+    pub objective: f64,
+    /// Fractional placement matrix `e[j][h]` (rows sum to 1 over feasible
+    /// nodes; structurally impossible pairs are exactly 0).
+    pub e: Vec<Vec<f64>>,
+    /// Fractional yields `y[j][h]`.
+    pub y: Vec<Vec<f64>>,
+    /// Simplex iterations used.
+    pub iterations: usize,
+}
+
+impl YieldLp {
+    /// Builds the MILP for `instance`. Returns `None` when some service has
+    /// no node that can satisfy its rigid requirements (the instance is
+    /// trivially infeasible).
+    pub fn build(instance: &ProblemInstance) -> Option<YieldLp> {
+        let h_count = instance.num_nodes();
+        let j_count = instance.num_services();
+        let dims = instance.dims();
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let y_min = lp.add_var(0.0, 1.0, 1.0);
+
+        let mut e_vars = vec![vec![None; h_count]; j_count];
+        let mut y_vars = vec![vec![None; h_count]; j_count];
+
+        for j in 0..j_count {
+            let mut any = false;
+            for h in 0..h_count {
+                if instance.service_fits_empty_node(j, h) {
+                    e_vars[j][h] = Some(lp.add_var(0.0, 1.0, 0.0));
+                    y_vars[j][h] = Some(lp.add_var(0.0, 1.0, 0.0));
+                    any = true;
+                }
+            }
+            if !any {
+                return None;
+            }
+        }
+
+        // (3) placement rows and (7) yield rows.
+        for j in 0..j_count {
+            let placed: Vec<(VarId, f64)> = (0..h_count)
+                .filter_map(|h| e_vars[j][h].map(|v| (v, 1.0)))
+                .collect();
+            lp.add_row(RowSense::Eq, 1.0, &placed);
+            let mut yrow: Vec<(VarId, f64)> = (0..h_count)
+                .filter_map(|h| y_vars[j][h].map(|v| (v, 1.0)))
+                .collect();
+            yrow.push((y_min, -1.0));
+            lp.add_row(RowSense::Ge, 0.0, &yrow);
+        }
+
+        // (4) linking and (5) elementary rows.
+        for j in 0..j_count {
+            let s = &instance.services()[j];
+            for h in 0..h_count {
+                let (Some(e), Some(y)) = (e_vars[j][h], y_vars[j][h]) else {
+                    continue;
+                };
+                lp.add_row(RowSense::Le, 0.0, &[(y, 1.0), (e, -1.0)]);
+                let node = &instance.nodes()[h];
+                for d in 0..dims {
+                    let re = s.req_elem[d];
+                    let ne = s.need_elem[d];
+                    let ce = node.elementary[d];
+                    if re + ne <= ce {
+                        continue; // can never bind for e, y ≤ 1
+                    }
+                    lp.add_row(RowSense::Le, ce, &[(e, re), (y, ne)]);
+                }
+            }
+        }
+
+        // (6) aggregate rows.
+        for h in 0..h_count {
+            let node = &instance.nodes()[h];
+            for d in 0..dims {
+                let worst: f64 = (0..j_count)
+                    .filter(|&j| e_vars[j][h].is_some())
+                    .map(|j| {
+                        let s = &instance.services()[j];
+                        s.req_agg[d] + s.need_agg[d]
+                    })
+                    .sum();
+                if worst <= node.aggregate[d] {
+                    continue;
+                }
+                let mut row: Vec<(VarId, f64)> = Vec::new();
+                for j in 0..j_count {
+                    let (Some(e), Some(y)) = (e_vars[j][h], y_vars[j][h]) else {
+                        continue;
+                    };
+                    let s = &instance.services()[j];
+                    if s.req_agg[d] != 0.0 {
+                        row.push((e, s.req_agg[d]));
+                    }
+                    if s.need_agg[d] != 0.0 {
+                        row.push((y, s.need_agg[d]));
+                    }
+                }
+                lp.add_row(RowSense::Le, node.aggregate[d], &row);
+            }
+        }
+
+        Some(YieldLp {
+            lp,
+            e_vars,
+            y_vars,
+            y_min,
+            num_nodes: h_count,
+        })
+    }
+
+    /// The underlying LP (inspection / custom solves).
+    pub fn lp(&self) -> &LinearProgram {
+        &self.lp
+    }
+
+    /// All placement indicator variables (the MILP's integer set).
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.e_vars
+            .iter()
+            .flat_map(|row| row.iter().filter_map(|v| *v))
+            .collect()
+    }
+
+    /// Solves the rational relaxation (§3.2), yielding the fractional
+    /// placements used by the RRND/RRNZ rounding algorithms and an upper
+    /// bound on the optimal minimum yield.
+    pub fn solve_relaxed(&self, opts: &SimplexOptions) -> Option<RelaxedSolution> {
+        let sol = self.lp.solve_with(opts);
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        let j_count = self.e_vars.len();
+        let mut e = vec![vec![0.0; self.num_nodes]; j_count];
+        let mut y = vec![vec![0.0; self.num_nodes]; j_count];
+        for j in 0..j_count {
+            for h in 0..self.num_nodes {
+                if let Some(v) = self.e_vars[j][h] {
+                    e[j][h] = sol.values[v].clamp(0.0, 1.0);
+                }
+                if let Some(v) = self.y_vars[j][h] {
+                    y[j][h] = sol.values[v].clamp(0.0, 1.0);
+                }
+            }
+        }
+        Some(RelaxedSolution {
+            objective: sol.values[self.y_min],
+            e,
+            y,
+            iterations: sol.iterations,
+        })
+    }
+
+    /// Solves the MILP exactly by branch & bound (practical for small
+    /// instances only). Returns the optimal placement and its minimum yield.
+    pub fn solve_exact(&self, opts: &MilpOptions) -> Option<(Placement, f64)> {
+        let ints = self.integer_vars();
+        let result = solve_milp(&self.lp, &ints, opts);
+        if result.status != MilpStatus::Optimal {
+            return None;
+        }
+        let values = result.values?;
+        let j_count = self.e_vars.len();
+        let mut placement = Placement::empty(j_count);
+        for j in 0..j_count {
+            for h in 0..self.num_nodes {
+                if let Some(v) = self.e_vars[j][h] {
+                    if values[v] > 0.5 {
+                        placement.assign(j, h);
+                        break;
+                    }
+                }
+            }
+        }
+        if !placement.is_complete() {
+            return None;
+        }
+        Some((placement, result.objective.unwrap_or(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{evaluate_placement, Node, ProblemInstance, Service};
+
+    /// Figure 1 of the paper.
+    fn figure1() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let services = vec![Service::new(
+            vec![0.5, 0.5],
+            vec![1.0, 0.5],
+            vec![0.5, 0.0],
+            vec![1.0, 0.0],
+        )];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn figure1_exact_picks_node_b() {
+        let ylp = YieldLp::build(&figure1()).unwrap();
+        let (placement, obj) = ylp.solve_exact(&MilpOptions::default()).unwrap();
+        assert_eq!(placement.node_of(0), Some(1));
+        assert!((obj - 1.0).abs() < 1e-6, "objective {obj}");
+    }
+
+    #[test]
+    fn figure1_relaxation_bounds_exact() {
+        let inst = figure1();
+        let ylp = YieldLp::build(&inst).unwrap();
+        let relaxed = ylp.solve_relaxed(&SimplexOptions::default()).unwrap();
+        assert!(relaxed.objective >= 1.0 - 1e-6);
+        // e rows sum to 1.
+        let sum: f64 = relaxed.e[0].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn milp_objective_matches_waterfill_evaluation() {
+        // Two nodes, three services with fluid CPU needs: the MILP's Y must
+        // equal the shared evaluator's min yield for its own placement.
+        let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.4, 0.6)];
+        let mk = |req: f64, need: f64, mem: f64| {
+            Service::new(
+                vec![req / 2.0, mem],
+                vec![req, mem],
+                vec![need / 2.0, 0.0],
+                vec![need, 0.0],
+            )
+        };
+        let services = vec![mk(0.2, 0.6, 0.3), mk(0.1, 0.5, 0.4), mk(0.15, 0.7, 0.2)];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        let ylp = YieldLp::build(&inst).unwrap();
+        let (placement, obj) = ylp.solve_exact(&MilpOptions::default()).unwrap();
+        let sol = evaluate_placement(&inst, &placement).unwrap();
+        assert!(
+            (sol.min_yield - obj).abs() < 1e-5,
+            "water-fill {} vs MILP {}",
+            sol.min_yield,
+            obj
+        );
+    }
+
+    #[test]
+    fn relaxation_upper_bounds_exact_solution() {
+        let nodes = vec![Node::multicore(2, 0.5, 0.5), Node::multicore(2, 0.3, 0.4)];
+        let mk = |req: f64, need: f64, mem: f64| {
+            Service::new(
+                vec![req / 2.0, mem],
+                vec![req, mem],
+                vec![need / 2.0, 0.0],
+                vec![need, 0.0],
+            )
+        };
+        let services = vec![mk(0.2, 0.5, 0.2), mk(0.1, 0.4, 0.25), mk(0.2, 0.6, 0.15)];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        let ylp = YieldLp::build(&inst).unwrap();
+        let relaxed = ylp.solve_relaxed(&SimplexOptions::default()).unwrap();
+        let (_, exact) = ylp.solve_exact(&MilpOptions::default()).unwrap();
+        assert!(
+            relaxed.objective >= exact - 1e-6,
+            "relaxed {} < exact {}",
+            relaxed.objective,
+            exact
+        );
+    }
+
+    #[test]
+    fn impossible_service_detected() {
+        // Service needs more memory than any node offers.
+        let nodes = vec![Node::multicore(2, 0.5, 0.3)];
+        let services = vec![Service::rigid(vec![0.1, 0.5], vec![0.1, 0.5])];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        assert!(YieldLp::build(&inst).is_none());
+    }
+
+    #[test]
+    fn infeasible_packing_detected_by_milp() {
+        // Two services each needing 0.6 memory, one node with 1.0 total but
+        // they also both rigidly need 0.7 CPU on a 1.0-CPU node.
+        let nodes = vec![Node::multicore(1, 1.0, 1.0)];
+        let svc = Service::rigid(vec![0.7, 0.6], vec![0.7, 0.6]);
+        let inst = ProblemInstance::new(nodes, vec![svc.clone(), svc]).unwrap();
+        let ylp = YieldLp::build(&inst).unwrap();
+        assert!(ylp.solve_exact(&MilpOptions::default()).is_none());
+        // The relaxation is also infeasible (single node, both must be there).
+        assert!(ylp.solve_relaxed(&SimplexOptions::default()).is_none());
+    }
+
+    #[test]
+    fn presolve_drops_redundant_elementary_rows() {
+        // Memory is poolable (elementary = aggregate) and small, so all
+        // memory elementary rows must be dropped. Count rows to confirm the
+        // encoding stays lean.
+        let inst = figure1();
+        let ylp = YieldLp::build(&inst).unwrap();
+        // 1 service, 2 nodes: rows = 1 placement + 1 yield + 2 linking +
+        // elementary CPU rows where 0.5+0.5 > cᵉ (node A: 1.0 > 0.8 → kept;
+        // node B: 1.0 > 1.0 → dropped) + aggregate rows where worst-case
+        // exceeds capacity (CPU node A: 2.0 ≤ 3.2 dropped, node B: 2.0 ≤ 2.0
+        // dropped; memory: 0.5 ≤ 1.0 and 0.5 ≤ 0.5 dropped).
+        assert_eq!(ylp.lp().num_rows(), 1 + 1 + 2 + 1);
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// Two vectors that must share a dimension count do not.
+    DimensionMismatch {
+        /// Expected number of dimensions.
+        expected: usize,
+        /// Number of dimensions actually provided.
+        actual: usize,
+    },
+    /// A capacity, requirement or need was negative or not finite.
+    InvalidValue {
+        /// Human-readable description of the offending field.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An elementary vector exceeds its aggregate counterpart in some
+    /// dimension (a single element can never provide more than the total).
+    ElementaryExceedsAggregate {
+        /// Description of the object ("node 3", "service 17 requirement"…).
+        what: String,
+        /// Dimension in which the violation occurs.
+        dim: usize,
+    },
+    /// The instance has no nodes or no services.
+    EmptyInstance,
+    /// A placement refers to a node index outside the instance.
+    NodeOutOfRange {
+        /// Service whose placement is invalid.
+        service: usize,
+        /// The invalid node index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            ModelError::InvalidValue { what, value } => {
+                write!(f, "invalid value for {what}: {value}")
+            }
+            ModelError::ElementaryExceedsAggregate { what, dim } => {
+                write!(f, "{what}: elementary exceeds aggregate in dimension {dim}")
+            }
+            ModelError::EmptyInstance => write!(f, "instance has no nodes or no services"),
+            ModelError::NodeOutOfRange { service, node } => {
+                write!(f, "service {service} placed on nonexistent node {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

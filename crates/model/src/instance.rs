@@ -1,0 +1,181 @@
+use crate::{ModelError, Node, ResourceVector, Service};
+
+/// A complete problem instance: a heterogeneous platform plus the set of
+/// services to place on it.
+#[derive(Clone, Debug)]
+pub struct ProblemInstance {
+    nodes: Vec<Node>,
+    services: Vec<Service>,
+    dims: usize,
+}
+
+impl ProblemInstance {
+    /// Builds and validates an instance.
+    pub fn new(nodes: Vec<Node>, services: Vec<Service>) -> Result<Self, ModelError> {
+        if nodes.is_empty() || services.is_empty() {
+            return Err(ModelError::EmptyInstance);
+        }
+        let dims = nodes[0].dims();
+        for (h, n) in nodes.iter().enumerate() {
+            if n.dims() != dims {
+                return Err(ModelError::DimensionMismatch {
+                    expected: dims,
+                    actual: n.dims(),
+                });
+            }
+            n.validate(&h.to_string())?;
+        }
+        for (j, s) in services.iter().enumerate() {
+            if s.dims() != dims {
+                return Err(ModelError::DimensionMismatch {
+                    expected: dims,
+                    actual: s.dims(),
+                });
+            }
+            s.validate(&j.to_string())?;
+        }
+        Ok(ProblemInstance {
+            nodes,
+            services,
+            dims,
+        })
+    }
+
+    /// Number of resource dimensions `D`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The platform's nodes.
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The services to place.
+    #[inline]
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+
+    /// Number of nodes `H`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of services `J`.
+    #[inline]
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Returns a copy of this instance with different services (used by the
+    /// error-experiment pipeline, which solves with *estimated* needs and
+    /// evaluates with *true* needs).
+    pub fn with_services(&self, services: Vec<Service>) -> Result<Self, ModelError> {
+        ProblemInstance::new(self.nodes.clone(), services)
+    }
+
+    /// Whether a service's rigid requirements can be satisfied on a node
+    /// that is otherwise empty (elementary and aggregate, every dimension).
+    pub fn service_fits_empty_node(&self, j: usize, h: usize) -> bool {
+        let s = &self.services[j];
+        let n = &self.nodes[h];
+        s.req_elem.le(&n.elementary, crate::EPSILON) && s.req_agg.le(&n.aggregate, crate::EPSILON)
+    }
+
+    /// Aggregate statistics used by generators and reports.
+    pub fn stats(&self) -> InstanceStats {
+        let mut total_capacity = ResourceVector::zeros(self.dims);
+        for n in &self.nodes {
+            total_capacity.add_assign(&n.aggregate);
+        }
+        let mut total_requirement = ResourceVector::zeros(self.dims);
+        let mut total_need = ResourceVector::zeros(self.dims);
+        for s in &self.services {
+            total_requirement.add_assign(&s.req_agg);
+            total_need.add_assign(&s.need_agg);
+        }
+        InstanceStats {
+            total_capacity,
+            total_requirement,
+            total_need,
+        }
+    }
+}
+
+/// Sums of capacities, requirements and needs across an instance.
+#[derive(Clone, Debug)]
+pub struct InstanceStats {
+    /// Σ over nodes of aggregate capacity, per dimension.
+    pub total_capacity: ResourceVector,
+    /// Σ over services of aggregate requirement, per dimension.
+    pub total_requirement: ResourceVector,
+    /// Σ over services of aggregate need, per dimension.
+    pub total_need: ResourceVector,
+}
+
+impl InstanceStats {
+    /// Fraction of dimension `d`'s total capacity left free when every
+    /// requirement is satisfied (the paper's *slack* for the memory
+    /// dimension).
+    pub fn slack(&self, d: usize) -> f64 {
+        if self.total_capacity[d] <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_requirement[d] / self.total_capacity[d]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let services = vec![Service::new(
+            vec![0.5, 0.5],
+            vec![1.0, 0.5],
+            vec![0.5, 0.0],
+            vec![1.0, 0.0],
+        )];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn stats_and_slack() {
+        let inst = small_instance();
+        let st = inst.stats();
+        assert!((st.total_capacity[0] - 5.2).abs() < 1e-12);
+        assert!((st.total_capacity[1] - 1.5).abs() < 1e-12);
+        assert!((st.total_requirement[1] - 0.5).abs() < 1e-12);
+        assert!((st.slack(1) - (1.0 - 0.5 / 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_empty_node_checks_both_vectors() {
+        let inst = small_instance();
+        // Node 0: elementary CPU 0.8 ≥ 0.5, aggregate CPU 3.2 ≥ 1.0 — fits.
+        assert!(inst.service_fits_empty_node(0, 0));
+        // Node 1: elementary CPU 1.0 ≥ 0.5, aggregate 2.0 ≥ 1.0, mem 0.5 ≥ 0.5.
+        assert!(inst.service_fits_empty_node(0, 1));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            ProblemInstance::new(vec![], vec![]),
+            Err(ModelError::EmptyInstance)
+        ));
+    }
+
+    #[test]
+    fn rejects_mixed_dimensions() {
+        let nodes = vec![Node::multicore(1, 1.0, 1.0), Node::new(vec![1.0], vec![1.0])];
+        let services = vec![Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1])];
+        assert!(ProblemInstance::new(nodes, services).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Problem model for virtual-machine resource allocation on heterogeneous
+//! distributed platforms.
+//!
+//! This crate implements the formal model of
+//! *Casanova, Stillwell, Vivien — "Virtual Machine Resource Allocation for
+//! Service Hosting on Heterogeneous Distributed Platforms"* (IPDPS 2012,
+//! INRIA RR-7772):
+//!
+//! * a platform is a set of [`Node`]s, each described by an **elementary**
+//!   and an **aggregate** capacity vector over `D` resource dimensions;
+//! * a [`Service`] is described by rigid **requirements** and fluid
+//!   **needs**, each again an (elementary, aggregate) vector pair;
+//! * a service running at *yield* `y ∈ [0, 1]` consumes
+//!   `requirement + y × need` in every dimension;
+//! * the optimisation objective is to **maximise the minimum yield** over
+//!   all services.
+//!
+//! The crate also provides the shared *achieved-yield evaluator*
+//! ([`evaluate_placement`]): given a mapping of services to nodes it computes
+//! the exact per-node max–min yield by water-filling, honouring both
+//! elementary caps and aggregate capacities. Every algorithm in the
+//! workspace is scored through this single evaluator so that comparisons
+//! between heuristics are meaningful.
+
+#![warn(missing_docs)]
+
+mod error;
+mod instance;
+pub mod io;
+mod node;
+mod placement;
+mod service;
+mod vector;
+mod yield_eval;
+
+pub use error::ModelError;
+pub use instance::{InstanceStats, ProblemInstance};
+pub use node::Node;
+pub use placement::{Placement, Solution};
+pub use service::Service;
+pub use vector::ResourceVector;
+pub use yield_eval::{evaluate_placement, node_max_min_level, NodeYield};
+
+/// Names for the two resource dimensions used throughout the paper's
+/// evaluation section. The model itself supports arbitrary `D`.
+pub mod dims {
+    /// CPU dimension index in two-dimensional instances.
+    pub const CPU: usize = 0;
+    /// Memory dimension index in two-dimensional instances.
+    pub const MEM: usize = 1;
+}
+
+/// Numeric tolerance used for feasibility comparisons throughout the
+/// workspace. Capacities and demands live in `[0, 1]`-ish scales, so an
+/// absolute epsilon is appropriate.
+pub const EPSILON: f64 = 1e-9;

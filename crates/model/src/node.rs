@@ -1,0 +1,99 @@
+use crate::{ModelError, ResourceVector};
+
+/// A physical host of the platform.
+///
+/// Following §2 of the paper, a node is an ordered pair of `D`-dimensional
+/// vectors: the **elementary capacity** gives the capacity of a single
+/// resource element in each dimension (one core, one memory bank, …) and the
+/// **aggregate capacity** gives the total capacity over all elements.
+///
+/// Poolable resources such as memory have identical elementary and aggregate
+/// capacities; partitionable-but-not-poolable resources such as CPU cores
+/// have `elementary = aggregate / #elements`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Capacity of one resource element per dimension.
+    pub elementary: ResourceVector,
+    /// Total capacity per dimension.
+    pub aggregate: ResourceVector,
+}
+
+impl Node {
+    /// Creates a node from its elementary and aggregate capacity vectors.
+    pub fn new(elementary: impl Into<ResourceVector>, aggregate: impl Into<ResourceVector>) -> Self {
+        Node {
+            elementary: elementary.into(),
+            aggregate: aggregate.into(),
+        }
+    }
+
+    /// Convenience constructor for the paper's two-dimensional (CPU, memory)
+    /// evaluation platform: a machine with `cores` identical cores of
+    /// `per_core` CPU capacity each and a fully poolable memory of capacity
+    /// `memory`.
+    pub fn multicore(cores: usize, per_core: f64, memory: f64) -> Self {
+        Node {
+            elementary: ResourceVector::new(vec![per_core, memory]),
+            aggregate: ResourceVector::new(vec![per_core * cores as f64, memory]),
+        }
+    }
+
+    /// Number of resource dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.aggregate.dims()
+    }
+
+    /// Checks internal consistency (matching dimensions, non-negative finite
+    /// values, elementary ≤ aggregate).
+    pub fn validate(&self, label: &str) -> Result<(), ModelError> {
+        if self.elementary.dims() != self.aggregate.dims() {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.aggregate.dims(),
+                actual: self.elementary.dims(),
+            });
+        }
+        self.elementary.validate("node elementary capacity")?;
+        self.aggregate.validate("node aggregate capacity")?;
+        for d in 0..self.dims() {
+            if self.elementary[d] > self.aggregate[d] + crate::EPSILON {
+                return Err(ModelError::ElementaryExceedsAggregate {
+                    what: format!("node {label}"),
+                    dim: d,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multicore_constructor_matches_paper_example() {
+        // Node A of Figure 1: 4 cores of 0.8 each, memory 1.0.
+        let a = Node::multicore(4, 0.8, 1.0);
+        assert!((a.elementary[0] - 0.8).abs() < 1e-12);
+        assert!((a.aggregate[0] - 3.2).abs() < 1e-12);
+        assert_eq!(a.elementary[1], 1.0);
+        assert_eq!(a.aggregate[1], 1.0);
+        a.validate("A").unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_elementary_above_aggregate() {
+        let n = Node::new(vec![2.0, 0.5], vec![1.0, 0.5]);
+        assert!(matches!(
+            n.validate("x"),
+            Err(ModelError::ElementaryExceedsAggregate { dim: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_dimension_mismatch() {
+        let n = Node::new(vec![0.5], vec![1.0, 1.0]);
+        assert!(matches!(n.validate("x"), Err(ModelError::DimensionMismatch { .. })));
+    }
+}

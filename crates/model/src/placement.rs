@@ -1,0 +1,193 @@
+use crate::{ModelError, ProblemInstance, ResourceVector};
+
+/// A mapping of services to nodes.
+///
+/// `node_of[j] = Some(h)` means service `j` runs on node `h`; `None` means
+/// the service is unplaced (only valid in intermediate states — a complete
+/// solution places every service, per Constraint 3 of the MILP).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    node_of: Vec<Option<usize>>,
+}
+
+impl Placement {
+    /// A placement with every service unassigned.
+    pub fn empty(num_services: usize) -> Self {
+        Placement {
+            node_of: vec![None; num_services],
+        }
+    }
+
+    /// Builds a placement from an explicit assignment vector.
+    pub fn from_assignment(node_of: Vec<Option<usize>>) -> Self {
+        Placement { node_of }
+    }
+
+    /// Assigns service `j` to node `h`.
+    #[inline]
+    pub fn assign(&mut self, service: usize, node: usize) {
+        self.node_of[service] = Some(node);
+    }
+
+    /// Removes the assignment of service `j`.
+    #[inline]
+    pub fn unassign(&mut self, service: usize) {
+        self.node_of[service] = None;
+    }
+
+    /// Node hosting service `j`, if any.
+    #[inline]
+    pub fn node_of(&self, service: usize) -> Option<usize> {
+        self.node_of[service]
+    }
+
+    /// Number of services covered by this placement.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// True if no services are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    /// True if every service is assigned to some node.
+    pub fn is_complete(&self) -> bool {
+        self.node_of.iter().all(|n| n.is_some())
+    }
+
+    /// Iterator over `(service, node)` pairs for assigned services.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter_map(|(j, n)| n.map(|h| (j, h)))
+    }
+
+    /// Groups services by hosting node: `result[h]` lists the services on
+    /// node `h`.
+    pub fn services_per_node(&self, num_nodes: usize) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); num_nodes];
+        for (j, h) in self.iter() {
+            groups[h].push(j);
+        }
+        groups
+    }
+
+    /// Validates node indices against an instance.
+    pub fn validate(&self, instance: &ProblemInstance) -> Result<(), ModelError> {
+        for (j, h) in self.iter() {
+            if h >= instance.num_nodes() {
+                return Err(ModelError::NodeOutOfRange { service: j, node: h });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that the placement satisfies every rigid requirement and, for
+    /// a uniform target yield `lambda`, every elementary and aggregate
+    /// capacity constraint. `lambda = 0` checks requirement feasibility.
+    pub fn feasible_at_yield(&self, instance: &ProblemInstance, lambda: f64) -> bool {
+        let dims = instance.dims();
+        let mut load = vec![ResourceVector::zeros(dims); instance.num_nodes()];
+        for (j, h) in self.iter() {
+            let s = &instance.services()[j];
+            let node = &instance.nodes()[h];
+            let elem = s.demand_elem(lambda);
+            if !elem.le(&node.elementary, crate::EPSILON) {
+                return false;
+            }
+            let agg = s.demand_agg(lambda);
+            load[h].add_assign(&agg);
+        }
+        load.iter()
+            .zip(instance.nodes())
+            .all(|(l, n)| l.le(&n.aggregate, crate::EPSILON))
+    }
+}
+
+/// A complete resource-allocation solution: a placement together with the
+/// per-service yields it achieves under the shared water-filling evaluator.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Where each service runs.
+    pub placement: Placement,
+    /// Achieved yield per service, each in `[0, 1]`.
+    pub yields: Vec<f64>,
+    /// The objective value: `min_j yields[j]`.
+    pub min_yield: f64,
+}
+
+impl Solution {
+    /// Mean yield across services (secondary metric in the paper's prose).
+    pub fn mean_yield(&self) -> f64 {
+        if self.yields.is_empty() {
+            0.0
+        } else {
+            self.yields.iter().sum::<f64>() / self.yields.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Node, Service};
+
+    fn instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let services = vec![
+            Service::new(vec![0.5, 0.5], vec![1.0, 0.5], vec![0.5, 0.0], vec![1.0, 0.0]),
+            Service::rigid(vec![0.2, 0.3], vec![0.2, 0.3]),
+        ];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn assignment_bookkeeping() {
+        let mut p = Placement::empty(2);
+        assert!(!p.is_complete());
+        p.assign(0, 1);
+        p.assign(1, 0);
+        assert!(p.is_complete());
+        assert_eq!(p.node_of(0), Some(1));
+        let groups = p.services_per_node(2);
+        assert_eq!(groups[0], vec![1]);
+        assert_eq!(groups[1], vec![0]);
+        p.unassign(0);
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn feasibility_at_yield_tracks_capacity() {
+        let inst = instance();
+        let mut p = Placement::empty(2);
+        p.assign(0, 0);
+        p.assign(1, 0);
+        // Requirements: CPU 1.0 + 0.2 ≤ 3.2, mem 0.5 + 0.3 ≤ 1.0 — feasible.
+        assert!(p.feasible_at_yield(&inst, 0.0));
+        // At yield 0.6 service 0's elementary CPU demand is exactly 0.8 —
+        // node 0's per-core limit (the Figure 1 bound).
+        assert!(p.feasible_at_yield(&inst, 0.6));
+        // At yield 1 the elementary demand 1.0 exceeds node 0's 0.8 cores.
+        assert!(!p.feasible_at_yield(&inst, 1.0));
+        // Node 1 cannot host both: memory 0.5 + 0.3 > 0.5.
+        let mut q = Placement::empty(2);
+        q.assign(0, 1);
+        q.assign(1, 1);
+        assert!(!q.feasible_at_yield(&inst, 0.0));
+    }
+
+    #[test]
+    fn validate_detects_bad_node_index() {
+        let inst = instance();
+        let mut p = Placement::empty(2);
+        p.assign(0, 7);
+        assert!(matches!(
+            p.validate(&inst),
+            Err(ModelError::NodeOutOfRange { service: 0, node: 7 })
+        ));
+    }
+}

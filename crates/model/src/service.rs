@@ -1,0 +1,165 @@
+use crate::{ModelError, ResourceVector};
+
+/// A hosted service (one virtual machine instance).
+///
+/// Per §2 of the paper, a service is described by:
+///
+/// * **requirements** `(rᵉ, rᵃ)` — the allocation needed to run at the
+///   minimum acceptable service level; resource allocation *fails* if these
+///   cannot be met;
+/// * **needs** `(nᵉ, nᵃ)` — the *additional* resources required to reach the
+///   maximum performance observed on the reference machine.
+///
+/// Running at yield `y ∈ [0, 1]` consumes `rᵉ + y·nᵉ` per element and
+/// `rᵃ + y·nᵃ` in aggregate, in every dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Service {
+    /// Maximum elementary (per-element) requirement per dimension.
+    pub req_elem: ResourceVector,
+    /// Aggregate requirement per dimension.
+    pub req_agg: ResourceVector,
+    /// Maximum elementary need per dimension.
+    pub need_elem: ResourceVector,
+    /// Aggregate need per dimension.
+    pub need_agg: ResourceVector,
+}
+
+impl Service {
+    /// Creates a service from its four descriptor vectors.
+    pub fn new(
+        req_elem: impl Into<ResourceVector>,
+        req_agg: impl Into<ResourceVector>,
+        need_elem: impl Into<ResourceVector>,
+        need_agg: impl Into<ResourceVector>,
+    ) -> Self {
+        Service {
+            req_elem: req_elem.into(),
+            req_agg: req_agg.into(),
+            need_elem: need_elem.into(),
+            need_agg: need_agg.into(),
+        }
+    }
+
+    /// A service with requirements only (zero needs): it runs at yield 1 as
+    /// soon as its requirements are satisfied.
+    pub fn rigid(req_elem: impl Into<ResourceVector>, req_agg: impl Into<ResourceVector>) -> Self {
+        let req_elem = req_elem.into();
+        let req_agg = req_agg.into();
+        let dims = req_agg.dims();
+        Service {
+            req_elem,
+            req_agg,
+            need_elem: ResourceVector::zeros(dims),
+            need_agg: ResourceVector::zeros(dims),
+        }
+    }
+
+    /// Number of resource dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.req_agg.dims()
+    }
+
+    /// Elementary consumption at yield `y`: `rᵉ + y·nᵉ`.
+    pub fn demand_elem(&self, y: f64) -> ResourceVector {
+        self.req_elem.add_scaled(&self.need_elem, y)
+    }
+
+    /// Aggregate consumption at yield `y`: `rᵃ + y·nᵃ`.
+    pub fn demand_agg(&self, y: f64) -> ResourceVector {
+        self.req_agg.add_scaled(&self.need_agg, y)
+    }
+
+    /// True if the service has no fluid needs in any dimension, in which
+    /// case its yield is 1 by definition once the requirements are met.
+    #[inline]
+    pub fn is_rigid(&self, tol: f64) -> bool {
+        self.need_agg.is_zero(tol) && self.need_elem.is_zero(tol)
+    }
+
+    /// Checks internal consistency: matching dimensions, non-negative finite
+    /// values, and elementary ≤ aggregate for both requirements and needs.
+    pub fn validate(&self, label: &str) -> Result<(), ModelError> {
+        let dims = self.req_agg.dims();
+        for (what, v) in [
+            ("service elementary requirement", &self.req_elem),
+            ("service aggregate requirement", &self.req_agg),
+            ("service elementary need", &self.need_elem),
+            ("service aggregate need", &self.need_agg),
+        ] {
+            if v.dims() != dims {
+                return Err(ModelError::DimensionMismatch {
+                    expected: dims,
+                    actual: v.dims(),
+                });
+            }
+            v.validate(what)?;
+        }
+        for d in 0..dims {
+            if self.req_elem[d] > self.req_agg[d] + crate::EPSILON {
+                return Err(ModelError::ElementaryExceedsAggregate {
+                    what: format!("service {label} requirement"),
+                    dim: d,
+                });
+            }
+            if self.need_elem[d] > self.need_agg[d] + crate::EPSILON {
+                return Err(ModelError::ElementaryExceedsAggregate {
+                    what: format!("service {label} need"),
+                    dim: d,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The service of the paper's Figure 1.
+    pub(crate) fn figure1_service() -> Service {
+        Service::new(
+            vec![0.5, 0.5], // elementary requirement (CPU, mem)
+            vec![1.0, 0.5], // aggregate requirement
+            vec![0.5, 0.0], // elementary need
+            vec![1.0, 0.0], // aggregate need
+        )
+    }
+
+    #[test]
+    fn demand_interpolates_between_requirement_and_full_need() {
+        let s = figure1_service();
+        let d0 = s.demand_agg(0.0);
+        assert!((d0[0] - 1.0).abs() < 1e-12);
+        let d1 = s.demand_agg(1.0);
+        assert!((d1[0] - 2.0).abs() < 1e-12);
+        assert!((d1[1] - 0.5).abs() < 1e-12);
+        let e = s.demand_elem(0.6);
+        assert!((e[0] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_service_has_zero_needs() {
+        let s = Service::rigid(vec![0.1, 0.2], vec![0.1, 0.2]);
+        assert!(s.is_rigid(0.0));
+        s.validate("r").unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_elementary_need_above_aggregate() {
+        let s = Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![0.5, 0.0], vec![0.1, 0.0]);
+        assert!(matches!(
+            s.validate("x"),
+            Err(ModelError::ElementaryExceedsAggregate { dim: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_accepts_uneven_aggregate_vs_elementary() {
+        // The paper's 110%-aggregate / 100%-elementary CPU example: aggregate
+        // need not be an integer multiple of the elementary value.
+        let s = Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![1.0, 0.0], vec![1.1, 0.0]);
+        s.validate("x").unwrap();
+    }
+}

@@ -1,0 +1,226 @@
+use crate::ModelError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A non-negative resource quantity per dimension.
+///
+/// Used for node capacities, service requirements/needs, loads and
+/// allocations. All arithmetic helpers are component-wise. The number of
+/// dimensions `D` is small (the paper's evaluation uses `D = 2`), so the
+/// representation is a plain boxed slice.
+#[derive(Clone, PartialEq)]
+pub struct ResourceVector {
+    values: Box<[f64]>,
+}
+
+impl ResourceVector {
+    /// Builds a vector from the given components.
+    pub fn new(values: impl Into<Vec<f64>>) -> Self {
+        ResourceVector {
+            values: values.into().into_boxed_slice(),
+        }
+    }
+
+    /// An all-zero vector with `dims` dimensions.
+    pub fn zeros(dims: usize) -> Self {
+        ResourceVector {
+            values: vec![0.0; dims].into_boxed_slice(),
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Read-only view of the components.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the components.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Sum of all components.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Largest component (0.0 for an empty vector).
+    #[inline]
+    pub fn max_component(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    }
+
+    /// Smallest component (0.0 for an empty vector).
+    #[inline]
+    pub fn min_component(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// True if every component is zero (within `tol`).
+    #[inline]
+    pub fn is_zero(&self, tol: f64) -> bool {
+        self.values.iter().all(|&v| v.abs() <= tol)
+    }
+
+    /// Component-wise `self + scale × other`. Dimensions must match.
+    pub fn add_scaled(&self, other: &ResourceVector, scale: f64) -> ResourceVector {
+        debug_assert_eq!(self.dims(), other.dims());
+        ResourceVector::new(
+            self.values
+                .iter()
+                .zip(other.values.iter())
+                .map(|(a, b)| a + scale * b)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// In-place component-wise `self += other`.
+    pub fn add_assign(&mut self, other: &ResourceVector) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place component-wise `self -= other`.
+    pub fn sub_assign(&mut self, other: &ResourceVector) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// True if `self ≤ other + tol` component-wise.
+    #[inline]
+    pub fn le(&self, other: &ResourceVector, tol: f64) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .all(|(a, b)| *a <= *b + tol)
+    }
+
+    /// Validates that every component is finite and non-negative.
+    pub fn validate(&self, what: &'static str) -> Result<(), ModelError> {
+        for &v in self.values.iter() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::InvalidValue { what, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for ResourceVector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, d: usize) -> &f64 {
+        &self.values[d]
+    }
+}
+
+impl IndexMut<usize> for ResourceVector {
+    #[inline]
+    fn index_mut(&mut self, d: usize) -> &mut f64 {
+        &mut self.values[d]
+    }
+}
+
+impl fmt::Debug for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<f64>> for ResourceVector {
+    fn from(v: Vec<f64>) -> Self {
+        ResourceVector::new(v)
+    }
+}
+
+impl From<&[f64]> for ResourceVector {
+    fn from(v: &[f64]) -> Self {
+        ResourceVector::new(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let v = ResourceVector::new(vec![0.5, 1.0]);
+        assert_eq!(v.dims(), 2);
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v.sum(), 1.5);
+        assert_eq!(v.max_component(), 1.0);
+        assert_eq!(v.min_component(), 0.5);
+        assert!(!v.is_zero(1e-12));
+        assert!(ResourceVector::zeros(3).is_zero(0.0));
+    }
+
+    #[test]
+    fn add_scaled_combines_requirement_and_need() {
+        let req = ResourceVector::new(vec![0.2, 0.4]);
+        let need = ResourceVector::new(vec![0.6, 0.0]);
+        let at_half = req.add_scaled(&need, 0.5);
+        assert!((at_half[0] - 0.5).abs() < 1e-12);
+        assert!((at_half[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn le_uses_tolerance() {
+        let a = ResourceVector::new(vec![1.0 + 1e-12]);
+        let b = ResourceVector::new(vec![1.0]);
+        assert!(a.le(&b, 1e-9));
+        assert!(!a.le(&b, 0.0));
+    }
+
+    #[test]
+    fn validate_rejects_negative_and_nan() {
+        assert!(ResourceVector::new(vec![0.0, 0.1]).validate("x").is_ok());
+        assert!(ResourceVector::new(vec![-0.1]).validate("x").is_err());
+        assert!(ResourceVector::new(vec![f64::NAN]).validate("x").is_err());
+        assert!(ResourceVector::new(vec![f64::INFINITY]).validate("x").is_err());
+    }
+
+    #[test]
+    fn add_and_sub_assign_roundtrip() {
+        let mut a = ResourceVector::new(vec![0.3, 0.7]);
+        let b = ResourceVector::new(vec![0.1, 0.2]);
+        a.add_assign(&b);
+        assert!((a[0] - 0.4).abs() < 1e-12);
+        a.sub_assign(&b);
+        assert!((a[0] - 0.3).abs() < 1e-12);
+        assert!((a[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector_extrema() {
+        let v = ResourceVector::zeros(0);
+        assert_eq!(v.max_component(), 0.0);
+        assert_eq!(v.min_component(), 0.0);
+        assert_eq!(v.sum(), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The §6.2 CPU-need estimation error model and the minimum-threshold
+//! mitigation strategy.
+//!
+//! "We perturbed the CPU needs by selecting values between the negative and
+//! positive maximum value from a uniform random distribution and adding
+//! this error to the true total CPU needs (to a minimum of 0.001).
+//! Elementary CPU needs were perturbed so as to maintain the same
+//! proportion with the aggregate needs."
+//!
+//! Mitigation: "rounding up the estimate of each CPU need to a minimum
+//! threshold value" holds CPU in reserve for the most vulnerable (small)
+//! services; estimates above the threshold are untouched.
+
+use rand::Rng;
+use vmplace_model::{dims, Service};
+
+/// Perturbs the aggregate CPU need of every service by an independent
+/// uniform error in `[−max_error, +max_error]`, flooring at 0.001 and
+/// scaling the elementary need to keep its proportion to the aggregate.
+pub fn perturb_cpu_needs<R: Rng + ?Sized>(
+    services: &[Service],
+    max_error: f64,
+    rng: &mut R,
+) -> Vec<Service> {
+    services
+        .iter()
+        .map(|s| {
+            let truth = s.need_agg[dims::CPU];
+            let err = if max_error > 0.0 {
+                rng.gen_range(-max_error..=max_error)
+            } else {
+                0.0
+            };
+            let estimate = (truth + err).max(0.001);
+            scale_cpu_need(s, estimate)
+        })
+        .collect()
+}
+
+/// Rounds every aggregate CPU-need estimate up to at least `threshold`
+/// (elementary needs keep their proportion). `threshold = 0` is a no-op.
+pub fn apply_min_threshold(estimates: &[Service], threshold: f64) -> Vec<Service> {
+    estimates
+        .iter()
+        .map(|s| {
+            let current = s.need_agg[dims::CPU];
+            if current >= threshold {
+                s.clone()
+            } else {
+                scale_cpu_need(s, threshold)
+            }
+        })
+        .collect()
+}
+
+/// Returns a copy of `s` with its aggregate CPU need set to `new_agg` and
+/// the elementary CPU need scaled proportionally.
+fn scale_cpu_need(s: &Service, new_agg: f64) -> Service {
+    let mut out = s.clone();
+    let old_agg = s.need_agg[dims::CPU];
+    out.need_agg[dims::CPU] = new_agg;
+    if old_agg > 0.0 {
+        out.need_elem[dims::CPU] = s.need_elem[dims::CPU] * (new_agg / old_agg);
+    } else {
+        // No prior proportion to maintain: treat as single-element need.
+        out.need_elem[dims::CPU] = new_agg;
+    }
+    // Elementary may never exceed aggregate (validation invariant).
+    if out.need_elem[dims::CPU] > out.need_agg[dims::CPU] {
+        out.need_elem[dims::CPU] = out.need_agg[dims::CPU];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn svc(agg: f64, elem: f64) -> Service {
+        Service::new(
+            vec![0.01, 0.2],
+            vec![0.02, 0.2],
+            vec![elem, 0.0],
+            vec![agg, 0.0],
+        )
+    }
+
+    #[test]
+    fn zero_error_is_identity() {
+        let services = vec![svc(0.4, 0.1)];
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = perturb_cpu_needs(&services, 0.0, &mut rng);
+        assert_eq!(est[0].need_agg[dims::CPU], 0.4);
+        assert_eq!(est[0].need_elem[dims::CPU], 0.1);
+    }
+
+    #[test]
+    fn errors_are_bounded_and_floored() {
+        let services = vec![svc(0.05, 0.05); 200];
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = perturb_cpu_needs(&services, 0.3, &mut rng);
+        for e in &est {
+            let v = e.need_agg[dims::CPU];
+            assert!(v >= 0.001, "floored at 0.001, got {v}");
+            assert!(v <= 0.05 + 0.3 + 1e-12);
+            e.validate("est").unwrap();
+        }
+        // The floor must actually engage for some draws (0.05 − 0.3 < 0).
+        assert!(est.iter().any(|e| e.need_agg[dims::CPU] == 0.001));
+    }
+
+    #[test]
+    fn elementary_proportion_is_maintained() {
+        let services = vec![svc(0.8, 0.2)]; // ratio 1/4
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = perturb_cpu_needs(&services, 0.2, &mut rng);
+        let ratio = est[0].need_elem[dims::CPU] / est[0].need_agg[dims::CPU];
+        assert!((ratio - 0.25).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn threshold_rounds_up_small_estimates_only() {
+        let estimates = vec![svc(0.05, 0.05), svc(0.5, 0.125)];
+        let out = apply_min_threshold(&estimates, 0.1);
+        assert_eq!(out[0].need_agg[dims::CPU], 0.1);
+        assert_eq!(out[0].need_elem[dims::CPU], 0.1); // proportion kept (1:1)
+        assert_eq!(out[1].need_agg[dims::CPU], 0.5); // untouched
+        assert_eq!(out[1].need_elem[dims::CPU], 0.125);
+    }
+
+    #[test]
+    fn memory_is_never_perturbed() {
+        let services = vec![svc(0.4, 0.1)];
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = perturb_cpu_needs(&services, 0.4, &mut rng);
+        assert_eq!(est[0].req_agg[dims::MEM], 0.2);
+        assert_eq!(est[0].need_agg[dims::MEM], 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Platform generation (§4).
+//!
+//! "We draw aggregate CPU and memory capacities from a normal distribution
+//! with a median value of 0.5, limited to minimum values of 0.001 and
+//! maximum values of 1.0. The coefficient of variation is varied from 0.0
+//! (completely homogeneous) to 1.0. […] all machines are quad core, and
+//! therefore have CPU elements with 1/4 the aggregate machine power."
+//!
+//! Figures 3 and 4 additionally hold one dimension homogeneous at 0.5 —
+//! [`HomogeneousDim`] reproduces those variants.
+
+use crate::rng::normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmplace_model::Node;
+
+/// Which dimension (if any) to hold homogeneous at its median.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HomogeneousDim {
+    /// All nodes get CPU capacity 0.5 (Figure 3).
+    Cpu,
+    /// All nodes get memory capacity 0.5 (Figure 4).
+    Memory,
+}
+
+/// Configuration of the platform generator.
+#[derive(Clone, Debug)]
+pub struct PlatformConfig {
+    /// Number of nodes (the paper uses 64; the 512-node timing experiment
+    /// raises it).
+    pub nodes: usize,
+    /// Coefficient of variation of both capacity distributions, in `[0, 1]`.
+    pub cov: f64,
+    /// Median/mean aggregate capacity (paper: 0.5 for both dimensions).
+    pub median: f64,
+    /// Cores per node (paper: 4).
+    pub cores: usize,
+    /// Optionally hold one dimension homogeneous (Figures 3–4).
+    pub homogeneous: Option<HomogeneousDim>,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            nodes: 64,
+            cov: 0.0,
+            median: 0.5,
+            cores: 4,
+            homogeneous: None,
+        }
+    }
+}
+
+impl PlatformConfig {
+    /// Generates the node set deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<Node> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sd = self.cov * self.median;
+        let draw = |rng: &mut StdRng| -> f64 {
+            if sd == 0.0 {
+                self.median
+            } else {
+                normal(rng, self.median, sd).clamp(0.001, 1.0)
+            }
+        };
+        (0..self.nodes)
+            .map(|_| {
+                let cpu = match self.homogeneous {
+                    Some(HomogeneousDim::Cpu) => self.median,
+                    _ => draw(&mut rng),
+                };
+                let mem = match self.homogeneous {
+                    Some(HomogeneousDim::Memory) => self.median,
+                    _ => draw(&mut rng),
+                };
+                Node::multicore(self.cores, cpu / self.cores as f64, mem)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cov_is_perfectly_homogeneous() {
+        let nodes = PlatformConfig::default().generate(1);
+        assert_eq!(nodes.len(), 64);
+        for n in &nodes {
+            assert_eq!(n.aggregate[0], 0.5);
+            assert_eq!(n.aggregate[1], 0.5);
+            assert_eq!(n.elementary[0], 0.125); // quad-core
+            assert_eq!(n.elementary[1], 0.5); // memory pools
+        }
+    }
+
+    #[test]
+    fn capacities_respect_clamps() {
+        let cfg = PlatformConfig {
+            cov: 1.0,
+            nodes: 2000,
+            ..PlatformConfig::default()
+        };
+        for n in cfg.generate(42) {
+            assert!(n.aggregate[0] >= 0.001 && n.aggregate[0] <= 1.0);
+            assert!(n.aggregate[1] >= 0.001 && n.aggregate[1] <= 1.0);
+            assert!((n.elementary[0] - n.aggregate[0] / 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cov_controls_dispersion() {
+        let sd_of = |cov: f64| {
+            let cfg = PlatformConfig {
+                cov,
+                nodes: 5000,
+                ..PlatformConfig::default()
+            };
+            let caps: Vec<f64> = cfg.generate(9).iter().map(|n| n.aggregate[0]).collect();
+            let mean = caps.iter().sum::<f64>() / caps.len() as f64;
+            (caps.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / caps.len() as f64).sqrt()
+        };
+        let lo = sd_of(0.2);
+        let hi = sd_of(0.8);
+        assert!(lo > 0.05 && lo < 0.15, "sd(0.2) = {lo}");
+        assert!(hi > lo, "dispersion must grow with cov");
+    }
+
+    #[test]
+    fn homogeneous_cpu_variant_fixes_cpu_only() {
+        let cfg = PlatformConfig {
+            cov: 1.0,
+            nodes: 200,
+            homogeneous: Some(HomogeneousDim::Cpu),
+            ..PlatformConfig::default()
+        };
+        let nodes = cfg.generate(5);
+        assert!(nodes.iter().all(|n| n.aggregate[0] == 0.5));
+        let mems: Vec<f64> = nodes.iter().map(|n| n.aggregate[1]).collect();
+        let spread = mems.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - mems.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.1, "memory must still vary");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = PlatformConfig {
+            cov: 0.6,
+            ..PlatformConfig::default()
+        };
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+}

@@ -1,0 +1,77 @@
+//! Distribution helpers on top of `rand` (normal and lognormal deviates via
+//! Box–Muller, avoiding an extra `rand_distr` dependency).
+
+use rand::Rng;
+
+/// A standard normal deviate (Box–Muller transform).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal deviate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// A lognormal deviate: `exp(N(mu, sigma))`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples an index according to (unnormalised) weights.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 0.5, 0.2)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.2).abs() < 0.005, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_matches_mu() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, (0.05f64).ln(), 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - 0.05).abs() < 0.005, "median {median}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [0.55, 0.25, 0.15, 0.05];
+        let mut counts = [0usize; 4];
+        for _ in 0..100_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        for (c, w) in counts.iter().zip(weights) {
+            let f = *c as f64 / 100_000.0;
+            assert!((f - w).abs() < 0.01, "freq {f} vs weight {w}");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The end-to-end error-experiment pipeline (§6.2).
+//!
+//! Placement decisions and planned allocations are computed from *estimated*
+//! CPU needs; actual performance is then simulated against the *true* needs
+//! under one of three per-node CPU allocation policies:
+//!
+//! * **ALLOCCAPS** — hard caps at the planned allocations (non-work-
+//!   conserving): a service that under-estimated starves, over-estimates
+//!   waste capacity;
+//! * **ALLOCWEIGHTS** — the planned allocations become weights of the §6
+//!   work-conserving scheduler;
+//! * **EQUALWEIGHTS** — the work-conserving scheduler with equal weights
+//!   (the Theorem 1 policy, which ignores the plan entirely).
+//!
+//! The *zero-knowledge* baseline spreads services evenly across nodes
+//! (most-free-memory first fit) and shares CPU with EQUALWEIGHTS.
+//! "Ideal" is the planner run with perfect estimates.
+
+use crate::waterfill::weighted_water_fill;
+use vmplace_model::{dims, evaluate_placement, Placement, ProblemInstance, Service, EPSILON};
+
+/// Per-node CPU allocation policy for the error experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// Hard caps at the planned allocations.
+    AllocCaps,
+    /// Work-conserving scheduler weighted by the planned allocations.
+    AllocWeights,
+    /// Work-conserving scheduler with equal weights.
+    EqualWeights,
+}
+
+impl AllocationPolicy {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AllocationPolicy::AllocCaps => "ALLOCCAPS",
+            AllocationPolicy::AllocWeights => "ALLOCWEIGHTS",
+            AllocationPolicy::EqualWeights => "EQUALWEIGHTS",
+        }
+    }
+}
+
+/// An error-experiment evaluation bound to the ground-truth instance.
+pub struct ErrorRun<'a> {
+    /// The instance with the *true* needs.
+    pub true_instance: &'a ProblemInstance,
+}
+
+impl<'a> ErrorRun<'a> {
+    /// Creates an evaluation context.
+    pub fn new(true_instance: &'a ProblemInstance) -> Self {
+        ErrorRun { true_instance }
+    }
+
+    /// Planned per-service *extra* CPU allocations from the estimated
+    /// instance: `ŷ_j · n̂_j`, where `ŷ` maximises the minimum yield on each
+    /// node given the estimates (the paper's ALLOCCAPS/ALLOCWEIGHTS input).
+    pub fn planned_extras(
+        &self,
+        estimated: &[Service],
+        placement: &Placement,
+    ) -> Option<Vec<f64>> {
+        let est_instance = self.true_instance.with_services(estimated.to_vec()).ok()?;
+        let sol = evaluate_placement(&est_instance, placement)?;
+        Some(
+            sol.yields
+                .iter()
+                .zip(estimated)
+                .map(|(&y, s)| y * s.need_agg[dims::CPU])
+                .collect(),
+        )
+    }
+
+    /// Simulates execution under `policy` and returns the minimum *actual*
+    /// yield across all services (`None` if the placement violates a rigid
+    /// requirement of the true instance — cannot happen when requirements
+    /// are unperturbed).
+    pub fn actual_min_yield(
+        &self,
+        placement: &Placement,
+        planned_extra: &[f64],
+        policy: AllocationPolicy,
+    ) -> Option<f64> {
+        let instance = self.true_instance;
+        let groups = placement.services_per_node(instance.num_nodes());
+        let mut min_yield: f64 = 1.0;
+        for (h, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let node = &instance.nodes()[h];
+            // Reserve rigid CPU requirements first.
+            let reserved: f64 = group
+                .iter()
+                .map(|&j| instance.services()[j].req_agg[dims::CPU])
+                .sum();
+            if reserved > node.aggregate[dims::CPU] + EPSILON {
+                return None;
+            }
+            let extra_capacity = (node.aggregate[dims::CPU] - reserved).max(0.0);
+
+            // True fluid demands, capped by each service's elementary limit
+            // (a VM cannot push a virtual core past a physical one).
+            let mut demands = Vec::with_capacity(group.len());
+            for &j in group {
+                let s = &instance.services()[j];
+                let cap = elementary_yield_cap(s, node);
+                demands.push(cap * s.need_agg[dims::CPU]);
+            }
+
+            let allocs: Vec<f64> = match policy {
+                AllocationPolicy::AllocCaps => group
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &j)| planned_extra[j].min(demands[k]))
+                    .collect(),
+                AllocationPolicy::AllocWeights => {
+                    let weights: Vec<f64> = group.iter().map(|&j| planned_extra[j]).collect();
+                    weighted_water_fill(extra_capacity, &demands, &weights)
+                }
+                AllocationPolicy::EqualWeights => {
+                    let weights = vec![1.0; group.len()];
+                    weighted_water_fill(extra_capacity, &demands, &weights)
+                }
+            };
+
+            for (k, &j) in group.iter().enumerate() {
+                let s = &instance.services()[j];
+                let need = s.need_agg[dims::CPU];
+                let y = if need <= EPSILON {
+                    1.0
+                } else {
+                    (allocs[k] / need).clamp(0.0, 1.0)
+                };
+                min_yield = min_yield.min(y);
+            }
+        }
+        Some(min_yield)
+    }
+}
+
+/// Elementary-capacity cap on a service's yield when hosted on `node`
+/// (CPU dimension): the largest `y ≤ 1` with `rᵉ + y·nᵉ ≤ cᵉ`.
+fn elementary_yield_cap(s: &Service, node: &vmplace_model::Node) -> f64 {
+    let ne = s.need_elem[dims::CPU];
+    if ne <= EPSILON {
+        return 1.0;
+    }
+    ((node.elementary[dims::CPU] - s.req_elem[dims::CPU]) / ne).clamp(0.0, 1.0)
+}
+
+/// The zero-knowledge placement: an even spread that uses no *need*
+/// estimates. Node capacities are platform facts known to any scheduler,
+/// so "as evenly as possible" on a heterogeneous platform means evenly
+/// *per unit of CPU capacity*: services (sorted by decreasing memory
+/// requirement) go to the feasible node with the lowest service count per
+/// CPU capacity (ties: most free memory).
+pub fn zero_knowledge_placement(instance: &ProblemInstance) -> Option<Placement> {
+    let dimsn = instance.dims();
+    let mut order: Vec<usize> = (0..instance.num_services()).collect();
+    order.sort_by(|&a, &b| {
+        let ma = instance.services()[a].req_agg[dims::MEM];
+        let mb = instance.services()[b].req_agg[dims::MEM];
+        mb.partial_cmp(&ma).unwrap().then(a.cmp(&b))
+    });
+
+    let mut counts = vec![0usize; instance.num_nodes()];
+    let mut req_load = vec![vec![0.0f64; dimsn]; instance.num_nodes()];
+    let mut placement = Placement::empty(instance.num_services());
+    for &j in &order {
+        let s = &instance.services()[j];
+        let mut best: Option<(usize, f64, f64)> = None; // (node, density, -free_mem)
+        for h in 0..instance.num_nodes() {
+            let node = &instance.nodes()[h];
+            if !s.req_elem.le(&node.elementary, EPSILON) {
+                continue;
+            }
+            let fits = (0..dimsn).all(|d| req_load[h][d] + s.req_agg[d] <= node.aggregate[d] + EPSILON);
+            if !fits {
+                continue;
+            }
+            let density = (counts[h] as f64 + 1.0) / node.aggregate[dims::CPU].max(1e-9);
+            let free_mem = node.aggregate[dims::MEM] - req_load[h][dims::MEM];
+            let better = match best {
+                None => true,
+                Some((_, bd, bnf)) => {
+                    density < bd - 1e-12 || (density <= bd + 1e-12 && -free_mem < bnf)
+                }
+            };
+            if better {
+                best = Some((h, density, -free_mem));
+            }
+        }
+        let (h, _, _) = best?;
+        counts[h] += 1;
+        for d in 0..dimsn {
+            req_load[h][d] += s.req_agg[d];
+        }
+        placement.assign(j, h);
+    }
+    Some(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::{apply_min_threshold, perturb_cpu_needs};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vmplace_model::{Node, Service};
+
+    fn instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 0.25, 1.0), Node::multicore(4, 0.25, 1.0)];
+        let mk = |need: f64, mem: f64| {
+            Service::new(
+                vec![0.01, mem],
+                vec![0.01, mem],
+                vec![need / 2.0, 0.0],
+                vec![need, 0.0],
+            )
+        };
+        let services = vec![mk(0.6, 0.3), mk(0.3, 0.4), mk(0.5, 0.2), mk(0.4, 0.5)];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    fn spread_placement() -> Placement {
+        let mut p = Placement::empty(4);
+        p.assign(0, 0);
+        p.assign(2, 0);
+        p.assign(1, 1);
+        p.assign(3, 1);
+        p
+    }
+
+    #[test]
+    fn perfect_estimates_match_evaluator_under_alloccaps() {
+        let inst = instance();
+        let p = spread_placement();
+        let run = ErrorRun::new(&inst);
+        let planned = run.planned_extras(inst.services(), &p).unwrap();
+        let actual = run
+            .actual_min_yield(&p, &planned, AllocationPolicy::AllocCaps)
+            .unwrap();
+        let ideal = evaluate_placement(&inst, &p).unwrap().min_yield;
+        assert!((actual - ideal).abs() < 1e-9, "{actual} vs {ideal}");
+    }
+
+    #[test]
+    fn work_conserving_policies_dominate_caps_under_perfect_estimates() {
+        let inst = instance();
+        let p = spread_placement();
+        let run = ErrorRun::new(&inst);
+        let planned = run.planned_extras(inst.services(), &p).unwrap();
+        let caps = run
+            .actual_min_yield(&p, &planned, AllocationPolicy::AllocCaps)
+            .unwrap();
+        let weights = run
+            .actual_min_yield(&p, &planned, AllocationPolicy::AllocWeights)
+            .unwrap();
+        assert!(weights >= caps - 1e-9);
+    }
+
+    #[test]
+    fn underestimates_hurt_alloccaps_more_than_weights() {
+        let inst = instance();
+        let p = spread_placement();
+        let run = ErrorRun::new(&inst);
+        // Halve every estimate: caps freeze services at half their true
+        // entitlement while the work-conserving scheduler redistributes.
+        let estimates: Vec<Service> = inst
+            .services()
+            .iter()
+            .map(|s| {
+                let mut e = s.clone();
+                e.need_agg[dims::CPU] *= 0.5;
+                e.need_elem[dims::CPU] *= 0.5;
+                e
+            })
+            .collect();
+        let planned = run.planned_extras(&estimates, &p).unwrap();
+        let caps = run
+            .actual_min_yield(&p, &planned, AllocationPolicy::AllocCaps)
+            .unwrap();
+        let weights = run
+            .actual_min_yield(&p, &planned, AllocationPolicy::AllocWeights)
+            .unwrap();
+        assert!(
+            weights > caps + 0.05,
+            "weights {weights} should beat caps {caps} clearly"
+        );
+    }
+
+    #[test]
+    fn equal_weights_ignores_the_plan() {
+        let inst = instance();
+        let p = spread_placement();
+        let run = ErrorRun::new(&inst);
+        let a = run
+            .actual_min_yield(&p, &vec![0.0; 4], AllocationPolicy::EqualWeights)
+            .unwrap();
+        let b = run
+            .actual_min_yield(&p, &vec![9.9; 4], AllocationPolicy::EqualWeights)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_knowledge_spreads_evenly() {
+        let inst = instance();
+        let p = zero_knowledge_placement(&inst).unwrap();
+        let groups = p.services_per_node(inst.num_nodes());
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 2);
+    }
+
+    #[test]
+    fn zero_knowledge_fails_when_nothing_fits() {
+        let nodes = vec![Node::multicore(1, 0.5, 0.2)];
+        let services = vec![Service::rigid(vec![0.1, 0.5], vec![0.1, 0.5])];
+        let inst = ProblemInstance::new(nodes, services).unwrap();
+        assert!(zero_knowledge_placement(&inst).is_none());
+    }
+
+    #[test]
+    fn full_pipeline_with_threshold_mitigation_runs() {
+        let inst = instance();
+        let mut rng = StdRng::seed_from_u64(13);
+        let est = perturb_cpu_needs(inst.services(), 0.2, &mut rng);
+        let est = apply_min_threshold(&est, 0.1);
+        let p = spread_placement();
+        let run = ErrorRun::new(&inst);
+        let planned = run.planned_extras(&est, &p).unwrap();
+        for policy in [
+            AllocationPolicy::AllocCaps,
+            AllocationPolicy::AllocWeights,
+            AllocationPolicy::EqualWeights,
+        ] {
+            let y = run.actual_min_yield(&p, &planned, policy).unwrap();
+            assert!((0.0..=1.0).contains(&y), "{} gave {y}", policy.label());
+        }
+    }
+}

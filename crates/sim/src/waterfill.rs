@@ -1,0 +1,305 @@
+//! The §6 work-conserving CPU redistribution.
+//!
+//! "Each service is allocated a portion of the node relative to its weight
+//! […] any portions of the CPU that are left unused are pooled together and
+//! redistributed to remaining unsatisfied services again by their weight.
+//! This process continues until either all of the services are satisfied or
+//! there is no more CPU available."
+//!
+//! [`weighted_water_fill`] computes the fixed point of that iteration in
+//! closed form: the allocation is `min(demand_i, t·w_i)` for the largest
+//! water level `t` that does not overrun the capacity. An explicitly
+//! iterative reference implementation is kept in the tests to validate the
+//! equivalence (including the paper's termination-epsilon behaviour).
+
+/// Allocates `capacity` among services with the given `demands` and
+/// `weights` using the work-conserving proportional-share policy.
+///
+/// Returns per-service allocations with `Σ alloc ≤ capacity + ε` and
+/// `alloc_i ≤ demand_i`. Zero-weight services receive nothing unless every
+/// weight is zero, in which case weights are treated as equal (the paper's
+/// EQUALWEIGHTS corner).
+pub fn weighted_water_fill(capacity: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(demands.len(), weights.len());
+    let n = demands.len();
+    if n == 0 || capacity <= 0.0 {
+        return vec![0.0; n];
+    }
+    let total_w: f64 = weights.iter().sum();
+    let equalized: Vec<f64>;
+    let w: &[f64] = if total_w <= 0.0 {
+        equalized = vec![1.0; n];
+        &equalized
+    } else {
+        weights
+    };
+
+    let total_demand: f64 = demands.iter().sum();
+    if total_demand <= capacity {
+        return demands.to_vec(); // work conserving: everyone satisfied
+    }
+
+    // Phase 1: water-fill the positively weighted services. Sorted by
+    // saturation level demand_i / w_i, below the final level t a service is
+    // capped at its demand, above it gets t·w_i.
+    let mut order: Vec<usize> = (0..n).filter(|&i| w[i] > 0.0).collect();
+    let sat = |i: usize| demands[i] / w[i];
+    order.sort_by(|&a, &b| sat(a).partial_cmp(&sat(b)).unwrap());
+
+    let mut remaining_capacity = capacity;
+    let mut remaining_weight: f64 = order.iter().map(|&i| w[i]).sum();
+    let mut alloc = vec![0.0; n];
+    let mut contended = false;
+    for (pos, &i) in order.iter().enumerate() {
+        let level = remaining_capacity / remaining_weight;
+        if sat(i) <= level {
+            // Satisfied: takes its demand, surplus stays in the pool.
+            alloc[i] = demands[i];
+            remaining_capacity -= demands[i];
+            remaining_weight -= w[i];
+        } else {
+            // This and all later services split the pool by weight.
+            for &j in &order[pos..] {
+                alloc[j] = level * w[j];
+            }
+            contended = true;
+            remaining_capacity = 0.0;
+            break;
+        }
+    }
+
+    // Phase 2 (work conservation): capacity left after satisfying every
+    // weighted service flows to zero-weight services, split equally.
+    if !contended && remaining_capacity > 0.0 {
+        let idle: Vec<usize> = (0..n).filter(|&i| w[i] <= 0.0).collect();
+        if !idle.is_empty() {
+            let demands2: Vec<f64> = idle.iter().map(|&i| demands[i]).collect();
+            let ones = vec![1.0; idle.len()];
+            let sub = weighted_water_fill(remaining_capacity, &demands2, &ones);
+            for (k, &i) in idle.iter().enumerate() {
+                alloc[i] = sub[k];
+            }
+        }
+    }
+    alloc
+}
+
+/// Optimal max–min yield on a single resource: every service gets
+/// `y·need_i` with the largest feasible common `y` (all-knowing baseline of
+/// Theorem 1). Returns the optimal minimum yield.
+pub fn omniscient_min_yield(capacity: f64, needs: &[f64]) -> f64 {
+    let total: f64 = needs.iter().sum();
+    if total <= capacity || total <= 0.0 {
+        1.0
+    } else {
+        capacity / total
+    }
+}
+
+/// The minimum yield EQUALWEIGHTS achieves on a single resource: equal
+/// weights, work-conserving, yields measured against the true needs.
+pub fn equal_weights_min_yield(capacity: f64, needs: &[f64]) -> f64 {
+    let weights = vec![1.0; needs.len()];
+    let alloc = weighted_water_fill(capacity, needs, &weights);
+    needs
+        .iter()
+        .zip(&alloc)
+        .map(|(&n, &a)| if n <= 0.0 { 1.0 } else { (a / n).min(1.0) })
+        .fold(1.0, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct transcription of the paper's iterative redistribution, used
+    /// as a reference implementation.
+    fn iterative_reference(capacity: f64, demands: &[f64], weights: &[f64]) -> Vec<f64> {
+        let n = demands.len();
+        let total_w: f64 = weights.iter().sum();
+        let mut w: Vec<f64> = if total_w <= 0.0 {
+            vec![1.0; n]
+        } else {
+            weights.to_vec()
+        };
+        let mut alloc = vec![0.0; n];
+        let mut satisfied = vec![false; n];
+        let mut available = capacity;
+        const EPS: f64 = 1e-12;
+        loop {
+            let active_w: f64 = (0..n).filter(|&i| !satisfied[i]).map(|i| w[i]).sum();
+            if available <= EPS {
+                break;
+            }
+            if active_w <= 0.0 {
+                // Only zero-weight services left wanting; work conservation
+                // hands them the idle capacity with equal weights.
+                let any = (0..n).any(|i| !satisfied[i] && demands[i] > alloc[i] + EPS);
+                if !any {
+                    break;
+                }
+                for i in 0..n {
+                    if !satisfied[i] {
+                        w[i] = 1.0;
+                    }
+                }
+                continue;
+            }
+            // Tentative proportional share for unsatisfied services.
+            let mut newly = Vec::new();
+            for i in 0..n {
+                if satisfied[i] {
+                    continue;
+                }
+                let share = alloc[i] + available * w[i] / active_w;
+                if demands[i] <= share + EPS {
+                    newly.push(i);
+                }
+            }
+            if newly.is_empty() {
+                // Nobody saturates: hand out the shares and stop.
+                for i in 0..n {
+                    if !satisfied[i] {
+                        alloc[i] += available * w[i] / active_w;
+                    }
+                }
+                break;
+            }
+            for &i in &newly {
+                available -= demands[i] - alloc[i];
+                alloc[i] = demands[i];
+                satisfied[i] = true;
+            }
+        }
+        alloc
+    }
+
+    fn assert_allocs_close(a: &[f64], b: &[f64]) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn under_subscription_gives_everyone_their_demand() {
+        let alloc = weighted_water_fill(1.0, &[0.2, 0.3], &[1.0, 1.0]);
+        assert_allocs_close(&alloc, &[0.2, 0.3]);
+    }
+
+    #[test]
+    fn oversubscription_splits_by_weight() {
+        let alloc = weighted_water_fill(1.0, &[2.0, 2.0], &[3.0, 1.0]);
+        assert_allocs_close(&alloc, &[0.75, 0.25]);
+    }
+
+    #[test]
+    fn paper_example_work_conserving_redistribution() {
+        // §6: two instances capped at 50% each, one uses less → the other
+        // may take the unused portion.
+        let alloc = weighted_water_fill(1.0, &[0.2, 1.0], &[1.0, 1.0]);
+        assert_allocs_close(&alloc, &[0.2, 0.8]);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_equal() {
+        let alloc = weighted_water_fill(1.0, &[1.0, 1.0], &[0.0, 0.0]);
+        assert_allocs_close(&alloc, &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn partially_zero_weight_gets_nothing_when_contended() {
+        let alloc = weighted_water_fill(1.0, &[1.0, 1.0], &[0.0, 1.0]);
+        assert_allocs_close(&alloc, &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn matches_iterative_reference_on_many_cases() {
+        let mut state = 0xabcdef12u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for trial in 0..500 {
+            let n = 1 + (rnd() * 8.0) as usize;
+            let demands: Vec<f64> = (0..n).map(|_| rnd() * 1.5).collect();
+            let weights: Vec<f64> = (0..n)
+                .map(|_| if rnd() < 0.2 { 0.0 } else { rnd() })
+                .collect();
+            let cap = rnd() * 2.0;
+            let fast = weighted_water_fill(cap, &demands, &weights);
+            let slow = iterative_reference(cap, &demands, &weights);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-7, "trial {trial}: {fast:?} vs {slow:?}");
+            }
+            // Conservation and demand caps.
+            let total: f64 = fast.iter().sum();
+            assert!(total <= cap + 1e-7, "trial {trial}");
+            for (a, d) in fast.iter().zip(&demands) {
+                assert!(*a <= d + 1e-9, "trial {trial}");
+            }
+        }
+    }
+
+    // ---- Theorem 1 ----------------------------------------------------
+
+    /// The bound (2J−1)/J².
+    fn theorem_bound(j: usize) -> f64 {
+        let j = j as f64;
+        (2.0 * j - 1.0) / (j * j)
+    }
+
+    #[test]
+    fn theorem1_tight_instance_achieves_the_bound_exactly() {
+        // n₁ = 1, n_j = 1/J for j ≥ 2 on a unit resource.
+        for j in [2usize, 3, 5, 10, 50] {
+            let mut needs = vec![1.0];
+            needs.extend(std::iter::repeat(1.0 / j as f64).take(j - 1));
+            let eq = equal_weights_min_yield(1.0, &needs);
+            let opt = omniscient_min_yield(1.0, &needs);
+            let ratio = eq / opt;
+            assert!(
+                (ratio - theorem_bound(j)).abs() < 1e-9,
+                "J={j}: ratio {ratio} vs bound {}",
+                theorem_bound(j)
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_needs_above_one_break_the_bound() {
+        // Documents the hidden assumption: with a need above the full
+        // resource (n̂ = 1.656 > 1) the (2J−1)/J² bound does NOT hold.
+        let needs = [1.6556654150832495, 0.526340348587124];
+        let eq = equal_weights_min_yield(1.0, &needs);
+        let opt = omniscient_min_yield(1.0, &needs);
+        assert!(
+            eq / opt < theorem_bound(2),
+            "expected a violation: ratio {} vs bound {}",
+            eq / opt,
+            theorem_bound(2)
+        );
+    }
+
+    #[test]
+    fn theorem1_bound_holds_on_random_instances() {
+        // Needs are drawn from (0, 1]: Theorem 1's proof implicitly assumes
+        // no service needs more than the full resource (its Case 1 step
+        // substitutes n̂ = 1 as the maximum); the bound fails for n̂ > 1.
+        let mut state = 0x5eed5eedu64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for _ in 0..2000 {
+            let j = 1 + (rnd() * 12.0) as usize;
+            let needs: Vec<f64> = (0..j).map(|_| 0.01 + rnd() * 0.99).collect();
+            let eq = equal_weights_min_yield(1.0, &needs);
+            let opt = omniscient_min_yield(1.0, &needs);
+            let bound = theorem_bound(j);
+            assert!(
+                eq + 1e-9 >= bound * opt,
+                "J={j}, needs={needs:?}: eq={eq}, opt={opt}, bound={bound}"
+            );
+        }
+    }
+}

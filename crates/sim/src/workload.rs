@@ -1,0 +1,198 @@
+//! Service workload generation — the Google-dataset stand-in.
+//!
+//! The paper instantiates service requirements and needs from a Google
+//! production trace that exposes two marginals per task: the number of
+//! requested cores and the fraction of system memory used. Both are then
+//! renormalised (CPU needs to the platform's total capacity, memory to a
+//! target slack), so only the distributions' *shapes* matter. This module
+//! provides a synthetic model with matching structure:
+//!
+//! * requested cores `k_j` follow a discrete distribution concentrated on
+//!   small core counts (defaults: 1, 2, 4, 8 w.p. 0.55/0.25/0.15/0.05);
+//! * aggregate CPU need is proportional to `k_j` (as in §4), elementary CPU
+//!   need is the per-core share `n_j / k_j`;
+//! * the elementary CPU *requirement* is one reference value shared by all
+//!   services (§4), with aggregate requirement `k_j × ref`;
+//! * memory requirement fractions are lognormal (median 0.05, σ = 1),
+//!   heavily right-skewed like the trace; memory has no fluid need (§4's
+//!   experiments perturb CPU only, and Figure 1 shows memory as
+//!   requirement-only).
+
+use crate::rng::{lognormal, weighted_index};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmplace_model::Service;
+
+/// Configuration of the workload generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of services `J`.
+    pub services: usize,
+    /// `(core count, probability)` table for requested cores.
+    pub core_distribution: Vec<(usize, f64)>,
+    /// Reference elementary CPU requirement shared by all services.
+    pub cpu_reference_requirement: f64,
+    /// Lognormal `μ` for raw memory fractions (`ln 0.05` by default).
+    pub memory_mu: f64,
+    /// Lognormal `σ` for raw memory fractions.
+    pub memory_sigma: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            services: 100,
+            core_distribution: vec![(1, 0.55), (2, 0.25), (4, 0.15), (8, 0.05)],
+            cpu_reference_requirement: 0.01,
+            memory_mu: (0.05f64).ln(),
+            memory_sigma: 1.0,
+        }
+    }
+}
+
+/// Raw (pre-normalisation) workload: cores and memory fractions per service.
+#[derive(Clone, Debug)]
+pub struct RawWorkload {
+    /// Requested cores per service.
+    pub cores: Vec<usize>,
+    /// Raw memory fractions per service (unnormalised).
+    pub memory: Vec<f64>,
+    /// The generating configuration.
+    pub config: WorkloadConfig,
+}
+
+impl WorkloadConfig {
+    /// Draws the raw workload deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> RawWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = self.core_distribution.iter().map(|&(_, p)| p).collect();
+        let cores: Vec<usize> = (0..self.services)
+            .map(|_| self.core_distribution[weighted_index(&mut rng, &weights)].0)
+            .collect();
+        let memory: Vec<f64> = (0..self.services)
+            .map(|_| lognormal(&mut rng, self.memory_mu, self.memory_sigma).max(1e-4))
+            .collect();
+        RawWorkload {
+            cores,
+            memory,
+            config: self.clone(),
+        }
+    }
+}
+
+impl RawWorkload {
+    /// Materialises services after normalisation:
+    ///
+    /// * CPU needs scaled so `Σ_j nᵃ_j = total_cpu_capacity` (§4);
+    /// * memory requirements scaled so
+    ///   `Σ_j mem_j = (1 − slack) × total_memory_capacity` (§4's memory
+    ///   slack families).
+    pub fn into_services(
+        &self,
+        total_cpu_capacity: f64,
+        total_memory_capacity: f64,
+        memory_slack: f64,
+    ) -> Vec<Service> {
+        let total_cores: f64 = self.cores.iter().map(|&k| k as f64).sum();
+        let cpu_scale = total_cpu_capacity / total_cores;
+        let raw_mem: f64 = self.memory.iter().sum();
+        let mem_target = (1.0 - memory_slack) * total_memory_capacity;
+        let mem_scale = mem_target / raw_mem;
+        let r = self.config.cpu_reference_requirement;
+
+        self.cores
+            .iter()
+            .zip(&self.memory)
+            .map(|(&k, &m_raw)| {
+                let k_f = k as f64;
+                let need_agg_cpu = cpu_scale * k_f;
+                let need_elem_cpu = need_agg_cpu / k_f; // per-core share
+                let mem = m_raw * mem_scale;
+                Service::new(
+                    vec![r, mem],
+                    vec![r * k_f, mem],
+                    vec![need_elem_cpu, 0.0],
+                    vec![need_agg_cpu, 0.0],
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_needs_sum_to_capacity() {
+        let raw = WorkloadConfig {
+            services: 250,
+            ..WorkloadConfig::default()
+        }
+        .generate(3);
+        let services = raw.into_services(32.0, 32.0, 0.4);
+        let total: f64 = services.iter().map(|s| s.need_agg[0]).sum();
+        assert!((total - 32.0).abs() < 1e-9, "total CPU need {total}");
+    }
+
+    #[test]
+    fn memory_hits_slack_target() {
+        let raw = WorkloadConfig::default().generate(5);
+        let services = raw.into_services(32.0, 30.0, 0.7);
+        let total: f64 = services.iter().map(|s| s.req_agg[1]).sum();
+        assert!((total - 0.3 * 30.0).abs() < 1e-9, "total memory {total}");
+    }
+
+    #[test]
+    fn per_service_mean_matches_paper_reported_values() {
+        // §6.2: "Services in the 100-service case have a mean CPU need of
+        // 0.317, 250 → 0.127, 500 → 0.063" on 64 × 0.5 platforms (Σ = 32).
+        for (j, expected) in [(100, 0.32), (250, 0.128), (500, 0.064)] {
+            let raw = WorkloadConfig {
+                services: j,
+                ..WorkloadConfig::default()
+            }
+            .generate(11);
+            let services = raw.into_services(32.0, 32.0, 0.5);
+            let mean: f64 = services.iter().map(|s| s.need_agg[0]).sum::<f64>() / j as f64;
+            assert!(
+                (mean - expected).abs() < 1e-9,
+                "J={j}: mean {mean} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn elementary_need_is_per_core_share() {
+        let raw = WorkloadConfig::default().generate(9);
+        let services = raw.into_services(32.0, 32.0, 0.5);
+        for (s, &k) in services.iter().zip(&raw.cores) {
+            assert!((s.need_elem[0] * k as f64 - s.need_agg[0]).abs() < 1e-9);
+            // all per-core shares equal the global scale factor
+        }
+        // aggregate requirement = k × elementary reference
+        for (s, &k) in services.iter().zip(&raw.cores) {
+            assert!((s.req_agg[0] - 0.01 * k as f64).abs() < 1e-12);
+            assert!((s.req_elem[0] - 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn services_validate() {
+        let raw = WorkloadConfig::default().generate(1);
+        for (i, s) in raw.into_services(32.0, 32.0, 0.1).iter().enumerate() {
+            s.validate(&i.to_string()).unwrap();
+        }
+    }
+
+    #[test]
+    fn core_distribution_shape() {
+        let raw = WorkloadConfig {
+            services: 100_000,
+            ..WorkloadConfig::default()
+        }
+        .generate(17);
+        let ones = raw.cores.iter().filter(|&&k| k == 1).count() as f64 / 100_000.0;
+        assert!((ones - 0.55).abs() < 0.01, "P(1 core) = {ones}");
+    }
+}

@@ -1,0 +1,136 @@
+//! `vmplace` — command-line solver.
+//!
+//! ```text
+//! vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]
+//! vmplace gen   [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
+//! vmplace example
+//! ```
+//!
+//! `solve` reads an instance in the text format of `vmplace_model::io`,
+//! maximises the minimum yield and prints per-service allocations.
+//! `gen` prints a generated §4-style instance (pipe it to a file, edit it,
+//! solve it). `example` prints the paper's Figure 1 instance.
+
+use vmplace::prelude::*;
+use vmplace_model::io::{read_instance, write_instance};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]\n  \
+         vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
+         vmplace example"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args),
+        Some("gen") => cmd_gen(&args),
+        Some("example") => {
+            let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+            let services = vec![Service::new(
+                vec![0.5, 0.5],
+                vec![1.0, 0.5],
+                vec![0.5, 0.0],
+                vec![1.0, 0.0],
+            )];
+            let inst = ProblemInstance::new(nodes, services).unwrap();
+            print!("{}", write_instance(&inst));
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_solve(args: &[String]) {
+    let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let instance = match read_instance(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let algo = flag_value(args, "--algo").unwrap_or_else(|| "light".to_string());
+    let solution = match algo.as_str() {
+        "light" => MetaVp::metahvp_light().solve(&instance),
+        "hvp" => MetaVp::metahvp().solve(&instance),
+        "vp" => MetaVp::metavp().solve(&instance),
+        "greedy" => MetaGreedy.solve(&instance),
+        "rrnz" => RandomizedRounding::rrnz(0).solve(&instance),
+        "milp" => ExactMilp::default().solve(&instance),
+        other => {
+            eprintln!("error: unknown algorithm `{other}`");
+            std::process::exit(2);
+        }
+    };
+
+    match solution {
+        None => {
+            eprintln!("INFEASIBLE: some rigid requirement cannot be satisfied");
+            std::process::exit(3);
+        }
+        Some(sol) => {
+            println!(
+                "# {} nodes, {} services — algorithm {}",
+                instance.num_nodes(),
+                instance.num_services(),
+                algo
+            );
+            println!("minimum yield {:.4}", sol.min_yield);
+            println!("mean yield    {:.4}", sol.mean_yield());
+            for (j, &y) in sol.yields.iter().enumerate() {
+                let h = sol.placement.node_of(j).unwrap();
+                print!("service {j} -> node {h}  yield {y:.4}");
+                if args.iter().any(|a| a == "--plan") {
+                    let s = &instance.services()[j];
+                    let alloc = s.demand_agg(y);
+                    print!("  alloc [");
+                    for d in 0..instance.dims() {
+                        if d > 0 {
+                            print!(", ");
+                        }
+                        print!("{:.4}", alloc[d]);
+                    }
+                    print!("]");
+                }
+                println!();
+            }
+        }
+    }
+}
+
+fn cmd_gen(args: &[String]) {
+    let get = |key: &str, default: f64| -> f64 {
+        flag_value(args, key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scenario = Scenario::new(ScenarioConfig {
+        hosts: get("--hosts", 64.0) as usize,
+        services: get("--services", 100.0) as usize,
+        cov: get("--cov", 0.5),
+        memory_slack: get("--slack", 0.5),
+        ..ScenarioConfig::default()
+    });
+    let instance = scenario.instance(get("--seed", 0.0) as u64);
+    print!("{}", write_instance(&instance));
+}

@@ -1,0 +1,68 @@
+//! # vmplace
+//!
+//! A complete Rust implementation of
+//! *Casanova, Stillwell, Vivien — "Virtual Machine Resource Allocation for
+//! Service Hosting on Heterogeneous Distributed Platforms"* (IPDPS 2012,
+//! INRIA RR-7772): max–min-yield placement and resource allocation of
+//! services (VM instances) on heterogeneous platforms.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vmplace::prelude::*;
+//!
+//! // Figure 1 of the paper: two heterogeneous nodes, one service.
+//! let nodes = vec![
+//!     Node::multicore(4, 0.8, 1.0), // node A: 4 × 0.8 CPU, 1.0 memory
+//!     Node::multicore(2, 1.0, 0.5), // node B: 2 × 1.0 CPU, 0.5 memory
+//! ];
+//! let service = Service::new(
+//!     vec![0.5, 0.5], // elementary requirement (CPU, memory)
+//!     vec![1.0, 0.5], // aggregate requirement
+//!     vec![0.5, 0.0], // elementary need
+//!     vec![1.0, 0.0], // aggregate need
+//! );
+//! let instance = ProblemInstance::new(nodes, vec![service]).unwrap();
+//!
+//! // The paper's best practical algorithm (§5.1).
+//! let solution = MetaVp::metahvp_light().solve(&instance).expect("feasible");
+//! assert_eq!(solution.placement.node_of(0), Some(1)); // node B wins
+//! assert!((solution.min_yield - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Piece | Crate |
+//! |-------|-------|
+//! | problem model, yield semantics | [`vmplace_model`] |
+//! | LP/MILP solver (simplex + B&B) | [`vmplace_lp`] |
+//! | placement algorithms (greedy, VP, META*, RRND/RRNZ) | [`vmplace_core`] |
+//! | generators, error model, runtime allocators | [`vmplace_sim`] |
+//! | parallel sweep executor | [`vmplace_par`] |
+//!
+//! This facade re-exports the public API; the `vmplace-experiments` crate
+//! hosts the binaries that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use vmplace_core as core;
+pub use vmplace_lp as lp;
+pub use vmplace_model as model;
+pub use vmplace_par as par;
+pub use vmplace_sim as sim;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use vmplace_core::{
+        binary_search_yield, Algorithm, ExactMilp, GreedyAlgorithm, MetaGreedy, MetaVp,
+        NodePicker, RandomizedRounding, ServiceSort, VpAlgorithm,
+    };
+    pub use vmplace_model::{
+        dims, evaluate_placement, Node, Placement, ProblemInstance, ResourceVector, Service,
+        Solution,
+    };
+    pub use vmplace_sim::{
+        apply_min_threshold, perturb_cpu_needs, zero_knowledge_placement, AllocationPolicy,
+        ErrorRun, HomogeneousDim, PlatformConfig, Scenario, ScenarioConfig, WorkloadConfig,
+    };
+}

@@ -1,0 +1,74 @@
+//! Estimation errors and mitigation (§6): what happens to real yields when
+//! the scheduler's CPU-need estimates are wrong, and how the paper's
+//! minimum-threshold strategy plus work-conserving weights recovers most of
+//! the loss.
+//!
+//! ```text
+//! cargo run --release -p vmplace --example error_mitigation
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmplace::core::vp::{binary_search_placement, DEFAULT_RESOLUTION};
+use vmplace::prelude::*;
+
+fn main() {
+    // A moderately heterogeneous 64-node platform with 150 services.
+    // Generation can produce infeasible instances (a service bigger than
+    // every node), so scan seeds for a feasible one.
+    let solver = MetaVp::metahvp_light();
+    let scenario = Scenario::new(ScenarioConfig {
+        hosts: 64,
+        services: 150,
+        cov: 0.5,
+        memory_slack: 0.5,
+        ..ScenarioConfig::default()
+    });
+    let (instance, ideal) = (0..100)
+        .find_map(|seed| {
+            let inst = scenario.instance(seed);
+            solver.solve(&inst).map(|sol| (inst, sol))
+        })
+        .expect("some seed must be feasible");
+
+    let run = ErrorRun::new(&instance);
+    println!("ideal (perfect estimates):        min yield {:.4}", ideal.min_yield);
+
+    // Zero knowledge baseline: spread evenly, share equally.
+    let zk = zero_knowledge_placement(&instance).expect("feasible");
+    let zk_yield = run
+        .actual_min_yield(&zk, &vec![0.0; instance.num_services()], AllocationPolicy::EqualWeights)
+        .unwrap();
+    println!("zero-knowledge:                   min yield {zk_yield:.4}\n");
+
+    // Perturb the CPU-need estimates by ±0.05 (large relative to the mean
+    // need of ~0.2 at 150 services).
+    let mut rng = StdRng::seed_from_u64(99);
+    let estimates = perturb_cpu_needs(instance.services(), 0.05, &mut rng);
+
+    println!("with erroneous estimates (max error 0.05):");
+    for tau in [0.0, 0.10, 0.30] {
+        let est = apply_min_threshold(&estimates, tau);
+        let est_instance = instance.with_services(est.clone()).unwrap();
+        let (_, placement) =
+            binary_search_placement(&est_instance, &solver, DEFAULT_RESOLUTION).expect("feasible");
+        let planned = run.planned_extras(&est, &placement).unwrap();
+        let caps = run
+            .actual_min_yield(&placement, &planned, AllocationPolicy::AllocCaps)
+            .unwrap();
+        let weights = run
+            .actual_min_yield(&placement, &planned, AllocationPolicy::AllocWeights)
+            .unwrap();
+        let equal = run
+            .actual_min_yield(&placement, &planned, AllocationPolicy::EqualWeights)
+            .unwrap();
+        println!(
+            "  threshold τ = {tau:.2}:  ALLOCCAPS {caps:.4}   ALLOCWEIGHTS {weights:.4}   EQUALWEIGHTS {equal:.4}"
+        );
+    }
+    println!(
+        "\nThe §6.2 pattern: hard caps suffer under error; work-conserving\n\
+         weights + a small threshold recover toward the ideal and stay above\n\
+         the zero-knowledge baseline."
+    );
+}

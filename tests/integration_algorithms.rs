@@ -1,0 +1,163 @@
+//! Cross-crate integration: every algorithm family against generated
+//! scenarios, checking the paper's dominance relations and the shared
+//! solution invariants.
+
+use vmplace::prelude::*;
+
+fn scenarios() -> Vec<ProblemInstance> {
+    let mut out = Vec::new();
+    for (hosts, services, cov, slack) in [
+        (8usize, 16usize, 0.0f64, 0.6f64),
+        (8, 16, 0.5, 0.5),
+        (16, 40, 1.0, 0.4),
+        (16, 40, 0.25, 0.7),
+    ] {
+        let sc = Scenario::new(ScenarioConfig {
+            hosts,
+            services,
+            cov,
+            memory_slack: slack,
+            ..ScenarioConfig::default()
+        });
+        for seed in 0..3 {
+            out.push(sc.instance(seed));
+        }
+    }
+    out
+}
+
+fn check_solution(instance: &ProblemInstance, sol: &Solution, label: &str) {
+    assert!(sol.placement.is_complete(), "{label}: incomplete placement");
+    assert!(
+        sol.placement.feasible_at_yield(instance, 0.0),
+        "{label}: requirements violated"
+    );
+    assert!(
+        (0.0..=1.0).contains(&sol.min_yield),
+        "{label}: min yield {} out of range",
+        sol.min_yield
+    );
+    for (j, &y) in sol.yields.iter().enumerate() {
+        assert!((0.0..=1.0 + 1e-9).contains(&y), "{label}: yield[{j}] = {y}");
+        assert!(y >= sol.min_yield - 1e-9, "{label}: min_yield inconsistent");
+    }
+    // Re-evaluating the placement must reproduce the reported yields.
+    let re = evaluate_placement(instance, &sol.placement).unwrap();
+    assert!(
+        (re.min_yield - sol.min_yield).abs() < 1e-9,
+        "{label}: evaluator disagrees"
+    );
+}
+
+#[test]
+fn all_algorithms_produce_valid_solutions() {
+    let metagreedy = MetaGreedy;
+    let metavp = MetaVp::metavp();
+    let light = MetaVp::metahvp_light();
+    for (i, inst) in scenarios().iter().enumerate() {
+        for (label, sol) in [
+            ("METAGREEDY", metagreedy.solve(inst)),
+            ("METAVP", metavp.solve(inst)),
+            ("METAHVPLIGHT", light.solve(inst)),
+            ("RRNZ", RandomizedRounding::rrnz(i as u64).solve(inst)),
+        ] {
+            if let Some(sol) = sol {
+                check_solution(inst, &sol, &format!("instance {i} / {label}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn meta_algorithms_dominate_their_members() {
+    // METAGREEDY ≥ every greedy member; METAHVP succeeds wherever METAVP
+    // does and is at least as good (up to binary-search resolution).
+    let metavp = MetaVp::metavp();
+    let metahvp = MetaVp::metahvp();
+    for (i, inst) in scenarios().iter().enumerate().take(6) {
+        if let Some(meta) = MetaGreedy.solve(inst) {
+            for alg in GreedyAlgorithm::all() {
+                if let Some(sol) = alg.solve(inst) {
+                    assert!(
+                        meta.min_yield >= sol.min_yield - 1e-9,
+                        "instance {i}: METAGREEDY beaten by {:?}",
+                        alg
+                    );
+                }
+            }
+        }
+        match (metavp.solve(inst), metahvp.solve(inst)) {
+            (Some(vp), Some(hvp)) => assert!(
+                hvp.min_yield >= vp.min_yield - 2e-4,
+                "instance {i}: METAHVP {} < METAVP {}",
+                hvp.min_yield,
+                vp.min_yield
+            ),
+            (Some(_), None) => panic!("instance {i}: METAHVP failed where METAVP succeeded"),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn vector_packing_beats_greedy_broadly() {
+    // §5's headline: VP approaches outperform greedy. Check on aggregate:
+    // summed min yield over commonly solved instances.
+    let light = MetaVp::metahvp_light();
+    let mut vp_total = 0.0;
+    let mut greedy_total = 0.0;
+    let mut count = 0;
+    for inst in scenarios() {
+        if let (Some(vp), Some(g)) = (light.solve(&inst), MetaGreedy.solve(&inst)) {
+            vp_total += vp.min_yield;
+            greedy_total += g.min_yield;
+            count += 1;
+        }
+    }
+    assert!(count >= 5, "not enough commonly-solved instances ({count})");
+    assert!(
+        vp_total >= greedy_total,
+        "vector packing ({vp_total:.3}) should dominate greedy ({greedy_total:.3}) on aggregate"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // Not every generated instance is feasible; find one that is, then the
+    // whole pipeline must be bit-for-bit deterministic.
+    let light = MetaVp::metahvp_light();
+    let mut checked = 0;
+    for inst in scenarios() {
+        if let Some(a) = light.solve(&inst) {
+            let b = light.solve(&inst).unwrap();
+            assert_eq!(a.placement, b.placement);
+            assert_eq!(a.min_yield, b.min_yield);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no feasible instance found");
+}
+
+#[test]
+fn figure1_example_end_to_end() {
+    // The worked example of §2 through the full public API.
+    let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+    let service = Service::new(vec![0.5, 0.5], vec![1.0, 0.5], vec![0.5, 0.0], vec![1.0, 0.0]);
+    let instance = ProblemInstance::new(nodes, vec![service]).unwrap();
+    for algorithm in [
+        Box::new(MetaGreedy) as Box<dyn Algorithm>,
+        Box::new(MetaVp::metavp()),
+        Box::new(MetaVp::metahvp()),
+        Box::new(MetaVp::metahvp_light()),
+        Box::new(ExactMilp::default()),
+    ] {
+        let sol = algorithm.solve(&instance).expect("feasible");
+        assert_eq!(sol.placement.node_of(0), Some(1), "{}", algorithm.name());
+        assert!(
+            (sol.min_yield - 1.0).abs() < 1e-9,
+            "{}: {}",
+            algorithm.name(),
+            sol.min_yield
+        );
+    }
+}

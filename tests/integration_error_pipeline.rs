@@ -1,0 +1,124 @@
+//! Cross-crate integration: the §6 error pipeline end to end — perturbed
+//! estimates, threshold mitigation, runtime allocation policies — checking
+//! the paper's qualitative claims on generated scenarios.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vmplace::core::vp::{binary_search_placement, DEFAULT_RESOLUTION};
+use vmplace::prelude::*;
+
+fn instance() -> ProblemInstance {
+    Scenario::new(ScenarioConfig {
+        hosts: 16,
+        services: 48,
+        cov: 0.5,
+        memory_slack: 0.6,
+        ..ScenarioConfig::default()
+    })
+    .instance(2)
+}
+
+#[test]
+fn perfect_estimates_reproduce_ideal_yield() {
+    let inst = instance();
+    let light = MetaVp::metahvp_light();
+    let (_, placement) = binary_search_placement(&inst, &light, DEFAULT_RESOLUTION).unwrap();
+    let ideal = evaluate_placement(&inst, &placement).unwrap();
+    let run = ErrorRun::new(&inst);
+    let planned = run.planned_extras(inst.services(), &placement).unwrap();
+    let caps = run
+        .actual_min_yield(&placement, &planned, AllocationPolicy::AllocCaps)
+        .unwrap();
+    assert!(
+        (caps - ideal.min_yield).abs() < 1e-9,
+        "ALLOCCAPS with perfect estimates ({caps}) must equal ideal ({})",
+        ideal.min_yield
+    );
+    // Work conservation can only help.
+    let weights = run
+        .actual_min_yield(&placement, &planned, AllocationPolicy::AllocWeights)
+        .unwrap();
+    assert!(weights >= caps - 1e-9);
+}
+
+#[test]
+fn error_degrades_caps_more_than_weights_on_average() {
+    let inst = instance();
+    let light = MetaVp::metahvp_light();
+    let run = ErrorRun::new(&inst);
+    let mut caps_sum = 0.0;
+    let mut weights_sum = 0.0;
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = perturb_cpu_needs(inst.services(), 0.15, &mut rng);
+        let est_inst = inst.with_services(est.clone()).unwrap();
+        let (_, placement) = binary_search_placement(&est_inst, &light, DEFAULT_RESOLUTION).unwrap();
+        let planned = run.planned_extras(&est, &placement).unwrap();
+        caps_sum += run
+            .actual_min_yield(&placement, &planned, AllocationPolicy::AllocCaps)
+            .unwrap();
+        weights_sum += run
+            .actual_min_yield(&placement, &planned, AllocationPolicy::AllocWeights)
+            .unwrap();
+    }
+    assert!(
+        weights_sum >= caps_sum,
+        "work-conserving weights ({weights_sum:.3}) should not lose to hard caps ({caps_sum:.3})"
+    );
+}
+
+#[test]
+fn threshold_makes_curves_flatter() {
+    // With a large threshold the placement depends less on the (noisy)
+    // estimates, so the spread of outcomes across error draws shrinks.
+    let inst = instance();
+    let light = MetaVp::metahvp_light();
+    let run = ErrorRun::new(&inst);
+    let spread = |tau: f64| -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(1000 + seed);
+            let est = perturb_cpu_needs(inst.services(), 0.2, &mut rng);
+            let est = apply_min_threshold(&est, tau);
+            let est_inst = inst.with_services(est.clone()).unwrap();
+            let (_, placement) =
+                binary_search_placement(&est_inst, &light, DEFAULT_RESOLUTION).unwrap();
+            let planned = run.planned_extras(&est, &placement).unwrap();
+            let y = run
+                .actual_min_yield(&placement, &planned, AllocationPolicy::EqualWeights)
+                .unwrap();
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+        hi - lo
+    };
+    // Not strictly monotone instance-by-instance, but a huge threshold must
+    // not be *more* sensitive than no threshold.
+    assert!(
+        spread(0.5) <= spread(0.0) + 0.05,
+        "spread τ=0.5 {} vs τ=0 {}",
+        spread(0.5),
+        spread(0.0)
+    );
+}
+
+#[test]
+fn zero_knowledge_is_a_valid_fallback() {
+    let inst = instance();
+    let p = zero_knowledge_placement(&inst).expect("even spread feasible");
+    assert!(p.feasible_at_yield(&inst, 0.0));
+    let run = ErrorRun::new(&inst);
+    let y = run
+        .actual_min_yield(&p, &vec![0.0; inst.num_services()], AllocationPolicy::EqualWeights)
+        .unwrap();
+    assert!((0.0..=1.0).contains(&y));
+    // Informed placement with correct estimates should beat it.
+    let light = MetaVp::metahvp_light();
+    let ideal = light.solve(&inst).unwrap();
+    assert!(
+        ideal.min_yield >= y - 1e-9,
+        "ideal {} should dominate zero-knowledge {y}",
+        ideal.min_yield
+    );
+}

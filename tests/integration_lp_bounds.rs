@@ -1,0 +1,98 @@
+//! Cross-crate integration: the LP relaxation upper-bounds every heuristic
+//! and the exact MILP, and the exact MILP dominates every heuristic.
+
+use vmplace::lp::{MilpOptions, SimplexOptions, YieldLp};
+use vmplace::prelude::*;
+
+fn small_instances() -> Vec<ProblemInstance> {
+    let mut out = Vec::new();
+    for (seed, cov, slack) in [(0u64, 0.3f64, 0.6f64), (1, 0.7, 0.5), (2, 1.0, 0.7)] {
+        let sc = Scenario::new(ScenarioConfig {
+            hosts: 4,
+            services: 8,
+            cov,
+            memory_slack: slack,
+            ..ScenarioConfig::default()
+        });
+        out.push(sc.instance(seed));
+    }
+    out
+}
+
+#[test]
+fn relaxation_bounds_exact_and_heuristics() {
+    let light = MetaVp::metahvp_light();
+    for (i, inst) in small_instances().iter().enumerate() {
+        let Some(ylp) = YieldLp::build(inst) else {
+            continue;
+        };
+        let Some(relaxed) = ylp.solve_relaxed(&SimplexOptions::default()) else {
+            continue;
+        };
+        if let Some((placement, exact_y)) = ylp.solve_exact(&MilpOptions::default()) {
+            // Relaxation ≥ exact.
+            assert!(
+                relaxed.objective >= exact_y - 1e-6,
+                "instance {i}: relaxed {} < exact {exact_y}",
+                relaxed.objective
+            );
+            // The MILP objective equals the water-fill evaluation of its own
+            // placement (both are the exact per-placement optimum).
+            let eval = evaluate_placement(inst, &placement).unwrap();
+            assert!(
+                (eval.min_yield - exact_y).abs() < 1e-4,
+                "instance {i}: water-fill {} vs MILP {exact_y}",
+                eval.min_yield
+            );
+            // Exact ≥ heuristic.
+            if let Some(h) = light.solve(inst) {
+                assert!(
+                    exact_y >= h.min_yield - 1e-4,
+                    "instance {i}: exact {exact_y} < heuristic {}",
+                    h.min_yield
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxation_probabilities_are_a_distribution() {
+    for inst in small_instances() {
+        let Some(ylp) = YieldLp::build(&inst) else {
+            continue;
+        };
+        let Some(relaxed) = ylp.solve_relaxed(&SimplexOptions::default()) else {
+            continue;
+        };
+        for (j, row) in relaxed.e.iter().enumerate() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "service {j}: Σe = {sum}");
+            for (h, &p) in row.iter().enumerate() {
+                assert!((0.0..=1.0 + 1e-9).contains(&p), "e[{j}][{h}] = {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rounding_respects_relaxation_support() {
+    // RRND never places a service on a node with zero LP probability
+    // (RRNZ may, by design).
+    for (i, inst) in small_instances().iter().enumerate() {
+        let Some(ylp) = YieldLp::build(inst) else {
+            continue;
+        };
+        let Some(relaxed) = ylp.solve_relaxed(&SimplexOptions::default()) else {
+            continue;
+        };
+        if let Some(sol) = RandomizedRounding::rrnd(i as u64).solve(inst) {
+            for (j, h) in sol.placement.iter() {
+                assert!(
+                    relaxed.e[j][h] > 0.0,
+                    "instance {i}: RRND used a zero-probability pair ({j}, {h})"
+                );
+            }
+        }
+    }
+}
