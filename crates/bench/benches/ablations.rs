@@ -17,7 +17,9 @@ use vmplace_core::{Algorithm, MetaVp};
 
 fn bench_light_vs_full(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_light_vs_full");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     let full = MetaVp::metahvp();
     let light = MetaVp::metahvp_light();
     let instance = paper_instance(250, feasible_seed(250));
@@ -28,7 +30,9 @@ fn bench_light_vs_full(c: &mut Criterion) {
 
 fn bench_resolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bsearch_resolution");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let light = MetaVp::metahvp_light();
     let instance = paper_instance(250, feasible_seed(250));
     for &res in &[1e-2f64, 1e-4, 1e-6] {
@@ -41,7 +45,9 @@ fn bench_resolution(c: &mut Criterion) {
 
 fn bench_pp_window(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_pp_window");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let instance = paper_instance(500, feasible_seed(500));
     for &w in &[1usize, 2] {
         let pp = PermutationPack {
@@ -58,5 +64,10 @@ fn bench_pp_window(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_light_vs_full, bench_resolution, bench_pp_window);
+criterion_group!(
+    benches,
+    bench_light_vs_full,
+    bench_resolution,
+    bench_pp_window
+);
 criterion_main!(benches);

@@ -8,7 +8,9 @@ use vmplace_sim::{Scenario, ScenarioConfig};
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
-    group.sample_size(50).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(4));
     for &services in &[100usize, 500, 2000] {
         let scenario = Scenario::new(ScenarioConfig {
             hosts: if services == 2000 { 512 } else { 64 },
@@ -17,13 +19,17 @@ fn bench_generation(c: &mut Criterion) {
             memory_slack: 0.4,
             ..ScenarioConfig::default()
         });
-        group.bench_with_input(BenchmarkId::new("instance", services), &scenario, |b, sc| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                sc.instance(seed)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("instance", services),
+            &scenario,
+            |b, sc| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    sc.instance(seed)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -8,7 +8,9 @@ use vmplace_lp::{SimplexOptions, YieldLp};
 
 fn bench_relaxation(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_relaxation");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for &(hosts, services) in &[(8usize, 16usize), (16, 32), (32, 50)] {
         let instance = small_instance(hosts, services, 3);
         if YieldLp::build(&instance).is_none() {
@@ -30,7 +32,9 @@ fn bench_relaxation(c: &mut Criterion) {
 
 fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_encoding");
-    group.sample_size(30).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(4));
     let instance = small_instance(64, 100, 3);
     group.bench_function("build_with_presolve", |b| {
         b.iter(|| YieldLp::build(&instance))

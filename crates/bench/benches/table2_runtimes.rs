@@ -18,7 +18,9 @@ fn bench_metas(c: &mut Criterion) {
     let light = MetaVp::metahvp_light();
 
     let mut group = c.benchmark_group("table2");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for &services in &[100usize, 250, 500] {
         let instance = paper_instance(services, feasible_seed(services));
         group.bench_with_input(
@@ -26,12 +28,16 @@ fn bench_metas(c: &mut Criterion) {
             &instance,
             |b, inst| b.iter(|| metagreedy.solve(inst)),
         );
-        group.bench_with_input(BenchmarkId::new("METAVP", services), &instance, |b, inst| {
-            b.iter(|| metavp.solve(inst))
-        });
-        group.bench_with_input(BenchmarkId::new("METAHVP", services), &instance, |b, inst| {
-            b.iter(|| metahvp.solve(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("METAVP", services),
+            &instance,
+            |b, inst| b.iter(|| metavp.solve(inst)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("METAHVP", services),
+            &instance,
+            |b, inst| b.iter(|| metahvp.solve(inst)),
+        );
         group.bench_with_input(
             BenchmarkId::new("METAHVPLIGHT", services),
             &instance,

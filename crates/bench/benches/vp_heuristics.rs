@@ -11,7 +11,9 @@ use vmplace_core::vp::{
 
 fn bench_single_packs(c: &mut Criterion) {
     let mut group = c.benchmark_group("vp_pack");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     let item = ItemSort(Some((VectorMetric::Max, SortOrder::Descending)));
     let bin = BinSort(Some((VectorMetric::Sum, SortOrder::Ascending)));
     for &services in &[100usize, 500] {

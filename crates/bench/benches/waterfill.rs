@@ -10,7 +10,9 @@ use vmplace_sim::weighted_water_fill;
 
 fn bench_water_fill(c: &mut Criterion) {
     let mut group = c.benchmark_group("waterfill");
-    group.sample_size(100).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(100)
+        .measurement_time(Duration::from_secs(4));
     for &n in &[8usize, 64, 512] {
         let demands: Vec<f64> = (0..n).map(|i| 0.1 + (i % 7) as f64 * 0.13).collect();
         let weights: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
@@ -23,7 +25,9 @@ fn bench_water_fill(c: &mut Criterion) {
 
 fn bench_evaluator(c: &mut Criterion) {
     let mut group = c.benchmark_group("yield_evaluator");
-    group.sample_size(50).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(5));
     let light = MetaVp::metahvp_light();
     for &services in &[100usize, 500] {
         let instance = paper_instance(services, 0);

@@ -15,9 +15,12 @@ pub struct ExactMilp {
 impl ExactMilp {
     /// Exact solver with a custom node budget.
     pub fn with_node_limit(max_nodes: usize) -> Self {
-        let mut options = MilpOptions::default();
-        options.max_nodes = max_nodes;
-        ExactMilp { options }
+        ExactMilp {
+            options: MilpOptions {
+                max_nodes,
+                ..MilpOptions::default()
+            },
+        }
     }
 }
 

@@ -15,7 +15,9 @@ pub use picking::NodePicker;
 pub use sorting::ServiceSort;
 
 use crate::algorithm::Algorithm;
-use vmplace_model::{evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON};
+use vmplace_model::{
+    evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON,
+};
 
 /// One member of the greedy family: a (sorting, picking) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,7 +142,12 @@ mod tests {
     fn two_node_instance() -> ProblemInstance {
         let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
         let services = vec![
-            Service::new(vec![0.5, 0.5], vec![1.0, 0.5], vec![0.5, 0.0], vec![1.0, 0.0]),
+            Service::new(
+                vec![0.5, 0.5],
+                vec![1.0, 0.5],
+                vec![0.5, 0.0],
+                vec![1.0, 0.0],
+            ),
             Service::rigid(vec![0.2, 0.4], vec![0.2, 0.4]),
         ];
         ProblemInstance::new(nodes, services).unwrap()

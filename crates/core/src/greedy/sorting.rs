@@ -83,7 +83,12 @@ mod tests {
         // service 0: req sum 0.3, need sum 0.9; service 1: req 0.8, need 0.2;
         // service 2: req 0.5, need 0.5.
         let mk = |r: [f64; 2], n: [f64; 2]| {
-            Service::new(vec![r[0], r[1]], vec![r[0], r[1]], vec![n[0], n[1]], vec![n[0], n[1]])
+            Service::new(
+                vec![r[0], r[1]],
+                vec![r[0], r[1]],
+                vec![n[0], n[1]],
+                vec![n[0], n[1]],
+            )
         };
         let services = vec![
             mk([0.1, 0.2], [0.8, 0.1]),
@@ -107,7 +112,10 @@ mod tests {
     #[test]
     fn s5_sorts_by_sum_requirement() {
         // req sums: 0.3, 0.8, 0.5 → order 1, 2, 0.
-        assert_eq!(ServiceSort::SumRequirement.order(&instance()), vec![1, 2, 0]);
+        assert_eq!(
+            ServiceSort::SumRequirement.order(&instance()),
+            vec![1, 2, 0]
+        );
     }
 
     #[test]

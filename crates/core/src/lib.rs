@@ -22,6 +22,10 @@
 //! solution quality is comparable across algorithms.
 
 #![warn(missing_docs)]
+// Index-based loops are kept where they mirror the paper's subscript
+// notation (d over dimensions, i/j over rows/services) or index several
+// arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
 
 pub mod algorithm;
 pub mod exact;

@@ -14,7 +14,9 @@ use crate::algorithm::Algorithm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vmplace_lp::{SimplexOptions, YieldLp};
-use vmplace_model::{evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON};
+use vmplace_model::{
+    evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON,
+};
 
 /// Randomized rounding of the LP relaxation (RRND / RRNZ).
 #[derive(Clone, Debug)]

@@ -150,6 +150,10 @@ mod tests {
         let inst = tight_memory();
         let sol = binary_search_yield(&inst, &ff(), 1e-4).unwrap();
         // Feasible at 0, infeasible at 1 → strictly between.
-        assert!(sol.min_yield > 0.0 && sol.min_yield < 1.0, "{}", sol.min_yield);
+        assert!(
+            sol.min_yield > 0.0 && sol.min_yield < 1.0,
+            "{}",
+            sol.min_yield
+        );
     }
 }

@@ -27,6 +27,9 @@ impl MetaVp {
     /// Fit and Permutation Pack, each under all 11 item sortings
     /// (3 × 11 = 33 strategies). Bins keep their natural order (FF/PP) or
     /// BF's own load-based ranking.
+    // The constructor deliberately carries the paper's algorithm name
+    // (METAVP), which coincides with the type name.
+    #[allow(clippy::self_named_constructors)]
     pub fn metavp() -> MetaVp {
         let mut hs: Vec<Box<dyn PackingHeuristic>> = Vec::with_capacity(33);
         for item in ItemSort::all() {

@@ -17,7 +17,9 @@ mod perm_pack;
 mod sortkey;
 
 pub use best_fit::BestFit;
-pub use binary_search::{binary_search_placement, binary_search_yield, VpAlgorithm, DEFAULT_RESOLUTION};
+pub use binary_search::{
+    binary_search_placement, binary_search_yield, VpAlgorithm, DEFAULT_RESOLUTION,
+};
 pub use first_fit::FirstFit;
 pub use meta::MetaVp;
 pub use perm_pack::PermutationPack;
@@ -222,6 +224,6 @@ mod tests {
         let mut loads = vec![0.0; vp.num_bins() * vp.dims()];
         vp.place(0, 1, &mut loads);
         vp.place(1, 1, &mut loads);
-        assert!((loads[1 * vp.dims() + 1] - 0.5).abs() < 1e-12); // memory 0.3+0.2
+        assert!((loads[vp.dims() + 1] - 0.5).abs() < 1e-12); // memory 0.3+0.2
     }
 }

@@ -186,8 +186,7 @@ mod tests {
         let cpu_heavy = Service::rigid(vec![0.6, 0.1], vec![0.6, 0.1]);
         let mem_heavy = Service::rigid(vec![0.1, 0.6], vec![0.1, 0.6]);
         let cpu_heavy2 = Service::rigid(vec![0.3, 0.05], vec![0.3, 0.05]);
-        let inst =
-            ProblemInstance::new(nodes, vec![cpu_heavy, cpu_heavy2, mem_heavy]).unwrap();
+        let inst = ProblemInstance::new(nodes, vec![cpu_heavy, cpu_heavy2, mem_heavy]).unwrap();
         let vp = VpProblem::new(&inst, 0.0);
         // Natural item order → first selection by key only.
         let alg = PermutationPack {

@@ -111,7 +111,11 @@ pub struct ItemSort(pub Option<(VectorMetric, SortOrder)>);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BinSort(pub Option<(VectorMetric, SortOrder)>);
 
-fn sorted_indices<F>(count: usize, vec_of: F, strategy: Option<(VectorMetric, SortOrder)>) -> Vec<usize>
+fn sorted_indices<F>(
+    count: usize,
+    vec_of: F,
+    strategy: Option<(VectorMetric, SortOrder)>,
+) -> Vec<usize>
 where
     F: Fn(usize) -> Vec<f64>,
 {

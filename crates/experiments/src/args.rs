@@ -15,27 +15,6 @@ impl Args {
         Self::from_iter(std::env::args().skip(1))
     }
 
-    /// Parses an explicit argument list (tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
-        let mut values = HashMap::new();
-        let mut flags = Vec::new();
-        let mut iter = iter.into_iter().peekable();
-        while let Some(arg) = iter.next() {
-            if let Some(key) = arg.strip_prefix("--") {
-                let takes_value = iter
-                    .peek()
-                    .map(|n| !n.starts_with("--"))
-                    .unwrap_or(false);
-                if takes_value {
-                    values.insert(key.to_string(), iter.next().unwrap());
-                } else {
-                    flags.push(key.to_string());
-                }
-            }
-        }
-        Args { values, flags }
-    }
-
     /// Typed lookup with default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         self.values
@@ -52,6 +31,26 @@ impl Args {
     /// Bare-flag presence (`--full`).
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
+    }
+}
+
+impl FromIterator<String> for Args {
+    /// Parses an explicit argument list (used by [`Args::parse`] and tests).
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let takes_value = iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
+                if takes_value {
+                    values.insert(key.to_string(), iter.next().unwrap());
+                } else {
+                    flags.push(key.to_string());
+                }
+            }
+        }
+        Args { values, flags }
     }
 }
 

@@ -58,8 +58,12 @@ fn main() {
     let mut hdr = vec!["algorithm".to_string()];
     hdr.extend(t1.sweep.services.iter().map(|j| j.to_string()));
     let hdr_refs: Vec<&str> = hdr.iter().map(|s| s.as_str()).collect();
-    vmplace_experiments::csv::write_csv(format!("{out}/table2_from_table1.csv"), &hdr_refs, &t2_rows)
-        .unwrap();
+    vmplace_experiments::csv::write_csv(
+        format!("{out}/table2_from_table1.csv"),
+        &hdr_refs,
+        &t2_rows,
+    )
+    .unwrap();
 
     // ---- Figures 2–4 ----------------------------------------------------
     let (fig_instances, cov_step) = match scale.as_str() {

@@ -26,17 +26,14 @@ fn main() {
         .get_str("algos")
         .map(AlgoId::parse_list)
         .unwrap_or_else(|| vec![AlgoId::MetaGreedy, AlgoId::MetaVp]);
-    let tag = args
-        .get_str("tag")
-        .map(str::to_string)
-        .unwrap_or_else(|| {
-            let h = match homog {
-                Some(HomogeneousDim::Cpu) => "_cpuhomog",
-                Some(HomogeneousDim::Memory) => "_memhomog",
-                None => "",
-            };
-            format!("figcov_j{services}_s{slack}{h}")
-        });
+    let tag = args.get_str("tag").map(str::to_string).unwrap_or_else(|| {
+        let h = match homog {
+            Some(HomogeneousDim::Cpu) => "_cpuhomog",
+            Some(HomogeneousDim::Memory) => "_memhomog",
+            None => "",
+        };
+        format!("figcov_j{services}_s{slack}{h}")
+    });
     let config = FigCovConfig {
         hosts: args.get("hosts", 64),
         services,
@@ -50,5 +47,10 @@ fn main() {
     };
     let roster = Roster::new();
     let points = run_fig_cov(&config, &roster);
-    eprintln!("fig_cov: {} scatter points → {}/{}_*.csv", points.len(), config.out_dir, config.tag);
+    eprintln!(
+        "fig_cov: {} scatter points → {}/{}_*.csv",
+        points.len(),
+        config.out_dir,
+        config.tag
+    );
 }

@@ -31,9 +31,18 @@ fn main() {
         config.sweep.covs.len(),
         config.sweep.slacks.len(),
         config.sweep.instances,
-        config.sweep.algos.iter().map(|a| a.label()).collect::<Vec<_>>()
+        config
+            .sweep
+            .algos
+            .iter()
+            .map(|a| a.label())
+            .collect::<Vec<_>>()
     );
     let roster = Roster::new();
     let results = run_table1(&config, &roster);
-    eprintln!("table1: {} result rows → {}/table1_*.csv", results.len(), config.out_dir);
+    eprintln!(
+        "table1: {} result rows → {}/table1_*.csv",
+        results.len(),
+        config.out_dir
+    );
 }

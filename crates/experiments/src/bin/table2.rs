@@ -50,7 +50,10 @@ fn main() {
 
     // Aggregate mean runtime per (algo, services).
     println!("\nTable 2: mean run times in seconds (this machine)");
-    println!("{:<14} {:>10} {:>10} {:>10}", "Algorithm", "100", "250", "500");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "Algorithm", "100", "250", "500"
+    );
     let mut rows = Vec::new();
     for &algo in &algos {
         let mut cells = Vec::new();
@@ -99,7 +102,10 @@ fn main() {
         let (_, t_light) = roster.solve(AlgoId::MetaHvpLight, &instance, 0);
         println!("\n512 hosts / 2000 services:");
         println!("  METAHVP      {t_full:.2} s");
-        println!("  METAHVPLIGHT {t_light:.2} s   (ratio {:.1}×)", t_full / t_light);
+        println!(
+            "  METAHVPLIGHT {t_light:.2} s   (ratio {:.1}×)",
+            t_full / t_light
+        );
         csv::write_csv(
             format!("{out_dir}/table2_big.csv"),
             &["algorithm", "seconds"],

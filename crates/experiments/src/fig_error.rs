@@ -63,7 +63,8 @@ pub fn run_fig_error(config: &FigErrorConfig, roster: &Roster) -> ErrorCurves {
     };
 
     // Curve labels in plot order.
-    let mut labels: Vec<String> = vec!["ideal".into(), "zero-knowledge".into(), "caps_t0.00".into()];
+    let mut labels: Vec<String> =
+        vec!["ideal".into(), "zero-knowledge".into(), "caps_t0.00".into()];
     for &t in &config.thresholds {
         labels.push(format!("weight_t{t:.2}"));
         labels.push(format!("equal_t{t:.2}"));

@@ -30,9 +30,8 @@ pub struct PairwiseCell {
 /// RRND/RRNZ).
 pub fn pairwise(results: &[InstanceResult], a: AlgoId, b: AlgoId) -> PairwiseCell {
     type Key = (usize, u64, u64, u64);
-    let key = |r: &InstanceResult| -> Key {
-        (r.services, r.cov.to_bits(), r.slack.to_bits(), r.seed)
-    };
+    let key =
+        |r: &InstanceResult| -> Key { (r.services, r.cov.to_bits(), r.slack.to_bits(), r.seed) };
     let mut map: HashMap<Key, [Option<(bool, f64)>; 2]> = HashMap::new();
     for r in results {
         let slot = if r.algo == a {

@@ -84,7 +84,12 @@ impl Roster {
 
     /// Runs `algo` on `instance`; `seed` feeds the randomized-rounding RNG.
     /// Returns the solution (if any) and the wall-clock seconds spent.
-    pub fn solve(&self, algo: AlgoId, instance: &ProblemInstance, seed: u64) -> (Option<Solution>, f64) {
+    pub fn solve(
+        &self,
+        algo: AlgoId,
+        instance: &ProblemInstance,
+        seed: u64,
+    ) -> (Option<Solution>, f64) {
         let start = Instant::now();
         let sol = match algo {
             AlgoId::Rrnd => RandomizedRounding::rrnd(seed).solve(instance),
@@ -116,7 +121,10 @@ mod tests {
     #[test]
     fn parse_list_accepts_aliases() {
         let v = AlgoId::parse_list("light, metavp ,HVP");
-        assert_eq!(v, vec![AlgoId::MetaHvpLight, AlgoId::MetaVp, AlgoId::MetaHvp]);
+        assert_eq!(
+            v,
+            vec![AlgoId::MetaHvpLight, AlgoId::MetaVp, AlgoId::MetaHvp]
+        );
     }
 
     #[test]

@@ -182,7 +182,10 @@ mod tests {
         let results = run_sweep(&config, &roster);
         let rrnz_rows = results.iter().filter(|r| r.algo == AlgoId::Rrnz).count();
         assert_eq!(rrnz_rows, 1);
-        let greedy_rows = results.iter().filter(|r| r.algo == AlgoId::MetaGreedy).count();
+        let greedy_rows = results
+            .iter()
+            .filter(|r| r.algo == AlgoId::MetaGreedy)
+            .count();
         assert_eq!(greedy_rows, 3);
     }
 }

@@ -92,7 +92,16 @@ pub fn run_table1(config: &Table1Config, roster: &Roster) -> Vec<InstanceResult>
         .collect();
     write_csv(
         format!("{}/table1_raw.csv", config.out_dir),
-        &["services", "cov", "slack", "seed", "algo", "success", "min_yield", "runtime_s"],
+        &[
+            "services",
+            "cov",
+            "slack",
+            "seed",
+            "algo",
+            "success",
+            "min_yield",
+            "runtime_s",
+        ],
         &raw_rows,
     )
     .unwrap();
@@ -121,7 +130,10 @@ pub fn run_table1(config: &Table1Config, roster: &Roster) -> Vec<InstanceResult>
                 let cell = pairwise(&subset, a, b);
                 print!(
                     "{:>24}",
-                    format!("({:+.1}%, {:+.1}%)", cell.yield_diff_pct, cell.success_diff_pct)
+                    format!(
+                        "({:+.1}%, {:+.1}%)",
+                        cell.yield_diff_pct, cell.success_diff_pct
+                    )
                 );
                 matrix_rows.push(vec![
                     j.to_string(),
@@ -138,7 +150,15 @@ pub fn run_table1(config: &Table1Config, roster: &Roster) -> Vec<InstanceResult>
     }
     write_csv(
         format!("{}/table1_pairwise.csv", config.out_dir),
-        &["services", "A", "B", "Y_AB_pct", "S_AB_pp", "both_solved", "total"],
+        &[
+            "services",
+            "A",
+            "B",
+            "Y_AB_pct",
+            "S_AB_pp",
+            "both_solved",
+            "total",
+        ],
         &matrix_rows,
     )
     .unwrap();

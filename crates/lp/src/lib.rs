@@ -19,6 +19,10 @@
 //! the matrix.
 
 #![warn(missing_docs)]
+// Index-based loops are kept where they mirror the paper's subscript
+// notation (d over dimensions, i/j over rows/services) or index several
+// arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
 
 pub mod lu;
 pub mod milp;

@@ -175,11 +175,9 @@ impl SparseLu {
             // Emit U column (pivoted rows) and L column (unpivoted rows).
             for &r in &pattern {
                 let k = lu.pivot_of_row[r];
-                if k != UNPIVOTED {
-                    if x[r] != 0.0 {
-                        lu.u_rows.push(k);
-                        lu.u_vals.push(x[r]);
-                    }
+                if k != UNPIVOTED && x[r] != 0.0 {
+                    lu.u_rows.push(k);
+                    lu.u_vals.push(x[r]);
                 }
             }
             lu.u_ptr.push(lu.u_rows.len());
@@ -363,7 +361,9 @@ mod tests {
         let mut a = vec![vec![0.0f64; n]; n];
         let mut state = 0x12345678u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) - 1.0
         };
         for i in 0..n {

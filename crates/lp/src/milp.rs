@@ -243,8 +243,10 @@ mod tests {
         }
         let coeffs: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 2.0 + v as f64 * 0.37)).collect();
         lp.add_row(RowSense::Le, 11.3, &coeffs);
-        let mut opts = MilpOptions::default();
-        opts.max_nodes = 3;
+        let opts = MilpOptions {
+            max_nodes: 3,
+            ..MilpOptions::default()
+        };
         let r = solve_milp(&lp, &vars, &opts);
         assert!(r.nodes <= 3);
     }

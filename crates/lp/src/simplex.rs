@@ -194,7 +194,12 @@ pub fn solve_simplex(
 }
 
 impl<'a> Solver<'a> {
-    fn build(lp: &LinearProgram, lower_s: &[f64], upper_s: &[f64], opts: &'a SimplexOptions) -> Self {
+    fn build(
+        lp: &LinearProgram,
+        lower_s: &[f64],
+        upper_s: &[f64],
+        opts: &'a SimplexOptions,
+    ) -> Self {
         let m = lp.num_rows();
         let n = lp.num_vars();
         let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
@@ -404,9 +409,14 @@ impl<'a> Solver<'a> {
                         self.note_degenerate(false);
                     }
                 }
-                RatioOutcome::Pivot { pos, step, to_upper } => {
+                RatioOutcome::Pivot {
+                    pos,
+                    step,
+                    to_upper,
+                } => {
                     let delta = dir * step;
-                    let xq_new = nonbasic_value(self.lower[q], self.upper[q], self.status[q]) + delta;
+                    let xq_new =
+                        nonbasic_value(self.lower[q], self.upper[q], self.status[q]) + delta;
                     for &p in &self.t_pattern {
                         self.xb[p] -= delta * self.t[p];
                     }
@@ -667,7 +677,11 @@ impl<'a> Solver<'a> {
 enum RatioOutcome {
     Unbounded,
     BoundFlip(f64),
-    Pivot { pos: usize, step: f64, to_upper: bool },
+    Pivot {
+        pos: usize,
+        step: f64,
+        to_upper: bool,
+    },
 }
 
 #[inline]
@@ -874,7 +888,10 @@ mod tests {
             );
             // and the simplex solution must itself be feasible
             for &(a, b, c) in &rows {
-                assert!(a * s.values[x] + b * s.values[y] <= c + 1e-6, "trial {trial}");
+                assert!(
+                    a * s.values[x] + b * s.values[y] <= c + 1e-6,
+                    "trial {trial}"
+                );
             }
         }
     }

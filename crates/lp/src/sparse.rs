@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn builds_sorted_and_dedups() {
-        let m = CscMatrix::from_columns(3, &[vec![(2, 1.0), (0, 2.0), (2, 3.0)], vec![], vec![(1, -1.0)]]);
+        let m = CscMatrix::from_columns(
+            3,
+            &[vec![(2, 1.0), (0, 2.0), (2, 3.0)], vec![], vec![(1, -1.0)]],
+        );
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.ncols(), 3);
         assert_eq!(m.nnz(), 3);

@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn rejects_mixed_dimensions() {
-        let nodes = vec![Node::multicore(1, 1.0, 1.0), Node::new(vec![1.0], vec![1.0])];
+        let nodes = vec![
+            Node::multicore(1, 1.0, 1.0),
+            Node::new(vec![1.0], vec![1.0]),
+        ];
         let services = vec![Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1])];
         assert!(ProblemInstance::new(nodes, services).is_err());
     }

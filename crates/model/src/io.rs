@@ -63,7 +63,12 @@ pub fn write_instance(instance: &ProblemInstance) -> String {
             .join(" ")
     };
     for n in instance.nodes() {
-        let _ = writeln!(out, "node {} | {}", fmt_vec(&n.elementary), fmt_vec(&n.aggregate));
+        let _ = writeln!(
+            out,
+            "node {} | {}",
+            fmt_vec(&n.elementary),
+            fmt_vec(&n.aggregate)
+        );
     }
     for s in instance.services() {
         let _ = writeln!(
@@ -78,12 +83,20 @@ pub fn write_instance(instance: &ProblemInstance) -> String {
     out
 }
 
-fn parse_sections(rest: &str, expect: usize, dims: usize, line: usize) -> Result<Vec<ResourceVector>, ParseError> {
+fn parse_sections(
+    rest: &str,
+    expect: usize,
+    dims: usize,
+    line: usize,
+) -> Result<Vec<ResourceVector>, ParseError> {
     let sections: Vec<&str> = rest.split('|').collect();
     if sections.len() != expect {
         return Err(ParseError::Malformed {
             line,
-            what: format!("expected {expect} `|`-separated sections, got {}", sections.len()),
+            what: format!(
+                "expected {expect} `|`-separated sections, got {}",
+                sections.len()
+            ),
         });
     }
     sections
@@ -116,7 +129,9 @@ pub fn read_instance(text: &str) -> Result<ProblemInstance, ParseError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let (word, rest) = trimmed.split_once(char::is_whitespace).unwrap_or((trimmed, ""));
+        let (word, rest) = trimmed
+            .split_once(char::is_whitespace)
+            .unwrap_or((trimmed, ""));
         match word {
             "dims" => {
                 dims = Some(rest.trim().parse().map_err(|e| ParseError::Malformed {
@@ -202,7 +217,10 @@ mod tests {
     fn error_on_wrong_arity() {
         let text = "dims 2\nnode 1.0 | 2.0 2.0\n";
         let err = read_instance(text).unwrap_err();
-        assert!(matches!(err, ParseError::Malformed { line: 2, .. }), "{err}");
+        assert!(
+            matches!(err, ParseError::Malformed { line: 2, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! between heuristics are meaningful.
 
 #![warn(missing_docs)]
+// Index-based loops are kept where they mirror the paper's subscript
+// notation (d over dimensions, i/j over rows/services) or index several
+// arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
 
 mod error;
 mod instance;

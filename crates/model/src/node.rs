@@ -20,7 +20,10 @@ pub struct Node {
 
 impl Node {
     /// Creates a node from its elementary and aggregate capacity vectors.
-    pub fn new(elementary: impl Into<ResourceVector>, aggregate: impl Into<ResourceVector>) -> Self {
+    pub fn new(
+        elementary: impl Into<ResourceVector>,
+        aggregate: impl Into<ResourceVector>,
+    ) -> Self {
         Node {
             elementary: elementary.into(),
             aggregate: aggregate.into(),
@@ -94,6 +97,9 @@ mod tests {
     #[test]
     fn validate_rejects_dimension_mismatch() {
         let n = Node::new(vec![0.5], vec![1.0, 1.0]);
-        assert!(matches!(n.validate("x"), Err(ModelError::DimensionMismatch { .. })));
+        assert!(matches!(
+            n.validate("x"),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
     }
 }

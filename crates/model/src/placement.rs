@@ -80,7 +80,10 @@ impl Placement {
     pub fn validate(&self, instance: &ProblemInstance) -> Result<(), ModelError> {
         for (j, h) in self.iter() {
             if h >= instance.num_nodes() {
-                return Err(ModelError::NodeOutOfRange { service: j, node: h });
+                return Err(ModelError::NodeOutOfRange {
+                    service: j,
+                    node: h,
+                });
             }
         }
         Ok(())
@@ -139,7 +142,12 @@ mod tests {
     fn instance() -> ProblemInstance {
         let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
         let services = vec![
-            Service::new(vec![0.5, 0.5], vec![1.0, 0.5], vec![0.5, 0.0], vec![1.0, 0.0]),
+            Service::new(
+                vec![0.5, 0.5],
+                vec![1.0, 0.5],
+                vec![0.5, 0.0],
+                vec![1.0, 0.0],
+            ),
             Service::rigid(vec![0.2, 0.3], vec![0.2, 0.3]),
         ];
         ProblemInstance::new(nodes, services).unwrap()
@@ -187,7 +195,10 @@ mod tests {
         p.assign(0, 7);
         assert!(matches!(
             p.validate(&inst),
-            Err(ModelError::NodeOutOfRange { service: 0, node: 7 })
+            Err(ModelError::NodeOutOfRange {
+                service: 0,
+                node: 7
+            })
         ));
     }
 }

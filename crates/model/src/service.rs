@@ -148,7 +148,12 @@ mod tests {
 
     #[test]
     fn validate_rejects_elementary_need_above_aggregate() {
-        let s = Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![0.5, 0.0], vec![0.1, 0.0]);
+        let s = Service::new(
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![0.1, 0.0],
+        );
         assert!(matches!(
             s.validate("x"),
             Err(ModelError::ElementaryExceedsAggregate { dim: 0, .. })
@@ -159,7 +164,12 @@ mod tests {
     fn validate_accepts_uneven_aggregate_vs_elementary() {
         // The paper's 110%-aggregate / 100%-elementary CPU example: aggregate
         // need not be an integer multiple of the elementary value.
-        let s = Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![1.0, 0.0], vec![1.1, 0.0]);
+        let s = Service::new(
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.1, 0.0],
+        );
         s.validate("x").unwrap();
     }
 }

@@ -55,7 +55,11 @@ impl ResourceVector {
     /// Largest component (0.0 for an empty vector).
     #[inline]
     pub fn max_component(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0)
     }
 
     /// Smallest component (0.0 for an empty vector).
@@ -202,7 +206,9 @@ mod tests {
         assert!(ResourceVector::new(vec![0.0, 0.1]).validate("x").is_ok());
         assert!(ResourceVector::new(vec![-0.1]).validate("x").is_err());
         assert!(ResourceVector::new(vec![f64::NAN]).validate("x").is_err());
-        assert!(ResourceVector::new(vec![f64::INFINITY]).validate("x").is_err());
+        assert!(ResourceVector::new(vec![f64::INFINITY])
+            .validate("x")
+            .is_err());
     }
 
     #[test]

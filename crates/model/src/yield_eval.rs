@@ -231,7 +231,12 @@ mod tests {
         // core (elementary 1.0), node has 2 cores; aggregate need 2.0 each but
         // only 2.0 total available → each gets yield 0.5.
         let nodes = vec![Node::multicore(2, 1.0, 1.0)];
-        let svc = Service::new(vec![0.0, 0.1], vec![0.0, 0.1], vec![1.0, 0.0], vec![2.0, 0.0]);
+        let svc = Service::new(
+            vec![0.0, 0.1],
+            vec![0.0, 0.1],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+        );
         let inst = ProblemInstance::new(nodes, vec![svc.clone(), svc]).unwrap();
         let ny = node_max_min_level(&inst, 0, &[0, 1]).unwrap();
         assert!((ny.yields[0] - 0.5).abs() < 1e-9);
@@ -249,8 +254,18 @@ mod tests {
         // At λ=0.25: 0.5+0.125=0.625 < 1.0 → freeze s0; remaining 0.375/0.5=0.75...
         // continue: λ = (1.0-0.5)/0.5 = 1.0 → level 1.0, but s0 stuck at 0.25.
         let nodes = vec![Node::multicore(2, 0.5, 1.0)];
-        let s0 = Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![2.0, 0.0], vec![2.0, 0.0]);
-        let s1 = Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![0.5, 0.0], vec![0.5, 0.0]);
+        let s0 = Service::new(
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 0.0],
+        );
+        let s1 = Service::new(
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![0.5, 0.0],
+        );
         let inst = ProblemInstance::new(nodes, vec![s0, s1]).unwrap();
         let ny = node_max_min_level(&inst, 0, &[0, 1]).unwrap();
         assert!((ny.yields[0] - 0.25).abs() < 1e-9, "got {}", ny.yields[0]);
@@ -262,7 +277,12 @@ mod tests {
         let nodes = vec![Node::multicore(1, 1.0, 1.0)];
         let services = vec![
             Service::rigid(vec![0.3, 0.3], vec![0.3, 0.3]),
-            Service::new(vec![0.0, 0.0], vec![0.0, 0.0], vec![0.7, 0.0], vec![0.7, 0.0]),
+            Service::new(
+                vec![0.0, 0.0],
+                vec![0.0, 0.0],
+                vec![0.7, 0.0],
+                vec![0.7, 0.0],
+            ),
         ];
         let inst = ProblemInstance::new(nodes, services).unwrap();
         let ny = node_max_min_level(&inst, 0, &[0, 1]).unwrap();

@@ -74,9 +74,11 @@ where
     slots.resize_with(items.len(), || None);
     let slots = Mutex::new(&mut slots);
 
-    crossbeam::scope(|scope| {
+    // std::thread::scope joins every worker before returning and re-raises
+    // any worker panic in the caller.
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 // Each worker buffers its results and writes them back under
                 // the lock in batches, so the mutex is not on the hot path.
                 let mut local: Vec<(usize, R)> = Vec::new();
@@ -93,8 +95,7 @@ where
                 drain(&slots, &mut local);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_inner()

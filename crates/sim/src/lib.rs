@@ -16,6 +16,10 @@
 //!   ALLOCCAPS / ALLOCWEIGHTS / EQUALWEIGHTS / zero-knowledge).
 
 #![warn(missing_docs)]
+// Index-based loops are kept where they mirror the paper's subscript
+// notation (d over dimensions, i/j over rows/services) or index several
+// arrays in lockstep.
+#![allow(clippy::needless_range_loop)]
 
 pub mod errors;
 pub mod platform;

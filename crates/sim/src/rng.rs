@@ -55,7 +55,9 @@ mod tests {
     fn lognormal_median_matches_mu() {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 100_001;
-        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut rng, (0.05f64).ln(), 1.0)).collect();
+        let mut samples: Vec<f64> = (0..n)
+            .map(|_| lognormal(&mut rng, (0.05f64).ln(), 1.0))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[n / 2];
         assert!((median - 0.05).abs() < 0.005, "median {median}");

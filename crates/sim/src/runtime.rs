@@ -56,11 +56,7 @@ impl<'a> ErrorRun<'a> {
     /// Planned per-service *extra* CPU allocations from the estimated
     /// instance: `ŷ_j · n̂_j`, where `ŷ` maximises the minimum yield on each
     /// node given the estimates (the paper's ALLOCCAPS/ALLOCWEIGHTS input).
-    pub fn planned_extras(
-        &self,
-        estimated: &[Service],
-        placement: &Placement,
-    ) -> Option<Vec<f64>> {
+    pub fn planned_extras(&self, estimated: &[Service], placement: &Placement) -> Option<Vec<f64>> {
         let est_instance = self.true_instance.with_services(estimated.to_vec()).ok()?;
         let sol = evaluate_placement(&est_instance, placement)?;
         Some(
@@ -176,7 +172,8 @@ pub fn zero_knowledge_placement(instance: &ProblemInstance) -> Option<Placement>
             if !s.req_elem.le(&node.elementary, EPSILON) {
                 continue;
             }
-            let fits = (0..dimsn).all(|d| req_load[h][d] + s.req_agg[d] <= node.aggregate[d] + EPSILON);
+            let fits =
+                (0..dimsn).all(|d| req_load[h][d] + s.req_agg[d] <= node.aggregate[d] + EPSILON);
             if !fits {
                 continue;
             }
@@ -297,10 +294,10 @@ mod tests {
         let p = spread_placement();
         let run = ErrorRun::new(&inst);
         let a = run
-            .actual_min_yield(&p, &vec![0.0; 4], AllocationPolicy::EqualWeights)
+            .actual_min_yield(&p, &[0.0; 4], AllocationPolicy::EqualWeights)
             .unwrap();
         let b = run
-            .actual_min_yield(&p, &vec![9.9; 4], AllocationPolicy::EqualWeights)
+            .actual_min_yield(&p, &[9.9; 4], AllocationPolicy::EqualWeights)
             .unwrap();
         assert_eq!(a, b);
     }

@@ -216,7 +216,9 @@ mod tests {
     fn matches_iterative_reference_on_many_cases() {
         let mut state = 0xabcdef12u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         for trial in 0..500 {

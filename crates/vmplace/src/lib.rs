@@ -54,8 +54,8 @@ pub use vmplace_sim as sim;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use vmplace_core::{
-        binary_search_yield, Algorithm, ExactMilp, GreedyAlgorithm, MetaGreedy, MetaVp,
-        NodePicker, RandomizedRounding, ServiceSort, VpAlgorithm,
+        binary_search_yield, Algorithm, ExactMilp, GreedyAlgorithm, MetaGreedy, MetaVp, NodePicker,
+        RandomizedRounding, ServiceSort, VpAlgorithm,
     };
     pub use vmplace_model::{
         dims, evaluate_placement, Node, Placement, ProblemInstance, ResourceVector, Service,

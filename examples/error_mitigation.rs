@@ -32,12 +32,19 @@ fn main() {
         .expect("some seed must be feasible");
 
     let run = ErrorRun::new(&instance);
-    println!("ideal (perfect estimates):        min yield {:.4}", ideal.min_yield);
+    println!(
+        "ideal (perfect estimates):        min yield {:.4}",
+        ideal.min_yield
+    );
 
     // Zero knowledge baseline: spread evenly, share equally.
     let zk = zero_knowledge_placement(&instance).expect("feasible");
     let zk_yield = run
-        .actual_min_yield(&zk, &vec![0.0; instance.num_services()], AllocationPolicy::EqualWeights)
+        .actual_min_yield(
+            &zk,
+            &vec![0.0; instance.num_services()],
+            AllocationPolicy::EqualWeights,
+        )
         .unwrap();
     println!("zero-knowledge:                   min yield {zk_yield:.4}\n");
 

@@ -41,7 +41,10 @@ fn main() {
         .expect("integer feasible");
     let exact = evaluate_placement(&instance, &placement).unwrap();
     println!("exact MILP optimum:        Y  = {exact_y:.4}");
-    println!("water-fill evaluation:          {:.4} (must match)\n", exact.min_yield);
+    println!(
+        "water-fill evaluation:          {:.4} (must match)\n",
+        exact.min_yield
+    );
 
     for (name, sol) in [
         ("METAGREEDY", MetaGreedy.solve(&instance)),

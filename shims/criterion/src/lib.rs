@@ -1,0 +1,276 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this shim supplies
+//! the surface the `vmplace-bench` benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. It really measures —
+//! each benchmark is warmed up once, then timed for `sample_size`
+//! iterations bounded by `measurement_time`, and the per-iteration
+//! mean/min/max are printed — but it performs none of criterion's
+//! statistical analysis, HTML reporting, or baseline comparison.
+//!
+//! Swap this for the crates.io package by editing the workspace
+//! `Cargo.toml` once the build environment has network access.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark identifier (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts to the canonical string id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; drives timed iterations.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up pass (also ensures lazy initialisation has happened).
+        black_box(routine());
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self.measurement_time = self.measurement_time.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Bounds the total measurement wall-clock per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let (samples, time) = if self.criterion.test_mode {
+            (1, Duration::ZERO)
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: samples,
+            measurement_time: time,
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{name:<60} time: [{} {} {}]  ({} samples)",
+        fmt_dur(*min),
+        fmt_dur(mean),
+        fmt_dur(*max),
+        samples.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the filter argument cargo-bench forwards (ignoring harness
+    /// flags such as `--bench`).
+    ///
+    /// Like the real criterion, the absence of `--bench` (e.g. when the
+    /// target is executed by `cargo test --benches`) selects *test mode*:
+    /// every benchmark runs a couple of iterations instead of a full
+    /// measurement, so benches stay cheap smoke tests outside `cargo bench`.
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = true;
+        for arg in std::env::args().skip(1) {
+            if arg == "--bench" {
+                test_mode = false;
+            } else if !arg.starts_with('-') && !arg.is_empty() && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            let (samples, time) = if self.test_mode {
+                (1, Duration::ZERO)
+            } else {
+                (100, Duration::from_secs(5))
+            };
+            let mut bencher = Bencher {
+                samples: Vec::new(),
+                sample_size: samples,
+                measurement_time: time,
+            };
+            f(&mut bencher);
+            report(id, &bencher.samples);
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test --benches` passes
+            // libtest flags. Both are tolerated by the arg scan above.
+            $( $group(); )+
+        }
+    };
+}

@@ -142,7 +142,12 @@ fn deterministic_across_runs() {
 fn figure1_example_end_to_end() {
     // The worked example of §2 through the full public API.
     let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
-    let service = Service::new(vec![0.5, 0.5], vec![1.0, 0.5], vec![0.5, 0.0], vec![1.0, 0.0]);
+    let service = Service::new(
+        vec![0.5, 0.5],
+        vec![1.0, 0.5],
+        vec![0.5, 0.0],
+        vec![1.0, 0.0],
+    );
     let instance = ProblemInstance::new(nodes, vec![service]).unwrap();
     for algorithm in [
         Box::new(MetaGreedy) as Box<dyn Algorithm>,
