@@ -1,10 +1,11 @@
 //! LP substrate: relaxation solves of the paper's MILP encoding (the inner
-//! loop of RRND/RRNZ) and the effect of presolve on encoding size.
+//! loop of RRND/RRNZ), full branch & bound solves (the warm-start path),
+//! and the effect of presolve on encoding size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use vmplace_bench::small_instance;
-use vmplace_lp::{SimplexOptions, YieldLp};
+use vmplace_bench::{milp_seed, small_instance};
+use vmplace_lp::{MilpOptions, SimplexOptions, YieldLp};
 
 fn bench_relaxation(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_relaxation");
@@ -30,6 +31,28 @@ fn bench_relaxation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_milp(c: &mut Criterion) {
+    // Full branch & bound: thousands of node LP solves per call, the
+    // workload the warm-started persistent solver targets.
+    let mut group = c.benchmark_group("lp_milp");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    for &(hosts, services) in &[(3usize, 8usize), (4, 10), (4, 12)] {
+        let seed = milp_seed(hosts, services);
+        let instance = small_instance(hosts, services, seed);
+        let Some(ylp) = YieldLp::build(&instance) else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::new("branch_and_bound", format!("{hosts}h_{services}s")),
+            &ylp,
+            |b, ylp| b.iter(|| ylp.solve_exact(&MilpOptions::default())),
+        );
+    }
+    group.finish();
+}
+
 fn bench_encoding(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_encoding");
     group
@@ -42,5 +65,5 @@ fn bench_encoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_relaxation, bench_encoding);
+criterion_group!(benches, bench_relaxation, bench_milp, bench_encoding);
 criterion_main!(benches);

@@ -8,8 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
-use vmplace_bench::{feasible_seed, paper_instance};
-use vmplace_core::{Algorithm, MetaGreedy, MetaVp};
+use vmplace_bench::{feasible_seed, milp_seed, paper_instance, small_instance};
+use vmplace_core::{Algorithm, ExactMilp, MetaGreedy, MetaVp};
 
 fn bench_metas(c: &mut Criterion) {
     let metagreedy = MetaGreedy;
@@ -47,5 +47,25 @@ fn bench_metas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_metas);
+fn bench_exact_milp(c: &mut Criterion) {
+    // The exact MILP row of Table 2 is intractable at the paper's 64-host
+    // scale, so it is tracked at reduced sizes: each call is a full branch &
+    // bound run (hundreds to thousands of node LP solves).
+    let exact = ExactMilp::default();
+    let mut group = c.benchmark_group("table2_milp");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+    for &services in &[8usize, 10, 12] {
+        let instance = small_instance(4, services, milp_seed(4, services));
+        group.bench_with_input(
+            BenchmarkId::new("EXACT_MILP", services),
+            &instance,
+            |b, inst| b.iter(|| exact.solve(inst)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metas, bench_exact_milp);
 criterion_main!(benches);

@@ -33,6 +33,26 @@ pub fn small_instance(hosts: usize, services: usize, seed: u64) -> ProblemInstan
     .instance(seed)
 }
 
+/// Returns a seed whose instance yields a buildable, integer-feasible MILP
+/// encoding within a modest node budget, so the MILP benchmarks time real
+/// branch & bound work rather than a trivially infeasible build.
+pub fn milp_seed(hosts: usize, services: usize) -> u64 {
+    use vmplace_lp::{MilpOptions, YieldLp};
+    let opts = MilpOptions {
+        max_nodes: 20_000,
+        ..MilpOptions::default()
+    };
+    for seed in 0..20 {
+        let inst = small_instance(hosts, services, seed);
+        if let Some(ylp) = YieldLp::build(&inst) {
+            if ylp.solve_exact(&opts).is_some() {
+                return seed;
+            }
+        }
+    }
+    0
+}
+
 /// Returns a seed whose instance is feasible for METAHVPLIGHT (generation
 /// can produce trivially infeasible instances, which would make timing
 /// numbers meaningless).

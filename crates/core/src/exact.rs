@@ -1,5 +1,10 @@
 //! Exact optimal placement via the MILP (§3.2) — tractable for small
 //! instances only, used as ground truth in tests and ablations.
+//!
+//! The branch & bound underneath shares one persistent simplex solver
+//! across the whole tree and warm-starts every node from its parent's
+//! basis (see `vmplace-lp`), so the exact reference scales to noticeably
+//! larger instances than a cold per-node solver would.
 
 use crate::algorithm::Algorithm;
 use vmplace_lp::{MilpOptions, YieldLp};
@@ -15,12 +20,15 @@ pub struct ExactMilp {
 impl ExactMilp {
     /// Exact solver with a custom node budget.
     pub fn with_node_limit(max_nodes: usize) -> Self {
-        ExactMilp {
-            options: MilpOptions {
-                max_nodes,
-                ..MilpOptions::default()
-            },
-        }
+        Self::with_options(MilpOptions {
+            max_nodes,
+            ..MilpOptions::default()
+        })
+    }
+
+    /// Exact solver with fully custom branch & bound / simplex options.
+    pub fn with_options(options: MilpOptions) -> Self {
+        ExactMilp { options }
     }
 }
 

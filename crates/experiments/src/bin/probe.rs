@@ -3,7 +3,7 @@
 //! calibrating sweep scales on new hardware.
 
 use vmplace_experiments::{AlgoId, Args, Roster};
-use vmplace_lp::{SimplexOptions, YieldLp};
+use vmplace_lp::{MilpOptions, SimplexOptions, YieldLp};
 use vmplace_sim::{Scenario, ScenarioConfig};
 
 fn main() {
@@ -54,6 +54,23 @@ fn main() {
                             t1.elapsed().as_secs_f64()
                         ),
                     }
+                }
+                // Warm-started branch & bound telemetry — only sane on
+                // small instances (exact MILP is exponential).
+                if args.has_flag("milp") {
+                    let t1 = std::time::Instant::now();
+                    let r = ylp.solve_exact_result(&MilpOptions::default());
+                    println!(
+                        "         exact MILP {:?} Y* = {} in {:.2}s ({} nodes, {} simplex iterations, {:.1}/node)",
+                        r.status,
+                        r.objective
+                            .map(|o| format!("{o:.4}"))
+                            .unwrap_or_else(|| "-".into()),
+                        t1.elapsed().as_secs_f64(),
+                        r.nodes,
+                        r.simplex_iterations,
+                        r.simplex_iterations as f64 / r.nodes.max(1) as f64
+                    );
                 }
             }
         }

@@ -6,10 +6,14 @@
 //!
 //! * [`sparse`] — compressed sparse column matrices;
 //! * [`lu`] — sparse LU factorisation with partial pivoting
-//!   (left-looking Gilbert–Peierls), including transpose solves;
+//!   (left-looking Gilbert–Peierls), including transpose solves and
+//!   pattern-tracking sparse right-hand-side solves;
 //! * [`simplex`] — a bounded-variable, two-phase revised simplex method with
-//!   product-form-of-the-inverse updates and periodic refactorisation;
-//! * [`milp`] — depth-first branch & bound on integer variables;
+//!   product-form-of-the-inverse updates, periodic refactorisation,
+//!   candidate-list partial pricing, and a persistent
+//!   [`SimplexSolver`] that warm-starts from [`BasisSnapshot`]s;
+//! * [`milp`] — depth-first branch & bound on integer variables, each node
+//!   warm-started from its parent's basis;
 //! * [`yield_lp`] — the paper's Equations 1–7 encoded from a
 //!   [`vmplace_model::ProblemInstance`], with a presolve pass that removes
 //!   impossible placements and never-binding elementary rows.
@@ -33,5 +37,5 @@ pub mod yield_lp;
 
 pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
 pub use problem::{LinearProgram, RowSense, VarId};
-pub use simplex::{LpSolution, LpStatus, SimplexOptions};
+pub use simplex::{BasisSnapshot, LpSolution, LpStatus, SimplexOptions, SimplexSolver};
 pub use yield_lp::{RelaxedSolution, YieldLp};

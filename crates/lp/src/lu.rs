@@ -27,6 +27,27 @@ impl std::error::Error for SingularMatrix {}
 
 const PIVOT_TOL: f64 = 1e-11;
 
+/// Reusable scratch space for [`SparseLu::solve_sparse`].
+///
+/// Holds the DFS markers and stacks of the symbolic phases so repeated
+/// solves (the simplex FTRAN inner loop) allocate nothing. One instance may
+/// be shared across factorisations of different matrices; it grows to the
+/// largest dimension seen.
+#[derive(Clone, Debug, Default)]
+pub struct SolveScratch {
+    visited: Vec<bool>,
+    stack: Vec<(usize, usize)>,
+    reach_l: Vec<usize>,
+}
+
+impl SolveScratch {
+    fn ensure(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, false);
+        }
+    }
+}
+
 /// A sparse LU factorisation of a square matrix.
 #[derive(Clone, Debug)]
 pub struct SparseLu {
@@ -243,6 +264,133 @@ impl SparseLu {
         }
     }
 
+    /// Solves `B·x = b` exploiting sparsity of the right-hand side.
+    ///
+    /// `b` must be zero everywhere except (possibly) at the rows listed in
+    /// `b_pattern`, and `out` must be entirely zero on entry. The nonzero
+    /// structure of the solution is discovered symbolically (DFS
+    /// reachability through `L`, then through `U`, exactly as in
+    /// Gilbert–Peierls factorisation), so the work is proportional to the
+    /// entries actually touched instead of `n`. On return `b` has been
+    /// restored to all-zero, `out` holds the solution in pivot order, and
+    /// `out_pattern` lists every position of `out` that may be nonzero.
+    pub fn solve_sparse(
+        &self,
+        b: &mut [f64],
+        b_pattern: &[usize],
+        out: &mut [f64],
+        out_pattern: &mut Vec<usize>,
+        scratch: &mut SolveScratch,
+    ) {
+        debug_assert_eq!(b.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        scratch.ensure(self.n);
+
+        // Symbolic forward pass: pivot indices reachable from the pattern
+        // through L (edges k → pivot-of(l_rows of column k)). DFS postorder
+        // places every node after its descendants, so *reverse* postorder
+        // is a valid elimination order — no sorting required.
+        scratch.reach_l.clear();
+        for &r in b_pattern {
+            let k0 = self.pivot_of_row[r];
+            if scratch.visited[k0] {
+                continue;
+            }
+            scratch.visited[k0] = true;
+            scratch.stack.push((k0, self.l_ptr[k0]));
+            while let Some(&(k, cursor)) = scratch.stack.last() {
+                let end = self.l_ptr[k + 1];
+                let mut next_child = None;
+                let mut c = cursor;
+                while c < end {
+                    let k2 = self.pivot_of_row[self.l_rows[c]];
+                    c += 1;
+                    if !scratch.visited[k2] {
+                        next_child = Some(k2);
+                        break;
+                    }
+                }
+                scratch.stack.last_mut().unwrap().1 = c;
+                match next_child {
+                    Some(k2) => {
+                        scratch.visited[k2] = true;
+                        scratch.stack.push((k2, self.l_ptr[k2]));
+                    }
+                    None => {
+                        scratch.reach_l.push(k);
+                        scratch.stack.pop();
+                    }
+                }
+            }
+        }
+        // Numeric forward: L·w = P·b on the reached positions only, in
+        // reverse postorder (dependencies point from smaller to larger
+        // pivot index; a node's updates land only on its descendants).
+        for &k in scratch.reach_l.iter().rev() {
+            scratch.visited[k] = false;
+            let wk = b[self.pivot_row[k]];
+            out[k] = wk;
+            if wk != 0.0 {
+                for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                    b[self.l_rows[idx]] -= self.l_vals[idx] * wk;
+                }
+            }
+        }
+        // Every row touched (inputs and fill) has its pivot in the reach
+        // set, so this restores b to all-zero.
+        for &k in &scratch.reach_l {
+            b[self.pivot_row[k]] = 0.0;
+        }
+
+        // Symbolic backward pass: positions reachable from the forward
+        // pattern through U (edges k → u_rows of column k, pointing from
+        // larger to smaller pivot index); reverse postorder again gives a
+        // valid substitution order.
+        out_pattern.clear();
+        for &k0 in &scratch.reach_l {
+            if scratch.visited[k0] {
+                continue;
+            }
+            scratch.visited[k0] = true;
+            scratch.stack.push((k0, self.u_ptr[k0]));
+            while let Some(&(k, cursor)) = scratch.stack.last() {
+                let end = self.u_ptr[k + 1];
+                let mut next_child = None;
+                let mut c = cursor;
+                while c < end {
+                    let k2 = self.u_rows[c];
+                    c += 1;
+                    if !scratch.visited[k2] {
+                        next_child = Some(k2);
+                        break;
+                    }
+                }
+                scratch.stack.last_mut().unwrap().1 = c;
+                match next_child {
+                    Some(k2) => {
+                        scratch.visited[k2] = true;
+                        scratch.stack.push((k2, self.u_ptr[k2]));
+                    }
+                    None => {
+                        out_pattern.push(k);
+                        scratch.stack.pop();
+                    }
+                }
+            }
+        }
+        // Numeric backward: U·x = w over the reached positions.
+        for &k in out_pattern.iter().rev() {
+            scratch.visited[k] = false;
+            let xk = out[k] / self.diag[k];
+            out[k] = xk;
+            if xk != 0.0 {
+                for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                    out[self.u_rows[idx]] -= self.u_vals[idx] * xk;
+                }
+            }
+        }
+    }
+
     /// Solves `Bᵀ·y = c`.
     ///
     /// `c` is indexed by basis position (pivot order) on input and is
@@ -377,6 +525,52 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 2.0).collect();
         check_solve(&refs, &b);
         check_solve_transpose(&refs, &b);
+    }
+
+    #[test]
+    fn sparse_solve_matches_dense_solve() {
+        // Sparse matrix, sparse right-hand sides: solve_sparse must agree
+        // with the dense path, restore b to zero, and report a pattern
+        // covering every nonzero of the solution.
+        let a: &[&[f64]] = &[
+            &[2.0, 0.0, 0.0, 1.0, 0.0],
+            &[0.0, 3.0, 0.0, 0.0, 0.0],
+            &[1.0, 0.0, 4.0, 0.0, 0.0],
+            &[0.0, 0.5, 0.0, 5.0, 2.0],
+            &[0.0, 0.0, 1.0, 0.0, 6.0],
+        ];
+        let n = a.len();
+        let lu = factor(a);
+        let mut scratch = SolveScratch::default();
+        for &nz in &[0usize, 1, 2, 3, 4] {
+            // One-hot and two-hot right-hand sides.
+            for &nz2 in &[nz, (nz + 2) % n] {
+                let mut b_dense = vec![0.0; n];
+                b_dense[nz] = 1.5;
+                b_dense[nz2] += -2.0;
+                let mut expect = b_dense.clone();
+                let mut x_dense = vec![0.0; n];
+                lu.solve(&mut expect, &mut x_dense);
+
+                let mut b = b_dense.clone();
+                let pattern: Vec<usize> = if nz == nz2 { vec![nz] } else { vec![nz, nz2] };
+                let mut x = vec![0.0; n];
+                let mut out_pattern = Vec::new();
+                lu.solve_sparse(&mut b, &pattern, &mut x, &mut out_pattern, &mut scratch);
+                assert!(b.iter().all(|&v| v == 0.0), "b not restored to zero");
+                for k in 0..n {
+                    assert!(
+                        (x[k] - x_dense[k]).abs() < 1e-12,
+                        "x[{k}] = {} vs dense {}",
+                        x[k],
+                        x_dense[k]
+                    );
+                    if x[k] != 0.0 {
+                        assert!(out_pattern.contains(&k), "pattern misses nonzero {k}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

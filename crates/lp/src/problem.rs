@@ -1,6 +1,6 @@
 //! LP model builder.
 
-use crate::simplex::{solve_simplex, LpSolution, SimplexOptions};
+use crate::simplex::{solve_simplex, LpSolution, SimplexOptions, SimplexSolver};
 
 /// Identifier of a decision variable (index into the model's columns).
 pub type VarId = usize;
@@ -102,6 +102,10 @@ impl LinearProgram {
 
     /// Solves the LP with per-variable bound overrides (used by branch &
     /// bound to fix / tighten integer variables without copying the matrix).
+    ///
+    /// Each call assembles a fresh solver; callers solving many related
+    /// bound variations should use [`LinearProgram::solver`] and
+    /// [`SimplexSolver::solve_from`] instead.
     pub fn solve_with_bounds(
         &self,
         lower: &[f64],
@@ -111,6 +115,14 @@ impl LinearProgram {
         assert_eq!(lower.len(), self.num_vars());
         assert_eq!(upper.len(), self.num_vars());
         solve_simplex(self, lower, upper, options)
+    }
+
+    /// Creates a persistent [`SimplexSolver`] for this model: the matrix,
+    /// slack/artificial columns, and scratch buffers are assembled once and
+    /// reused across many solves with different bound overrides (and
+    /// optional warm-start bases).
+    pub fn solver(&self, options: SimplexOptions) -> SimplexSolver {
+        SimplexSolver::new(self, options)
     }
 }
 

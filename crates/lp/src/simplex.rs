@@ -1,27 +1,46 @@
-//! Bounded-variable two-phase revised simplex.
+//! Bounded-variable two-phase revised simplex with a persistent,
+//! warm-startable solver.
 //!
 //! Implementation notes:
 //!
+//! * [`SimplexSolver`] assembles the CSC matrix (structural + slack +
+//!   artificial columns), bounds, scratch buffers, and basis state **once**
+//!   and is re-entered via [`SimplexSolver::solve_from`] with fresh bound
+//!   overrides — branch & bound calls it thousands of times without
+//!   rebuilding anything.
 //! * Rows are converted to equalities with slack columns whose bounds encode
 //!   the sense (`≤ → s ∈ [0, ∞)`, `≥ → s ∈ (−∞, 0]`, `= → s ∈ [0, 0]`).
-//! * Phase 1 installs artificial columns only on rows whose slack start
-//!   value violates its bounds, and minimises the sum of artificials; on
-//!   success artificials are fixed to `[0, 0]` and phase 2 optimises the
-//!   real objective.
+//!   One artificial column per row is part of the permanent matrix; it is
+//!   pinned to `[0, 0]` except during a cold phase 1, where rows whose slack
+//!   start value violates its bounds activate it on the violated side.
+//! * Warm starts restore a [`BasisSnapshot`] (basis + variable statuses +
+//!   the shared factorisation of that basis) and repair residual primal
+//!   infeasibility by minimising the violation of out-of-bounds basic
+//!   variables over a box widened to the current point; the repair can also
+//!   *prove* the new bound system infeasible, and only when it fails does
+//!   the solve fall back to a cold phase 1.
 //! * The basis inverse is kept as a sparse LU factorisation
 //!   ([`crate::lu::SparseLu`]) of a reference basis plus a product-form eta
 //!   file; the basis is refactorised every `refactor_interval` pivots, which
 //!   also recomputes the basic values to wash out drift.
-//! * Pricing is Dantzig (most negative reduced cost) with an automatic
-//!   switch to Bland's rule after a long degenerate stall, restoring the
-//!   termination guarantee.
+//! * Pricing is candidate-list partial pricing with static steepest-edge
+//!   scoring (`|d_j| / √(1 + ‖a_j‖²)`): a short list of attractive columns
+//!   is re-priced against fresh duals each iteration and refilled by a
+//!   rotating section scan once it goes stale; a full rotation with no
+//!   candidate proves optimality. A long degenerate stall switches to
+//!   Bland's rule (full lowest-index scan), restoring the termination
+//!   guarantee.
+//! * FTRAN tracks the nonzero pattern symbolically through
+//!   [`crate::lu::SparseLu::solve_sparse`] and the eta file, so the ratio
+//!   test and basic-value updates touch only actual nonzeros.
 //! * The ratio test performs bound flips for the entering variable when the
 //!   opposite bound is reached first, and breaks near-ties by pivot
 //!   magnitude for numerical stability.
 
-use crate::lu::SparseLu;
+use crate::lu::{SolveScratch, SparseLu};
 use crate::problem::{LinearProgram, RowSense};
 use crate::sparse::CscMatrix;
+use std::rc::Rc;
 
 /// Options controlling the simplex method.
 #[derive(Clone, Debug)]
@@ -75,7 +94,7 @@ pub struct LpSolution {
     pub objective: f64,
     /// Values of the structural variables.
     pub values: Vec<f64>,
-    /// Simplex iterations performed (both phases).
+    /// Simplex iterations performed (all phases of this solve).
     pub iterations: usize,
 }
 
@@ -84,8 +103,25 @@ enum VarStatus {
     Basic(usize),
     AtLower,
     AtUpper,
+    /// Nonbasic at value zero — the only consistent resting point for a
+    /// variable with two infinite bounds.
+    Free,
 }
 
+/// An opaque snapshot of a basis (basis columns + every variable's status),
+/// taken with [`SimplexSolver::snapshot`] and replayed through
+/// [`SimplexSolver::solve_from`] to warm-start a related solve.
+#[derive(Clone, Debug)]
+pub struct BasisSnapshot {
+    status: Vec<VarStatus>,
+    basis: Vec<usize>,
+    /// The factorisation of this basis — reference LU plus the eta file on
+    /// top of it — shared so warm starts skip refactorisation entirely.
+    lu: Option<Rc<SparseLu>>,
+    etas: Rc<Vec<Eta>>,
+}
+
+#[derive(Clone, Debug)]
 struct Eta {
     pos: usize,
     pivot: f64,
@@ -94,12 +130,44 @@ struct Eta {
 }
 
 const PIVOT_TOL: f64 = 1e-9;
+/// Maximum size of the pricing candidate list.
+const CAND_CAP: usize = 16;
+/// Minimum columns per pricing section scan.
+const SECTION_MIN: usize = 64;
+/// A cached candidate list is considered stale once its best score drops
+/// below this fraction of the best score at the last refill.
+const REFILL_DECAY: f64 = 0.5;
+/// Snapshots fold eta files at least this long into a fresh LU; shorter
+/// files are cheaper to clone than to refactorise away.
+const SNAPSHOT_FOLD_ETAS: usize = 24;
 
-struct Solver<'a> {
+/// Outcome of the warm-start feasibility repair.
+enum Repair {
+    /// Basis is primal feasible; proceed straight to phase 2.
+    Feasible,
+    /// The repair *proved* the bound system infeasible.
+    Infeasible,
+    /// Could not restore feasibility cheaply; fall back to a cold start.
+    Fallback,
+}
+
+/// A persistent bounded-variable simplex solver for one [`LinearProgram`].
+///
+/// Construction assembles the constraint matrix (structural, slack, and
+/// artificial columns), cost vectors, and all scratch buffers. Each call to
+/// [`SimplexSolver::solve_from`] then solves the model under fresh
+/// per-variable bound overrides, optionally warm-starting from a
+/// [`BasisSnapshot`] of an earlier, related solve — the access pattern of
+/// branch & bound, where successive node LPs differ in a single bound.
+pub struct SimplexSolver {
     m: usize,
     n_struct: usize,
+    /// +1 for minimisation, −1 for maximisation (costs are pre-multiplied).
+    sign: f64,
     a: CscMatrix, // structural + slack + artificial columns
-    lower: Vec<f64>,
+    slack_lower: Vec<f64>,
+    slack_upper: Vec<f64>,
+    lower: Vec<f64>, // working bounds
     upper: Vec<f64>,
     cost: Vec<f64>, // phase-dependent
     real_cost: Vec<f64>,
@@ -107,15 +175,27 @@ struct Solver<'a> {
     basis: Vec<usize>,
     xb: Vec<f64>,
     rhs: Vec<f64>,
-    lu: Option<SparseLu>,
+    lu: Option<Rc<SparseLu>>,
+    lu_scratch: SolveScratch,
     etas: Vec<Eta>,
-    opts: &'a SimplexOptions,
+    opts: SimplexOptions,
     // scratch
-    scratch_a: Vec<f64>,
-    scratch_b: Vec<f64>,
+    dense_a: Vec<f64>,
+    dense_b: Vec<f64>,
     y: Vec<f64>,
-    t: Vec<f64>,
+    fb: Vec<f64>, // FTRAN right-hand side; all-zero between calls
+    t: Vec<f64>,  // FTRAN result; zero outside t_pattern between pivots
     t_pattern: Vec<usize>,
+    t_mark: Vec<bool>,
+    // pricing
+    cand: Vec<usize>,
+    scan_cursor: usize,
+    /// Static steepest-edge weights: `√(1 + ‖a_j‖²)` per column.
+    col_norm: Vec<f64>,
+    /// Best candidate score at the last refill, decayed: when the cached
+    /// list's best falls below this, the list is stale and is refilled.
+    refill_floor: f64,
+    // per-solve state
     iterations: usize,
     degenerate_streak: usize,
     bland: bool,
@@ -123,31 +203,203 @@ struct Solver<'a> {
 
 /// Solves `lp` with the given structural-variable bounds (callers may
 /// override the model's own bounds, which branch & bound relies on).
+///
+/// One-shot convenience over [`SimplexSolver`]; repeated related solves
+/// should construct the solver once and call
+/// [`SimplexSolver::solve_from`].
 pub fn solve_simplex(
     lp: &LinearProgram,
     lower: &[f64],
     upper: &[f64],
     opts: &SimplexOptions,
 ) -> LpSolution {
-    let m = lp.num_rows();
-    let n = lp.num_vars();
-    for j in 0..n {
-        if lower[j] > upper[j] {
-            return LpSolution {
-                status: LpStatus::Infeasible,
-                objective: 0.0,
-                values: Vec::new(),
-                iterations: 0,
+    SimplexSolver::new(lp, opts.clone()).solve_from(None, lower, upper)
+}
+
+impl SimplexSolver {
+    /// Assembles the solver state for `lp`: CSC matrix with slack and
+    /// artificial columns, cost vectors, and scratch buffers.
+    pub fn new(lp: &LinearProgram, opts: SimplexOptions) -> SimplexSolver {
+        let m = lp.num_rows();
+        let n = lp.num_vars();
+        let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
+        let n_total = n + 2 * m;
+
+        let mut a = CscMatrix::new(m);
+        let mut real_cost = Vec::with_capacity(n_total);
+        for j in 0..n {
+            a.push_column(&lp.cols[j]);
+            real_cost.push(sign * lp.obj[j]);
+        }
+        let mut slack_lower = Vec::with_capacity(m);
+        let mut slack_upper = Vec::with_capacity(m);
+        for i in 0..m {
+            a.push_column(&[(i, 1.0)]);
+            let (lo, hi) = match lp.sense[i] {
+                RowSense::Le => (0.0, f64::INFINITY),
+                RowSense::Ge => (f64::NEG_INFINITY, 0.0),
+                RowSense::Eq => (0.0, 0.0),
             };
+            slack_lower.push(lo);
+            slack_upper.push(hi);
+            real_cost.push(0.0);
+        }
+        // Artificial columns are permanent; solve_from pins them to [0, 0]
+        // and cold starts open the violated side for phase 1.
+        for i in 0..m {
+            a.push_column(&[(i, 1.0)]);
+            real_cost.push(0.0);
+        }
+        debug_assert_eq!(a.ncols(), n_total);
+        let col_norm = (0..n_total)
+            .map(|j| {
+                let (_, vals) = a.col(j);
+                (1.0 + vals.iter().map(|v| v * v).sum::<f64>()).sqrt()
+            })
+            .collect();
+
+        SimplexSolver {
+            m,
+            n_struct: n,
+            sign,
+            a,
+            slack_lower,
+            slack_upper,
+            lower: vec![0.0; n_total],
+            upper: vec![0.0; n_total],
+            cost: vec![0.0; n_total],
+            real_cost,
+            status: vec![VarStatus::AtLower; n_total],
+            basis: vec![0; m],
+            xb: vec![0.0; m],
+            rhs: lp.rhs.clone(),
+            lu: None,
+            lu_scratch: SolveScratch::default(),
+            etas: Vec::new(),
+            opts,
+            dense_a: vec![0.0; m],
+            dense_b: vec![0.0; m],
+            y: vec![0.0; m],
+            fb: vec![0.0; m],
+            t: vec![0.0; m],
+            t_pattern: Vec::new(),
+            t_mark: vec![false; m],
+            cand: Vec::new(),
+            scan_cursor: 0,
+            col_norm,
+            refill_floor: 0.0,
+            iterations: 0,
+            degenerate_streak: 0,
+            bland: false,
         }
     }
-    if m == 0 {
-        // Box-constrained optimum: each variable at its best finite bound.
+
+    /// The options this solver was built with.
+    pub fn options(&self) -> &SimplexOptions {
+        &self.opts
+    }
+
+    /// Captures the current basis and variable statuses for warm-starting a
+    /// later, related solve. Meaningful after a [`LpStatus::Optimal`] solve.
+    ///
+    /// The snapshot carries the current factorisation (reference LU + eta
+    /// file), so warm starts from it never refactorise. A long eta file is
+    /// folded into a fresh LU first — cloning it would cost more than the
+    /// factorisation it saves.
+    pub fn snapshot(&mut self) -> BasisSnapshot {
+        if self.lu.is_some() && self.etas.len() >= SNAPSHOT_FOLD_ETAS && self.refactorize().is_err()
+        {
+            self.lu = None; // defensive: snapshot degrades to basis-only
+        }
+        BasisSnapshot {
+            status: self.status.clone(),
+            basis: self.basis.clone(),
+            lu: self.lu.clone(),
+            etas: Rc::new(self.etas.clone()),
+        }
+    }
+
+    /// Solves the model under the given structural-variable bounds,
+    /// warm-starting from `warm` when provided. Falls back to a cold
+    /// two-phase solve whenever the snapshot cannot be repaired to primal
+    /// feasibility, so the result is identical (status and objective) to a
+    /// cold solve either way.
+    pub fn solve_from(
+        &mut self,
+        warm: Option<&BasisSnapshot>,
+        lower: &[f64],
+        upper: &[f64],
+    ) -> LpSolution {
+        assert_eq!(lower.len(), self.n_struct);
+        assert_eq!(upper.len(), self.n_struct);
+        self.iterations = 0;
+        self.bland = false;
+        self.degenerate_streak = 0;
+        // The candidate list deliberately survives across solves: its
+        // entries are just column indices, re-priced before use, and the
+        // same columns tend to stay attractive across branch & bound nodes.
+        self.refill_floor = 0.0;
+
+        for j in 0..self.n_struct {
+            if lower[j] > upper[j] {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    objective: 0.0,
+                    values: Vec::new(),
+                    iterations: 0,
+                };
+            }
+        }
+        if self.m == 0 {
+            return self.solve_boxed(lower, upper);
+        }
+
+        // Install the working bounds: caller's structural box, sense-derived
+        // slack bounds, artificials pinned to zero.
+        self.lower[..self.n_struct].copy_from_slice(lower);
+        self.upper[..self.n_struct].copy_from_slice(upper);
+        for i in 0..self.m {
+            self.lower[self.n_struct + i] = self.slack_lower[i];
+            self.upper[self.n_struct + i] = self.slack_upper[i];
+            let aj = self.n_struct + self.m + i;
+            self.lower[aj] = 0.0;
+            self.upper[aj] = 0.0;
+        }
+
+        let status = match warm {
+            Some(snap) => match self.try_warm(snap) {
+                Repair::Feasible => self.phase2(),
+                Repair::Infeasible => LpStatus::Infeasible,
+                Repair::Fallback => self.cold_solve(),
+            },
+            None => self.cold_solve(),
+        };
+
+        let mut objective = 0.0;
+        let mut values = vec![0.0; self.n_struct];
+        if status == LpStatus::Optimal {
+            for j in 0..self.n_struct {
+                let v = self.value_of(j);
+                values[j] = v;
+                objective += self.real_cost[j] * v;
+            }
+            objective *= self.sign;
+        }
+        LpSolution {
+            status,
+            objective,
+            values,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Row-free model: each variable rests at its best finite bound.
+    fn solve_boxed(&self, lower: &[f64], upper: &[f64]) -> LpSolution {
+        let n = self.n_struct;
         let mut values = vec![0.0; n];
         let mut obj = 0.0;
-        let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
         for j in 0..n {
-            let c = sign * lp.obj[j];
+            let c = self.real_cost[j];
             let v = if c > 0.0 {
                 lower[j]
             } else if c < 0.0 {
@@ -164,161 +416,256 @@ pub fn solve_simplex(
                 };
             }
             values[j] = v;
-            obj += lp.obj[j] * v;
+            obj += c * v;
         }
-        return LpSolution {
+        LpSolution {
             status: LpStatus::Optimal,
-            objective: obj,
+            objective: self.sign * obj,
             values,
             iterations: 0,
-        };
-    }
-
-    let mut solver = Solver::build(lp, lower, upper, opts);
-    let (status, iterations) = solver.run();
-    let mut objective = 0.0;
-    let mut values = vec![0.0; n];
-    if status == LpStatus::Optimal {
-        for j in 0..n {
-            let v = solver.value_of(j);
-            values[j] = v;
-            objective += lp.obj[j] * v;
         }
     }
-    LpSolution {
-        status,
-        objective,
-        values,
-        iterations,
+
+    /// Normalises a snapshot status against the current working bounds:
+    /// nonbasic variables must rest on a finite bound (or at zero when both
+    /// bounds are infinite).
+    fn normalize_status(&self, j: usize, s: VarStatus) -> VarStatus {
+        match s {
+            s @ VarStatus::Basic(_) => s,
+            VarStatus::AtLower if !self.lower[j].is_finite() => {
+                if self.upper[j].is_finite() {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::Free
+                }
+            }
+            VarStatus::AtUpper if !self.upper[j].is_finite() => {
+                if self.lower[j].is_finite() {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::Free
+                }
+            }
+            VarStatus::Free if self.lower[j].is_finite() || self.upper[j].is_finite() => {
+                initial_bound_status(self.lower[j], self.upper[j])
+            }
+            s => s,
+        }
     }
-}
 
-impl<'a> Solver<'a> {
-    fn build(
-        lp: &LinearProgram,
-        lower_s: &[f64],
-        upper_s: &[f64],
-        opts: &'a SimplexOptions,
-    ) -> Self {
-        let m = lp.num_rows();
-        let n = lp.num_vars();
-        let sign = if lp.is_maximize() { -1.0 } else { 1.0 };
-
-        let mut columns: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n + m);
-        let mut lower = Vec::with_capacity(n + 2 * m);
-        let mut upper = Vec::with_capacity(n + 2 * m);
-        let mut real_cost = Vec::with_capacity(n + 2 * m);
-        for j in 0..n {
-            columns.push(lp.cols[j].clone());
-            lower.push(lower_s[j]);
-            upper.push(upper_s[j]);
-            real_cost.push(sign * lp.obj[j]);
+    /// Restores a snapshot under the current working bounds and repairs it
+    /// to primal feasibility.
+    fn try_warm(&mut self, snap: &BasisSnapshot) -> Repair {
+        let n_total = self.n_total();
+        if snap.status.len() != n_total || snap.basis.len() != self.m {
+            return Repair::Fallback;
         }
-        // Slack columns.
-        for i in 0..m {
-            columns.push(vec![(i, 1.0)]);
-            let (lo, hi) = match lp.sense[i] {
-                RowSense::Le => (0.0, f64::INFINITY),
-                RowSense::Ge => (f64::NEG_INFINITY, 0.0),
-                RowSense::Eq => (0.0, 0.0),
-            };
-            lower.push(lo);
-            upper.push(hi);
-            real_cost.push(0.0);
-        }
-
-        // Initial nonbasic statuses for structural variables.
-        let mut status = Vec::with_capacity(n + 2 * m);
-        for j in 0..n {
-            status.push(initial_bound_status(lower[j], upper[j]));
-        }
-
-        // Row activity with nonbasic structural values.
-        let mut activity = vec![0.0; m];
-        for j in 0..n {
-            let v = nonbasic_value(lower[j], upper[j], status[j]);
-            if v != 0.0 {
-                for &(r, c) in &columns[j] {
-                    activity[r] += c * v;
+        // Depth-first search usually solves a child immediately after its
+        // parent, so the solver often still *holds* the snapshot's basis —
+        // with a valid LU + eta factorisation. Detect that and skip the
+        // refactorisation: only the basic values need recomputing under the
+        // new bounds.
+        let same_basis = self.lu.is_some()
+            && self.basis == snap.basis
+            && (0..n_total).all(|j| self.status[j] == self.normalize_status(j, snap.status[j]));
+        if same_basis {
+            self.recompute_xb();
+        } else {
+            self.basis.copy_from_slice(&snap.basis);
+            for j in 0..n_total {
+                self.status[j] = self.normalize_status(j, snap.status[j]);
+            }
+            self.etas.clear();
+            if let Some(lu) = &snap.lu {
+                // The snapshot carries the factorisation of exactly this
+                // basis: reference LU plus the eta file on top of it.
+                self.lu = Some(lu.clone());
+                self.etas.clone_from(&snap.etas);
+                self.recompute_xb();
+            } else {
+                if self.refactorize().is_err() {
+                    return Repair::Fallback;
                 }
             }
         }
+        self.repair_primal()
+    }
 
-        // Slack / artificial installation. Slack statuses occupy indices
-        // n..n+m; artificial columns (and their statuses) strictly follow at
-        // n+m.., keeping `is_artificial` a simple index test.
-        let mut basis = Vec::with_capacity(m);
-        let mut xb = Vec::with_capacity(m);
-        let mut artificials: Vec<(usize, f64, f64)> = Vec::new(); // (row, sign, value)
+    /// Repairs primal feasibility of a restored basis: each out-of-bounds
+    /// basic variable has its violated bound widened to the current value
+    /// and gets a unit cost pushing it back inside; minimising that proxy
+    /// either restores feasibility, proves the bound system infeasible
+    /// (the proxy optimum exceeds what any point inside the true box could
+    /// score), or gives up for a cold restart.
+    fn repair_primal(&mut self) -> Repair {
+        let tol = self.opts.feas_tol;
+        // (variable, widened side was upper, original bound value)
+        let mut widened: Vec<(usize, bool, f64)> = Vec::new();
+        for p in 0..self.m {
+            let j = self.basis[p];
+            let x = self.xb[p];
+            if x > self.upper[j] + tol {
+                widened.push((j, true, self.upper[j]));
+                self.upper[j] = x;
+            } else if x < self.lower[j] - tol {
+                widened.push((j, false, self.lower[j]));
+                self.lower[j] = x;
+            }
+        }
+        if widened.is_empty() {
+            return Repair::Feasible;
+        }
+        for j in 0..self.n_total() {
+            self.cost[j] = 0.0;
+        }
+        for &(j, was_upper, _) in &widened {
+            self.cost[j] = if was_upper { 1.0 } else { -1.0 };
+        }
+        let outcome = self.optimize();
+        // Proxy value at the repair optimum vs the best score any point of
+        // the *true* box could achieve.
+        let mut achieved = 0.0;
+        let mut target = 0.0;
+        for &(j, was_upper, orig) in &widened {
+            achieved += self.cost[j] * self.value_of(j);
+            target += if was_upper { orig } else { -orig };
+        }
+        for &(j, was_upper, orig) in &widened {
+            if was_upper {
+                self.upper[j] = orig;
+            } else {
+                self.lower[j] = orig;
+            }
+        }
+        if outcome.is_err() {
+            return Repair::Fallback;
+        }
+        if achieved > target + tol * 10.0 * (1.0 + widened.len() as f64).sqrt() {
+            return Repair::Infeasible;
+        }
+        // Nonbasic variables sit on true bounds again; recompute the basics
+        // and verify feasibility survived the bound restoration.
+        self.recompute_xb();
+        for p in 0..self.m {
+            let j = self.basis[p];
+            if self.xb[p] > self.upper[j] + tol || self.xb[p] < self.lower[j] - tol {
+                return Repair::Fallback;
+            }
+        }
+        Repair::Feasible
+    }
+
+    /// Cold start: crash basis from slacks, artificials on violated rows,
+    /// phase 1 if needed, then phase 2.
+    fn cold_solve(&mut self) -> LpStatus {
+        let n = self.n_struct;
+        let m = self.m;
+        for j in 0..n {
+            self.status[j] = initial_bound_status(self.lower[j], self.upper[j]);
+        }
+        // Row activity with nonbasic structural values.
+        for i in 0..m {
+            self.dense_b[i] = 0.0;
+        }
+        for j in 0..n {
+            let v = nonbasic_value(self.lower[j], self.upper[j], self.status[j]);
+            if v != 0.0 {
+                self.a.col_axpy(j, v, &mut self.dense_b);
+            }
+        }
+        let mut any_artificial = false;
         for i in 0..m {
             let sj = n + i;
-            let want = lp.rhs[i] - activity[i];
-            if want >= lower[sj] - opts.feas_tol && want <= upper[sj] + opts.feas_tol {
-                status.push(VarStatus::Basic(i));
-                basis.push(sj);
-                xb.push(want);
+            let aj = n + m + i;
+            self.lower[aj] = 0.0;
+            self.upper[aj] = 0.0;
+            self.status[aj] = VarStatus::AtLower;
+            let want = self.rhs[i] - self.dense_b[i];
+            if want >= self.lower[sj] - self.opts.feas_tol
+                && want <= self.upper[sj] + self.opts.feas_tol
+            {
+                self.status[sj] = VarStatus::Basic(i);
+                self.basis[i] = sj;
+                self.xb[i] = want;
             } else {
-                // Slack pinned to its nearest bound; artificial covers the rest.
-                let pinned = want.clamp(lower[sj], upper[sj]);
-                status.push(if lower[sj].is_finite() && pinned == lower[sj] {
+                // Slack pinned to its nearest bound; the artificial opens on
+                // the violated side and covers the rest.
+                let pinned = want.clamp(self.lower[sj], self.upper[sj]);
+                self.status[sj] = if self.lower[sj].is_finite() && pinned == self.lower[sj] {
                     VarStatus::AtLower
                 } else {
                     VarStatus::AtUpper
-                });
+                };
                 let residual = want - pinned;
-                artificials.push((i, residual.signum(), residual.abs()));
-                basis.push(usize::MAX); // patched below once index is known
-                xb.push(residual.abs());
+                if residual >= 0.0 {
+                    self.upper[aj] = f64::INFINITY;
+                } else {
+                    self.lower[aj] = f64::NEG_INFINITY;
+                }
+                self.status[aj] = VarStatus::Basic(i);
+                self.basis[i] = aj;
+                self.xb[i] = residual;
+                any_artificial = true;
             }
         }
-        for &(i, sign, _value) in &artificials {
-            let aj = columns.len();
-            columns.push(vec![(i, sign)]);
-            lower.push(0.0);
-            upper.push(f64::INFINITY);
-            real_cost.push(0.0);
-            status.push(VarStatus::Basic(i));
-            basis[i] = aj;
+        self.etas.clear();
+        if self.refactorize().is_err() {
+            return LpStatus::Numerical;
         }
 
-        let a = CscMatrix::from_columns(m, &columns);
-        let n_total = a.ncols();
-        debug_assert_eq!(status.len(), n_total);
+        // Phase 1: minimise Σ |artificials| (signs folded into unit costs).
+        if any_artificial {
+            for j in 0..self.n_total() {
+                self.cost[j] = 0.0;
+            }
+            for i in 0..m {
+                let aj = n + m + i;
+                if self.upper[aj] == f64::INFINITY {
+                    self.cost[aj] = 1.0;
+                } else if self.lower[aj] == f64::NEG_INFINITY {
+                    self.cost[aj] = -1.0;
+                }
+            }
+            self.bland = false;
+            self.degenerate_streak = 0;
+            self.refill_floor = 0.0;
+            if let Err(st) = self.optimize() {
+                return st;
+            }
+            let infeas: f64 = (n + m..self.n_total())
+                .map(|j| self.value_of(j).abs())
+                .sum();
+            if infeas > self.opts.feas_tol * 10.0 * (1.0 + m as f64).sqrt() {
+                return LpStatus::Infeasible;
+            }
+            // Pin artificials at zero for phase 2.
+            for i in 0..m {
+                let aj = n + m + i;
+                self.lower[aj] = 0.0;
+                self.upper[aj] = 0.0;
+                if !matches!(self.status[aj], VarStatus::Basic(_)) {
+                    self.status[aj] = VarStatus::AtLower;
+                }
+            }
+        }
+        self.phase2()
+    }
 
-        Solver {
-            m,
-            n_struct: n,
-            a,
-            lower,
-            upper,
-            cost: vec![0.0; n_total],
-            real_cost,
-            status,
-            basis,
-            xb,
-            rhs: lp.rhs.clone(),
-            lu: None,
-            etas: Vec::new(),
-            opts,
-            scratch_a: vec![0.0; m],
-            scratch_b: vec![0.0; m],
-            y: vec![0.0; m],
-            t: vec![0.0; m],
-            t_pattern: Vec::new(),
-            iterations: 0,
-            degenerate_streak: 0,
-            bland: false,
+    /// Phase 2: the real objective from the current (feasible) basis.
+    fn phase2(&mut self) -> LpStatus {
+        self.cost.copy_from_slice(&self.real_cost);
+        self.bland = false;
+        self.degenerate_streak = 0;
+        self.refill_floor = 0.0;
+        match self.optimize() {
+            Ok(()) => LpStatus::Optimal,
+            Err(st) => st,
         }
     }
 
     #[inline]
     fn n_total(&self) -> usize {
         self.a.ncols()
-    }
-
-    #[inline]
-    fn is_artificial(&self, j: usize) -> bool {
-        j >= self.n_struct + self.m
     }
 
     fn value_of(&self, j: usize) -> f64 {
@@ -333,44 +680,6 @@ impl<'a> Solver<'a> {
             self.opts.max_iterations
         } else {
             1000 + 40 * (self.m + self.n_total())
-        }
-    }
-
-    fn run(&mut self) -> (LpStatus, usize) {
-        if self.refactorize().is_err() {
-            return (LpStatus::Numerical, self.iterations);
-        }
-
-        // Phase 1: minimise Σ artificials (if any are in the basis).
-        let has_artificials = self.n_total() > self.n_struct + self.m;
-        if has_artificials {
-            for j in 0..self.n_total() {
-                self.cost[j] = if self.is_artificial(j) { 1.0 } else { 0.0 };
-            }
-            match self.optimize() {
-                Ok(()) => {}
-                Err(st) => return (st, self.iterations),
-            }
-            let infeas: f64 = (self.n_struct + self.m..self.n_total())
-                .map(|j| self.value_of(j))
-                .sum();
-            if infeas > self.opts.feas_tol * 10.0 * (1.0 + self.m as f64).sqrt() {
-                return (LpStatus::Infeasible, self.iterations);
-            }
-            // Fix artificials at zero for phase 2.
-            for j in self.n_struct + self.m..self.n_total() {
-                self.lower[j] = 0.0;
-                self.upper[j] = 0.0;
-            }
-        }
-
-        // Phase 2: the real objective.
-        self.cost.copy_from_slice(&self.real_cost);
-        self.bland = false;
-        self.degenerate_streak = 0;
-        match self.optimize() {
-            Ok(()) => (LpStatus::Optimal, self.iterations),
-            Err(st) => (st, self.iterations),
         }
     }
 
@@ -403,11 +712,7 @@ impl<'a> Solver<'a> {
                         VarStatus::AtUpper => VarStatus::AtLower,
                         b => b,
                     };
-                    if step <= self.opts.feas_tol {
-                        self.note_degenerate(true);
-                    } else {
-                        self.note_degenerate(false);
-                    }
+                    self.note_degenerate(step <= self.opts.feas_tol);
                 }
                 RatioOutcome::Pivot {
                     pos,
@@ -468,7 +773,7 @@ impl<'a> Solver<'a> {
     /// y = Bᵀ⁻¹ c_B via the eta file and the LU transpose solve.
     fn compute_duals(&mut self) {
         let m = self.m;
-        let u = &mut self.scratch_a;
+        let u = &mut self.dense_a;
         for p in 0..m {
             u[p] = self.cost[self.basis[p]];
         }
@@ -486,45 +791,118 @@ impl<'a> Solver<'a> {
             .solve_transpose(u, &mut self.y);
     }
 
-    /// Chooses the entering variable; returns `(column, direction)` where
-    /// direction +1 means increase from lower bound, −1 decrease from upper.
-    fn price(&self) -> Option<(usize, f64)> {
+    /// Entering eligibility of column `j` against the current duals:
+    /// `(direction, score)` where direction +1 increases from the resting
+    /// point and −1 decreases. The score is the reduced-cost magnitude
+    /// normalised by the static steepest-edge column weight, which picks
+    /// markedly better pivots than raw Dantzig scoring.
+    fn eligibility(&self, j: usize) -> Option<(f64, f64)> {
         let tol = self.opts.opt_tol;
-        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
-        for j in 0..self.n_total() {
-            let (dir, d) = match self.status[j] {
-                VarStatus::Basic(_) => continue,
-                VarStatus::AtLower => {
-                    if self.upper[j] - self.lower[j] <= 0.0 {
-                        continue; // fixed
-                    }
-                    let d = self.reduced_cost(j);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else {
-                        continue;
-                    }
+        let attractive = |d: f64| d / self.col_norm[j];
+        match self.status[j] {
+            VarStatus::Basic(_) => None,
+            VarStatus::AtLower => {
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    return None; // fixed
                 }
-                VarStatus::AtUpper => {
-                    if self.upper[j] - self.lower[j] <= 0.0 {
-                        continue;
-                    }
-                    let d = self.reduced_cost(j);
-                    if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
+                let d = self.reduced_cost(j);
+                if d < -tol {
+                    Some((1.0, attractive(-d)))
+                } else {
+                    None
                 }
-            };
-            if self.bland {
-                return Some((j, dir));
             }
-            if best.map(|(_, _, s)| d > s).unwrap_or(true) {
-                best = Some((j, dir, d));
+            VarStatus::AtUpper => {
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    return None;
+                }
+                let d = self.reduced_cost(j);
+                if d > tol {
+                    Some((-1.0, attractive(d)))
+                } else {
+                    None
+                }
+            }
+            VarStatus::Free => {
+                let d = self.reduced_cost(j);
+                if d < -tol {
+                    Some((1.0, attractive(-d)))
+                } else if d > tol {
+                    Some((-1.0, attractive(d)))
+                } else {
+                    None
+                }
             }
         }
-        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Chooses the entering variable by candidate-list partial pricing;
+    /// returns `(column, direction)`.
+    fn price(&mut self) -> Option<(usize, f64)> {
+        if self.bland {
+            return self.price_bland();
+        }
+        // Re-price the cached candidates against the fresh duals; drop the
+        // ones no longer attractive.
+        let mut cand = std::mem::take(&mut self.cand);
+        let mut best: Option<(usize, f64, f64)> = None;
+        cand.retain(|&j| match self.eligibility(j) {
+            Some((dir, score)) => {
+                if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+                    best = Some((j, dir, score));
+                }
+                true
+            }
+            None => false,
+        });
+        self.cand = cand;
+        // Serve from the cache only while its best stays competitive with
+        // the scores seen at the last refill; grinding a stale list down to
+        // its dregs costs far more iterations than a rescan costs columns.
+        if let Some((j, dir, score)) = best {
+            if score >= self.refill_floor {
+                return Some((j, dir));
+            }
+        }
+        // Refill: rotating section scan, continuing until enough candidates
+        // accumulate for decent pivot diversity; a full rotation finding
+        // nothing proves optimality for the current costs.
+        self.cand.clear();
+        let n_total = self.n_total();
+        let section = (n_total / 4).clamp(SECTION_MIN.min(n_total), n_total);
+        let mut scanned = 0usize;
+        let mut found: Vec<(usize, f64, f64)> = Vec::new();
+        while scanned < n_total {
+            let start = self.scan_cursor;
+            let len = section.min(n_total - scanned);
+            for step in 0..len {
+                let j = (start + step) % n_total;
+                if let Some((dir, score)) = self.eligibility(j) {
+                    found.push((j, dir, score));
+                }
+            }
+            self.scan_cursor = (start + len) % n_total;
+            scanned += len;
+            if found.len() >= CAND_CAP {
+                break;
+            }
+        }
+        if found.is_empty() {
+            // A full rotation saw nothing eligible — even a previously
+            // cached best would have been rediscovered — so: optimal.
+            return None;
+        }
+        found.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+        found.truncate(CAND_CAP);
+        self.cand.extend(found.iter().map(|&(j, _, _)| j));
+        let (j, dir, top) = found[0];
+        self.refill_floor = top * REFILL_DECAY;
+        Some((j, dir))
+    }
+
+    /// Bland's rule: the eligible column with the lowest index.
+    fn price_bland(&self) -> Option<(usize, f64)> {
+        (0..self.n_total()).find_map(|j| self.eligibility(j).map(|(dir, _)| (j, dir)))
     }
 
     #[inline]
@@ -532,39 +910,59 @@ impl<'a> Solver<'a> {
         self.cost[j] - self.a.col_dot(j, &self.y)
     }
 
-    /// t = B⁻¹ a_q (dense with recorded pattern).
+    /// t = B⁻¹ a_q with its nonzero pattern tracked symbolically through the
+    /// LU solve and the eta file.
     fn ftran(&mut self, q: usize) {
-        let m = self.m;
-        for p in 0..m {
-            self.scratch_a[p] = 0.0;
+        // Clear the previous tableau column.
+        for &p in &self.t_pattern {
+            self.t[p] = 0.0;
         }
+        self.t_pattern.clear();
         {
             let (rows, vals) = self.a.col(q);
             for (&r, &v) in rows.iter().zip(vals) {
-                self.scratch_a[r] = v;
+                self.fb[r] = v;
             }
+            self.lu.as_ref().expect("factorized").solve_sparse(
+                &mut self.fb,
+                rows,
+                &mut self.t,
+                &mut self.t_pattern,
+                &mut self.lu_scratch,
+            );
         }
-        self.lu
-            .as_ref()
-            .expect("factorized")
-            .solve(&mut self.scratch_a, &mut self.t);
-        for eta in &self.etas {
-            let tr = self.t[eta.pos] / eta.pivot;
-            self.t[eta.pos] = tr;
-            if tr != 0.0 {
+        if !self.etas.is_empty() {
+            for &p in &self.t_pattern {
+                self.t_mark[p] = true;
+            }
+            for eta in &self.etas {
+                let tp = self.t[eta.pos];
+                if tp == 0.0 {
+                    continue;
+                }
+                let tr = tp / eta.pivot;
+                self.t[eta.pos] = tr;
                 for &(p, v) in &eta.entries {
+                    if !self.t_mark[p] {
+                        self.t_mark[p] = true;
+                        self.t_pattern.push(p);
+                    }
                     self.t[p] -= v * tr;
                 }
             }
-        }
-        self.t_pattern.clear();
-        for p in 0..m {
-            if self.t[p].abs() > 1e-12 {
-                self.t_pattern.push(p);
-            } else {
-                self.t[p] = 0.0;
+            for &p in &self.t_pattern {
+                self.t_mark[p] = false;
             }
         }
+        let t = &mut self.t;
+        self.t_pattern.retain(|&p| {
+            if t[p].abs() > 1e-12 {
+                true
+            } else {
+                t[p] = 0.0;
+                false
+            }
+        });
     }
 
     fn ratio_test(&self, q: usize, dir: f64) -> RatioOutcome {
@@ -648,13 +1046,21 @@ impl<'a> Solver<'a> {
             buf.extend(rows.iter().copied().zip(vals.iter().copied()));
         })
         .map_err(|_| ())?;
-        self.lu = Some(lu);
+        self.lu = Some(Rc::new(lu));
         self.etas.clear();
+        // With the eta file just cleared this reduces to a plain LU solve.
+        self.recompute_xb();
+        Ok(())
+    }
 
-        // xb = B⁻¹ (rhs − Σ nonbasic a_j v_j)
+    /// Recomputes the basic values under the *current* factorisation
+    /// (LU reference basis + eta file) without refactorising — used when
+    /// only bounds changed while the basis and its factorisation are still
+    /// valid.
+    fn recompute_xb(&mut self) {
         let m = self.m;
         for p in 0..m {
-            self.scratch_b[p] = self.rhs[p];
+            self.dense_b[p] = self.rhs[p];
         }
         for j in 0..self.n_total() {
             match self.status[j] {
@@ -662,15 +1068,26 @@ impl<'a> Solver<'a> {
                 s => {
                     let v = nonbasic_value(self.lower[j], self.upper[j], s);
                     if v != 0.0 {
-                        self.a.col_axpy(j, -v, &mut self.scratch_b);
+                        self.a.col_axpy(j, -v, &mut self.dense_b);
                     }
                 }
             }
         }
-        let lu = self.lu.as_ref().unwrap();
-        lu.solve(&mut self.scratch_b, &mut self.scratch_a);
-        self.xb.copy_from_slice(&self.scratch_a[..m]);
-        Ok(())
+        self.lu
+            .as_ref()
+            .expect("factorized")
+            .solve(&mut self.dense_b, &mut self.dense_a);
+        // Push through the eta file, exactly as FTRAN does.
+        for eta in &self.etas {
+            let tr = self.dense_a[eta.pos] / eta.pivot;
+            self.dense_a[eta.pos] = tr;
+            if tr != 0.0 {
+                for &(p, v) in &eta.entries {
+                    self.dense_a[p] -= v * tr;
+                }
+            }
+        }
+        self.xb.copy_from_slice(&self.dense_a[..m]);
     }
 }
 
@@ -688,8 +1105,10 @@ enum RatioOutcome {
 fn initial_bound_status(lower: f64, upper: f64) -> VarStatus {
     if lower.is_finite() && (lower.abs() <= upper.abs() || !upper.is_finite()) {
         VarStatus::AtLower
-    } else {
+    } else if upper.is_finite() {
         VarStatus::AtUpper
+    } else {
+        VarStatus::Free
     }
 }
 
@@ -698,6 +1117,7 @@ fn nonbasic_value(lower: f64, upper: f64, status: VarStatus) -> f64 {
     match status {
         VarStatus::AtLower => lower,
         VarStatus::AtUpper => upper,
+        VarStatus::Free => 0.0,
         VarStatus::Basic(_) => unreachable!("nonbasic_value on basic variable"),
     }
 }
@@ -840,6 +1260,93 @@ mod tests {
         let s = lp.solve_with_bounds(&[0.0], &[3.0], &SimplexOptions::default());
         assert_eq!(s.status, LpStatus::Optimal);
         assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn free_variable_override_rests_at_zero() {
+        // Regression: a variable freed through bound overrides used to get
+        // nonbasic status AtUpper and value +∞, poisoning the crash basis
+        // activity. It must rest at zero and solve correctly.
+        // min x s.t. x ≥ −3, x free → x = −3.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 10.0, 1.0);
+        lp.add_row(RowSense::Ge, -3.0, &[(x, 1.0)]);
+        let s = lp.solve_with_bounds(
+            &[f64::NEG_INFINITY],
+            &[f64::INFINITY],
+            &SimplexOptions::default(),
+        );
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, -3.0);
+        assert_close(s.values[x], -3.0);
+    }
+
+    #[test]
+    fn free_variable_maximization_hits_row_limit() {
+        // max x s.t. x ≤ 5 with x free → 5 (the row, not a bound, binds).
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 1.0, 1.0);
+        lp.add_row(RowSense::Le, 5.0, &[(x, 1.0)]);
+        let s = lp.solve_with_bounds(
+            &[f64::NEG_INFINITY],
+            &[f64::INFINITY],
+            &SimplexOptions::default(),
+        );
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_tightening() {
+        // Solve, snapshot, tighten a bound (the B&B access pattern), and
+        // verify the warm solve agrees with a cold one.
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 10.0, 3.0);
+        let y = lp.add_var(0.0, 10.0, 2.0);
+        lp.add_row(RowSense::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(RowSense::Le, 6.0, &[(x, 1.0), (y, 3.0)]);
+
+        let mut solver = SimplexSolver::new(&lp, SimplexOptions::default());
+        let parent = solver.solve_from(None, &[0.0, 0.0], &[10.0, 10.0]);
+        assert_eq!(parent.status, LpStatus::Optimal);
+        let snap = solver.snapshot();
+
+        for (lo, hi) in [
+            ([0.0, 0.0], [2.5, 10.0]), // cut off the old optimum
+            ([0.0, 1.0], [10.0, 10.0]),
+            ([3.0, 0.0], [10.0, 0.5]),
+            ([0.0, 0.0], [0.0, 0.0]), // everything fixed
+        ] {
+            let warm = solver.solve_from(Some(&snap), &lo, &hi);
+            let cold = lp.solve_with_bounds(&lo, &hi, &SimplexOptions::default());
+            assert_eq!(warm.status, cold.status, "bounds {lo:?}..{hi:?}");
+            if warm.status == LpStatus::Optimal {
+                assert!(
+                    (warm.objective - cold.objective).abs() < 1e-7,
+                    "bounds {lo:?}..{hi:?}: warm {} vs cold {}",
+                    warm.objective,
+                    cold.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_child_infeasibility() {
+        // min x + y s.t. x + y ≥ 4, x,y ≤ 3: feasible. Tightening both to
+        // ≤ 1 makes the system infeasible; the warm repair must report it.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var(0.0, 3.0, 1.0);
+        let y = lp.add_var(0.0, 3.0, 1.0);
+        lp.add_row(RowSense::Ge, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let mut solver = SimplexSolver::new(&lp, SimplexOptions::default());
+        let parent = solver.solve_from(None, &[0.0, 0.0], &[3.0, 3.0]);
+        assert_eq!(parent.status, LpStatus::Optimal);
+        let snap = solver.snapshot();
+        let child = solver.solve_from(Some(&snap), &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(child.status, LpStatus::Infeasible);
     }
 
     #[test]

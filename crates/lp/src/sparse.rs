@@ -14,40 +14,54 @@ pub struct CscMatrix {
 }
 
 impl CscMatrix {
+    /// An empty matrix with `nrows` rows and no columns yet; grow it with
+    /// [`CscMatrix::push_column`].
+    pub fn new(nrows: usize) -> Self {
+        CscMatrix {
+            nrows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends one column. Entries may be unsorted and may contain
+    /// duplicate rows (summed); exact-zero sums are dropped. Returns the
+    /// index of the new column.
+    pub fn push_column(&mut self, entries: &[(usize, f64)]) -> usize {
+        let mut buf: Vec<(usize, f64)> = entries.to_vec();
+        buf.sort_unstable_by_key(|&(r, _)| r);
+        let mut i = 0;
+        while i < buf.len() {
+            let r = buf[i].0;
+            debug_assert!(
+                r < self.nrows,
+                "row index {r} out of bounds ({} rows)",
+                self.nrows
+            );
+            let mut v = 0.0;
+            while i < buf.len() && buf[i].0 == r {
+                v += buf[i].1;
+                i += 1;
+            }
+            if v != 0.0 {
+                self.row_idx.push(r);
+                self.values.push(v);
+            }
+        }
+        self.col_ptr.push(self.row_idx.len());
+        self.col_ptr.len() - 2
+    }
+
     /// Builds a CSC matrix from per-column entry lists. Entries within a
     /// column may be unsorted and may contain duplicates (summed).
     pub fn from_columns(nrows: usize, columns: &[Vec<(usize, f64)>]) -> Self {
-        let mut col_ptr = Vec::with_capacity(columns.len() + 1);
-        let mut row_idx = Vec::new();
-        let mut values = Vec::new();
-        col_ptr.push(0);
-        let mut buf: Vec<(usize, f64)> = Vec::new();
+        let mut m = CscMatrix::new(nrows);
+        m.row_idx.reserve(columns.iter().map(Vec::len).sum());
         for col in columns {
-            buf.clear();
-            buf.extend_from_slice(col);
-            buf.sort_unstable_by_key(|&(r, _)| r);
-            let mut i = 0;
-            while i < buf.len() {
-                let r = buf[i].0;
-                debug_assert!(r < nrows, "row index {r} out of bounds ({nrows} rows)");
-                let mut v = 0.0;
-                while i < buf.len() && buf[i].0 == r {
-                    v += buf[i].1;
-                    i += 1;
-                }
-                if v != 0.0 {
-                    row_idx.push(r);
-                    values.push(v);
-                }
-            }
-            col_ptr.push(row_idx.len());
+            m.push_column(col);
         }
-        CscMatrix {
-            nrows,
-            col_ptr,
-            row_idx,
-            values,
-        }
+        m
     }
 
     /// Number of rows.
@@ -141,6 +155,17 @@ mod tests {
         let mut out = vec![0.0, 1.0];
         m.col_axpy(0, 0.5, &mut out);
         assert_eq!(out, vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn push_column_matches_from_columns() {
+        let cols = vec![vec![(2, 1.0), (0, 2.0), (2, 3.0)], vec![], vec![(1, -1.0)]];
+        let whole = CscMatrix::from_columns(3, &cols);
+        let mut grown = CscMatrix::new(3);
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(grown.push_column(col), j);
+        }
+        assert_eq!(grown.to_dense(), whole.to_dense());
     }
 
     #[test]

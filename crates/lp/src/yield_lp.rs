@@ -23,7 +23,7 @@
 //! * aggregate rows (6) are dropped when even the sum of *all* services'
 //!   `rᵃ + nᵃ` fits.
 
-use crate::milp::{solve_milp, MilpOptions, MilpStatus};
+use crate::milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
 use crate::problem::{LinearProgram, RowSense, VarId};
 use crate::simplex::{LpStatus, SimplexOptions};
 use vmplace_model::{Placement, ProblemInstance};
@@ -197,11 +197,22 @@ impl YieldLp {
         })
     }
 
-    /// Solves the MILP exactly by branch & bound (practical for small
-    /// instances only). Returns the optimal placement and its minimum yield.
+    /// Solves the MILP exactly by warm-started branch & bound (practical
+    /// for small instances only). Returns the optimal placement and its
+    /// minimum yield.
     pub fn solve_exact(&self, opts: &MilpOptions) -> Option<(Placement, f64)> {
-        let ints = self.integer_vars();
-        let result = solve_milp(&self.lp, &ints, opts);
+        self.decode_milp(self.solve_exact_result(opts))
+    }
+
+    /// Runs the exact branch & bound and returns the raw [`MilpResult`],
+    /// exposing solver-effort telemetry (node count, total simplex
+    /// iterations) alongside the solution values.
+    pub fn solve_exact_result(&self, opts: &MilpOptions) -> MilpResult {
+        solve_milp(&self.lp, &self.integer_vars(), opts)
+    }
+
+    /// Decodes a [`MilpResult`] of this model into a placement + yield.
+    pub fn decode_milp(&self, result: MilpResult) -> Option<(Placement, f64)> {
         if result.status != MilpStatus::Optimal {
             return None;
         }

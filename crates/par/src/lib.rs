@@ -148,12 +148,37 @@ where
 
 /// Runs `f` once per index in `0..n` in parallel, for side-effecting sweeps
 /// where results are accumulated through interior mutability by the caller.
+///
+/// Workers claim indices straight off a shared atomic counter — no index
+/// vector, no result slots, no locking.
 pub fn par_for_each_index<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    let indices: Vec<usize> = (0..n).collect();
-    par_map(&indices, |&i| f(i));
+    if n == 0 {
+        return;
+    }
+    let threads = num_threads().min(n);
+    if threads == 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    // std::thread::scope joins every worker before returning and re-raises
+    // any worker panic in the caller.
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -234,5 +259,26 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 1234);
+    }
+
+    #[test]
+    fn for_each_index_zero_and_one() {
+        par_for_each_index(0, |_| panic!("must not be called"));
+        let hits = AtomicU64::new(0);
+        par_for_each_index(1, |i| {
+            assert_eq!(i, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn for_each_index_panic_propagates() {
+        par_for_each_index(64, |i| {
+            if i == 33 {
+                panic!("boom");
+            }
+        });
     }
 }

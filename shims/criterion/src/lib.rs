@@ -197,17 +197,25 @@ impl Default for Criterion {
     /// target is executed by `cargo test --benches`) selects *test mode*:
     /// every benchmark runs a couple of iterations instead of a full
     /// measurement, so benches stay cheap smoke tests outside `cargo bench`.
+    /// An explicit `--test` (as in `cargo bench -- --test`, which CI uses
+    /// as a smoke step) forces test mode even under `cargo bench`.
     fn default() -> Self {
         let mut filter = None;
-        let mut test_mode = true;
+        let mut saw_bench = false;
+        let mut saw_test = false;
         for arg in std::env::args().skip(1) {
             if arg == "--bench" {
-                test_mode = false;
+                saw_bench = true;
+            } else if arg == "--test" {
+                saw_test = true;
             } else if !arg.starts_with('-') && !arg.is_empty() && filter.is_none() {
                 filter = Some(arg);
             }
         }
-        Criterion { filter, test_mode }
+        Criterion {
+            filter,
+            test_mode: !saw_bench || saw_test,
+        }
     }
 }
 
