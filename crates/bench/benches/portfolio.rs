@@ -1,0 +1,53 @@
+//! Portfolio engine vs the sequential seed path.
+//!
+//! `seed_fold` replicates the pre-engine META* algorithm: one binary
+//! search whose probe tries every roster member in order until one packs
+//! (fresh `VpProblem` and scratch per probe, as the seed code allocated).
+//! The `engine_*` entries run the same roster through the portfolio
+//! engine — per-member searches with shared-incumbent pruning and
+//! per-worker scratch — at 1 and 8 worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmplace_bench::{paper_instance, seed_fold};
+use vmplace_core::{Algorithm, MetaVp, SolveCtx};
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
+
+    let instance = paper_instance(100, 1);
+    for (label, meta) in [
+        ("metavp", MetaVp::metavp()),
+        ("metahvp", MetaVp::metahvp()),
+        ("metahvp_light", MetaVp::metahvp_light()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("seed_fold", label),
+            &instance,
+            |b, inst| b.iter(|| seed_fold(&meta, inst)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_t1", label),
+            &instance,
+            |b, inst| {
+                let mut ctx = SolveCtx::new().with_threads(1);
+                b.iter(|| meta.solve_with(inst, &mut ctx).map(|s| s.min_yield))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_t8", label),
+            &instance,
+            |b, inst| {
+                let mut ctx = SolveCtx::new().with_threads(8);
+                b.iter(|| meta.solve_with(inst, &mut ctx).map(|s| s.min_yield))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

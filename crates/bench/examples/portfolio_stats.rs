@@ -1,0 +1,108 @@
+//! Emits the `BENCH_portfolio.json` numbers: sequential seed path vs the
+//! portfolio engine (1 and 8 threads) on the paper's mid-grid scenario,
+//! plus a Table-1 smoke sweep timing.
+//!
+//! ```text
+//! cargo run --release -p vmplace-bench --example portfolio_stats [reps]
+//! ```
+
+use std::time::Instant;
+use vmplace_bench::seed_fold;
+use vmplace_core::{Algorithm, MetaVp, SolveCtx};
+use vmplace_sim::{Scenario, ScenarioConfig};
+
+fn time_mean<F: FnMut() -> Option<f64>>(reps: usize, mut f: F) -> (f64, Option<f64>) {
+    let mut out = None;
+    // Warm-up.
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        out = f();
+    }
+    (t0.elapsed().as_secs_f64() / reps as f64, out)
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    // (hosts, services, cov, slack, seed): the paper's mid-grid point at
+    // two sizes, plus a high-heterogeneity / low-slack point where early
+    // roster members fail often (the fold re-scans the roster there).
+    let scenarios: Vec<(usize, usize, f64, f64, u64)> = vec![
+        (64, 100, 0.5, 0.5, 1),
+        (64, 250, 0.5, 0.5, 1),
+        (64, 250, 1.0, 0.3, 1),
+    ];
+    println!("{{");
+    println!("  \"note\": \"seconds, mean of {reps} reps after warm-up; seed_fold replicates the pre-engine sequential META* (per-probe allocation, first-member-wins fold); container limits affinity to 1 CPU, so t8 shows engine overhead, not parallel speedup\",");
+    println!("  \"threads_available\": {},", vmplace_par::num_threads());
+    println!("  \"results\": [");
+    let mut first = true;
+    for (hosts, services, cov, slack, seed) in scenarios {
+        let instance = Scenario::new(ScenarioConfig {
+            hosts,
+            services,
+            cov,
+            memory_slack: slack,
+            ..ScenarioConfig::default()
+        })
+        .instance(seed);
+        for (algo, meta) in [
+            ("METAVP", MetaVp::metavp()),
+            ("METAHVP", MetaVp::metahvp()),
+            ("METAHVPLIGHT", MetaVp::metahvp_light()),
+        ] {
+            let (t_seed, y_seed) = time_mean(reps, || seed_fold(&meta, &instance));
+            let mut ctx1 = SolveCtx::new().with_threads(1);
+            let (t_e1, y_e1) = time_mean(reps, || {
+                meta.solve_with(&instance, &mut ctx1).map(|s| s.min_yield)
+            });
+            let probes1 = ctx1.take_report().map(|r| r.total_probes()).unwrap_or(0);
+            let mut ctx8 = SolveCtx::new().with_threads(8);
+            let (t_e8, _) = time_mean(reps, || {
+                meta.solve_with(&instance, &mut ctx8).map(|s| s.min_yield)
+            });
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!(
+                "    {{\"algo\": \"{algo}\", \"hosts\": {hosts}, \"services\": {services}, \
+                 \"cov\": {cov}, \"slack\": {slack}, \
+                 \"seed_fold_s\": {t_seed:.4}, \"engine_t1_s\": {t_e1:.4}, \"engine_t8_s\": {t_e8:.4}, \
+                 \"speedup_t1\": {:.2}, \"speedup_t8\": {:.2}, \
+                 \"engine_probes\": {probes1}, \
+                 \"yield_seed\": {}, \"yield_engine\": {}}}",
+                t_seed / t_e1,
+                t_seed / t_e8,
+                y_seed.map(|y| format!("{y:.4}")).unwrap_or("null".into()),
+                y_e1.map(|y| format!("{y:.4}")).unwrap_or("null".into()),
+            );
+            eprintln!(
+                "{algo:<13} J={services:<4} seed {t_seed:.3}s  engine_t1 {t_e1:.3}s ({:.2}x)  engine_t8 {t_e8:.3}s ({:.2}x)",
+                t_seed / t_e1,
+                t_seed / t_e8
+            );
+        }
+    }
+    println!();
+    println!("  ],");
+
+    // Table-1 smoke sweep through the engine-aware roster (instance-level
+    // par_map outside, engine inline via the nested-parallelism guard).
+    let sweep_cfg = vmplace_experiments::Table1Config::smoke_scale("/tmp/portfolio_stats_out");
+    std::fs::create_dir_all("/tmp/portfolio_stats_out").ok();
+    let roster = vmplace_experiments::Roster::new();
+    let t0 = Instant::now();
+    let rows = vmplace_experiments::run_sweep(&sweep_cfg.sweep, &roster);
+    let sweep_s = t0.elapsed().as_secs_f64();
+    eprintln!("table1 smoke sweep: {} rows in {sweep_s:.2}s", rows.len());
+    println!(
+        "  \"table1_smoke_sweep\": {{\"rows\": {}, \"seconds\": {sweep_s:.3}}}",
+        rows.len()
+    );
+    println!("}}");
+}

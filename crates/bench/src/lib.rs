@@ -67,3 +67,36 @@ pub fn feasible_seed(services: usize) -> u64 {
     }
     0
 }
+
+/// The pre-engine sequential META* path, replicated for benchmarking: one
+/// binary search whose probe rebuilds the yield-scaled item tables and
+/// tries each roster member with a fresh scratch (the per-probe
+/// allocation profile of the seed code). Shared by the `portfolio` bench
+/// and the `portfolio_stats` example so both measure the same baseline.
+pub fn seed_fold(meta: &vmplace_core::MetaVp, instance: &ProblemInstance) -> Option<f64> {
+    use vmplace_core::vp::{VpProblem, DEFAULT_RESOLUTION};
+    use vmplace_model::{evaluate_placement, Placement};
+
+    let pack = |lambda: f64| -> Option<Placement> {
+        let vp = VpProblem::new(instance, lambda);
+        meta.members().find_map(|h| h.pack(&vp))
+    };
+    let p0 = pack(0.0)?;
+    if let Some(p1) = pack(1.0) {
+        return evaluate_placement(instance, &p1).map(|s| s.min_yield);
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    let mut best = p0;
+    while hi - lo > DEFAULT_RESOLUTION {
+        let mid = 0.5 * (lo + hi);
+        match pack(mid) {
+            Some(p) => {
+                best = p;
+                lo = mid;
+            }
+            None => hi = mid,
+        }
+    }
+    evaluate_placement(instance, &best).map(|s| s.min_yield)
+}

@@ -1,5 +1,6 @@
 //! The common interface every placement algorithm implements.
 
+use crate::portfolio::SolveCtx;
 use vmplace_model::{ProblemInstance, Solution};
 
 /// A complete resource-allocation algorithm: takes an instance, returns a
@@ -8,18 +9,33 @@ use vmplace_model::{ProblemInstance, Solution};
 ///
 /// Failure is a first-class outcome — the paper's `S_{A,B}` metric compares
 /// success rates across algorithms.
-pub trait Algorithm {
+///
+/// The portfolio engine drives algorithms through
+/// [`solve_with`](Algorithm::solve_with), which threads a [`SolveCtx`]
+/// carrying the thread count, incumbent-pruning switch, wall-clock budget
+/// and (afterwards) per-member telemetry. [`solve`](Algorithm::solve) is a
+/// thin default over a fresh context.
+pub trait Algorithm: Send + Sync {
     /// Human-readable identifier used in experiment reports
-    /// (e.g. `"METAHVP"`, `"GREEDY_S3_P2"`).
-    fn name(&self) -> String;
+    /// (e.g. `"METAHVP"`, `"GREEDY_S3_P2"`). Borrowed — implementations
+    /// cache their labels instead of allocating per call.
+    fn name(&self) -> &str;
 
-    /// Attempts to solve the instance.
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution>;
+    /// Attempts to solve the instance under the given context.
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution>;
+
+    /// Attempts to solve the instance with default settings.
+    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+        self.solve_with(instance, &mut SolveCtx::new())
+    }
 }
 
 impl<T: Algorithm + ?Sized> Algorithm for &T {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
+    }
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
+        (**self).solve_with(instance, ctx)
     }
     fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
         (**self).solve(instance)
@@ -27,8 +43,11 @@ impl<T: Algorithm + ?Sized> Algorithm for &T {
 }
 
 impl<T: Algorithm + ?Sized> Algorithm for Box<T> {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         (**self).name()
+    }
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
+        (**self).solve_with(instance, ctx)
     }
     fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
         (**self).solve(instance)

@@ -7,6 +7,7 @@
 //! larger instances than a cold per-node solver would.
 
 use crate::algorithm::Algorithm;
+use crate::portfolio::SolveCtx;
 use vmplace_lp::{MilpOptions, YieldLp};
 use vmplace_model::{evaluate_placement, ProblemInstance, Solution};
 
@@ -33,11 +34,13 @@ impl ExactMilp {
 }
 
 impl Algorithm for ExactMilp {
-    fn name(&self) -> String {
-        "MILP".to_string()
+    fn name(&self) -> &str {
+        "MILP"
     }
 
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+    /// Branch & bound is a single member — the context's threads and
+    /// incumbent do not apply (the solver has its own internal bounding).
+    fn solve_with(&self, instance: &ProblemInstance, _ctx: &mut SolveCtx) -> Option<Solution> {
         let ylp = YieldLp::build(instance)?;
         let (placement, _objective) = ylp.solve_exact(&self.options)?;
         evaluate_placement(instance, &placement)

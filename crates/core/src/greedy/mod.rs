@@ -5,8 +5,10 @@
 //! picking strategy P1–P7)*: services are considered in sorted order and
 //! each is placed on the node chosen by the picker among those whose spare
 //! capacity still covers the service's rigid requirements. Yields are then
-//! computed by the shared water-filling evaluator. [`MetaGreedy`] runs all
-//! 49 combinations and keeps the best minimum yield.
+//! computed by the shared water-filling evaluator. [`MetaGreedy`] races all
+//! 49 combinations on the portfolio engine and keeps the best minimum
+//! yield (ties to the lowest member index, so results are independent of
+//! scheduling).
 
 mod picking;
 mod sorting;
@@ -15,6 +17,9 @@ pub use picking::NodePicker;
 pub use sorting::ServiceSort;
 
 use crate::algorithm::Algorithm;
+use crate::portfolio::{MemberOutcome, MemberReport, PortfolioReport, SolveCtx};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 use vmplace_model::{
     evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON,
 };
@@ -37,12 +42,13 @@ pub(crate) struct GreedyState {
 }
 
 impl GreedyState {
-    fn new(instance: &ProblemInstance) -> Self {
+    fn reset(&mut self, instance: &ProblemInstance) {
         let dims = instance.dims();
-        GreedyState {
-            req_load: vec![ResourceVector::zeros(dims); instance.num_nodes()],
-            load: vec![ResourceVector::zeros(dims); instance.num_nodes()],
-        }
+        let zero = ResourceVector::zeros(dims);
+        self.req_load.clear();
+        self.req_load.resize(instance.num_nodes(), zero.clone());
+        self.load.clear();
+        self.load.resize(instance.num_nodes(), zero);
     }
 
     /// Whether service `j` can still be placed on node `h` (rigid
@@ -69,6 +75,42 @@ impl GreedyState {
     }
 }
 
+/// Reusable buffers for a greedy portfolio worker: platform state, the
+/// service order and the output placement.
+pub struct GreedyScratch {
+    state: GreedyState,
+    order: Vec<usize>,
+    keys: Vec<f64>,
+    placement: Placement,
+}
+
+impl Default for GreedyScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GreedyScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> GreedyScratch {
+        GreedyScratch {
+            state: GreedyState {
+                req_load: Vec::new(),
+                load: Vec::new(),
+            },
+            order: Vec::new(),
+            keys: Vec::new(),
+            placement: Placement::empty(0),
+        }
+    }
+
+    /// The placement produced by the last successful
+    /// [`GreedyAlgorithm::place_with`].
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+}
+
 impl GreedyAlgorithm {
     /// All 49 members of the family, S-major order.
     pub fn all() -> Vec<GreedyAlgorithm> {
@@ -81,56 +123,147 @@ impl GreedyAlgorithm {
         out
     }
 
+    /// Index of this member within [`GreedyAlgorithm::all`] (S-major).
+    fn index(&self) -> usize {
+        let s = ServiceSort::ALL.iter().position(|x| x == &self.sort);
+        let p = NodePicker::ALL.iter().position(|x| x == &self.pick);
+        s.unwrap() * NodePicker::ALL.len() + p.unwrap()
+    }
+
+    /// Cached labels for all 49 members, in [`GreedyAlgorithm::all`] order.
+    pub fn all_labels() -> &'static Arc<Vec<String>> {
+        static LABELS: OnceLock<Arc<Vec<String>>> = OnceLock::new();
+        LABELS.get_or_init(|| {
+            Arc::new(
+                GreedyAlgorithm::all()
+                    .iter()
+                    .map(|a| format!("GREEDY_{}_{}", a.sort.label(), a.pick.label()))
+                    .collect(),
+            )
+        })
+    }
+
     /// Runs the placement loop only (no yield evaluation); exposed for the
     /// meta algorithm and for tests.
     pub fn place(&self, instance: &ProblemInstance) -> Option<Placement> {
-        let order = self.sort.order(instance);
-        let mut state = GreedyState::new(instance);
-        let mut placement = Placement::empty(instance.num_services());
-        for &j in &order {
-            let h = self.pick.pick(instance, &state, j)?;
-            state.place(instance, j, h);
-            placement.assign(j, h);
+        let mut scratch = GreedyScratch::new();
+        self.place_with(instance, &mut scratch)
+            .then(|| std::mem::replace(&mut scratch.placement, Placement::empty(0)))
+    }
+
+    /// As [`GreedyAlgorithm::place`], using `scratch` for all working state
+    /// (allocation-free once the buffers have grown to size). On success
+    /// the placement is left in [`GreedyScratch::placement`].
+    pub fn place_with(&self, instance: &ProblemInstance, scratch: &mut GreedyScratch) -> bool {
+        self.sort
+            .order_into(instance, &mut scratch.order, &mut scratch.keys);
+        scratch.state.reset(instance);
+        scratch.placement.reset(instance.num_services());
+        for &j in &scratch.order {
+            let Some(h) = self.pick.pick(instance, &scratch.state, j) else {
+                return false;
+            };
+            scratch.state.place(instance, j, h);
+            scratch.placement.assign(j, h);
         }
-        Some(placement)
+        true
     }
 }
 
 impl Algorithm for GreedyAlgorithm {
-    fn name(&self) -> String {
-        format!("GREEDY_{}_{}", self.sort.label(), self.pick.label())
+    fn name(&self) -> &str {
+        &Self::all_labels()[self.index()]
     }
 
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+    fn solve_with(&self, instance: &ProblemInstance, _ctx: &mut SolveCtx) -> Option<Solution> {
         let placement = self.place(instance)?;
         evaluate_placement(instance, &placement)
     }
 }
 
-/// METAGREEDY: run all 49 greedy algorithms, keep the best minimum yield
-/// among those that succeed.
+/// METAGREEDY: race all 49 greedy algorithms on the portfolio engine, keep
+/// the best minimum yield among those that succeed.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MetaGreedy;
 
 impl Algorithm for MetaGreedy {
-    fn name(&self) -> String {
-        "METAGREEDY".to_string()
+    fn name(&self) -> &str {
+        "METAGREEDY"
     }
 
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
-        let mut best: Option<Solution> = None;
-        for alg in GreedyAlgorithm::all() {
-            if let Some(sol) = alg.solve(instance) {
-                if best
-                    .as_ref()
-                    .map(|b| sol.min_yield > b.min_yield)
-                    .unwrap_or(true)
-                {
-                    best = Some(sol);
-                }
-            }
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
+        let started = Instant::now();
+        let threads = ctx.effective_threads();
+        let deadline = ctx.deadline_from_now();
+        let members = GreedyAlgorithm::all();
+
+        struct Outcome {
+            solution: Option<Solution>,
+            outcome: MemberOutcome,
+            wall: std::time::Duration,
         }
-        best
+
+        let outcomes: Vec<Outcome> = vmplace_par::portfolio_run(
+            members.len(),
+            threads,
+            GreedyScratch::new,
+            |member, scratch: &mut GreedyScratch| {
+                let t0 = Instant::now();
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Outcome {
+                        solution: None,
+                        outcome: MemberOutcome::TimedOut,
+                        wall: t0.elapsed(),
+                    };
+                }
+                // Greedy members place once — there is no probe sequence to
+                // prune, and yields are only known after evaluation.
+                let solution = members[member]
+                    .place_with(instance, scratch)
+                    .then(|| evaluate_placement(instance, &scratch.placement))
+                    .flatten();
+                Outcome {
+                    outcome: if solution.is_some() {
+                        MemberOutcome::Solved
+                    } else {
+                        MemberOutcome::Failed
+                    },
+                    solution,
+                    wall: t0.elapsed(),
+                }
+            },
+        );
+
+        // Deterministic reduce: best evaluated minimum yield, ties to the
+        // lowest member index.
+        let winner = crate::portfolio::best_member(
+            outcomes
+                .iter()
+                .map(|o| o.solution.as_ref().map(|s| s.min_yield)),
+        );
+
+        let member_reports: Vec<MemberReport> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| MemberReport {
+                member: i,
+                outcome: o.outcome,
+                searched_yield: o.solution.as_ref().map(|s| s.min_yield),
+                probes: u32::from(o.outcome != MemberOutcome::TimedOut),
+                wall: o.wall,
+            })
+            .collect();
+        ctx.set_report(PortfolioReport {
+            algorithm: "METAGREEDY".to_string(),
+            labels: Arc::clone(GreedyAlgorithm::all_labels()),
+            threads,
+            wall: started.elapsed(),
+            winner: winner.map(|(i, _)| i),
+            members: member_reports,
+        });
+
+        let (index, _) = winner?;
+        outcomes.into_iter().nth(index).and_then(|o| o.solution)
     }
 }
 
@@ -187,6 +320,21 @@ mod tests {
     }
 
     #[test]
+    fn metagreedy_parallel_equals_sequential() {
+        let inst = two_node_instance();
+        let mut seq = SolveCtx::new().with_threads(1);
+        let mut par = SolveCtx::new().with_threads(4);
+        let a = MetaGreedy.solve_with(&inst, &mut seq).unwrap();
+        let b = MetaGreedy.solve_with(&inst, &mut par).unwrap();
+        assert_eq!(a.min_yield, b.min_yield);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(
+            seq.take_report().unwrap().winner,
+            par.take_report().unwrap().winner
+        );
+    }
+
+    #[test]
     fn greedy_fails_when_memory_cannot_fit() {
         // Two services of 0.6 memory each; nodes have 0.5 and 1.0 total.
         let nodes = vec![Node::multicore(2, 1.0, 0.5), Node::multicore(2, 1.0, 1.0)];
@@ -200,9 +348,14 @@ mod tests {
     }
 
     #[test]
-    fn names_are_distinct() {
-        let names: std::collections::HashSet<String> =
-            GreedyAlgorithm::all().iter().map(|a| a.name()).collect();
+    fn names_are_distinct_and_borrowed() {
+        let algs = GreedyAlgorithm::all();
+        let names: std::collections::HashSet<&str> = algs.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 49);
+        let g = GreedyAlgorithm {
+            sort: ServiceSort::SumNeed,
+            pick: NodePicker::MinLoadRatio,
+        };
+        assert_eq!(g.name(), "GREEDY_S3_P2");
     }
 }

@@ -51,25 +51,36 @@ impl ServiceSort {
 
     /// The service indices in placement order.
     pub fn order(&self, instance: &ProblemInstance) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..instance.num_services()).collect();
-        if *self == ServiceSort::None {
-            return idx;
-        }
-        let keys: Vec<f64> = instance
-            .services()
-            .iter()
-            .map(|s| match self {
-                ServiceSort::None => 0.0,
-                ServiceSort::MaxNeed => s.need_agg.max_component(),
-                ServiceSort::SumNeed => s.need_agg.sum(),
-                ServiceSort::MaxRequirement => s.req_agg.max_component(),
-                ServiceSort::SumRequirement => s.req_agg.sum(),
-                ServiceSort::MaxOfSums => s.req_agg.sum().max(s.need_agg.sum()),
-                ServiceSort::SumOfAll => s.req_agg.sum() + s.need_agg.sum(),
-            })
-            .collect();
-        idx.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
+        let mut idx = Vec::new();
+        let mut keys = Vec::new();
+        self.order_into(instance, &mut idx, &mut keys);
         idx
+    }
+
+    /// As [`ServiceSort::order`], writing into caller-provided buffers
+    /// (allocation-free once the buffers have grown to size).
+    pub fn order_into(
+        &self,
+        instance: &ProblemInstance,
+        idx: &mut Vec<usize>,
+        keys: &mut Vec<f64>,
+    ) {
+        idx.clear();
+        idx.extend(0..instance.num_services());
+        if *self == ServiceSort::None {
+            return;
+        }
+        keys.clear();
+        keys.extend(instance.services().iter().map(|s| match self {
+            ServiceSort::None => 0.0,
+            ServiceSort::MaxNeed => s.need_agg.max_component(),
+            ServiceSort::SumNeed => s.need_agg.sum(),
+            ServiceSort::MaxRequirement => s.req_agg.max_component(),
+            ServiceSort::SumRequirement => s.req_agg.sum(),
+            ServiceSort::MaxOfSums => s.req_agg.sum().max(s.need_agg.sum()),
+            ServiceSort::SumOfAll => s.req_agg.sum() + s.need_agg.sum(),
+        }));
+        idx.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap().then(a.cmp(&b)));
     }
 }
 

@@ -30,14 +30,16 @@
 pub mod algorithm;
 pub mod exact;
 pub mod greedy;
+pub mod portfolio;
 pub mod rounding;
 pub mod vp;
 
 pub use algorithm::Algorithm;
 pub use exact::ExactMilp;
-pub use greedy::{GreedyAlgorithm, MetaGreedy, NodePicker, ServiceSort};
+pub use greedy::{GreedyAlgorithm, GreedyScratch, MetaGreedy, NodePicker, ServiceSort};
+pub use portfolio::{MemberOutcome, MemberReport, PortfolioReport, SolveCtx};
 pub use rounding::RandomizedRounding;
 pub use vp::{
-    binary_search_yield, BinSort, ItemSort, MetaVp, PackingHeuristic, SortOrder, VectorMetric,
-    VpAlgorithm, VpProblem,
+    binary_search_yield, BinSort, ItemSort, MetaVp, PackScratch, PackingHeuristic, SortOrder,
+    VectorMetric, VpAlgorithm, VpProblem,
 };

@@ -11,8 +11,12 @@
 //! to be packed full still have somewhere to go.
 
 use crate::algorithm::Algorithm;
+use crate::portfolio::{MemberOutcome, MemberReport, PortfolioReport, SolveCtx};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 use vmplace_lp::{SimplexOptions, YieldLp};
 use vmplace_model::{
     evaluate_placement, Placement, ProblemInstance, ResourceVector, Solution, EPSILON,
@@ -108,15 +112,23 @@ fn fits(instance: &ProblemInstance, req_load: &[ResourceVector], j: usize, h: us
 }
 
 impl Algorithm for RandomizedRounding {
-    fn name(&self) -> String {
+    fn name(&self) -> &str {
         if self.epsilon.is_some() {
-            "RRNZ".to_string()
+            "RRNZ"
         } else {
-            "RRND".to_string()
+            "RRND"
         }
     }
 
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
+    /// Solves the LP relaxation once, then races the rounding trials on
+    /// the portfolio engine. Trial `t` draws from its own deterministic
+    /// RNG stream (trial 0 uses `seed` exactly, matching the historical
+    /// single-pass behaviour); the first successful trial by index wins,
+    /// so results are independent of scheduling.
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
+        let started = Instant::now();
+        let threads = ctx.effective_threads();
+        let deadline = ctx.deadline_from_now();
         let ylp = YieldLp::build(instance)?;
         let relaxed = ylp.solve_relaxed(&self.simplex)?;
 
@@ -132,13 +144,89 @@ impl Algorithm for RandomizedRounding {
             }
         }
 
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        for _ in 0..self.attempts.max(1) {
-            if let Some(placement) = self.round_once(instance, probs.clone(), &mut rng) {
-                return evaluate_placement(instance, &placement);
-            }
+        let attempts = self.attempts.max(1);
+        // Lowest successful trial index so far: later trials skip once a
+        // lower-index trial has won (result-invariant early exit).
+        let best_success = AtomicUsize::new(usize::MAX);
+
+        struct Outcome {
+            placement: Option<Placement>,
+            outcome: MemberOutcome,
+            wall: std::time::Duration,
         }
-        None
+
+        let outcomes: Vec<Outcome> = vmplace_par::portfolio_run(
+            attempts,
+            threads,
+            || (),
+            |trial, _| {
+                let t0 = Instant::now();
+                if best_success.load(Ordering::Acquire) < trial {
+                    return Outcome {
+                        placement: None,
+                        outcome: MemberOutcome::Skipped,
+                        wall: t0.elapsed(),
+                    };
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Outcome {
+                        placement: None,
+                        outcome: MemberOutcome::TimedOut,
+                        wall: t0.elapsed(),
+                    };
+                }
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed
+                        .wrapping_add((trial as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                );
+                let placement = self.round_once(instance, probs.clone(), &mut rng);
+                if placement.is_some() {
+                    best_success.fetch_min(trial, Ordering::AcqRel);
+                }
+                Outcome {
+                    outcome: if placement.is_some() {
+                        MemberOutcome::Solved
+                    } else {
+                        MemberOutcome::Failed
+                    },
+                    placement,
+                    wall: t0.elapsed(),
+                }
+            },
+        );
+
+        let winner = outcomes.iter().position(|o| o.placement.is_some());
+        let labels: Vec<String> = (0..attempts).map(|t| format!("TRIAL{t}")).collect();
+        let members: Vec<MemberReport> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| MemberReport {
+                member: i,
+                outcome: o.outcome,
+                searched_yield: None,
+                probes: u32::from(matches!(
+                    o.outcome,
+                    MemberOutcome::Solved | MemberOutcome::Failed
+                )),
+                wall: o.wall,
+            })
+            .collect();
+        ctx.set_report(PortfolioReport {
+            algorithm: self.name().to_string(),
+            labels: Arc::new(labels),
+            threads,
+            wall: started.elapsed(),
+            winner,
+            members,
+        });
+
+        let index = winner?;
+        let placement = outcomes
+            .into_iter()
+            .nth(index)
+            .and_then(|o| o.placement)
+            .expect("winner carries a placement");
+        evaluate_placement(instance, &placement)
     }
 }
 

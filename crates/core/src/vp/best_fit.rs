@@ -1,7 +1,6 @@
 //! Best-Fit vector packing (§3.5.1, heterogeneous variant §3.5.4).
 
-use super::{ItemSort, PackingHeuristic, VpProblem};
-use vmplace_model::Placement;
+use super::{ItemSort, PackScratch, PackingHeuristic, VpProblem};
 
 /// Best Fit: items in `item_sort` order; each item goes to the *fullest*
 /// feasible bin.
@@ -23,7 +22,7 @@ pub struct BestFit {
 }
 
 impl PackingHeuristic for BestFit {
-    fn name(&self) -> String {
+    fn describe(&self) -> String {
         format!(
             "{}/{}",
             if self.heterogeneous { "HBF" } else { "BF" },
@@ -31,15 +30,23 @@ impl PackingHeuristic for BestFit {
         )
     }
 
-    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
-        let items = self.item_sort.order(vp);
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool {
         let dims = vp.dims();
-        let mut loads = vec![0.0; vp.num_bins() * dims];
-        let mut placement = Placement::empty(vp.num_items());
-        for &j in &items {
+        let PackScratch {
+            loads,
+            items,
+            sort_keys,
+            placement,
+            ..
+        } = scratch;
+        self.item_sort.order_into(vp, items, sort_keys);
+        loads.clear();
+        loads.resize(vp.num_bins() * dims, 0.0);
+        placement.reset(vp.num_items());
+        for &j in items.iter() {
             let mut best: Option<(usize, f64)> = None; // (bin, score) higher wins
             for h in 0..vp.num_bins() {
-                if !vp.fits(j, h, &loads) {
+                if !vp.fits(j, h, loads) {
                     continue;
                 }
                 let score = if self.heterogeneous {
@@ -55,11 +62,13 @@ impl PackingHeuristic for BestFit {
                     best = Some((h, score));
                 }
             }
-            let (h, _) = best?;
-            vp.place(j, h, &mut loads);
+            let Some((h, _)) = best else {
+                return false;
+            };
+            vp.place(j, h, loads);
             placement.assign(j, h);
         }
-        Some(placement)
+        true
     }
 }
 

@@ -1,9 +1,13 @@
 //! The binary search on yield that turns any packing heuristic into a
-//! minimum-yield maximiser (§3.5).
+//! minimum-yield maximiser (§3.5), plus the incumbent-aware member search
+//! used by the portfolio engine.
 
-use super::{PackingHeuristic, VpProblem};
+use super::{PackScratch, PackingHeuristic, VpProblem};
 use crate::algorithm::Algorithm;
+use crate::portfolio::{MemberOutcome, SolveCtx};
+use std::time::Instant;
 use vmplace_model::{evaluate_placement, Placement, ProblemInstance, Solution};
+use vmplace_par::Incumbent;
 
 /// The paper's binary-search resolution (0.0001).
 pub const DEFAULT_RESOLUTION: f64 = 1e-4;
@@ -32,25 +36,174 @@ pub fn binary_search_placement<H: PackingHeuristic + ?Sized>(
     heuristic: &H,
     resolution: f64,
 ) -> Option<(f64, Placement)> {
-    let p0 = heuristic.pack(&VpProblem::new(instance, 0.0))?;
-    // Cheap upper probe: many under-constrained instances pack at yield 1.
-    if let Some(p1) = heuristic.pack(&VpProblem::new(instance, 1.0)) {
-        return Some((1.0, p1));
+    let mut scratch = PackScratch::new();
+    let mut vp = VpProblem::new(instance, 0.0);
+    let run = search_member(
+        &mut vp,
+        heuristic,
+        resolution,
+        &mut scratch,
+        &MemberGuards::unguarded(),
+    );
+    match run.outcome {
+        MemberOutcome::Solved => Some((run.lo, run.placement?)),
+        _ => None,
     }
-    let mut lo = 0.0f64;
-    let mut hi = 1.0f64;
-    let mut best = p0;
-    while hi - lo > resolution {
-        let mid = 0.5 * (lo + hi);
-        match heuristic.pack(&VpProblem::new(instance, mid)) {
-            Some(p) => {
-                best = p;
-                lo = mid;
-            }
-            None => hi = mid,
+}
+
+/// Cross-member coordination for one engine run: the shared incumbent and
+/// the optional deadline. [`MemberGuards::unguarded`] reproduces the plain
+/// standalone search.
+pub(crate) struct MemberGuards<'a> {
+    /// The shared incumbent, with this member's roster index; `None`
+    /// disables pruning.
+    pub incumbent: Option<(&'a Incumbent, usize)>,
+    /// Wall-clock deadline checked at probe boundaries.
+    pub deadline: Option<Instant>,
+}
+
+impl MemberGuards<'static> {
+    pub(crate) fn unguarded() -> Self {
+        MemberGuards {
+            incumbent: None,
+            deadline: None,
         }
     }
-    Some((lo, best))
+}
+
+impl MemberGuards<'_> {
+    fn dominated(&self, upper: f64) -> bool {
+        match self.incumbent {
+            Some((inc, member)) => inc.dominates(upper, member),
+            None => false,
+        }
+    }
+
+    fn publish(&self, lo: f64) {
+        if let Some((inc, member)) = self.incumbent {
+            inc.publish(lo, member);
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Result of one member's guarded binary search.
+pub(crate) struct MemberRun {
+    pub outcome: MemberOutcome,
+    /// Best proven yield (valid when `placement` is set).
+    pub lo: f64,
+    /// Placement achieving `lo`, when any probe succeeded.
+    pub placement: Option<Placement>,
+    /// Packing probes attempted.
+    pub probes: u32,
+}
+
+impl MemberRun {
+    fn ended(outcome: MemberOutcome, probes: u32) -> MemberRun {
+        MemberRun {
+            outcome,
+            lo: 0.0,
+            placement: None,
+            probes,
+        }
+    }
+}
+
+/// One member's binary search with incumbent pruning and deadline checks.
+///
+/// Probe sequence and bracket updates are *identical* to the standalone
+/// search; the guards only ever (a) publish this member's monotonically
+/// growing lower bound, and (b) abandon the member once the incumbent
+/// strictly dominates its remaining bracket (see
+/// [`Incumbent::dominates`]) — which can never affect the member that ends
+/// up winning, so engine results are independent of scheduling.
+pub(crate) fn search_member<H: PackingHeuristic + ?Sized>(
+    vp: &mut VpProblem,
+    heuristic: &H,
+    resolution: f64,
+    scratch: &mut PackScratch,
+    guards: &MemberGuards,
+) -> MemberRun {
+    let mut probes = 0u32;
+    if guards.dominated(1.0) {
+        return MemberRun::ended(MemberOutcome::Pruned, probes);
+    }
+    if guards.expired() {
+        return MemberRun::ended(MemberOutcome::TimedOut, probes);
+    }
+
+    // Feasibility of the rigid requirements (λ = 0): infeasible members
+    // fail after this single probe, exactly like the seed fold's first
+    // sweep. Constructors keep the item tables consistent with
+    // `vp.lambda`, so a problem already at 0 (the common case — workers
+    // build with λ = 0) needs no rebuild.
+    if vp.lambda != 0.0 {
+        vp.retarget(0.0);
+    }
+    probes += 1;
+    if !heuristic.pack_with(vp, scratch) {
+        return MemberRun::ended(MemberOutcome::Failed, probes);
+    }
+    let mut best = scratch.take_placement();
+    let mut lo = 0.0f64;
+
+    // Cheap upper probe: many under-constrained instances pack at yield 1
+    // — and once any member publishes 1.0, every later member is
+    // tie-pruned before doing any work at all.
+    if !guards.expired() {
+        vp.retarget(1.0);
+        probes += 1;
+        if heuristic.pack_with(vp, scratch) {
+            guards.publish(1.0);
+            return MemberRun {
+                outcome: MemberOutcome::Solved,
+                lo: 1.0,
+                placement: Some(scratch.take_placement()),
+                probes,
+            };
+        }
+    }
+
+    let mut hi = 1.0f64;
+    while hi - lo > resolution {
+        if guards.dominated(hi) {
+            return MemberRun {
+                outcome: MemberOutcome::Pruned,
+                lo,
+                placement: Some(best),
+                probes,
+            };
+        }
+        if guards.expired() {
+            return MemberRun {
+                outcome: MemberOutcome::TimedOut,
+                lo,
+                placement: Some(best),
+                probes,
+            };
+        }
+        let mid = 0.5 * (lo + hi);
+        vp.retarget(mid);
+        probes += 1;
+        if heuristic.pack_with(vp, scratch) {
+            // Keep the successful placement; the stale `best` buffer goes
+            // back into the scratch for the next probe to overwrite.
+            std::mem::swap(&mut best, &mut scratch.placement);
+            lo = mid;
+            guards.publish(lo);
+        } else {
+            hi = mid;
+        }
+    }
+    MemberRun {
+        outcome: MemberOutcome::Solved,
+        lo,
+        placement: Some(best),
+        probes,
+    }
 }
 
 /// A packing heuristic lifted to a full [`Algorithm`] via binary search.
@@ -59,25 +212,58 @@ pub struct VpAlgorithm<H> {
     pub heuristic: H,
     /// Binary-search resolution.
     pub resolution: f64,
+    label: String,
 }
 
 impl<H: PackingHeuristic> VpAlgorithm<H> {
     /// Wraps `heuristic` with the paper's default resolution.
     pub fn new(heuristic: H) -> Self {
+        Self::with_resolution(heuristic, DEFAULT_RESOLUTION)
+    }
+
+    /// Wraps `heuristic` with an explicit binary-search resolution.
+    pub fn with_resolution(heuristic: H, resolution: f64) -> Self {
+        let label = heuristic.describe();
         VpAlgorithm {
             heuristic,
-            resolution: DEFAULT_RESOLUTION,
+            resolution,
+            label,
         }
     }
 }
 
 impl<H: PackingHeuristic> Algorithm for VpAlgorithm<H> {
-    fn name(&self) -> String {
-        self.heuristic.name()
+    fn name(&self) -> &str {
+        &self.label
     }
 
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
-        binary_search_yield(instance, &self.heuristic, self.resolution)
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
+        // Single member: reuse the context's caller-side scratch, honour
+        // the deadline, nothing to prune against.
+        let deadline = ctx.deadline_from_now();
+        let mut vp = VpProblem::with_buffers(
+            instance,
+            0.0,
+            std::mem::take(&mut ctx.scratch.vp_elem),
+            std::mem::take(&mut ctx.scratch.vp_agg),
+        );
+        let run = search_member(
+            &mut vp,
+            &self.heuristic,
+            self.resolution,
+            &mut ctx.scratch,
+            &MemberGuards {
+                incumbent: None,
+                deadline,
+            },
+        );
+        (ctx.scratch.vp_elem, ctx.scratch.vp_agg) = vp.into_buffers();
+        match run.outcome {
+            MemberOutcome::Solved | MemberOutcome::TimedOut => {
+                evaluate_placement(instance, &run.placement?)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -155,5 +341,81 @@ mod tests {
             "{}",
             sol.min_yield
         );
+    }
+
+    #[test]
+    fn guarded_search_matches_unguarded_when_incumbent_loses() {
+        // An incumbent below everything this member achieves must not
+        // change the searched yield or the probe count.
+        let inst = tight_memory();
+        let plain = binary_search_placement(&inst, &ff(), 1e-4).unwrap();
+
+        let inc = Incumbent::new();
+        inc.publish(0.01, 0); // weak incumbent from a lower-index member
+        let mut scratch = PackScratch::new();
+        let mut vp = VpProblem::new(&inst, 0.0);
+        let run = search_member(
+            &mut vp,
+            &ff(),
+            1e-4,
+            &mut scratch,
+            &MemberGuards {
+                incumbent: Some((&inc, 5)),
+                deadline: None,
+            },
+        );
+        assert_eq!(run.outcome, MemberOutcome::Solved);
+        assert_eq!(run.lo, plain.0);
+        assert_eq!(run.placement.unwrap(), plain.1);
+    }
+
+    #[test]
+    fn dominating_incumbent_prunes_early() {
+        let inst = tight_memory();
+        // The true yield here is strictly below 1; an incumbent at 1.0 from
+        // a lower-index member prunes without a single probe.
+        let inc = Incumbent::new();
+        inc.publish(1.0, 0);
+        let mut scratch = PackScratch::new();
+        let mut vp = VpProblem::new(&inst, 0.0);
+        let run = search_member(
+            &mut vp,
+            &ff(),
+            1e-4,
+            &mut scratch,
+            &MemberGuards {
+                incumbent: Some((&inc, 3)),
+                deadline: None,
+            },
+        );
+        assert_eq!(run.outcome, MemberOutcome::Pruned);
+        assert_eq!(run.probes, 0);
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_work() {
+        let inst = small_hetero();
+        let mut scratch = PackScratch::new();
+        let mut vp = VpProblem::new(&inst, 0.0);
+        let run = search_member(
+            &mut vp,
+            &ff(),
+            1e-4,
+            &mut scratch,
+            &MemberGuards {
+                incumbent: None,
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            },
+        );
+        assert_eq!(run.outcome, MemberOutcome::TimedOut);
+        assert_eq!(run.probes, 0);
+    }
+
+    #[test]
+    fn vp_algorithm_caches_its_label() {
+        let alg = VpAlgorithm::new(ff());
+        assert_eq!(alg.name(), "FF/MAX_DESC/NAT");
+        let sol = alg.solve(&small_hetero()).unwrap();
+        assert!(sol.min_yield > 0.0);
     }
 }

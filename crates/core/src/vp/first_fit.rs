@@ -1,7 +1,6 @@
 //! First-Fit vector packing (§3.5.1).
 
-use super::{BinSort, ItemSort, PackingHeuristic, VpProblem};
-use vmplace_model::Placement;
+use super::{BinSort, ItemSort, PackScratch, PackingHeuristic, VpProblem};
 
 /// First Fit: items in `item_sort` order, each placed into the first bin
 /// (in `bin_sort` order) where it fits.
@@ -17,30 +16,39 @@ pub struct FirstFit {
 }
 
 impl PackingHeuristic for FirstFit {
-    fn name(&self) -> String {
+    fn describe(&self) -> String {
         format!("FF/{}/{}", self.item_sort.label(), self.bin_sort.label())
     }
 
-    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
-        let items = self.item_sort.order(vp);
-        let bins = self.bin_sort.order(vp);
-        let mut loads = vec![0.0; vp.num_bins() * vp.dims()];
-        let mut placement = Placement::empty(vp.num_items());
-        for &j in &items {
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool {
+        let PackScratch {
+            loads,
+            items,
+            bins,
+            sort_keys,
+            placement,
+            ..
+        } = scratch;
+        self.item_sort.order_into(vp, items, sort_keys);
+        self.bin_sort.order_into(vp, bins, sort_keys);
+        loads.clear();
+        loads.resize(vp.num_bins() * vp.dims(), 0.0);
+        placement.reset(vp.num_items());
+        for &j in items.iter() {
             let mut placed = false;
-            for &h in &bins {
-                if vp.fits(j, h, &loads) {
-                    vp.place(j, h, &mut loads);
+            for &h in bins.iter() {
+                if vp.fits(j, h, loads) {
+                    vp.place(j, h, loads);
                     placement.assign(j, h);
                     placed = true;
                     break;
                 }
             }
             if !placed {
-                return None;
+                return false;
             }
         }
-        Some(placement)
+        true
     }
 }
 

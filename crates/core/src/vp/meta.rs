@@ -1,23 +1,37 @@
-//! The META* combinations (§3.5.3–§3.5.5 and §5.1).
+//! The META* combinations (§3.5.3–§3.5.5 and §5.1) on the portfolio
+//! engine.
 //!
-//! At each step of the binary search the meta algorithm tries its whole
-//! roster of packing heuristics until one succeeds — so the meta algorithm
-//! succeeds at a yield whenever *any* member does, and necessarily performs
-//! at least as well as every member.
+//! Every member strategy runs its own binary search on yield; the portfolio
+//! succeeds whenever *any* member does and reports the best searched yield,
+//! so it necessarily performs at least as well as every member. Members
+//! race across worker threads through [`vmplace_par::portfolio_run`],
+//! publish every improved lower bound to a shared [`Incumbent`] and abandon
+//! as soon as their remaining bracket cannot beat it — which on easy
+//! instances (the roster's first member reaches yield 1) prunes the other
+//! members before their first probe, and on hard instances collapses losing
+//! searches to a couple of probes. Pruning is result-invariant: the winner
+//! and its yield are identical to the sequential fold, whatever the thread
+//! count (see the engine notes in [`crate::portfolio`]).
 
 use super::{
-    binary_search_yield, BestFit, BinSort, FirstFit, ItemSort, PackingHeuristic, PermutationPack,
+    BestFit, BinSort, FirstFit, ItemSort, PackScratch, PackingHeuristic, PermutationPack,
     SortOrder, VectorMetric, VpProblem, DEFAULT_RESOLUTION,
 };
 use crate::algorithm::Algorithm;
-use vmplace_model::{Placement, ProblemInstance, Solution};
+use crate::portfolio::{MemberOutcome, MemberReport, PortfolioReport, SolveCtx};
+use crate::vp::binary_search::{search_member, MemberGuards, MemberRun};
+use std::sync::Arc;
+use std::time::Instant;
+use vmplace_model::{evaluate_placement, Placement, ProblemInstance, Solution};
+use vmplace_par::Incumbent;
 
-/// A roster of packing heuristics tried in order at every binary-search
-/// step. Instantiate via [`MetaVp::metavp`], [`MetaVp::metahvp`] or
-/// [`MetaVp::metahvp_light`].
+/// A roster of packing heuristics, each lifted to a binary search on yield
+/// and raced by the portfolio engine. Instantiate via [`MetaVp::metavp`],
+/// [`MetaVp::metahvp`] or [`MetaVp::metahvp_light`].
 pub struct MetaVp {
     label: String,
     heuristics: Vec<Box<dyn PackingHeuristic>>,
+    labels: Arc<Vec<String>>,
     /// Binary-search resolution (the paper's 1e-4 by default).
     pub resolution: f64,
 }
@@ -53,11 +67,7 @@ impl MetaVp {
                 heterogeneous: false,
             }));
         }
-        MetaVp {
-            label: "METAVP".to_string(),
-            heuristics: hs,
-            resolution: DEFAULT_RESOLUTION,
-        }
+        Self::custom("METAVP", hs)
     }
 
     /// METAHVP (§3.5.5): the heterogeneous roster — FF and PP under all
@@ -124,11 +134,7 @@ impl MetaVp {
                 }));
             }
         }
-        MetaVp {
-            label: label.to_string(),
-            heuristics: hs,
-            resolution: DEFAULT_RESOLUTION,
-        }
+        Self::custom(label, hs)
     }
 
     /// Number of member strategies.
@@ -146,34 +152,128 @@ impl MetaVp {
         self.heuristics.iter().map(|h| h.as_ref())
     }
 
+    /// Cached member labels, in roster order (computed once at
+    /// construction; reports reference them without allocating).
+    pub fn member_labels(&self) -> &Arc<Vec<String>> {
+        &self.labels
+    }
+
     /// Builds a custom roster.
     pub fn custom(label: &str, heuristics: Vec<Box<dyn PackingHeuristic>>) -> MetaVp {
+        let labels = Arc::new(heuristics.iter().map(|h| h.describe()).collect());
         MetaVp {
             label: label.to_string(),
             heuristics,
+            labels,
             resolution: DEFAULT_RESOLUTION,
         }
     }
 }
 
 impl PackingHeuristic for MetaVp {
-    fn name(&self) -> String {
+    fn describe(&self) -> String {
         self.label.clone()
     }
 
-    /// First member that packs the problem wins.
-    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
-        self.heuristics.iter().find_map(|h| h.pack(vp))
+    /// First member that packs the problem wins (the classic fold — kept
+    /// for pipelines that pack at one fixed yield, e.g. feasibility
+    /// screening and the error-mitigation experiments).
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool {
+        self.heuristics.iter().any(|h| h.pack_with(vp, scratch))
     }
 }
 
 impl Algorithm for MetaVp {
-    fn name(&self) -> String {
-        self.label.clone()
+    fn name(&self) -> &str {
+        &self.label
     }
 
-    fn solve(&self, instance: &ProblemInstance) -> Option<Solution> {
-        binary_search_yield(instance, self, self.resolution)
+    /// Races every member's binary search on the portfolio engine; the
+    /// winner is the highest searched yield (ties to the lowest roster
+    /// index), re-scored by the shared water-filling evaluator.
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
+        let started = Instant::now();
+        let threads = ctx.effective_threads();
+        let deadline = ctx.deadline_from_now();
+        let pruning = ctx.pruning();
+        let incumbent = Incumbent::new();
+        let resolution = self.resolution;
+
+        struct Outcome {
+            run: MemberRun,
+            wall: std::time::Duration,
+        }
+
+        let outcomes: Vec<Outcome> = vmplace_par::portfolio_run(
+            self.heuristics.len(),
+            threads,
+            PackScratch::new,
+            |member, scratch: &mut PackScratch| {
+                let t0 = Instant::now();
+                let mut vp = VpProblem::with_buffers(
+                    instance,
+                    0.0,
+                    std::mem::take(&mut scratch.vp_elem),
+                    std::mem::take(&mut scratch.vp_agg),
+                );
+                let run = search_member(
+                    &mut vp,
+                    self.heuristics[member].as_ref(),
+                    resolution,
+                    scratch,
+                    &MemberGuards {
+                        incumbent: pruning.then_some((&incumbent, member)),
+                        deadline,
+                    },
+                );
+                (scratch.vp_elem, scratch.vp_agg) = vp.into_buffers();
+                Outcome {
+                    run,
+                    wall: t0.elapsed(),
+                }
+            },
+        );
+
+        // Deterministic reduce: highest searched yield wins, ties to the
+        // lowest member index. Pruned members are strict losers by
+        // construction and are not candidates.
+        let winner = crate::portfolio::best_member(outcomes.iter().map(|o| {
+            let candidate = match o.run.outcome {
+                MemberOutcome::Solved => true,
+                // Best-effort anytime result under a deadline.
+                MemberOutcome::TimedOut => o.run.placement.is_some(),
+                _ => false,
+            };
+            candidate.then_some(o.run.lo)
+        }));
+
+        let members: Vec<MemberReport> = outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, o)| MemberReport {
+                member: i,
+                outcome: o.run.outcome,
+                searched_yield: o.run.placement.as_ref().map(|_| o.run.lo),
+                probes: o.run.probes,
+                wall: o.wall,
+            })
+            .collect();
+        ctx.set_report(PortfolioReport {
+            algorithm: self.label.clone(),
+            labels: Arc::clone(&self.labels),
+            threads,
+            wall: started.elapsed(),
+            winner: winner.map(|(i, _)| i),
+            members,
+        });
+
+        let (index, _) = winner?;
+        let placement: Placement = outcomes
+            .into_iter()
+            .nth(index)
+            .and_then(|o| o.run.placement)
+            .expect("winner carries a placement");
+        evaluate_placement(instance, &placement)
     }
 }
 
@@ -195,18 +295,15 @@ mod tests {
         let inst = small_hetero();
         let meta = MetaVp::metahvp_light();
         let meta_sol = meta.solve(&inst).expect("feasible");
-        for h in meta.members() {
-            let member = VpAlgorithm {
-                heuristic: h,
-                resolution: DEFAULT_RESOLUTION,
-            };
+        for (i, h) in meta.members().enumerate() {
+            let member = VpAlgorithm::new(h);
             if let Some(sol) = member.solve(&inst) {
                 assert!(
                     meta_sol.min_yield >= sol.min_yield - 1e-9,
                     "meta {} < member {} ({})",
                     meta_sol.min_yield,
                     sol.min_yield,
-                    h.name()
+                    meta.member_labels()[i]
                 );
             }
         }
@@ -234,11 +331,57 @@ mod tests {
     }
 
     #[test]
-    fn member_names_are_unique() {
+    fn member_labels_are_unique_and_cached() {
         for meta in [MetaVp::metavp(), MetaVp::metahvp(), MetaVp::metahvp_light()] {
-            let names: std::collections::HashSet<String> =
-                meta.members().map(|h| h.name()).collect();
+            let names: std::collections::HashSet<&str> =
+                meta.member_labels().iter().map(String::as_str).collect();
             assert_eq!(names.len(), meta.len(), "{}", meta.label);
+            // Labels agree with what the members would describe.
+            for (i, h) in meta.members().enumerate() {
+                assert_eq!(meta.member_labels()[i], h.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reports_winner_and_telemetry() {
+        let inst = small_hetero();
+        let meta = MetaVp::metahvp_light();
+        let mut ctx = SolveCtx::new().with_threads(2);
+        let sol = meta.solve_with(&inst, &mut ctx).expect("feasible");
+        let report = ctx.take_report().expect("engine ran");
+        assert_eq!(report.algorithm, "METAHVPLIGHT");
+        assert_eq!(report.members.len(), 60);
+        assert_eq!(report.threads, 2);
+        let w = report.winner.expect("solved → winner");
+        assert!(report.winner_label().is_some());
+        let searched = report.members[w].searched_yield.expect("winner searched");
+        // The evaluator can only improve on the searched bound.
+        assert!(sol.min_yield >= searched - 1e-9);
+        assert!(report.total_probes() > 0);
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_thread_counts() {
+        for inst in [small_hetero(), tight_memory()] {
+            let meta = MetaVp::metahvp_light();
+            let mut sequential = SolveCtx::new().with_threads(1);
+            let mut parallel = SolveCtx::new().with_threads(4);
+            let a = meta.solve_with(&inst, &mut sequential);
+            let b = meta.solve_with(&inst, &mut parallel);
+            let (ra, rb) = (
+                sequential.take_report().unwrap(),
+                parallel.take_report().unwrap(),
+            );
+            assert_eq!(ra.winner, rb.winner);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.min_yield, y.min_yield);
+                    assert_eq!(x.placement, y.placement);
+                }
+                (None, None) => {}
+                _ => panic!("divergent feasibility"),
+            }
         }
     }
 }

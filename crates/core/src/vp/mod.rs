@@ -10,7 +10,7 @@
 //! improve on the searched lower bound.
 
 mod best_fit;
-mod binary_search;
+pub(crate) mod binary_search;
 mod first_fit;
 mod meta;
 mod perm_pack;
@@ -41,23 +41,47 @@ pub struct VpProblem<'a> {
 impl<'a> VpProblem<'a> {
     /// Materialises item sizes at yield `lambda`.
     pub fn new(instance: &'a ProblemInstance, lambda: f64) -> Self {
-        let dims = instance.dims();
-        let j_count = instance.num_services();
-        let mut item_elem = Vec::with_capacity(j_count * dims);
-        let mut item_agg = Vec::with_capacity(j_count * dims);
-        for s in instance.services() {
-            for d in 0..dims {
-                item_elem.push(s.req_elem[d] + lambda * s.need_elem[d]);
-                item_agg.push(s.req_agg[d] + lambda * s.need_agg[d]);
-            }
-        }
-        VpProblem {
+        Self::with_buffers(instance, lambda, Vec::new(), Vec::new())
+    }
+
+    /// As [`VpProblem::new`], reusing caller-provided buffers for the item
+    /// size tables (a binary search builds one `VpProblem` per member and
+    /// [retargets](VpProblem::retarget) it per probe without allocating).
+    pub fn with_buffers(
+        instance: &'a ProblemInstance,
+        lambda: f64,
+        item_elem: Vec<f64>,
+        item_agg: Vec<f64>,
+    ) -> Self {
+        let mut vp = VpProblem {
             instance,
             lambda,
-            dims,
+            dims: instance.dims(),
             item_elem,
             item_agg,
+        };
+        vp.retarget(lambda);
+        vp
+    }
+
+    /// Re-points the problem at a new target yield, recomputing the item
+    /// size tables in place.
+    pub fn retarget(&mut self, lambda: f64) {
+        self.lambda = lambda;
+        self.item_elem.clear();
+        self.item_agg.clear();
+        for s in self.instance.services() {
+            for d in 0..self.dims {
+                self.item_elem.push(s.req_elem[d] + lambda * s.need_elem[d]);
+                self.item_agg.push(s.req_agg[d] + lambda * s.need_agg[d]);
+            }
         }
+    }
+
+    /// Releases the internal buffers for reuse by a later
+    /// [`VpProblem::with_buffers`].
+    pub fn into_buffers(self) -> (Vec<f64>, Vec<f64>) {
+        (self.item_elem, self.item_agg)
     }
 
     /// Number of resource dimensions.
@@ -118,20 +142,76 @@ impl<'a> VpProblem<'a> {
     }
 }
 
+/// Reusable buffers for a packing worker: sort keys and orders, bin loads,
+/// Permutation-Pack selection state and the output placement. One scratch
+/// per portfolio worker makes every `pack_with` probe allocation-free in
+/// steady state (buffers grow once, then stay).
+#[derive(Default)]
+pub struct PackScratch {
+    pub(crate) loads: Vec<f64>,
+    pub(crate) items: Vec<usize>,
+    pub(crate) bins: Vec<usize>,
+    pub(crate) sort_keys: Vec<f64>,
+    pub(crate) unplaced: Vec<usize>,
+    pub(crate) bin_perm: Vec<usize>,
+    pub(crate) rank_of_dim: Vec<usize>,
+    pub(crate) key: Vec<usize>,
+    pub(crate) best_key: Vec<usize>,
+    pub(crate) placement: Placement,
+    pub(crate) vp_elem: Vec<f64>,
+    pub(crate) vp_agg: Vec<f64>,
+}
+
+impl PackScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> PackScratch {
+        PackScratch {
+            placement: Placement::empty(0),
+            ..Default::default()
+        }
+    }
+
+    /// The placement produced by the last successful
+    /// [`PackingHeuristic::pack_with`].
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Takes the placement out of the scratch (leaves an empty one behind).
+    pub fn take_placement(&mut self) -> Placement {
+        std::mem::replace(&mut self.placement, Placement::empty(0))
+    }
+}
+
 /// A vector-packing heuristic: places all items at the problem's fixed
 /// yield or fails. `Send + Sync` so meta-algorithms can be shared across
 /// experiment worker threads.
 pub trait PackingHeuristic: Send + Sync {
-    /// Identifier used in reports (e.g. `"FF/MAX_DESC/CAP_SUM_ASC"`).
-    fn name(&self) -> String;
+    /// Builds the report identifier (e.g. `"FF/MAX_DESC/CAP_SUM_ASC"`).
+    /// Allocates — call once and cache (the meta rosters do) rather than
+    /// per probe.
+    fn describe(&self) -> String;
 
-    /// Attempts a complete packing.
-    fn pack(&self, vp: &VpProblem) -> Option<Placement>;
+    /// Attempts a complete packing using `scratch` for all working state.
+    /// On success the placement is left in [`PackScratch::placement`];
+    /// steady-state probes allocate nothing.
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool;
+
+    /// Convenience wrapper around [`PackingHeuristic::pack_with`] with a
+    /// fresh scratch, returning the placement by value.
+    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
+        let mut scratch = PackScratch::new();
+        self.pack_with(vp, &mut scratch)
+            .then(|| scratch.take_placement())
+    }
 }
 
 impl<T: PackingHeuristic + ?Sized> PackingHeuristic for &T {
-    fn name(&self) -> String {
-        (**self).name()
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool {
+        (**self).pack_with(vp, scratch)
     }
     fn pack(&self, vp: &VpProblem) -> Option<Placement> {
         (**self).pack(vp)
@@ -139,8 +219,11 @@ impl<T: PackingHeuristic + ?Sized> PackingHeuristic for &T {
 }
 
 impl<T: PackingHeuristic + ?Sized> PackingHeuristic for Box<T> {
-    fn name(&self) -> String {
-        (**self).name()
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool {
+        (**self).pack_with(vp, scratch)
     }
     fn pack(&self, vp: &VpProblem) -> Option<Placement> {
         (**self).pack(vp)

@@ -13,8 +13,7 @@
 //! first `w` key positions are compared; Choose-Pack compares the windowed
 //! key positions as a *set* rather than an ordered tuple.
 
-use super::{BinSort, ItemSort, PackingHeuristic, VpProblem};
-use vmplace_model::Placement;
+use super::{BinSort, ItemSort, PackScratch, PackingHeuristic, VpProblem};
 
 /// Permutation-Pack / Choose-Pack.
 #[derive(Clone, Copy, Debug)]
@@ -78,7 +77,7 @@ impl PermutationPack {
 }
 
 impl PackingHeuristic for PermutationPack {
-    fn name(&self) -> String {
+    fn describe(&self) -> String {
         format!(
             "{}{}w{}/{}/{}",
             if self.heterogeneous { "H" } else { "" },
@@ -89,25 +88,38 @@ impl PackingHeuristic for PermutationPack {
         )
     }
 
-    fn pack(&self, vp: &VpProblem) -> Option<Placement> {
+    fn pack_with(&self, vp: &VpProblem, scratch: &mut PackScratch) -> bool {
         let dims = vp.dims();
         let w = self.window.clamp(1, dims);
-        let items = self.item_sort.order(vp);
-        let bins = self.bin_sort.order(vp);
-        let mut loads = vec![0.0; vp.num_bins() * dims];
-        let mut placement = Placement::empty(vp.num_items());
-        let mut unplaced: Vec<usize> = items; // maintained in item-sort order
-        let mut bin_perm: Vec<usize> = Vec::with_capacity(dims);
-        let mut rank_of_dim: Vec<usize> = vec![0; dims];
-        let mut key: Vec<usize> = Vec::with_capacity(dims);
-        let mut best_key: Vec<usize> = Vec::with_capacity(dims);
+        let PackScratch {
+            loads,
+            items,
+            bins,
+            sort_keys,
+            unplaced,
+            bin_perm,
+            rank_of_dim,
+            key,
+            best_key,
+            placement,
+            ..
+        } = scratch;
+        self.item_sort.order_into(vp, items, sort_keys);
+        self.bin_sort.order_into(vp, bins, sort_keys);
+        loads.clear();
+        loads.resize(vp.num_bins() * dims, 0.0);
+        placement.reset(vp.num_items());
+        unplaced.clear();
+        unplaced.extend_from_slice(items); // maintained in item-sort order
+        rank_of_dim.clear();
+        rank_of_dim.resize(dims, 0);
 
-        for &h in &bins {
+        for &h in bins.iter() {
             loop {
                 if unplaced.is_empty() {
                     break;
                 }
-                self.bin_perm(vp, h, &loads, &mut bin_perm);
+                self.bin_perm(vp, h, loads, bin_perm);
                 for (rank, &d) in bin_perm.iter().enumerate() {
                     rank_of_dim[d] = rank;
                 }
@@ -115,10 +127,10 @@ impl PackingHeuristic for PermutationPack {
                 // ties resolve to the earliest item in item-sort order.
                 let mut best: Option<usize> = None; // position in `unplaced`
                 for (pos, &j) in unplaced.iter().enumerate() {
-                    if !vp.fits(j, h, &loads) {
+                    if !vp.fits(j, h, loads) {
                         continue;
                     }
-                    self.item_key(vp, j, &rank_of_dim, &mut key);
+                    self.item_key(vp, j, rank_of_dim, key);
                     let better = match best {
                         None => true,
                         Some(_) => key[..w] < best_key[..w],
@@ -126,7 +138,7 @@ impl PackingHeuristic for PermutationPack {
                     if better {
                         best = Some(pos);
                         best_key.clear();
-                        best_key.extend_from_slice(&key);
+                        best_key.extend_from_slice(key);
                         // Perfect match cannot be beaten; stop scanning.
                         if best_key[..w].iter().enumerate().all(|(i, &r)| r == i) {
                             break;
@@ -137,17 +149,13 @@ impl PackingHeuristic for PermutationPack {
                     None => break, // nothing fits; move to next bin
                     Some(pos) => {
                         let j = unplaced.remove(pos);
-                        vp.place(j, h, &mut loads);
+                        vp.place(j, h, loads);
                         placement.assign(j, h);
                     }
                 }
             }
         }
-        if unplaced.is_empty() {
-            Some(placement)
-        } else {
-            None
-        }
+        unplaced.is_empty()
     }
 }
 

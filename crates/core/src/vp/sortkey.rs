@@ -111,28 +111,47 @@ pub struct ItemSort(pub Option<(VectorMetric, SortOrder)>);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BinSort(pub Option<(VectorMetric, SortOrder)>);
 
-fn sorted_indices<F>(
+/// Fills `idx` with `0..count` sorted under `strategy`, using `keys` as
+/// scratch for cached scalar metric values — no per-call allocation once
+/// the two buffers have grown to size.
+///
+/// Scalar metrics are evaluated once per vector (the seed code recomputed
+/// them inside every comparison); `Lex` compares the slices directly.
+fn sorted_indices_into<'v, F>(
     count: usize,
     vec_of: F,
     strategy: Option<(VectorMetric, SortOrder)>,
-) -> Vec<usize>
-where
-    F: Fn(usize) -> Vec<f64>,
+    idx: &mut Vec<usize>,
+    keys: &mut Vec<f64>,
+) where
+    F: Fn(usize) -> &'v [f64],
 {
-    let mut idx: Vec<usize> = (0..count).collect();
+    idx.clear();
+    idx.extend(0..count);
     let Some((metric, order)) = strategy else {
-        return idx;
+        return;
     };
-    let vecs: Vec<Vec<f64>> = (0..count).map(vec_of).collect();
+    if metric == VectorMetric::Lex {
+        idx.sort_by(|&a, &b| {
+            let o = metric.compare(vec_of(a), vec_of(b));
+            let o = match order {
+                SortOrder::Ascending => o,
+                SortOrder::Descending => o.reverse(),
+            };
+            o.then(a.cmp(&b)) // stable & deterministic
+        });
+        return;
+    }
+    keys.clear();
+    keys.extend((0..count).map(|i| metric.scalar(vec_of(i))));
     idx.sort_by(|&a, &b| {
-        let o = metric.compare(&vecs[a], &vecs[b]);
+        let o = keys[a].partial_cmp(&keys[b]).unwrap_or(Ordering::Equal);
         let o = match order {
             SortOrder::Ascending => o,
             SortOrder::Descending => o.reverse(),
         };
-        o.then(a.cmp(&b)) // stable & deterministic
+        o.then(a.cmp(&b))
     });
-    idx
 }
 
 impl ItemSort {
@@ -153,7 +172,16 @@ impl ItemSort {
     /// Item indices in packing order, keyed on aggregate size at the
     /// problem's target yield.
     pub fn order(&self, vp: &VpProblem) -> Vec<usize> {
-        sorted_indices(vp.num_items(), |j| vp.item_agg(j).to_vec(), self.0)
+        let mut idx = Vec::new();
+        let mut keys = Vec::new();
+        self.order_into(vp, &mut idx, &mut keys);
+        idx
+    }
+
+    /// As [`ItemSort::order`], writing into caller-provided buffers
+    /// (allocation-free once the buffers have grown to size).
+    pub fn order_into(&self, vp: &VpProblem, idx: &mut Vec<usize>, keys: &mut Vec<f64>) {
+        sorted_indices_into(vp.num_items(), |j| vp.item_agg(j), self.0, idx, keys);
     }
 
     /// Label used in heuristic names.
@@ -183,11 +211,22 @@ impl BinSort {
 
     /// Bin indices in packing order, keyed on aggregate capacity.
     pub fn order(&self, vp: &VpProblem) -> Vec<usize> {
-        sorted_indices(
+        let mut idx = Vec::new();
+        let mut keys = Vec::new();
+        self.order_into(vp, &mut idx, &mut keys);
+        idx
+    }
+
+    /// As [`BinSort::order`], writing into caller-provided buffers
+    /// (allocation-free once the buffers have grown to size).
+    pub fn order_into(&self, vp: &VpProblem, idx: &mut Vec<usize>, keys: &mut Vec<f64>) {
+        sorted_indices_into(
             vp.num_bins(),
-            |h| vp.instance.nodes()[h].aggregate.as_slice().to_vec(),
+            |h| vp.instance.nodes()[h].aggregate.as_slice(),
             self.0,
-        )
+            idx,
+            keys,
+        );
     }
 
     /// Label used in heuristic names.

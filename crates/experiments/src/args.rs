@@ -32,6 +32,16 @@ impl Args {
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
+
+    /// Applies the harness-wide `--threads N` flag, plumbing it into
+    /// [`vmplace_par::set_threads_override`] so both the instance-level
+    /// sweeps and the portfolio engine honour it. Call once at the top of
+    /// every experiment binary.
+    pub fn apply_threads(&self) {
+        if let Some(n) = self.values.get("threads").and_then(|v| v.parse().ok()) {
+            vmplace_par::set_threads_override(n);
+        }
+    }
 }
 
 impl FromIterator<String> for Args {

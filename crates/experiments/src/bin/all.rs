@@ -19,6 +19,7 @@ use vmplace_sim::HomogeneousDim;
 
 fn main() {
     let args = Args::parse();
+    args.apply_threads();
     let out = args.get_str("out").unwrap_or("results").to_string();
     let scale = args.get_str("scale").unwrap_or("default").to_string();
     let roster = Roster::new();

@@ -15,6 +15,7 @@ use vmplace_sim::HomogeneousDim;
 
 fn main() {
     let args = Args::parse();
+    args.apply_threads();
     let services: usize = args.get("services", 500);
     let slack: f64 = args.get("slack", 0.3);
     let homog = match args.get_str("homog") {

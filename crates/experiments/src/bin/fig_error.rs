@@ -16,6 +16,7 @@ use vmplace_experiments::{run_fig_error, Args, FigErrorConfig, Roster, SweepConf
 
 fn main() {
     let args = Args::parse();
+    args.apply_threads();
     let services: usize = args.get("services", 100);
     let slack: f64 = args.get("slack", 0.4);
     let cov: f64 = args.get("cov", 0.5);

@@ -8,6 +8,7 @@ use vmplace_sim::{Scenario, ScenarioConfig};
 
 fn main() {
     let args = Args::parse();
+    args.apply_threads();
     let services: usize = args.get("services", 100);
     let hosts: usize = args.get("hosts", 64);
     let cov: f64 = args.get("cov", 0.5);
@@ -75,12 +76,15 @@ fn main() {
             }
         }
         for &algo in &algos {
-            let (sol, secs) = roster.solve(algo, &inst, seed);
-            match sol {
+            let run = roster.solve(algo, &inst, seed);
+            let secs = run.runtime_s;
+            match run.solution {
                 Some(s) => println!(
-                    "         {:<14} min-yield {:.4} in {secs:.3}s",
+                    "         {:<14} min-yield {:.4} in {secs:.3}s ({} probes, winner {})",
                     algo.label(),
-                    s.min_yield
+                    s.min_yield,
+                    run.probes,
+                    run.winner.as_deref().unwrap_or("-")
                 ),
                 None => println!("         {:<14} FAILED in {secs:.3}s", algo.label()),
             }

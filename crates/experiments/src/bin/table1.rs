@@ -10,6 +10,7 @@ use vmplace_experiments::{run_table1, Args, Roster, Table1Config};
 
 fn main() {
     let args = Args::parse();
+    args.apply_threads();
     let out = args.get_str("out").unwrap_or("results").to_string();
     let mut config = match args.get_str("scale").unwrap_or("default") {
         "paper" => Table1Config::paper_scale(&out),

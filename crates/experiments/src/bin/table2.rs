@@ -12,6 +12,7 @@ use vmplace_sim::{Scenario, ScenarioConfig};
 
 fn main() {
     let args = Args::parse();
+    args.apply_threads();
     let services: Vec<usize> = args
         .get_str("services")
         .unwrap_or("100,250,500")
@@ -98,8 +99,8 @@ fn main() {
             ..ScenarioConfig::default()
         });
         let instance = scenario.instance(0);
-        let (_, t_full) = roster.solve(AlgoId::MetaHvp, &instance, 0);
-        let (_, t_light) = roster.solve(AlgoId::MetaHvpLight, &instance, 0);
+        let t_full = roster.solve(AlgoId::MetaHvp, &instance, 0).runtime_s;
+        let t_light = roster.solve(AlgoId::MetaHvpLight, &instance, 0).runtime_s;
         println!("\n512 hosts / 2000 services:");
         println!("  METAHVP      {t_full:.2} s");
         println!(

@@ -70,14 +70,12 @@ pub fn run_fig_cov(config: &FigCovConfig, roster: &Roster) -> Vec<CovPoint> {
             ..ScenarioConfig::default()
         });
         let instance = scenario.instance(t.seed);
-        let (reference, _) = roster.solve(AlgoId::MetaHvp, &instance, t.seed);
-        let Some(reference) = reference else {
+        let Some(reference) = roster.solve(AlgoId::MetaHvp, &instance, t.seed).solution else {
             return Vec::new(); // METAHVP failed: no reference point
         };
         let mut out = Vec::new();
         for &algo in &config.algos {
-            let (sol, _) = roster.solve(algo, &instance, t.seed);
-            if let Some(sol) = sol {
+            if let Some(sol) = roster.solve(algo, &instance, t.seed).solution {
                 out.push(CovPoint {
                     cov: t.cov,
                     seed: t.seed,

@@ -31,6 +31,6 @@ pub use args::Args;
 pub use fig_cov::{run_fig_cov, FigCovConfig};
 pub use fig_error::{run_fig_error, FigErrorConfig};
 pub use metrics::{pairwise, PairwiseCell};
-pub use roster::{AlgoId, Roster};
+pub use roster::{AlgoId, Roster, SolveRun};
 pub use sweep::{run_sweep, InstanceResult, SweepConfig};
 pub use table1::{run_table1, Table1Config};

@@ -105,6 +105,8 @@ mod tests {
             success,
             min_yield,
             runtime_s: 0.0,
+            winner: String::new(),
+            probes: 0,
         }
     }
 

@@ -1,7 +1,8 @@
 //! The algorithm roster evaluated in the paper's Table 1 and figures.
 
+use std::cell::RefCell;
 use std::time::Instant;
-use vmplace_core::{Algorithm, MetaGreedy, MetaVp, RandomizedRounding};
+use vmplace_core::{Algorithm, MetaGreedy, MetaVp, RandomizedRounding, SolveCtx};
 use vmplace_model::{ProblemInstance, Solution};
 
 /// The major heuristics of §5.
@@ -56,6 +57,20 @@ impl AlgoId {
     }
 }
 
+/// One engine-aware solve: the solution (if any), wall-clock seconds, and
+/// the portfolio telemetry when the algorithm ran on the engine.
+#[derive(Clone, Debug)]
+pub struct SolveRun {
+    /// The solution, `None` on failure.
+    pub solution: Option<Solution>,
+    /// Wall-clock seconds for the solve.
+    pub runtime_s: f64,
+    /// Label of the winning portfolio member, when the engine reported one.
+    pub winner: Option<String>,
+    /// Total packing probes (or trials) across all portfolio members.
+    pub probes: u64,
+}
+
 /// Pre-built shareable algorithm instances (the meta rosters are immutable
 /// and `Sync`, so one copy serves all worker threads).
 pub struct Roster {
@@ -83,23 +98,41 @@ impl Roster {
     }
 
     /// Runs `algo` on `instance`; `seed` feeds the randomized-rounding RNG.
-    /// Returns the solution (if any) and the wall-clock seconds spent.
-    pub fn solve(
-        &self,
-        algo: AlgoId,
-        instance: &ProblemInstance,
-        seed: u64,
-    ) -> (Option<Solution>, f64) {
-        let start = Instant::now();
-        let sol = match algo {
-            AlgoId::Rrnd => RandomizedRounding::rrnd(seed).solve(instance),
-            AlgoId::Rrnz => RandomizedRounding::rrnz(seed).solve(instance),
-            AlgoId::MetaGreedy => self.meta_greedy.solve(instance),
-            AlgoId::MetaVp => self.meta_vp.solve(instance),
-            AlgoId::MetaHvp => self.meta_hvp.solve(instance),
-            AlgoId::MetaHvpLight => self.meta_hvp_light.solve(instance),
-        };
-        (sol, start.elapsed().as_secs_f64())
+    ///
+    /// Each sweep worker thread keeps one long-lived [`SolveCtx`] to carry
+    /// the engine telemetry (winning member, probe count) surfaced in the
+    /// returned [`SolveRun`]; the engine's per-worker packing scratches
+    /// are built per solve inside `portfolio_run`. Inside a `par_map`
+    /// sweep the engine runs its members inline (the nested-parallelism
+    /// guard in `vmplace-par` prevents oversubscription); instance-level
+    /// parallelism already saturates the machine there.
+    pub fn solve(&self, algo: AlgoId, instance: &ProblemInstance, seed: u64) -> SolveRun {
+        thread_local! {
+            static CTX: RefCell<SolveCtx> = RefCell::new(SolveCtx::new());
+        }
+        CTX.with(|ctx| {
+            let mut ctx = ctx.borrow_mut();
+            let start = Instant::now();
+            let solution = match algo {
+                AlgoId::Rrnd => RandomizedRounding::rrnd(seed).solve_with(instance, &mut ctx),
+                AlgoId::Rrnz => RandomizedRounding::rrnz(seed).solve_with(instance, &mut ctx),
+                AlgoId::MetaGreedy => self.meta_greedy.solve_with(instance, &mut ctx),
+                AlgoId::MetaVp => self.meta_vp.solve_with(instance, &mut ctx),
+                AlgoId::MetaHvp => self.meta_hvp.solve_with(instance, &mut ctx),
+                AlgoId::MetaHvpLight => self.meta_hvp_light.solve_with(instance, &mut ctx),
+            };
+            let runtime_s = start.elapsed().as_secs_f64();
+            let (winner, probes) = ctx
+                .take_report()
+                .map(|r| (r.winner_label().map(str::to_string), r.total_probes()))
+                .unwrap_or((None, 0));
+            SolveRun {
+                solution,
+                runtime_s,
+                winner,
+                probes,
+            }
+        })
     }
 
     /// The METAHVP roster (error experiments place with it by default when

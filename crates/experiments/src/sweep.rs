@@ -22,6 +22,11 @@ pub struct InstanceResult {
     pub min_yield: f64,
     /// Wall-clock seconds for the solve.
     pub runtime_s: f64,
+    /// Winning portfolio member (engine telemetry; empty for non-portfolio
+    /// algorithms or failures).
+    pub winner: String,
+    /// Total packing probes across portfolio members (engine telemetry).
+    pub probes: u64,
 }
 
 /// A sweep: a grid of scenarios × seeds × algorithms.
@@ -117,16 +122,18 @@ pub fn run_sweep(config: &SweepConfig, roster: &Roster) -> Vec<InstanceResult> {
             if algo.is_lp_based() && !t.lp_allowed {
                 continue;
             }
-            let (sol, secs) = roster.solve(algo, &instance, t.seed.wrapping_add(0xA11CE));
+            let run = roster.solve(algo, &instance, t.seed.wrapping_add(0xA11CE));
             rows.push(InstanceResult {
                 services: t.services,
                 cov: t.cov,
                 slack: t.slack,
                 seed: t.seed,
                 algo,
-                success: sol.is_some(),
-                min_yield: sol.map(|s| s.min_yield).unwrap_or(0.0),
-                runtime_s: secs,
+                success: run.solution.is_some(),
+                min_yield: run.solution.map(|s| s.min_yield).unwrap_or(0.0),
+                runtime_s: run.runtime_s,
+                winner: run.winner.unwrap_or_default(),
+                probes: run.probes,
             });
         }
         rows

@@ -87,6 +87,8 @@ pub fn run_table1(config: &Table1Config, roster: &Roster) -> Vec<InstanceResult>
                 (r.success as u8).to_string(),
                 fnum(r.min_yield),
                 fnum(r.runtime_s),
+                r.winner.clone(),
+                r.probes.to_string(),
             ]
         })
         .collect();
@@ -101,6 +103,8 @@ pub fn run_table1(config: &Table1Config, roster: &Roster) -> Vec<InstanceResult>
             "success",
             "min_yield",
             "runtime_s",
+            "winner",
+            "probes",
         ],
         &raw_rows,
     )

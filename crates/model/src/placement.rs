@@ -5,7 +5,7 @@ use crate::{ModelError, ProblemInstance, ResourceVector};
 /// `node_of[j] = Some(h)` means service `j` runs on node `h`; `None` means
 /// the service is unplaced (only valid in intermediate states — a complete
 /// solution places every service, per Constraint 3 of the MILP).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Placement {
     node_of: Vec<Option<usize>>,
 }
@@ -21,6 +21,14 @@ impl Placement {
     /// Builds a placement from an explicit assignment vector.
     pub fn from_assignment(node_of: Vec<Option<usize>>) -> Self {
         Placement { node_of }
+    }
+
+    /// Clears the placement and resizes it to `num_services` unassigned
+    /// slots, reusing the existing allocation (hot packing loops reset one
+    /// placement per probe instead of allocating).
+    pub fn reset(&mut self, num_services: usize) {
+        self.node_of.clear();
+        self.node_of.resize(num_services, None);
     }
 
     /// Assigns service `j` to node `h`.

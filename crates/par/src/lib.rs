@@ -1,16 +1,31 @@
-//! A small data-parallel executor for embarrassingly parallel sweeps.
+//! A small data-parallel executor for embarrassingly parallel sweeps and
+//! algorithm portfolios.
 //!
 //! The experiment harness evaluates tens of thousands of independent problem
-//! instances; this crate provides the minimal machinery to spread that work
-//! across cores without pulling in a full work-stealing runtime:
+//! instances, and the META* heuristics race hundreds of portfolio members on
+//! a single instance; this crate provides the minimal machinery to spread
+//! that work across cores without pulling in a full work-stealing runtime:
 //!
 //! * [`par_map`] — parallel map preserving input order, dynamic distribution
 //!   via a shared atomic index (self-balancing for irregular task costs like
 //!   LP solves next to sub-millisecond greedy runs);
 //! * [`par_map_chunked`] — same, but hands out contiguous chunks to reduce
 //!   contention for very cheap per-item work;
-//! * [`num_threads`] — thread count honouring the `VMPLACE_THREADS`
+//! * [`portfolio_run`] — the portfolio primitive: `n` members distributed
+//!   dynamically over workers that each own a reusable scratch state, with
+//!   results returned in member order so callers can reduce
+//!   deterministically;
+//! * [`Incumbent`] — a lock-free cross-thread bound `(yield, member)` that
+//!   lets portfolio members abandon work that can no longer win;
+//! * [`num_threads`] / [`set_threads_override`] — thread count honouring a
+//!   process-wide override (CLI `--threads`) and the `VMPLACE_THREADS`
 //!   environment variable.
+//!
+//! All primitives carry a **nested-parallelism guard**: a worker thread that
+//! itself calls into this crate runs the nested call inline on one thread,
+//! so an instance-level `par_map` in the sweep harness composes with the
+//! portfolio-level parallelism of the solvers without oversubscribing the
+//! machine.
 //!
 //! Panics in worker closures are propagated to the caller (the scope joins
 //! all threads first), so a failing experiment cannot silently produce
@@ -18,15 +33,53 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Process-wide thread-count override (0 = unset). Takes precedence over
+/// the `VMPLACE_THREADS` environment variable.
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while the current thread is a worker of one of the primitives in
+    /// this crate; nested calls then run inline instead of spawning.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is already a worker of a parallel region
+/// (nested calls into this crate run inline when this is true).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(|f| f.get())
+}
+
+/// Runs `f` with the nested-parallelism guard set on this thread.
+fn as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IN_PARALLEL_REGION.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// Sets a process-wide thread-count override (CLI `--threads N` plumbs in
+/// here). `0` clears the override, falling back to `VMPLACE_THREADS` and
+/// then the machine's available parallelism.
+pub fn set_threads_override(threads: usize) {
+    THREADS_OVERRIDE.store(threads, Ordering::Relaxed);
+}
 
 /// Number of worker threads to use.
 ///
-/// Defaults to the machine's available parallelism; can be overridden (e.g.
-/// for reproducible timing runs) with the `VMPLACE_THREADS` environment
-/// variable. Always at least 1.
+/// Resolution order: [`set_threads_override`] (CLI flag), the
+/// `VMPLACE_THREADS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
 pub fn num_threads() -> usize {
+    let o = THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if o >= 1 {
+        return o;
+    }
     if let Ok(s) = std::env::var("VMPLACE_THREADS") {
         if let Ok(n) = s.trim().parse::<usize>() {
             if n >= 1 {
@@ -64,7 +117,7 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = threads.max(1).min(items.len());
+    let threads = effective_threads(threads, items.len());
     if threads == 1 {
         return items.iter().map(f).collect();
     }
@@ -79,20 +132,23 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| {
-                // Each worker buffers its results and writes them back under
-                // the lock in batches, so the mutex is not on the hot path.
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                as_worker(|| {
+                    // Each worker buffers its results and writes them back
+                    // under the lock in batches, so the mutex is not on the
+                    // hot path.
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                        if local.len() >= 32 {
+                            drain(&slots, &mut local);
+                        }
                     }
-                    local.push((i, f(&items[i])));
-                    if local.len() >= 32 {
-                        drain(&slots, &mut local);
-                    }
-                }
-                drain(&slots, &mut local);
+                    drain(&slots, &mut local);
+                })
             });
         }
     });
@@ -103,6 +159,14 @@ where
         .iter_mut()
         .map(|s| s.take().expect("missing result slot"))
         .collect()
+}
+
+/// Clamps a requested thread count to the task count and the nesting guard.
+fn effective_threads(requested: usize, tasks: usize) -> usize {
+    if in_parallel_region() {
+        return 1;
+    }
+    requested.max(1).min(tasks)
 }
 
 fn drain<R>(slots: &Mutex<&mut Vec<Option<R>>>, local: &mut Vec<(usize, R)>) {
@@ -130,7 +194,7 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    if threads == 1 || items.len() <= chunk {
+    if threads == 1 || items.len() <= chunk || in_parallel_region() {
         return items.iter().map(f).collect();
     }
     let n_chunks = items.len().div_ceil(chunk);
@@ -158,7 +222,7 @@ where
     if n == 0 {
         return;
     }
-    let threads = num_threads().min(n);
+    let threads = effective_threads(num_threads(), n);
     if threads == 1 {
         for i in 0..n {
             f(i);
@@ -170,21 +234,161 @@ where
     // any worker panic in the caller.
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                f(i);
+            scope.spawn(|| {
+                as_worker(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    f(i);
+                })
             });
         }
     });
 }
 
+/// The portfolio primitive: runs members `0..members` across up to
+/// `threads` workers, each of which owns one long-lived scratch state built
+/// by `init` and reused across every member it claims.
+///
+/// Distribution is dynamic (atomic member counter), so expensive members —
+/// e.g. a full binary search — interleave with members that abandon after a
+/// couple of probes. Results come back in member order, which lets the
+/// caller reduce with a deterministic tie-break no matter how the members
+/// were scheduled. Runs inline on the caller when `threads == 1` or when
+/// already inside a parallel region (nested-parallelism guard).
+pub fn portfolio_run<S, R, I, F>(members: usize, threads: usize, init: I, run: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    if members == 0 {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, members);
+    if threads == 1 {
+        let mut state = init();
+        return (0..members).map(|i| run(i, &mut state)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(members);
+    slots.resize_with(members, || None);
+    let slots = Mutex::new(&mut slots);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                as_worker(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= members {
+                            break;
+                        }
+                        local.push((i, run(i, &mut state)));
+                        // Portfolio members are coarse; publish eagerly so
+                        // the buffer never grows large.
+                        if local.len() >= 8 {
+                            drain(&slots, &mut local);
+                        }
+                    }
+                    drain(&slots, &mut local);
+                })
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .unwrap()
+        .iter_mut()
+        .map(|s| s.take().expect("missing member slot"))
+        .collect()
+}
+
+/// Number of low bits reserved for the member index in the packed
+/// incumbent word.
+const INCUMBENT_INDEX_BITS: u32 = 32;
+
+/// Quantisation grid for published yields: yields live on the binary-search
+/// grid (dyadic rationals coarser than 2⁻²⁰ for any resolution ≥ 1e-6), so
+/// flooring onto this grid is exact for every value a search can publish,
+/// and a strict lower bound otherwise.
+const INCUMBENT_QUANT: f64 = (1u64 << 20) as f64;
+
+/// A lock-free, monotone cross-thread incumbent: the best `(yield, member)`
+/// pair published so far, ordered by yield descending then member index
+/// ascending.
+///
+/// Both fields are packed into one `AtomicU64` (`quantised yield ≪ 32 |
+/// (u32::MAX − member)`), so a single `fetch_max` both publishes and keeps
+/// the pair consistent — no locks on the probe hot path. The decoded yield
+/// is a *lower bound* on what the publishing member will finally achieve
+/// (members only ever publish non-decreasing values), which is exactly what
+/// safe pruning needs.
+#[derive(Debug, Default)]
+pub struct Incumbent {
+    packed: AtomicU64,
+}
+
+impl Incumbent {
+    /// An empty incumbent (nothing published, nothing dominated).
+    pub fn new() -> Incumbent {
+        Incumbent {
+            packed: AtomicU64::new(0),
+        }
+    }
+
+    fn encode(yield_value: f64, member: usize) -> u64 {
+        let q = (yield_value.clamp(0.0, 1.0) * INCUMBENT_QUANT).floor() as u64;
+        let idx = u32::MAX - (member.min(u32::MAX as usize - 1) as u32);
+        (q << INCUMBENT_INDEX_BITS) | idx as u64
+    }
+
+    /// Publishes a lower bound `yield_value` achieved by `member`. Keeps the
+    /// best pair: higher yield wins; equal yields keep the lower member
+    /// index.
+    pub fn publish(&self, yield_value: f64, member: usize) {
+        self.packed
+            .fetch_max(Self::encode(yield_value, member), Ordering::AcqRel);
+    }
+
+    /// The current best `(yield lower bound, member index)`, if anything has
+    /// been published.
+    pub fn snapshot(&self) -> Option<(f64, usize)> {
+        let raw = self.packed.load(Ordering::Acquire);
+        if raw == 0 {
+            return None;
+        }
+        let q = raw >> INCUMBENT_INDEX_BITS;
+        let idx = u32::MAX - (raw & (u32::MAX as u64)) as u32;
+        Some((q as f64 / INCUMBENT_QUANT, idx as usize))
+    }
+
+    /// Whether the incumbent already *strictly* beats anything `member`
+    /// could still achieve, given `upper` (the member's current search
+    /// upper bracket).
+    ///
+    /// True when the published bound exceeds `upper`, or ties it while the
+    /// publisher has a smaller member index (equal yields resolve to the
+    /// lower index, so the tie is already lost). Because published values
+    /// are lower bounds of final yields, a `true` here can never prune the
+    /// eventual winner — pruning is result-invariant by construction.
+    pub fn dominates(&self, upper: f64, member: usize) -> bool {
+        match self.snapshot() {
+            None => false,
+            Some((bound, holder)) => upper < bound || (upper <= bound && holder < member),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::AtomicU64 as RawAtomicU64;
 
     #[test]
     fn preserves_order() {
@@ -198,6 +402,8 @@ mod tests {
         let items: Vec<u32> = vec![];
         assert!(par_map(&items, |&x| x).is_empty());
         assert!(par_map_chunked(&items, 8, |&x| x).is_empty());
+        let none: Vec<u32> = portfolio_run(0, 4, || (), |i, _| i as u32);
+        assert!(none.is_empty());
     }
 
     #[test]
@@ -216,7 +422,7 @@ mod tests {
 
     #[test]
     fn every_item_processed_exactly_once() {
-        let count = AtomicU64::new(0);
+        let count = RawAtomicU64::new(0);
         let items: Vec<u32> = (0..5000).collect();
         par_map(&items, |_| {
             count.fetch_add(1, Ordering::Relaxed);
@@ -254,7 +460,7 @@ mod tests {
 
     #[test]
     fn for_each_index_covers_range() {
-        let hits = AtomicU64::new(0);
+        let hits = RawAtomicU64::new(0);
         par_for_each_index(1234, |_| {
             hits.fetch_add(1, Ordering::Relaxed);
         });
@@ -264,7 +470,7 @@ mod tests {
     #[test]
     fn for_each_index_zero_and_one() {
         par_for_each_index(0, |_| panic!("must not be called"));
-        let hits = AtomicU64::new(0);
+        let hits = RawAtomicU64::new(0);
         par_for_each_index(1, |i| {
             assert_eq!(i, 0);
             hits.fetch_add(1, Ordering::Relaxed);
@@ -280,5 +486,113 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn portfolio_returns_member_order() {
+        for threads in [1, 2, 4] {
+            let out = portfolio_run(
+                97,
+                threads,
+                || 0u32,
+                |i, calls| {
+                    *calls += 1;
+                    i * 3
+                },
+            );
+            assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn portfolio_reuses_worker_state() {
+        // Every member increments its worker's counter and reports the
+        // pre-increment value; total calls must equal the member count and
+        // at least one worker must see a reused (non-fresh) state when
+        // members far exceed threads.
+        let out = portfolio_run(
+            64,
+            2,
+            || 0usize,
+            |_, state| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().any(|&c| c > 1), "scratch never reused");
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        // A par_map worker calling portfolio_run must not deadlock or
+        // oversubscribe — it runs inline and still produces correct results.
+        let items: Vec<u32> = (0..8).collect();
+        let out = par_map_with_threads(&items, 4, |&x| {
+            assert!(in_parallel_region());
+            let inner = portfolio_run(5, 4, || (), |i, _| i as u32 + x);
+            inner.iter().sum::<u32>()
+        });
+        assert_eq!(out, items.iter().map(|x| 10 + 5 * x).collect::<Vec<_>>());
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn threads_override_wins() {
+        set_threads_override(3);
+        assert_eq!(num_threads(), 3);
+        set_threads_override(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn incumbent_orders_by_yield_then_index() {
+        let inc = Incumbent::new();
+        assert_eq!(inc.snapshot(), None);
+        assert!(!inc.dominates(0.0, 5));
+
+        inc.publish(0.5, 7);
+        assert_eq!(inc.snapshot(), Some((0.5, 7)));
+        // Strictly lower bracket is dominated for everyone.
+        assert!(inc.dominates(0.25, 3));
+        // Equal bracket: only higher indices are dominated.
+        assert!(inc.dominates(0.5, 8));
+        assert!(!inc.dominates(0.5, 7));
+        assert!(!inc.dominates(0.5, 2));
+        assert!(!inc.dominates(0.75, 100));
+
+        // A better yield replaces; an equal yield keeps the lower index.
+        inc.publish(0.5, 2);
+        assert_eq!(inc.snapshot(), Some((0.5, 2)));
+        inc.publish(0.25, 0); // worse: ignored
+        assert_eq!(inc.snapshot(), Some((0.5, 2)));
+        inc.publish(1.0, 9);
+        assert_eq!(inc.snapshot(), Some((1.0, 9)));
+        assert!(inc.dominates(1.0, 10));
+        assert!(!inc.dominates(1.0, 4));
+    }
+
+    #[test]
+    fn incumbent_is_exact_on_the_search_grid() {
+        // Dyadic grid points (the only values a binary search publishes)
+        // round-trip exactly through the packed encoding.
+        let inc = Incumbent::new();
+        for k in 0..=14u32 {
+            let y = 1.0 / (1u64 << k) as f64;
+            inc.publish(y, k as usize);
+            let (bound, _) = inc.snapshot().unwrap();
+            assert!(bound >= y - 1e-12, "grid value {y} lost precision");
+        }
+    }
+
+    #[test]
+    fn incumbent_zero_yield_is_visible() {
+        let inc = Incumbent::new();
+        inc.publish(0.0, 3);
+        assert_eq!(inc.snapshot(), Some((0.0, 3)));
+        // Nothing has a bracket below 0, so only ties with lower indices
+        // dominate.
+        assert!(inc.dominates(0.0, 5));
+        assert!(!inc.dominates(0.0, 1));
     }
 }

@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]
+//!               [--threads N] [--budget-ms MS] [--report]
 //! vmplace gen   [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
 //! vmplace example
 //! ```
 //!
 //! `solve` reads an instance in the text format of `vmplace_model::io`,
 //! maximises the minimum yield and prints per-service allocations.
-//! `gen` prints a generated §4-style instance (pipe it to a file, edit it,
-//! solve it). `example` prints the paper's Figure 1 instance.
+//! `--threads` sets the portfolio engine's worker count (default: all
+//! cores / `VMPLACE_THREADS`), `--budget-ms` bounds the wall-clock spent
+//! (best result found in time wins), and `--report` prints per-member
+//! engine telemetry. `gen` prints a generated §4-style instance (pipe it
+//! to a file, edit it, solve it). `example` prints the paper's Figure 1
+//! instance.
 
 use vmplace::prelude::*;
 use vmplace_model::io::{read_instance, write_instance};
@@ -17,6 +22,7 @@ use vmplace_model::io::{read_instance, write_instance};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]\n  \
+         \x20              [--threads N] [--budget-ms MS] [--report]\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -69,22 +75,49 @@ fn cmd_solve(args: &[String]) {
         }
     };
 
+    if let Some(n) = flag_value(args, "--threads").and_then(|v| v.parse().ok()) {
+        vmplace::par::set_threads_override(n);
+    }
     let algo = flag_value(args, "--algo").unwrap_or_else(|| "light".to_string());
+    let mut ctx = SolveCtx::new();
+    if let Some(ms) = flag_value(args, "--budget-ms").and_then(|v| v.parse::<u64>().ok()) {
+        if algo == "milp" {
+            // Branch & bound has no wall-clock cutoff yet (ROADMAP item);
+            // do not silently pretend the budget applies.
+            eprintln!("warning: --budget-ms is ignored by --algo milp (no wall-clock cutoff)");
+        } else {
+            ctx = ctx.with_budget(std::time::Duration::from_millis(ms));
+        }
+    }
     let solution = match algo.as_str() {
-        "light" => MetaVp::metahvp_light().solve(&instance),
-        "hvp" => MetaVp::metahvp().solve(&instance),
-        "vp" => MetaVp::metavp().solve(&instance),
-        "greedy" => MetaGreedy.solve(&instance),
-        "rrnz" => RandomizedRounding::rrnz(0).solve(&instance),
-        "milp" => ExactMilp::default().solve(&instance),
+        "light" => MetaVp::metahvp_light().solve_with(&instance, &mut ctx),
+        "hvp" => MetaVp::metahvp().solve_with(&instance, &mut ctx),
+        "vp" => MetaVp::metavp().solve_with(&instance, &mut ctx),
+        "greedy" => MetaGreedy.solve_with(&instance, &mut ctx),
+        "rrnz" => RandomizedRounding::rrnz(0).solve_with(&instance, &mut ctx),
+        "milp" => ExactMilp::default().solve_with(&instance, &mut ctx),
         other => {
             eprintln!("error: unknown algorithm `{other}`");
             std::process::exit(2);
         }
     };
 
+    let report = ctx.take_report();
+    if args.iter().any(|a| a == "--report") {
+        if let Some(report) = &report {
+            print_report(report);
+        }
+    }
+
     match solution {
         None => {
+            let timed_out = report
+                .as_ref()
+                .is_some_and(|r| r.count(vmplace::core::MemberOutcome::TimedOut) > 0);
+            if timed_out {
+                eprintln!("TIMED OUT: the wall-clock budget expired before any member finished");
+                std::process::exit(4);
+            }
             eprintln!("INFEASIBLE: some rigid requirement cannot be satisfied");
             std::process::exit(3);
         }
@@ -115,6 +148,50 @@ fn cmd_solve(args: &[String]) {
                 println!();
             }
         }
+    }
+}
+
+/// Prints the engine's per-member telemetry: summary counts plus the
+/// completed members ranked by searched yield.
+fn print_report(report: &vmplace::core::PortfolioReport) {
+    use vmplace::core::MemberOutcome;
+    eprintln!(
+        "# engine {}: {} members on {} threads in {:.1} ms — {} solved, {} pruned, {} failed, {} timed out, {} probes",
+        report.algorithm,
+        report.members.len(),
+        report.threads,
+        report.wall.as_secs_f64() * 1e3,
+        report.count(MemberOutcome::Solved),
+        report.count(MemberOutcome::Pruned),
+        report.count(MemberOutcome::Failed),
+        report.count(MemberOutcome::TimedOut) + report.count(MemberOutcome::Skipped),
+        report.total_probes(),
+    );
+    let mut solved: Vec<_> = report
+        .members
+        .iter()
+        .filter(|m| m.outcome == MemberOutcome::Solved && m.searched_yield.is_some())
+        .collect();
+    solved.sort_by(|a, b| {
+        b.searched_yield
+            .partial_cmp(&a.searched_yield)
+            .unwrap()
+            .then(a.member.cmp(&b.member))
+    });
+    for m in solved.iter().take(10) {
+        let marker = if Some(m.member) == report.winner {
+            " <- winner"
+        } else {
+            ""
+        };
+        eprintln!(
+            "#   {:<28} searched {:.4}  {} probes  {:.2} ms{}",
+            report.label_of(m.member),
+            m.searched_yield.unwrap(),
+            m.probes,
+            m.wall.as_secs_f64() * 1e3,
+            marker
+        );
     }
 }
 

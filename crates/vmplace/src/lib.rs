@@ -36,9 +36,9 @@
 //! |-------|-------|
 //! | problem model, yield semantics | [`vmplace_model`] |
 //! | LP/MILP solver (simplex + B&B) | [`vmplace_lp`] |
-//! | placement algorithms (greedy, VP, META*, RRND/RRNZ) | [`vmplace_core`] |
+//! | placement algorithms (greedy, VP, META*, RRND/RRNZ) and the portfolio engine (`SolveCtx`, incumbent pruning, telemetry) | [`vmplace_core`] |
 //! | generators, error model, runtime allocators | [`vmplace_sim`] |
-//! | parallel sweep executor | [`vmplace_par`] |
+//! | parallel executor: sweeps + portfolio primitive | [`vmplace_par`] |
 //!
 //! This facade re-exports the public API; the `vmplace-experiments` crate
 //! hosts the binaries that regenerate every table and figure of the paper.
@@ -55,7 +55,7 @@ pub use vmplace_sim as sim;
 pub mod prelude {
     pub use vmplace_core::{
         binary_search_yield, Algorithm, ExactMilp, GreedyAlgorithm, MetaGreedy, MetaVp, NodePicker,
-        RandomizedRounding, ServiceSort, VpAlgorithm,
+        PortfolioReport, RandomizedRounding, ServiceSort, SolveCtx, VpAlgorithm,
     };
     pub use vmplace_model::{
         dims, evaluate_placement, Node, Placement, ProblemInstance, ResourceVector, Service,

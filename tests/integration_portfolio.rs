@@ -1,0 +1,244 @@
+//! Portfolio-engine integration: randomized differential suite asserting
+//! that the parallel engine is bit-for-bit equivalent to the sequential
+//! fold, that incumbent pruning never changes the result, and that the
+//! wall-clock budget cuts off cleanly.
+
+use std::time::{Duration, Instant};
+use vmplace::prelude::*;
+use vmplace_core::MemberOutcome;
+
+/// A spread of generated scenarios: varying heterogeneity, slack and
+/// pressure, several seeds each — feasibility and achieved yields differ
+/// across the set, which is what makes the differential meaningful.
+fn scenarios() -> Vec<ProblemInstance> {
+    let mut out = Vec::new();
+    for (hosts, services, cov, slack) in [
+        (8usize, 16usize, 0.0f64, 0.6f64),
+        (8, 20, 0.5, 0.4),
+        (12, 30, 1.0, 0.5),
+        (16, 40, 0.25, 0.7),
+        (16, 48, 0.75, 0.3),
+    ] {
+        let sc = Scenario::new(ScenarioConfig {
+            hosts,
+            services,
+            cov,
+            memory_slack: slack,
+            ..ScenarioConfig::default()
+        });
+        for seed in 0..4 {
+            out.push(sc.instance(seed));
+        }
+    }
+    out
+}
+
+fn assert_same(a: &Option<Solution>, b: &Option<Solution>, what: &str) {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.min_yield, y.min_yield, "{what}: yields differ");
+            assert_eq!(x.placement, y.placement, "{what}: placements differ");
+            assert_eq!(x.yields, y.yields, "{what}: per-service yields differ");
+        }
+        (None, None) => {}
+        _ => panic!("{what}: feasibility differs"),
+    }
+}
+
+#[test]
+fn parallel_portfolio_matches_sequential_fold() {
+    // The headline determinism guarantee: same winner (by index), same
+    // yield, same placement, whatever the thread count.
+    let metavp = MetaVp::metavp();
+    let light = MetaVp::metahvp_light();
+    for (i, inst) in scenarios().iter().enumerate() {
+        for (label, alg) in [("METAVP", &metavp), ("METAHVPLIGHT", &light)] {
+            let mut seq = SolveCtx::new().with_threads(1);
+            let mut par = SolveCtx::new().with_threads(4);
+            let a = alg.solve_with(inst, &mut seq);
+            let b = alg.solve_with(inst, &mut par);
+            let (ra, rb) = (seq.take_report().unwrap(), par.take_report().unwrap());
+            assert_eq!(
+                ra.winner, rb.winner,
+                "instance {i} / {label}: winner differs"
+            );
+            assert_eq!(
+                ra.members.len(),
+                rb.members.len(),
+                "instance {i} / {label}: member count differs"
+            );
+            assert_same(&a, &b, &format!("instance {i} / {label}"));
+        }
+    }
+}
+
+#[test]
+fn metagreedy_parallel_matches_sequential() {
+    for (i, inst) in scenarios().iter().enumerate() {
+        let mut seq = SolveCtx::new().with_threads(1);
+        let mut par = SolveCtx::new().with_threads(4);
+        let a = MetaGreedy.solve_with(inst, &mut seq);
+        let b = MetaGreedy.solve_with(inst, &mut par);
+        assert_eq!(
+            seq.take_report().unwrap().winner,
+            par.take_report().unwrap().winner,
+            "instance {i}: winner differs"
+        );
+        assert_same(&a, &b, &format!("instance {i} / METAGREEDY"));
+    }
+}
+
+#[test]
+fn incumbent_pruning_never_changes_the_result() {
+    // Pruning is result-invariant by construction: an unpruned sequential
+    // run and a pruned parallel run must agree exactly — while the pruned
+    // run does strictly fewer probes.
+    let light = MetaVp::metahvp_light();
+    let mut pruned_total = 0u64;
+    let mut unpruned_total = 0u64;
+    for (i, inst) in scenarios().iter().enumerate() {
+        let mut unpruned = SolveCtx::new().with_threads(1).with_pruning(false);
+        let mut pruned = SolveCtx::new().with_threads(4).with_pruning(true);
+        let a = light.solve_with(inst, &mut unpruned);
+        let b = light.solve_with(inst, &mut pruned);
+        let (ra, rb) = (
+            unpruned.take_report().unwrap(),
+            pruned.take_report().unwrap(),
+        );
+        assert_eq!(ra.winner, rb.winner, "instance {i}: winner differs");
+        assert_same(&a, &b, &format!("instance {i} / pruning differential"));
+        // The winner's own search must be untouched by pruning.
+        if let Some(w) = ra.winner {
+            assert_eq!(
+                ra.members[w].searched_yield, rb.members[w].searched_yield,
+                "instance {i}: winner's searched yield changed"
+            );
+            assert_eq!(
+                ra.members[w].probes, rb.members[w].probes,
+                "instance {i}: winner's probe sequence changed"
+            );
+        }
+        unpruned_total += ra.total_probes();
+        pruned_total += rb.total_probes();
+    }
+    assert!(
+        pruned_total < unpruned_total,
+        "pruning saved no probes ({pruned_total} vs {unpruned_total})"
+    );
+}
+
+#[test]
+fn engine_agrees_with_classic_fold_search() {
+    // The engine's searched winner yield must match the classic
+    // first-member-wins fold within the binary-search resolution (they
+    // agree exactly under per-member monotonicity, which generated
+    // scenarios satisfy).
+    let light = MetaVp::metahvp_light();
+    for (i, inst) in scenarios().iter().enumerate() {
+        let fold = vmplace_core::vp::binary_search_placement(
+            inst,
+            &light,
+            vmplace_core::vp::DEFAULT_RESOLUTION,
+        );
+        let mut ctx = SolveCtx::new().with_threads(2);
+        let engine = light.solve_with(inst, &mut ctx);
+        let report = ctx.take_report().unwrap();
+        match (&fold, report.winner) {
+            (Some((lambda, _)), Some(w)) => {
+                let searched = report.members[w].searched_yield.unwrap();
+                assert!(
+                    (searched - lambda).abs() < 1e-4 + 1e-9,
+                    "instance {i}: engine searched {searched} vs fold {lambda}"
+                );
+            }
+            (None, None) => assert!(engine.is_none()),
+            (f, w) => panic!("instance {i}: fold {f:?} vs engine winner {w:?} disagree"),
+        }
+    }
+}
+
+#[test]
+fn budget_cutoff_stops_quickly_and_reports_timeouts() {
+    // A zero budget must return fast (no member does real work) and mark
+    // every member as timed out; a generous budget must match the
+    // unbudgeted result exactly.
+    let inst = Scenario::new(ScenarioConfig {
+        hosts: 32,
+        services: 120,
+        cov: 0.5,
+        memory_slack: 0.5,
+        ..ScenarioConfig::default()
+    })
+    .instance(1);
+
+    let hvp = MetaVp::metahvp();
+    let started = Instant::now();
+    let mut ctx = SolveCtx::new().with_threads(2).with_budget(Duration::ZERO);
+    let sol = hvp.solve_with(&inst, &mut ctx);
+    let elapsed = started.elapsed();
+    let report = ctx.take_report().unwrap();
+    assert!(sol.is_none(), "zero budget cannot produce a solution");
+    assert_eq!(report.count(MemberOutcome::TimedOut), report.members.len());
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "zero-budget solve took {elapsed:?}"
+    );
+
+    let mut unbudgeted = SolveCtx::new().with_threads(2);
+    let mut generous = SolveCtx::new()
+        .with_threads(2)
+        .with_budget(Duration::from_secs(600));
+    let a = hvp.solve_with(&inst, &mut unbudgeted);
+    let b = hvp.solve_with(&inst, &mut generous);
+    assert_same(&a, &b, "generous budget");
+    assert_eq!(
+        generous
+            .take_report()
+            .unwrap()
+            .count(MemberOutcome::TimedOut),
+        0,
+        "generous budget must not time members out"
+    );
+}
+
+#[test]
+fn randomized_rounding_trials_are_deterministic_across_threads() {
+    for (i, inst) in scenarios().iter().enumerate().take(6) {
+        let mut rr = RandomizedRounding::rrnz(i as u64);
+        rr.attempts = 4;
+        let mut seq = SolveCtx::new().with_threads(1);
+        let mut par = SolveCtx::new().with_threads(4);
+        let a = rr.solve_with(inst, &mut seq);
+        let b = rr.solve_with(inst, &mut par);
+        assert_eq!(
+            seq.take_report().unwrap().winner,
+            par.take_report().unwrap().winner,
+            "instance {i}: winning trial differs"
+        );
+        assert_same(&a, &b, &format!("instance {i} / RRNZ trials"));
+    }
+}
+
+#[test]
+fn trial_zero_matches_the_single_pass_seed_contract() {
+    // Trial 0 draws from `StdRng::seed_from_u64(seed)` exactly, so
+    // `attempts = 1` keeps the historical deterministic behaviour.
+    for inst in scenarios().iter().take(4) {
+        let a = RandomizedRounding::rrnz(42).solve(inst);
+        let b = RandomizedRounding::rrnz(42).solve(inst);
+        assert_same(&a, &b, "RRNZ seed determinism");
+    }
+}
+
+#[test]
+fn engine_scratch_reuse_across_solves_is_safe() {
+    // One context reused across different instances (different sizes) must
+    // give the same results as fresh contexts.
+    let light = MetaVp::metahvp_light();
+    let mut reused = SolveCtx::new().with_threads(2);
+    for (i, inst) in scenarios().iter().enumerate() {
+        let a = light.solve_with(inst, &mut reused);
+        let b = light.solve(inst);
+        assert_same(&a, &b, &format!("instance {i} / scratch reuse"));
+    }
+}
