@@ -1,0 +1,55 @@
+//! Allocation-service throughput: pooled warm replay vs the cold one-shot
+//! reference on a generated request trace.
+//!
+//! The pooled path keeps resident workers alive across the whole trace
+//! (roster, packing scratch and per-stream warm yields amortised); the
+//! one-shot path rebuilds everything per request — what a caller without
+//! `vmplace-service` would do. `BENCH_service.json` (see the
+//! `service_stats` example) records the same comparison across trace
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmplace_service::{replay_oneshot, ServiceConfig, SolverPool};
+use vmplace_sim::{ScenarioConfig, TraceConfig};
+
+fn trace_config() -> TraceConfig {
+    TraceConfig {
+        streams: 3,
+        requests: 24,
+        scenario: ScenarioConfig {
+            hosts: 16,
+            services: 40,
+            cov: 0.5,
+            memory_slack: 0.6,
+            ..ScenarioConfig::default()
+        },
+        ..TraceConfig::default()
+    }
+}
+
+fn bench_service(c: &mut Criterion) {
+    let trace = trace_config().generate(1);
+    let mut group = c.benchmark_group("service_replay");
+
+    let warm = ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    let mut pool = SolverPool::new(&warm);
+    group.bench_function("pooled_warm", |b| b.iter(|| pool.replay(trace.clone())));
+
+    let cold = ServiceConfig {
+        workers: 1,
+        warm_start: false,
+        ordered_roster: false,
+        ..ServiceConfig::default()
+    };
+    group.bench_function("oneshot_cold", |b| {
+        b.iter(|| replay_oneshot(trace.clone(), &cold))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -36,9 +36,12 @@ fn main() {
         (64, 250, 0.5, 0.5, 1),
         (64, 250, 1.0, 0.3, 1),
     ];
+    let effective = vmplace_bench::effective_parallelism();
     println!("{{");
-    println!("  \"note\": \"seconds, mean of {reps} reps after warm-up; seed_fold replicates the pre-engine sequential META* (per-probe allocation, first-member-wins fold); container limits affinity to 1 CPU, so t8 shows engine overhead, not parallel speedup\",");
-    println!("  \"threads_available\": {},", vmplace_par::num_threads());
+    println!("  \"note\": \"seconds, mean of {reps} reps after warm-up; seed_fold replicates the pre-engine sequential META* (per-probe allocation, first-member-wins fold); when effective_parallelism is 1 the t8 column shows engine overhead, not parallel speedup\",");
+    println!("  \"configured_threads\": {},", vmplace_par::num_threads());
+    println!("  \"effective_parallelism\": {effective},");
+    println!("  \"parallel_speedup_meaningful\": {},", effective > 1);
     println!("  \"results\": [");
     let mut first = true;
     for (hosts, services, cov, slack, seed) in scenarios {

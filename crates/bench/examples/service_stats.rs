@@ -1,0 +1,121 @@
+//! Emits the `BENCH_service.json` numbers: amortised per-request latency
+//! of the resident solver pool (warm) against the cold one-shot reference
+//! path, across trace sizes and worker counts.
+//!
+//! ```text
+//! cargo run --release -p vmplace-bench --example service_stats [reps]
+//! ```
+
+use std::time::Instant;
+use vmplace_model::{AllocRequest, RequestOutcome};
+use vmplace_service::{replay_oneshot, ServiceConfig, SolverPool};
+use vmplace_sim::{ScenarioConfig, TraceConfig};
+
+fn time_replay<F: FnMut(Vec<AllocRequest>) -> Vec<vmplace_model::AllocResponse>>(
+    reps: usize,
+    trace: &[AllocRequest],
+    mut f: F,
+) -> (f64, usize) {
+    // Warm-up run, then timed reps.
+    let mut solved = 0;
+    f(trace.to_vec());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        solved = f(trace.to_vec())
+            .iter()
+            .filter(|r| r.outcome == RequestOutcome::Solved)
+            .count();
+    }
+    (t0.elapsed().as_secs_f64() / reps as f64, solved)
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    // (hosts, services, streams, requests): small, mid-grid and large
+    // traces of the §4 scenario family.
+    let shapes: [(usize, usize, usize, usize); 3] =
+        [(16, 40, 4, 60), (64, 100, 4, 48), (64, 250, 4, 32)];
+    let worker_counts = [1usize, 4];
+
+    println!("{{");
+    println!(
+        "  \"note\": \"seconds, mean of {reps} trace replays after warm-up; pooled = resident SolverPool with warm seeding + ordered roster, oneshot_cold = fresh engine per request, no warm hints; pooled worker counts beyond effective_parallelism cannot speed up wall-clock\","
+    );
+    println!(
+        "  \"effective_parallelism\": {},",
+        vmplace_bench::effective_parallelism()
+    );
+    println!("  \"configured_threads\": {},", vmplace_par::num_threads());
+    println!(
+        "  \"parallel_speedup_meaningful\": {},",
+        vmplace_bench::effective_parallelism() > 1
+    );
+    println!("  \"results\": [");
+    let mut first = true;
+    for (hosts, services, streams, requests) in shapes {
+        let trace = TraceConfig {
+            streams,
+            requests,
+            scenario: ScenarioConfig {
+                hosts,
+                services,
+                cov: 0.5,
+                memory_slack: 0.6,
+                ..ScenarioConfig::default()
+            },
+            ..TraceConfig::default()
+        }
+        .generate(1);
+
+        let cold_cfg = ServiceConfig {
+            workers: 1,
+            warm_start: false,
+            ordered_roster: false,
+            ..ServiceConfig::default()
+        };
+        let (t_cold, solved_cold) = time_replay(reps, &trace, |t| replay_oneshot(t, &cold_cfg));
+
+        for &workers in &worker_counts {
+            let warm_cfg = ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            };
+            let mut pool = SolverPool::new(&warm_cfg);
+            let (t_warm, solved_warm) = time_replay(reps, &trace, |t| pool.replay(t));
+            pool.shutdown();
+            assert_eq!(
+                solved_cold, solved_warm,
+                "pooled and one-shot disagree on solved count"
+            );
+            if !first {
+                println!(",");
+            }
+            first = false;
+            print!(
+                "    {{\"hosts\": {hosts}, \"services\": {services}, \"streams\": {streams}, \
+                 \"requests\": {requests}, \"workers\": {workers}, \
+                 \"oneshot_cold_s\": {t_cold:.4}, \"pooled_warm_s\": {t_warm:.4}, \
+                 \"oneshot_ms_per_request\": {:.3}, \"pooled_ms_per_request\": {:.3}, \
+                 \"amortised_speedup\": {:.2}, \"solved\": {solved_warm}}}",
+                t_cold * 1e3 / requests as f64,
+                t_warm * 1e3 / requests as f64,
+                t_cold / t_warm,
+            );
+            eprintln!(
+                "H={hosts:<3} J={services:<4} w={workers}  oneshot {:.3}s  pooled {:.3}s ({:.2}x)  {}/{} solved",
+                t_cold,
+                t_warm,
+                t_cold / t_warm,
+                solved_warm,
+                requests
+            );
+        }
+    }
+    println!();
+    println!("  ]");
+    println!("}}");
+}

@@ -39,10 +39,17 @@ impl Algorithm for ExactMilp {
     }
 
     /// Branch & bound is a single member — the context's threads and
-    /// incumbent do not apply (the solver has its own internal bounding).
-    fn solve_with(&self, instance: &ProblemInstance, _ctx: &mut SolveCtx) -> Option<Solution> {
+    /// incumbent do not apply (the solver has its own internal bounding) —
+    /// but its wall-clock budget does: it becomes the tree's `time_budget`,
+    /// and an expired budget surfaces the best feasible incumbent found in
+    /// time instead of failing.
+    fn solve_with(&self, instance: &ProblemInstance, ctx: &mut SolveCtx) -> Option<Solution> {
         let ylp = YieldLp::build(instance)?;
-        let (placement, _objective) = ylp.solve_exact(&self.options)?;
+        let mut options = self.options.clone();
+        if let Some(budget) = ctx.budget() {
+            options.time_budget = Some(budget);
+        }
+        let (placement, _objective) = ylp.decode_milp(ylp.solve_exact_result(&options))?;
         evaluate_placement(instance, &placement)
     }
 }

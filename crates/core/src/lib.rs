@@ -28,6 +28,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod algorithm;
+pub mod engine;
 pub mod exact;
 pub mod greedy;
 pub mod portfolio;
@@ -35,11 +36,12 @@ pub mod rounding;
 pub mod vp;
 
 pub use algorithm::Algorithm;
+pub use engine::{EngineHandle, EngineRun};
 pub use exact::ExactMilp;
 pub use greedy::{GreedyAlgorithm, GreedyScratch, MetaGreedy, NodePicker, ServiceSort};
 pub use portfolio::{MemberOutcome, MemberReport, PortfolioReport, SolveCtx};
 pub use rounding::RandomizedRounding;
 pub use vp::{
-    binary_search_yield, BinSort, ItemSort, MetaVp, PackScratch, PackingHeuristic, SortOrder,
-    VectorMetric, VpAlgorithm, VpProblem,
+    binary_search_yield, telemetry_execution_order, BinSort, ItemSort, MetaVp, PackScratch,
+    PackingHeuristic, SortOrder, VectorMetric, VpAlgorithm, VpProblem,
 };

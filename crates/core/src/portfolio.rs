@@ -111,8 +111,14 @@ pub struct SolveCtx {
     threads: Option<usize>,
     budget: Option<Duration>,
     pruning: bool,
+    warm_hint: Option<f64>,
     report: Option<PortfolioReport>,
     pub(crate) scratch: PackScratch,
+    /// Long-lived per-worker packing workspaces: the portfolio engine tops
+    /// this vector up to its worker count and reuses it across every solve
+    /// that goes through the same context (the allocation service's
+    /// resident workers keep one context alive for thousands of requests).
+    pub(crate) workers: Vec<PackScratch>,
 }
 
 impl Default for SolveCtx {
@@ -129,8 +135,10 @@ impl SolveCtx {
             threads: None,
             budget: None,
             pruning: true,
+            warm_hint: None,
             report: None,
             scratch: PackScratch::new(),
+            workers: Vec::new(),
         }
     }
 
@@ -146,6 +154,18 @@ impl SolveCtx {
     pub fn with_budget(mut self, budget: Duration) -> SolveCtx {
         self.budget = Some(budget);
         self
+    }
+
+    /// Sets or clears the wall-clock budget in place (per-request budgets
+    /// on a long-lived context).
+    pub fn set_budget(&mut self, budget: Option<Duration>) {
+        self.budget = budget;
+    }
+
+    /// Sets the worker thread count in place (see
+    /// [`SolveCtx::with_threads`]); `None` restores the default.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads.map(|t| t.max(1));
     }
 
     /// Enables or disables incumbent pruning (on by default; the off
@@ -168,6 +188,27 @@ impl SolveCtx {
     /// Whether incumbent pruning is enabled.
     pub fn pruning(&self) -> bool {
         self.pruning
+    }
+
+    /// Seeds the **next** solve's binary searches with a previously
+    /// achieved yield (the allocation service passes the prior placement's
+    /// achieved yield when re-solving after a workload delta). The hint is
+    /// consumed by the solve; it narrows each member's initial bracket
+    /// around the hint with two extra probes, which typically saves
+    /// several bisection steps when the optimum moved only slightly.
+    ///
+    /// The hint changes each member's *probe sequence* (and hence the
+    /// dyadic grid the search lands on) but is applied identically on
+    /// every thread count, so engine determinism across 1 vs N threads is
+    /// preserved.
+    pub fn set_warm_hint(&mut self, hint: Option<f64>) {
+        self.warm_hint = hint.filter(|h| h.is_finite());
+    }
+
+    /// Takes the pending warm hint (engine internals; consuming keeps a
+    /// stale hint from leaking into an unrelated later solve).
+    pub(crate) fn take_warm_hint(&mut self) -> Option<f64> {
+        self.warm_hint.take()
     }
 
     /// The configured wall-clock budget, if any.

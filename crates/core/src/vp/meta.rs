@@ -32,6 +32,12 @@ pub struct MetaVp {
     label: String,
     heuristics: Vec<Box<dyn PackingHeuristic>>,
     labels: Arc<Vec<String>>,
+    /// Execution schedule: `order[k]` is the roster index of the `k`-th
+    /// member handed to a worker. Identity by default; see
+    /// [`MetaVp::with_telemetry_order`]. Member *identity* (incumbent
+    /// tie-break, reduce, reports) always uses roster indices, so the
+    /// schedule affects probe counts only — never results.
+    order: Vec<usize>,
     /// Binary-search resolution (the paper's 1e-4 by default).
     pub resolution: f64,
 }
@@ -160,13 +166,43 @@ impl MetaVp {
 
     /// Builds a custom roster.
     pub fn custom(label: &str, heuristics: Vec<Box<dyn PackingHeuristic>>) -> MetaVp {
-        let labels = Arc::new(heuristics.iter().map(|h| h.describe()).collect());
+        let labels: Arc<Vec<String>> = Arc::new(heuristics.iter().map(|h| h.describe()).collect());
+        let order = (0..heuristics.len()).collect();
         MetaVp {
             label: label.to_string(),
             heuristics,
             labels,
+            order,
             resolution: DEFAULT_RESOLUTION,
         }
+    }
+
+    /// Reschedules member execution by the static telemetry winner table
+    /// (see [`crate::vp::ordering`]): likely winners run first, publishing
+    /// a strong incumbent that prunes the rest of the roster early on hard
+    /// instances. Results are identical to the natural order — only probe
+    /// counts change.
+    pub fn with_telemetry_order(self) -> MetaVp {
+        let order = super::ordering::telemetry_execution_order(&self.labels);
+        self.with_execution_order(order)
+    }
+
+    /// Sets an explicit execution schedule (`order[k]` = roster index of
+    /// the `k`-th member to run). Must be a permutation of `0..len()`.
+    pub fn with_execution_order(mut self, order: Vec<usize>) -> MetaVp {
+        assert_eq!(order.len(), self.heuristics.len(), "schedule length");
+        let mut seen = vec![false; order.len()];
+        for &i in &order {
+            assert!(i < seen.len() && !seen[i], "schedule is not a permutation");
+            seen[i] = true;
+        }
+        self.order = order;
+        self
+    }
+
+    /// The current execution schedule.
+    pub fn execution_order(&self) -> &[usize] {
+        &self.order
     }
 }
 
@@ -196,19 +232,29 @@ impl Algorithm for MetaVp {
         let threads = ctx.effective_threads();
         let deadline = ctx.deadline_from_now();
         let pruning = ctx.pruning();
+        let warm = ctx.take_warm_hint();
         let incumbent = Incumbent::new();
         let resolution = self.resolution;
+        let order = &self.order;
 
         struct Outcome {
+            member: usize,
             run: MemberRun,
             wall: std::time::Duration,
         }
 
-        let outcomes: Vec<Outcome> = vmplace_par::portfolio_run(
+        // Workers run members in schedule order but keep their roster
+        // identity throughout (incumbent tie-break, reports, reduce), so
+        // the schedule can only shift probe counts, never results. Worker
+        // scratch comes from the context and survives across solves.
+        let mut workers = std::mem::take(&mut ctx.workers);
+        let scheduled: Vec<Outcome> = vmplace_par::portfolio_run_pooled(
             self.heuristics.len(),
             threads,
+            &mut workers,
             PackScratch::new,
-            |member, scratch: &mut PackScratch| {
+            |slot, scratch: &mut PackScratch| {
+                let member = order[slot];
                 let t0 = Instant::now();
                 let mut vp = VpProblem::with_buffers(
                     instance,
@@ -224,15 +270,29 @@ impl Algorithm for MetaVp {
                     &MemberGuards {
                         incumbent: pruning.then_some((&incumbent, member)),
                         deadline,
+                        warm,
                     },
                 );
                 (scratch.vp_elem, scratch.vp_agg) = vp.into_buffers();
                 Outcome {
+                    member,
                     run,
                     wall: t0.elapsed(),
                 }
             },
         );
+        ctx.workers = workers;
+
+        // Back to roster order for the deterministic reduce.
+        let mut outcomes: Vec<Option<Outcome>> = (0..scheduled.len()).map(|_| None).collect();
+        for o in scheduled {
+            let member = o.member;
+            outcomes[member] = Some(o);
+        }
+        let outcomes: Vec<Outcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("schedule is a permutation"))
+            .collect();
 
         // Deterministic reduce: highest searched yield wins, ties to the
         // lowest member index. Pruned members are strict losers by
@@ -383,5 +443,57 @@ mod tests {
                 _ => panic!("divergent feasibility"),
             }
         }
+    }
+
+    #[test]
+    fn execution_order_is_result_invariant() {
+        // Natural, telemetry and fully reversed schedules must produce the
+        // same winner, yield and placement (member identity drives the
+        // tie-break, not the schedule) at any thread count; only probe
+        // counts may differ.
+        for inst in [small_hetero(), tight_memory()] {
+            for threads in [1, 4] {
+                let natural = MetaVp::metahvp_light();
+                let reversed_order: Vec<usize> = (0..natural.len()).rev().collect();
+                let schedules = [
+                    MetaVp::metahvp_light(),
+                    MetaVp::metahvp_light().with_telemetry_order(),
+                    MetaVp::metahvp_light().with_execution_order(reversed_order),
+                ];
+                let mut reference: Option<(Option<usize>, Option<(f64, _)>)> = None;
+                for (k, meta) in schedules.into_iter().enumerate() {
+                    let mut ctx = SolveCtx::new().with_threads(threads);
+                    let sol = meta.solve_with(&inst, &mut ctx);
+                    let report = ctx.take_report().unwrap();
+                    let key = (report.winner, sol.map(|s| (s.min_yield, s.placement)));
+                    match &reference {
+                        None => reference = Some(key),
+                        Some(r) => assert_eq!(r, &key, "schedule {k}, threads {threads}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_order_front_loads_table_members() {
+        let meta = MetaVp::metahvp_light().with_telemetry_order();
+        let order = meta.execution_order();
+        // The schedule is a permutation…
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..meta.len()).collect::<Vec<_>>());
+        // …and every table-listed member runs before every unlisted one.
+        let listed: Vec<bool> = order
+            .iter()
+            .map(|&i| {
+                crate::vp::ordering::STATIC_WINNER_TABLE.contains(&meta.member_labels()[i].as_str())
+            })
+            .collect();
+        let first_unlisted = listed.iter().position(|&l| !l).unwrap_or(listed.len());
+        assert!(
+            listed[first_unlisted..].iter().all(|&l| !l),
+            "listed member scheduled after an unlisted one"
+        );
     }
 }

@@ -13,6 +13,7 @@ mod best_fit;
 pub(crate) mod binary_search;
 mod first_fit;
 mod meta;
+pub mod ordering;
 mod perm_pack;
 mod sortkey;
 
@@ -22,6 +23,7 @@ pub use binary_search::{
 };
 pub use first_fit::FirstFit;
 pub use meta::MetaVp;
+pub use ordering::telemetry_execution_order;
 pub use perm_pack::PermutationPack;
 pub use sortkey::{BinSort, ItemSort, SortOrder, VectorMetric};
 

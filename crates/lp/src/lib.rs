@@ -35,7 +35,7 @@ pub mod simplex;
 pub mod sparse;
 pub mod yield_lp;
 
-pub use milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+pub use milp::{solve_milp, MilpOptions, MilpResult, MilpSolver, MilpStatus};
 pub use problem::{LinearProgram, RowSense, VarId};
 pub use simplex::{BasisSnapshot, LpSolution, LpStatus, SimplexOptions, SimplexSolver};
 pub use yield_lp::{RelaxedSolution, YieldLp};

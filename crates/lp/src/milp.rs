@@ -17,12 +17,19 @@
 use crate::problem::LinearProgram;
 use crate::simplex::{BasisSnapshot, LpStatus, SimplexOptions, SimplexSolver};
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 /// Options for the branch & bound search.
 #[derive(Clone, Debug)]
 pub struct MilpOptions {
     /// Maximum number of explored nodes before giving up.
     pub max_nodes: usize,
+    /// Wall-clock budget for the whole tree (node loop **and** the simplex
+    /// iteration loops inside each node solve); `None` means unbounded.
+    /// When it expires the search stops at the next check point and the
+    /// best feasible incumbent found so far is returned with
+    /// [`MilpStatus::TimedOut`].
+    pub time_budget: Option<Duration>,
     /// Integrality tolerance: `|x − round(x)| ≤ int_tol` counts as integral.
     pub int_tol: f64,
     /// Absolute optimality gap at which a node is pruned.
@@ -35,6 +42,7 @@ impl Default for MilpOptions {
     fn default() -> Self {
         MilpOptions {
             max_nodes: 100_000,
+            time_budget: None,
             int_tol: 1e-6,
             gap_tol: 1e-9,
             simplex: SimplexOptions::default(),
@@ -52,8 +60,22 @@ pub enum MilpStatus {
     /// Node budget exhausted; `best` (if any) is a feasible incumbent
     /// without optimality proof.
     NodeLimit,
+    /// Wall-clock budget exhausted; `best` (if any) is a feasible incumbent
+    /// without optimality proof.
+    TimedOut,
     /// The LP relaxation failed numerically or was unbounded.
     Error,
+}
+
+impl MilpStatus {
+    /// Whether an incumbent reported under this status is a *feasible*
+    /// integer solution (possibly without an optimality proof).
+    pub fn incumbent_is_feasible(&self) -> bool {
+        matches!(
+            self,
+            MilpStatus::Optimal | MilpStatus::NodeLimit | MilpStatus::TimedOut
+        )
+    }
 }
 
 /// Result of a branch & bound run.
@@ -97,216 +119,307 @@ struct PseudoCost {
 }
 
 /// Solves `lp` requiring every variable in `int_vars` to be integral.
+///
+/// One-shot convenience over [`MilpSolver`]; repeated solves of the same
+/// model (e.g. a service re-solving an unchanged instance under a new
+/// budget) should construct the solver once and call
+/// [`MilpSolver::solve`].
 pub fn solve_milp(lp: &LinearProgram, int_vars: &[usize], opts: &MilpOptions) -> MilpResult {
-    let n = lp.num_vars();
-    let maximize = lp.is_maximize();
-    let mut best_obj: Option<f64> = None;
-    let mut best_values: Option<Vec<f64>> = None;
-    let mut nodes = 0usize;
-    let mut simplex_iterations = 0usize;
+    MilpSolver::new(lp, int_vars, opts.clone()).solve()
+}
 
-    let mut solver = SimplexSolver::new(lp, opts.simplex.clone());
+/// A persistent branch & bound solver for one [`LinearProgram`].
+///
+/// Construction assembles the underlying [`SimplexSolver`] (matrix, slack
+/// and artificial columns, pricing state, scratch) once; every
+/// [`MilpSolver::solve`] call reuses it, so re-solving the same model —
+/// the allocation service's "re-solve with tightened budget" requests —
+/// pays no assembly cost and keeps the solver's candidate lists and
+/// factorisation allocations warm.
+pub struct MilpSolver {
+    solver: SimplexSolver,
+    /// The model's own variable bounds (the root node's box).
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    int_vars: Vec<usize>,
+    maximize: bool,
+    n: usize,
+    opts: MilpOptions,
+}
 
-    // DFS stack of bound overrides + parent bases.
-    let mut stack: Vec<Node> = vec![Node {
-        lo: lp.lower.clone(),
-        hi: lp.upper.clone(),
-        warm: None,
-        parent_bound: None,
-        branched: None,
-    }];
-    let mut pc: Vec<PseudoCost> = vec![PseudoCost::default(); n];
-    // Global averages back uninitialised variables. With nothing observed
-    // yet the estimates collapse to plain fractionality scoring.
-    let mut global_down = (0.0f64, 0u32);
-    let mut global_up = (0.0f64, 0u32);
+impl MilpSolver {
+    /// Builds a persistent solver for `lp` with the given integer set.
+    pub fn new(lp: &LinearProgram, int_vars: &[usize], opts: MilpOptions) -> MilpSolver {
+        MilpSolver {
+            solver: SimplexSolver::new(lp, opts.simplex.clone()),
+            lower: lp.lower.clone(),
+            upper: lp.upper.clone(),
+            int_vars: int_vars.to_vec(),
+            maximize: lp.is_maximize(),
+            n: lp.num_vars(),
+            opts,
+        }
+    }
 
-    let better = |candidate: f64, incumbent: Option<f64>| -> bool {
-        match incumbent {
-            None => true,
-            Some(b) => {
-                if maximize {
-                    candidate > b + opts.gap_tol
-                } else {
-                    candidate < b - opts.gap_tol
+    /// The branch & bound options (adjust `max_nodes` / `time_budget`
+    /// between solves via [`MilpSolver::options_mut`]).
+    pub fn options(&self) -> &MilpOptions {
+        &self.opts
+    }
+
+    /// Mutable access to the branch & bound options.
+    pub fn options_mut(&mut self) -> &mut MilpOptions {
+        &mut self.opts
+    }
+
+    /// Runs the branch & bound search from the root. Each call is an
+    /// independent solve: the simplex is reset to its canonical state and
+    /// no pseudocost statistics carry over, so a re-solve returns
+    /// **bit-identical** results (tree, nodes, values) to a fresh solver
+    /// — only the assembly cost is amortised.
+    pub fn solve(&mut self) -> MilpResult {
+        self.solver.reset_state();
+        let deadline = self.opts.time_budget.map(|b| Instant::now() + b);
+        self.solver.set_deadline(deadline);
+        let result = self.search(deadline);
+        self.solver.set_deadline(None);
+        result
+    }
+
+    fn search(&mut self, deadline: Option<Instant>) -> MilpResult {
+        let n = self.n;
+        let opts = self.opts.clone();
+        let maximize = self.maximize;
+        let solver = &mut self.solver;
+        let mut best_obj: Option<f64> = None;
+        let mut best_values: Option<Vec<f64>> = None;
+        let mut nodes = 0usize;
+        let mut simplex_iterations = 0usize;
+
+        // DFS stack of bound overrides + parent bases.
+        let mut stack: Vec<Node> = vec![Node {
+            lo: self.lower.clone(),
+            hi: self.upper.clone(),
+            warm: None,
+            parent_bound: None,
+            branched: None,
+        }];
+        let mut pc: Vec<PseudoCost> = vec![PseudoCost::default(); n];
+        // Global averages back uninitialised variables. With nothing observed
+        // yet the estimates collapse to plain fractionality scoring.
+        let mut global_down = (0.0f64, 0u32);
+        let mut global_up = (0.0f64, 0u32);
+
+        let better = |candidate: f64, incumbent: Option<f64>| -> bool {
+            match incumbent {
+                None => true,
+                Some(b) => {
+                    if maximize {
+                        candidate > b + opts.gap_tol
+                    } else {
+                        candidate < b - opts.gap_tol
+                    }
                 }
             }
-        }
-    };
+        };
 
-    while let Some(node) = stack.pop() {
-        // The parent's relaxation objective bounds every solution in this
-        // subtree; if the incumbent already matches it, skip the LP solve.
-        if let (Some(pb), Some(b)) = (node.parent_bound, best_obj) {
-            let prune = if maximize {
-                pb <= b + opts.gap_tol
-            } else {
-                pb >= b - opts.gap_tol
-            };
-            if prune {
-                continue;
+        let int_vars = &self.int_vars;
+        while let Some(node) = stack.pop() {
+            // The parent's relaxation objective bounds every solution in this
+            // subtree; if the incumbent already matches it, skip the LP solve.
+            if let (Some(pb), Some(b)) = (node.parent_bound, best_obj) {
+                let prune = if maximize {
+                    pb <= b + opts.gap_tol
+                } else {
+                    pb >= b - opts.gap_tol
+                };
+                if prune {
+                    continue;
+                }
             }
-        }
-        if nodes >= opts.max_nodes {
-            return MilpResult {
-                status: MilpStatus::NodeLimit,
-                objective: best_obj,
-                values: best_values,
-                nodes,
-                simplex_iterations,
-            };
-        }
-        nodes += 1;
-
-        let sol = solver.solve_from(node.warm.as_deref(), &node.lo, &node.hi);
-        simplex_iterations += sol.iterations;
-        match sol.status {
-            LpStatus::Infeasible => continue,
-            LpStatus::Optimal => {}
-            LpStatus::Unbounded | LpStatus::IterationLimit | LpStatus::Numerical => {
+            if nodes >= opts.max_nodes {
                 return MilpResult {
-                    status: MilpStatus::Error,
+                    status: MilpStatus::NodeLimit,
                     objective: best_obj,
                     values: best_values,
                     nodes,
                     simplex_iterations,
                 };
             }
-        }
+            // Wall-clock cutoff, checked once per node; the node's own simplex
+            // iteration loop checks the same deadline at a finer grain.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return MilpResult {
+                    status: MilpStatus::TimedOut,
+                    objective: best_obj,
+                    values: best_values,
+                    nodes,
+                    simplex_iterations,
+                };
+            }
+            nodes += 1;
 
-        // Record the observed degradation of the branching that produced
-        // this node (per unit of fractional distance moved).
-        if let (Some((v, up, dist)), Some(pb)) = (node.branched, node.parent_bound) {
-            if dist > opts.int_tol {
-                let deg = if maximize {
-                    (pb - sol.objective).max(0.0)
-                } else {
-                    (sol.objective - pb).max(0.0)
-                } / dist;
-                if up {
-                    pc[v].up_sum += deg;
-                    pc[v].up_cnt += 1;
-                    global_up.0 += deg;
-                    global_up.1 += 1;
-                } else {
-                    pc[v].down_sum += deg;
-                    pc[v].down_cnt += 1;
-                    global_down.0 += deg;
-                    global_down.1 += 1;
+            let sol = solver.solve_from(node.warm.as_deref(), &node.lo, &node.hi);
+            simplex_iterations += sol.iterations;
+            match sol.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Optimal => {}
+                // A node whose LP timed out ends the search with the incumbent
+                // found so far — the deadline never surfaces as an error.
+                LpStatus::TimedOut => {
+                    return MilpResult {
+                        status: MilpStatus::TimedOut,
+                        objective: best_obj,
+                        values: best_values,
+                        nodes,
+                        simplex_iterations,
+                    };
+                }
+                LpStatus::Unbounded | LpStatus::IterationLimit | LpStatus::Numerical => {
+                    return MilpResult {
+                        status: MilpStatus::Error,
+                        objective: best_obj,
+                        values: best_values,
+                        nodes,
+                        simplex_iterations,
+                    };
                 }
             }
-        }
 
-        // Bound-based pruning.
-        if let Some(b) = best_obj {
-            let prune = if maximize {
-                sol.objective <= b + opts.gap_tol
+            // Record the observed degradation of the branching that produced
+            // this node (per unit of fractional distance moved).
+            if let (Some((v, up, dist)), Some(pb)) = (node.branched, node.parent_bound) {
+                if dist > opts.int_tol {
+                    let deg = if maximize {
+                        (pb - sol.objective).max(0.0)
+                    } else {
+                        (sol.objective - pb).max(0.0)
+                    } / dist;
+                    if up {
+                        pc[v].up_sum += deg;
+                        pc[v].up_cnt += 1;
+                        global_up.0 += deg;
+                        global_up.1 += 1;
+                    } else {
+                        pc[v].down_sum += deg;
+                        pc[v].down_cnt += 1;
+                        global_down.0 += deg;
+                        global_down.1 += 1;
+                    }
+                }
+            }
+
+            // Bound-based pruning.
+            if let Some(b) = best_obj {
+                let prune = if maximize {
+                    sol.objective <= b + opts.gap_tol
+                } else {
+                    sol.objective >= b - opts.gap_tol
+                };
+                if prune {
+                    continue;
+                }
+            }
+
+            // Pseudocost branching: pick the fractional variable with the
+            // largest guaranteed (min of both directions) estimated bound
+            // degradation; with no statistics yet this reduces to plain
+            // most-fractional scoring.
+            let gd = if global_down.1 > 0 {
+                global_down.0 / global_down.1 as f64
             } else {
-                sol.objective >= b - opts.gap_tol
+                1.0
             };
-            if prune {
-                continue;
+            let gu = if global_up.1 > 0 {
+                global_up.0 / global_up.1 as f64
+            } else {
+                1.0
+            };
+            let mut branch: Option<(usize, f64, f64, f64)> = None; // (var, value, score, dn_est−up_est)
+            for &v in int_vars {
+                debug_assert!(v < n);
+                let x = sol.values[v];
+                let dist = (x - x.round()).abs();
+                if dist > opts.int_tol {
+                    let f = x - x.floor();
+                    let pcd = if pc[v].down_cnt > 0 {
+                        pc[v].down_sum / pc[v].down_cnt as f64
+                    } else {
+                        gd
+                    };
+                    let pcu = if pc[v].up_cnt > 0 {
+                        pc[v].up_sum / pc[v].up_cnt as f64
+                    } else {
+                        gu
+                    };
+                    let dn_est = pcd * f;
+                    let up_est = pcu * (1.0 - f);
+                    let score = dn_est.min(up_est);
+                    if branch.map(|(_, _, s, _)| score > s).unwrap_or(true) {
+                        branch = Some((v, x, score, dn_est - up_est));
+                    }
+                }
             }
-        }
 
-        // Pseudocost branching: pick the fractional variable with the
-        // largest guaranteed (min of both directions) estimated bound
-        // degradation; with no statistics yet this reduces to plain
-        // most-fractional scoring.
-        let gd = if global_down.1 > 0 {
-            global_down.0 / global_down.1 as f64
-        } else {
-            1.0
-        };
-        let gu = if global_up.1 > 0 {
-            global_up.0 / global_up.1 as f64
-        } else {
-            1.0
-        };
-        let mut branch: Option<(usize, f64, f64, f64)> = None; // (var, value, score, dn_est−up_est)
-        for &v in int_vars {
-            debug_assert!(v < n);
-            let x = sol.values[v];
-            let dist = (x - x.round()).abs();
-            if dist > opts.int_tol {
-                let f = x - x.floor();
-                let pcd = if pc[v].down_cnt > 0 {
-                    pc[v].down_sum / pc[v].down_cnt as f64
-                } else {
-                    gd
-                };
-                let pcu = if pc[v].up_cnt > 0 {
-                    pc[v].up_sum / pc[v].up_cnt as f64
-                } else {
-                    gu
-                };
-                let dn_est = pcd * f;
-                let up_est = pcu * (1.0 - f);
-                let score = dn_est.min(up_est);
-                if branch.map(|(_, _, s, _)| score > s).unwrap_or(true) {
-                    branch = Some((v, x, score, dn_est - up_est));
+            match branch {
+                None => {
+                    // Integer feasible.
+                    if better(sol.objective, best_obj) {
+                        best_obj = Some(sol.objective);
+                        best_values = Some(sol.values);
+                    }
+                }
+                Some((v, x, _, est_diff)) => {
+                    // Both children warm-start from this node's optimal basis.
+                    let warm = Rc::new(solver.snapshot());
+                    let Node { lo, hi, .. } = node;
+                    let mut lo_up = lo.clone();
+                    let mut hi_dn = hi.clone();
+                    lo_up[v] = x.ceil();
+                    hi_dn[v] = x.floor();
+                    let up_ok = lo_up[v] <= hi[v] + opts.int_tol;
+                    let dn_ok = hi_dn[v] >= lo[v] - opts.int_tol;
+                    let f = x - x.floor();
+                    let up_node = up_ok.then(|| Node {
+                        lo: lo_up,
+                        hi: hi.clone(),
+                        warm: Some(warm.clone()),
+                        parent_bound: Some(sol.objective),
+                        branched: Some((v, true, 1.0 - f)),
+                    });
+                    let dn_node = dn_ok.then_some(Node {
+                        lo,
+                        hi: hi_dn,
+                        warm: Some(warm),
+                        parent_bound: Some(sol.objective),
+                        branched: Some((v, false, f)),
+                    });
+                    // Dive into the child with the smaller estimated
+                    // degradation first (LIFO: it is pushed last) — it keeps
+                    // the better bound and reaches good incumbents sooner.
+                    let dive_up = est_diff >= 0.0;
+                    let (first, second) = if dive_up {
+                        (dn_node, up_node)
+                    } else {
+                        (up_node, dn_node)
+                    };
+                    stack.extend(first);
+                    stack.extend(second);
                 }
             }
         }
 
-        match branch {
-            None => {
-                // Integer feasible.
-                if better(sol.objective, best_obj) {
-                    best_obj = Some(sol.objective);
-                    best_values = Some(sol.values);
-                }
-            }
-            Some((v, x, _, est_diff)) => {
-                // Both children warm-start from this node's optimal basis.
-                let warm = Rc::new(solver.snapshot());
-                let Node { lo, hi, .. } = node;
-                let mut lo_up = lo.clone();
-                let mut hi_dn = hi.clone();
-                lo_up[v] = x.ceil();
-                hi_dn[v] = x.floor();
-                let up_ok = lo_up[v] <= hi[v] + opts.int_tol;
-                let dn_ok = hi_dn[v] >= lo[v] - opts.int_tol;
-                let f = x - x.floor();
-                let up_node = up_ok.then(|| Node {
-                    lo: lo_up,
-                    hi: hi.clone(),
-                    warm: Some(warm.clone()),
-                    parent_bound: Some(sol.objective),
-                    branched: Some((v, true, 1.0 - f)),
-                });
-                let dn_node = dn_ok.then_some(Node {
-                    lo,
-                    hi: hi_dn,
-                    warm: Some(warm),
-                    parent_bound: Some(sol.objective),
-                    branched: Some((v, false, f)),
-                });
-                // Dive into the child with the smaller estimated
-                // degradation first (LIFO: it is pushed last) — it keeps
-                // the better bound and reaches good incumbents sooner.
-                let dive_up = est_diff >= 0.0;
-                let (first, second) = if dive_up {
-                    (dn_node, up_node)
-                } else {
-                    (up_node, dn_node)
-                };
-                stack.extend(first);
-                stack.extend(second);
-            }
+        MilpResult {
+            status: if best_obj.is_some() {
+                MilpStatus::Optimal
+            } else {
+                MilpStatus::Infeasible
+            },
+            objective: best_obj,
+            values: best_values,
+            nodes,
+            simplex_iterations,
         }
-    }
-
-    MilpResult {
-        status: if best_obj.is_some() {
-            MilpStatus::Optimal
-        } else {
-            MilpStatus::Infeasible
-        },
-        objective: best_obj,
-        values: best_values,
-        nodes,
-        simplex_iterations,
     }
 }
 
@@ -345,6 +458,79 @@ mod tests {
         let r = solve_milp(&lp, &[x], &MilpOptions::default());
         assert_eq!(r.status, MilpStatus::Optimal);
         assert!((r.objective.unwrap() - 3.0).abs() < 1e-6);
+    }
+
+    /// A binary knapsack family large enough that the tree has real work.
+    fn hard_knapsack(nv: usize) -> (LinearProgram, Vec<usize>) {
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let mut vars = Vec::new();
+        for k in 0..nv {
+            vars.push(lp.add_var(0.0, 1.0, 1.0 + 0.13 * k as f64));
+        }
+        let row_a: Vec<(usize, f64)> = vars
+            .iter()
+            .map(|&v| (v, 2.0 + (v as f64 * 0.71).sin().abs()))
+            .collect();
+        let row_b: Vec<(usize, f64)> = vars
+            .iter()
+            .map(|&v| (v, 1.0 + (v as f64 * 1.37).cos().abs() * 2.0))
+            .collect();
+        let cap_a = row_a.iter().map(|&(_, w)| w).sum::<f64>() * 0.5;
+        let cap_b = row_b.iter().map(|&(_, w)| w).sum::<f64>() * 0.5;
+        lp.add_row(RowSense::Le, cap_a, &row_a);
+        lp.add_row(RowSense::Le, cap_b, &row_b);
+        (lp, vars)
+    }
+
+    #[test]
+    fn expired_budget_returns_incumbent_not_error() {
+        let (lp, vars) = hard_knapsack(18);
+        let opts = MilpOptions {
+            time_budget: Some(std::time::Duration::ZERO),
+            ..MilpOptions::default()
+        };
+        let r = solve_milp(&lp, &vars, &opts);
+        // A zero budget expires before (or just after) the root: the search
+        // stops cleanly; any reported incumbent is integer feasible.
+        assert!(
+            matches!(r.status, MilpStatus::TimedOut),
+            "status {:?}",
+            r.status
+        );
+        assert!(r.status.incumbent_is_feasible() || r.objective.is_none());
+    }
+
+    #[test]
+    fn persistent_solver_resolves_identically() {
+        let (lp, vars) = hard_knapsack(12);
+        let reference = solve_milp(&lp, &vars, &MilpOptions::default());
+        assert_eq!(reference.status, MilpStatus::Optimal);
+
+        let mut solver = MilpSolver::new(&lp, &vars, MilpOptions::default());
+        for round in 0..3 {
+            let r = solver.solve();
+            assert_eq!(r.status, MilpStatus::Optimal, "round {round}");
+            assert_eq!(r.objective, reference.objective, "round {round}");
+            assert_eq!(r.values, reference.values, "round {round}");
+            assert_eq!(r.nodes, reference.nodes, "round {round}");
+        }
+    }
+
+    #[test]
+    fn budget_toggles_between_solves_on_one_solver() {
+        let (lp, vars) = hard_knapsack(18);
+        let mut solver = MilpSolver::new(&lp, &vars, MilpOptions::default());
+        solver.options_mut().time_budget = Some(std::time::Duration::ZERO);
+        let cut = solver.solve();
+        assert_eq!(cut.status, MilpStatus::TimedOut);
+        // Clearing the budget restores the full, proven-optimal search.
+        solver.options_mut().time_budget = None;
+        let full = solver.solve();
+        assert_eq!(full.status, MilpStatus::Optimal);
+        if let (Some(inc), Some(opt)) = (cut.objective, full.objective) {
+            assert!(inc <= opt + 1e-9, "incumbent {inc} above optimum {opt}");
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::lu::{SolveScratch, SparseLu};
 use crate::problem::{LinearProgram, RowSense};
 use crate::sparse::CscMatrix;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// Options controlling the simplex method.
 #[derive(Clone, Debug)]
@@ -80,6 +81,9 @@ pub enum LpStatus {
     Unbounded,
     /// Iteration limit hit before convergence.
     IterationLimit,
+    /// The solver's wall-clock deadline (see
+    /// [`SimplexSolver::set_deadline`]) expired mid-solve.
+    TimedOut,
     /// Numerical failure (singular basis after recovery attempts).
     Numerical,
 }
@@ -140,6 +144,10 @@ const REFILL_DECAY: f64 = 0.5;
 /// Snapshots fold eta files at least this long into a fresh LU; shorter
 /// files are cheaper to clone than to refactorise away.
 const SNAPSHOT_FOLD_ETAS: usize = 24;
+/// The iteration loop polls the wall-clock deadline whenever
+/// `iterations & DEADLINE_CHECK_MASK == 0` — every 64th iteration, keeping
+/// the `Instant::now` syscall off the per-pivot hot path.
+pub const DEADLINE_CHECK_MASK: usize = 63;
 
 /// Outcome of the warm-start feasibility repair.
 enum Repair {
@@ -199,6 +207,8 @@ pub struct SimplexSolver {
     iterations: usize,
     degenerate_streak: usize,
     bland: bool,
+    /// Wall-clock cutoff checked periodically in the iteration loop.
+    deadline: Option<Instant>,
 }
 
 /// Solves `lp` with the given structural-variable bounds (callers may
@@ -291,12 +301,54 @@ impl SimplexSolver {
             iterations: 0,
             degenerate_streak: 0,
             bland: false,
+            deadline: None,
         }
     }
 
     /// The options this solver was built with.
     pub fn options(&self) -> &SimplexOptions {
         &self.opts
+    }
+
+    /// Sets (or clears) a wall-clock deadline. The iteration loop checks it
+    /// every [`DEADLINE_CHECK_MASK`]+1 iterations and aborts the solve with
+    /// [`LpStatus::TimedOut`] once it has passed; the deadline persists
+    /// across [`SimplexSolver::solve_from`] calls until cleared, which lets
+    /// branch & bound install one deadline for a whole tree.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Returns the solver to its just-constructed state: basis, variable
+    /// statuses, factorisation, pricing caches and FTRAN scratch are all
+    /// reset, while the assembled matrix, column norms and buffer
+    /// allocations are retained.
+    ///
+    /// Two jobs: (1) a persistent solver that is reset before each root
+    /// solve replays **bit-identically** to a freshly built one — the
+    /// surviving pricing state could otherwise steer degenerate pivots
+    /// down a different (equally optimal) path; (2) a solve aborted
+    /// mid-pivot by the deadline can leave the FTRAN scratch violating
+    /// its between-solve invariants, which the reset re-establishes.
+    pub fn reset_state(&mut self) {
+        self.status.fill(VarStatus::AtLower);
+        self.basis.fill(0);
+        self.xb.fill(0.0);
+        self.lu = None;
+        self.etas.clear();
+        self.dense_a.fill(0.0);
+        self.dense_b.fill(0.0);
+        self.y.fill(0.0);
+        self.fb.fill(0.0);
+        self.t.fill(0.0);
+        self.t_pattern.clear();
+        self.t_mark.fill(false);
+        self.cand.clear();
+        self.scan_cursor = 0;
+        self.refill_floor = 0.0;
+        self.iterations = 0;
+        self.degenerate_streak = 0;
+        self.bland = false;
     }
 
     /// Captures the current basis and variable statuses for warm-starting a
@@ -689,6 +741,13 @@ impl SimplexSolver {
         loop {
             if self.iterations >= max_iters {
                 return Err(LpStatus::IterationLimit);
+            }
+            if self.iterations & DEADLINE_CHECK_MASK == 0 {
+                if let Some(d) = self.deadline {
+                    if Instant::now() >= d {
+                        return Err(LpStatus::TimedOut);
+                    }
+                }
             }
             self.iterations += 1;
 

@@ -23,7 +23,7 @@
 //! * aggregate rows (6) are dropped when even the sum of *all* services'
 //!   `rᵃ + nᵃ` fits.
 
-use crate::milp::{solve_milp, MilpOptions, MilpResult, MilpStatus};
+use crate::milp::{solve_milp, MilpOptions, MilpResult, MilpSolver, MilpStatus};
 use crate::problem::{LinearProgram, RowSense, VarId};
 use crate::simplex::{LpStatus, SimplexOptions};
 use vmplace_model::{Placement, ProblemInstance};
@@ -211,9 +211,24 @@ impl YieldLp {
         solve_milp(&self.lp, &self.integer_vars(), opts)
     }
 
+    /// Builds a persistent [`MilpSolver`] for this model: a long-lived
+    /// service keeps it alive across re-solves of the same instance
+    /// (tightened budgets, repeated queries) so the simplex state is
+    /// assembled only once.
+    pub fn exact_solver(&self, opts: MilpOptions) -> MilpSolver {
+        MilpSolver::new(&self.lp, &self.integer_vars(), opts)
+    }
+
     /// Decodes a [`MilpResult`] of this model into a placement + yield.
+    ///
+    /// Accepts proven optima and — for callers that opted into anytime
+    /// semantics by setting a wall-clock budget — `TimedOut` incumbents
+    /// (feasible placements without an optimality proof). A `NodeLimit`
+    /// result still decodes to `None`: the node budget is a safety net,
+    /// and experiments treat `solve_exact` results as ground truth, so a
+    /// silently suboptimal "exact" answer would be worse than no answer.
     pub fn decode_milp(&self, result: MilpResult) -> Option<(Placement, f64)> {
-        if result.status != MilpStatus::Optimal {
+        if !matches!(result.status, MilpStatus::Optimal | MilpStatus::TimedOut) {
             return None;
         }
         let values = result.values?;

@@ -34,6 +34,13 @@ pub enum ModelError {
         /// The invalid node index.
         node: usize,
     },
+    /// A workload delta refers to a service index outside the instance.
+    ServiceOutOfRange {
+        /// The invalid service index.
+        service: usize,
+        /// Number of services in the instance.
+        len: usize,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -51,6 +58,12 @@ impl fmt::Display for ModelError {
             ModelError::EmptyInstance => write!(f, "instance has no nodes or no services"),
             ModelError::NodeOutOfRange { service, node } => {
                 write!(f, "service {service} placed on nonexistent node {node}")
+            }
+            ModelError::ServiceOutOfRange { service, len } => {
+                write!(
+                    f,
+                    "delta refers to service {service} but the instance has {len}"
+                )
             }
         }
     }

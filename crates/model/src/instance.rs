@@ -78,6 +78,18 @@ impl ProblemInstance {
         ProblemInstance::new(self.nodes.clone(), services)
     }
 
+    /// Internal constructor for delta application: reuses this instance's
+    /// (already validated) platform with a service list whose changed
+    /// members the caller has validated individually.
+    pub(crate) fn with_same_platform(&self, services: Vec<Service>) -> ProblemInstance {
+        debug_assert!(!services.is_empty());
+        ProblemInstance {
+            nodes: self.nodes.clone(),
+            services,
+            dims: self.dims,
+        }
+    }
+
     /// Whether a service's rigid requirements can be satisfied on a node
     /// that is otherwise empty (elementary and aggregate, every dimension).
     pub fn service_fits_empty_node(&self, j: usize, h: usize) -> bool {

@@ -51,17 +51,47 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+fn fmt_vec(v: &ResourceVector) -> String {
+    v.as_slice()
+        .iter()
+        .map(|x| format!("{x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Serialises the four descriptor vectors of a service as the text
+/// format's `|`-separated body (everything after the `service` keyword).
+/// Round-trips exactly through [`parse_service_body`].
+pub fn write_service_body(s: &Service) -> String {
+    format!(
+        "{} | {} | {} | {}",
+        fmt_vec(&s.req_elem),
+        fmt_vec(&s.req_agg),
+        fmt_vec(&s.need_elem),
+        fmt_vec(&s.need_agg)
+    )
+}
+
+/// Parses a service from its `|`-separated body (see
+/// [`write_service_body`]); `line` feeds error positions.
+pub fn parse_service_body(body: &str, dims: usize, line: usize) -> Result<Service, ParseError> {
+    let mut v = parse_sections(body, 4, dims, line)?;
+    let need_agg = v.pop().unwrap();
+    let need_elem = v.pop().unwrap();
+    let req_agg = v.pop().unwrap();
+    let req_elem = v.pop().unwrap();
+    Ok(Service {
+        req_elem,
+        req_agg,
+        need_elem,
+        need_agg,
+    })
+}
+
 /// Serialises an instance to the text format.
 pub fn write_instance(instance: &ProblemInstance) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "dims {}", instance.dims());
-    let fmt_vec = |v: &ResourceVector| -> String {
-        v.as_slice()
-            .iter()
-            .map(|x| format!("{x}"))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
     for n in instance.nodes() {
         let _ = writeln!(
             out,
@@ -71,14 +101,7 @@ pub fn write_instance(instance: &ProblemInstance) -> String {
         );
     }
     for s in instance.services() {
-        let _ = writeln!(
-            out,
-            "service {} | {} | {} | {}",
-            fmt_vec(&s.req_elem),
-            fmt_vec(&s.req_agg),
-            fmt_vec(&s.need_elem),
-            fmt_vec(&s.need_agg)
-        );
+        let _ = writeln!(out, "service {}", write_service_body(s));
     }
     out
 }
@@ -157,17 +180,7 @@ pub fn read_instance(text: &str) -> Result<ProblemInstance, ParseError> {
                     line,
                     what: "`dims` must come first".to_string(),
                 })?;
-                let mut v = parse_sections(rest, 4, d, line)?;
-                let need_agg = v.pop().unwrap();
-                let need_elem = v.pop().unwrap();
-                let req_agg = v.pop().unwrap();
-                let req_elem = v.pop().unwrap();
-                services.push(Service {
-                    req_elem,
-                    req_agg,
-                    need_elem,
-                    need_agg,
-                });
+                services.push(parse_service_body(rest, d, line)?);
             }
             other => {
                 return Err(ParseError::UnknownDirective {

@@ -33,6 +33,7 @@ mod instance;
 pub mod io;
 mod node;
 mod placement;
+mod request;
 mod service;
 mod vector;
 mod yield_eval;
@@ -41,6 +42,7 @@ pub use error::ModelError;
 pub use instance::{InstanceStats, ProblemInstance};
 pub use node::Node;
 pub use placement::{Placement, Solution};
+pub use request::{AllocRequest, AllocResponse, RequestKind, RequestOutcome, WorkloadDelta};
 pub use service::Service;
 pub use vector::ResourceVector;
 pub use yield_eval::{evaluate_placement, node_max_min_level, NodeYield};

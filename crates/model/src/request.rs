@@ -1,0 +1,306 @@
+//! Allocation-service request/response types and workload deltas.
+//!
+//! A long-lived allocator is invoked repeatedly as workloads arrive and
+//! change; these types describe one such invocation. A *stream* is a
+//! sequence of requests against one evolving instance: it opens with a
+//! full [`RequestKind::New`] instance, evolves through
+//! [`RequestKind::Delta`] mutations (service arrival, departure,
+//! demand change) and can be re-solved in place with
+//! [`RequestKind::Resolve`] (e.g. under a tightened wall-clock budget).
+//! Requests in different streams are independent; requests within a
+//! stream must be applied in order.
+
+use crate::{ModelError, ProblemInstance, Service, Solution};
+use std::time::Duration;
+
+/// A change to the service set of a running instance.
+///
+/// `scale_need` and `remove` index services of the *current* instance
+/// (before this delta); removals are applied as a set, then surviving
+/// services keep their relative order and `add` appends at the end. This
+/// keeps the service list of a delta chain identical to the list obtained
+/// by building the final instance from scratch in the same order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkloadDelta {
+    /// Multiply the fluid needs (elementary and aggregate, every
+    /// dimension) of service `j` by `factor` — a demand change.
+    pub scale_need: Vec<(usize, f64)>,
+    /// Services departing (indices into the current instance).
+    pub remove: Vec<usize>,
+    /// Services arriving (appended after removals).
+    pub add: Vec<Service>,
+}
+
+impl WorkloadDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.scale_need.is_empty() && self.remove.is_empty() && self.add.is_empty()
+    }
+}
+
+impl ProblemInstance {
+    /// Applies a workload delta, producing the successor instance.
+    ///
+    /// Only the affected services are rebuilt and re-validated — the
+    /// platform and every untouched service are reused as-is, so applying
+    /// a delta is `O(changed + J)` rather than a full instance
+    /// construction with `O((H + J) · D)` validation.
+    pub fn apply_delta(&self, delta: &WorkloadDelta) -> Result<ProblemInstance, ModelError> {
+        let j_count = self.num_services();
+        let mut services: Vec<Service> = self.services().to_vec();
+
+        for &(j, factor) in &delta.scale_need {
+            if j >= j_count {
+                return Err(ModelError::ServiceOutOfRange {
+                    service: j,
+                    len: j_count,
+                });
+            }
+            if !(factor.is_finite() && factor >= 0.0) {
+                return Err(ModelError::InvalidValue {
+                    what: "need scale factor",
+                    value: factor,
+                });
+            }
+            let s = &mut services[j];
+            s.need_elem.scale_assign(factor);
+            s.need_agg.scale_assign(factor);
+            s.validate(&j.to_string())?;
+        }
+
+        if !delta.remove.is_empty() {
+            let mut keep = vec![true; j_count];
+            for &j in &delta.remove {
+                if j >= j_count {
+                    return Err(ModelError::ServiceOutOfRange {
+                        service: j,
+                        len: j_count,
+                    });
+                }
+                keep[j] = false;
+            }
+            let mut idx = 0;
+            services.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                k
+            });
+        }
+
+        for (k, s) in delta.add.iter().enumerate() {
+            if s.dims() != self.dims() {
+                return Err(ModelError::DimensionMismatch {
+                    expected: self.dims(),
+                    actual: s.dims(),
+                });
+            }
+            s.validate(&format!("+{k}"))?;
+            services.push(s.clone());
+        }
+
+        if services.is_empty() {
+            return Err(ModelError::EmptyInstance);
+        }
+        Ok(self.with_same_platform(services))
+    }
+}
+
+/// What an [`AllocRequest`] asks the allocator to do.
+#[derive(Clone, Debug)]
+pub enum RequestKind {
+    /// Open (or replace) the stream's instance and solve it from scratch.
+    New(ProblemInstance),
+    /// Mutate the stream's current instance and re-solve warm.
+    Delta(WorkloadDelta),
+    /// Re-solve the stream's current instance unchanged (typically with a
+    /// different wall-clock budget).
+    Resolve,
+}
+
+/// One unit of work for the allocation service.
+#[derive(Clone, Debug)]
+pub struct AllocRequest {
+    /// Caller-chosen identifier echoed in the response (unique per trace).
+    pub id: u64,
+    /// Stream this request belongs to (requests within a stream are
+    /// processed in submission order; streams are independent).
+    pub stream: u64,
+    /// The work itself.
+    pub kind: RequestKind,
+    /// Optional wall-clock budget for this solve (overrides the service
+    /// default); the best feasible incumbent found in time is returned.
+    pub budget: Option<Duration>,
+}
+
+/// How a request ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Solved to the algorithm's normal termination.
+    Solved,
+    /// Some rigid requirement cannot be satisfied.
+    Infeasible,
+    /// The wall-clock budget expired; `solution` carries the best feasible
+    /// incumbent found in time, if any.
+    TimedOut,
+    /// The request was malformed (delta on an empty stream, index out of
+    /// range, …) and no solve was attempted.
+    Rejected,
+}
+
+/// The allocator's answer to one [`AllocRequest`].
+#[derive(Clone, Debug)]
+pub struct AllocResponse {
+    /// Echo of [`AllocRequest::id`].
+    pub id: u64,
+    /// Echo of [`AllocRequest::stream`].
+    pub stream: u64,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+    /// The placement and achieved yields, when one was found.
+    pub solution: Option<Solution>,
+    /// Label of the winning portfolio member, when the solve ran on the
+    /// portfolio engine.
+    pub winner: Option<String>,
+    /// Total packing probes (or trials / B&B nodes) spent on the request.
+    pub probes: u64,
+    /// Wall-clock time spent solving this request.
+    pub wall: Duration,
+    /// Rejection detail for [`RequestOutcome::Rejected`].
+    pub error: Option<String>,
+}
+
+impl AllocResponse {
+    /// A rejection response (no solve was attempted).
+    pub fn rejected(id: u64, stream: u64, error: String) -> AllocResponse {
+        AllocResponse {
+            id,
+            stream,
+            outcome: RequestOutcome::Rejected,
+            solution: None,
+            winner: None,
+            probes: 0,
+            wall: Duration::ZERO,
+            error: Some(error),
+        }
+    }
+
+    /// The achieved minimum yield, when a solution was found.
+    pub fn min_yield(&self) -> Option<f64> {
+        self.solution.as_ref().map(|s| s.min_yield)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Node, ResourceVector};
+
+    fn base() -> ProblemInstance {
+        let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
+        let mk = |cpu: f64, mem: f64| {
+            Service::new(
+                vec![cpu / 2.0, mem],
+                vec![cpu, mem],
+                vec![cpu / 2.0, 0.0],
+                vec![cpu, 0.0],
+            )
+        };
+        let services = vec![mk(0.2, 0.1), mk(0.3, 0.2), mk(0.1, 0.05)];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn delta_matches_from_scratch_build() {
+        let inst = base();
+        let arriving = Service::rigid(vec![0.05, 0.05], vec![0.05, 0.05]);
+        let delta = WorkloadDelta {
+            scale_need: vec![(0, 0.5)],
+            remove: vec![1],
+            add: vec![arriving.clone()],
+        };
+        let next = inst.apply_delta(&delta).unwrap();
+
+        // Same list as scaling + filtering + appending by hand.
+        let mut expect = inst.services().to_vec();
+        expect[0].need_elem.scale_assign(0.5);
+        expect[0].need_agg.scale_assign(0.5);
+        expect.remove(1);
+        expect.push(arriving);
+        assert_eq!(next.services(), &expect[..]);
+        assert_eq!(next.nodes(), inst.nodes());
+        assert_eq!(next.num_services(), 3);
+    }
+
+    #[test]
+    fn delta_chain_equals_fresh_instance() {
+        let inst = base();
+        let d1 = WorkloadDelta {
+            remove: vec![2],
+            ..WorkloadDelta::default()
+        };
+        let d2 = WorkloadDelta {
+            scale_need: vec![(1, 1.5)],
+            add: vec![Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1])],
+            ..WorkloadDelta::default()
+        };
+        let chained = inst.apply_delta(&d1).unwrap().apply_delta(&d2).unwrap();
+        let fresh = ProblemInstance::new(chained.nodes().to_vec(), chained.services().to_vec())
+            .expect("chained instance validates fully");
+        assert_eq!(fresh.services(), chained.services());
+    }
+
+    #[test]
+    fn delta_rejects_bad_indices_and_factors() {
+        let inst = base();
+        let bad_remove = WorkloadDelta {
+            remove: vec![7],
+            ..WorkloadDelta::default()
+        };
+        assert!(matches!(
+            inst.apply_delta(&bad_remove),
+            Err(ModelError::ServiceOutOfRange { service: 7, len: 3 })
+        ));
+        let bad_scale = WorkloadDelta {
+            scale_need: vec![(0, f64::NAN)],
+            ..WorkloadDelta::default()
+        };
+        assert!(matches!(
+            inst.apply_delta(&bad_scale),
+            Err(ModelError::InvalidValue { .. })
+        ));
+        let empty = WorkloadDelta {
+            remove: vec![0, 1, 2],
+            ..WorkloadDelta::default()
+        };
+        assert!(matches!(
+            inst.apply_delta(&empty),
+            Err(ModelError::EmptyInstance)
+        ));
+    }
+
+    #[test]
+    fn delta_rejects_mismatched_arrival_dims() {
+        let inst = base();
+        let delta = WorkloadDelta {
+            add: vec![Service::rigid(
+                ResourceVector::new(vec![0.1]),
+                ResourceVector::new(vec![0.1]),
+            )],
+            ..WorkloadDelta::default()
+        };
+        assert!(matches!(
+            inst.apply_delta(&delta),
+            Err(ModelError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_removals_are_a_set() {
+        let inst = base();
+        let delta = WorkloadDelta {
+            remove: vec![1, 1],
+            ..WorkloadDelta::default()
+        };
+        assert_eq!(inst.apply_delta(&delta).unwrap().num_services(), 2);
+    }
+}

@@ -98,6 +98,13 @@ impl ResourceVector {
         }
     }
 
+    /// In-place uniform scaling `self *= factor`.
+    pub fn scale_assign(&mut self, factor: f64) {
+        for a in self.values.iter_mut() {
+            *a *= factor;
+        }
+    }
+
     /// In-place component-wise `self -= other`.
     pub fn sub_assign(&mut self, other: &ResourceVector) {
         debug_assert_eq!(self.dims(), other.dims());

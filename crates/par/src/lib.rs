@@ -259,6 +259,32 @@ where
 /// already inside a parallel region (nested-parallelism guard).
 pub fn portfolio_run<S, R, I, F>(members: usize, threads: usize, init: I, run: F) -> Vec<R>
 where
+    S: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let mut states = Vec::new();
+    portfolio_run_pooled(members, threads, &mut states, init, run)
+}
+
+/// As [`portfolio_run`], but worker states live in the caller: `states` is
+/// topped up with `init` to the effective worker count and each worker
+/// exclusively borrows one state for the run.
+///
+/// A long-lived caller (the allocation service's resident workers) passes
+/// the same vector to every solve, so packing scratch built on the first
+/// request is reused by every later one — the pooled counterpart of the
+/// per-call scratch in [`portfolio_run`].
+pub fn portfolio_run_pooled<S, R, I, F>(
+    members: usize,
+    threads: usize,
+    states: &mut Vec<S>,
+    init: I,
+    run: F,
+) -> Vec<R>
+where
+    S: Send,
     R: Send,
     I: Fn() -> S + Sync,
     F: Fn(usize, &mut S) -> R + Sync,
@@ -267,9 +293,12 @@ where
         return Vec::new();
     }
     let threads = effective_threads(threads, members);
+    while states.len() < threads {
+        states.push(init());
+    }
     if threads == 1 {
-        let mut state = init();
-        return (0..members).map(|i| run(i, &mut state)).collect();
+        let state = &mut states[0];
+        return (0..members).map(|i| run(i, state)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -278,24 +307,26 @@ where
     let slots = Mutex::new(&mut slots);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                as_worker(|| {
-                    let mut state = init();
+        let next = &next;
+        let slots = &slots;
+        let run = &run;
+        for state in states.iter_mut().take(threads) {
+            scope.spawn(move || {
+                as_worker(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= members {
                             break;
                         }
-                        local.push((i, run(i, &mut state)));
+                        local.push((i, run(i, state)));
                         // Portfolio members are coarse; publish eagerly so
                         // the buffer never grows large.
                         if local.len() >= 8 {
-                            drain(&slots, &mut local);
+                            drain(slots, &mut local);
                         }
                     }
-                    drain(&slots, &mut local);
+                    drain(slots, &mut local);
                 })
             });
         }
@@ -502,6 +533,37 @@ mod tests {
             );
             assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn pooled_states_survive_across_runs() {
+        // Two consecutive runs share the same state vector; counters keep
+        // growing, proving the second run reused the first run's states.
+        let mut states: Vec<u64> = Vec::new();
+        for round in 1..=2u64 {
+            let out = portfolio_run_pooled(
+                10,
+                2,
+                &mut states,
+                || 0u64,
+                |_, s| {
+                    *s += 1;
+                    *s
+                },
+            );
+            assert_eq!(out.len(), 10);
+            let total: u64 = states.iter().sum();
+            assert_eq!(total, 10 * round, "states reset between runs");
+        }
+        assert_eq!(states.len(), 2);
+    }
+
+    #[test]
+    fn pooled_single_thread_uses_first_state() {
+        let mut states: Vec<u32> = vec![100];
+        let out = portfolio_run_pooled(3, 1, &mut states, || 0, |i, s| *s + i as u32);
+        assert_eq!(out, vec![100, 101, 102]);
+        assert_eq!(states.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Stream-affine routing and request batching.
+
+use vmplace_model::AllocRequest;
+
+/// A group of consecutive same-stream requests bound for one worker.
+#[derive(Debug)]
+pub struct Batch {
+    /// Index of the worker that must process the batch (stream affinity:
+    /// `stream % workers`).
+    pub worker: usize,
+    /// The requests, in submission order.
+    pub requests: Vec<AllocRequest>,
+}
+
+/// Routes requests to workers and coalesces bursts.
+///
+/// Two invariants make pooled replay deterministic:
+///
+/// 1. **Affinity** — every request of a stream maps to the same worker
+///    (`stream % workers`), so per-stream warm state never migrates;
+/// 2. **Order** — batches are emitted in submission order and each
+///    worker's channel is FIFO, so a stream's requests are processed in
+///    the order they arrived.
+///
+/// Batching itself is a throughput optimisation: a burst of requests
+/// against one stream travels as one message and hits the worker's
+/// per-stream caches back-to-back (the exact path's built model, the warm
+/// yield hint) without interleaved cache evictions.
+#[derive(Clone, Debug)]
+pub struct Dispatcher {
+    workers: usize,
+}
+
+impl Dispatcher {
+    /// A dispatcher for `workers` resident workers (at least 1).
+    pub fn new(workers: usize) -> Dispatcher {
+        Dispatcher {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker a stream is pinned to.
+    pub fn worker_of(&self, stream: u64) -> usize {
+        (stream % self.workers as u64) as usize
+    }
+
+    /// Splits `requests` into batches: maximal runs of consecutive
+    /// same-stream requests, each tagged with its worker.
+    pub fn batch(&self, requests: Vec<AllocRequest>) -> Vec<Batch> {
+        let mut batches: Vec<Batch> = Vec::new();
+        for req in requests {
+            match batches.last_mut() {
+                Some(batch) if batch.requests.last().map(|r| r.stream) == Some(req.stream) => {
+                    batch.requests.push(req);
+                }
+                _ => batches.push(Batch {
+                    worker: self.worker_of(req.stream),
+                    requests: vec![req],
+                }),
+            }
+        }
+        batches
+    }
+}
+
+/// Convenience: batch `requests` for `workers` workers.
+pub fn batch_requests(requests: Vec<AllocRequest>, workers: usize) -> Vec<Batch> {
+    Dispatcher::new(workers).batch(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::RequestKind;
+
+    fn req(id: u64, stream: u64) -> AllocRequest {
+        AllocRequest {
+            id,
+            stream,
+            kind: RequestKind::Resolve,
+            budget: None,
+        }
+    }
+
+    #[test]
+    fn coalesces_consecutive_same_stream_runs() {
+        let reqs = vec![req(0, 0), req(1, 0), req(2, 1), req(3, 0), req(4, 0)];
+        let batches = batch_requests(reqs, 2);
+        let shape: Vec<(usize, Vec<u64>)> = batches
+            .iter()
+            .map(|b| (b.worker, b.requests.iter().map(|r| r.id).collect()))
+            .collect();
+        assert_eq!(shape, vec![(0, vec![0, 1]), (1, vec![2]), (0, vec![3, 4])]);
+    }
+
+    #[test]
+    fn affinity_is_stable_modulo_workers() {
+        let d = Dispatcher::new(3);
+        for stream in 0..20u64 {
+            assert_eq!(d.worker_of(stream), (stream % 3) as usize);
+            assert!(d.worker_of(stream) < 3);
+        }
+        // Degenerate worker counts clamp to 1.
+        assert_eq!(Dispatcher::new(0).worker_of(17), 0);
+    }
+
+    #[test]
+    fn order_within_stream_is_preserved() {
+        let reqs: Vec<AllocRequest> = (0..30).map(|i| req(i, i % 4)).collect();
+        let batches = batch_requests(reqs, 2);
+        let mut last_id = [None::<u64>; 4];
+        for b in &batches {
+            for r in &b.requests {
+                let slot = &mut last_id[r.stream as usize];
+                assert!(slot.map(|p| p < r.id).unwrap_or(true));
+                *slot = Some(r.id);
+            }
+        }
+    }
+}

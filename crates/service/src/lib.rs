@@ -1,0 +1,59 @@
+//! The long-lived allocation service: a resident solver pool fed by a
+//! stream-affine dispatcher.
+//!
+//! The paper's allocator is a one-shot solve; a hosting platform invokes
+//! it continuously as services arrive, depart and change their demands.
+//! Re-paying the per-invocation setup — roster construction, packing
+//! scratch, simplex assembly, a cold binary search from `[0, 1]` — on
+//! every request dominates the useful work long before the solver itself
+//! does. This crate restructures the solve path into a service:
+//!
+//! ```text
+//!   AllocRequest stream
+//!         │
+//!     Dispatcher     — stream-affine routing + batching of
+//!         │            consecutive same-stream requests
+//!   ┌─────┴─────┐
+//!   ▼           ▼
+//! Worker 0 … Worker W   — resident threads, each owning an
+//!   │           │         EngineHandle (roster + SolveCtx with
+//!   │           │         long-lived packing workspaces) and, for
+//!   │           │         the exact path, a persistent MilpSolver
+//!   └─────┬─────┘
+//!         ▼
+//!   AllocResponse per request (winner, probes, wall, outcome)
+//! ```
+//!
+//! * **Streams** are independent chains of requests against one evolving
+//!   instance (`New` → `Delta`* → `Resolve`*). All requests of a stream
+//!   go to the same worker in submission order, so per-stream warm state
+//!   (the current instance and the last achieved yield, which seeds the
+//!   next solve's binary searches) never crosses threads — results are
+//!   **bit-for-bit identical** for 1 and N workers on unbudgeted traces.
+//! * **Batching**: consecutive same-stream requests travel as one
+//!   [`Batch`], so a burst of deltas against one instance pays one
+//!   dispatch and keeps the worker's per-stream caches hot (notably the
+//!   exact path's built `YieldLp` + [`vmplace_lp::MilpSolver`]).
+//! * **Deadlines** plumb all the way down: a request budget becomes the
+//!   engine's probe-boundary cutoff, the MILP tree's node-loop cutoff and
+//!   the simplex iteration-loop cutoff — a timed-out request still
+//!   surfaces the best feasible incumbent found in time.
+//!
+//! [`replay_oneshot`] is the reference path: the same request semantics
+//! executed with a fresh solver per request and fully re-validated
+//! instances — what a caller without this crate would do. The
+//! differential test suite pins `SolverPool` replays to it bit-for-bit;
+//! the service bench measures the amortisation gap against it.
+
+#![warn(missing_docs)]
+
+mod dispatch;
+mod pool;
+mod reference;
+pub mod trace_io;
+mod worker;
+
+pub use dispatch::{batch_requests, Batch, Dispatcher};
+pub use pool::SolverPool;
+pub use reference::replay_oneshot;
+pub use worker::{ServiceAlgo, ServiceConfig, Worker};

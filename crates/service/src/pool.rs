@@ -1,0 +1,214 @@
+//! The resident solver pool: one long-lived thread per worker.
+
+use crate::dispatch::Dispatcher;
+use crate::worker::{ServiceConfig, Worker};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use vmplace_model::{AllocRequest, AllocResponse};
+
+/// A pool of resident solver workers.
+///
+/// Workers are spawned once, each building its engine (roster, packing
+/// workspaces, persistent simplex) a single time; requests then stream
+/// through per-worker FIFO channels. Streams are sharded by
+/// `stream % workers` (see [`Dispatcher`]), so replaying a trace through
+/// 1 or N workers produces identical responses on unbudgeted traces —
+/// the differential suite in `tests/integration_service.rs` pins this.
+///
+/// ```
+/// use vmplace_service::{ServiceConfig, SolverPool};
+/// use vmplace_model::{AllocRequest, RequestKind, Node, ProblemInstance, Service};
+///
+/// let inst = ProblemInstance::new(
+///     vec![Node::multicore(2, 1.0, 1.0)],
+///     vec![Service::rigid(vec![0.2, 0.2], vec![0.2, 0.2])],
+/// )
+/// .unwrap();
+/// let mut pool = SolverPool::new(&ServiceConfig { workers: 2, ..ServiceConfig::default() });
+/// let responses = pool.replay(vec![AllocRequest {
+///     id: 0,
+///     stream: 0,
+///     kind: RequestKind::New(inst),
+///     budget: None,
+/// }]);
+/// assert_eq!(responses.len(), 1);
+/// assert!(responses[0].solution.is_some());
+/// ```
+pub struct SolverPool {
+    dispatcher: Dispatcher,
+    senders: Vec<Sender<Vec<AllocRequest>>>,
+    results: Receiver<AllocResponse>,
+    handles: Vec<JoinHandle<()>>,
+    pending: usize,
+}
+
+impl SolverPool {
+    /// Spawns `config.workers` resident workers.
+    pub fn new(config: &ServiceConfig) -> SolverPool {
+        let workers = config.workers.max(1);
+        let dispatcher = Dispatcher::new(workers);
+        let (result_tx, results) = channel::<AllocResponse>();
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = channel::<Vec<AllocRequest>>();
+            let result_tx = result_tx.clone();
+            let config = config.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut worker = Worker::new(&config);
+                while let Ok(batch) = rx.recv() {
+                    for request in batch {
+                        // A closed result channel means the pool is gone;
+                        // finish quietly.
+                        if result_tx.send(worker.process(request)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }));
+            senders.push(tx);
+        }
+        SolverPool {
+            dispatcher,
+            senders,
+            results,
+            handles,
+            pending: 0,
+        }
+    }
+
+    /// Enqueues requests without waiting: they are batched (consecutive
+    /// same-stream runs) and routed to their streams' workers. Pair with
+    /// [`SolverPool::collect`].
+    pub fn submit(&mut self, requests: Vec<AllocRequest>) {
+        for batch in self.dispatcher.batch(requests) {
+            self.pending += batch.requests.len();
+            self.senders[batch.worker]
+                .send(batch.requests)
+                .expect("worker thread alive while pool exists");
+        }
+    }
+
+    /// Waits for every submitted request and returns the responses sorted
+    /// by request id (arrival order across workers is nondeterministic;
+    /// ids are not).
+    pub fn collect(&mut self) -> Vec<AllocResponse> {
+        let mut out = Vec::with_capacity(self.pending);
+        for _ in 0..self.pending {
+            out.push(self.results.recv().expect("workers alive"));
+        }
+        self.pending = 0;
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Drives a whole trace through the pool: submit, then collect.
+    pub fn replay(&mut self, trace: Vec<AllocRequest>) -> Vec<AllocResponse> {
+        self.submit(trace);
+        self.collect()
+    }
+
+    /// Number of resident workers.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Shuts the pool down, joining every worker thread.
+    pub fn shutdown(mut self) {
+        self.senders.clear(); // closes the request channels
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SolverPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{Node, ProblemInstance, RequestKind, RequestOutcome, Service};
+
+    fn instance(seed: u64) -> ProblemInstance {
+        let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.4, 0.6)];
+        let f = 0.8 + (seed as f64) * 0.05;
+        let mk = |rc: f64, nc: f64, mem: f64| {
+            Service::new(
+                vec![rc / 2.0, mem],
+                vec![rc, mem],
+                vec![nc / 2.0, 0.0],
+                vec![nc, 0.0],
+            )
+        };
+        let services = vec![
+            mk(0.2, 0.6 * f, 0.3),
+            mk(0.1, 0.5 * f, 0.4),
+            mk(0.15, 0.7 * f, 0.2),
+        ];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    #[test]
+    fn pool_answers_every_request_in_id_order() {
+        let mut pool = SolverPool::new(&ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        });
+        let trace: Vec<AllocRequest> = (0..9u64)
+            .map(|id| AllocRequest {
+                id,
+                stream: id % 3,
+                kind: if id < 3 {
+                    RequestKind::New(instance(id))
+                } else {
+                    RequestKind::Resolve
+                },
+                budget: None,
+            })
+            .collect();
+        let responses = pool.replay(trace);
+        assert_eq!(responses.len(), 9);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert_eq!(r.outcome, RequestOutcome::Solved);
+            assert!(r.min_yield().unwrap() > 0.0);
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn incremental_submit_collect_cycles() {
+        let mut pool = SolverPool::new(&ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        pool.submit(vec![AllocRequest {
+            id: 0,
+            stream: 7,
+            kind: RequestKind::New(instance(0)),
+            budget: None,
+        }]);
+        let first = pool.collect();
+        assert_eq!(first.len(), 1);
+        let y0 = first[0].min_yield().unwrap();
+
+        // The second cycle reuses the same resident worker and its warm
+        // stream state.
+        pool.submit(vec![AllocRequest {
+            id: 1,
+            stream: 7,
+            kind: RequestKind::Resolve,
+            budget: None,
+        }]);
+        let second = pool.collect();
+        assert_eq!(second.len(), 1);
+        assert!(second[0].min_yield().unwrap() >= y0 - 1e-9);
+    }
+}

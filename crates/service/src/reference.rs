@@ -1,0 +1,133 @@
+//! The independent one-shot reference path.
+//!
+//! [`replay_oneshot`] executes the *same request semantics* as a
+//! [`crate::SolverPool`] replay, but the way a caller without this crate
+//! would: a **fresh engine per request** (roster, context and — for the
+//! exact path — simplex built from scratch every time) and instances
+//! **rebuilt and fully re-validated** from their service lists instead of
+//! mutated through [`vmplace_model::ProblemInstance::apply_delta`]'s
+//! affected-services-only fast path.
+//!
+//! It exists for two reasons:
+//!
+//! * **correctness** — the differential suite pins pooled replays to this
+//!   path bit-for-bit (same yields, placements, winners and outcomes on
+//!   unbudgeted traces), which simultaneously validates stream sharding,
+//!   batching, delta application and warm seeding;
+//! * **measurement** — it is the cold baseline the service bench
+//!   amortises against (`BENCH_service.json`).
+
+use crate::worker::{ServiceConfig, WorkerEngine};
+use std::collections::HashMap;
+use std::time::Instant;
+use vmplace_model::{AllocRequest, AllocResponse, ProblemInstance, RequestKind, RequestOutcome};
+
+struct StreamChain {
+    instance: ProblemInstance,
+    version: u64,
+    last_yield: Option<f64>,
+}
+
+/// Replays `trace` with independent one-shot solves (see module docs).
+/// Responses come back in request-id order, like
+/// [`crate::SolverPool::replay`].
+pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<AllocResponse> {
+    let mut streams: HashMap<u64, StreamChain> = HashMap::new();
+    let mut responses = Vec::with_capacity(trace.len());
+
+    for request in trace {
+        let AllocRequest {
+            id,
+            stream,
+            kind,
+            budget,
+        } = request;
+
+        let hint = match kind {
+            RequestKind::New(instance) => {
+                let version = streams.get(&stream).map_or(0, |c| c.version + 1);
+                streams.insert(
+                    stream,
+                    StreamChain {
+                        instance,
+                        version,
+                        last_yield: None,
+                    },
+                );
+                None
+            }
+            RequestKind::Delta(delta) => {
+                let Some(chain) = streams.get_mut(&stream) else {
+                    responses.push(AllocResponse::rejected(
+                        id,
+                        stream,
+                        "delta before New".into(),
+                    ));
+                    continue;
+                };
+                // Apply the delta, then rebuild the successor from its raw
+                // parts with full validation — the "freshly-built" side of
+                // the delta-vs-fresh differential.
+                match chain
+                    .instance
+                    .apply_delta(&delta)
+                    .and_then(|next| next.with_services(next.services().to_vec()))
+                {
+                    Ok(next) => {
+                        chain.instance = next;
+                        chain.version += 1;
+                    }
+                    Err(e) => {
+                        responses.push(AllocResponse::rejected(id, stream, e.to_string()));
+                        continue;
+                    }
+                }
+                chain.last_yield
+            }
+            RequestKind::Resolve => {
+                let Some(chain) = streams.get(&stream) else {
+                    responses.push(AllocResponse::rejected(
+                        id,
+                        stream,
+                        "resolve before New".into(),
+                    ));
+                    continue;
+                };
+                chain.last_yield
+            }
+        };
+
+        let hint = if config.warm_start { hint } else { None };
+        let budget = budget.or(config.default_budget);
+        let chain = streams.get_mut(&stream).expect("chain exists");
+
+        // The one-shot cost: everything is rebuilt for this one request.
+        let t0 = Instant::now();
+        let mut engine = WorkerEngine::build(config);
+        let (solution, winner, probes, timed_out) =
+            engine.solve(&chain.instance, stream, chain.version, hint, budget);
+        let wall = t0.elapsed();
+
+        if let Some(sol) = &solution {
+            chain.last_yield = Some(sol.min_yield);
+        }
+        let outcome = match (&solution, timed_out) {
+            (_, true) => RequestOutcome::TimedOut,
+            (Some(_), false) => RequestOutcome::Solved,
+            (None, false) => RequestOutcome::Infeasible,
+        };
+        responses.push(AllocResponse {
+            id,
+            stream,
+            outcome,
+            solution,
+            winner,
+            probes,
+            wall,
+            error: None,
+        });
+    }
+
+    responses.sort_by_key(|r| r.id);
+    responses
+}

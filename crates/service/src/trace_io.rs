@@ -1,0 +1,356 @@
+//! Plain-text request-trace serialisation.
+//!
+//! Line-oriented, like `vmplace_model::io`'s instance format (which it
+//! embeds for `new` requests):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! request 0 0 new
+//! dims 2
+//! node 0.8 1.0 | 3.2 1.0
+//! service 0.5 0.5 | 1.0 0.5 | 0.5 0.0 | 1.0 0.0
+//! end
+//! request 1 0 delta budget_ms=25
+//! scale 0 0.75
+//! remove 2 5
+//! add 0.1 0.1 | 0.2 0.1 | 0.3 0.0 | 0.6 0.0
+//! end
+//! request 2 0 resolve
+//! end
+//! ```
+//!
+//! A `request` header is `request <id> <stream> <new|delta|resolve>
+//! [budget_ms=N | budget_us=N]` (microseconds serialise sub-millisecond
+//! budgets exactly); its body runs until the matching `end`. `new` bodies
+//! are a full instance; `delta` bodies hold `scale <service> <factor>`,
+//! `remove <service>…` and `add <service body>` lines (in
+//! scale-then-remove-then-add application order); `resolve` bodies are
+//! empty.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use vmplace_model::io::{
+    parse_service_body, read_instance, write_instance, write_service_body, ParseError,
+};
+use vmplace_model::{AllocRequest, RequestKind, WorkloadDelta};
+
+/// Errors raised while parsing a trace file.
+#[derive(Debug)]
+pub enum TraceParseError {
+    /// A malformed trace-level line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        what: String,
+    },
+    /// An embedded instance or service failed to parse (line numbers are
+    /// relative to the embedded block).
+    Instance(ParseError),
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::Malformed { line, what } => write!(f, "line {line}: {what}"),
+            TraceParseError::Instance(e) => write!(f, "embedded instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl From<ParseError> for TraceParseError {
+    fn from(e: ParseError) -> Self {
+        TraceParseError::Instance(e)
+    }
+}
+
+/// Serialises a trace to the text format. Round-trips exactly through
+/// [`read_trace`].
+pub fn write_trace(trace: &[AllocRequest]) -> String {
+    let mut out = String::from("# vmplace request trace\n");
+    for req in trace {
+        let kind = match &req.kind {
+            RequestKind::New(_) => "new",
+            RequestKind::Delta(_) => "delta",
+            RequestKind::Resolve => "resolve",
+        };
+        let _ = write!(out, "request {} {} {kind}", req.id, req.stream);
+        if let Some(b) = req.budget {
+            // Whole milliseconds stay human-friendly; finer budgets fall
+            // back to microseconds so the round-trip stays exact.
+            if b.subsec_micros() % 1_000 == 0 {
+                let _ = write!(out, " budget_ms={}", b.as_millis());
+            } else {
+                let _ = write!(out, " budget_us={}", b.as_micros());
+            }
+        }
+        out.push('\n');
+        match &req.kind {
+            RequestKind::New(instance) => out.push_str(&write_instance(instance)),
+            RequestKind::Delta(delta) => {
+                for &(j, factor) in &delta.scale_need {
+                    let _ = writeln!(out, "scale {j} {factor}");
+                }
+                if !delta.remove.is_empty() {
+                    out.push_str("remove");
+                    for j in &delta.remove {
+                        let _ = write!(out, " {j}");
+                    }
+                    out.push('\n');
+                }
+                for svc in &delta.add {
+                    let _ = writeln!(out, "add {}", write_service_body(svc));
+                }
+            }
+            RequestKind::Resolve => {}
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+pub fn read_trace(text: &str) -> Result<Vec<AllocRequest>, TraceParseError> {
+    // (id, stream, kind word, budget, body lines, header line number)
+    let mut trace = Vec::new();
+    let mut header: Option<(u64, u64, String, Option<Duration>, usize)> = None;
+    let mut body: Vec<&str> = Vec::new();
+    // Per-stream dims (from the stream's last `new`), needed to parse
+    // `add` bodies.
+    let mut dims: std::collections::HashMap<u64, usize> = Default::default();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if header.is_none() && (trimmed.is_empty() || trimmed.starts_with('#')) {
+            continue;
+        }
+        match (&header, trimmed) {
+            (None, _) => {
+                let mut words = trimmed.split_whitespace();
+                let (Some("request"), Some(id), Some(stream), Some(kind)) =
+                    (words.next(), words.next(), words.next(), words.next())
+                else {
+                    return Err(TraceParseError::Malformed {
+                        line,
+                        what: format!("expected `request <id> <stream> <kind>`, got `{trimmed}`"),
+                    });
+                };
+                let id: u64 = id.parse().map_err(|e| TraceParseError::Malformed {
+                    line,
+                    what: format!("bad id: {e}"),
+                })?;
+                let stream: u64 = stream.parse().map_err(|e| TraceParseError::Malformed {
+                    line,
+                    what: format!("bad stream: {e}"),
+                })?;
+                let mut budget = None;
+                for extra in words {
+                    let (value, from): (&str, fn(u64) -> Duration) =
+                        if let Some(ms) = extra.strip_prefix("budget_ms=") {
+                            (ms, Duration::from_millis)
+                        } else if let Some(us) = extra.strip_prefix("budget_us=") {
+                            (us, Duration::from_micros)
+                        } else {
+                            return Err(TraceParseError::Malformed {
+                                line,
+                                what: format!("unknown request attribute `{extra}`"),
+                            });
+                        };
+                    let value: u64 = value.parse().map_err(|e| TraceParseError::Malformed {
+                        line,
+                        what: format!("bad budget: {e}"),
+                    })?;
+                    budget = Some(from(value));
+                }
+                header = Some((id, stream, kind.to_string(), budget, line));
+            }
+            (Some(_), "end") => {
+                let (id, stream, kind, budget, hline) = header.take().expect("in block");
+                let kind = match kind.as_str() {
+                    "new" => {
+                        let instance = read_instance(&body.join("\n"))?;
+                        dims.insert(stream, instance.dims());
+                        RequestKind::New(instance)
+                    }
+                    "delta" => RequestKind::Delta(parse_delta(&body, dims.get(&stream).copied())?),
+                    "resolve" => RequestKind::Resolve,
+                    other => {
+                        return Err(TraceParseError::Malformed {
+                            line: hline,
+                            what: format!("unknown request kind `{other}`"),
+                        })
+                    }
+                };
+                body.clear();
+                trace.push(AllocRequest {
+                    id,
+                    stream,
+                    kind,
+                    budget,
+                });
+            }
+            (Some(_), _) => body.push(raw),
+        }
+    }
+    if let Some((_, _, _, _, hline)) = header {
+        return Err(TraceParseError::Malformed {
+            line: hline,
+            what: "request block not closed with `end`".into(),
+        });
+    }
+    Ok(trace)
+}
+
+fn parse_delta(body: &[&str], dims: Option<usize>) -> Result<WorkloadDelta, TraceParseError> {
+    let mut delta = WorkloadDelta::default();
+    for (idx, raw) in body.iter().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (word, rest) = trimmed
+            .split_once(char::is_whitespace)
+            .unwrap_or((trimmed, ""));
+        let malformed = |what: String| TraceParseError::Malformed { line, what };
+        match word {
+            "scale" => {
+                let mut parts = rest.split_whitespace();
+                let (Some(j), Some(f), None) = (parts.next(), parts.next(), parts.next()) else {
+                    return Err(malformed("expected `scale <service> <factor>`".to_string()));
+                };
+                let j = j
+                    .parse()
+                    .map_err(|e| malformed(format!("bad service index: {e}")))?;
+                let f = f
+                    .parse()
+                    .map_err(|e| malformed(format!("bad factor: {e}")))?;
+                delta.scale_need.push((j, f));
+            }
+            "remove" => {
+                for j in rest.split_whitespace() {
+                    delta.remove.push(
+                        j.parse()
+                            .map_err(|e| malformed(format!("bad service index: {e}")))?,
+                    );
+                }
+            }
+            "add" => {
+                let d = dims.ok_or_else(|| {
+                    malformed("`add` in a stream with no preceding `new` request".into())
+                })?;
+                delta.add.push(parse_service_body(rest, d, line)?);
+            }
+            other => return Err(malformed(format!("unknown delta directive `{other}`"))),
+        }
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{Node, ProblemInstance, Service};
+
+    fn sample_trace() -> Vec<AllocRequest> {
+        let inst = ProblemInstance::new(
+            vec![Node::multicore(2, 0.5, 1.0)],
+            vec![
+                Service::rigid(vec![0.1, 0.2], vec![0.1, 0.2]),
+                Service::rigid(vec![0.05, 0.1], vec![0.05, 0.1]),
+            ],
+        )
+        .unwrap();
+        vec![
+            AllocRequest {
+                id: 0,
+                stream: 3,
+                kind: RequestKind::New(inst),
+                budget: None,
+            },
+            AllocRequest {
+                id: 1,
+                stream: 3,
+                kind: RequestKind::Delta(WorkloadDelta {
+                    scale_need: vec![(0, 0.75)],
+                    remove: vec![1],
+                    add: vec![Service::rigid(vec![0.2, 0.1], vec![0.2, 0.1])],
+                }),
+                budget: Some(Duration::from_millis(25)),
+            },
+            AllocRequest {
+                id: 2,
+                stream: 3,
+                kind: RequestKind::Resolve,
+                budget: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let trace = sample_trace();
+        let text = write_trace(&trace);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.budget, b.budget);
+            match (&a.kind, &b.kind) {
+                (RequestKind::New(x), RequestKind::New(y)) => {
+                    assert_eq!(x.nodes(), y.nodes());
+                    assert_eq!(x.services(), y.services());
+                }
+                (RequestKind::Delta(x), RequestKind::Delta(y)) => assert_eq!(x, y),
+                (RequestKind::Resolve, RequestKind::Resolve) => {}
+                _ => panic!("kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_budgets_roundtrip_exactly() {
+        let trace = vec![AllocRequest {
+            id: 0,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: Some(Duration::from_micros(500)),
+        }];
+        let text = write_trace(&trace);
+        assert!(text.contains("budget_us=500"), "{text}");
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back[0].budget, Some(Duration::from_micros(500)));
+    }
+
+    #[test]
+    fn add_without_new_is_an_error() {
+        let text = "request 0 0 delta\nadd 0.1 0.1 | 0.1 0.1 | 0 0 | 0 0\nend\n";
+        assert!(read_trace(text).is_err());
+    }
+
+    #[test]
+    fn unclosed_block_is_an_error() {
+        let text = "request 0 0 resolve\n";
+        let err = read_trace(text).unwrap_err();
+        assert!(err.to_string().contains("not closed"));
+    }
+
+    #[test]
+    fn unknown_directives_are_errors() {
+        assert!(read_trace("flub 1\n").is_err());
+        assert!(read_trace("request 0 0 frobnicate\nend\n").is_err());
+        assert!(read_trace("request 0 0 resolve wat=1\nend\n").is_err());
+    }
+
+    #[test]
+    fn comments_between_requests_are_ignored() {
+        let text = "# a trace\n\nrequest 5 1 resolve\nend\n# trailing\n";
+        let trace = read_trace(text).unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].id, 5);
+    }
+}

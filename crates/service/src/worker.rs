@@ -1,0 +1,466 @@
+//! A resident solver worker: per-stream state plus long-lived engines.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use vmplace_core::{Algorithm, EngineHandle, MetaGreedy, MetaVp, RandomizedRounding, SolveCtx};
+use vmplace_lp::{MilpOptions, MilpSolver, YieldLp};
+use vmplace_model::{
+    AllocRequest, AllocResponse, ProblemInstance, RequestKind, RequestOutcome, Solution,
+};
+
+/// Which algorithm the service solves with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceAlgo {
+    /// METAVP (33 homogeneous packing strategies).
+    MetaVp,
+    /// METAHVP (253 heterogeneous strategies).
+    MetaHvp,
+    /// METAHVPLIGHT (the engineered 60-strategy subset) — the default.
+    MetaHvpLight,
+    /// METAGREEDY (49 greedy variants; no warm seeding).
+    MetaGreedy,
+    /// RRNZ randomized rounding (LP relaxation + rounding; no warm
+    /// seeding).
+    Rrnz,
+    /// Exact branch & bound on the paper's MILP (small instances; honours
+    /// budgets through the node and simplex iteration loops).
+    Milp,
+}
+
+impl ServiceAlgo {
+    /// Parses the CLI spelling (`light`, `hvp`, `vp`, `greedy`, `rrnz`,
+    /// `milp`).
+    pub fn parse(s: &str) -> Option<ServiceAlgo> {
+        match s.to_ascii_lowercase().as_str() {
+            "vp" | "metavp" => Some(ServiceAlgo::MetaVp),
+            "hvp" | "metahvp" => Some(ServiceAlgo::MetaHvp),
+            "light" | "metahvplight" => Some(ServiceAlgo::MetaHvpLight),
+            "greedy" | "metagreedy" => Some(ServiceAlgo::MetaGreedy),
+            "rrnz" => Some(ServiceAlgo::Rrnz),
+            "milp" => Some(ServiceAlgo::Milp),
+            _ => None,
+        }
+    }
+
+    /// The paper name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServiceAlgo::MetaVp => "METAVP",
+            ServiceAlgo::MetaHvp => "METAHVP",
+            ServiceAlgo::MetaHvpLight => "METAHVPLIGHT",
+            ServiceAlgo::MetaGreedy => "METAGREEDY",
+            ServiceAlgo::Rrnz => "RRNZ",
+            ServiceAlgo::Milp => "MILP",
+        }
+    }
+}
+
+/// Configuration of the allocation service.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of resident solver workers (streams are sharded across them
+    /// by `stream % workers`).
+    pub workers: usize,
+    /// Worker threads *inside* each engine solve. The default of 1 is
+    /// deliberate: a loaded service gets its parallelism from concurrent
+    /// requests, not per-solve fan-out, and `workers × engine_threads`
+    /// should not exceed the machine.
+    pub engine_threads: usize,
+    /// The algorithm every request is solved with.
+    pub algo: ServiceAlgo,
+    /// Default wall-clock budget for requests that carry none.
+    pub default_budget: Option<Duration>,
+    /// Seed each re-solve's binary searches from the stream's previously
+    /// achieved yield (off reproduces the cold one-shot probe sequence).
+    pub warm_start: bool,
+    /// Schedule portfolio members by the telemetry winner table (probe
+    /// counts only; results are unaffected).
+    pub ordered_roster: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: vmplace_par::num_threads(),
+            engine_threads: 1,
+            algo: ServiceAlgo::MetaHvpLight,
+            default_budget: None,
+            warm_start: true,
+            ordered_roster: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Builds the roster for the portfolio algorithms (respecting
+    /// [`ServiceConfig::ordered_roster`]).
+    fn roster(&self) -> Option<MetaVp> {
+        let meta = match self.algo {
+            ServiceAlgo::MetaVp => MetaVp::metavp(),
+            ServiceAlgo::MetaHvp => MetaVp::metahvp(),
+            ServiceAlgo::MetaHvpLight => MetaVp::metahvp_light(),
+            _ => return None,
+        };
+        Some(if self.ordered_roster {
+            meta.with_telemetry_order()
+        } else {
+            meta
+        })
+    }
+}
+
+/// Per-stream warm state.
+struct StreamState {
+    instance: ProblemInstance,
+    /// Monotone instance version (bumped by `New` and every applied
+    /// delta); keys the worker's MILP cache.
+    version: u64,
+    /// Achieved minimum yield of the stream's last successful solve.
+    last_yield: Option<f64>,
+}
+
+/// The exact path's persistent state: the built model and its warm
+/// simplex, valid for one `(stream, version)` pair. Consecutive re-solves
+/// of an unchanged instance (the batched `Resolve` case) skip both the
+/// model build and the solver assembly.
+pub(crate) struct MilpCache {
+    stream: u64,
+    version: u64,
+    ylp: YieldLp,
+    solver: MilpSolver,
+}
+
+pub(crate) enum WorkerEngine {
+    Portfolio(EngineHandle<MetaVp>),
+    Greedy(EngineHandle<MetaGreedy>),
+    Rrnz(SolveCtx),
+    Milp {
+        options: MilpOptions,
+        cache: Option<Box<MilpCache>>,
+    },
+}
+
+impl WorkerEngine {
+    /// Builds the engine for `config` — the expensive, once-per-worker
+    /// step (roster construction, context, solver state).
+    pub(crate) fn build(config: &ServiceConfig) -> WorkerEngine {
+        match config.algo {
+            ServiceAlgo::MetaGreedy => WorkerEngine::Greedy(
+                EngineHandle::new(MetaGreedy).with_threads(config.engine_threads),
+            ),
+            ServiceAlgo::Rrnz => {
+                let mut ctx = SolveCtx::new();
+                ctx.set_threads(Some(config.engine_threads));
+                WorkerEngine::Rrnz(ctx)
+            }
+            ServiceAlgo::Milp => WorkerEngine::Milp {
+                options: MilpOptions::default(),
+                cache: None,
+            },
+            _ => WorkerEngine::Portfolio(
+                EngineHandle::new(config.roster().expect("portfolio algo"))
+                    .with_threads(config.engine_threads),
+            ),
+        }
+    }
+
+    /// One solve: `(solution, winner label, probes, timed out)`. `stream`
+    /// and `version` key the exact path's model cache (and seed the RRNZ
+    /// trial RNG deterministically per stream).
+    pub(crate) fn solve(
+        &mut self,
+        instance: &ProblemInstance,
+        stream: u64,
+        version: u64,
+        hint: Option<f64>,
+        budget: Option<Duration>,
+    ) -> (Option<Solution>, Option<String>, u64, bool) {
+        match self {
+            WorkerEngine::Portfolio(engine) => {
+                let run = engine.solve_with_hint(instance, hint, budget);
+                let winner = run.winner().map(str::to_string);
+                let probes = run.probes();
+                let timed_out = run.timed_out();
+                (run.solution, winner, probes, timed_out)
+            }
+            WorkerEngine::Greedy(engine) => {
+                let run = engine.solve_with_hint(instance, None, budget);
+                let winner = run.winner().map(str::to_string);
+                let probes = run.probes();
+                let timed_out = run.timed_out();
+                (run.solution, winner, probes, timed_out)
+            }
+            WorkerEngine::Rrnz(ctx) => {
+                ctx.set_budget(budget);
+                // The trial seed is the stream id: deterministic per
+                // stream, independent of the worker that hosts it.
+                let solution = RandomizedRounding::rrnz(stream).solve_with(instance, ctx);
+                let (winner, probes, timed_out) = ctx
+                    .take_report()
+                    .map(|r| {
+                        (
+                            r.winner_label().map(str::to_string),
+                            r.total_probes(),
+                            r.count(vmplace_core::MemberOutcome::TimedOut) > 0,
+                        )
+                    })
+                    .unwrap_or((None, 0, false));
+                (solution, winner, probes, timed_out)
+            }
+            WorkerEngine::Milp { options, cache } => {
+                solve_milp_cached(options, cache, stream, version, instance, budget)
+            }
+        }
+    }
+}
+
+/// A resident solver worker: owns one long-lived engine (roster, packing
+/// workspaces, persistent simplex) and the warm state of every stream
+/// routed to it. Drive it directly for a single-threaded service, or
+/// through [`crate::SolverPool`] for a resident thread per worker.
+pub struct Worker {
+    config: ServiceConfig,
+    engine: WorkerEngine,
+    streams: HashMap<u64, StreamState>,
+}
+
+impl Worker {
+    /// Builds a worker for `config`.
+    pub fn new(config: &ServiceConfig) -> Worker {
+        Worker {
+            config: config.clone(),
+            engine: WorkerEngine::build(config),
+            streams: HashMap::new(),
+        }
+    }
+
+    /// Processes one request against this worker's stream states.
+    pub fn process(&mut self, request: AllocRequest) -> AllocResponse {
+        let AllocRequest {
+            id,
+            stream,
+            kind,
+            budget,
+        } = request;
+
+        // Update the stream state (and pick the warm hint) first; solve
+        // against the updated instance.
+        let hint = match kind {
+            RequestKind::New(instance) => {
+                self.streams.insert(
+                    stream,
+                    StreamState {
+                        instance,
+                        version: next_version(&self.streams, stream),
+                        last_yield: None,
+                    },
+                );
+                None
+            }
+            RequestKind::Delta(delta) => {
+                let Some(state) = self.streams.get_mut(&stream) else {
+                    return AllocResponse::rejected(id, stream, "delta before New".into());
+                };
+                match state.instance.apply_delta(&delta) {
+                    Ok(next) => {
+                        state.instance = next;
+                        state.version += 1;
+                    }
+                    Err(e) => return AllocResponse::rejected(id, stream, e.to_string()),
+                }
+                state.last_yield
+            }
+            RequestKind::Resolve => {
+                let Some(state) = self.streams.get(&stream) else {
+                    return AllocResponse::rejected(id, stream, "resolve before New".into());
+                };
+                state.last_yield
+            }
+        };
+
+        let hint = if self.config.warm_start { hint } else { None };
+        let budget = budget.or(self.config.default_budget);
+        let state = self.streams.get_mut(&stream).expect("state exists");
+
+        let t0 = Instant::now();
+        let (solution, winner, probes, timed_out) =
+            self.engine
+                .solve(&state.instance, stream, state.version, hint, budget);
+        let wall = t0.elapsed();
+
+        if let Some(sol) = &solution {
+            state.last_yield = Some(sol.min_yield);
+        }
+        let outcome = match (&solution, timed_out) {
+            (_, true) => RequestOutcome::TimedOut,
+            (Some(_), false) => RequestOutcome::Solved,
+            (None, false) => RequestOutcome::Infeasible,
+        };
+        AllocResponse {
+            id,
+            stream,
+            outcome,
+            solution,
+            winner,
+            probes,
+            wall,
+            error: None,
+        }
+    }
+
+    /// Number of streams this worker currently tracks.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+/// Version for a (re)opened stream: strictly above whatever came before so
+/// MILP caches of the replaced instance can never be mistaken for current.
+fn next_version(streams: &HashMap<u64, StreamState>, stream: u64) -> u64 {
+    streams.get(&stream).map_or(0, |s| s.version + 1)
+}
+
+/// The exact path: build (or reuse) the stream's `YieldLp` + persistent
+/// `MilpSolver`, apply the budget, solve, decode the incumbent.
+fn solve_milp_cached(
+    options: &MilpOptions,
+    cache: &mut Option<Box<MilpCache>>,
+    stream: u64,
+    version: u64,
+    instance: &ProblemInstance,
+    budget: Option<Duration>,
+) -> (Option<Solution>, Option<String>, u64, bool) {
+    let fresh = !matches!(
+        cache,
+        Some(c) if c.stream == stream && c.version == version
+    );
+    if fresh {
+        let Some(ylp) = YieldLp::build(instance) else {
+            // Some service fits on no node: trivially infeasible. The
+            // existing cache entry (another stream's still-valid model)
+            // is left untouched.
+            return (None, None, 0, false);
+        };
+        let solver = ylp.exact_solver(options.clone());
+        *cache = Some(Box::new(MilpCache {
+            stream,
+            version,
+            ylp,
+            solver,
+        }));
+    }
+    let c = cache.as_mut().expect("cache just ensured");
+    c.solver.options_mut().time_budget = budget;
+    let result = c.solver.solve();
+    let timed_out = result.status == vmplace_lp::MilpStatus::TimedOut;
+    let nodes = result.nodes as u64;
+    let solution = c
+        .ylp
+        .decode_milp(result)
+        .and_then(|(placement, _)| vmplace_model::evaluate_placement(instance, &placement));
+    (solution, None, nodes, timed_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{Node, Service, WorkloadDelta};
+
+    fn small_instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.4, 0.6)];
+        let mk = |rc: f64, nc: f64, mem: f64| {
+            Service::new(
+                vec![rc / 2.0, mem],
+                vec![rc, mem],
+                vec![nc / 2.0, 0.0],
+                vec![nc, 0.0],
+            )
+        };
+        let services = vec![mk(0.2, 0.6, 0.3), mk(0.1, 0.5, 0.4), mk(0.15, 0.7, 0.2)];
+        ProblemInstance::new(nodes, services).unwrap()
+    }
+
+    fn req(id: u64, kind: RequestKind) -> AllocRequest {
+        AllocRequest {
+            id,
+            stream: 0,
+            kind,
+            budget: None,
+        }
+    }
+
+    #[test]
+    fn new_delta_resolve_lifecycle() {
+        let mut worker = Worker::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let a = worker.process(req(0, RequestKind::New(small_instance())));
+        assert_eq!(a.outcome, RequestOutcome::Solved);
+        let y0 = a.min_yield().unwrap();
+        assert!(y0 > 0.0);
+
+        let b = worker.process(req(
+            1,
+            RequestKind::Delta(WorkloadDelta {
+                scale_need: vec![(0, 0.5)],
+                ..WorkloadDelta::default()
+            }),
+        ));
+        assert_eq!(b.outcome, RequestOutcome::Solved);
+        // Halving one service's needs cannot hurt the minimum yield.
+        assert!(b.min_yield().unwrap() >= y0 - 1e-9);
+
+        let c = worker.process(req(2, RequestKind::Resolve));
+        assert_eq!(c.outcome, RequestOutcome::Solved);
+        assert_eq!(c.min_yield(), b.min_yield());
+        assert_eq!(worker.stream_count(), 1);
+    }
+
+    #[test]
+    fn delta_before_new_is_rejected() {
+        let mut worker = Worker::new(&ServiceConfig::default());
+        let r = worker.process(req(
+            9,
+            RequestKind::Delta(WorkloadDelta {
+                remove: vec![0],
+                ..WorkloadDelta::default()
+            }),
+        ));
+        assert_eq!(r.outcome, RequestOutcome::Rejected);
+        assert!(r.error.is_some());
+        let r2 = worker.process(req(10, RequestKind::Resolve));
+        assert_eq!(r2.outcome, RequestOutcome::Rejected);
+    }
+
+    #[test]
+    fn bad_delta_is_rejected_and_state_survives() {
+        let mut worker = Worker::new(&ServiceConfig::default());
+        worker.process(req(0, RequestKind::New(small_instance())));
+        let bad = worker.process(req(
+            1,
+            RequestKind::Delta(WorkloadDelta {
+                remove: vec![99],
+                ..WorkloadDelta::default()
+            }),
+        ));
+        assert_eq!(bad.outcome, RequestOutcome::Rejected);
+        // The stream still answers.
+        let ok = worker.process(req(2, RequestKind::Resolve));
+        assert_eq!(ok.outcome, RequestOutcome::Solved);
+    }
+
+    #[test]
+    fn milp_worker_reuses_cache_across_resolves() {
+        let mut worker = Worker::new(&ServiceConfig {
+            algo: ServiceAlgo::Milp,
+            ..ServiceConfig::default()
+        });
+        let a = worker.process(req(0, RequestKind::New(small_instance())));
+        assert_eq!(a.outcome, RequestOutcome::Solved);
+        let b = worker.process(req(1, RequestKind::Resolve));
+        assert_eq!(b.outcome, RequestOutcome::Solved);
+        assert_eq!(a.min_yield(), b.min_yield());
+        assert_eq!(a.probes, b.probes, "resolve did not replay the same tree");
+    }
+}

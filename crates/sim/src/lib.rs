@@ -13,7 +13,9 @@
 //!   (2J−1)/J² competitiveness of EQUALWEIGHTS (Theorem 1);
 //! * [`runtime`] — the end-to-end error-experiment pipeline (place with
 //!   estimated needs, run against true needs under
-//!   ALLOCCAPS / ALLOCWEIGHTS / EQUALWEIGHTS / zero-knowledge).
+//!   ALLOCCAPS / ALLOCWEIGHTS / EQUALWEIGHTS / zero-knowledge);
+//! * [`trace`] — request-stream generation (arrival / departure / demand
+//!   change / re-solve) for the long-lived allocation service.
 
 #![warn(missing_docs)]
 // Index-based loops are kept where they mirror the paper's subscript
@@ -26,6 +28,7 @@ pub mod platform;
 pub mod rng;
 pub mod runtime;
 pub mod scenario;
+pub mod trace;
 pub mod waterfill;
 pub mod workload;
 
@@ -33,5 +36,6 @@ pub use errors::{apply_min_threshold, perturb_cpu_needs};
 pub use platform::{HomogeneousDim, PlatformConfig};
 pub use runtime::{zero_knowledge_placement, AllocationPolicy, ErrorRun};
 pub use scenario::{Scenario, ScenarioConfig};
+pub use trace::TraceConfig;
 pub use waterfill::weighted_water_fill;
 pub use workload::WorkloadConfig;

@@ -1,9 +1,13 @@
 //! `vmplace` — command-line solver.
 //!
 //! ```text
-//! vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]
-//!               [--threads N] [--budget-ms MS] [--report]
-//! vmplace gen   [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
+//! vmplace solve  <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]
+//!                [--threads N] [--budget-ms MS] [--report]
+//! vmplace replay <trace.txt> [--algo …] [--workers N] [--no-warm] [--no-order]
+//!                [--oneshot] [--budget-ms MS] [--quiet]
+//! vmplace replay --gen [--streams S] [--requests R] [--seed K] [--hosts N]
+//!                [--services J] [--cov C] [--slack S] [--emit] [--workers N] …
+//! vmplace gen    [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
 //! vmplace example
 //! ```
 //!
@@ -11,18 +15,31 @@
 //! maximises the minimum yield and prints per-service allocations.
 //! `--threads` sets the portfolio engine's worker count (default: all
 //! cores / `VMPLACE_THREADS`), `--budget-ms` bounds the wall-clock spent
-//! (best result found in time wins), and `--report` prints per-member
-//! engine telemetry. `gen` prints a generated §4-style instance (pipe it
-//! to a file, edit it, solve it). `example` prints the paper's Figure 1
-//! instance.
+//! — including the `--algo milp` branch & bound, which returns its best
+//! incumbent in time — and `--report` prints per-member engine telemetry.
+//!
+//! `replay` drives a request trace (`vmplace_service::trace_io` format,
+//! or `--gen` for a generated one; add `--emit` to print it instead of
+//! running) through the resident solver pool and reports per-request and
+//! amortised latency; `--oneshot` uses the independent one-shot reference
+//! path instead, `--no-warm` disables warm-start seeding and `--no-order`
+//! the telemetry roster ordering.
+//!
+//! `gen` prints a generated §4-style instance (pipe it to a file, edit
+//! it, solve it). `example` prints the paper's Figure 1 instance.
 
 use vmplace::prelude::*;
+use vmplace::service::trace_io;
 use vmplace_model::io::{read_instance, write_instance};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]\n  \
          \x20              [--threads N] [--budget-ms MS] [--report]\n  \
+         vmplace replay <trace.txt>|--gen [--algo A] [--workers N] [--no-warm] [--no-order]\n  \
+         \x20              [--oneshot] [--budget-ms MS] [--quiet]\n  \
+         \x20              (--gen also: [--streams S] [--requests R] [--seed K] [--hosts N]\n  \
+         \x20               [--services J] [--cov C] [--slack S] [--emit])\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -40,6 +57,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("solve") => cmd_solve(&args),
+        Some("replay") => cmd_replay(&args),
         Some("gen") => cmd_gen(&args),
         Some("example") => {
             let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
@@ -81,13 +99,10 @@ fn cmd_solve(args: &[String]) {
     let algo = flag_value(args, "--algo").unwrap_or_else(|| "light".to_string());
     let mut ctx = SolveCtx::new();
     if let Some(ms) = flag_value(args, "--budget-ms").and_then(|v| v.parse::<u64>().ok()) {
-        if algo == "milp" {
-            // Branch & bound has no wall-clock cutoff yet (ROADMAP item);
-            // do not silently pretend the budget applies.
-            eprintln!("warning: --budget-ms is ignored by --algo milp (no wall-clock cutoff)");
-        } else {
-            ctx = ctx.with_budget(std::time::Duration::from_millis(ms));
-        }
+        // Every path honours the budget — the MILP plumbs it into its
+        // node loop and per-node simplex iterations and returns its best
+        // incumbent found in time.
+        ctx = ctx.with_budget(std::time::Duration::from_millis(ms));
     }
     let solution = match algo.as_str() {
         "light" => MetaVp::metahvp_light().solve_with(&instance, &mut ctx),
@@ -192,6 +207,142 @@ fn print_report(report: &vmplace::core::PortfolioReport) {
             m.wall.as_secs_f64() * 1e3,
             marker
         );
+    }
+}
+
+/// `vmplace replay`: drive a request trace through the allocation service.
+fn cmd_replay(args: &[String]) {
+    let trace = if args.iter().any(|a| a == "--gen") {
+        let get = |key: &str, default: f64| -> f64 {
+            flag_value(args, key)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        let cfg = TraceConfig {
+            streams: get("--streams", 4.0) as usize,
+            requests: get("--requests", 50.0) as usize,
+            scenario: ScenarioConfig {
+                hosts: get("--hosts", 16.0) as usize,
+                services: get("--services", 40.0) as usize,
+                cov: get("--cov", 0.5),
+                memory_slack: get("--slack", 0.5),
+                ..ScenarioConfig::default()
+            },
+            ..TraceConfig::default()
+        };
+        cfg.generate(get("--seed", 0.0) as u64)
+    } else {
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            usage();
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match trace_io::read_trace(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    if args.iter().any(|a| a == "--emit") {
+        print!("{}", trace_io::write_trace(&trace));
+        return;
+    }
+
+    let mut config = ServiceConfig {
+        warm_start: !args.iter().any(|a| a == "--no-warm"),
+        ordered_roster: !args.iter().any(|a| a == "--no-order"),
+        ..ServiceConfig::default()
+    };
+    if let Some(algo) = flag_value(args, "--algo") {
+        match ServiceAlgo::parse(&algo) {
+            Some(a) => config.algo = a,
+            None => {
+                eprintln!("error: unknown algorithm `{algo}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(n) = flag_value(args, "--workers").and_then(|v| v.parse().ok()) {
+        config.workers = n;
+    }
+    if let Some(ms) = flag_value(args, "--budget-ms").and_then(|v| v.parse::<u64>().ok()) {
+        config.default_budget = Some(std::time::Duration::from_millis(ms));
+    }
+
+    let requests = trace.len();
+    let t0 = std::time::Instant::now();
+    let responses = if args.iter().any(|a| a == "--oneshot") {
+        replay_oneshot(trace, &config)
+    } else {
+        let mut pool = SolverPool::new(&config);
+        let responses = pool.replay(trace);
+        pool.shutdown();
+        responses
+    };
+    let wall = t0.elapsed();
+
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let mut solved = 0usize;
+    let mut timed_out = 0usize;
+    let mut rejected = 0usize;
+    let mut infeasible = 0usize;
+    for r in &responses {
+        match r.outcome {
+            RequestOutcome::Solved => solved += 1,
+            RequestOutcome::TimedOut => timed_out += 1,
+            RequestOutcome::Infeasible => infeasible += 1,
+            RequestOutcome::Rejected => rejected += 1,
+        }
+        if !quiet {
+            print!(
+                "request {:>4} stream {:>3} {:<10}",
+                r.id,
+                r.stream,
+                format!("{:?}", r.outcome)
+            );
+            match (&r.solution, &r.error) {
+                (Some(sol), _) => print!(
+                    "  yield {:.4}  {:>6} probes  {:>8.2} ms",
+                    sol.min_yield,
+                    r.probes,
+                    r.wall.as_secs_f64() * 1e3
+                ),
+                (None, Some(err)) => print!("  {err}"),
+                _ => {}
+            }
+            if let Some(w) = &r.winner {
+                print!("  winner {w}");
+            }
+            println!();
+        }
+    }
+    eprintln!(
+        "# {} {} requests in {:.1} ms — {:.3} ms/request amortised ({} workers, algo {}, warm {}) — {} solved, {} infeasible, {} timed out, {} rejected",
+        requests,
+        if args.iter().any(|a| a == "--oneshot") {
+            "one-shot"
+        } else {
+            "pooled"
+        },
+        wall.as_secs_f64() * 1e3,
+        wall.as_secs_f64() * 1e3 / requests.max(1) as f64,
+        config.workers,
+        config.algo.label(),
+        config.warm_start,
+        solved,
+        infeasible,
+        timed_out,
+        rejected,
+    );
+    if solved + timed_out == 0 && requests > 0 {
+        std::process::exit(3);
     }
 }
 

@@ -34,10 +34,11 @@
 //!
 //! | Piece | Crate |
 //! |-------|-------|
-//! | problem model, yield semantics | [`vmplace_model`] |
-//! | LP/MILP solver (simplex + B&B) | [`vmplace_lp`] |
-//! | placement algorithms (greedy, VP, META*, RRND/RRNZ) and the portfolio engine (`SolveCtx`, incumbent pruning, telemetry) | [`vmplace_core`] |
-//! | generators, error model, runtime allocators | [`vmplace_sim`] |
+//! | problem model, yield semantics, request/response/delta types | [`vmplace_model`] |
+//! | LP/MILP solver (simplex + B&B, persistent `MilpSolver`, deadlines) | [`vmplace_lp`] |
+//! | placement algorithms (greedy, VP, META*, RRND/RRNZ), the portfolio engine (`SolveCtx`, incumbent pruning, telemetry) and the reusable `EngineHandle` | [`vmplace_core`] |
+//! | generators, error model, runtime allocators, request traces | [`vmplace_sim`] |
+//! | long-lived allocation service: solver pool, dispatcher, trace replay | [`vmplace_service`] |
 //! | parallel executor: sweeps + portfolio primitive | [`vmplace_par`] |
 //!
 //! This facade re-exports the public API; the `vmplace-experiments` crate
@@ -49,20 +50,24 @@ pub use vmplace_core as core;
 pub use vmplace_lp as lp;
 pub use vmplace_model as model;
 pub use vmplace_par as par;
+pub use vmplace_service as service;
 pub use vmplace_sim as sim;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use vmplace_core::{
-        binary_search_yield, Algorithm, ExactMilp, GreedyAlgorithm, MetaGreedy, MetaVp, NodePicker,
-        PortfolioReport, RandomizedRounding, ServiceSort, SolveCtx, VpAlgorithm,
+        binary_search_yield, Algorithm, EngineHandle, ExactMilp, GreedyAlgorithm, MetaGreedy,
+        MetaVp, NodePicker, PortfolioReport, RandomizedRounding, ServiceSort, SolveCtx,
+        VpAlgorithm,
     };
     pub use vmplace_model::{
-        dims, evaluate_placement, Node, Placement, ProblemInstance, ResourceVector, Service,
-        Solution,
+        dims, evaluate_placement, AllocRequest, AllocResponse, Node, Placement, ProblemInstance,
+        RequestKind, RequestOutcome, ResourceVector, Service, Solution, WorkloadDelta,
     };
+    pub use vmplace_service::{replay_oneshot, ServiceAlgo, ServiceConfig, SolverPool};
     pub use vmplace_sim::{
         apply_min_threshold, perturb_cpu_needs, zero_knowledge_placement, AllocationPolicy,
-        ErrorRun, HomogeneousDim, PlatformConfig, Scenario, ScenarioConfig, WorkloadConfig,
+        ErrorRun, HomogeneousDim, PlatformConfig, Scenario, ScenarioConfig, TraceConfig,
+        WorkloadConfig,
     };
 }
