@@ -1,0 +1,88 @@
+//! Network front-end overhead: a loopback server-mediated replay against
+//! the in-process pool it fronts, and the response cache against real
+//! re-solves.
+//!
+//! The wire adds parse + frame + two socket hops per request; on solver
+//! traffic (milliseconds per request) that overhead must disappear into
+//! the noise — `BENCH_net.json` (see the `net_stats` example) quantifies
+//! it across a connections × workers grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vmplace_model::{AllocRequest, RequestKind};
+use vmplace_net::{Client, Server, ServerConfig};
+use vmplace_service::{ServiceConfig, SolverPool};
+use vmplace_sim::{ScenarioConfig, TraceConfig};
+
+fn trace_config() -> TraceConfig {
+    TraceConfig {
+        streams: 3,
+        requests: 24,
+        scenario: ScenarioConfig {
+            hosts: 16,
+            services: 40,
+            cov: 0.5,
+            memory_slack: 0.6,
+            ..ScenarioConfig::default()
+        },
+        ..TraceConfig::default()
+    }
+}
+
+/// One `New` followed by identical `Resolve`s: the response cache's
+/// target workload.
+fn resolve_burst_trace(resolves: usize) -> Vec<AllocRequest> {
+    let mut trace = trace_config().generate(2);
+    trace.truncate(1); // the stream-0 opening New
+    for i in 0..resolves as u64 {
+        trace.push(AllocRequest {
+            id: 1 + i,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+        });
+    }
+    trace
+}
+
+fn bench_net(c: &mut Criterion) {
+    let trace = trace_config().generate(1);
+    let mut group = c.benchmark_group("net_replay");
+
+    let config = ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+
+    let mut pool = SolverPool::new(&config);
+    group.bench_function("inprocess_pool", |b| b.iter(|| pool.replay(trace.clone())));
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerConfig {
+            service: config.clone(),
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    group.bench_function("loopback_server", |b| {
+        b.iter(|| client.replay(&trace).expect("remote replay"))
+    });
+
+    let bursts = resolve_burst_trace(16);
+    let mut cached_pool = SolverPool::new(&config);
+    group.bench_function("resolves_cached", |b| {
+        b.iter(|| cached_pool.replay(bursts.clone()))
+    });
+    let mut uncached_pool = SolverPool::new(&ServiceConfig {
+        response_cache: false,
+        ..config
+    });
+    group.bench_function("resolves_uncached", |b| {
+        b.iter(|| uncached_pool.replay(bursts.clone()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

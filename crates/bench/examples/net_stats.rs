@@ -1,0 +1,196 @@
+//! Emits the `BENCH_net.json` numbers: loopback server throughput across
+//! a connections × workers grid against the in-process pool, plus the
+//! response-cache speedup on identical re-solves.
+//!
+//! ```text
+//! cargo run --release -p vmplace-bench --example net_stats [reps]
+//! ```
+
+use std::time::Instant;
+use vmplace_model::{AllocRequest, RequestKind, RequestOutcome};
+use vmplace_net::{Client, Server, ServerConfig};
+use vmplace_service::{ServiceConfig, SolverPool};
+use vmplace_sim::{ScenarioConfig, TraceConfig};
+
+fn make_trace(hosts: usize, services: usize, streams: usize, requests: usize) -> Vec<AllocRequest> {
+    TraceConfig {
+        streams,
+        requests,
+        scenario: ScenarioConfig {
+            hosts,
+            services,
+            cov: 0.5,
+            memory_slack: 0.6,
+            ..ScenarioConfig::default()
+        },
+        ..TraceConfig::default()
+    }
+    .generate(1)
+}
+
+/// Splits a trace by stream across `connections` clients (whole streams
+/// only, so per-stream order is preserved per connection).
+fn split_by_stream(trace: &[AllocRequest], connections: usize) -> Vec<Vec<AllocRequest>> {
+    let mut parts = vec![Vec::new(); connections];
+    for req in trace {
+        parts[(req.stream % connections as u64) as usize].push(req.clone());
+    }
+    parts
+}
+
+fn solved(responses: &[vmplace_model::AllocResponse]) -> usize {
+    responses
+        .iter()
+        .filter(|r| r.outcome == RequestOutcome::Solved)
+        .count()
+}
+
+/// Mean seconds per call of `f` over `reps` calls after one warm-up.
+fn time<F: FnMut() -> usize>(reps: usize, mut f: F) -> (f64, usize) {
+    let mut n = f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        n = f();
+    }
+    (t0.elapsed().as_secs_f64() / reps as f64, n)
+}
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    println!("{{");
+    println!(
+        "  \"note\": \"seconds, mean of {reps} replays after warm-up; loopback = vmplace-net client/server over 127.0.0.1 (trace split by stream across connections), inprocess = SolverPool in the same process; cached vs uncached = identical Resolve burst with the response cache on/off; worker counts beyond effective_parallelism cannot speed up wall-clock\","
+    );
+    println!(
+        "  \"effective_parallelism\": {},",
+        vmplace_bench::effective_parallelism()
+    );
+    println!("  \"configured_threads\": {},", vmplace_par::num_threads());
+    println!(
+        "  \"parallel_speedup_meaningful\": {},",
+        vmplace_bench::effective_parallelism() > 1
+    );
+
+    // ── Loopback vs in-process, connections × workers grid ────────────
+    println!("  \"loopback\": [");
+    let shapes: [(usize, usize, usize, usize); 2] = [(16, 40, 4, 60), (64, 100, 4, 48)];
+    let mut first = true;
+    for (hosts, services, streams, requests) in shapes {
+        let trace = make_trace(hosts, services, streams, requests);
+        for workers in [1usize, 4] {
+            let service = ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            };
+
+            let mut pool = SolverPool::new(&service);
+            let (t_pool, solved_pool) = time(reps, || solved(&pool.replay(trace.clone())));
+            pool.shutdown();
+
+            for connections in [1usize, 4] {
+                let server = Server::bind(
+                    "127.0.0.1:0",
+                    &ServerConfig {
+                        service: service.clone(),
+                    },
+                )
+                .expect("bind");
+                let addr = server.local_addr();
+                let parts = split_by_stream(&trace, connections);
+                let (t_net, solved_net) = time(reps, || {
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .cloned()
+                        .map(|part| {
+                            std::thread::spawn(move || {
+                                let mut client = Client::connect(addr).expect("connect");
+                                solved(&client.replay(&part).expect("replay"))
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("client")).sum()
+                });
+                drop(server);
+                assert_eq!(
+                    solved_pool, solved_net,
+                    "loopback and in-process disagree on solved count"
+                );
+
+                if !first {
+                    println!(",");
+                }
+                first = false;
+                print!(
+                    "    {{\"hosts\": {hosts}, \"services\": {services}, \"streams\": {streams}, \
+                     \"requests\": {requests}, \"workers\": {workers}, \"connections\": {connections}, \
+                     \"inprocess_ms_per_request\": {:.3}, \"loopback_ms_per_request\": {:.3}, \
+                     \"overhead_ratio\": {:.3}, \"solved\": {solved_net}}}",
+                    t_pool * 1e3 / requests as f64,
+                    t_net * 1e3 / requests as f64,
+                    t_net / t_pool,
+                );
+                eprintln!(
+                    "H={hosts:<3} J={services:<4} w={workers} c={connections}  inprocess {:.3}s  loopback {:.3}s  ({:.2}x)",
+                    t_pool, t_net, t_net / t_pool
+                );
+            }
+        }
+    }
+    println!();
+    println!("  ],");
+
+    // ── Response cache: identical re-solves ───────────────────────────
+    println!("  \"response_cache\": [");
+    let mut first = true;
+    for (hosts, services) in [(16usize, 40usize), (64, 100)] {
+        let mut trace = make_trace(hosts, services, 1, 1); // one New
+        let resolves = 64u64;
+        for i in 0..resolves {
+            trace.push(AllocRequest {
+                id: 1 + i,
+                stream: trace[0].stream,
+                kind: RequestKind::Resolve,
+                budget: None,
+            });
+        }
+        let base = ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        };
+        let mut cached = SolverPool::new(&base);
+        let (t_on, _) = time(reps, || solved(&cached.replay(trace.clone())));
+        let mut uncached = SolverPool::new(&ServiceConfig {
+            response_cache: false,
+            ..base
+        });
+        let (t_off, _) = time(reps, || solved(&uncached.replay(trace.clone())));
+
+        // Per identical re-solve (the burst minus the opening New and the
+        // cache-warming first resolve, both paid on either path).
+        let per_on = t_on * 1e3 / resolves as f64;
+        let per_off = t_off * 1e3 / resolves as f64;
+        if !first {
+            println!(",");
+        }
+        first = false;
+        print!(
+            "    {{\"hosts\": {hosts}, \"services\": {services}, \"identical_resolves\": {resolves}, \
+             \"uncached_ms_per_resolve\": {per_off:.3}, \"cached_ms_per_resolve\": {per_on:.3}, \
+             \"cache_speedup\": {:.1}}}",
+            t_off / t_on,
+        );
+        eprintln!(
+            "H={hosts:<3} J={services:<4} {resolves} identical resolves: uncached {:.3}s  cached {:.3}s  ({:.1}x)",
+            t_off,
+            t_on,
+            t_off / t_on
+        );
+    }
+    println!();
+    println!("  ]");
+    println!("}}");
+}

@@ -147,6 +147,30 @@ pub enum RequestOutcome {
     Rejected,
 }
 
+impl RequestOutcome {
+    /// The outcome's spelling in the `vmplace-net` wire protocol.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            RequestOutcome::Solved => "solved",
+            RequestOutcome::Infeasible => "infeasible",
+            RequestOutcome::TimedOut => "timed-out",
+            RequestOutcome::Rejected => "rejected",
+        }
+    }
+
+    /// Parses a wire spelling (the inverse of
+    /// [`RequestOutcome::wire_name`]).
+    pub fn from_wire(s: &str) -> Option<RequestOutcome> {
+        match s {
+            "solved" => Some(RequestOutcome::Solved),
+            "infeasible" => Some(RequestOutcome::Infeasible),
+            "timed-out" => Some(RequestOutcome::TimedOut),
+            "rejected" => Some(RequestOutcome::Rejected),
+            _ => None,
+        }
+    }
+}
+
 /// The allocator's answer to one [`AllocRequest`].
 #[derive(Clone, Debug)]
 pub struct AllocResponse {
@@ -167,6 +191,11 @@ pub struct AllocResponse {
     pub wall: Duration,
     /// Rejection detail for [`RequestOutcome::Rejected`].
     pub error: Option<String>,
+    /// Whether this response was answered from the service's response
+    /// cache (an identical re-solve of an unchanged instance). Cached
+    /// responses are bit-for-bit equal to what the uncached solve would
+    /// have produced — only `wall` (and this marker) differ.
+    pub cached: bool,
 }
 
 impl AllocResponse {
@@ -181,6 +210,7 @@ impl AllocResponse {
             probes: 0,
             wall: Duration::ZERO,
             error: Some(error),
+            cached: false,
         }
     }
 

@@ -1,0 +1,212 @@
+//! The blocking client: connect, pipelined submit, iterate responses.
+
+use crate::wire::{
+    self, read_line_bounded, read_server_frame, LineRead, NetError, ServerFrame, MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use vmplace_model::{AllocRequest, AllocResponse};
+use vmplace_service::trace_io::write_request;
+
+/// A blocking connection to a `vmplace-net` server.
+///
+/// Requests are **pipelined**: [`Client::submit`] only buffers the frame,
+/// so a caller can queue an entire trace before reading the first
+/// response; the server streams responses back in submission order.
+/// [`Client::recv_response`] (or the [`Client::responses`] iterator)
+/// flushes pending writes and blocks for the next frame.
+///
+/// ```no_run
+/// use vmplace_net::Client;
+/// # fn main() -> Result<(), vmplace_net::NetError> {
+/// let mut client = Client::connect("127.0.0.1:7070")?;
+/// # let trace: Vec<vmplace_model::AllocRequest> = vec![];
+/// let responses = client.replay(&trace)?; // pipelined, id-sorted
+/// # Ok(()) }
+/// ```
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Solver requests submitted but not yet answered.
+    pending: usize,
+    scratch: String,
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake. A server that is
+    /// shutting down answers the handshake with `draining`, surfaced as
+    /// [`NetError::Draining`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Client {
+            reader,
+            writer: BufWriter::new(stream),
+            pending: 0,
+            scratch: String::new(),
+        };
+        writeln!(client.writer, "{} {}", wire::MAGIC, PROTOCOL_VERSION).map_err(NetError::from)?;
+        client.writer.flush().map_err(NetError::from)?;
+
+        let greeting = match read_line_bounded(&mut client.reader, MAX_LINE_BYTES)? {
+            LineRead::Line(l) => l,
+            LineRead::Eof => return Err(NetError::Closed),
+            _ => return Err(NetError::Protocol("unreadable greeting".into())),
+        };
+        let mut words = greeting.split_whitespace();
+        match (words.next(), words.next(), words.next()) {
+            (Some(wire::MAGIC), Some(_), Some("ready")) => Ok(client),
+            (Some(wire::MAGIC), Some(_), Some("draining")) => Err(NetError::Draining),
+            (Some("error"), code, _) => Err(NetError::Remote {
+                code: code.unwrap_or("").to_string(),
+                message: greeting
+                    .splitn(3, char::is_whitespace)
+                    .nth(2)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            _ => Err(NetError::Protocol(format!("bad greeting `{greeting}`"))),
+        }
+    }
+
+    /// Queues one request frame (buffered; no syscall until a flush).
+    /// Stream ids must stay below [`wire::MAX_STREAM_ID`].
+    pub fn submit(&mut self, request: &AllocRequest) -> Result<(), NetError> {
+        self.scratch.clear();
+        write_request(&mut self.scratch, request);
+        self.writer
+            .write_all(self.scratch.as_bytes())
+            .map_err(NetError::from)?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered request frames to the socket.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        self.writer.flush().map_err(NetError::from)
+    }
+
+    /// Solver requests submitted but not yet answered.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Flushes, then blocks for the next response frame. A structured
+    /// `error` frame from the server is surfaced as [`NetError::Remote`]
+    /// (after which the server closes the connection).
+    pub fn recv_response(&mut self) -> Result<AllocResponse, NetError> {
+        self.flush()?;
+        match read_server_frame(&mut self.reader)? {
+            ServerFrame::Response(r) => {
+                self.pending = self.pending.saturating_sub(1);
+                Ok(*r)
+            }
+            ServerFrame::Error { code, message } => Err(NetError::Remote { code, message }),
+            ServerFrame::Bye => Err(NetError::Closed),
+            ServerFrame::Pong(_) => Err(NetError::Protocol("unsolicited pong".into())),
+        }
+    }
+
+    /// A blocking iterator over the responses to every pending request,
+    /// in submission order. Stops after the last pending response (or
+    /// yields one final `Err` and fuses on failure).
+    pub fn responses(&mut self) -> Responses<'_> {
+        Responses {
+            remaining: self.pending,
+            client: self,
+            failed: false,
+        }
+    }
+
+    /// Round-trip liveness probe. Pongs are **in-band**: the reply takes
+    /// its place in the response stream, so with pending requests the
+    /// pong arrives after their responses (call with `pending() == 0`
+    /// for a pure latency probe).
+    pub fn ping(&mut self, token: &str) -> Result<(), NetError> {
+        debug_assert!(
+            self.pending == 0,
+            "ping with pending responses would misread the stream"
+        );
+        writeln!(self.writer, "ping {token}").map_err(NetError::from)?;
+        self.flush()?;
+        match read_server_frame(&mut self.reader)? {
+            ServerFrame::Pong(t) if t == token => Ok(()),
+            ServerFrame::Pong(t) => Err(NetError::Protocol(format!(
+                "pong token mismatch: sent `{token}`, got `{t}`"
+            ))),
+            ServerFrame::Error { code, message } => Err(NetError::Remote { code, message }),
+            _ => Err(NetError::Protocol("expected pong".into())),
+        }
+    }
+
+    /// Pipelined replay: submits the whole trace, then collects every
+    /// response and returns them sorted by request id (the submission
+    /// stream order of the trace).
+    pub fn replay(&mut self, trace: &[AllocRequest]) -> Result<Vec<AllocResponse>, NetError> {
+        for request in trace {
+            self.submit(request)?;
+        }
+        let mut out = Vec::with_capacity(trace.len());
+        for response in self.responses() {
+            out.push(response?);
+        }
+        out.sort_by_key(|r| r.id);
+        Ok(out)
+    }
+
+    /// Asks the server to drain and exit, then reads this connection's
+    /// stream to its `bye`, returning any responses that were still in
+    /// flight. Consumes the client.
+    pub fn shutdown_server(mut self) -> Result<Vec<AllocResponse>, NetError> {
+        self.writer
+            .write_all(b"shutdown\n")
+            .map_err(NetError::from)?;
+        self.flush()?;
+        let mut leftovers = Vec::new();
+        loop {
+            match read_server_frame(&mut self.reader) {
+                Ok(ServerFrame::Response(r)) => leftovers.push(*r),
+                Ok(ServerFrame::Pong(_)) => {}
+                Ok(ServerFrame::Bye) | Err(NetError::Closed) => return Ok(leftovers),
+                Ok(ServerFrame::Error { code, message }) => {
+                    return Err(NetError::Remote { code, message })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Iterator returned by [`Client::responses`].
+pub struct Responses<'a> {
+    client: &'a mut Client,
+    remaining: usize,
+    failed: bool,
+}
+
+impl Iterator for Responses<'_> {
+    type Item = Result<AllocResponse, NetError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.client.recv_response() {
+            Ok(r) => Some(Ok(r)),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.failed {
+            (0, Some(0))
+        } else {
+            (self.remaining, Some(self.remaining))
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Network front-end for the allocation service.
+//!
+//! The paper's allocator decides placements for a hosting platform; a
+//! deployment serves those decisions to cluster managers over the wire.
+//! This crate is that front door: a dependency-free (`std::net`) TCP
+//! [`Server`] that parses a line-oriented wire protocol — the request
+//! framing of [`vmplace_service::trace_io`] extended with connection
+//! control frames — and routes requests into the resident
+//! [`vmplace_service::SolverPool`], plus a blocking, pipelining
+//! [`Client`].
+//!
+//! Properties the integration suite (`tests/integration_net.rs`) pins:
+//!
+//! * **Bit-for-bit transparency** — replaying a trace through a loopback
+//!   server yields exactly the responses of an in-process pool replay
+//!   (and of the one-shot reference path): yields, placements, winners,
+//!   probes and outcomes, at any worker count, with the response cache
+//!   on or off. Floats travel as shortest round-trip decimals.
+//! * **Ordering** — each connection's responses arrive in its submission
+//!   order, however many workers and streams are interleaved behind it.
+//! * **Hardening** — oversized frames, invalid UTF-8 and unknown verbs
+//!   get a structured `error <code> …` frame, never a panic or a hung
+//!   connection, and never disturb other connections.
+//! * **Graceful lifecycle** — `--port 0` binds an ephemeral port;
+//!   [`Server::shutdown`] drains in-flight requests, answers new
+//!   connections with a `draining` greeting, and is idempotent.
+//!
+//! See `crates/net/README.md` for the frame grammar, versioning and
+//! error codes, and `BENCH_net.json` for loopback overhead measurements.
+
+#![warn(missing_docs)]
+
+mod client;
+mod server;
+pub mod wire;
+
+pub use client::{Client, Responses};
+pub use server::{Server, ServerConfig};
+pub use wire::NetError;

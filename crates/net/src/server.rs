@@ -1,0 +1,714 @@
+//! The TCP front-end: acceptor, per-connection reader/writer threads,
+//! graceful drain.
+//!
+//! ```text
+//!            acceptor thread
+//!                  │ accept()
+//!        ┌─────────┴─────────┐  per connection
+//!        ▼                   ▼
+//!   reader thread       writer thread
+//!   parse frames        reorder completions by submission
+//!   remap ids/streams   sequence, restore client ids,
+//!   submit to pool      write response frames
+//!        │                   ▲
+//!        ▼                   │ completion sink (routes by the
+//!   SolverPool ──────────────┘ connection bits of the response id)
+//! ```
+//!
+//! Requests are submitted to the shared [`SolverPool`] in sink
+//! (completion-callback) mode. Because different streams of one
+//! connection land on different workers, completions arrive out of
+//! order; the writer holds them in a heap and emits frames strictly in
+//! the connection's submission order — pongs and error frames take their
+//! in-band position in that same sequence.
+//!
+//! **Namespacing.** Client ids and stream ids are connection-local. The
+//! server rewrites both on the way in — `(connection index << 40) |
+//! value` — so streams of different connections can never alias inside
+//! the pool, and restores the client's own values on the way out (the
+//! writer knows them per sequence number, so client *ids* are arbitrary
+//! u64s; client *streams* must stay below 2^40).
+
+use crate::wire::{
+    self, codes, write_response, MAX_BODY_LINES, MAX_LINE_BYTES, MAX_STREAM_ID, PROTOCOL_VERSION,
+};
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use vmplace_model::{AllocRequest, AllocResponse};
+use vmplace_service::{trace_io::BlockAssembler, ServiceConfig, SolverPool};
+
+/// Bits of a server-side id/stream holding the connection-local value.
+const CONN_SHIFT: u32 = 40;
+const SEQ_MASK: u64 = (1 << CONN_SHIFT) - 1;
+
+/// Connection indices must fit in the bits above the shift; a server
+/// that has accepted this many connections over its lifetime refuses
+/// further ones rather than alias ids across tenants.
+const CONN_LIMIT: u64 = 1 << (64 - CONN_SHIFT);
+
+/// Socket read timeout: how often an idle reader wakes to check the
+/// draining flag. During a drain, readers first consume every frame
+/// already received (reads return data, not timeouts, while the buffer
+/// is non-empty), so requests flushed before the drain began are still
+/// answered; the first quiet interval ends the connection.
+const READ_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// How long a draining reader keeps accepting frames from a client that
+/// never goes quiet. Frames already buffered at drain time are consumed
+/// within microseconds; this bound only stops a continuously streaming
+/// client from holding the drain open forever.
+const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Socket write timeout: a client that pipelines requests but never
+/// reads responses would otherwise block its writer thread in
+/// `write_all` forever once the kernel send buffer fills — and the drain
+/// joins every writer. On expiry the connection is treated as dead (the
+/// writer keeps consuming completions without writing).
+const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Configuration of the network front-end.
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// The allocation-service configuration backing the pool (workers,
+    /// algorithm, warm start, response cache, default budget).
+    pub service: ServiceConfig,
+}
+
+/// What the reader tells the writer about each submission-order slot.
+enum Meta {
+    /// Emit the protocol greeting (successful handshake).
+    Greeting,
+    /// A solver request occupies this slot; the writer must wait for its
+    /// completion and restore the client's id and stream.
+    Request {
+        seq: u64,
+        client_id: u64,
+        client_stream: u64,
+    },
+    /// Emit a pong immediately.
+    Pong(String),
+    /// Emit a structured error frame immediately.
+    Error { code: &'static str, message: String },
+    /// Emit `bye`, flush, and end the connection's response stream.
+    Bye,
+}
+
+/// One live connection's drain handle: a socket clone plus the reader
+/// and writer threads to join.
+type ConnHandle = (TcpStream, JoinHandle<()>, JoinHandle<()>);
+
+/// Completions keyed (and min-ordered) by submission sequence.
+struct Pending(u64, AllocResponse);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest seq.
+        other.0.cmp(&self.0)
+    }
+}
+
+struct Shared {
+    addr: SocketAddr,
+    draining: AtomicBool,
+    /// Set at the very end of the drain: the acceptor exits instead of
+    /// answering `draining`.
+    accept_stop: AtomicBool,
+    /// Signalled when a `shutdown` wire frame (or [`Server::shutdown`])
+    /// requests the drain.
+    shutdown_requested: (Mutex<bool>, Condvar),
+    /// Completion routing: connection index → writer's completion sender.
+    routes: Mutex<HashMap<u64, Sender<Pending>>>,
+    /// The shared pool, in sink mode. Taken (and dropped, joining the
+    /// workers) at the end of the drain.
+    pool: Mutex<Option<SolverPool>>,
+    /// Live connection bookkeeping for the drain: a socket clone (keeps
+    /// the fd addressable for future needs, e.g. forced aborts) and the
+    /// reader/writer thread handles to join.
+    conns: Mutex<Vec<ConnHandle>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        let (lock, cvar) = &self.shutdown_requested;
+        *lock.lock().expect("shutdown flag") = true;
+        cvar.notify_all();
+    }
+}
+
+/// A running allocation server. See the [module docs](self) for the
+/// thread layout and `crates/net/README.md` for the protocol.
+///
+/// Binding to port 0 picks an ephemeral port; [`Server::local_addr`]
+/// reports the actual address (tests and CI never collide on a fixed
+/// port).
+///
+/// [`Server::shutdown`] is graceful and idempotent: new connections are
+/// rejected with a `draining` greeting, every request already submitted
+/// is solved and its response delivered, and all threads (acceptor,
+/// per-connection pairs, pool workers) are joined before it returns.
+/// Dropping the server calls it implicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    /// Drain-once guard: `true` once a shutdown completed.
+    done: Mutex<bool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            addr,
+            draining: AtomicBool::new(false),
+            accept_stop: AtomicBool::new(false),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+            routes: Mutex::new(HashMap::new()),
+            pool: Mutex::new(None),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+
+        // The pool delivers completions straight to the owning
+        // connection's writer, routed by the connection bits of the id.
+        let sink_shared = shared.clone();
+        let pool = SolverPool::with_sink(
+            &config.service,
+            Arc::new(move |response: AllocResponse| {
+                let conn = response.id >> CONN_SHIFT;
+                let seq = response.id & SEQ_MASK;
+                let routes = sink_shared.routes.lock().expect("routes");
+                if let Some(tx) = routes.get(&conn) {
+                    // A closed writer (client vanished) just discards.
+                    let _ = tx.send(Pending(seq, response));
+                }
+            }),
+        );
+        *shared.pool.lock().expect("pool slot") = Some(pool);
+
+        let acceptor_shared = shared.clone();
+        let acceptor = std::thread::spawn(move || accept_loop(listener, acceptor_shared));
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            done: Mutex::new(false),
+        })
+    }
+
+    /// The bound address (the real port, also when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Whether a shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown is requested — by [`Server::shutdown`]
+    /// from another thread, or by a client's `shutdown` wire frame — then
+    /// performs the drain and returns. `vmplace serve` is a bind
+    /// followed by this call.
+    pub fn wait(mut self) {
+        {
+            let (lock, cvar) = &self.shared.shutdown_requested;
+            let mut requested = lock.lock().expect("shutdown flag");
+            while !*requested {
+                requested = cvar.wait(requested).expect("shutdown flag");
+            }
+        }
+        self.drain();
+    }
+
+    /// Marks the server draining **without** completing the shutdown:
+    /// new connections are rejected with the `draining` greeting from
+    /// this call on, and any [`Server::wait`] caller is released into
+    /// the drain. Idempotent; [`Server::shutdown`] implies it.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
+    }
+
+    /// Graceful, idempotent shutdown: reject new connections with a
+    /// `draining` greeting, stop reading from live connections, deliver
+    /// every in-flight response, join every thread. Safe to call from
+    /// any thread, any number of times; concurrent callers block until
+    /// the first drain finishes.
+    pub fn shutdown(&mut self) {
+        self.begin_shutdown();
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        let mut done = self.done.lock().expect("drain guard");
+        if *done {
+            return;
+        }
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.request_shutdown();
+
+        // Wind down live connections: each reader first consumes every
+        // frame already received (reads keep returning data while the
+        // socket buffer is non-empty), then exits on its first quiet
+        // [`READ_POLL`] interval; its writer then drains every completion
+        // of the requests read (the pool workers are still running) and
+        // says `bye`. New connections keep being answered with the
+        // `draining` greeting throughout.
+        let conns = std::mem::take(&mut *shared.conns.lock().expect("conns"));
+        for (_stream, reader, writer) in conns {
+            let _ = reader.join();
+            let _ = writer.join();
+        }
+
+        // Now retire the acceptor: flag it down and wake it out of
+        // accept() with a throwaway connection.
+        shared.accept_stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(shared.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+
+        // A connection accepted just before the draining flag landed may
+        // have been registered after the sweep above; with the acceptor
+        // gone the registry is final, so one more sweep closes the race.
+        let conns = std::mem::take(&mut *shared.conns.lock().expect("conns"));
+        for (_stream, reader, writer) in conns {
+            let _ = reader.join();
+            let _ = writer.join();
+        }
+
+        // Finally the pool itself: dropping it drains worker queues
+        // (already empty — every completion was awaited) and joins the
+        // worker threads.
+        drop(shared.pool.lock().expect("pool slot").take());
+        *done = true;
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Listener failure: trigger a drain so `wait` callers return.
+            shared.request_shutdown();
+            return;
+        };
+        if shared.accept_stop.load(Ordering::SeqCst) {
+            return; // the drain's wake-up connection
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            // Reject with the draining greeting and keep accepting (so
+            // every rejected client gets the frame until the drain ends).
+            reject(
+                stream,
+                &format!("{} {} draining\n", wire::MAGIC, PROTOCOL_VERSION),
+            );
+            continue;
+        }
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        if conn_id >= CONN_LIMIT {
+            // Out of connection-id space for this server lifetime:
+            // refuse honestly instead of aliasing ids across tenants.
+            reject(
+                stream,
+                "error internal connection-id space exhausted; restart the server\n",
+            );
+            continue;
+        }
+        match spawn_connection(&shared, stream, conn_id) {
+            Ok(entry) => shared.conns.lock().expect("conns").push(entry),
+            Err(_) => continue, // socket clone failure: drop the connection
+        }
+    }
+}
+
+/// Refuses a connection with a one-line answer, making sure the line
+/// actually reaches the peer: closing a socket with unread input (the
+/// client's hello) can send RST and purge the already-written reply, so
+/// the write side is half-closed first and the peer's bytes are drained
+/// until EOF or a short timeout.
+fn reject(mut stream: TcpStream, line: &str) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(DRAIN_GRACE));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Sets up one connection: registers the completion route, spawns the
+/// reader (which performs the handshake) and the writer.
+fn spawn_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    conn_id: u64,
+) -> std::io::Result<ConnHandle> {
+    let registry_stream = stream.try_clone()?;
+    let write_stream = stream.try_clone()?;
+
+    let (meta_tx, meta_rx) = channel::<Meta>();
+    let (comp_tx, comp_rx) = channel::<Pending>();
+    shared
+        .routes
+        .lock()
+        .expect("routes")
+        .insert(conn_id, comp_tx);
+
+    let reader_shared = shared.clone();
+    let reader = std::thread::spawn(move || {
+        read_loop(reader_shared, stream, conn_id, meta_tx);
+    });
+    let writer_shared = shared.clone();
+    let writer = std::thread::spawn(move || {
+        write_loop(write_stream, meta_rx, comp_rx);
+        // Past this point no completion for this connection can be in
+        // flight (every submitted request was awaited before `bye`).
+        writer_shared
+            .routes
+            .lock()
+            .expect("routes")
+            .remove(&conn_id);
+        // Retire the connection's stream namespace so long-lived worker
+        // memory (instances, warm yields, caches) tracks live clients.
+        // FIFO per worker orders this after every submitted request.
+        if let Some(pool) = writer_shared.pool.lock().expect("pool slot").as_mut() {
+            pool.retire_streams(conn_id << CONN_SHIFT, !SEQ_MASK);
+        }
+    });
+    Ok((registry_stream, reader, writer))
+}
+
+/// One bounded, timeout-polling line read (see [`READ_POLL`]).
+enum FrameLine {
+    Line(String),
+    Eof,
+    TooLong,
+    BadUtf8,
+    /// A quiet interval elapsed while the server is draining.
+    DrainTimeout,
+}
+
+/// Reads one line, keeping partial input in `partial` across timeout
+/// wake-ups so mid-line timeouts lose nothing. Never buffers more than
+/// `MAX_LINE_BYTES + 1` bytes.
+fn read_frame_line(
+    reader: &mut BufReader<TcpStream>,
+    partial: &mut Vec<u8>,
+    draining: &AtomicBool,
+) -> FrameLine {
+    loop {
+        let budget = (MAX_LINE_BYTES + 1).saturating_sub(partial.len());
+        match reader.take(budget as u64).read_until(b'\n', partial) {
+            Ok(0) => {
+                // EOF (a truncated final line is dropped — the client is
+                // gone mid-frame). `budget == 0` cannot reach here: the
+                // over-budget case returned `TooLong` below.
+                return FrameLine::Eof;
+            }
+            Ok(_) => {
+                if partial.last() == Some(&b'\n') {
+                    partial.pop();
+                    if partial.last() == Some(&b'\r') {
+                        partial.pop();
+                    }
+                    let bytes = std::mem::take(partial);
+                    return match String::from_utf8(bytes) {
+                        Ok(s) => FrameLine::Line(s),
+                        Err(_) => FrameLine::BadUtf8,
+                    };
+                }
+                if partial.len() > MAX_LINE_BYTES {
+                    return FrameLine::TooLong;
+                }
+                // Short read without newline (buffer boundary): read on.
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if draining.load(Ordering::SeqCst) {
+                    return FrameLine::DrainTimeout;
+                }
+            }
+            Err(_) => return FrameLine::Eof,
+        }
+    }
+}
+
+/// Parses frames off the socket, submits solver requests, narrates the
+/// submission order to the writer. Every exit path queues `Meta::Bye` so
+/// the writer terminates.
+fn read_loop(shared: Arc<Shared>, stream: TcpStream, conn_id: u64, meta: Sender<Meta>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut reader = BufReader::new(stream);
+    let mut partial = Vec::new();
+    let fail = |meta: &Sender<Meta>, code, message: String| {
+        let _ = meta.send(Meta::Error { code, message });
+        let _ = meta.send(Meta::Bye);
+    };
+
+    // Handshake: the hello line must come first.
+    match read_frame_line(&mut reader, &mut partial, &shared.draining) {
+        FrameLine::Line(hello) => {
+            let mut words = hello.split_whitespace();
+            let ok = words.next() == Some(wire::MAGIC)
+                && words.next().and_then(|v| v.parse::<u32>().ok()) == Some(PROTOCOL_VERSION)
+                && words.next().is_none();
+            if !ok {
+                fail(
+                    &meta,
+                    codes::BAD_VERSION,
+                    format!(
+                        "expected `{} {}`, got `{hello}`",
+                        wire::MAGIC,
+                        PROTOCOL_VERSION
+                    ),
+                );
+                return;
+            }
+            let _ = meta.send(Meta::Greeting);
+        }
+        FrameLine::TooLong => return fail(&meta, codes::FRAME_TOO_LARGE, "oversized hello".into()),
+        FrameLine::BadUtf8 => return fail(&meta, codes::BAD_UTF8, "hello not UTF-8".into()),
+        FrameLine::Eof | FrameLine::DrainTimeout => {
+            let _ = meta.send(Meta::Bye);
+            return;
+        }
+    }
+
+    let mut assembler = BlockAssembler::new();
+    let mut seq: u64 = 0;
+    let mut line_no: usize = 1;
+    // When a drain begins, frames already in the socket buffer are still
+    // consumed; the grace deadline stops a client that keeps streaming
+    // from holding the drain open forever.
+    let mut drain_seen: Option<std::time::Instant> = None;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            let seen = *drain_seen.get_or_insert_with(std::time::Instant::now);
+            if seen.elapsed() > DRAIN_GRACE {
+                return fail(&meta, codes::DRAINING, "server is draining".into());
+            }
+        }
+        line_no += 1;
+        let line = match read_frame_line(&mut reader, &mut partial, &shared.draining) {
+            FrameLine::Line(l) => l,
+            FrameLine::Eof | FrameLine::DrainTimeout => break,
+            FrameLine::TooLong => {
+                return fail(
+                    &meta,
+                    codes::FRAME_TOO_LARGE,
+                    format!("line {line_no} exceeds {MAX_LINE_BYTES} bytes"),
+                )
+            }
+            FrameLine::BadUtf8 => {
+                return fail(
+                    &meta,
+                    codes::BAD_UTF8,
+                    format!("line {line_no} is not valid UTF-8"),
+                )
+            }
+        };
+
+        if !assembler.in_block() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let (verb, rest) = trimmed
+                .split_once(char::is_whitespace)
+                .unwrap_or((trimmed, ""));
+            match verb {
+                "ping" => {
+                    let _ = meta.send(Meta::Pong(rest.trim().to_string()));
+                    continue;
+                }
+                "shutdown" => {
+                    // Begin the server-wide drain; this connection's
+                    // in-flight responses still go out before `bye`.
+                    shared.draining.store(true, Ordering::SeqCst);
+                    shared.request_shutdown();
+                    break;
+                }
+                "request" => {} // falls through to the assembler
+                other => {
+                    return fail(
+                        &meta,
+                        codes::UNKNOWN_VERB,
+                        format!("line {line_no}: unknown verb `{other}`"),
+                    )
+                }
+            }
+        } else if line.trim() != "end" && assembler.body_lines() >= MAX_BODY_LINES {
+            // Only lines that would *join* the body count against the
+            // limit — a block of exactly MAX_BODY_LINES still closes.
+            return fail(
+                &meta,
+                codes::FRAME_TOO_LARGE,
+                format!("request block exceeds {MAX_BODY_LINES} body lines"),
+            );
+        }
+
+        match assembler.feed(line_no, &line) {
+            Ok(None) => {}
+            Ok(Some(request)) => {
+                if request.stream >= MAX_STREAM_ID {
+                    return fail(
+                        &meta,
+                        codes::BAD_FRAME,
+                        format!("stream id {} exceeds {}", request.stream, MAX_STREAM_ID - 1),
+                    );
+                }
+                let client_id = request.id;
+                let client_stream = request.stream;
+                let remapped = AllocRequest {
+                    id: (conn_id << CONN_SHIFT) | seq,
+                    stream: (conn_id << CONN_SHIFT) | client_stream,
+                    kind: request.kind,
+                    budget: request.budget,
+                };
+                let _ = meta.send(Meta::Request {
+                    seq,
+                    client_id,
+                    client_stream,
+                });
+                seq += 1;
+                let mut pool = shared.pool.lock().expect("pool slot");
+                match pool.as_mut() {
+                    Some(pool) => pool.submit(vec![remapped]),
+                    None => {
+                        // Drained under us: the writer answers instead.
+                        drop(pool);
+                        return fail(&meta, codes::DRAINING, "server is draining".into());
+                    }
+                }
+            }
+            Err(e) => {
+                return fail(&meta, codes::BAD_FRAME, e.to_string());
+            }
+        }
+    }
+    let _ = meta.send(Meta::Bye);
+}
+
+/// Emits frames in submission order, restoring client ids/streams on
+/// responses. Exits on `Bye` (or a dead socket).
+fn write_loop(stream: TcpStream, meta: Receiver<Meta>, completions: Receiver<Pending>) {
+    // A non-reading client must not park this thread in write_all
+    // forever — the drain joins every writer.
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut out = std::io::BufWriter::new(stream);
+    let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+    let mut text = String::new();
+    let mut alive = true;
+
+    let write = |out: &mut std::io::BufWriter<TcpStream>, alive: &mut bool, text: &str| {
+        if *alive && out.write_all(text.as_bytes()).is_err() {
+            // Client gone: keep consuming metas/completions (so the
+            // reader and sink never block) but stop writing.
+            *alive = false;
+        }
+    };
+
+    // Blocking recv, but flush whenever the queue momentarily empties so
+    // pipelined bursts coalesce and lone frames still go out promptly.
+    let mut next: Option<Meta> = None;
+    loop {
+        let item = match next.take() {
+            Some(m) => m,
+            None => match meta.try_recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    if alive && out.flush().is_err() {
+                        alive = false;
+                    }
+                    match meta.recv() {
+                        Ok(m) => m,
+                        Err(_) => break, // reader gone without Bye (panic)
+                    }
+                }
+            },
+        };
+        text.clear();
+        match item {
+            Meta::Greeting => {
+                text.push_str(&format!("{} {} ready\n", wire::MAGIC, PROTOCOL_VERSION));
+            }
+            Meta::Pong(token) => {
+                if token.is_empty() {
+                    text.push_str("pong\n");
+                } else {
+                    text.push_str(&format!("pong {token}\n"));
+                }
+            }
+            Meta::Error { code, message } => {
+                text.push_str(&format!("error {code} {message}\n"));
+            }
+            Meta::Bye => {
+                write(&mut out, &mut alive, "bye\n");
+                if alive {
+                    let _ = out.flush();
+                }
+                // Close the TCP connection for real: the drain registry
+                // holds another clone of this socket, so dropping our fd
+                // alone would leave the client's read blocked.
+                let _ = out.get_ref().shutdown(Shutdown::Both);
+                break;
+            }
+            Meta::Request {
+                seq,
+                client_id,
+                client_stream,
+            } => {
+                // Pull completions until this slot's arrives.
+                let mut response = loop {
+                    if let Some(Pending(s, _)) = heap.peek() {
+                        if *s == seq {
+                            break heap.pop().expect("peeked").1;
+                        }
+                    }
+                    match completions.recv() {
+                        Ok(p) => heap.push(p),
+                        Err(_) => return, // pool gone mid-request: abort
+                    }
+                };
+                response.id = client_id;
+                response.stream = client_stream;
+                write_response(&mut text, &response);
+            }
+        }
+        if !text.is_empty() {
+            write(&mut out, &mut alive, &text);
+        }
+        if next.is_none() {
+            if let Ok(m) = meta.try_recv() {
+                next = Some(m);
+            }
+        }
+    }
+}

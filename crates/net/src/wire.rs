@@ -1,0 +1,469 @@
+//! The `vmplace-net` wire protocol: framing, limits, encode/decode.
+//!
+//! Line-oriented text over TCP, extending the request framing of
+//! [`vmplace_service::trace_io`] (every solver request travels as exactly
+//! the `request … end` block a trace file would hold) with connection
+//! control frames and response frames. See `crates/net/README.md` for
+//! the full grammar, versioning and error-code reference.
+//!
+//! ## Client → server
+//!
+//! ```text
+//! vmplace-net 1                 # hello: protocol version, first line
+//! request <id> <stream> <new|delta|resolve> [budget_ms=N|budget_us=N]
+//! …body…                        # exactly trace_io's block body
+//! end
+//! ping [token]
+//! shutdown                      # ask the server to drain and exit
+//! ```
+//!
+//! ## Server → client
+//!
+//! ```text
+//! vmplace-net 1 ready           # greeting (or `draining` when shutting down)
+//! response <id> <stream> <outcome> <probes> <wall_us> [cached]
+//! winner <label>                # optional
+//! detail <message>              # optional (rejections)
+//! minyield <f64>                # optional ┐
+//! yields <f64…>                 #          ├ present iff a solution exists
+//! nodes <h…>                    # optional ┘ ('-' = unplaced)
+//! end
+//! pong [token]
+//! error <code> <message>        # structured protocol error, then close
+//! bye                           # clean end of the response stream
+//! ```
+//!
+//! Floating-point values are serialised with Rust's shortest round-trip
+//! `Display`, so responses decode **bit-for-bit** — the loopback
+//! differential suite pins server-mediated replays to in-process ones
+//! exactly.
+
+use std::io::{BufRead, Read};
+use std::time::Duration;
+use vmplace_model::{AllocResponse, Placement, RequestOutcome, Solution};
+
+/// Protocol version spoken by this build. The hello/greeting carries it;
+/// mismatches are answered with an `error bad-version …` frame.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Magic word opening the hello and greeting lines.
+pub const MAGIC: &str = "vmplace-net";
+
+/// Longest accepted wire line, in bytes (64 KiB). A line that exceeds it
+/// is answered with `error frame-too-large` and the connection closes —
+/// the parser never buffers unbounded input.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Most body lines accepted in one `request … end` block. Bounds the
+/// total frame at roughly `MAX_BODY_LINES × MAX_LINE_BYTES`.
+pub const MAX_BODY_LINES: usize = 65_536;
+
+/// Client stream ids must fit below this bound (2^40): the server packs
+/// `(connection, stream)` into one 64-bit stream id to keep different
+/// connections' streams separate inside the shared pool.
+pub const MAX_STREAM_ID: u64 = 1 << 40;
+
+/// Machine-readable error codes carried by `error` frames.
+pub mod codes {
+    /// The hello line was missing or spoke an unsupported version.
+    pub const BAD_VERSION: &str = "bad-version";
+    /// A frame failed to parse (bad header, bad body, bad number…).
+    pub const BAD_FRAME: &str = "bad-frame";
+    /// A line was not valid UTF-8.
+    pub const BAD_UTF8: &str = "bad-utf8";
+    /// A line or request block exceeded the protocol limits.
+    pub const FRAME_TOO_LARGE: &str = "frame-too-large";
+    /// The top-level verb is not part of the protocol.
+    pub const UNKNOWN_VERB: &str = "unknown-verb";
+    /// The server is shutting down and no longer accepts work.
+    pub const DRAINING: &str = "draining";
+}
+
+/// Errors surfaced by the client (and by the server's internal reader).
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// The peer sent a structured `error <code> <message>` frame.
+    Remote {
+        /// One of [`codes`].
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered the connection attempt with `draining`.
+    Draining,
+    /// The peer violated the protocol (unparseable frame).
+    Protocol(String),
+    /// The connection closed before the expected frame arrived.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Remote { code, message } => write!(f, "remote error [{code}]: {message}"),
+            NetError::Draining => write!(f, "server is draining (shutting down)"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Outcome of one bounded line read.
+pub enum LineRead {
+    /// A complete line (without its trailing newline), valid UTF-8.
+    Line(String),
+    /// End of stream before any byte of a new line.
+    Eof,
+    /// The line exceeded `max` bytes; the connection is desynchronised.
+    TooLong,
+    /// The line held invalid UTF-8.
+    BadUtf8,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `max + 1` bytes — oversized input is reported, not accumulated.
+/// Trailing `\r` is stripped so `telnet`-style peers work.
+pub fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    let n = reader.take(max as u64 + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    } else if n > max {
+        return Ok(LineRead::TooLong);
+    }
+    // An unterminated final line (EOF without newline) is accepted as-is.
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(LineRead::Line(s)),
+        Err(_) => Ok(LineRead::BadUtf8),
+    }
+}
+
+fn fmt_f64s(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Serialises one response frame (`response … end`).
+pub fn write_response(out: &mut String, resp: &AllocResponse) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "response {} {} {} {} {}",
+        resp.id,
+        resp.stream,
+        resp.outcome.wire_name(),
+        resp.probes,
+        resp.wall.as_micros()
+    );
+    if resp.cached {
+        out.push_str(" cached");
+    }
+    out.push('\n');
+    if let Some(winner) = &resp.winner {
+        let _ = writeln!(out, "winner {winner}");
+    }
+    if let Some(error) = &resp.error {
+        // Rejection details are single-line by construction (model error
+        // Displays); defensively flatten any newline.
+        let _ = writeln!(out, "detail {}", error.replace('\n', " "));
+    }
+    if let Some(sol) = &resp.solution {
+        let _ = writeln!(out, "minyield {}", sol.min_yield);
+        let _ = writeln!(out, "yields {}", fmt_f64s(&sol.yields));
+        out.push_str("nodes");
+        for j in 0..sol.placement.len() {
+            match sol.placement.node_of(j) {
+                Some(h) => {
+                    let _ = write!(out, " {h}");
+                }
+                None => out.push_str(" -"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+}
+
+/// A parsed server → client frame.
+#[derive(Debug)]
+pub enum ServerFrame {
+    /// A solver response.
+    Response(Box<AllocResponse>),
+    /// Reply to `ping`.
+    Pong(String),
+    /// Structured protocol error.
+    Error {
+        /// One of [`codes`].
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Clean end of the response stream.
+    Bye,
+}
+
+/// Reads and parses the next server frame from `reader`.
+pub fn read_server_frame<R: BufRead>(reader: &mut R) -> Result<ServerFrame, NetError> {
+    let header = loop {
+        match read_line_bounded(reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Err(NetError::Closed),
+            LineRead::TooLong => return Err(NetError::Protocol("oversized frame line".into())),
+            LineRead::BadUtf8 => return Err(NetError::Protocol("invalid UTF-8".into())),
+            LineRead::Line(l) if l.trim().is_empty() => continue,
+            LineRead::Line(l) => break l,
+        }
+    };
+    let (verb, rest) = header
+        .trim()
+        .split_once(char::is_whitespace)
+        .unwrap_or((header.trim(), ""));
+    match verb {
+        "pong" => Ok(ServerFrame::Pong(rest.trim().to_string())),
+        "bye" => Ok(ServerFrame::Bye),
+        "error" => {
+            let (code, message) = rest
+                .trim()
+                .split_once(char::is_whitespace)
+                .unwrap_or((rest, ""));
+            Ok(ServerFrame::Error {
+                code: code.to_string(),
+                message: message.trim().to_string(),
+            })
+        }
+        "response" => parse_response(rest, reader).map(|r| ServerFrame::Response(Box::new(r))),
+        other => Err(NetError::Protocol(format!("unknown server verb `{other}`"))),
+    }
+}
+
+fn parse_response<R: BufRead>(
+    header_rest: &str,
+    reader: &mut R,
+) -> Result<AllocResponse, NetError> {
+    let bad = |what: &str| NetError::Protocol(format!("response frame: {what}"));
+    let mut words = header_rest.split_whitespace();
+    let (Some(id), Some(stream), Some(outcome), Some(probes), Some(wall_us)) = (
+        words.next(),
+        words.next(),
+        words.next(),
+        words.next(),
+        words.next(),
+    ) else {
+        return Err(bad("short header"));
+    };
+    let id: u64 = id.parse().map_err(|_| bad("bad id"))?;
+    let stream: u64 = stream.parse().map_err(|_| bad("bad stream"))?;
+    let outcome = RequestOutcome::from_wire(outcome).ok_or_else(|| bad("bad outcome"))?;
+    let probes: u64 = probes.parse().map_err(|_| bad("bad probes"))?;
+    let wall_us: u64 = wall_us.parse().map_err(|_| bad("bad wall"))?;
+    let mut cached = false;
+    for extra in words {
+        match extra {
+            "cached" => cached = true,
+            other => return Err(bad(&format!("unknown response attribute `{other}`"))),
+        }
+    }
+
+    let mut winner = None;
+    let mut error = None;
+    let mut min_yield: Option<f64> = None;
+    let mut yields: Option<Vec<f64>> = None;
+    let mut nodes: Option<Vec<Option<usize>>> = None;
+    loop {
+        let line = match read_line_bounded(reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Err(NetError::Closed),
+            LineRead::TooLong => return Err(bad("oversized body line")),
+            LineRead::BadUtf8 => return Err(bad("invalid UTF-8 in body")),
+            LineRead::Line(l) => l,
+        };
+        let trimmed = line.trim();
+        if trimmed == "end" {
+            break;
+        }
+        let (word, rest) = trimmed
+            .split_once(char::is_whitespace)
+            .unwrap_or((trimmed, ""));
+        match word {
+            "winner" => winner = Some(rest.to_string()),
+            "detail" => error = Some(rest.to_string()),
+            "minyield" => min_yield = Some(rest.trim().parse().map_err(|_| bad("bad minyield"))?),
+            "yields" => {
+                let parsed: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
+                yields = Some(parsed.map_err(|_| bad("bad yields"))?);
+            }
+            "nodes" => {
+                let parsed: Result<Vec<Option<usize>>, NetError> = rest
+                    .split_whitespace()
+                    .map(|w| {
+                        if w == "-" {
+                            Ok(None)
+                        } else {
+                            w.parse().map(Some).map_err(|_| bad("bad node index"))
+                        }
+                    })
+                    .collect();
+                nodes = Some(parsed?);
+            }
+            other => return Err(bad(&format!("unknown body line `{other}`"))),
+        }
+    }
+
+    let solution = match (min_yield, yields, nodes) {
+        (Some(min_yield), Some(yields), Some(nodes)) => {
+            if yields.len() != nodes.len() {
+                return Err(bad("yields/nodes length mismatch"));
+            }
+            Some(Solution {
+                placement: Placement::from_assignment(nodes),
+                yields,
+                min_yield,
+            })
+        }
+        (None, None, None) => None,
+        _ => {
+            return Err(bad(
+                "partial solution (minyield/yields/nodes must travel together)",
+            ))
+        }
+    };
+    Ok(AllocResponse {
+        id,
+        stream,
+        outcome,
+        solution,
+        winner,
+        probes,
+        wall: Duration::from_micros(wall_us),
+        error,
+        cached,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip(resp: &AllocResponse) -> AllocResponse {
+        let mut text = String::new();
+        write_response(&mut text, resp);
+        let mut reader = BufReader::new(text.as_bytes());
+        match read_server_frame(&mut reader).expect("parse") {
+            ServerFrame::Response(r) => *r,
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_is_bit_exact() {
+        let resp = AllocResponse {
+            id: 42,
+            stream: 7,
+            outcome: RequestOutcome::Solved,
+            solution: Some(Solution {
+                placement: Placement::from_assignment(vec![Some(1), Some(0), None]),
+                yields: vec![0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE],
+                min_yield: 1.0 / 3.0,
+            }),
+            winner: Some("FF/MAX_DESC/NAT".into()),
+            probes: 99,
+            wall: Duration::from_micros(12345),
+            error: None,
+            cached: true,
+        };
+        let back = roundtrip(&resp);
+        assert_eq!(back.id, 42);
+        assert_eq!(back.stream, 7);
+        assert_eq!(back.outcome, RequestOutcome::Solved);
+        assert!(back.cached);
+        assert_eq!(back.probes, 99);
+        assert_eq!(back.wall, Duration::from_micros(12345));
+        assert_eq!(back.winner.as_deref(), Some("FF/MAX_DESC/NAT"));
+        let (a, b) = (resp.solution.unwrap(), back.solution.unwrap());
+        assert_eq!(a.min_yield.to_bits(), b.min_yield.to_bits());
+        for (x, y) in a.yields.iter().zip(&b.yields) {
+            assert_eq!(x.to_bits(), y.to_bits(), "yield bits");
+        }
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn rejection_roundtrip_keeps_detail() {
+        let resp = AllocResponse::rejected(3, 1, "delta before New".into());
+        let back = roundtrip(&resp);
+        assert_eq!(back.outcome, RequestOutcome::Rejected);
+        assert_eq!(back.error.as_deref(), Some("delta before New"));
+        assert!(back.solution.is_none());
+        assert!(!back.cached);
+    }
+
+    #[test]
+    fn control_frames_parse() {
+        let mut r = BufReader::new(&b"pong hello\nbye\nerror bad-frame line 3: nope\n"[..]);
+        assert!(matches!(
+            read_server_frame(&mut r).unwrap(),
+            ServerFrame::Pong(t) if t == "hello"
+        ));
+        assert!(matches!(
+            read_server_frame(&mut r).unwrap(),
+            ServerFrame::Bye
+        ));
+        match read_server_frame(&mut r).unwrap() {
+            ServerFrame::Error { code, message } => {
+                assert_eq!(code, "bad-frame");
+                assert_eq!(message, "line 3: nope");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(read_server_frame(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn bounded_reader_flags_oversize_and_bad_utf8() {
+        let long = [b'x'; 100];
+        let mut r = BufReader::new(&long[..]);
+        assert!(matches!(
+            read_line_bounded(&mut r, 10).unwrap(),
+            LineRead::TooLong
+        ));
+        let mut r = BufReader::new(&b"\xff\xfe\n"[..]);
+        assert!(matches!(
+            read_line_bounded(&mut r, 10).unwrap(),
+            LineRead::BadUtf8
+        ));
+        let mut r = BufReader::new(&b"ok\r\n"[..]);
+        match read_line_bounded(&mut r, 10).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "ok"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn partial_solutions_are_rejected() {
+        let text = "response 0 0 solved 1 1\nyields 0.5\nend\n";
+        let mut r = BufReader::new(text.as_bytes());
+        assert!(matches!(
+            read_server_frame(&mut r),
+            Err(NetError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! In-crate smoke tests for the server/client pair. The full
+//! differential and hardening suites live at the workspace root
+//! (`tests/integration_net.rs`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use vmplace_model::{AllocRequest, Node, ProblemInstance, RequestKind, RequestOutcome, Service};
+use vmplace_net::{Client, NetError, Server, ServerConfig};
+use vmplace_service::ServiceConfig;
+
+fn config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        service: ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+    }
+}
+
+fn instance() -> ProblemInstance {
+    let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.4, 0.6)];
+    let mk = |rc: f64, nc: f64, mem: f64| {
+        Service::new(
+            vec![rc / 2.0, mem],
+            vec![rc, mem],
+            vec![nc / 2.0, 0.0],
+            vec![nc, 0.0],
+        )
+    };
+    let services = vec![mk(0.2, 0.6, 0.3), mk(0.1, 0.5, 0.4), mk(0.15, 0.7, 0.2)];
+    ProblemInstance::new(nodes, services).unwrap()
+}
+
+fn trace() -> Vec<AllocRequest> {
+    vec![
+        AllocRequest {
+            id: 0,
+            stream: 0,
+            kind: RequestKind::New(instance()),
+            budget: None,
+        },
+        AllocRequest {
+            id: 1,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+        },
+        AllocRequest {
+            id: 2,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+        },
+    ]
+}
+
+#[test]
+fn ephemeral_port_serves_a_pipelined_replay() {
+    let mut server = Server::bind("127.0.0.1:0", &config(2)).expect("bind");
+    let addr = server.local_addr();
+    assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+
+    let mut client = Client::connect(addr).expect("connect");
+    let responses = client.replay(&trace()).expect("replay");
+    assert_eq!(responses.len(), 3);
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.id, i as u64);
+        assert_eq!(r.stream, 0, "client stream restored");
+        assert_eq!(r.outcome, RequestOutcome::Solved);
+        assert!(r.min_yield().unwrap() > 0.0);
+    }
+    // Identical re-solves: the third request hits the response cache and
+    // is bit-for-bit equal to the second.
+    assert!(responses[2].cached, "identical re-solve not cached");
+    assert_eq!(responses[1].probes, responses[2].probes);
+    assert_eq!(
+        responses[1].min_yield().unwrap().to_bits(),
+        responses[2].min_yield().unwrap().to_bits()
+    );
+    server.shutdown();
+    server.shutdown(); // idempotent
+}
+
+#[test]
+fn ping_and_wire_shutdown() {
+    let server = Server::bind("127.0.0.1:0", &config(1)).expect("bind");
+    let addr = server.local_addr();
+    let waiter = std::thread::spawn(move || server.wait());
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping("abc").expect("pong");
+    client.submit(&trace()[0]).expect("submit");
+    let leftovers = client.shutdown_server().expect("clean bye");
+    // The in-flight request was drained, not dropped.
+    assert_eq!(leftovers.len(), 1);
+    assert_eq!(leftovers[0].outcome, RequestOutcome::Solved);
+    waiter.join().expect("server wait returns");
+}
+
+#[test]
+fn draining_greeting_rejects_new_connections() {
+    let mut server = Server::bind("127.0.0.1:0", &config(1)).expect("bind");
+    let addr = server.local_addr();
+    server.begin_shutdown();
+    match Client::connect(addr) {
+        Err(NetError::Draining) => {}
+        other => panic!("expected draining, got {other:?}", other = other.err()),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn unknown_verb_gets_structured_error_and_server_survives() {
+    let mut server = Server::bind("127.0.0.1:0", &config(1)).expect("bind");
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"vmplace-net 1\nfrobnicate now\n").unwrap();
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).expect("server closes cleanly");
+    assert!(buf.contains("ready"), "{buf}");
+    assert!(buf.contains("error unknown-verb"), "{buf}");
+    assert!(buf.trim_end().ends_with("bye"), "{buf}");
+
+    // The failure was connection-local.
+    let mut client = Client::connect(addr).expect("fresh connection");
+    client.ping("still-alive").expect("pong");
+    server.shutdown();
+}

@@ -1,0 +1,214 @@
+//! The response cache: identical re-solves answered without solving.
+//!
+//! Under service traffic the front door sees many *identical* re-solves —
+//! `Resolve` requests against an instance that has not changed since the
+//! last solve (health-check refreshes, periodic reconciliation loops,
+//! several tenants of one dashboard asking the same question). The
+//! engines are deterministic, so re-running such a solve reproduces the
+//! previous response bit for bit; the cache skips the solve and echoes
+//! the stored response instead, marked [`cached`].
+//!
+//! A cached answer must be **provably identical** to what the uncached
+//! path would have produced. Entries are therefore keyed by
+//!
+//! * the **stream** (one entry per stream — the latest resolve),
+//! * the **instance version** (bumped by every `New` and applied delta,
+//!   so any mutation invalidates),
+//! * the **request kind** (only `Resolve` is cacheable; `New` and
+//!   `Delta` mutate by definition),
+//! * the **budget class** (the request's effective wall-clock budget, to
+//!   the microsecond; budgeted and unbudgeted solves never share an
+//!   entry),
+//!
+//! and additionally guarded by the **warm hint** the stored solve used:
+//! the engine's probe sequence (and thus its probe count, and — when the
+//! optimum sits near a window edge — its result) depends on the hint, so
+//! a hit is served only when the hint the new request *would* use is
+//! bit-identical to the hint the stored solve *did* use. In steady state
+//! the hint chain reaches its fixed point after one re-solve (a solve
+//! seeded with its own result reproduces itself), so bursts of identical
+//! re-solves hit from the second or third request onward.
+//!
+//! Timed-out responses are never stored: a budget expiry is a wall-clock
+//! race, not a deterministic function of the request.
+//!
+//! [`cached`]: vmplace_model::AllocResponse::cached
+
+use std::collections::HashMap;
+use std::time::Duration;
+use vmplace_model::{AllocResponse, RequestOutcome};
+
+/// The cache key fields that must match exactly for a hit (everything
+/// except the stream, which indexes the entry map).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CacheKey {
+    /// Instance version the response was computed against.
+    version: u64,
+    /// Effective wall-clock budget class, in microseconds (`None` =
+    /// unbudgeted).
+    budget_us: Option<u128>,
+    /// Bits of the warm hint the solve used (`None` = hintless).
+    hint_bits: Option<u64>,
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    /// The stored response (with `cached: false`; serving sets the flag).
+    response: AllocResponse,
+}
+
+/// Per-worker store of the latest `Resolve` response of each stream.
+#[derive(Default)]
+pub struct ResponseCache {
+    entries: HashMap<u64, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+fn key(version: u64, budget: Option<Duration>, hint: Option<f64>) -> CacheKey {
+    CacheKey {
+        version,
+        budget_us: budget.map(|b| b.as_micros()),
+        hint_bits: hint.map(f64::to_bits),
+    }
+}
+
+impl ResponseCache {
+    /// A fresh, empty cache.
+    pub fn new() -> ResponseCache {
+        ResponseCache::default()
+    }
+
+    /// Looks up the stream's stored resolve. On a hit, returns the stored
+    /// response re-addressed to `id` and marked `cached` (the caller must
+    /// still replicate the solve's side effects — the stream's warm-yield
+    /// update). Counts a hit or a miss either way.
+    pub fn lookup(
+        &mut self,
+        id: u64,
+        stream: u64,
+        version: u64,
+        budget: Option<Duration>,
+        hint: Option<f64>,
+    ) -> Option<AllocResponse> {
+        match self.entries.get(&stream) {
+            Some(entry) if entry.key == key(version, budget, hint) => {
+                self.hits += 1;
+                let mut response = entry.response.clone();
+                response.id = id;
+                response.cached = true;
+                response.wall = Duration::ZERO;
+                Some(response)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly solved resolve response, replacing the stream's
+    /// previous entry. Timed-out responses are dropped (their outcome is
+    /// a wall-clock race, not a function of the request).
+    pub fn store(
+        &mut self,
+        stream: u64,
+        version: u64,
+        budget: Option<Duration>,
+        hint: Option<f64>,
+        response: &AllocResponse,
+    ) {
+        if response.outcome == RequestOutcome::TimedOut {
+            return;
+        }
+        self.entries.insert(
+            stream,
+            CacheEntry {
+                key: key(version, budget, hint),
+                response: response.clone(),
+            },
+        );
+    }
+
+    /// Drops the stream's entry (the stream was mutated or replaced).
+    /// Invalidation is also implicit through the version key; this merely
+    /// keeps the map from holding dead responses alive.
+    pub fn invalidate(&mut self, stream: u64) {
+        self.entries.remove(&stream);
+    }
+
+    /// Drops every entry whose stream matches `stream & mask == prefix`
+    /// (a network front-end retiring a closed connection's namespace).
+    pub fn retire(&mut self, prefix: u64, mask: u64) {
+        self.entries.retain(|s, _| s & mask != prefix);
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that fell through to a real solve.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(id: u64, probes: u64) -> AllocResponse {
+        AllocResponse {
+            id,
+            stream: 3,
+            outcome: RequestOutcome::Infeasible,
+            solution: None,
+            winner: Some("W".into()),
+            probes,
+            wall: Duration::from_millis(7),
+            error: None,
+            cached: false,
+        }
+    }
+
+    #[test]
+    fn hit_requires_every_key_field() {
+        let mut cache = ResponseCache::new();
+        let budget = Some(Duration::from_millis(10));
+        cache.store(3, 5, budget, Some(0.25), &response(0, 42));
+
+        let hit = cache.lookup(9, 3, 5, budget, Some(0.25)).expect("hit");
+        assert_eq!(hit.id, 9);
+        assert!(hit.cached);
+        assert_eq!(hit.probes, 42);
+        assert_eq!(hit.winner.as_deref(), Some("W"));
+        assert_eq!(hit.wall, Duration::ZERO);
+
+        // Any field off → miss.
+        assert!(cache.lookup(9, 3, 6, budget, Some(0.25)).is_none());
+        assert!(cache.lookup(9, 3, 5, None, Some(0.25)).is_none());
+        assert!(cache.lookup(9, 3, 5, budget, Some(0.25 + 1e-12)).is_none());
+        assert!(cache.lookup(9, 3, 5, budget, None).is_none());
+        assert!(cache.lookup(9, 4, 5, budget, Some(0.25)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 5);
+    }
+
+    #[test]
+    fn timed_out_responses_are_not_stored() {
+        let mut cache = ResponseCache::new();
+        let mut r = response(0, 1);
+        r.outcome = RequestOutcome::TimedOut;
+        cache.store(3, 1, None, None, &r);
+        assert!(cache.lookup(1, 3, 1, None, None).is_none());
+    }
+
+    #[test]
+    fn invalidate_drops_the_stream_entry() {
+        let mut cache = ResponseCache::new();
+        cache.store(3, 1, None, None, &response(0, 1));
+        cache.invalidate(3);
+        assert!(cache.lookup(1, 3, 1, None, None).is_none());
+    }
+}

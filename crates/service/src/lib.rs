@@ -38,6 +38,13 @@
 //!   engine's probe-boundary cutoff, the MILP tree's node-loop cutoff and
 //!   the simplex iteration-loop cutoff — a timed-out request still
 //!   surfaces the best feasible incumbent found in time.
+//! * **Response cache**: identical re-solves (`Resolve` on an unchanged
+//!   instance, same budget class and warm hint) are answered from the
+//!   per-worker [`ResponseCache`] — bit-for-bit equal to solving, marked
+//!   `cached` (see [`cache`]).
+//! * **Completion sink**: [`SolverPool::with_sink`] delivers responses
+//!   through a callback as they finish instead of a collect step — the
+//!   submission mode the `vmplace-net` TCP front-end builds on.
 //!
 //! [`replay_oneshot`] is the reference path: the same request semantics
 //! executed with a fresh solver per request and fully re-validated
@@ -47,13 +54,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 mod dispatch;
 mod pool;
 mod reference;
 pub mod trace_io;
 mod worker;
 
+pub use cache::ResponseCache;
 pub use dispatch::{batch_requests, Batch, Dispatcher};
-pub use pool::SolverPool;
+pub use pool::{ResponseSink, SolverPool};
 pub use reference::replay_oneshot;
 pub use worker::{ServiceAlgo, ServiceConfig, Worker};

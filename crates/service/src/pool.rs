@@ -3,8 +3,55 @@
 use crate::dispatch::Dispatcher;
 use crate::worker::{ServiceConfig, Worker};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use vmplace_model::{AllocRequest, AllocResponse};
+
+/// Where workers deliver finished responses.
+///
+/// The channel mode backs the blocking [`SolverPool::collect`] API; the
+/// sink mode invokes a caller-supplied callback from the worker thread
+/// the moment a response is ready — the building block for network
+/// front-ends that stream responses back per connection instead of
+/// collecting a whole trace.
+#[derive(Clone)]
+enum Completion {
+    Channel(Sender<AllocResponse>),
+    Sink(ResponseSink),
+}
+
+impl Completion {
+    /// Delivers one response; returns `false` when the consumer is gone
+    /// (channel mode only — a sink has no liveness signal).
+    fn deliver(&self, response: AllocResponse) -> bool {
+        match self {
+            Completion::Channel(tx) => tx.send(response).is_ok(),
+            Completion::Sink(sink) => {
+                sink(response);
+                true
+            }
+        }
+    }
+}
+
+/// A completion callback: called once per request, from the worker thread
+/// that solved it, in that worker's processing order (requests of one
+/// stream complete in submission order; different streams interleave).
+pub type ResponseSink = Arc<dyn Fn(AllocResponse) + Send + Sync>;
+
+/// What travels down a worker's request channel.
+enum WorkerMsg {
+    /// A batch of consecutive same-stream requests to process in order.
+    Batch(Vec<AllocRequest>),
+    /// Forget every stream with `stream & mask == prefix` (see
+    /// [`SolverPool::retire_streams`]).
+    Retire {
+        /// Namespace prefix being retired.
+        prefix: u64,
+        /// Mask selecting the namespace bits.
+        mask: u64,
+    },
+}
 
 /// A pool of resident solver workers.
 ///
@@ -14,6 +61,15 @@ use vmplace_model::{AllocRequest, AllocResponse};
 /// `stream % workers` (see [`Dispatcher`]), so replaying a trace through
 /// 1 or N workers produces identical responses on unbudgeted traces —
 /// the differential suite in `tests/integration_service.rs` pins this.
+///
+/// ## Lifecycle
+///
+/// [`SolverPool::shutdown`] (and, identically, dropping the pool) closes
+/// the request channels and joins every worker. Workers **drain** first:
+/// every request already submitted is fully processed and its response
+/// delivered (to the channel or the sink) before the join returns —
+/// submitted work is never lost. `tests/integration_net.rs` and the unit
+/// tests below assert this.
 ///
 /// ```
 /// use vmplace_service::{ServiceConfig, SolverPool};
@@ -36,32 +92,57 @@ use vmplace_model::{AllocRequest, AllocResponse};
 /// ```
 pub struct SolverPool {
     dispatcher: Dispatcher,
-    senders: Vec<Sender<Vec<AllocRequest>>>,
-    results: Receiver<AllocResponse>,
+    senders: Vec<Sender<WorkerMsg>>,
+    /// Present in channel mode only.
+    results: Option<Receiver<AllocResponse>>,
     handles: Vec<JoinHandle<()>>,
     pending: usize,
 }
 
 impl SolverPool {
-    /// Spawns `config.workers` resident workers.
+    /// Spawns `config.workers` resident workers delivering to the
+    /// internal channel ([`SolverPool::collect`] mode).
     pub fn new(config: &ServiceConfig) -> SolverPool {
+        let (result_tx, results) = channel::<AllocResponse>();
+        let mut pool = SolverPool::spawn(config, Completion::Channel(result_tx));
+        pool.results = Some(results);
+        pool
+    }
+
+    /// Spawns the pool in **completion-callback mode**: every response is
+    /// handed to `sink` from the worker thread that produced it, as soon
+    /// as it is ready. [`SolverPool::submit`] stays non-blocking;
+    /// [`SolverPool::collect`] is unavailable (it panics). Shutdown/drop
+    /// still drains: the sink has seen every submitted request's response
+    /// by the time the join returns.
+    pub fn with_sink(config: &ServiceConfig, sink: ResponseSink) -> SolverPool {
+        SolverPool::spawn(config, Completion::Sink(sink))
+    }
+
+    fn spawn(config: &ServiceConfig, completion: Completion) -> SolverPool {
         let workers = config.workers.max(1);
         let dispatcher = Dispatcher::new(workers);
-        let (result_tx, results) = channel::<AllocResponse>();
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = channel::<Vec<AllocRequest>>();
-            let result_tx = result_tx.clone();
+            let (tx, rx) = channel::<WorkerMsg>();
+            let completion = completion.clone();
             let config = config.clone();
             handles.push(std::thread::spawn(move || {
                 let mut worker = Worker::new(&config);
-                while let Ok(batch) = rx.recv() {
-                    for request in batch {
-                        // A closed result channel means the pool is gone;
-                        // finish quietly.
-                        if result_tx.send(worker.process(request)).is_err() {
-                            return;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Batch(batch) => {
+                            for request in batch {
+                                // A closed result channel means the pool
+                                // is gone; finish quietly.
+                                if !completion.deliver(worker.process(request)) {
+                                    return;
+                                }
+                            }
+                        }
+                        WorkerMsg::Retire { prefix, mask } => {
+                            worker.retire_streams(prefix, mask);
                         }
                     }
                 }
@@ -71,31 +152,53 @@ impl SolverPool {
         SolverPool {
             dispatcher,
             senders,
-            results,
+            results: None,
             handles,
             pending: 0,
         }
     }
 
     /// Enqueues requests without waiting: they are batched (consecutive
-    /// same-stream runs) and routed to their streams' workers. Pair with
-    /// [`SolverPool::collect`].
+    /// same-stream runs) and routed to their streams' workers. In channel
+    /// mode, pair with [`SolverPool::collect`]; in sink mode, responses
+    /// arrive through the callback.
     pub fn submit(&mut self, requests: Vec<AllocRequest>) {
         for batch in self.dispatcher.batch(requests) {
             self.pending += batch.requests.len();
             self.senders[batch.worker]
-                .send(batch.requests)
+                .send(WorkerMsg::Batch(batch.requests))
+                .expect("worker thread alive while pool exists");
+        }
+    }
+
+    /// Tells every worker to forget the streams matching
+    /// `stream & mask == prefix`: per-stream warm state, response-cache
+    /// entries and exact-path model caches are dropped. Ordered like any
+    /// submission (FIFO per worker), so requests already submitted for
+    /// those streams are processed first. The network front-end calls
+    /// this when a connection (whose streams share a namespace prefix)
+    /// closes, keeping long-lived worker memory proportional to *live*
+    /// streams.
+    pub fn retire_streams(&mut self, prefix: u64, mask: u64) {
+        for sender in &self.senders {
+            sender
+                .send(WorkerMsg::Retire { prefix, mask })
                 .expect("worker thread alive while pool exists");
         }
     }
 
     /// Waits for every submitted request and returns the responses sorted
     /// by request id (arrival order across workers is nondeterministic;
-    /// ids are not).
+    /// ids are not). Panics in sink mode — the sink already owns the
+    /// responses.
     pub fn collect(&mut self) -> Vec<AllocResponse> {
+        let results = self
+            .results
+            .as_ref()
+            .expect("collect() is unavailable on a sink-mode pool");
         let mut out = Vec::with_capacity(self.pending);
         for _ in 0..self.pending {
-            out.push(self.results.recv().expect("workers alive"));
+            out.push(results.recv().expect("workers alive"));
         }
         self.pending = 0;
         out.sort_by_key(|r| r.id);
@@ -113,8 +216,22 @@ impl SolverPool {
         self.senders.len()
     }
 
-    /// Shuts the pool down, joining every worker thread.
+    /// Requests submitted but not yet collected (channel mode; in sink
+    /// mode the counter only ever grows — use the sink for accounting).
+    pub fn submitted(&self) -> usize {
+        self.pending
+    }
+
+    /// Shuts the pool down: closes the request channels and joins every
+    /// worker. Workers drain their queues first, so every submitted
+    /// request's response reaches the channel or sink before this
+    /// returns. Dropping the pool does exactly the same; `shutdown` is
+    /// the explicit spelling.
     pub fn shutdown(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
         self.senders.clear(); // closes the request channels
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -124,16 +241,15 @@ impl SolverPool {
 
 impl Drop for SolverPool {
     fn drop(&mut self) {
-        self.senders.clear();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.join();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
     use vmplace_model::{Node, ProblemInstance, RequestKind, RequestOutcome, Service};
 
     fn instance(seed: u64) -> ProblemInstance {
@@ -210,5 +326,92 @@ mod tests {
         let second = pool.collect();
         assert_eq!(second.len(), 1);
         assert!(second[0].min_yield().unwrap() >= y0 - 1e-9);
+    }
+
+    #[test]
+    fn sink_mode_delivers_every_response_before_shutdown_returns() {
+        // The drain guarantee: shutdown (or drop) joins workers only
+        // after every submitted request's response reached the sink.
+        let count = Arc::new(AtomicUsize::new(0));
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let (count2, seen2) = (count.clone(), seen.clone());
+        let mut pool = SolverPool::with_sink(
+            &ServiceConfig {
+                workers: 2,
+                ..ServiceConfig::default()
+            },
+            Arc::new(move |r| {
+                seen2.lock().unwrap().push(r.id);
+                count2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let trace: Vec<AllocRequest> = (0..8u64)
+            .map(|id| AllocRequest {
+                id,
+                stream: id % 2,
+                kind: if id < 2 {
+                    RequestKind::New(instance(id))
+                } else {
+                    RequestKind::Resolve
+                },
+                budget: None,
+            })
+            .collect();
+        pool.submit(trace);
+        // No wait: shutdown must drain.
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+        // Per stream, responses arrived in submission order.
+        let ids = seen.lock().unwrap();
+        for stream in 0..2u64 {
+            let per: Vec<u64> = ids.iter().copied().filter(|i| i % 2 == stream).collect();
+            assert!(per.windows(2).all(|w| w[0] < w[1]), "{per:?}");
+        }
+    }
+
+    #[test]
+    fn retire_streams_is_ordered_after_prior_submissions() {
+        let mut pool = SolverPool::new(&ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let trace: Vec<AllocRequest> = (0..6u64)
+            .map(|id| AllocRequest {
+                id,
+                stream: id % 2,
+                kind: if id < 2 {
+                    RequestKind::New(instance(id))
+                } else {
+                    RequestKind::Resolve
+                },
+                budget: None,
+            })
+            .collect();
+        pool.submit(trace);
+        // Retire everything (prefix 0, mask 0 matches every stream) —
+        // queued behind the submissions, so they all still answer.
+        pool.retire_streams(0, 0);
+        let responses = pool.collect();
+        assert_eq!(responses.len(), 6);
+        assert!(responses
+            .iter()
+            .all(|r| r.outcome == RequestOutcome::Solved));
+
+        // After the retirement, the streams are gone.
+        pool.submit(vec![AllocRequest {
+            id: 9,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+        }]);
+        let after = pool.collect();
+        assert_eq!(after[0].outcome, RequestOutcome::Rejected);
+    }
+
+    #[test]
+    #[should_panic(expected = "sink-mode")]
+    fn collect_on_sink_pool_panics() {
+        let mut pool = SolverPool::with_sink(&ServiceConfig::default(), Arc::new(|_| {}));
+        pool.collect();
     }
 }

@@ -125,6 +125,7 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
             probes,
             wall,
             error: None,
+            cached: false,
         });
     }
 

@@ -66,136 +66,199 @@ impl From<ParseError> for TraceParseError {
     }
 }
 
+/// Serialises one request block (header, body, `end`) onto `out`.
+/// The unit the network wire protocol frames; [`write_trace`] is a loop
+/// over this.
+pub fn write_request(out: &mut String, req: &AllocRequest) {
+    let kind = match &req.kind {
+        RequestKind::New(_) => "new",
+        RequestKind::Delta(_) => "delta",
+        RequestKind::Resolve => "resolve",
+    };
+    let _ = write!(out, "request {} {} {kind}", req.id, req.stream);
+    if let Some(b) = req.budget {
+        // Whole milliseconds stay human-friendly; finer budgets fall
+        // back to microseconds so the round-trip stays exact.
+        if b.subsec_micros() % 1_000 == 0 {
+            let _ = write!(out, " budget_ms={}", b.as_millis());
+        } else {
+            let _ = write!(out, " budget_us={}", b.as_micros());
+        }
+    }
+    out.push('\n');
+    match &req.kind {
+        RequestKind::New(instance) => out.push_str(&write_instance(instance)),
+        RequestKind::Delta(delta) => {
+            for &(j, factor) in &delta.scale_need {
+                let _ = writeln!(out, "scale {j} {factor}");
+            }
+            if !delta.remove.is_empty() {
+                out.push_str("remove");
+                for j in &delta.remove {
+                    let _ = write!(out, " {j}");
+                }
+                out.push('\n');
+            }
+            for svc in &delta.add {
+                let _ = writeln!(out, "add {}", write_service_body(svc));
+            }
+        }
+        RequestKind::Resolve => {}
+    }
+    out.push_str("end\n");
+}
+
 /// Serialises a trace to the text format. Round-trips exactly through
 /// [`read_trace`].
 pub fn write_trace(trace: &[AllocRequest]) -> String {
     let mut out = String::from("# vmplace request trace\n");
     for req in trace {
-        let kind = match &req.kind {
-            RequestKind::New(_) => "new",
-            RequestKind::Delta(_) => "delta",
-            RequestKind::Resolve => "resolve",
-        };
-        let _ = write!(out, "request {} {} {kind}", req.id, req.stream);
-        if let Some(b) = req.budget {
-            // Whole milliseconds stay human-friendly; finer budgets fall
-            // back to microseconds so the round-trip stays exact.
-            if b.subsec_micros() % 1_000 == 0 {
-                let _ = write!(out, " budget_ms={}", b.as_millis());
-            } else {
-                let _ = write!(out, " budget_us={}", b.as_micros());
-            }
-        }
-        out.push('\n');
-        match &req.kind {
-            RequestKind::New(instance) => out.push_str(&write_instance(instance)),
-            RequestKind::Delta(delta) => {
-                for &(j, factor) in &delta.scale_need {
-                    let _ = writeln!(out, "scale {j} {factor}");
-                }
-                if !delta.remove.is_empty() {
-                    out.push_str("remove");
-                    for j in &delta.remove {
-                        let _ = write!(out, " {j}");
-                    }
-                    out.push('\n');
-                }
-                for svc in &delta.add {
-                    let _ = writeln!(out, "add {}", write_service_body(svc));
-                }
-            }
-            RequestKind::Resolve => {}
-        }
-        out.push_str("end\n");
+        write_request(&mut out, req);
     }
     out
 }
 
-/// Parses a trace from the text format.
-pub fn read_trace(text: &str) -> Result<Vec<AllocRequest>, TraceParseError> {
-    // (id, stream, kind word, budget, body lines, header line number)
-    let mut trace = Vec::new();
-    let mut header: Option<(u64, u64, String, Option<Duration>, usize)> = None;
-    let mut body: Vec<&str> = Vec::new();
-    // Per-stream dims (from the stream's last `new`), needed to parse
-    // `add` bodies.
-    let mut dims: std::collections::HashMap<u64, usize> = Default::default();
+/// Incremental request-block parser: feed lines one at a time, collect an
+/// [`AllocRequest`] whenever a block completes.
+///
+/// This is the streaming core shared by [`read_trace`] (which feeds it a
+/// whole file) and the `vmplace-net` wire protocol (which feeds it lines
+/// as they arrive on a socket, interleaved with its own control frames).
+/// The assembler tracks per-stream dimensionality (from each stream's
+/// last `new` block) so `add` delta bodies can be parsed.
+#[derive(Default)]
+pub struct BlockAssembler {
+    /// `(id, stream, kind word, budget, header line number)`.
+    header: Option<(u64, u64, String, Option<Duration>, usize)>,
+    body: Vec<String>,
+    /// Per-stream dims, from the stream's last `new`.
+    dims: std::collections::HashMap<u64, usize>,
+}
 
-    for (idx, raw) in text.lines().enumerate() {
-        let line = idx + 1;
+impl BlockAssembler {
+    /// A fresh assembler (no block in progress, no streams known).
+    pub fn new() -> BlockAssembler {
+        BlockAssembler::default()
+    }
+
+    /// Whether a `request` header has been fed without its closing `end`.
+    pub fn in_block(&self) -> bool {
+        self.header.is_some()
+    }
+
+    /// Number of body lines buffered for the block in progress (callers
+    /// enforcing frame-size limits check this between feeds).
+    pub fn body_lines(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The line number of the unclosed block's header, for error
+    /// reporting at end-of-input.
+    pub fn open_block_line(&self) -> Option<usize> {
+        self.header.as_ref().map(|h| h.4)
+    }
+
+    /// Feeds one line (with its 1-based number for error positions).
+    /// Returns `Ok(Some(request))` when the line completed a block,
+    /// `Ok(None)` otherwise. Outside a block, blank lines and `#`
+    /// comments are ignored and anything but a `request` header is an
+    /// error; inside a block every line belongs to the body until `end`.
+    pub fn feed(
+        &mut self,
+        line: usize,
+        raw: &str,
+    ) -> Result<Option<AllocRequest>, TraceParseError> {
         let trimmed = raw.trim();
-        if header.is_none() && (trimmed.is_empty() || trimmed.starts_with('#')) {
-            continue;
-        }
-        match (&header, trimmed) {
-            (None, _) => {
-                let mut words = trimmed.split_whitespace();
-                let (Some("request"), Some(id), Some(stream), Some(kind)) =
-                    (words.next(), words.next(), words.next(), words.next())
-                else {
-                    return Err(TraceParseError::Malformed {
-                        line,
-                        what: format!("expected `request <id> <stream> <kind>`, got `{trimmed}`"),
-                    });
-                };
-                let id: u64 = id.parse().map_err(|e| TraceParseError::Malformed {
-                    line,
-                    what: format!("bad id: {e}"),
-                })?;
-                let stream: u64 = stream.parse().map_err(|e| TraceParseError::Malformed {
-                    line,
-                    what: format!("bad stream: {e}"),
-                })?;
-                let mut budget = None;
-                for extra in words {
-                    let (value, from): (&str, fn(u64) -> Duration) =
-                        if let Some(ms) = extra.strip_prefix("budget_ms=") {
-                            (ms, Duration::from_millis)
-                        } else if let Some(us) = extra.strip_prefix("budget_us=") {
-                            (us, Duration::from_micros)
-                        } else {
-                            return Err(TraceParseError::Malformed {
-                                line,
-                                what: format!("unknown request attribute `{extra}`"),
-                            });
-                        };
-                    let value: u64 = value.parse().map_err(|e| TraceParseError::Malformed {
-                        line,
-                        what: format!("bad budget: {e}"),
-                    })?;
-                    budget = Some(from(value));
-                }
-                header = Some((id, stream, kind.to_string(), budget, line));
+        if self.header.is_none() {
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                return Ok(None);
             }
-            (Some(_), "end") => {
-                let (id, stream, kind, budget, hline) = header.take().expect("in block");
-                let kind = match kind.as_str() {
-                    "new" => {
-                        let instance = read_instance(&body.join("\n"))?;
-                        dims.insert(stream, instance.dims());
-                        RequestKind::New(instance)
-                    }
-                    "delta" => RequestKind::Delta(parse_delta(&body, dims.get(&stream).copied())?),
-                    "resolve" => RequestKind::Resolve,
-                    other => {
+            let mut words = trimmed.split_whitespace();
+            let (Some("request"), Some(id), Some(stream), Some(kind)) =
+                (words.next(), words.next(), words.next(), words.next())
+            else {
+                return Err(TraceParseError::Malformed {
+                    line,
+                    what: format!("expected `request <id> <stream> <kind>`, got `{trimmed}`"),
+                });
+            };
+            let id: u64 = id.parse().map_err(|e| TraceParseError::Malformed {
+                line,
+                what: format!("bad id: {e}"),
+            })?;
+            let stream: u64 = stream.parse().map_err(|e| TraceParseError::Malformed {
+                line,
+                what: format!("bad stream: {e}"),
+            })?;
+            let mut budget = None;
+            for extra in words {
+                let (value, from): (&str, fn(u64) -> Duration) =
+                    if let Some(ms) = extra.strip_prefix("budget_ms=") {
+                        (ms, Duration::from_millis)
+                    } else if let Some(us) = extra.strip_prefix("budget_us=") {
+                        (us, Duration::from_micros)
+                    } else {
                         return Err(TraceParseError::Malformed {
-                            line: hline,
-                            what: format!("unknown request kind `{other}`"),
-                        })
-                    }
-                };
-                body.clear();
-                trace.push(AllocRequest {
-                    id,
-                    stream,
-                    kind,
-                    budget,
+                            line,
+                            what: format!("unknown request attribute `{extra}`"),
+                        });
+                    };
+                let value: u64 = value.parse().map_err(|e| TraceParseError::Malformed {
+                    line,
+                    what: format!("bad budget: {e}"),
+                })?;
+                budget = Some(from(value));
+            }
+            self.header = Some((id, stream, kind.to_string(), budget, line));
+            return Ok(None);
+        }
+
+        if trimmed != "end" {
+            self.body.push(raw.to_string());
+            return Ok(None);
+        }
+
+        let (id, stream, kind, budget, hline) = self.header.take().expect("in block");
+        // Take the body out first so an error leaves the assembler clean
+        // for the next block (callers may continue after a bad frame).
+        let body_lines = std::mem::take(&mut self.body);
+        let kind = match kind.as_str() {
+            "new" => {
+                let instance = read_instance(&body_lines.join("\n"))?;
+                self.dims.insert(stream, instance.dims());
+                RequestKind::New(instance)
+            }
+            "delta" => {
+                let body: Vec<&str> = body_lines.iter().map(String::as_str).collect();
+                RequestKind::Delta(parse_delta(&body, self.dims.get(&stream).copied())?)
+            }
+            "resolve" => RequestKind::Resolve,
+            other => {
+                return Err(TraceParseError::Malformed {
+                    line: hline,
+                    what: format!("unknown request kind `{other}`"),
                 });
             }
-            (Some(_), _) => body.push(raw),
+        };
+        Ok(Some(AllocRequest {
+            id,
+            stream,
+            kind,
+            budget,
+        }))
+    }
+}
+
+/// Parses a trace from the text format.
+pub fn read_trace(text: &str) -> Result<Vec<AllocRequest>, TraceParseError> {
+    let mut assembler = BlockAssembler::new();
+    let mut trace = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        if let Some(req) = assembler.feed(idx + 1, raw)? {
+            trace.push(req);
         }
     }
-    if let Some((_, _, _, _, hline)) = header {
+    if let Some(hline) = assembler.open_block_line() {
         return Err(TraceParseError::Malformed {
             line: hline,
             what: "request block not closed with `end`".into(),
@@ -344,6 +407,34 @@ mod tests {
         assert!(read_trace("flub 1\n").is_err());
         assert!(read_trace("request 0 0 frobnicate\nend\n").is_err());
         assert!(read_trace("request 0 0 resolve wat=1\nend\n").is_err());
+    }
+
+    #[test]
+    fn assembler_recovers_cleanly_after_a_bad_block() {
+        // A failed body parse must not leak its lines into the next
+        // block fed to the same assembler.
+        let mut asm = BlockAssembler::new();
+        let bad = "request 0 0 new\nnot an instance\nend\n";
+        let mut err = None;
+        for (i, line) in bad.lines().enumerate() {
+            if let Err(e) = asm.feed(i + 1, line) {
+                err = Some(e);
+            }
+        }
+        assert!(err.is_some(), "bad instance body must error");
+        assert!(!asm.in_block());
+        assert_eq!(asm.body_lines(), 0, "stale body lines survived the error");
+
+        let good = "request 1 0 resolve\nend\n";
+        let mut parsed = None;
+        for (i, line) in good.lines().enumerate() {
+            if let Ok(Some(req)) = asm.feed(i + 1, line) {
+                parsed = Some(req);
+            }
+        }
+        let req = parsed.expect("clean block parses after a failed one");
+        assert_eq!(req.id, 1);
+        assert!(matches!(req.kind, RequestKind::Resolve));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! A resident solver worker: per-stream state plus long-lived engines.
 
+use crate::cache::ResponseCache;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use vmplace_core::{Algorithm, EngineHandle, MetaGreedy, MetaVp, RandomizedRounding, SolveCtx};
@@ -76,6 +77,12 @@ pub struct ServiceConfig {
     /// Schedule portfolio members by the telemetry winner table (probe
     /// counts only; results are unaffected).
     pub ordered_roster: bool,
+    /// Answer identical re-solves (`Resolve` on an unchanged instance,
+    /// same budget class, same warm hint) from the per-worker
+    /// [`ResponseCache`] instead of re-solving. Cached responses are
+    /// bit-for-bit equal to the uncached path and carry
+    /// `AllocResponse::cached = true`.
+    pub response_cache: bool,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +94,7 @@ impl Default for ServiceConfig {
             default_budget: None,
             warm_start: true,
             ordered_roster: true,
+            response_cache: true,
         }
     }
 }
@@ -164,6 +172,15 @@ impl WorkerEngine {
         }
     }
 
+    /// Whether this engine's solves actually consume the warm-yield hint
+    /// (only the portfolio engines do; greedy, RRNZ and the MILP run
+    /// hintless). The response cache keys on the *effective* hint, so
+    /// hintless engines hit the cache regardless of the stream's warm
+    /// state.
+    pub(crate) fn uses_hint(&self) -> bool {
+        matches!(self, WorkerEngine::Portfolio(_))
+    }
+
     /// One solve: `(solution, winner label, probes, timed out)`. `stream`
     /// and `version` key the exact path's model cache (and seed the RRNZ
     /// trial RNG deterministically per stream).
@@ -222,6 +239,8 @@ pub struct Worker {
     config: ServiceConfig,
     engine: WorkerEngine,
     streams: HashMap<u64, StreamState>,
+    /// Response cache for identical re-solves (`None` when disabled).
+    cache: Option<ResponseCache>,
 }
 
 impl Worker {
@@ -231,6 +250,7 @@ impl Worker {
             config: config.clone(),
             engine: WorkerEngine::build(config),
             streams: HashMap::new(),
+            cache: config.response_cache.then(ResponseCache::new),
         }
     }
 
@@ -245,7 +265,7 @@ impl Worker {
 
         // Update the stream state (and pick the warm hint) first; solve
         // against the updated instance.
-        let hint = match kind {
+        let (hint, resolve) = match kind {
             RequestKind::New(instance) => {
                 self.streams.insert(
                     stream,
@@ -255,7 +275,10 @@ impl Worker {
                         last_yield: None,
                     },
                 );
-                None
+                if let Some(cache) = &mut self.cache {
+                    cache.invalidate(stream);
+                }
+                (None, false)
             }
             RequestKind::Delta(delta) => {
                 let Some(state) = self.streams.get_mut(&stream) else {
@@ -265,22 +288,44 @@ impl Worker {
                     Ok(next) => {
                         state.instance = next;
                         state.version += 1;
+                        if let Some(cache) = &mut self.cache {
+                            cache.invalidate(stream);
+                        }
                     }
                     Err(e) => return AllocResponse::rejected(id, stream, e.to_string()),
                 }
-                state.last_yield
+                (state.last_yield, false)
             }
             RequestKind::Resolve => {
                 let Some(state) = self.streams.get(&stream) else {
                     return AllocResponse::rejected(id, stream, "resolve before New".into());
                 };
-                state.last_yield
+                (state.last_yield, true)
             }
         };
 
         let hint = if self.config.warm_start { hint } else { None };
         let budget = budget.or(self.config.default_budget);
+        // The cache keys on the hint the engine will actually consume:
+        // hintless engines (greedy, RRNZ, MILP) cache independently of
+        // the stream's warm state.
+        let hint = if self.engine.uses_hint() { hint } else { None };
         let state = self.streams.get_mut(&stream).expect("state exists");
+
+        if resolve {
+            if let Some(cache) = &mut self.cache {
+                if let Some(hit) = cache.lookup(id, stream, state.version, budget, hint) {
+                    // Replicate the skipped solve's only side effect: the
+                    // stream's warm yield (numerically a no-op — the
+                    // stored solve already set it to this value — kept
+                    // explicit so the invariant is local).
+                    if let Some(sol) = &hit.solution {
+                        state.last_yield = Some(sol.min_yield);
+                    }
+                    return hit;
+                }
+            }
+        }
 
         let t0 = Instant::now();
         let (solution, winner, probes, timed_out) =
@@ -296,7 +341,7 @@ impl Worker {
             (Some(_), false) => RequestOutcome::Solved,
             (None, false) => RequestOutcome::Infeasible,
         };
-        AllocResponse {
+        let response = AllocResponse {
             id,
             stream,
             outcome,
@@ -305,12 +350,45 @@ impl Worker {
             probes,
             wall,
             error: None,
+            cached: false,
+        };
+        if resolve {
+            if let Some(cache) = &mut self.cache {
+                cache.store(stream, state.version, budget, hint, &response);
+            }
         }
+        response
     }
 
     /// Number of streams this worker currently tracks.
     pub fn stream_count(&self) -> usize {
         self.streams.len()
+    }
+
+    /// Forgets every stream matching `stream & mask == prefix`: warm
+    /// state, cache entries and — if it belongs to such a stream — the
+    /// exact path's model cache. A long-lived front door calls this when
+    /// a client (whose streams share a namespace prefix) disconnects, so
+    /// worker memory tracks *live* streams instead of every stream ever
+    /// seen.
+    pub fn retire_streams(&mut self, prefix: u64, mask: u64) {
+        self.streams.retain(|s, _| s & mask != prefix);
+        if let Some(cache) = &mut self.cache {
+            cache.retire(prefix, mask);
+        }
+        if let WorkerEngine::Milp { cache, .. } = &mut self.engine {
+            if matches!(cache, Some(c) if c.stream & mask == prefix) {
+                *cache = None;
+            }
+        }
+    }
+
+    /// Response-cache `(hits, misses)` counters (zeros when the cache is
+    /// disabled).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits(), c.misses()))
     }
 }
 
@@ -447,6 +525,123 @@ mod tests {
         assert_eq!(bad.outcome, RequestOutcome::Rejected);
         // The stream still answers.
         let ok = worker.process(req(2, RequestKind::Resolve));
+        assert_eq!(ok.outcome, RequestOutcome::Solved);
+    }
+
+    #[test]
+    fn identical_resolves_hit_the_response_cache_bit_for_bit() {
+        let mut worker = Worker::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        worker.process(req(0, RequestKind::New(small_instance())));
+        let a = worker.process(req(1, RequestKind::Resolve));
+        assert!(!a.cached, "first resolve cannot hit");
+        let b = worker.process(req(2, RequestKind::Resolve));
+        assert!(b.cached, "identical re-solve missed the cache");
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(
+            a.min_yield().unwrap().to_bits(),
+            b.min_yield().unwrap().to_bits()
+        );
+        assert_eq!(
+            a.solution.as_ref().unwrap().placement,
+            b.solution.as_ref().unwrap().placement
+        );
+        let (hits, misses) = worker.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn deltas_and_budget_classes_invalidate_the_cache() {
+        let mut worker = Worker::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        worker.process(req(0, RequestKind::New(small_instance())));
+        worker.process(req(1, RequestKind::Resolve));
+        let hit = worker.process(req(2, RequestKind::Resolve));
+        assert!(hit.cached);
+
+        // A mutation bumps the version: the next resolve must re-solve.
+        worker.process(req(
+            3,
+            RequestKind::Delta(WorkloadDelta {
+                scale_need: vec![(0, 0.9)],
+                ..WorkloadDelta::default()
+            }),
+        ));
+        let after_delta = worker.process(req(4, RequestKind::Resolve));
+        assert!(!after_delta.cached, "stale entry served after a delta");
+
+        // A different budget class never shares an entry.
+        let mut budgeted = req(5, RequestKind::Resolve);
+        budgeted.budget = Some(Duration::from_secs(3600));
+        let r = worker.process(budgeted);
+        assert!(!r.cached, "budget classes must not alias");
+    }
+
+    #[test]
+    fn disabled_cache_never_marks_responses() {
+        let mut worker = Worker::new(&ServiceConfig {
+            workers: 1,
+            response_cache: false,
+            ..ServiceConfig::default()
+        });
+        worker.process(req(0, RequestKind::New(small_instance())));
+        let a = worker.process(req(1, RequestKind::Resolve));
+        let b = worker.process(req(2, RequestKind::Resolve));
+        assert!(!a.cached && !b.cached);
+        assert_eq!(worker.cache_stats(), (0, 0));
+        // …and still bit-for-bit what the cached worker answers.
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(
+            a.min_yield().unwrap().to_bits(),
+            b.min_yield().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn retire_streams_drops_only_the_matching_namespace() {
+        const NS: u64 = 1 << 40;
+        let mut worker = Worker::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let open = |worker: &mut Worker, id: u64, stream: u64| {
+            worker.process(AllocRequest {
+                id,
+                stream,
+                kind: RequestKind::New(small_instance()),
+                budget: None,
+            });
+        };
+        open(&mut worker, 0, 0);
+        open(&mut worker, 1, 1);
+        open(&mut worker, 2, NS);
+        assert_eq!(worker.stream_count(), 3);
+
+        // Retire namespace 0 (high bits zero).
+        worker.retire_streams(0, !(NS - 1));
+        assert_eq!(worker.stream_count(), 1);
+
+        // Retired streams behave like never-opened ones…
+        let r = worker.process(AllocRequest {
+            id: 3,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+        });
+        assert_eq!(r.outcome, RequestOutcome::Rejected);
+        // …while the surviving namespace still answers warm.
+        let ok = worker.process(AllocRequest {
+            id: 4,
+            stream: NS,
+            kind: RequestKind::Resolve,
+            budget: None,
+        });
         assert_eq!(ok.outcome, RequestOutcome::Solved);
     }
 

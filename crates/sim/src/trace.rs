@@ -31,6 +31,12 @@ pub struct TraceConfig {
     /// Wall-clock budget attached to re-solve requests (`None` leaves
     /// every request unbudgeted).
     pub resolve_budget: Option<Duration>,
+    /// Every drawn re-solve becomes a burst of this many consecutive
+    /// identical `Resolve` requests on its stream (1 = no bursts). Models
+    /// reconciliation loops and health-check refreshes re-asking an
+    /// unchanged question — the workload the service's response cache
+    /// answers without solving.
+    pub resolve_burst: usize,
 }
 
 impl Default for TraceConfig {
@@ -47,6 +53,7 @@ impl Default for TraceConfig {
             },
             mix: (0.35, 0.25, 0.3, 0.1),
             resolve_budget: None,
+            resolve_burst: 1,
         }
     }
 }
@@ -63,10 +70,12 @@ impl TraceConfig {
         let scenario = Scenario::new(self.scenario.clone());
         let weights = [self.mix.0, self.mix.1, self.mix.2, self.mix.3];
 
-        // Per-stream state: the evolving service count (for valid indices)
-        // and a copy of the opening services (arrival templates).
+        // Per-stream state: the evolving service count (for valid indices),
+        // a copy of the opening services (arrival templates) and the
+        // remaining length of an in-progress re-solve burst.
         let mut counts: Vec<usize> = Vec::with_capacity(self.streams);
         let mut templates: Vec<Vec<Service>> = Vec::with_capacity(self.streams);
+        let mut bursting: Vec<usize> = vec![0; self.streams];
 
         let mut trace = Vec::with_capacity(self.requests);
         for id in 0..self.requests as u64 {
@@ -82,6 +91,20 @@ impl TraceConfig {
                     stream,
                     kind: RequestKind::New(instance),
                     budget: None,
+                });
+                continue;
+            }
+
+            if bursting[s] > 0 {
+                // Continue the stream's identical re-solve burst (no RNG
+                // draw, so `resolve_burst = 1` reproduces prior traces
+                // byte for byte).
+                bursting[s] -= 1;
+                trace.push(AllocRequest {
+                    id,
+                    stream,
+                    kind: RequestKind::Resolve,
+                    budget: self.resolve_budget,
                 });
                 continue;
             }
@@ -139,8 +162,12 @@ impl TraceConfig {
                     )
                 }
                 // Re-solve in place (departure draws on a 1-service
-                // stream also land here).
-                _ => (RequestKind::Resolve, self.resolve_budget),
+                // stream also land here); `resolve_burst > 1` queues the
+                // burst's remainder for the stream's next turns.
+                _ => {
+                    bursting[s] = self.resolve_burst.saturating_sub(1);
+                    (RequestKind::Resolve, self.resolve_budget)
+                }
             };
             trace.push(AllocRequest {
                 id,
@@ -234,6 +261,86 @@ mod tests {
                 );
                 opened.insert(req.stream);
             }
+        }
+    }
+
+    #[test]
+    fn resolve_bursts_emit_identical_consecutive_resolves() {
+        let base = TraceConfig {
+            requests: 80,
+            ..TraceConfig::default()
+        };
+        let burst = TraceConfig {
+            resolve_burst: 3,
+            ..base.clone()
+        };
+        let a = base.generate(4);
+        let b = burst.generate(4);
+        // Bursts only insert extra per-stream resolves; both traces stay
+        // valid end to end.
+        materialise(&a);
+        materialise(&b);
+        let count = |t: &[AllocRequest]| {
+            t.iter()
+                .filter(|r| matches!(r.kind, RequestKind::Resolve))
+                .count()
+        };
+        assert!(
+            count(&b) > count(&a),
+            "bursting added no resolves: {} vs {}",
+            count(&b),
+            count(&a)
+        );
+        // Per stream, every burst is a run of ≥... consecutive (in stream
+        // order) identical Resolve requests.
+        for stream in 0..burst.streams as u64 {
+            let kinds: Vec<bool> = b
+                .iter()
+                .filter(|r| r.stream == stream)
+                .map(|r| matches!(r.kind, RequestKind::Resolve))
+                .collect();
+            let mut runs = Vec::new();
+            let mut run = 0usize;
+            for is_resolve in kinds {
+                if is_resolve {
+                    run += 1;
+                } else if run > 0 {
+                    runs.push(run);
+                    run = 0;
+                }
+            }
+            if run > 0 {
+                runs.push(run);
+            }
+            // Every completed burst reaches the configured length (the
+            // trace may truncate the final one).
+            for (i, r) in runs.iter().enumerate() {
+                assert!(
+                    *r % 3 == 0 || i + 1 == runs.len(),
+                    "stream {stream}: run of {r} resolves, runs {runs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burst_of_one_reproduces_the_plain_trace() {
+        let cfg = TraceConfig {
+            requests: 60,
+            ..TraceConfig::default()
+        };
+        let a = cfg.generate(9);
+        let b = TraceConfig {
+            resolve_burst: 1,
+            ..cfg
+        }
+        .generate(9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                std::mem::discriminant(&x.kind),
+                std::mem::discriminant(&y.kind)
+            );
         }
     }
 

@@ -4,9 +4,13 @@
 //! vmplace solve  <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]
 //!                [--threads N] [--budget-ms MS] [--report]
 //! vmplace replay <trace.txt> [--algo …] [--workers N] [--no-warm] [--no-order]
-//!                [--oneshot] [--budget-ms MS] [--quiet]
+//!                [--no-cache] [--oneshot] [--budget-ms MS] [--quiet]
 //! vmplace replay --gen [--streams S] [--requests R] [--seed K] [--hosts N]
-//!                [--services J] [--cov C] [--slack S] [--emit] [--workers N] …
+//!                [--services J] [--cov C] [--slack S] [--burst B] [--emit]
+//!                [--workers N] …
+//! vmplace serve  [--port P | --addr A] [--algo …] [--workers N] [--no-warm]
+//!                [--no-order] [--no-cache] [--budget-ms MS]
+//! vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping] […--gen opts]
 //! vmplace gen    [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
 //! vmplace example
 //! ```
@@ -25,6 +29,13 @@
 //! path instead, `--no-warm` disables warm-start seeding and `--no-order`
 //! the telemetry roster ordering.
 //!
+//! `serve` binds the allocation service's TCP front-end (`--port 0`
+//! picks an ephemeral port and reports it) and runs until a client sends
+//! the `shutdown` frame; `client` connects to a running server and
+//! drives a trace through it — the network twin of `replay`, with
+//! `--shutdown` to stop the server afterwards and `--ping` for a
+//! liveness round-trip.
+//!
 //! `gen` prints a generated §4-style instance (pipe it to a file, edit
 //! it, solve it). `example` prints the paper's Figure 1 instance.
 
@@ -37,9 +48,13 @@ fn usage() -> ! {
         "usage:\n  vmplace solve <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]\n  \
          \x20              [--threads N] [--budget-ms MS] [--report]\n  \
          vmplace replay <trace.txt>|--gen [--algo A] [--workers N] [--no-warm] [--no-order]\n  \
-         \x20              [--oneshot] [--budget-ms MS] [--quiet]\n  \
+         \x20              [--no-cache] [--oneshot] [--budget-ms MS] [--quiet]\n  \
          \x20              (--gen also: [--streams S] [--requests R] [--seed K] [--hosts N]\n  \
-         \x20               [--services J] [--cov C] [--slack S] [--emit])\n  \
+         \x20               [--services J] [--cov C] [--slack S] [--burst B] [--emit])\n  \
+         vmplace serve [--port P | --addr A] [--algo A] [--workers N] [--no-warm]\n  \
+         \x20              [--no-order] [--no-cache] [--budget-ms MS]\n  \
+         vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]\n  \
+         \x20              (--gen opts as for replay)\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -58,6 +73,8 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("solve") => cmd_solve(&args),
         Some("replay") => cmd_replay(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("client") => cmd_client(&args),
         Some("gen") => cmd_gen(&args),
         Some("example") => {
             let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
@@ -210,9 +227,10 @@ fn print_report(report: &vmplace::core::PortfolioReport) {
     }
 }
 
-/// `vmplace replay`: drive a request trace through the allocation service.
-fn cmd_replay(args: &[String]) {
-    let trace = if args.iter().any(|a| a == "--gen") {
+/// Builds the trace a `replay`/`client` invocation asks for: generated
+/// (`--gen`) or read from the file at `args[path_index]`.
+fn trace_from_args(args: &[String], path_index: usize) -> Vec<AllocRequest> {
+    if args.iter().any(|a| a == "--gen") {
         let get = |key: &str, default: f64| -> f64 {
             flag_value(args, key)
                 .and_then(|v| v.parse().ok())
@@ -228,11 +246,12 @@ fn cmd_replay(args: &[String]) {
                 memory_slack: get("--slack", 0.5),
                 ..ScenarioConfig::default()
             },
+            resolve_burst: get("--burst", 1.0).max(1.0) as usize,
             ..TraceConfig::default()
         };
         cfg.generate(get("--seed", 0.0) as u64)
     } else {
-        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        let Some(path) = args.get(path_index).filter(|a| !a.starts_with("--")) else {
             usage();
         };
         let text = match std::fs::read_to_string(path) {
@@ -249,15 +268,16 @@ fn cmd_replay(args: &[String]) {
                 std::process::exit(1);
             }
         }
-    };
-    if args.iter().any(|a| a == "--emit") {
-        print!("{}", trace_io::write_trace(&trace));
-        return;
     }
+}
 
+/// Builds the service configuration shared by `replay`, `serve` (and the
+/// defaults `client` reports).
+fn service_config_from_args(args: &[String]) -> ServiceConfig {
     let mut config = ServiceConfig {
         warm_start: !args.iter().any(|a| a == "--no-warm"),
         ordered_roster: !args.iter().any(|a| a == "--no-order"),
+        response_cache: !args.iter().any(|a| a == "--no-cache"),
         ..ServiceConfig::default()
     };
     if let Some(algo) = flag_value(args, "--algo") {
@@ -275,31 +295,31 @@ fn cmd_replay(args: &[String]) {
     if let Some(ms) = flag_value(args, "--budget-ms").and_then(|v| v.parse::<u64>().ok()) {
         config.default_budget = Some(std::time::Duration::from_millis(ms));
     }
+    config
+}
 
-    let requests = trace.len();
-    let t0 = std::time::Instant::now();
-    let responses = if args.iter().any(|a| a == "--oneshot") {
-        replay_oneshot(trace, &config)
-    } else {
-        let mut pool = SolverPool::new(&config);
-        let responses = pool.replay(trace);
-        pool.shutdown();
-        responses
-    };
-    let wall = t0.elapsed();
-
-    let quiet = args.iter().any(|a| a == "--quiet");
+/// Prints per-request lines (unless quiet) and the summary; returns the
+/// number of useful (solved or timed-out) responses.
+fn report_responses(
+    responses: &[AllocResponse],
+    wall: std::time::Duration,
+    label: &str,
+    detail: &str,
+    quiet: bool,
+) -> usize {
     let mut solved = 0usize;
     let mut timed_out = 0usize;
     let mut rejected = 0usize;
     let mut infeasible = 0usize;
-    for r in &responses {
+    let mut cached = 0usize;
+    for r in responses {
         match r.outcome {
             RequestOutcome::Solved => solved += 1,
             RequestOutcome::TimedOut => timed_out += 1,
             RequestOutcome::Infeasible => infeasible += 1,
             RequestOutcome::Rejected => rejected += 1,
         }
+        cached += r.cached as usize;
         if !quiet {
             print!(
                 "request {:>4} stream {:>3} {:<10}",
@@ -317,31 +337,164 @@ fn cmd_replay(args: &[String]) {
                 (None, Some(err)) => print!("  {err}"),
                 _ => {}
             }
+            if r.cached {
+                print!("  cached");
+            }
             if let Some(w) = &r.winner {
                 print!("  winner {w}");
             }
             println!();
         }
     }
+    let requests = responses.len();
     eprintln!(
-        "# {} {} requests in {:.1} ms — {:.3} ms/request amortised ({} workers, algo {}, warm {}) — {} solved, {} infeasible, {} timed out, {} rejected",
+        "# {} {} requests in {:.1} ms — {:.3} ms/request amortised ({detail}) — {} solved, {} infeasible, {} timed out, {} rejected, {} cached",
         requests,
-        if args.iter().any(|a| a == "--oneshot") {
-            "one-shot"
-        } else {
-            "pooled"
-        },
+        label,
         wall.as_secs_f64() * 1e3,
         wall.as_secs_f64() * 1e3 / requests.max(1) as f64,
-        config.workers,
-        config.algo.label(),
-        config.warm_start,
         solved,
         infeasible,
         timed_out,
         rejected,
+        cached,
     );
-    if solved + timed_out == 0 && requests > 0 {
+    solved + timed_out
+}
+
+/// `vmplace replay`: drive a request trace through the allocation service.
+fn cmd_replay(args: &[String]) {
+    let trace = trace_from_args(args, 1);
+    if args.iter().any(|a| a == "--emit") {
+        print!("{}", trace_io::write_trace(&trace));
+        return;
+    }
+    let config = service_config_from_args(args);
+
+    let requests = trace.len();
+    let oneshot = args.iter().any(|a| a == "--oneshot");
+    let t0 = std::time::Instant::now();
+    let responses = if oneshot {
+        replay_oneshot(trace, &config)
+    } else {
+        let mut pool = SolverPool::new(&config);
+        let responses = pool.replay(trace);
+        pool.shutdown();
+        responses
+    };
+    let wall = t0.elapsed();
+
+    let useful = report_responses(
+        &responses,
+        wall,
+        if oneshot { "one-shot" } else { "pooled" },
+        &format!(
+            "{} workers, algo {}, warm {}, cache {}",
+            config.workers,
+            config.algo.label(),
+            config.warm_start,
+            config.response_cache,
+        ),
+        args.iter().any(|a| a == "--quiet"),
+    );
+    if useful == 0 && requests > 0 {
+        std::process::exit(3);
+    }
+}
+
+/// `vmplace serve`: bind the TCP front-end and run until a client sends
+/// the `shutdown` frame.
+fn cmd_serve(args: &[String]) {
+    let service = service_config_from_args(args);
+    let addr = match (flag_value(args, "--addr"), flag_value(args, "--port")) {
+        (Some(addr), _) => addr,
+        (None, Some(port)) => format!("127.0.0.1:{port}"),
+        (None, None) => "127.0.0.1:0".to_string(),
+    };
+    let config = vmplace::net::ServerConfig { service };
+    let server = match vmplace::net::Server::bind(addr.as_str(), &config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The parseable line scripts and tests key on; stdout and flushed so
+    // `vmplace serve --port 0 > addr.txt &` works.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# serving algo {} on {} workers (warm {}, cache {}) — stop with `vmplace client <addr> --shutdown`",
+        config.service.algo.label(),
+        config.service.workers.max(1),
+        config.service.warm_start,
+        config.service.response_cache,
+    );
+    server.wait();
+    eprintln!("# drained and shut down");
+}
+
+/// `vmplace client`: drive a trace through a running server.
+fn cmd_client(args: &[String]) {
+    let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let mut client = match vmplace::net::Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.iter().any(|a| a == "--ping") {
+        let t0 = std::time::Instant::now();
+        if let Err(e) = client.ping("vmplace") {
+            eprintln!("error: ping failed: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("# pong in {:.2} ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    // A trace is optional: `client <addr> --ping` and `client <addr>
+    // --shutdown` are complete invocations on their own.
+    let has_trace =
+        args.iter().any(|a| a == "--gen") || args.get(2).is_some_and(|a| !a.starts_with("--"));
+    let mut useful = 1usize;
+    let mut requests = 0usize;
+    if has_trace {
+        let trace = trace_from_args(args, 2);
+        requests = trace.len();
+        let t0 = std::time::Instant::now();
+        let responses = match client.replay(&trace) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: replay failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let wall = t0.elapsed();
+        useful = report_responses(
+            &responses,
+            wall,
+            "remote",
+            &format!("server {addr}"),
+            args.iter().any(|a| a == "--quiet"),
+        );
+    } else if !args.iter().any(|a| a == "--ping" || a == "--shutdown") {
+        usage();
+    }
+
+    if args.iter().any(|a| a == "--shutdown") {
+        match client.shutdown_server() {
+            Ok(_) => eprintln!("# server drained and shut down"),
+            Err(e) => {
+                eprintln!("error: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if useful == 0 && requests > 0 {
         std::process::exit(3);
     }
 }

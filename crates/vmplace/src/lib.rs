@@ -38,7 +38,8 @@
 //! | LP/MILP solver (simplex + B&B, persistent `MilpSolver`, deadlines) | [`vmplace_lp`] |
 //! | placement algorithms (greedy, VP, META*, RRND/RRNZ), the portfolio engine (`SolveCtx`, incumbent pruning, telemetry) and the reusable `EngineHandle` | [`vmplace_core`] |
 //! | generators, error model, runtime allocators, request traces | [`vmplace_sim`] |
-//! | long-lived allocation service: solver pool, dispatcher, trace replay | [`vmplace_service`] |
+//! | long-lived allocation service: solver pool, dispatcher, response cache, trace replay | [`vmplace_service`] |
+//! | network front-end: TCP server, wire protocol, blocking client | [`vmplace_net`] |
 //! | parallel executor: sweeps + portfolio primitive | [`vmplace_par`] |
 //!
 //! This facade re-exports the public API; the `vmplace-experiments` crate
@@ -49,6 +50,7 @@
 pub use vmplace_core as core;
 pub use vmplace_lp as lp;
 pub use vmplace_model as model;
+pub use vmplace_net as net;
 pub use vmplace_par as par;
 pub use vmplace_service as service;
 pub use vmplace_sim as sim;

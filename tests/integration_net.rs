@@ -1,0 +1,335 @@
+//! Differential and hardening suite for the network front-end.
+//!
+//! The headline guarantee: driving a request trace through a **loopback
+//! server** is bit-for-bit equal to replaying it through an in-process
+//! [`SolverPool`] and to the one-shot reference path — yields,
+//! placements, winners, probes and outcomes — at 1 and 4 workers, with
+//! the response cache on and off. On top of that: graceful-lifecycle
+//! semantics, ephemeral ports, and malformed-input hardening (including
+//! a proptest that corrupts wire bytes and asserts the server neither
+//! panics, nor hangs, nor poisons other connections).
+
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use vmplace::net::{Client, Server, ServerConfig};
+use vmplace::prelude::*;
+use vmplace::service::trace_io::write_trace;
+use vmplace_sim::trace::TraceConfig;
+
+fn server_config(workers: usize, cache: bool) -> ServerConfig {
+    ServerConfig {
+        service: ServiceConfig {
+            workers,
+            response_cache: cache,
+            ..ServiceConfig::default()
+        },
+    }
+}
+
+/// A trace with re-solve bursts, so the response cache actually fires.
+fn test_trace(requests: usize, seed: u64) -> Vec<AllocRequest> {
+    TraceConfig {
+        streams: 3,
+        requests,
+        scenario: ScenarioConfig {
+            hosts: 16,
+            services: 30,
+            cov: 0.5,
+            memory_slack: 0.6,
+            ..ScenarioConfig::default()
+        },
+        mix: (0.3, 0.2, 0.25, 0.25),
+        resolve_burst: 3,
+        ..TraceConfig::default()
+    }
+    .generate(seed)
+}
+
+/// Field-by-field equality of two replays (wall-clock and the `cached`
+/// marker excluded — a cached response is the same answer, delivered
+/// cheaper).
+fn assert_replays_equal(a: &[AllocResponse], b: &[AllocResponse], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: response count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{what}: id order");
+        assert_eq!(x.stream, y.stream, "{what}: stream (id {})", x.id);
+        assert_eq!(x.outcome, y.outcome, "{what}: outcome (id {})", x.id);
+        assert_eq!(x.winner, y.winner, "{what}: winner (id {})", x.id);
+        assert_eq!(x.probes, y.probes, "{what}: probes (id {})", x.id);
+        assert_eq!(x.error, y.error, "{what}: error (id {})", x.id);
+        match (&x.solution, &y.solution) {
+            (Some(sx), Some(sy)) => {
+                assert_eq!(
+                    sx.min_yield.to_bits(),
+                    sy.min_yield.to_bits(),
+                    "{what}: min_yield bits (id {})",
+                    x.id
+                );
+                assert_eq!(sx.yields, sy.yields, "{what}: yields (id {})", x.id);
+                assert_eq!(
+                    sx.placement, sy.placement,
+                    "{what}: placement (id {})",
+                    x.id
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{what}: solution presence diverged (id {})", x.id),
+        }
+    }
+}
+
+#[test]
+fn loopback_replay_is_bit_for_bit_equal_to_pool_and_oneshot() {
+    let trace = test_trace(24, 3);
+    // Uncached in-process references (the one-shot path never caches).
+    let oneshot = replay_oneshot(trace.clone(), &server_config(1, false).service);
+
+    for workers in [1usize, 4] {
+        for cache in [false, true] {
+            let what = format!("workers {workers} cache {cache}");
+            let config = server_config(workers, cache);
+
+            let mut pool = SolverPool::new(&config.service);
+            let pooled = pool.replay(trace.clone());
+            pool.shutdown();
+
+            let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            let remote = client.replay(&trace).expect("remote replay");
+            server.shutdown();
+
+            assert_replays_equal(&oneshot, &pooled, &format!("{what}: oneshot vs pool"));
+            assert_replays_equal(&pooled, &remote, &format!("{what}: pool vs loopback"));
+            if cache {
+                assert!(
+                    remote.iter().any(|r| r.cached),
+                    "{what}: burst trace produced no cache hits"
+                );
+            } else {
+                assert!(
+                    remote.iter().all(|r| !r.cached),
+                    "{what}: cached without cache"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_connections_get_isolated_streams_and_ordered_responses() {
+    // Two clients use the *same* stream ids; the server must namespace
+    // them apart (each client sees exactly its own trace's responses, in
+    // order, matching its private in-process replay).
+    let config = server_config(2, true);
+    let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = [5u64, 8]
+        .into_iter()
+        .map(|seed| {
+            let config = config.service.clone();
+            std::thread::spawn(move || {
+                let trace = test_trace(16, seed);
+                let mut pool = SolverPool::new(&ServiceConfig {
+                    workers: 1,
+                    ..config
+                });
+                let expect = pool.replay(trace.clone());
+                let mut client = Client::connect(addr).expect("connect");
+                let got = client.replay(&trace).expect("replay");
+                assert_replays_equal(&expect, &got, &format!("seed {seed}"));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn two_ephemeral_servers_coexist() {
+    let a = Server::bind("127.0.0.1:0", &server_config(1, true)).expect("bind a");
+    let b = Server::bind("127.0.0.1:0", &server_config(1, true)).expect("bind b");
+    assert_ne!(a.local_addr(), b.local_addr());
+    for s in [&a, &b] {
+        let mut c = Client::connect(s.local_addr()).expect("connect");
+        c.ping("x").expect("pong");
+    }
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_and_is_idempotent() {
+    let mut server = Server::bind("127.0.0.1:0", &server_config(1, true)).expect("bind");
+    let addr = server.local_addr();
+    let trace = test_trace(10, 7);
+
+    let mut client = Client::connect(addr).expect("connect");
+    for req in &trace {
+        client.submit(req).expect("submit");
+    }
+    client.flush().expect("flush");
+
+    // Shut down concurrently with the burst being solved: every
+    // submitted request must still be answered before the drain
+    // completes.
+    let drainer = std::thread::spawn(move || {
+        server.shutdown();
+        server.shutdown(); // idempotent
+        server
+    });
+    let responses: Result<Vec<_>, _> = client.responses().collect();
+    let responses = responses.expect("all in-flight responses delivered");
+    assert_eq!(responses.len(), trace.len());
+    for (i, r) in responses.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "submission order");
+        assert_ne!(r.outcome, RequestOutcome::Rejected);
+    }
+
+    let mut server = drainer.join().expect("drain");
+    // Fully drained servers refuse new connections outright.
+    assert!(Client::connect(addr).is_err());
+    server.shutdown(); // still idempotent after wait
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_never_hangs() {
+    let mut server = Server::bind("127.0.0.1:0", &server_config(1, true)).expect("bind");
+    let addr = server.local_addr();
+
+    // (payload bytes, expected error code) — each on a fresh connection.
+    let oversized = {
+        let mut v = b"vmplace-net 1\nrequest 0 0 resolve ".to_vec();
+        v.extend(std::iter::repeat(b'x').take(70 * 1024));
+        v.push(b'\n');
+        v
+    };
+    let cases: Vec<(Vec<u8>, &str)> = vec![
+        (b"vmplace-net 1\nfrobnicate\n".to_vec(), "unknown-verb"),
+        (b"vmplace-net 99\n".to_vec(), "bad-version"),
+        (b"hello world\n".to_vec(), "bad-version"),
+        (b"vmplace-net 1\n\xff\xfe bytes\n".to_vec(), "bad-utf8"),
+        (oversized, "frame-too-large"),
+        (
+            b"vmplace-net 1\nrequest 0 0 resolve wat=1\nend\n".to_vec(),
+            "bad-frame",
+        ),
+        (
+            b"vmplace-net 1\nrequest 0 0 frobnicate\nend\n".to_vec(),
+            "bad-frame",
+        ),
+        (
+            b"vmplace-net 1\nrequest 0 0 new\nnot an instance\nend\n".to_vec(),
+            "bad-frame",
+        ),
+        (
+            b"vmplace-net 1\nrequest 0 0 delta\nadd 1 1 | 1 1 | 0 0 | 0 0\nend\n".to_vec(),
+            "bad-frame",
+        ),
+        (
+            b"vmplace-net 1\nrequest 0 1099511627776 resolve\nend\n".to_vec(),
+            "bad-frame",
+        ),
+    ];
+    for (payload, code) in cases {
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        raw.write_all(&payload).expect("write");
+        let mut buf = String::new();
+        raw.read_to_string(&mut buf)
+            .unwrap_or_else(|e| panic!("connection hung for code {code}: {e}"));
+        assert!(
+            buf.contains(&format!("error {code}")),
+            "expected `error {code}` in reply to {payload:?}, got: {buf}"
+        );
+        assert!(buf.trim_end().ends_with("bye"), "{buf}");
+    }
+
+    // After all that abuse the server still serves normal traffic.
+    let mut client = Client::connect(addr).expect("connect");
+    let responses = client.replay(&test_trace(6, 1)).expect("replay");
+    assert_eq!(responses.len(), 6);
+    server.shutdown();
+}
+
+#[test]
+fn trace_file_and_wire_speak_the_same_framing() {
+    // A trace written by trace_io replays over the wire unchanged: the
+    // request frames *are* trace blocks.
+    let trace = test_trace(12, 2);
+    let text = write_trace(&trace);
+
+    let mut server = Server::bind("127.0.0.1:0", &server_config(1, true)).expect("bind");
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    raw.write_all(b"vmplace-net 1\n").unwrap();
+    raw.write_all(text.as_bytes()).unwrap();
+    raw.write_all(b"shutdown\n").unwrap();
+
+    let mut buf = String::new();
+    raw.read_to_string(&mut buf).expect("clean close");
+    assert!(buf.starts_with("vmplace-net 1 ready"), "{buf}");
+    assert_eq!(
+        buf.matches("\nresponse ").count() + usize::from(buf.starts_with("response ")),
+        trace.len(),
+        "one response frame per trace block: {buf}"
+    );
+    assert!(buf.trim_end().ends_with("bye"), "{buf}");
+    server.shutdown();
+}
+
+/// One valid wire conversation, as raw bytes.
+fn valid_conversation() -> Vec<u8> {
+    let mut bytes = b"vmplace-net 1\n".to_vec();
+    bytes.extend(write_trace(&test_trace(5, 4)).into_bytes());
+    bytes.extend(b"ping done\n");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Corrupt a valid conversation — flip a byte, truncate, or splice in
+    /// garbage — and fire it at a live server. Whatever happens, the
+    /// server must answer with frames and a close (no hang, no panic),
+    /// and must keep serving a fresh, well-behaved connection.
+    #[test]
+    fn corrupted_wire_input_never_hangs_or_poisons_the_server(
+        pos_frac in 0.0f64..1.0,
+        byte in 0u8..=255,
+        mode in 0usize..3,
+    ) {
+        let mut server = Server::bind("127.0.0.1:0", &server_config(1, true)).expect("bind");
+        let addr = server.local_addr();
+
+        let mut payload = valid_conversation();
+        let pos = ((payload.len() - 1) as f64 * pos_frac) as usize;
+        match mode {
+            0 => payload[pos] = byte,                          // flip one byte
+            1 => payload.truncate(pos.max(1)),                 // truncate mid-stream
+            _ => {
+                let garbage = [byte, b'\n'];
+                payload.splice(pos..pos, garbage);             // splice bytes in
+            }
+        }
+
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        raw.write_all(&payload).expect("write");
+        // Close our write side so a parser waiting for more input sees
+        // EOF rather than an idle peer.
+        raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut buf = Vec::new();
+        raw.read_to_end(&mut buf)
+            .expect("server answered and closed (no hang)");
+
+        // The abused connection is gone; a fresh one must work fully.
+        let mut client = Client::connect(addr).expect("fresh connect");
+        client.ping("ok").expect("pong");
+        let responses = client.replay(&test_trace(3, 6)).expect("replay");
+        prop_assert_eq!(responses.len(), 3);
+        server.shutdown();
+    }
+}
