@@ -39,6 +39,7 @@ fn resolve_burst_trace(resolves: usize) -> Vec<AllocRequest> {
             stream: 0,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: Default::default(),
         });
     }
     trace

@@ -155,6 +155,7 @@ fn main() {
                 stream: trace[0].stream,
                 kind: RequestKind::Resolve,
                 budget: None,
+                policy: Default::default(),
             });
         }
         let base = ServiceConfig {

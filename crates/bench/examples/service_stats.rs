@@ -1,14 +1,16 @@
 //! Emits the `BENCH_service.json` numbers: amortised per-request latency
 //! of the resident solver pool (warm) against the cold one-shot reference
-//! path, across trace sizes and worker counts.
+//! path, across trace sizes and worker counts, plus the delta-repair
+//! grid (per-request cost of `Repaired`-policy patches vs the exact
+//! re-solves of the same requests).
 //!
 //! ```text
 //! cargo run --release -p vmplace-bench --example service_stats [reps]
 //! ```
 
 use std::time::Instant;
-use vmplace_model::{AllocRequest, RequestOutcome};
-use vmplace_service::{replay_oneshot, ServiceConfig, SolverPool};
+use vmplace_model::{AllocRequest, RequestOutcome, ResponsePolicy};
+use vmplace_service::{replay_oneshot, ServiceConfig, SolverPool, REPAIR_WINNER};
 use vmplace_sim::{ScenarioConfig, TraceConfig};
 
 fn time_replay<F: FnMut(Vec<AllocRequest>) -> Vec<vmplace_model::AllocResponse>>(
@@ -114,6 +116,87 @@ fn main() {
                 requests
             );
         }
+    }
+    println!();
+    println!("  ],");
+
+    // ── Delta-repair grid ─────────────────────────────────────────────
+    // Same trace replayed twice through a 1-worker pool (cache off so
+    // every request's wall is a real solve): once Exact, once Repaired.
+    // Per request that the repaired replay patched, compare its repair
+    // wall against the exact replay's full re-solve wall for the same id.
+    let tolerance = 0.2;
+    let max_migrations = 3;
+    println!("  \"delta_repair\": [");
+    let mut first = true;
+    for (hosts, services, streams, requests) in shapes {
+        let mk_trace = |policy: ResponsePolicy| {
+            TraceConfig {
+                streams,
+                requests,
+                scenario: ScenarioConfig {
+                    hosts,
+                    services,
+                    cov: 0.5,
+                    memory_slack: 0.6,
+                    ..ScenarioConfig::default()
+                },
+                // Delta-heavy: mostly small demand changes, the repair
+                // path's target workload.
+                mix: (0.2, 0.15, 0.55, 0.1),
+                policy,
+                ..TraceConfig::default()
+            }
+            .generate(1)
+        };
+        let config = ServiceConfig {
+            workers: 1,
+            response_cache: false,
+            ..ServiceConfig::default()
+        };
+        let mut pool_e = SolverPool::new(&config);
+        let exact = pool_e.replay(mk_trace(ResponsePolicy::Exact));
+        pool_e.shutdown();
+        let mut pool_r = SolverPool::new(&config);
+        let repaired = pool_r.replay(mk_trace(ResponsePolicy::Repaired {
+            tolerance,
+            max_migrations,
+        }));
+        pool_r.shutdown();
+
+        let mut repair_us = 0.0f64;
+        let mut exact_us = 0.0f64;
+        let mut repairs = 0usize;
+        let followups = requests - streams; // everything after each stream's New
+        for (r, e) in repaired.iter().zip(&exact) {
+            assert_eq!(r.id, e.id);
+            if r.winner.as_deref() == Some(REPAIR_WINNER) {
+                repairs += 1;
+                repair_us += r.wall.as_secs_f64() * 1e6;
+                exact_us += e.wall.as_secs_f64() * 1e6;
+            }
+        }
+        let mean_repair = repair_us / repairs.max(1) as f64;
+        let mean_exact = exact_us / repairs.max(1) as f64;
+        if !first {
+            println!(",");
+        }
+        first = false;
+        print!(
+            "    {{\"hosts\": {hosts}, \"services\": {services}, \"streams\": {streams}, \
+             \"requests\": {requests}, \"tolerance\": {tolerance}, \
+             \"max_migrations\": {max_migrations}, \"repaired_requests\": {repairs}, \
+             \"solved_followups\": {followups}, \
+             \"exact_us_per_resolve\": {mean_exact:.1}, \
+             \"repair_us_per_resolve\": {mean_repair:.1}, \
+             \"repair_speedup\": {:.1}}}",
+            mean_exact / mean_repair.max(1e-9),
+        );
+        eprintln!(
+            "H={hosts:<3} J={services:<4} repair {repairs}/{followups} followups  \
+             exact {mean_exact:.0}us  repaired {mean_repair:.1}us ({:.0}x)",
+            mean_exact / mean_repair.max(1e-9),
+        );
     }
     println!();
     println!("  ]");

@@ -8,7 +8,7 @@
 //! experiment harness: `table1` records the winning member label of every
 //! engine solve in `table1_raw.csv`'s `winner` column.
 //!
-//! [`STATIC_WINNER_TABLE`] below is the winner histogram of one such run —
+//! `STATIC_WINNER_TABLE` below is the winner histogram of one such run —
 //! the paper's §4 grid at smoke scale (64 hosts; 100/250 services;
 //! cov ∈ {0, 0.25, 0.5, 1}; slack ∈ {0.3, 0.5, 0.7}; 5 seeds per cell;
 //! METAVP, METAHVP and METAHVPLIGHT rosters) — ranked by win count,

@@ -22,7 +22,7 @@
 //! workspace is scored through this single evaluator so that comparisons
 //! between heuristics are meaningful.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Index-based loops are kept where they mirror the paper's subscript
 // notation (d over dimensions, i/j over rows/services) or index several
 // arrays in lockstep.
@@ -42,7 +42,9 @@ pub use error::ModelError;
 pub use instance::{InstanceStats, ProblemInstance};
 pub use node::Node;
 pub use placement::{Placement, Solution};
-pub use request::{AllocRequest, AllocResponse, RequestKind, RequestOutcome, WorkloadDelta};
+pub use request::{
+    AllocRequest, AllocResponse, RequestKind, RequestOutcome, ResponsePolicy, WorkloadDelta,
+};
 pub use service::Service;
 pub use vector::ResourceVector;
 pub use yield_eval::{evaluate_placement, node_max_min_level, NodeYield};

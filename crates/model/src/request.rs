@@ -10,7 +10,7 @@
 //! Requests in different streams are independent; requests within a
 //! stream must be applied in order.
 
-use crate::{ModelError, ProblemInstance, Service, Solution};
+use crate::{ModelError, Placement, ProblemInstance, Service, Solution};
 use std::time::Duration;
 
 /// A change to the service set of a running instance.
@@ -36,6 +36,35 @@ impl WorkloadDelta {
     pub fn is_empty(&self) -> bool {
         self.scale_need.is_empty() && self.remove.is_empty() && self.add.is_empty()
     }
+
+    /// Carries a placement of the *pre-delta* instance across this delta:
+    /// surviving services keep their node under the post-delta index
+    /// space, arrivals appear unplaced.
+    ///
+    /// This is the starting point of the incremental repair path: scaling
+    /// needs never touches rigid requirements and removals only free
+    /// capacity, so every surviving assignment remains rigidly feasible —
+    /// only the arrivals need placing and only the yields shift.
+    ///
+    /// `prev` must cover the pre-delta service count exactly; removal
+    /// indices beyond it are ignored (callers validate deltas through
+    /// [`ProblemInstance::apply_delta`] first).
+    pub fn remap_placement(&self, prev: &Placement) -> Placement {
+        let mut keep = vec![true; prev.len()];
+        for &j in &self.remove {
+            if j < keep.len() {
+                keep[j] = false;
+            }
+        }
+        let mut node_of = Vec::with_capacity(prev.len() + self.add.len());
+        for (j, k) in keep.iter().enumerate() {
+            if *k {
+                node_of.push(prev.node_of(j));
+            }
+        }
+        node_of.extend(std::iter::repeat(None).take(self.add.len()));
+        Placement::from_assignment(node_of)
+    }
 }
 
 impl ProblemInstance {
@@ -45,6 +74,35 @@ impl ProblemInstance {
     /// platform and every untouched service are reused as-is, so applying
     /// a delta is `O(changed + J)` rather than a full instance
     /// construction with `O((H + J) · D)` validation.
+    ///
+    /// Within one delta the application order is **scale, then remove,
+    /// then add**: `scale_need` and `remove` index the pre-delta service
+    /// list, survivors keep their relative order and arrivals append at
+    /// the end.
+    ///
+    /// ```
+    /// use vmplace_model::{Node, ProblemInstance, Service, WorkloadDelta};
+    ///
+    /// let inst = ProblemInstance::new(
+    ///     vec![Node::multicore(2, 1.0, 1.0)],
+    ///     vec![
+    ///         Service::rigid(vec![0.2, 0.2], vec![0.2, 0.2]),
+    ///         Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1]),
+    ///     ],
+    /// )
+    /// .unwrap();
+    /// // Service 0 departs, one service arrives: still two services, and
+    /// // the old service 1 is now service 0.
+    /// let next = inst
+    ///     .apply_delta(&WorkloadDelta {
+    ///         remove: vec![0],
+    ///         add: vec![Service::rigid(vec![0.3, 0.3], vec![0.3, 0.3])],
+    ///         ..WorkloadDelta::default()
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(next.num_services(), 2);
+    /// assert_eq!(&next.services()[0], &inst.services()[1]);
+    /// ```
     pub fn apply_delta(&self, delta: &WorkloadDelta) -> Result<ProblemInstance, ModelError> {
         let j_count = self.num_services();
         let mut services: Vec<Service> = self.services().to_vec();
@@ -117,6 +175,116 @@ pub enum RequestKind {
     Resolve,
 }
 
+/// How the allocator may answer a request — the service's semantics
+/// contract, chosen per request.
+///
+/// * [`ResponsePolicy::Exact`] (the default) always runs the full
+///   deterministic solve: replies are bit-for-bit identical to the
+///   one-shot reference path, whatever the worker count.
+/// * [`ResponsePolicy::Repaired`] trades a bounded yield gap for
+///   placement stability: on a delta the service keeps the previous
+///   placement, places only the arrivals and migrates at most
+///   `max_migrations` surviving services. The repaired answer is accepted
+///   only when its minimum yield provably sits within `tolerance` of the
+///   best any solver could achieve (an admissible upper bound is compared
+///   against, so the guarantee holds versus the exact optimum, not just
+///   the previous yield); otherwise the service silently falls back to
+///   the full solve. On `New` requests — where no previous placement
+///   exists — `Repaired` behaves exactly like `Exact`.
+///
+/// The policy travels on the wire as `exact` or
+/// `repaired:<tolerance>:<max_migrations>`; requests omitting it are
+/// `Exact`, which keeps v1 traces and old clients byte-compatible.
+///
+/// ```
+/// use vmplace_model::ResponsePolicy;
+///
+/// assert_eq!(ResponsePolicy::parse("exact"), Some(ResponsePolicy::Exact));
+/// let p = ResponsePolicy::parse("repaired:0.05:3").unwrap();
+/// assert_eq!(
+///     p,
+///     ResponsePolicy::Repaired { tolerance: 0.05, max_migrations: 3 }
+/// );
+/// // The wire spelling round-trips.
+/// assert_eq!(ResponsePolicy::parse(&p.wire_name()), Some(p));
+/// assert_eq!(ResponsePolicy::default(), ResponsePolicy::Exact);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ResponsePolicy {
+    /// Full deterministic re-solve on every request (the default).
+    #[default]
+    Exact,
+    /// Keep the current placement and repair incrementally; fall back to
+    /// the full solve when the repair is infeasible, migrates too much or
+    /// cannot be proven close enough to optimal.
+    Repaired {
+        /// Largest acceptable gap between the repaired minimum yield and
+        /// an admissible upper bound on the optimal minimum yield.
+        tolerance: f64,
+        /// Most surviving services allowed to change nodes (arrivals are
+        /// placed for free; they had no node to migrate from).
+        max_migrations: usize,
+    },
+}
+
+impl ResponsePolicy {
+    /// Default tolerance when the CLI spelling `repaired` carries no
+    /// parameters.
+    pub const DEFAULT_TOLERANCE: f64 = 0.05;
+    /// Default migration budget when the CLI spelling `repaired` carries
+    /// no parameters.
+    pub const DEFAULT_MAX_MIGRATIONS: usize = 4;
+
+    /// Parses the wire/CLI spelling: `exact`, `repaired` (defaults), or
+    /// `repaired:<tolerance>:<max_migrations>`.
+    pub fn parse(s: &str) -> Option<ResponsePolicy> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("exact") {
+            return Some(ResponsePolicy::Exact);
+        }
+        let rest = if s.eq_ignore_ascii_case("repaired") {
+            ""
+        } else {
+            let rest = s.strip_prefix("repaired:")?;
+            rest
+        };
+        if rest.is_empty() {
+            return Some(ResponsePolicy::Repaired {
+                tolerance: Self::DEFAULT_TOLERANCE,
+                max_migrations: Self::DEFAULT_MAX_MIGRATIONS,
+            });
+        }
+        let (tol, mig) = rest.split_once(':')?;
+        let tolerance: f64 = tol.parse().ok()?;
+        let max_migrations: usize = mig.parse().ok()?;
+        if !(tolerance.is_finite() && tolerance >= 0.0) {
+            return None;
+        }
+        Some(ResponsePolicy::Repaired {
+            tolerance,
+            max_migrations,
+        })
+    }
+
+    /// The policy's spelling in traces and the `vmplace-net` wire protocol
+    /// (the inverse of [`ResponsePolicy::parse`]; floats use Rust's
+    /// shortest round-trip `Display`, so the spelling is bit-exact).
+    pub fn wire_name(&self) -> String {
+        match self {
+            ResponsePolicy::Exact => "exact".to_string(),
+            ResponsePolicy::Repaired {
+                tolerance,
+                max_migrations,
+            } => format!("repaired:{tolerance}:{max_migrations}"),
+        }
+    }
+
+    /// Whether this is the exact (default) policy.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ResponsePolicy::Exact)
+    }
+}
+
 /// One unit of work for the allocation service.
 #[derive(Clone, Debug)]
 pub struct AllocRequest {
@@ -130,6 +298,9 @@ pub struct AllocRequest {
     /// Optional wall-clock budget for this solve (overrides the service
     /// default); the best feasible incumbent found in time is returned.
     pub budget: Option<Duration>,
+    /// The answer-quality contract for this request (see
+    /// [`ResponsePolicy`]).
+    pub policy: ResponsePolicy,
 }
 
 /// How a request ended.
@@ -196,6 +367,12 @@ pub struct AllocResponse {
     /// responses are bit-for-bit equal to what the uncached solve would
     /// have produced — only `wall` (and this marker) differ.
     pub cached: bool,
+    /// Number of surviving services the repair path moved to a different
+    /// node. `Some` exactly when the response came from the incremental
+    /// repair path of [`ResponsePolicy::Repaired`]; `None` for every full
+    /// solve (including repair fallbacks), so old clients — which never
+    /// request repair — never see the field on the wire.
+    pub migrations: Option<u64>,
 }
 
 impl AllocResponse {
@@ -211,6 +388,7 @@ impl AllocResponse {
             wall: Duration::ZERO,
             error: Some(error),
             cached: false,
+            migrations: None,
         }
     }
 
@@ -332,5 +510,155 @@ mod tests {
             ..WorkloadDelta::default()
         };
         assert_eq!(inst.apply_delta(&delta).unwrap().num_services(), 2);
+    }
+
+    #[test]
+    fn delta_targeting_a_departed_service_is_rejected() {
+        // After service 2 departs, only indices {0, 1} exist; a follow-up
+        // delta still addressing index 2 must be rejected — repair leans
+        // on indices always meaning the *current* instance's services.
+        let inst = base();
+        let shrunk = inst
+            .apply_delta(&WorkloadDelta {
+                remove: vec![2],
+                ..WorkloadDelta::default()
+            })
+            .unwrap();
+        let stale = WorkloadDelta {
+            scale_need: vec![(2, 0.5)],
+            ..WorkloadDelta::default()
+        };
+        assert!(matches!(
+            shrunk.apply_delta(&stale),
+            Err(ModelError::ServiceOutOfRange { service: 2, len: 2 })
+        ));
+        let stale_remove = WorkloadDelta {
+            remove: vec![2],
+            ..WorkloadDelta::default()
+        };
+        assert!(matches!(
+            shrunk.apply_delta(&stale_remove),
+            Err(ModelError::ServiceOutOfRange { service: 2, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn repeated_deltas_compose_like_a_rebuild() {
+        // A chain of scale/remove/add deltas must land on exactly the
+        // service list a from-scratch rebuild produces at every step.
+        let inst = base();
+        let deltas = [
+            WorkloadDelta {
+                scale_need: vec![(0, 1.25), (2, 0.8)],
+                ..WorkloadDelta::default()
+            },
+            WorkloadDelta {
+                remove: vec![0],
+                add: vec![Service::rigid(vec![0.07, 0.07], vec![0.07, 0.07])],
+                ..WorkloadDelta::default()
+            },
+            WorkloadDelta {
+                scale_need: vec![(1, 0.5)],
+                remove: vec![0],
+                ..WorkloadDelta::default()
+            },
+        ];
+        let mut chained = inst.clone();
+        let mut manual = inst.services().to_vec();
+        for delta in &deltas {
+            chained = chained.apply_delta(delta).unwrap();
+            // Replay the same delta by hand on the raw list.
+            for &(j, f) in &delta.scale_need {
+                manual[j].need_elem.scale_assign(f);
+                manual[j].need_agg.scale_assign(f);
+            }
+            let mut idx = 0;
+            manual.retain(|_| {
+                let keep = !delta.remove.contains(&idx);
+                idx += 1;
+                keep
+            });
+            manual.extend(delta.add.iter().cloned());
+            let rebuilt = ProblemInstance::new(inst.nodes().to_vec(), manual.clone()).unwrap();
+            assert_eq!(chained.services(), rebuilt.services());
+        }
+    }
+
+    #[test]
+    fn scale_flips_feasibility_and_back() {
+        // Scaling needs never touches rigid requirements, so an instance
+        // stays *constructible* through wild swings; the same factor
+        // chain down and back up restores the yields bit-for-bit as far
+        // as the service list is concerned.
+        let inst = base();
+        let blown = inst
+            .apply_delta(&WorkloadDelta {
+                scale_need: vec![(0, 1000.0)],
+                ..WorkloadDelta::default()
+            })
+            .unwrap();
+        // The instance still validates fully (needs are fluid).
+        assert!(blown.with_services(blown.services().to_vec()).is_ok());
+        let restored = blown
+            .apply_delta(&WorkloadDelta {
+                scale_need: vec![(0, 1.0 / 1000.0)],
+                ..WorkloadDelta::default()
+            })
+            .unwrap();
+        for (a, b) in restored.services().iter().zip(inst.services()) {
+            assert_eq!(a.req_elem, b.req_elem);
+            assert_eq!(a.req_agg, b.req_agg);
+            for d in 0..a.dims() {
+                assert!((a.need_agg[d] - b.need_agg[d]).abs() < 1e-12);
+                assert!((a.need_elem[d] - b.need_elem[d]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn remap_carries_survivors_and_leaves_arrivals_unplaced() {
+        let mut prev = Placement::empty(3);
+        prev.assign(0, 1);
+        prev.assign(1, 0);
+        prev.assign(2, 1);
+        let delta = WorkloadDelta {
+            remove: vec![1],
+            add: vec![Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1])],
+            ..WorkloadDelta::default()
+        };
+        let next = delta.remap_placement(&prev);
+        assert_eq!(next.len(), 3);
+        assert_eq!(next.node_of(0), Some(1)); // old service 0
+        assert_eq!(next.node_of(1), Some(1)); // old service 2, shifted down
+        assert_eq!(next.node_of(2), None); // the arrival
+    }
+
+    #[test]
+    fn remap_of_a_pure_scale_delta_is_identity() {
+        let mut prev = Placement::empty(2);
+        prev.assign(0, 0);
+        prev.assign(1, 1);
+        let delta = WorkloadDelta {
+            scale_need: vec![(0, 2.0)],
+            ..WorkloadDelta::default()
+        };
+        assert_eq!(delta.remap_placement(&prev), prev);
+    }
+
+    #[test]
+    fn policy_parse_rejects_garbage() {
+        assert_eq!(ResponsePolicy::parse("exactish"), None);
+        assert_eq!(ResponsePolicy::parse("repaired:0.1"), None);
+        assert_eq!(ResponsePolicy::parse("repaired:-0.1:2"), None);
+        assert_eq!(ResponsePolicy::parse("repaired:NaN:2"), None);
+        assert_eq!(ResponsePolicy::parse("repaired:0.1:two"), None);
+        let defaulted = ResponsePolicy::parse("repaired").unwrap();
+        assert_eq!(
+            defaulted,
+            ResponsePolicy::Repaired {
+                tolerance: ResponsePolicy::DEFAULT_TOLERANCE,
+                max_migrations: ResponsePolicy::DEFAULT_MAX_MIGRATIONS,
+            }
+        );
     }
 }

@@ -152,8 +152,9 @@ impl Shared {
     }
 }
 
-/// A running allocation server. See the [module docs](self) for the
-/// thread layout and `crates/net/README.md` for the protocol.
+/// A running allocation server. The module docs at the top of
+/// `server.rs` describe the thread layout; `crates/net/README.md` has
+/// the protocol.
 ///
 /// Binding to port 0 picks an ephemeral port; [`Server::local_addr`]
 /// reports the actual address (tests and CI never collide on a fixed
@@ -591,6 +592,7 @@ fn read_loop(shared: Arc<Shared>, stream: TcpStream, conn_id: u64, meta: Sender<
                     stream: (conn_id << CONN_SHIFT) | client_stream,
                     kind: request.kind,
                     budget: request.budget,
+                    policy: request.policy,
                 };
                 let _ = meta.send(Meta::Request {
                     seq,

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! vmplace-net 1                 # hello: protocol version, first line
-//! request <id> <stream> <new|delta|resolve> [budget_ms=N|budget_us=N]
+//! request <id> <stream> <new|delta|resolve> [budget_ms=N|budget_us=N] [policy=P]
 //! …body…                        # exactly trace_io's block body
 //! end
 //! ping [token]
@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! vmplace-net 1 ready           # greeting (or `draining` when shutting down)
-//! response <id> <stream> <outcome> <probes> <wall_us> [cached]
+//! response <id> <stream> <outcome> <probes> <wall_us> [cached] [repaired=M]
 //! winner <label>                # optional
 //! detail <message>              # optional (rejections)
 //! minyield <f64>                # optional ┐
@@ -178,6 +178,11 @@ pub fn write_response(out: &mut String, resp: &AllocResponse) {
     if resp.cached {
         out.push_str(" cached");
     }
+    // Only repair-path responses carry the attribute, so clients that
+    // never send a repaired policy never see it (version tolerance).
+    if let Some(m) = resp.migrations {
+        let _ = write!(out, " repaired={m}");
+    }
     out.push('\n');
     if let Some(winner) = &resp.winner {
         let _ = writeln!(out, "winner {winner}");
@@ -276,7 +281,12 @@ fn parse_response<R: BufRead>(
     let probes: u64 = probes.parse().map_err(|_| bad("bad probes"))?;
     let wall_us: u64 = wall_us.parse().map_err(|_| bad("bad wall"))?;
     let mut cached = false;
+    let mut migrations = None;
     for extra in words {
+        if let Some(m) = extra.strip_prefix("repaired=") {
+            migrations = Some(m.parse().map_err(|_| bad("bad migration count"))?);
+            continue;
+        }
         match extra {
             "cached" => cached = true,
             other => return Err(bad(&format!("unknown response attribute `{other}`"))),
@@ -355,6 +365,7 @@ fn parse_response<R: BufRead>(
         wall: Duration::from_micros(wall_us),
         error,
         cached,
+        migrations,
     })
 }
 
@@ -389,12 +400,14 @@ mod tests {
             wall: Duration::from_micros(12345),
             error: None,
             cached: true,
+            migrations: None,
         };
         let back = roundtrip(&resp);
         assert_eq!(back.id, 42);
         assert_eq!(back.stream, 7);
         assert_eq!(back.outcome, RequestOutcome::Solved);
         assert!(back.cached);
+        assert_eq!(back.migrations, None);
         assert_eq!(back.probes, 99);
         assert_eq!(back.wall, Duration::from_micros(12345));
         assert_eq!(back.winner.as_deref(), Some("FF/MAX_DESC/NAT"));
@@ -455,6 +468,19 @@ mod tests {
             LineRead::Line(l) => assert_eq!(l, "ok"),
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn repaired_attribute_roundtrips() {
+        let mut resp = AllocResponse::rejected(3, 1, "x".into());
+        resp.outcome = RequestOutcome::Solved;
+        resp.error = None;
+        resp.migrations = Some(2);
+        let mut text = String::new();
+        write_response(&mut text, &resp);
+        assert!(text.contains(" repaired=2"), "{text}");
+        let back = roundtrip(&resp);
+        assert_eq!(back.migrations, Some(2));
     }
 
     #[test]

@@ -5,7 +5,9 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
-use vmplace_model::{AllocRequest, Node, ProblemInstance, RequestKind, RequestOutcome, Service};
+use vmplace_model::{
+    AllocRequest, Node, ProblemInstance, RequestKind, RequestOutcome, ResponsePolicy, Service,
+};
 use vmplace_net::{Client, NetError, Server, ServerConfig};
 use vmplace_service::ServiceConfig;
 
@@ -39,18 +41,21 @@ fn trace() -> Vec<AllocRequest> {
             stream: 0,
             kind: RequestKind::New(instance()),
             budget: None,
+            policy: ResponsePolicy::Exact,
         },
         AllocRequest {
             id: 1,
             stream: 0,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: ResponsePolicy::Exact,
         },
         AllocRequest {
             id: 2,
             stream: 0,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: ResponsePolicy::Exact,
         },
     ]
 }

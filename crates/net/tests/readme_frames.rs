@@ -1,0 +1,106 @@
+//! Doc-driven protocol test: every example frame in `crates/net/README.md`
+//! must parse verbatim with the production parsers. The README marks its
+//! wire-exact examples with ```frames fences; this test extracts each
+//! block and feeds request blocks to the `trace_io` assembler (the same
+//! parser the server's reader uses) and response/control frames to the
+//! client's frame reader. Documentation that drifts from the protocol
+//! fails the build.
+
+use std::io::BufReader;
+use vmplace_net::wire::{read_server_frame, NetError, ServerFrame};
+use vmplace_service::trace_io::BlockAssembler;
+
+const README: &str = include_str!("../README.md");
+
+/// The contents of every ```frames fenced block, in document order.
+fn frames_blocks() -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in README.lines() {
+        match &mut current {
+            None if line.trim() == "```frames" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unclosed ```frames block in README");
+    assert!(!blocks.is_empty(), "README has no ```frames examples");
+    blocks
+}
+
+#[test]
+fn every_readme_request_block_parses_verbatim() {
+    let mut requests = 0usize;
+    for block in frames_blocks() {
+        if !block.starts_with("request") {
+            continue;
+        }
+        let mut assembler = BlockAssembler::new();
+        for (idx, line) in block.lines().enumerate() {
+            match assembler.feed(idx + 1, line) {
+                Ok(Some(_)) => requests += 1,
+                Ok(None) => {}
+                Err(e) => panic!("README request example failed to parse: {e}\n{block}"),
+            }
+        }
+        assert!(
+            !assembler.in_block(),
+            "README example left an unclosed request block:\n{block}"
+        );
+    }
+    assert!(
+        requests >= 4,
+        "expected several request examples, got {requests}"
+    );
+}
+
+#[test]
+fn every_readme_response_frame_parses_verbatim() {
+    let mut responses = 0usize;
+    for block in frames_blocks() {
+        if !block.starts_with("response") {
+            continue;
+        }
+        let mut reader = BufReader::new(block.as_bytes());
+        loop {
+            match read_server_frame(&mut reader) {
+                Ok(ServerFrame::Response(_)) => responses += 1,
+                Ok(other) => panic!("unexpected frame in README example: {other:?}"),
+                Err(NetError::Closed) => break, // end of block
+                Err(e) => panic!("README response example failed to parse: {e}\n{block}"),
+            }
+        }
+    }
+    assert!(
+        responses >= 3,
+        "expected several response examples, got {responses}"
+    );
+}
+
+#[test]
+fn readme_examples_carry_the_policy_machinery() {
+    // The examples must actually exercise the v1 policy extension: at
+    // least one policy= request attribute and one repaired= response
+    // attribute, plus a cached response.
+    let all = frames_blocks().join("");
+    assert!(
+        all.contains("policy=repaired:0.05:4"),
+        "no explicit policy example"
+    );
+    assert!(
+        all.contains("policy=repaired\n"),
+        "no default-repaired example"
+    );
+    assert!(
+        all.contains(" repaired=1"),
+        "no repair-path response example"
+    );
+    assert!(all.contains(" cached"), "no cached response example");
+}

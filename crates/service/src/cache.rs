@@ -19,6 +19,14 @@
 //! * the **budget class** (the request's effective wall-clock budget, to
 //!   the microsecond; budgeted and unbudgeted solves never share an
 //!   entry),
+//! * the **response policy** — `Exact` and `Repaired` answers are
+//!   different contracts, so a `Repaired` hit must never answer an
+//!   `Exact` request (nor the reverse), and two `Repaired` policies with
+//!   different tolerances or migration budgets never alias. A `Repaired`
+//!   entry is additionally guarded by the **base placement** the stored
+//!   solve repaired from: the stream's placement can change within one
+//!   instance version (an interleaved `Exact` resolve may land on a
+//!   different placement), and the repair result is a function of it,
 //!
 //! and additionally guarded by the **warm hint** the stored solve used:
 //! the engine's probe sequence (and thus its probe count, and — when the
@@ -36,11 +44,23 @@
 
 use std::collections::HashMap;
 use std::time::Duration;
-use vmplace_model::{AllocResponse, RequestOutcome};
+use vmplace_model::{AllocResponse, Placement, RequestOutcome, ResponsePolicy};
+
+/// The policy component of a cache key: which answer contract the stored
+/// response satisfied, with float tolerances compared bit-for-bit and
+/// repaired entries pinned to the exact base placement they patched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PolicyKey {
+    Exact,
+    Repaired {
+        tolerance_bits: u64,
+        max_migrations: usize,
+    },
+}
 
 /// The cache key fields that must match exactly for a hit (everything
 /// except the stream, which indexes the entry map).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 struct CacheKey {
     /// Instance version the response was computed against.
     version: u64,
@@ -49,6 +69,13 @@ struct CacheKey {
     budget_us: Option<u128>,
     /// Bits of the warm hint the solve used (`None` = hintless).
     hint_bits: Option<u64>,
+    /// The request's answer contract.
+    policy: PolicyKey,
+    /// For repaired requests: the placement the solve started from
+    /// (`None` when the stream had no usable repair base). Compared in
+    /// full — a fingerprint could collide, and a cached answer must be
+    /// *provably* identical to solving.
+    base: Option<Placement>,
 }
 
 struct CacheEntry {
@@ -65,11 +92,32 @@ pub struct ResponseCache {
     misses: u64,
 }
 
-fn key(version: u64, budget: Option<Duration>, hint: Option<f64>) -> CacheKey {
+fn key(
+    version: u64,
+    budget: Option<Duration>,
+    hint: Option<f64>,
+    policy: ResponsePolicy,
+    base: Option<&Placement>,
+) -> CacheKey {
+    let (policy, base) = match policy {
+        ResponsePolicy::Exact => (PolicyKey::Exact, None),
+        ResponsePolicy::Repaired {
+            tolerance,
+            max_migrations,
+        } => (
+            PolicyKey::Repaired {
+                tolerance_bits: tolerance.to_bits(),
+                max_migrations,
+            },
+            base.cloned(),
+        ),
+    };
     CacheKey {
         version,
         budget_us: budget.map(|b| b.as_micros()),
         hint_bits: hint.map(f64::to_bits),
+        policy,
+        base,
     }
 }
 
@@ -83,6 +131,7 @@ impl ResponseCache {
     /// response re-addressed to `id` and marked `cached` (the caller must
     /// still replicate the solve's side effects — the stream's warm-yield
     /// update). Counts a hit or a miss either way.
+    #[allow(clippy::too_many_arguments)]
     pub fn lookup(
         &mut self,
         id: u64,
@@ -90,9 +139,11 @@ impl ResponseCache {
         version: u64,
         budget: Option<Duration>,
         hint: Option<f64>,
+        policy: ResponsePolicy,
+        base: Option<&Placement>,
     ) -> Option<AllocResponse> {
         match self.entries.get(&stream) {
-            Some(entry) if entry.key == key(version, budget, hint) => {
+            Some(entry) if entry.key == key(version, budget, hint, policy, base) => {
                 self.hits += 1;
                 let mut response = entry.response.clone();
                 response.id = id;
@@ -110,12 +161,15 @@ impl ResponseCache {
     /// Stores a freshly solved resolve response, replacing the stream's
     /// previous entry. Timed-out responses are dropped (their outcome is
     /// a wall-clock race, not a function of the request).
+    #[allow(clippy::too_many_arguments)]
     pub fn store(
         &mut self,
         stream: u64,
         version: u64,
         budget: Option<Duration>,
         hint: Option<f64>,
+        policy: ResponsePolicy,
+        base: Option<&Placement>,
         response: &AllocResponse,
     ) {
         if response.outcome == RequestOutcome::TimedOut {
@@ -124,7 +178,7 @@ impl ResponseCache {
         self.entries.insert(
             stream,
             CacheEntry {
-                key: key(version, budget, hint),
+                key: key(version, budget, hint, policy, base),
                 response: response.clone(),
             },
         );
@@ -169,16 +223,21 @@ mod tests {
             wall: Duration::from_millis(7),
             error: None,
             cached: false,
+            migrations: None,
         }
     }
+
+    const EXACT: ResponsePolicy = ResponsePolicy::Exact;
 
     #[test]
     fn hit_requires_every_key_field() {
         let mut cache = ResponseCache::new();
         let budget = Some(Duration::from_millis(10));
-        cache.store(3, 5, budget, Some(0.25), &response(0, 42));
+        cache.store(3, 5, budget, Some(0.25), EXACT, None, &response(0, 42));
 
-        let hit = cache.lookup(9, 3, 5, budget, Some(0.25)).expect("hit");
+        let hit = cache
+            .lookup(9, 3, 5, budget, Some(0.25), EXACT, None)
+            .expect("hit");
         assert_eq!(hit.id, 9);
         assert!(hit.cached);
         assert_eq!(hit.probes, 42);
@@ -186,13 +245,92 @@ mod tests {
         assert_eq!(hit.wall, Duration::ZERO);
 
         // Any field off → miss.
-        assert!(cache.lookup(9, 3, 6, budget, Some(0.25)).is_none());
-        assert!(cache.lookup(9, 3, 5, None, Some(0.25)).is_none());
-        assert!(cache.lookup(9, 3, 5, budget, Some(0.25 + 1e-12)).is_none());
-        assert!(cache.lookup(9, 3, 5, budget, None).is_none());
-        assert!(cache.lookup(9, 4, 5, budget, Some(0.25)).is_none());
+        assert!(cache
+            .lookup(9, 3, 6, budget, Some(0.25), EXACT, None)
+            .is_none());
+        assert!(cache
+            .lookup(9, 3, 5, None, Some(0.25), EXACT, None)
+            .is_none());
+        assert!(cache
+            .lookup(9, 3, 5, budget, Some(0.25 + 1e-12), EXACT, None)
+            .is_none());
+        assert!(cache.lookup(9, 3, 5, budget, None, EXACT, None).is_none());
+        assert!(cache
+            .lookup(9, 4, 5, budget, Some(0.25), EXACT, None)
+            .is_none());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 5);
+    }
+
+    #[test]
+    fn repaired_entry_never_answers_an_exact_request() {
+        let mut cache = ResponseCache::new();
+        let repaired = ResponsePolicy::Repaired {
+            tolerance: 0.05,
+            max_migrations: 4,
+        };
+        let base = Placement::from_assignment(vec![Some(0), Some(1)]);
+        cache.store(3, 5, None, None, repaired, Some(&base), &response(0, 7));
+
+        // The contract hole this key closes: a repaired answer satisfies a
+        // weaker contract and must not be served to an exact request.
+        assert!(cache.lookup(9, 3, 5, None, None, EXACT, None).is_none());
+        // The matching repaired request does hit.
+        assert!(cache
+            .lookup(9, 3, 5, None, None, repaired, Some(&base))
+            .is_some());
+    }
+
+    #[test]
+    fn exact_entry_never_answers_a_repaired_request() {
+        let mut cache = ResponseCache::new();
+        let repaired = ResponsePolicy::Repaired {
+            tolerance: 0.05,
+            max_migrations: 4,
+        };
+        let base = Placement::from_assignment(vec![Some(0), Some(1)]);
+        cache.store(3, 5, None, None, EXACT, None, &response(0, 7));
+
+        assert!(cache
+            .lookup(9, 3, 5, None, None, repaired, Some(&base))
+            .is_none());
+        assert!(cache.lookup(9, 3, 5, None, None, EXACT, None).is_some());
+    }
+
+    #[test]
+    fn repaired_hit_requires_the_same_policy_and_base() {
+        let mut cache = ResponseCache::new();
+        let repaired = ResponsePolicy::Repaired {
+            tolerance: 0.05,
+            max_migrations: 4,
+        };
+        let base = Placement::from_assignment(vec![Some(0), Some(1)]);
+        cache.store(3, 5, None, None, repaired, Some(&base), &response(0, 7));
+
+        // Different tolerance, different migration budget, different base
+        // placement, or a missing base: all misses.
+        let looser = ResponsePolicy::Repaired {
+            tolerance: 0.06,
+            max_migrations: 4,
+        };
+        let roomier = ResponsePolicy::Repaired {
+            tolerance: 0.05,
+            max_migrations: 5,
+        };
+        let other_base = Placement::from_assignment(vec![Some(1), Some(0)]);
+        assert!(cache
+            .lookup(9, 3, 5, None, None, looser, Some(&base))
+            .is_none());
+        assert!(cache
+            .lookup(9, 3, 5, None, None, roomier, Some(&base))
+            .is_none());
+        assert!(cache
+            .lookup(9, 3, 5, None, None, repaired, Some(&other_base))
+            .is_none());
+        assert!(cache.lookup(9, 3, 5, None, None, repaired, None).is_none());
+        assert!(cache
+            .lookup(9, 3, 5, None, None, repaired, Some(&base))
+            .is_some());
     }
 
     #[test]
@@ -200,15 +338,15 @@ mod tests {
         let mut cache = ResponseCache::new();
         let mut r = response(0, 1);
         r.outcome = RequestOutcome::TimedOut;
-        cache.store(3, 1, None, None, &r);
-        assert!(cache.lookup(1, 3, 1, None, None).is_none());
+        cache.store(3, 1, None, None, EXACT, None, &r);
+        assert!(cache.lookup(1, 3, 1, None, None, EXACT, None).is_none());
     }
 
     #[test]
     fn invalidate_drops_the_stream_entry() {
         let mut cache = ResponseCache::new();
-        cache.store(3, 1, None, None, &response(0, 1));
+        cache.store(3, 1, None, None, EXACT, None, &response(0, 1));
         cache.invalidate(3);
-        assert!(cache.lookup(1, 3, 1, None, None).is_none());
+        assert!(cache.lookup(1, 3, 1, None, None, EXACT, None).is_none());
     }
 }

@@ -79,6 +79,7 @@ mod tests {
             stream,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: Default::default(),
         }
     }
 

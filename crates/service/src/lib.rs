@@ -51,13 +51,38 @@
 //! instances — what a caller without this crate would do. The
 //! differential test suite pins `SolverPool` replays to it bit-for-bit;
 //! the service bench measures the amortisation gap against it.
+//!
+//! # Response policies
+//!
+//! Every request carries a [`vmplace_model::ResponsePolicy`] naming the
+//! answer contract the caller wants:
+//!
+//! * **`Exact`** (the default) — the full portfolio solve. Responses are
+//!   bit-for-bit identical to [`replay_oneshot`] on unbudgeted traces,
+//!   for any worker count, cache on or off. Old clients that predate the
+//!   policy field get this implicitly.
+//! * **`Repaired { tolerance, max_migrations }`** — the service may keep
+//!   the stream's current placement and *patch* it instead of re-solving
+//!   (see [`repair`] for the algorithm and its state machine). A repaired
+//!   answer is accepted only when its achieved yield is provably within
+//!   `tolerance` of an admissible upper bound on the optimum — hence
+//!   within `tolerance` of whatever the exact path would have achieved —
+//!   and it never moves more than `max_migrations` already-placed
+//!   services. When the repair cannot meet either bound, the request
+//!   **falls back** to the full `Exact` solve transparently; the response
+//!   then carries no `migrations` count and a portfolio winner label
+//!   instead of [`REPAIR_WINNER`].
+//!
+//! Policies are part of the cache key: a `Repaired` hit never answers an
+//! `Exact` request and vice versa (see [`cache`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 mod dispatch;
 mod pool;
 mod reference;
+pub mod repair;
 pub mod trace_io;
 mod worker;
 
@@ -65,4 +90,5 @@ pub use cache::ResponseCache;
 pub use dispatch::{batch_requests, Batch, Dispatcher};
 pub use pool::{ResponseSink, SolverPool};
 pub use reference::replay_oneshot;
-pub use worker::{ServiceAlgo, ServiceConfig, Worker};
+pub use repair::{try_repair, yield_upper_bound, Repair};
+pub use worker::{ServiceAlgo, ServiceConfig, Worker, REPAIR_WINNER};

@@ -73,7 +73,7 @@ enum WorkerMsg {
 ///
 /// ```
 /// use vmplace_service::{ServiceConfig, SolverPool};
-/// use vmplace_model::{AllocRequest, RequestKind, Node, ProblemInstance, Service};
+/// use vmplace_model::{AllocRequest, RequestKind, Node, ProblemInstance, ResponsePolicy, Service};
 ///
 /// let inst = ProblemInstance::new(
 ///     vec![Node::multicore(2, 1.0, 1.0)],
@@ -86,6 +86,7 @@ enum WorkerMsg {
 ///     stream: 0,
 ///     kind: RequestKind::New(inst),
 ///     budget: None,
+///     policy: ResponsePolicy::Exact,
 /// }]);
 /// assert_eq!(responses.len(), 1);
 /// assert!(responses[0].solution.is_some());
@@ -287,6 +288,7 @@ mod tests {
                     RequestKind::Resolve
                 },
                 budget: None,
+                policy: Default::default(),
             })
             .collect();
         let responses = pool.replay(trace);
@@ -310,6 +312,7 @@ mod tests {
             stream: 7,
             kind: RequestKind::New(instance(0)),
             budget: None,
+            policy: Default::default(),
         }]);
         let first = pool.collect();
         assert_eq!(first.len(), 1);
@@ -322,6 +325,7 @@ mod tests {
             stream: 7,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: Default::default(),
         }]);
         let second = pool.collect();
         assert_eq!(second.len(), 1);
@@ -355,6 +359,7 @@ mod tests {
                     RequestKind::Resolve
                 },
                 budget: None,
+                policy: Default::default(),
             })
             .collect();
         pool.submit(trace);
@@ -385,6 +390,7 @@ mod tests {
                     RequestKind::Resolve
                 },
                 budget: None,
+                policy: Default::default(),
             })
             .collect();
         pool.submit(trace);
@@ -403,6 +409,7 @@ mod tests {
             stream: 0,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: Default::default(),
         }]);
         let after = pool.collect();
         assert_eq!(after[0].outcome, RequestOutcome::Rejected);

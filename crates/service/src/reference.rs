@@ -17,15 +17,32 @@
 //! * **measurement** — it is the cold baseline the service bench
 //!   amortises against (`BENCH_service.json`).
 
-use crate::worker::{ServiceConfig, WorkerEngine};
+use crate::repair::{try_repair, Repair};
+use crate::worker::{ServiceConfig, WorkerEngine, REPAIR_WINNER};
 use std::collections::HashMap;
 use std::time::Instant;
-use vmplace_model::{AllocRequest, AllocResponse, ProblemInstance, RequestKind, RequestOutcome};
+use vmplace_model::{
+    AllocRequest, AllocResponse, Placement, ProblemInstance, RequestKind, RequestOutcome,
+    ResponsePolicy, Solution,
+};
 
 struct StreamChain {
     instance: ProblemInstance,
     version: u64,
     last_yield: Option<f64>,
+    last_solution: Option<Solution>,
+}
+
+impl StreamChain {
+    /// The chain's current placement, when usable as a repair base (same
+    /// guard as the pooled worker: complete and sized for the current
+    /// instance).
+    fn repair_base(&self) -> Option<&Placement> {
+        self.last_solution
+            .as_ref()
+            .map(|s| &s.placement)
+            .filter(|p| p.len() == self.instance.num_services() && p.is_complete())
+    }
 }
 
 /// Replays `trace` with independent one-shot solves (see module docs).
@@ -41,9 +58,13 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
             stream,
             kind,
             budget,
+            policy,
         } = request;
 
-        let hint = match kind {
+        // Mirror of the pooled worker: capture the previous placement —
+        // remapped across the delta — before the chain moves on.
+        let mut repair_base: Option<Placement> = None;
+        let (hint, resolve) = match kind {
             RequestKind::New(instance) => {
                 let version = streams.get(&stream).map_or(0, |c| c.version + 1);
                 streams.insert(
@@ -52,9 +73,10 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
                         instance,
                         version,
                         last_yield: None,
+                        last_solution: None,
                     },
                 );
-                None
+                (None, false)
             }
             RequestKind::Delta(delta) => {
                 let Some(chain) = streams.get_mut(&stream) else {
@@ -65,6 +87,9 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
                     ));
                     continue;
                 };
+                if !policy.is_exact() {
+                    repair_base = chain.repair_base().map(|p| delta.remap_placement(p));
+                }
                 // Apply the delta, then rebuild the successor from its raw
                 // parts with full validation — the "freshly-built" side of
                 // the delta-vs-fresh differential.
@@ -82,7 +107,7 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
                         continue;
                     }
                 }
-                chain.last_yield
+                (chain.last_yield, false)
             }
             RequestKind::Resolve => {
                 let Some(chain) = streams.get(&stream) else {
@@ -93,7 +118,10 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
                     ));
                     continue;
                 };
-                chain.last_yield
+                if !policy.is_exact() {
+                    repair_base = chain.repair_base().cloned();
+                }
+                (chain.last_yield, true)
             }
         };
 
@@ -102,14 +130,38 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
         let chain = streams.get_mut(&stream).expect("chain exists");
 
         // The one-shot cost: everything is rebuilt for this one request.
+        // The repair dispatch is byte-identical to the pooled worker's —
+        // the differential suite pins the two paths to each other.
         let t0 = Instant::now();
-        let mut engine = WorkerEngine::build(config);
-        let (solution, winner, probes, timed_out) =
-            engine.solve(&chain.instance, stream, chain.version, hint, budget);
+        let repaired: Option<Repair> = match policy {
+            ResponsePolicy::Exact => None,
+            ResponsePolicy::Repaired {
+                tolerance,
+                max_migrations,
+            } => repair_base.as_ref().and_then(|base| {
+                try_repair(&chain.instance, base, tolerance, max_migrations, !resolve)
+            }),
+        };
+        let (solution, winner, probes, timed_out, migrations) = match repaired {
+            Some(r) => (
+                Some(r.solution),
+                Some(REPAIR_WINNER.to_string()),
+                r.probes,
+                false,
+                Some(r.migrations),
+            ),
+            None => {
+                let mut engine = WorkerEngine::build(config);
+                let (solution, winner, probes, timed_out) =
+                    engine.solve(&chain.instance, stream, chain.version, hint, budget);
+                (solution, winner, probes, timed_out, None)
+            }
+        };
         let wall = t0.elapsed();
 
         if let Some(sol) = &solution {
             chain.last_yield = Some(sol.min_yield);
+            chain.last_solution = Some(sol.clone());
         }
         let outcome = match (&solution, timed_out) {
             (_, true) => RequestOutcome::TimedOut,
@@ -126,6 +178,7 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
             wall,
             error: None,
             cached: false,
+            migrations,
         });
     }
 

@@ -1,0 +1,508 @@
+//! The incremental delta-repair solver behind
+//! [`ResponsePolicy::Repaired`].
+//!
+//! A small [`WorkloadDelta`] rarely invalidates the whole placement: a
+//! demand change only rescales fluid needs (rigid requirements are
+//! untouched), a departure only frees capacity, and an arrival needs one
+//! slot. The repair path therefore keeps the previous placement for every
+//! surviving service, places only the arrivals, optionally migrates a
+//! bounded set of bottleneck services, and re-evaluates — microseconds of
+//! water-filling instead of a full multi-member portfolio binary search.
+//!
+//! ## The repair state machine
+//!
+//! ```text
+//!            Delta (policy = Repaired)
+//!                      │
+//!             remap previous placement        WorkloadDelta::remap_placement
+//!                      │                      (survivors keep nodes,
+//!                      ▼                       arrivals unplaced)
+//!             place each arrival              greedy: node with the highest
+//!                      │                      post-placement water level;
+//!                      │                      one bounded eviction if no
+//!                      │                      node fits it directly
+//!                      ▼
+//!             bounded improvement loop        move the bottleneck service
+//!                      │                      while the minimum yield
+//!                      │                      strictly improves and the
+//!                      │                      migration budget allows
+//!                      ▼
+//!             acceptance test                 min_yield ≥ λ̄ − tolerance,
+//!                      │                      λ̄ an admissible upper bound
+//!              ┌───────┴────────┐             on the optimal min yield
+//!              ▼                ▼
+//!        repaired reply    fall back to the full solve
+//!        (winner REPAIR,   (identical to the Exact path;
+//!         migrations = m)   migrations is None)
+//! ```
+//!
+//! Every step is deterministic — candidate nodes are scanned in index
+//! order and ties break toward the lowest index — so the pooled service
+//! and the one-shot reference path produce **bit-for-bit identical**
+//! repaired responses, whatever the worker count.
+//!
+//! ## Why the acceptance test is sound
+//!
+//! Comparing the repaired yield against the *previous* yield would not
+//! bound the loss: a departure can raise the optimum well above both.
+//! Instead [`yield_upper_bound`] computes an admissible bound `λ̄ ≥
+//! optimum` from per-service best-node caps and aggregate capacity
+//! totals, in `O(J·H·D)`. Accepting only when
+//! `repaired_min_yield ≥ λ̄ − tolerance` therefore guarantees the reply
+//! never sits more than `tolerance` below what *any* solver — exact or
+//! heuristic — could have achieved on the new instance.
+//!
+//! [`ResponsePolicy::Repaired`]: vmplace_model::ResponsePolicy::Repaired
+//! [`WorkloadDelta`]: vmplace_model::WorkloadDelta
+
+use vmplace_model::{
+    evaluate_placement, node_max_min_level, Placement, ProblemInstance, Solution, EPSILON,
+};
+
+/// A successful repair: the evaluated solution plus its cost accounting.
+pub struct Repair {
+    /// The repaired placement with exact water-filled yields.
+    pub solution: Solution,
+    /// Surviving services whose node changed versus the pre-delta
+    /// placement (arrivals are not migrations — they had no node).
+    pub migrations: u64,
+    /// Water-filling evaluations spent (the repair path's analogue of the
+    /// engines' packing-probe count).
+    pub probes: u64,
+}
+
+/// An admissible upper bound `λ̄` on the optimal minimum yield of
+/// `instance`: the true optimum — and hence any solver's result — can
+/// never exceed it.
+///
+/// Two relaxations are intersected, both ignoring packing constraints:
+///
+/// * **per-service caps** — a fluid service's yield on its *best* node,
+///   with the node otherwise empty (elementary and aggregate, every
+///   dimension); a service that fits no node caps the bound at 0;
+/// * **aggregate totals** — per dimension, the fluid capacity left after
+///   every requirement is met, divided by the total fluid need.
+pub fn yield_upper_bound(instance: &ProblemInstance) -> f64 {
+    let dims = instance.dims();
+    let mut bound: f64 = 1.0;
+
+    for (j, s) in instance.services().iter().enumerate() {
+        if s.is_rigid(EPSILON) {
+            continue;
+        }
+        let mut best: f64 = 0.0;
+        for h in 0..instance.num_nodes() {
+            if !instance.service_fits_empty_node(j, h) {
+                continue;
+            }
+            let n = &instance.nodes()[h];
+            let mut cap: f64 = 1.0;
+            for d in 0..dims {
+                if s.need_elem[d] > EPSILON {
+                    cap = cap.min((n.elementary[d] - s.req_elem[d]) / s.need_elem[d]);
+                }
+                if s.need_agg[d] > EPSILON {
+                    cap = cap.min((n.aggregate[d] - s.req_agg[d]) / s.need_agg[d]);
+                }
+            }
+            best = best.max(cap.clamp(0.0, 1.0));
+            if best >= 1.0 {
+                break;
+            }
+        }
+        bound = bound.min(best);
+    }
+
+    let stats = instance.stats();
+    for d in 0..dims {
+        if stats.total_need[d] > EPSILON {
+            let free = (stats.total_capacity[d] - stats.total_requirement[d]).max(0.0);
+            bound = bound.min(free / stats.total_need[d]);
+        }
+    }
+    bound.clamp(0.0, 1.0)
+}
+
+/// Internal bookkeeping for one repair attempt.
+struct RepairCtx<'a> {
+    instance: &'a ProblemInstance,
+    placement: Placement,
+    /// `groups[h]` = services currently on node `h`, ascending.
+    groups: Vec<Vec<usize>>,
+    probes: u64,
+    /// Eviction + improvement moves spent against the migration budget.
+    moves: usize,
+}
+
+impl<'a> RepairCtx<'a> {
+    fn new(instance: &'a ProblemInstance, base: &Placement) -> RepairCtx<'a> {
+        RepairCtx {
+            instance,
+            placement: base.clone(),
+            groups: base.services_per_node(instance.num_nodes()),
+            probes: 0,
+            moves: 0,
+        }
+    }
+
+    /// Water level of node `h` with its current group (counts one probe).
+    /// `None` = the group's rigid requirements do not fit.
+    fn level_of(&mut self, h: usize, group: &[usize]) -> Option<f64> {
+        self.probes += 1;
+        node_max_min_level(self.instance, h, group).map(|ny| ny.level)
+    }
+
+    /// Moves service `j` from its current node (if any) to `h`.
+    fn place(&mut self, j: usize, h: usize) {
+        if let Some(old) = self.placement.node_of(j) {
+            self.groups[old].retain(|&k| k != j);
+        }
+        self.placement.assign(j, h);
+        let pos = self.groups[h].partition_point(|&k| k < j);
+        self.groups[h].insert(pos, j);
+    }
+
+    /// Greedy arrival placement: the feasible node whose post-placement
+    /// water level is highest (ties → lowest node index).
+    fn place_arrival_directly(&mut self, j: usize) -> bool {
+        let mut best: Option<(f64, usize)> = None;
+        for h in 0..self.instance.num_nodes() {
+            let mut group = self.groups[h].clone();
+            let pos = group.partition_point(|&k| k < j);
+            group.insert(pos, j);
+            if let Some(level) = self.level_of(h, &group) {
+                if best.map_or(true, |(l, _)| level > l + EPSILON) {
+                    best = Some((level, h));
+                }
+            }
+        }
+        match best {
+            Some((_, h)) => {
+                self.place(j, h);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Single-eviction fallback for an arrival no node can host directly:
+    /// move one resident service `k` from a node `h` (where `j`'s rigids
+    /// would fit an empty node) to some other node `g`, then host `j` on
+    /// `h`. First feasible `(h, k, g)` in index order wins; costs one
+    /// move from the migration budget.
+    fn place_arrival_with_eviction(&mut self, j: usize, max_migrations: usize) -> bool {
+        if self.moves >= max_migrations {
+            return false;
+        }
+        for h in 0..self.instance.num_nodes() {
+            if !self.instance.service_fits_empty_node(j, h) {
+                continue;
+            }
+            for ki in 0..self.groups[h].len() {
+                let k = self.groups[h][ki];
+                // h without k but with j:
+                let mut group_h: Vec<usize> =
+                    self.groups[h].iter().copied().filter(|&x| x != k).collect();
+                let pos = group_h.partition_point(|&x| x < j);
+                group_h.insert(pos, j);
+                if self.level_of(h, &group_h).is_none() {
+                    continue;
+                }
+                for g in 0..self.instance.num_nodes() {
+                    if g == h {
+                        continue;
+                    }
+                    let mut group_g = self.groups[g].clone();
+                    let pos = group_g.partition_point(|&x| x < k);
+                    group_g.insert(pos, k);
+                    if self.level_of(g, &group_g).is_some() {
+                        self.place(k, g);
+                        self.place(j, h);
+                        self.moves += 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Full evaluation of the current placement (counts one probe per
+    /// node, mirroring the per-node water-filling it performs).
+    fn evaluate(&mut self) -> Option<Solution> {
+        self.probes += self.instance.num_nodes() as u64;
+        evaluate_placement(self.instance, &self.placement)
+    }
+
+    /// Bounded bottleneck improvement: while the migration budget allows,
+    /// move the minimum-yield service to whichever node raises the
+    /// global minimum yield the most; stop when no move strictly
+    /// improves it.
+    fn improve(&mut self, max_migrations: usize) -> Option<Solution> {
+        let mut current = self.evaluate()?;
+        while self.moves < max_migrations {
+            // Bottleneck service: minimum yield, lowest index on ties.
+            let mut b = 0;
+            for (j, &y) in current.yields.iter().enumerate() {
+                if y < current.yields[b] {
+                    b = j;
+                }
+            }
+            let home = self.placement.node_of(b).expect("complete placement");
+            let mut best: Option<(Solution, usize)> = None;
+            for h in 0..self.instance.num_nodes() {
+                if h == home {
+                    continue;
+                }
+                let mut trial = self.placement.clone();
+                trial.assign(b, h);
+                self.probes += self.instance.num_nodes() as u64;
+                if let Some(sol) = evaluate_placement(self.instance, &trial) {
+                    if sol.min_yield > current.min_yield + EPSILON
+                        && best
+                            .as_ref()
+                            .map_or(true, |(s, _)| sol.min_yield > s.min_yield + EPSILON)
+                    {
+                        best = Some((sol, h));
+                    }
+                }
+            }
+            match best {
+                Some((sol, h)) => {
+                    self.place(b, h);
+                    self.moves += 1;
+                    current = sol;
+                }
+                None => break,
+            }
+        }
+        Some(current)
+    }
+}
+
+/// Attempts an incremental repair of `instance` starting from `base` — a
+/// placement in the *post-delta* index space (see
+/// [`WorkloadDelta::remap_placement`]) in which arrivals are unplaced.
+///
+/// `allow_moves` gates the eviction and improvement steps: a `Resolve`
+/// under the repaired policy re-evaluates the placement as-is (so a
+/// repaired resolve is a fixed point and caches deterministically), while
+/// a `Delta` may spend up to `max_migrations` moves.
+///
+/// Returns `None` — meaning *fall back to the full solve* — when an
+/// arrival cannot be placed, the placement no longer evaluates, the
+/// migration budget is exceeded, or the repaired minimum yield cannot be
+/// proven within `tolerance` of [`yield_upper_bound`].
+///
+/// [`WorkloadDelta::remap_placement`]: vmplace_model::WorkloadDelta::remap_placement
+pub fn try_repair(
+    instance: &ProblemInstance,
+    base: &Placement,
+    tolerance: f64,
+    max_migrations: usize,
+    allow_moves: bool,
+) -> Option<Repair> {
+    if base.len() != instance.num_services() {
+        return None;
+    }
+    let mut ctx = RepairCtx::new(instance, base);
+
+    for j in 0..instance.num_services() {
+        if ctx.placement.node_of(j).is_some() {
+            continue;
+        }
+        if !ctx.place_arrival_directly(j)
+            && (!allow_moves || !ctx.place_arrival_with_eviction(j, max_migrations))
+        {
+            return None;
+        }
+    }
+
+    let solution = if allow_moves {
+        ctx.improve(max_migrations)?
+    } else {
+        ctx.evaluate()?
+    };
+
+    let migrations = (0..instance.num_services())
+        .filter(|&j| base.node_of(j).is_some() && ctx.placement.node_of(j) != base.node_of(j))
+        .count() as u64;
+    if migrations > max_migrations as u64 {
+        return None;
+    }
+
+    if solution.min_yield + tolerance + EPSILON < yield_upper_bound(instance) {
+        return None;
+    }
+    Some(Repair {
+        solution,
+        migrations,
+        probes: ctx.probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::{Node, Service, WorkloadDelta};
+
+    fn mk(cpu_req: f64, cpu_need: f64, mem: f64) -> Service {
+        Service::new(
+            vec![cpu_req / 2.0, mem],
+            vec![cpu_req, mem],
+            vec![cpu_need / 2.0, 0.0],
+            vec![cpu_need, 0.0],
+        )
+    }
+
+    fn instance() -> ProblemInstance {
+        let nodes = vec![Node::multicore(2, 0.5, 1.0), Node::multicore(2, 0.4, 0.6)];
+        ProblemInstance::new(
+            nodes,
+            vec![mk(0.2, 0.6, 0.3), mk(0.1, 0.5, 0.4), mk(0.15, 0.7, 0.2)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn upper_bound_dominates_any_evaluated_placement() {
+        let inst = instance();
+        let ub = yield_upper_bound(&inst);
+        // Exhaustive: every complete placement's min yield ≤ ub.
+        let h = inst.num_nodes();
+        for code in 0..h.pow(inst.num_services() as u32) {
+            let mut p = Placement::empty(inst.num_services());
+            let mut c = code;
+            for j in 0..inst.num_services() {
+                p.assign(j, c % h);
+                c /= h;
+            }
+            if let Some(sol) = evaluate_placement(&inst, &p) {
+                assert!(
+                    sol.min_yield <= ub + EPSILON,
+                    "placement {code} beats the bound: {} > {ub}",
+                    sol.min_yield
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pure_scale_delta_repairs_with_zero_migrations() {
+        let inst = instance();
+        // Start from the best exhaustive placement.
+        let mut best: Option<Solution> = None;
+        let h = inst.num_nodes();
+        for code in 0..h.pow(inst.num_services() as u32) {
+            let mut p = Placement::empty(inst.num_services());
+            let mut c = code;
+            for j in 0..inst.num_services() {
+                p.assign(j, c % h);
+                c /= h;
+            }
+            if let Some(sol) = evaluate_placement(&inst, &p) {
+                if best.as_ref().map_or(true, |b| sol.min_yield > b.min_yield) {
+                    best = Some(sol);
+                }
+            }
+        }
+        let best = best.unwrap();
+        // Nudge one service's demand down 10%: the old placement stays
+        // within tolerance of optimal.
+        let delta = WorkloadDelta {
+            scale_need: vec![(0, 0.9)],
+            ..WorkloadDelta::default()
+        };
+        let next = inst.apply_delta(&delta).unwrap();
+        let base = delta.remap_placement(&best.placement);
+        let repair = try_repair(&next, &base, 0.25, 2, true).expect("repair accepted");
+        assert_eq!(repair.migrations, 0);
+        assert!(repair.solution.min_yield >= yield_upper_bound(&next) - 0.25 - EPSILON);
+    }
+
+    #[test]
+    fn arrival_is_placed_without_touching_survivors() {
+        let inst = instance();
+        let mut prev = Placement::empty(3);
+        prev.assign(0, 0);
+        prev.assign(1, 1);
+        prev.assign(2, 0);
+        let delta = WorkloadDelta {
+            add: vec![mk(0.05, 0.1, 0.1)],
+            ..WorkloadDelta::default()
+        };
+        let next = inst.apply_delta(&delta).unwrap();
+        let base = delta.remap_placement(&prev);
+        let repair = try_repair(&next, &base, 1.0, 0, false).expect("tolerant repair");
+        assert_eq!(repair.migrations, 0);
+        for j in 0..3 {
+            assert_eq!(repair.solution.placement.node_of(j), prev.node_of(j));
+        }
+        assert!(repair.solution.placement.node_of(3).is_some());
+    }
+
+    #[test]
+    fn impossible_arrival_fails_repair() {
+        let inst = instance();
+        let mut prev = Placement::empty(3);
+        prev.assign(0, 0);
+        prev.assign(1, 1);
+        prev.assign(2, 0);
+        // An arrival whose rigid memory exceeds every node.
+        let delta = WorkloadDelta {
+            add: vec![Service::rigid(vec![0.3, 5.0], vec![0.3, 5.0])],
+            ..WorkloadDelta::default()
+        };
+        let next = inst.apply_delta(&delta).unwrap();
+        let base = delta.remap_placement(&prev);
+        assert!(try_repair(&next, &base, 1.0, 8, true).is_none());
+    }
+
+    #[test]
+    fn tight_tolerance_forces_fallback() {
+        let inst = instance();
+        // A deliberately terrible placement: everything on node 1.
+        let mut bad = Placement::empty(3);
+        for j in 0..3 {
+            bad.assign(j, 1);
+        }
+        if evaluate_placement(&inst, &bad).is_none() {
+            return; // rigidly infeasible on this platform — also a fallback
+        }
+        // With zero tolerance and no moves allowed, the bad placement
+        // cannot be proven optimal → fall back.
+        assert!(try_repair(&inst, &bad, 0.0, 0, false).is_none());
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let inst = instance();
+        let mut prev = Placement::empty(3);
+        prev.assign(0, 0);
+        prev.assign(1, 1);
+        prev.assign(2, 0);
+        let delta = WorkloadDelta {
+            scale_need: vec![(1, 1.3)],
+            add: vec![mk(0.05, 0.2, 0.1)],
+            ..WorkloadDelta::default()
+        };
+        let next = inst.apply_delta(&delta).unwrap();
+        let base = delta.remap_placement(&prev);
+        let a = try_repair(&next, &base, 1.0, 2, true).expect("repair");
+        let b = try_repair(&next, &base, 1.0, 2, true).expect("repair");
+        assert_eq!(
+            a.solution.min_yield.to_bits(),
+            b.solution.min_yield.to_bits()
+        );
+        assert_eq!(a.solution.placement, b.solution.placement);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.probes, b.probes);
+    }
+
+    #[test]
+    fn mismatched_base_length_is_a_fallback() {
+        let inst = instance();
+        let stale = Placement::empty(7);
+        assert!(try_repair(&inst, &stale, 1.0, 8, true).is_none());
+    }
+}

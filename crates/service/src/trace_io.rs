@@ -20,8 +20,12 @@
 //! ```
 //!
 //! A `request` header is `request <id> <stream> <new|delta|resolve>
-//! [budget_ms=N | budget_us=N]` (microseconds serialise sub-millisecond
-//! budgets exactly); its body runs until the matching `end`. `new` bodies
+//! [budget_ms=N | budget_us=N] [policy=P]` (microseconds serialise
+//! sub-millisecond budgets exactly; `P` is a
+//! [`vmplace_model::ResponsePolicy`] wire name — `exact`, `repaired`, or
+//! `repaired:<tolerance>:<max_migrations>` — and an omitted attribute
+//! means `exact`, so traces written before the attribute existed parse
+//! unchanged); its body runs until the matching `end`. `new` bodies
 //! are a full instance; `delta` bodies hold `scale <service> <factor>`,
 //! `remove <service>…` and `add <service body>` lines (in
 //! scale-then-remove-then-add application order); `resolve` bodies are
@@ -32,7 +36,7 @@ use std::time::Duration;
 use vmplace_model::io::{
     parse_service_body, read_instance, write_instance, write_service_body, ParseError,
 };
-use vmplace_model::{AllocRequest, RequestKind, WorkloadDelta};
+use vmplace_model::{AllocRequest, RequestKind, ResponsePolicy, WorkloadDelta};
 
 /// Errors raised while parsing a trace file.
 #[derive(Debug)]
@@ -85,6 +89,11 @@ pub fn write_request(out: &mut String, req: &AllocRequest) {
             let _ = write!(out, " budget_us={}", b.as_micros());
         }
     }
+    // The default (exact) policy is omitted, so traces written before the
+    // attribute existed serialise byte-identically.
+    if !req.policy.is_exact() {
+        let _ = write!(out, " policy={}", req.policy.wire_name());
+    }
     out.push('\n');
     match &req.kind {
         RequestKind::New(instance) => out.push_str(&write_instance(instance)),
@@ -128,8 +137,8 @@ pub fn write_trace(trace: &[AllocRequest]) -> String {
 /// last `new` block) so `add` delta bodies can be parsed.
 #[derive(Default)]
 pub struct BlockAssembler {
-    /// `(id, stream, kind word, budget, header line number)`.
-    header: Option<(u64, u64, String, Option<Duration>, usize)>,
+    /// `(id, stream, kind word, budget, policy, header line number)`.
+    header: Option<(u64, u64, String, Option<Duration>, ResponsePolicy, usize)>,
     body: Vec<String>,
     /// Per-stream dims, from the stream's last `new`.
     dims: std::collections::HashMap<u64, usize>,
@@ -155,7 +164,7 @@ impl BlockAssembler {
     /// The line number of the unclosed block's header, for error
     /// reporting at end-of-input.
     pub fn open_block_line(&self) -> Option<usize> {
-        self.header.as_ref().map(|h| h.4)
+        self.header.as_ref().map(|h| h.5)
     }
 
     /// Feeds one line (with its 1-based number for error positions).
@@ -191,7 +200,16 @@ impl BlockAssembler {
                 what: format!("bad stream: {e}"),
             })?;
             let mut budget = None;
+            let mut policy = ResponsePolicy::default();
             for extra in words {
+                if let Some(p) = extra.strip_prefix("policy=") {
+                    policy =
+                        ResponsePolicy::parse(p).ok_or_else(|| TraceParseError::Malformed {
+                            line,
+                            what: format!("bad policy `{p}`"),
+                        })?;
+                    continue;
+                }
                 let (value, from): (&str, fn(u64) -> Duration) =
                     if let Some(ms) = extra.strip_prefix("budget_ms=") {
                         (ms, Duration::from_millis)
@@ -209,7 +227,7 @@ impl BlockAssembler {
                 })?;
                 budget = Some(from(value));
             }
-            self.header = Some((id, stream, kind.to_string(), budget, line));
+            self.header = Some((id, stream, kind.to_string(), budget, policy, line));
             return Ok(None);
         }
 
@@ -218,7 +236,7 @@ impl BlockAssembler {
             return Ok(None);
         }
 
-        let (id, stream, kind, budget, hline) = self.header.take().expect("in block");
+        let (id, stream, kind, budget, policy, hline) = self.header.take().expect("in block");
         // Take the body out first so an error leaves the assembler clean
         // for the next block (callers may continue after a bad frame).
         let body_lines = std::mem::take(&mut self.body);
@@ -245,6 +263,7 @@ impl BlockAssembler {
             stream,
             kind,
             budget,
+            policy,
         }))
     }
 }
@@ -333,6 +352,7 @@ mod tests {
                 stream: 3,
                 kind: RequestKind::New(inst),
                 budget: None,
+                policy: ResponsePolicy::Exact,
             },
             AllocRequest {
                 id: 1,
@@ -343,12 +363,17 @@ mod tests {
                     add: vec![Service::rigid(vec![0.2, 0.1], vec![0.2, 0.1])],
                 }),
                 budget: Some(Duration::from_millis(25)),
+                policy: ResponsePolicy::Repaired {
+                    tolerance: 0.05,
+                    max_migrations: 4,
+                },
             },
             AllocRequest {
                 id: 2,
                 stream: 3,
                 kind: RequestKind::Resolve,
                 budget: None,
+                policy: ResponsePolicy::Exact,
             },
         ]
     }
@@ -363,6 +388,7 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.stream, b.stream);
             assert_eq!(a.budget, b.budget);
+            assert_eq!(a.policy, b.policy);
             match (&a.kind, &b.kind) {
                 (RequestKind::New(x), RequestKind::New(y)) => {
                     assert_eq!(x.nodes(), y.nodes());
@@ -382,11 +408,53 @@ mod tests {
             stream: 0,
             kind: RequestKind::Resolve,
             budget: Some(Duration::from_micros(500)),
+            policy: ResponsePolicy::Exact,
         }];
         let text = write_trace(&trace);
         assert!(text.contains("budget_us=500"), "{text}");
         let back = read_trace(&text).unwrap();
         assert_eq!(back[0].budget, Some(Duration::from_micros(500)));
+    }
+
+    #[test]
+    fn exact_policy_is_omitted_from_headers() {
+        // Byte-compatibility with pre-policy traces: the default policy
+        // must leave the header untouched.
+        let trace = vec![AllocRequest {
+            id: 0,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+            policy: ResponsePolicy::Exact,
+        }];
+        let text = write_trace(&trace);
+        assert!(text.contains("request 0 0 resolve\n"), "{text}");
+        assert!(!text.contains("policy="), "{text}");
+    }
+
+    #[test]
+    fn repaired_policy_roundtrips_through_the_header() {
+        let policy = ResponsePolicy::Repaired {
+            tolerance: 0.125,
+            max_migrations: 3,
+        };
+        let trace = vec![AllocRequest {
+            id: 7,
+            stream: 2,
+            kind: RequestKind::Resolve,
+            budget: Some(Duration::from_millis(5)),
+            policy,
+        }];
+        let text = write_trace(&trace);
+        assert!(text.contains("policy=repaired:0.125:3"), "{text}");
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back[0].policy, policy);
+    }
+
+    #[test]
+    fn bad_policy_attribute_is_an_error() {
+        assert!(read_trace("request 0 0 resolve policy=frobnicate\nend\n").is_err());
+        assert!(read_trace("request 0 0 resolve policy=repaired:-1:2\nend\n").is_err());
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! A resident solver worker: per-stream state plus long-lived engines.
 
 use crate::cache::ResponseCache;
+use crate::repair::{try_repair, Repair};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use vmplace_core::{Algorithm, EngineHandle, MetaGreedy, MetaVp, RandomizedRounding, SolveCtx};
 use vmplace_lp::{MilpOptions, MilpSolver, YieldLp};
 use vmplace_model::{
-    AllocRequest, AllocResponse, ProblemInstance, RequestKind, RequestOutcome, Solution,
+    AllocRequest, AllocResponse, Placement, ProblemInstance, RequestKind, RequestOutcome,
+    ResponsePolicy, Solution,
 };
+
+/// Winner label carried by responses the incremental repair path
+/// produced (see [`crate::repair`]).
+pub const REPAIR_WINNER: &str = "REPAIR";
 
 /// Which algorithm the service solves with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,6 +131,22 @@ struct StreamState {
     version: u64,
     /// Achieved minimum yield of the stream's last successful solve.
     last_yield: Option<f64>,
+    /// Full solution of the stream's last solve that produced one — the
+    /// placement the repair path keeps and patches.
+    last_solution: Option<Solution>,
+}
+
+impl StreamState {
+    /// The stream's current placement, when it is a usable repair base:
+    /// complete and sized for the *current* instance (a timed-out solve
+    /// that returned nothing can leave `last_solution` one version
+    /// behind — never repair from that).
+    fn repair_base(&self) -> Option<&Placement> {
+        self.last_solution
+            .as_ref()
+            .map(|s| &s.placement)
+            .filter(|p| p.len() == self.instance.num_services() && p.is_complete())
+    }
 }
 
 /// The exact path's persistent state: the built model and its warm
@@ -261,10 +283,14 @@ impl Worker {
             stream,
             kind,
             budget,
+            policy,
         } = request;
 
         // Update the stream state (and pick the warm hint) first; solve
-        // against the updated instance.
+        // against the updated instance. For the repaired policy, capture
+        // the previous placement — remapped across the delta — *before*
+        // the stream state moves on.
+        let mut repair_base: Option<Placement> = None;
         let (hint, resolve) = match kind {
             RequestKind::New(instance) => {
                 self.streams.insert(
@@ -273,6 +299,7 @@ impl Worker {
                         instance,
                         version: next_version(&self.streams, stream),
                         last_yield: None,
+                        last_solution: None,
                     },
                 );
                 if let Some(cache) = &mut self.cache {
@@ -284,6 +311,9 @@ impl Worker {
                 let Some(state) = self.streams.get_mut(&stream) else {
                     return AllocResponse::rejected(id, stream, "delta before New".into());
                 };
+                if !policy.is_exact() {
+                    repair_base = state.repair_base().map(|p| delta.remap_placement(p));
+                }
                 match state.instance.apply_delta(&delta) {
                     Ok(next) => {
                         state.instance = next;
@@ -300,6 +330,9 @@ impl Worker {
                 let Some(state) = self.streams.get(&stream) else {
                     return AllocResponse::rejected(id, stream, "resolve before New".into());
                 };
+                if !policy.is_exact() {
+                    repair_base = state.repair_base().cloned();
+                }
                 (state.last_yield, true)
             }
         };
@@ -314,13 +347,22 @@ impl Worker {
 
         if resolve {
             if let Some(cache) = &mut self.cache {
-                if let Some(hit) = cache.lookup(id, stream, state.version, budget, hint) {
-                    // Replicate the skipped solve's only side effect: the
-                    // stream's warm yield (numerically a no-op — the
-                    // stored solve already set it to this value — kept
-                    // explicit so the invariant is local).
+                if let Some(hit) = cache.lookup(
+                    id,
+                    stream,
+                    state.version,
+                    budget,
+                    hint,
+                    policy,
+                    repair_base.as_ref(),
+                ) {
+                    // Replicate the skipped solve's only side effects: the
+                    // stream's warm yield and placement (numerically a
+                    // no-op — the stored solve already set them to these
+                    // values — kept explicit so the invariant is local).
                     if let Some(sol) = &hit.solution {
                         state.last_yield = Some(sol.min_yield);
+                        state.last_solution = Some(sol.clone());
                     }
                     return hit;
                 }
@@ -328,13 +370,39 @@ impl Worker {
         }
 
         let t0 = Instant::now();
-        let (solution, winner, probes, timed_out) =
-            self.engine
-                .solve(&state.instance, stream, state.version, hint, budget);
+        // The repaired policy tries the incremental path first; `None`
+        // falls back to the full solve below. Repairing a `Resolve` keeps
+        // the placement as-is (no moves), so a repaired resolve is a
+        // fixed point and identical re-resolves stay cacheable.
+        let repaired: Option<Repair> = match policy {
+            ResponsePolicy::Exact => None,
+            ResponsePolicy::Repaired {
+                tolerance,
+                max_migrations,
+            } => repair_base.as_ref().and_then(|base| {
+                try_repair(&state.instance, base, tolerance, max_migrations, !resolve)
+            }),
+        };
+        let (solution, winner, probes, timed_out, migrations) = match repaired {
+            Some(r) => (
+                Some(r.solution),
+                Some(REPAIR_WINNER.to_string()),
+                r.probes,
+                false,
+                Some(r.migrations),
+            ),
+            None => {
+                let (solution, winner, probes, timed_out) =
+                    self.engine
+                        .solve(&state.instance, stream, state.version, hint, budget);
+                (solution, winner, probes, timed_out, None)
+            }
+        };
         let wall = t0.elapsed();
 
         if let Some(sol) = &solution {
             state.last_yield = Some(sol.min_yield);
+            state.last_solution = Some(sol.clone());
         }
         let outcome = match (&solution, timed_out) {
             (_, true) => RequestOutcome::TimedOut,
@@ -351,10 +419,19 @@ impl Worker {
             wall,
             error: None,
             cached: false,
+            migrations,
         };
         if resolve {
             if let Some(cache) = &mut self.cache {
-                cache.store(stream, state.version, budget, hint, &response);
+                cache.store(
+                    stream,
+                    state.version,
+                    budget,
+                    hint,
+                    policy,
+                    repair_base.as_ref(),
+                    &response,
+                );
             }
         }
         response
@@ -464,6 +541,7 @@ mod tests {
             stream: 0,
             kind,
             budget: None,
+            policy: ResponsePolicy::default(),
         }
     }
 
@@ -616,6 +694,7 @@ mod tests {
                 stream,
                 kind: RequestKind::New(small_instance()),
                 budget: None,
+                policy: ResponsePolicy::default(),
             });
         };
         open(&mut worker, 0, 0);
@@ -633,6 +712,7 @@ mod tests {
             stream: 0,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: ResponsePolicy::default(),
         });
         assert_eq!(r.outcome, RequestOutcome::Rejected);
         // …while the surviving namespace still answers warm.
@@ -641,6 +721,7 @@ mod tests {
             stream: NS,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: ResponsePolicy::default(),
         });
         assert_eq!(ok.outcome, RequestOutcome::Solved);
     }

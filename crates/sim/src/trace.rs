@@ -13,7 +13,7 @@ use crate::scenario::{Scenario, ScenarioConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
-use vmplace_model::{AllocRequest, RequestKind, Service, WorkloadDelta};
+use vmplace_model::{AllocRequest, RequestKind, ResponsePolicy, Service, WorkloadDelta};
 
 /// Configuration of the trace generator.
 #[derive(Clone, Debug)]
@@ -37,6 +37,11 @@ pub struct TraceConfig {
     /// unchanged question — the workload the service's response cache
     /// answers without solving.
     pub resolve_burst: usize,
+    /// Response policy attached to every follow-up request (`Delta` and
+    /// `Resolve`; opening `New` requests always go out `Exact` — there is
+    /// no placement to repair yet, and keeping them exact makes the
+    /// repaired trace's opening solves comparable to the exact trace's).
+    pub policy: ResponsePolicy,
 }
 
 impl Default for TraceConfig {
@@ -54,6 +59,7 @@ impl Default for TraceConfig {
             mix: (0.35, 0.25, 0.3, 0.1),
             resolve_budget: None,
             resolve_burst: 1,
+            policy: ResponsePolicy::Exact,
         }
     }
 }
@@ -91,6 +97,7 @@ impl TraceConfig {
                     stream,
                     kind: RequestKind::New(instance),
                     budget: None,
+                    policy: ResponsePolicy::Exact,
                 });
                 continue;
             }
@@ -105,6 +112,7 @@ impl TraceConfig {
                     stream,
                     kind: RequestKind::Resolve,
                     budget: self.resolve_budget,
+                    policy: self.policy,
                 });
                 continue;
             }
@@ -174,6 +182,7 @@ impl TraceConfig {
                 stream,
                 kind,
                 budget,
+                policy: self.policy,
             });
         }
         trace

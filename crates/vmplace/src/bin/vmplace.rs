@@ -4,7 +4,7 @@
 //! vmplace solve  <instance.txt> [--algo light|hvp|vp|greedy|rrnz|milp] [--plan]
 //!                [--threads N] [--budget-ms MS] [--report]
 //! vmplace replay <trace.txt> [--algo …] [--workers N] [--no-warm] [--no-order]
-//!                [--no-cache] [--oneshot] [--budget-ms MS] [--quiet]
+//!                [--no-cache] [--oneshot] [--budget-ms MS] [--policy P] [--quiet]
 //! vmplace replay --gen [--streams S] [--requests R] [--seed K] [--hosts N]
 //!                [--services J] [--cov C] [--slack S] [--burst B] [--emit]
 //!                [--workers N] …
@@ -27,7 +27,11 @@
 //! running) through the resident solver pool and reports per-request and
 //! amortised latency; `--oneshot` uses the independent one-shot reference
 //! path instead, `--no-warm` disables warm-start seeding and `--no-order`
-//! the telemetry roster ordering.
+//! the telemetry roster ordering. `--policy` stamps a response policy
+//! (`exact`, `repaired`, or `repaired:<tol>:<maxmig>`) onto every
+//! follow-up request of the trace — `repaired` lets the service patch the
+//! previous placement instead of re-solving when it can prove the yield
+//! stays within the tolerance (see `vmplace_service::repair`).
 //!
 //! `serve` binds the allocation service's TCP front-end (`--port 0`
 //! picks an ephemeral port and reports it) and runs until a client sends
@@ -49,12 +53,13 @@ fn usage() -> ! {
          \x20              [--threads N] [--budget-ms MS] [--report]\n  \
          vmplace replay <trace.txt>|--gen [--algo A] [--workers N] [--no-warm] [--no-order]\n  \
          \x20              [--no-cache] [--oneshot] [--budget-ms MS] [--quiet]\n  \
+         \x20              [--policy exact|repaired|repaired:<tol>:<maxmig>]\n  \
          \x20              (--gen also: [--streams S] [--requests R] [--seed K] [--hosts N]\n  \
          \x20               [--services J] [--cov C] [--slack S] [--burst B] [--emit])\n  \
          vmplace serve [--port P | --addr A] [--algo A] [--workers N] [--no-warm]\n  \
          \x20              [--no-order] [--no-cache] [--budget-ms MS]\n  \
          vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]\n  \
-         \x20              (--gen opts as for replay)\n  \
+         \x20              (--gen and --policy opts as for replay)\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -228,9 +233,18 @@ fn print_report(report: &vmplace::core::PortfolioReport) {
 }
 
 /// Builds the trace a `replay`/`client` invocation asks for: generated
-/// (`--gen`) or read from the file at `args[path_index]`.
+/// (`--gen`) or read from the file at `args[path_index]`. `--policy`
+/// stamps the parsed policy onto every follow-up (`Delta`/`Resolve`)
+/// request; opening `New` requests stay exact (nothing to repair yet).
 fn trace_from_args(args: &[String], path_index: usize) -> Vec<AllocRequest> {
-    if args.iter().any(|a| a == "--gen") {
+    let policy = flag_value(args, "--policy").map(|p| match ResponsePolicy::parse(&p) {
+        Some(policy) => policy,
+        None => {
+            eprintln!("error: unknown policy `{p}` (try `exact`, `repaired`, or `repaired:<tolerance>:<max_migrations>`)");
+            std::process::exit(2);
+        }
+    });
+    let mut trace = if args.iter().any(|a| a == "--gen") {
         let get = |key: &str, default: f64| -> f64 {
             flag_value(args, key)
                 .and_then(|v| v.parse().ok())
@@ -268,7 +282,15 @@ fn trace_from_args(args: &[String], path_index: usize) -> Vec<AllocRequest> {
                 std::process::exit(1);
             }
         }
+    };
+    if let Some(policy) = policy {
+        for req in &mut trace {
+            if !matches!(req.kind, RequestKind::New(_)) {
+                req.policy = policy;
+            }
+        }
     }
+    trace
 }
 
 /// Builds the service configuration shared by `replay`, `serve` (and the
@@ -339,6 +361,9 @@ fn report_responses(
             }
             if r.cached {
                 print!("  cached");
+            }
+            if let Some(m) = r.migrations {
+                print!("  repaired ({m} moved)");
             }
             if let Some(w) = &r.winner {
                 print!("  winner {w}");

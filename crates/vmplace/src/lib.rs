@@ -64,9 +64,12 @@ pub mod prelude {
     };
     pub use vmplace_model::{
         dims, evaluate_placement, AllocRequest, AllocResponse, Node, Placement, ProblemInstance,
-        RequestKind, RequestOutcome, ResourceVector, Service, Solution, WorkloadDelta,
+        RequestKind, RequestOutcome, ResourceVector, ResponsePolicy, Service, Solution,
+        WorkloadDelta,
     };
-    pub use vmplace_service::{replay_oneshot, ServiceAlgo, ServiceConfig, SolverPool};
+    pub use vmplace_service::{
+        replay_oneshot, yield_upper_bound, ServiceAlgo, ServiceConfig, SolverPool, REPAIR_WINNER,
+    };
     pub use vmplace_sim::{
         apply_min_threshold, perturb_cpu_needs, zero_knowledge_placement, AllocationPolicy,
         ErrorRun, HomogeneousDim, PlatformConfig, Scenario, ScenarioConfig, TraceConfig,

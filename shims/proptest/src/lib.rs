@@ -175,7 +175,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Size specification for [`vec`]: a fixed size or a half-open /
+    /// Size specification for [`vec()`](fn@vec): a fixed size or a half-open /
     /// inclusive range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
@@ -256,7 +256,7 @@ pub mod prelude {
 
 #[doc(hidden)]
 pub mod __runner {
-    //! Internals used by the [`proptest!`] macro expansion.
+    //! Internals used by the `proptest!` macro expansion.
 
     use rand::rngs::StdRng;
     use rand::SeedableRng;

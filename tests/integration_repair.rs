@@ -1,0 +1,261 @@
+//! Differential suite for the `ResponsePolicy` contract.
+//!
+//! * `Exact` traces must replay bit-for-bit identically to the one-shot
+//!   reference — any worker count, response cache on or off (the policy
+//!   machinery must be invisible when unused).
+//! * `Repaired` traces must honour the documented contract: a repaired
+//!   response's yield never falls more than `tolerance` below what the
+//!   exact portfolio achieves on the same instance, and it never moves
+//!   more than `max_migrations` previously-placed services — verified
+//!   here against an independent exact replay of the same trace and
+//!   against placements tracked across the response stream.
+
+use vmplace::prelude::*;
+use vmplace_sim::trace::TraceConfig;
+
+const TOLERANCE: f64 = 0.2;
+const MAX_MIGRATIONS: usize = 3;
+
+fn repaired_policy() -> ResponsePolicy {
+    ResponsePolicy::Repaired {
+        tolerance: TOLERANCE,
+        max_migrations: MAX_MIGRATIONS,
+    }
+}
+
+/// A delta-heavy trace (small demand changes and arrivals/departures,
+/// few full re-solves) — the workload the repair path targets.
+fn delta_trace(requests: usize, seed: u64, policy: ResponsePolicy) -> Vec<AllocRequest> {
+    TraceConfig {
+        streams: 3,
+        requests,
+        scenario: ScenarioConfig {
+            hosts: 16,
+            services: 30,
+            cov: 0.5,
+            memory_slack: 0.6,
+            ..ScenarioConfig::default()
+        },
+        mix: (0.25, 0.2, 0.45, 0.1),
+        policy,
+        ..TraceConfig::default()
+    }
+    .generate(seed)
+}
+
+/// Field-by-field equality of two replays (wall-clock excluded),
+/// including the repair-path `migrations` attribute.
+fn assert_replays_equal(a: &[AllocResponse], b: &[AllocResponse], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: response count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{what}: id order");
+        assert_eq!(x.stream, y.stream, "{what}: stream (id {})", x.id);
+        assert_eq!(x.outcome, y.outcome, "{what}: outcome (id {})", x.id);
+        assert_eq!(x.winner, y.winner, "{what}: winner (id {})", x.id);
+        assert_eq!(x.probes, y.probes, "{what}: probes (id {})", x.id);
+        assert_eq!(
+            x.migrations, y.migrations,
+            "{what}: migrations (id {})",
+            x.id
+        );
+        match (&x.solution, &y.solution) {
+            (Some(sx), Some(sy)) => {
+                assert_eq!(
+                    sx.min_yield, sy.min_yield,
+                    "{what}: min_yield bits (id {})",
+                    x.id
+                );
+                assert_eq!(sx.yields, sy.yields, "{what}: yields (id {})", x.id);
+                assert_eq!(
+                    sx.placement, sy.placement,
+                    "{what}: placement (id {})",
+                    x.id
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{what}: solution presence diverged (id {})", x.id),
+        }
+    }
+}
+
+#[test]
+fn exact_policy_is_bitwise_invisible() {
+    // An all-Exact trace must replay identically to the one-shot
+    // reference for 1 and 4 workers, cache on and off — the acceptance
+    // bar that the policy plumbing changed nothing for old callers.
+    let trace = delta_trace(24, 3, ResponsePolicy::Exact);
+    for workers in [1usize, 4] {
+        for cache in [true, false] {
+            let config = ServiceConfig {
+                workers,
+                response_cache: cache,
+                ..ServiceConfig::default()
+            };
+            let reference = replay_oneshot(trace.clone(), &config);
+            let mut pool = SolverPool::new(&config);
+            let pooled = pool.replay(trace.clone());
+            assert_replays_equal(
+                &reference,
+                &pooled,
+                &format!("exact oneshot vs pool (workers {workers}, cache {cache})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn repaired_replay_is_worker_count_and_cache_invariant() {
+    let trace = delta_trace(30, 7, repaired_policy());
+    let mut baseline = None;
+    for workers in [1usize, 4] {
+        for cache in [true, false] {
+            let mut pool = SolverPool::new(&ServiceConfig {
+                workers,
+                response_cache: cache,
+                ..ServiceConfig::default()
+            });
+            let replay = pool.replay(trace.clone());
+            match &baseline {
+                None => baseline = Some(replay),
+                Some(base) => assert_replays_equal(
+                    base,
+                    &replay,
+                    &format!("repaired replay (workers {workers}, cache {cache})"),
+                ),
+            }
+        }
+    }
+    let base = baseline.unwrap();
+    assert!(
+        base.iter()
+            .any(|r| r.winner.as_deref() == Some(REPAIR_WINNER)),
+        "trace never took the repair path — differential is vacuous"
+    );
+}
+
+#[test]
+fn repaired_pool_equals_repaired_oneshot() {
+    // The pooled repair dispatch and the one-shot reference's must be the
+    // same algorithm, bit for bit — warm seeding on and off (repairs are
+    // hint-independent; fallbacks consume the same hint chain on both
+    // paths).
+    let trace = delta_trace(24, 11, repaired_policy());
+    for warm in [true, false] {
+        let config = ServiceConfig {
+            workers: 2,
+            warm_start: warm,
+            ..ServiceConfig::default()
+        };
+        let reference = replay_oneshot(trace.clone(), &config);
+        let mut pool = SolverPool::new(&config);
+        let pooled = pool.replay(trace.clone());
+        assert_replays_equal(
+            &reference,
+            &pooled,
+            &format!("repaired oneshot vs pool (warm {warm})"),
+        );
+    }
+}
+
+#[test]
+fn repaired_yield_stays_within_tolerance_of_exact() {
+    // The headline guarantee. Warm seeding is off so the exact replay's
+    // solves are hintless and reproducible — the true reference for every
+    // request, including the repaired replay's fallback solves.
+    let config = ServiceConfig {
+        workers: 1,
+        warm_start: false,
+        ..ServiceConfig::default()
+    };
+    for seed in [5u64, 13] {
+        let repaired_trace = delta_trace(30, seed, repaired_policy());
+        let exact_trace = delta_trace(30, seed, ResponsePolicy::Exact);
+        let mut pool_r = SolverPool::new(&config);
+        let mut pool_e = SolverPool::new(&config);
+        let repaired = pool_r.replay(repaired_trace);
+        let exact = pool_e.replay(exact_trace);
+        assert_eq!(repaired.len(), exact.len());
+
+        let mut repairs = 0usize;
+        for (r, e) in repaired.iter().zip(&exact) {
+            assert_eq!(r.id, e.id);
+            assert_eq!(r.outcome, e.outcome, "outcome diverged (id {})", r.id);
+            let (Some(sr), Some(se)) = (&r.solution, &e.solution) else {
+                continue;
+            };
+            assert!(
+                sr.min_yield >= se.min_yield - TOLERANCE - 1e-9,
+                "id {}: repaired yield {} fell more than {TOLERANCE} below exact {}",
+                r.id,
+                sr.min_yield,
+                se.min_yield
+            );
+            if r.winner.as_deref() == Some(REPAIR_WINNER) {
+                repairs += 1;
+                let m = r.migrations.expect("repair responses carry a count");
+                assert!(
+                    (m as usize) <= MAX_MIGRATIONS,
+                    "id {}: {m} migrations exceed the budget {MAX_MIGRATIONS}",
+                    r.id
+                );
+            } else {
+                assert_eq!(
+                    r.migrations, None,
+                    "id {}: fallback response carries a migration count",
+                    r.id
+                );
+            }
+        }
+        assert!(
+            repairs > 0,
+            "seed {seed}: no request took the repair path — bound is vacuous"
+        );
+    }
+}
+
+#[test]
+fn reported_migrations_match_tracked_placements() {
+    // Independently recount migrations from the response stream: walk the
+    // trace in per-stream order, carry each stream's previous placement
+    // across the delta (the model's remap, pinned by its own unit tests)
+    // and diff it against the repaired response's placement.
+    let trace = delta_trace(30, 7, repaired_policy());
+    let mut pool = SolverPool::new(&ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let responses = pool.replay(trace.clone());
+
+    let mut prev: std::collections::HashMap<u64, Placement> = Default::default();
+    let mut checked = 0usize;
+    for (req, resp) in trace.iter().zip(&responses) {
+        assert_eq!(req.id, resp.id);
+        let base = match &req.kind {
+            RequestKind::New(_) => {
+                prev.remove(&req.stream);
+                None
+            }
+            RequestKind::Delta(delta) => prev.get(&req.stream).map(|p| delta.remap_placement(p)),
+            RequestKind::Resolve => prev.get(&req.stream).cloned(),
+        };
+        if let Some(sol) = &resp.solution {
+            if resp.winner.as_deref() == Some(REPAIR_WINNER) {
+                let base = base.expect("repair without a tracked base");
+                let moved = (0..base.len())
+                    .filter(|&j| {
+                        base.node_of(j).is_some() && base.node_of(j) != sol.placement.node_of(j)
+                    })
+                    .count() as u64;
+                assert_eq!(
+                    resp.migrations,
+                    Some(moved),
+                    "id {}: reported migrations disagree with placement diff",
+                    resp.id
+                );
+                checked += 1;
+            }
+            prev.insert(req.stream, sol.placement.clone());
+        }
+    }
+    assert!(checked > 0, "no repair responses to check");
+}

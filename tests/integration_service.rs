@@ -126,6 +126,7 @@ fn delta_applied_equals_freshly_built_instances() {
                 stream: req.stream,
                 kind: RequestKind::New(instance),
                 budget: req.budget,
+                policy: req.policy,
             }
         })
         .collect();
@@ -214,12 +215,14 @@ fn expired_budget_surfaces_feasible_incumbent_or_nothing() {
             stream: 0,
             kind: RequestKind::New(instance.clone()),
             budget: Some(Duration::from_millis(2)),
+            policy: ResponsePolicy::Exact,
         },
         AllocRequest {
             id: 1,
             stream: 0,
             kind: RequestKind::Resolve,
             budget: Some(Duration::ZERO),
+            policy: ResponsePolicy::Exact,
         },
         // And an unbudgeted re-solve afterwards still works.
         AllocRequest {
@@ -227,6 +230,7 @@ fn expired_budget_surfaces_feasible_incumbent_or_nothing() {
             stream: 0,
             kind: RequestKind::Resolve,
             budget: None,
+            policy: ResponsePolicy::Exact,
         },
     ];
     let mut pool = SolverPool::new(&ServiceConfig {
@@ -275,12 +279,14 @@ fn portfolio_budget_timeout_still_returns_incumbents() {
                 .instance(3),
             ),
             budget: None,
+            policy: ResponsePolicy::Exact,
         },
         AllocRequest {
             id: 1,
             stream: 0,
             kind: RequestKind::Resolve,
             budget: Some(Duration::ZERO),
+            policy: ResponsePolicy::Exact,
         },
     ];
     let mut pool = SolverPool::new(&light_config(1));
