@@ -6,11 +6,13 @@
 //! cargo run --release -p vmplace-bench --example net_stats [reps]
 //! ```
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use vmplace_model::{AllocRequest, RequestKind, RequestOutcome};
 use vmplace_net::{Client, Server, ServerConfig};
-use vmplace_service::{ServiceConfig, SolverPool};
-use vmplace_sim::{ScenarioConfig, TraceConfig};
+use vmplace_service::{OverloadControl, ResponseSink, ServiceConfig, SolverPool};
+use vmplace_sim::{Adversarial, ScenarioConfig, TraceConfig};
 
 fn make_trace(hosts: usize, services: usize, streams: usize, requests: usize) -> Vec<AllocRequest> {
     TraceConfig {
@@ -63,7 +65,7 @@ fn main() {
 
     println!("{{");
     println!(
-        "  \"note\": \"seconds, mean of {reps} replays after warm-up; loopback = vmplace-net client/server over 127.0.0.1 (trace split by stream across connections), inprocess = SolverPool in the same process; cached vs uncached = identical Resolve burst with the response cache on/off; worker counts beyond effective_parallelism cannot speed up wall-clock\","
+        "  \"note\": \"seconds, mean of {reps} replays after warm-up; loopback = vmplace-net client/server over 127.0.0.1 (trace split by stream across connections), inprocess = SolverPool in the same process; overload = a spike trace paced at a multiple of measured capacity into bounded queues (sojourn quantiles over served requests only); cached vs uncached = identical Resolve burst with the response cache on/off; worker counts beyond effective_parallelism cannot speed up wall-clock\","
     );
     println!(
         "  \"effective_parallelism\": {},",
@@ -139,6 +141,121 @@ fn main() {
                 );
             }
         }
+    }
+    println!();
+    println!("  ],");
+
+    // ── Overload control: goodput and shedding vs offered load ───────
+    // A correlated demand spike paced at a multiple of the pool's
+    // measured capacity, into bounded per-worker queues. Shedding must
+    // engage at ≥2× capacity while the p99 sojourn of *served* requests
+    // stays bounded (the acceptance bar of the robustness PR).
+    println!("  \"overload\": [");
+    let workers = 2usize;
+    let queue_depth = 8usize;
+    let trace = TraceConfig {
+        streams: 4,
+        requests: 96,
+        scenario: ScenarioConfig {
+            hosts: 16,
+            services: 40,
+            cov: 0.5,
+            memory_slack: 0.6,
+            ..ScenarioConfig::default()
+        },
+        mix: (0.3, 0.2, 0.25, 0.25),
+        resolve_burst: 3,
+        adversarial: Adversarial::Spike,
+        ..TraceConfig::default()
+    }
+    .generate(9);
+
+    // Calibrate capacity: an unpaced, unshedded replay at the same
+    // worker count is the fastest this pool can drain this trace.
+    let base = ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    };
+    let mut pool = SolverPool::new(&base);
+    let t0 = Instant::now();
+    let n = pool.replay(trace.clone()).len();
+    let capacity_rps = n as f64 / t0.elapsed().as_secs_f64();
+    pool.shutdown();
+
+    let mut first = true;
+    for multiplier in [0.5f64, 1.0, 2.0, 4.0] {
+        let offered_rps = capacity_rps * multiplier;
+        let gap = Duration::from_secs_f64(1.0 / offered_rps);
+        let config = ServiceConfig {
+            workers,
+            overload: Some(OverloadControl {
+                queue_depth,
+                shed_expired: true,
+            }),
+            ..ServiceConfig::default()
+        };
+
+        let run_t0 = Instant::now();
+        let submit_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..trace.len()).map(|_| AtomicU64::new(0)).collect());
+        let finished: Arc<Mutex<Vec<(u64, u64, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_done = finished.clone();
+        let sink: ResponseSink = Arc::new(move |r: vmplace_model::AllocResponse| {
+            let ns = run_t0.elapsed().as_nanos() as u64;
+            sink_done
+                .lock()
+                .expect("sink lock")
+                .push((r.id, ns, !r.outcome.is_retryable()));
+        });
+        let mut pool = SolverPool::with_sink(&config, sink);
+        let mut next = Instant::now();
+        for req in &trace {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep(next - now);
+            }
+            next += gap;
+            submit_ns[req.id as usize].store(run_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            pool.submit(vec![req.clone()]);
+        }
+        let admission_sheds = pool.shed_count();
+        pool.shutdown(); // drains: the sink has seen every response
+        let wall = run_t0.elapsed().as_secs_f64();
+
+        let done = finished.lock().expect("results lock");
+        assert_eq!(done.len(), trace.len(), "every request answered");
+        let served = done.iter().filter(|(_, _, ok)| *ok).count();
+        let shed_rate = (trace.len() - served) as f64 / trace.len() as f64;
+        let mut sojourns_ms: Vec<f64> = done
+            .iter()
+            .filter(|(_, _, ok)| *ok)
+            .map(|(id, ns, _)| {
+                (ns.saturating_sub(submit_ns[*id as usize].load(Ordering::Relaxed))) as f64 / 1e6
+            })
+            .collect();
+        sojourns_ms.sort_by(f64::total_cmp);
+        let quantile = |q: f64| sojourns_ms[((sojourns_ms.len() - 1) as f64 * q).round() as usize];
+
+        if !first {
+            println!(",");
+        }
+        first = false;
+        print!(
+            "    {{\"workers\": {workers}, \"queue_depth\": {queue_depth}, \
+             \"load_multiplier\": {multiplier}, \"offered_rps\": {offered_rps:.1}, \
+             \"capacity_rps\": {capacity_rps:.1}, \"goodput_rps\": {:.1}, \
+             \"shed_rate\": {shed_rate:.3}, \"admission_sheds\": {admission_sheds}, \
+             \"served_p50_sojourn_ms\": {:.2}, \"served_p99_sojourn_ms\": {:.2}}}",
+            served as f64 / wall,
+            quantile(0.5),
+            quantile(0.99),
+        );
+        eprintln!(
+            "load {multiplier:>3}x  offered {offered_rps:>6.1}/s  goodput {:>6.1}/s  shed {:>5.1}%  p99 {:.1}ms",
+            served as f64 / wall,
+            shed_rate * 100.0,
+            quantile(0.99),
+        );
     }
     println!();
     println!("  ],");

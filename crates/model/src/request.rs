@@ -316,6 +316,18 @@ pub enum RequestOutcome {
     /// The request was malformed (delta on an empty stream, index out of
     /// range, …) and no solve was attempted.
     Rejected,
+    /// The solve crashed (a worker panic). The stream's server-side state
+    /// was discarded; follow-up requests on it answer
+    /// [`RequestOutcome::StaleStream`] until the client re-sends `New`.
+    Failed,
+    /// The service shed this request under load (queue full, or its
+    /// budget had already expired on arrival) without solving it.
+    /// [`AllocResponse::retry_after`] hints when to retry.
+    Overloaded,
+    /// The request addressed a stream whose state was discarded (after a
+    /// failure or a shed mutation). Nothing was solved; the client
+    /// recovers by re-sending `New` and replaying the stream.
+    StaleStream,
 }
 
 impl RequestOutcome {
@@ -326,6 +338,9 @@ impl RequestOutcome {
             RequestOutcome::Infeasible => "infeasible",
             RequestOutcome::TimedOut => "timed-out",
             RequestOutcome::Rejected => "rejected",
+            RequestOutcome::Failed => "failed",
+            RequestOutcome::Overloaded => "overloaded",
+            RequestOutcome::StaleStream => "stale-stream",
         }
     }
 
@@ -337,8 +352,22 @@ impl RequestOutcome {
             "infeasible" => Some(RequestOutcome::Infeasible),
             "timed-out" => Some(RequestOutcome::TimedOut),
             "rejected" => Some(RequestOutcome::Rejected),
+            "failed" => Some(RequestOutcome::Failed),
+            "overloaded" => Some(RequestOutcome::Overloaded),
+            "stale-stream" => Some(RequestOutcome::StaleStream),
             _ => None,
         }
+    }
+
+    /// Whether a client may usefully retry a request that got this
+    /// outcome ([`RequestOutcome::Failed`], [`RequestOutcome::Overloaded`]
+    /// and [`RequestOutcome::StaleStream`] — the transient failure
+    /// answers; deterministic outcomes would only repeat).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            RequestOutcome::Failed | RequestOutcome::Overloaded | RequestOutcome::StaleStream
+        )
     }
 }
 
@@ -373,15 +402,24 @@ pub struct AllocResponse {
     /// solve (including repair fallbacks), so old clients — which never
     /// request repair — never see the field on the wire.
     pub migrations: Option<u64>,
+    /// For [`RequestOutcome::Overloaded`]: how long the shedding service
+    /// suggests waiting before retrying (`retry-after-ms` on the wire).
+    /// `None` on every other outcome, so old clients never see the
+    /// attribute.
+    pub retry_after: Option<Duration>,
 }
 
 impl AllocResponse {
-    /// A rejection response (no solve was attempted).
-    pub fn rejected(id: u64, stream: u64, error: String) -> AllocResponse {
+    fn error_response(
+        id: u64,
+        stream: u64,
+        outcome: RequestOutcome,
+        error: String,
+    ) -> AllocResponse {
         AllocResponse {
             id,
             stream,
-            outcome: RequestOutcome::Rejected,
+            outcome,
             solution: None,
             winner: None,
             probes: 0,
@@ -389,7 +427,44 @@ impl AllocResponse {
             error: Some(error),
             cached: false,
             migrations: None,
+            retry_after: None,
         }
+    }
+
+    /// A rejection response (no solve was attempted).
+    pub fn rejected(id: u64, stream: u64, error: String) -> AllocResponse {
+        Self::error_response(id, stream, RequestOutcome::Rejected, error)
+    }
+
+    /// A failure response: the solve crashed and the stream's state was
+    /// discarded (see [`RequestOutcome::Failed`]).
+    pub fn failed(id: u64, stream: u64, error: String) -> AllocResponse {
+        Self::error_response(id, stream, RequestOutcome::Failed, error)
+    }
+
+    /// A load-shed response carrying a retry hint (see
+    /// [`RequestOutcome::Overloaded`]).
+    pub fn overloaded(id: u64, stream: u64, retry_after: Duration) -> AllocResponse {
+        let mut r = Self::error_response(
+            id,
+            stream,
+            RequestOutcome::Overloaded,
+            "request shed under load".into(),
+        );
+        r.retry_after = Some(retry_after);
+        r
+    }
+
+    /// A stale-stream response: the stream's server-side state is gone
+    /// and the request was not processed (see
+    /// [`RequestOutcome::StaleStream`]).
+    pub fn stale_stream(id: u64, stream: u64) -> AllocResponse {
+        Self::error_response(
+            id,
+            stream,
+            RequestOutcome::StaleStream,
+            "stream state was discarded; re-send New".into(),
+        )
     }
 
     /// The achieved minimum yield, when a solution was found.
@@ -643,6 +718,39 @@ mod tests {
             ..WorkloadDelta::default()
         };
         assert_eq!(delta.remap_placement(&prev), prev);
+    }
+
+    #[test]
+    fn failure_outcomes_roundtrip_and_classify() {
+        for outcome in [
+            RequestOutcome::Solved,
+            RequestOutcome::Infeasible,
+            RequestOutcome::TimedOut,
+            RequestOutcome::Rejected,
+            RequestOutcome::Failed,
+            RequestOutcome::Overloaded,
+            RequestOutcome::StaleStream,
+        ] {
+            assert_eq!(
+                RequestOutcome::from_wire(outcome.wire_name()),
+                Some(outcome)
+            );
+        }
+        assert!(RequestOutcome::Failed.is_retryable());
+        assert!(RequestOutcome::Overloaded.is_retryable());
+        assert!(RequestOutcome::StaleStream.is_retryable());
+        assert!(!RequestOutcome::Solved.is_retryable());
+        assert!(!RequestOutcome::Rejected.is_retryable());
+
+        let shed = AllocResponse::overloaded(4, 2, Duration::from_millis(25));
+        assert_eq!(shed.outcome, RequestOutcome::Overloaded);
+        assert_eq!(shed.retry_after, Some(Duration::from_millis(25)));
+        let failed = AllocResponse::failed(1, 0, "boom".into());
+        assert_eq!(failed.outcome, RequestOutcome::Failed);
+        assert!(failed.retry_after.is_none());
+        let stale = AllocResponse::stale_stream(2, 0);
+        assert_eq!(stale.outcome, RequestOutcome::StaleStream);
+        assert!(stale.error.is_some());
     }
 
     #[test]

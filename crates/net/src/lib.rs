@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 mod client;
+mod retry;
 mod server;
 pub mod wire;
 
 pub use client::{Client, Responses};
+pub use retry::{replay_resilient, RetryPolicy};
 pub use server::{Server, ServerConfig};
 pub use wire::NetError;

@@ -33,14 +33,17 @@ use crate::wire::{
     self, codes, write_response, MAX_BODY_LINES, MAX_LINE_BYTES, MAX_STREAM_ID, PROTOCOL_VERSION,
 };
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use vmplace_model::{AllocRequest, AllocResponse};
-use vmplace_service::{trace_io::BlockAssembler, ServiceConfig, SolverPool};
+use vmplace_service::{
+    trace_io::BlockAssembler, FaultPlan, ServiceConfig, SolverPool, INJECTED_FAULT_MARKER,
+};
 
 /// Bits of a server-side id/stream holding the connection-local value.
 const CONN_SHIFT: u32 = 40;
@@ -142,6 +145,10 @@ struct Shared {
     /// reader/writer thread handles to join.
     conns: Mutex<Vec<ConnHandle>>,
     next_conn: AtomicU64,
+    /// Socket-level fault injection (`None` in production). The same
+    /// plan travels into the pool workers via [`ServiceConfig::faults`]
+    /// for the solver-panic faults.
+    faults: Option<FaultPlan>,
 }
 
 impl Shared {
@@ -149,6 +156,15 @@ impl Shared {
         let (lock, cvar) = &self.shutdown_requested;
         *lock.lock().expect("shutdown flag") = true;
         cvar.notify_all();
+    }
+
+    /// Locks the completion-route table tolerating poison: the map is
+    /// only ever mutated by infallible insert/remove, so a panic caught
+    /// by the acceptor's guard (which may unwind through a held guard)
+    /// cannot leave it structurally broken — refusing to lock it again
+    /// would turn one connection's panic into a server-wide outage.
+    fn lock_routes(&self) -> MutexGuard<'_, HashMap<u64, Sender<Pending>>> {
+        self.routes.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -186,6 +202,11 @@ impl Server {
             pool: Mutex::new(None),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            faults: config
+                .service
+                .faults
+                .clone()
+                .filter(|plan| !plan.is_empty()),
         });
 
         // The pool delivers completions straight to the owning
@@ -196,7 +217,7 @@ impl Server {
             Arc::new(move |response: AllocResponse| {
                 let conn = response.id >> CONN_SHIFT;
                 let seq = response.id & SEQ_MASK;
-                let routes = sink_shared.routes.lock().expect("routes");
+                let routes = sink_shared.lock_routes();
                 if let Some(tx) = routes.get(&conn) {
                     // A closed writer (client vanished) just discards.
                     let _ = tx.send(Pending(seq, response));
@@ -340,9 +361,22 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             );
             continue;
         }
-        match spawn_connection(&shared, stream, conn_id) {
-            Ok(entry) => shared.conns.lock().expect("conns").push(entry),
-            Err(_) => continue, // socket clone failure: drop the connection
+        // Panic guard: connection setup touches fallible per-connection
+        // plumbing; a panic there must cost only this connection, never
+        // new-connection intake (regression test in
+        // `tests/integration_chaos.rs` via `FaultPlan::panic_accept`).
+        match catch_unwind(AssertUnwindSafe(|| {
+            spawn_connection(&shared, stream, conn_id)
+        })) {
+            Ok(Ok(entry)) => shared.conns.lock().expect("conns").push(entry),
+            Ok(Err(_)) => continue, // socket clone failure: drop the connection
+            Err(_) => {
+                // The panicked setup may have registered its completion
+                // route already; unregister (tolerant of the poison the
+                // panic may have left behind).
+                shared.lock_routes().remove(&conn_id);
+                continue;
+            }
         }
     }
 }
@@ -369,31 +403,29 @@ fn spawn_connection(
     stream: TcpStream,
     conn_id: u64,
 ) -> std::io::Result<ConnHandle> {
+    if let Some(plan) = &shared.faults {
+        if plan.panic_accept == Some(conn_id) {
+            panic!("{INJECTED_FAULT_MARKER} (accept, connection {conn_id})");
+        }
+    }
     let registry_stream = stream.try_clone()?;
     let write_stream = stream.try_clone()?;
 
     let (meta_tx, meta_rx) = channel::<Meta>();
     let (comp_tx, comp_rx) = channel::<Pending>();
-    shared
-        .routes
-        .lock()
-        .expect("routes")
-        .insert(conn_id, comp_tx);
+    shared.lock_routes().insert(conn_id, comp_tx);
 
     let reader_shared = shared.clone();
     let reader = std::thread::spawn(move || {
         read_loop(reader_shared, stream, conn_id, meta_tx);
     });
     let writer_shared = shared.clone();
+    let writer_faults = shared.faults.clone();
     let writer = std::thread::spawn(move || {
-        write_loop(write_stream, meta_rx, comp_rx);
+        write_loop(write_stream, meta_rx, comp_rx, conn_id, writer_faults);
         // Past this point no completion for this connection can be in
         // flight (every submitted request was awaited before `bye`).
-        writer_shared
-            .routes
-            .lock()
-            .expect("routes")
-            .remove(&conn_id);
+        writer_shared.lock_routes().remove(&conn_id);
         // Retire the connection's stream namespace so long-lived worker
         // memory (instances, warm yields, caches) tracks live clients.
         // FIFO per worker orders this after every submitted request.
@@ -618,24 +650,128 @@ fn read_loop(shared: Arc<Shared>, stream: TcpStream, conn_id: u64, meta: Sender<
     let _ = meta.send(Meta::Bye);
 }
 
+/// The writer's socket half: owns the buffered stream, the liveness
+/// flag, and the per-connection fault injection (response-frame counting
+/// for drop points, short/delayed writes).
+///
+/// The invariant it enforces — for genuine write failures (including the
+/// [`WRITE_TIMEOUT`] expiring mid-frame) exactly as for injected drops —
+/// is that a failed or cut-off write **tears the connection down**
+/// ([`Shutdown::Both`]): the peer can never observe a half-written frame
+/// followed by a fresh frame on the same socket, and the connection's
+/// reader sees EOF, exits, and triggers stream retirement through the
+/// normal `bye` path.
+struct FrameWriter {
+    out: BufWriter<TcpStream>,
+    alive: bool,
+    conn_id: u64,
+    faults: Option<FaultPlan>,
+    /// Response frames fully written (the drop-point counter).
+    frames: u64,
+}
+
+impl FrameWriter {
+    fn new(stream: TcpStream, conn_id: u64, faults: Option<FaultPlan>) -> FrameWriter {
+        FrameWriter {
+            out: BufWriter::new(stream),
+            alive: true,
+            conn_id,
+            faults,
+            frames: 0,
+        }
+    }
+
+    /// Tears the connection down after a failed (or injected-faulty)
+    /// write. The writer stays in its loop consuming metas and
+    /// completions — the reader and the completion sink must never block
+    /// on a dead peer — but nothing further is written.
+    fn teardown(&mut self) {
+        self.alive = false;
+        let _ = self.out.get_ref().shutdown(Shutdown::Both);
+    }
+
+    /// Writes raw bytes, honoring injected short writes and delays; any
+    /// genuine error (the peer vanished, the write timeout fired) tears
+    /// the connection down.
+    fn emit(&mut self, bytes: &[u8]) {
+        if !self.alive {
+            return;
+        }
+        let chunked = self.faults.as_ref().and_then(|f| f.short_write);
+        let result = match chunked {
+            Some(chunk) => {
+                let delay = self.faults.as_ref().and_then(|f| f.write_delay);
+                let mut result = Ok(());
+                for piece in bytes.chunks(chunk.max(1)) {
+                    result = self.out.write_all(piece).and_then(|_| self.out.flush());
+                    if result.is_err() {
+                        break;
+                    }
+                    if let Some(delay) = delay {
+                        std::thread::sleep(delay);
+                    }
+                }
+                result
+            }
+            None => self.out.write_all(bytes),
+        };
+        if result.is_err() {
+            self.teardown();
+        }
+    }
+
+    /// Writes one response frame, counting it against the plan's drop
+    /// point: at the drop point the connection is cut instead — on the
+    /// frame boundary, or (`midframe`) after leaking roughly half the
+    /// frame's bytes, which is exactly the torn write a real mid-frame
+    /// failure leaves behind.
+    fn emit_response_frame(&mut self, text: &str) {
+        if !self.alive {
+            return;
+        }
+        let cut = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.drop_point(self.conn_id))
+            .is_some_and(|point| self.frames >= point);
+        if cut {
+            if self.faults.as_ref().is_some_and(|f| f.midframe) {
+                let half = text.len() / 2;
+                let _ = self.out.write_all(&text.as_bytes()[..half]);
+                let _ = self.out.flush();
+            }
+            self.teardown();
+            return;
+        }
+        self.emit(text.as_bytes());
+        if self.alive {
+            self.frames += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.alive && self.out.flush().is_err() {
+            self.teardown();
+        }
+    }
+}
+
 /// Emits frames in submission order, restoring client ids/streams on
 /// responses. Exits on `Bye` (or a dead socket).
-fn write_loop(stream: TcpStream, meta: Receiver<Meta>, completions: Receiver<Pending>) {
+fn write_loop(
+    stream: TcpStream,
+    meta: Receiver<Meta>,
+    completions: Receiver<Pending>,
+    conn_id: u64,
+    faults: Option<FaultPlan>,
+) {
     // A non-reading client must not park this thread in write_all
-    // forever — the drain joins every writer.
+    // forever — the drain joins every writer. On expiry the connection
+    // is torn down (see [`FrameWriter`]), never silently resumed.
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut out = std::io::BufWriter::new(stream);
+    let mut writer = FrameWriter::new(stream, conn_id, faults);
     let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
     let mut text = String::new();
-    let mut alive = true;
-
-    let write = |out: &mut std::io::BufWriter<TcpStream>, alive: &mut bool, text: &str| {
-        if *alive && out.write_all(text.as_bytes()).is_err() {
-            // Client gone: keep consuming metas/completions (so the
-            // reader and sink never block) but stop writing.
-            *alive = false;
-        }
-    };
 
     // Blocking recv, but flush whenever the queue momentarily empties so
     // pipelined bursts coalesce and lone frames still go out promptly.
@@ -646,9 +782,7 @@ fn write_loop(stream: TcpStream, meta: Receiver<Meta>, completions: Receiver<Pen
             None => match meta.try_recv() {
                 Ok(m) => m,
                 Err(_) => {
-                    if alive && out.flush().is_err() {
-                        alive = false;
-                    }
+                    writer.flush();
                     match meta.recv() {
                         Ok(m) => m,
                         Err(_) => break, // reader gone without Bye (panic)
@@ -657,6 +791,7 @@ fn write_loop(stream: TcpStream, meta: Receiver<Meta>, completions: Receiver<Pen
             },
         };
         text.clear();
+        let mut response_frame = false;
         match item {
             Meta::Greeting => {
                 text.push_str(&format!("{} {} ready\n", wire::MAGIC, PROTOCOL_VERSION));
@@ -672,14 +807,12 @@ fn write_loop(stream: TcpStream, meta: Receiver<Meta>, completions: Receiver<Pen
                 text.push_str(&format!("error {code} {message}\n"));
             }
             Meta::Bye => {
-                write(&mut out, &mut alive, "bye\n");
-                if alive {
-                    let _ = out.flush();
-                }
+                writer.emit(b"bye\n");
+                writer.flush();
                 // Close the TCP connection for real: the drain registry
                 // holds another clone of this socket, so dropping our fd
                 // alone would leave the client's read blocked.
-                let _ = out.get_ref().shutdown(Shutdown::Both);
+                let _ = writer.out.get_ref().shutdown(Shutdown::Both);
                 break;
             }
             Meta::Request {
@@ -702,10 +835,15 @@ fn write_loop(stream: TcpStream, meta: Receiver<Meta>, completions: Receiver<Pen
                 response.id = client_id;
                 response.stream = client_stream;
                 write_response(&mut text, &response);
+                response_frame = true;
             }
         }
         if !text.is_empty() {
-            write(&mut out, &mut alive, &text);
+            if response_frame {
+                writer.emit_response_frame(&text);
+            } else {
+                writer.emit(text.as_bytes());
+            }
         }
         if next.is_none() {
             if let Ok(m) = meta.try_recv() {

@@ -21,7 +21,7 @@
 //!
 //! ```text
 //! vmplace-net 1 ready           # greeting (or `draining` when shutting down)
-//! response <id> <stream> <outcome> <probes> <wall_us> [cached] [repaired=M]
+//! response <id> <stream> <outcome> <probes> <wall_us> [cached] [repaired=M] [retry-after-ms=N]
 //! winner <label>                # optional
 //! detail <message>              # optional (rejections)
 //! minyield <f64>                # optional ┐
@@ -183,6 +183,11 @@ pub fn write_response(out: &mut String, resp: &AllocResponse) {
     if let Some(m) = resp.migrations {
         let _ = write!(out, " repaired={m}");
     }
+    // Likewise only shed responses carry a retry hint. A sub-millisecond
+    // hint rounds up: `retry-after-ms=0` would read as "retry now".
+    if let Some(after) = resp.retry_after {
+        let _ = write!(out, " retry-after-ms={}", after.as_millis().max(1));
+    }
     out.push('\n');
     if let Some(winner) = &resp.winner {
         let _ = writeln!(out, "winner {winner}");
@@ -282,9 +287,15 @@ fn parse_response<R: BufRead>(
     let wall_us: u64 = wall_us.parse().map_err(|_| bad("bad wall"))?;
     let mut cached = false;
     let mut migrations = None;
+    let mut retry_after = None;
     for extra in words {
         if let Some(m) = extra.strip_prefix("repaired=") {
             migrations = Some(m.parse().map_err(|_| bad("bad migration count"))?);
+            continue;
+        }
+        if let Some(ms) = extra.strip_prefix("retry-after-ms=") {
+            let ms: u64 = ms.parse().map_err(|_| bad("bad retry-after"))?;
+            retry_after = Some(Duration::from_millis(ms));
             continue;
         }
         match extra {
@@ -366,6 +377,7 @@ fn parse_response<R: BufRead>(
         error,
         cached,
         migrations,
+        retry_after,
     })
 }
 
@@ -401,6 +413,7 @@ mod tests {
             error: None,
             cached: true,
             migrations: None,
+            retry_after: None,
         };
         let back = roundtrip(&resp);
         assert_eq!(back.id, 42);
@@ -481,6 +494,33 @@ mod tests {
         assert!(text.contains(" repaired=2"), "{text}");
         let back = roundtrip(&resp);
         assert_eq!(back.migrations, Some(2));
+    }
+
+    #[test]
+    fn failure_outcomes_and_retry_hint_roundtrip() {
+        let resp = AllocResponse::overloaded(8, 2, Duration::from_millis(250));
+        let mut text = String::new();
+        write_response(&mut text, &resp);
+        assert!(text.contains(" retry-after-ms=250"), "{text}");
+        let back = roundtrip(&resp);
+        assert_eq!(back.outcome, RequestOutcome::Overloaded);
+        assert_eq!(back.retry_after, Some(Duration::from_millis(250)));
+        assert!(back.error.is_some());
+
+        // Sub-millisecond hints round up instead of advertising zero.
+        let tiny = AllocResponse::overloaded(9, 2, Duration::from_micros(3));
+        let mut text = String::new();
+        write_response(&mut text, &tiny);
+        assert!(text.contains(" retry-after-ms=1"), "{text}");
+
+        let back = roundtrip(&AllocResponse::failed(10, 2, "worker panicked".into()));
+        assert_eq!(back.outcome, RequestOutcome::Failed);
+        assert_eq!(back.error.as_deref(), Some("worker panicked"));
+        assert_eq!(back.retry_after, None);
+
+        let back = roundtrip(&AllocResponse::stale_stream(11, 2));
+        assert_eq!(back.outcome, RequestOutcome::StaleStream);
+        assert!(back.error.is_some());
     }
 
     #[test]

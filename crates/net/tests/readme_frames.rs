@@ -104,3 +104,42 @@ fn readme_examples_carry_the_policy_machinery() {
     );
     assert!(all.contains(" cached"), "no cached response example");
 }
+
+#[test]
+fn readme_examples_carry_the_failure_model() {
+    // The failure-model examples must round-trip the production parser
+    // with their semantics intact: each failure outcome appears, carries
+    // a diagnostic, never carries a solution, and the overloaded one
+    // carries the documented retry hint.
+    use std::time::Duration;
+    use vmplace_model::RequestOutcome;
+
+    let mut seen = Vec::new();
+    for block in frames_blocks() {
+        if !block.starts_with("response") {
+            continue;
+        }
+        let mut reader = BufReader::new(block.as_bytes());
+        while let Ok(ServerFrame::Response(r)) = read_server_frame(&mut reader) {
+            if r.outcome.is_retryable() {
+                assert!(r.error.is_some(), "failure example without detail");
+                assert!(r.solution.is_none(), "failure example with a solution");
+                if r.outcome == RequestOutcome::Overloaded {
+                    assert_eq!(
+                        r.retry_after,
+                        Some(Duration::from_millis(24)),
+                        "overloaded example must parse its retry-after-ms attribute"
+                    );
+                }
+                seen.push(r.outcome);
+            }
+        }
+    }
+    for outcome in [
+        RequestOutcome::Failed,
+        RequestOutcome::Overloaded,
+        RequestOutcome::StaleStream,
+    ] {
+        assert!(seen.contains(&outcome), "no `{outcome:?}` example");
+    }
+}

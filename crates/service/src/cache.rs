@@ -175,6 +175,13 @@ impl ResponseCache {
         if response.outcome == RequestOutcome::TimedOut {
             return;
         }
+        // Failure outcomes are transient verdicts about the *service*
+        // (a panic, a shed, a poisoned stream), not about the instance:
+        // caching one would replay the failure after the condition
+        // cleared.
+        if response.outcome.is_retryable() {
+            return;
+        }
         self.entries.insert(
             stream,
             CacheEntry {
@@ -224,6 +231,7 @@ mod tests {
             error: None,
             cached: false,
             migrations: None,
+            retry_after: None,
         }
     }
 
@@ -340,6 +348,24 @@ mod tests {
         r.outcome = RequestOutcome::TimedOut;
         cache.store(3, 1, None, None, EXACT, None, &r);
         assert!(cache.lookup(1, 3, 1, None, None, EXACT, None).is_none());
+    }
+
+    #[test]
+    fn failure_outcomes_are_not_stored() {
+        for outcome in [
+            RequestOutcome::Failed,
+            RequestOutcome::Overloaded,
+            RequestOutcome::StaleStream,
+        ] {
+            let mut cache = ResponseCache::new();
+            let mut r = response(0, 1);
+            r.outcome = outcome;
+            cache.store(3, 1, None, None, EXACT, None, &r);
+            assert!(
+                cache.lookup(1, 3, 1, None, None, EXACT, None).is_none(),
+                "{outcome:?} must not be cached"
+            );
+        }
     }
 
     #[test]

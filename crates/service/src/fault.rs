@@ -1,0 +1,192 @@
+//! Deterministic fault injection for the chaos suites and `--faults`.
+//!
+//! A [`FaultPlan`] is a *plan*, not a probability: every fault it injects
+//! is keyed on a deterministic counter (the request's connection-local
+//! submission index, the response frame count of a connection, the
+//! connection index itself), so a run with the same plan, trace and
+//! worker count fails in exactly the same places every time. The seed
+//! only staggers *where* per-connection socket faults land, again
+//! deterministically, so multi-connection chaos runs don't fail in
+//! lockstep.
+//!
+//! The plan travels through [`crate::ServiceConfig::faults`] into every
+//! worker (solver panics) and is read by the network front-end for the
+//! socket-level faults (drops, mid-frame cuts, short/delayed writes,
+//! accept-path panics). A `None` plan is the production configuration:
+//! zero overhead, zero behaviour change.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Marker carried by injected solver panics. The chaos tests install a
+/// panic hook that silences payloads containing it, so a proptest run
+/// with hundreds of injected faults doesn't bury real diagnostics.
+pub const INJECTED_FAULT_MARKER: &str = "injected solver fault";
+
+/// A deterministic fault-injection plan (see the module docs).
+///
+/// Parse one from the CLI spelling accepted by `vmplace serve --faults`:
+///
+/// ```
+/// use vmplace_service::FaultPlan;
+///
+/// let plan = FaultPlan::parse("panic=5,panic=11,drop=20,midframe,seed=7").unwrap();
+/// assert!(plan.panics_on(5) && plan.panics_on(11) && !plan.panics_on(6));
+/// assert!(plan.drop_point(0).is_some());
+/// assert_eq!(FaultPlan::parse("panic=x"), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed staggering per-connection drop points (0 = no stagger).
+    pub seed: u64,
+    /// Solver panics: a worker processing a request whose
+    /// connection-local id (= its submission index on the connection, or
+    /// its plain id for an in-process pool) is in this set panics
+    /// mid-solve.
+    pub panic_requests: BTreeSet<u64>,
+    /// Socket drop: the server's writer tears the connection down after
+    /// writing this many response frames (staggered per connection by
+    /// [`FaultPlan::seed`]).
+    pub drop_after: Option<u64>,
+    /// With [`FaultPlan::drop_after`]: cut *mid-frame* — write roughly
+    /// half of the dropped frame's bytes before tearing down, instead of
+    /// stopping on a clean frame boundary.
+    pub midframe: bool,
+    /// Short writes: the server's writer emits frames in chunks of this
+    /// many bytes (stresses client parsers across partial reads).
+    pub short_write: Option<usize>,
+    /// Delay inserted between short-write chunks.
+    pub write_delay: Option<Duration>,
+    /// Accept-path panic: handling the connection with this index panics
+    /// before the handshake (exercises the acceptor's panic guard).
+    pub panic_accept: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Whether the worker must panic while processing the request with
+    /// this connection-local id. Only the low 40 bits are compared, so a
+    /// plan written against a trace's plain ids also matches the
+    /// server-remapped ids (`(conn << 40) | seq`).
+    pub fn panics_on(&self, id: u64) -> bool {
+        const SEQ_MASK: u64 = (1 << 40) - 1;
+        self.panic_requests.contains(&(id & SEQ_MASK))
+    }
+
+    /// The response-frame count after which connection `conn`'s writer
+    /// tears the socket down (`None` = never). The base point is
+    /// staggered by a seed-keyed offset of 0..=3 frames so concurrent
+    /// connections don't all fail at the same frame.
+    pub fn drop_point(&self, conn: u64) -> Option<u64> {
+        let base = self.drop_after?;
+        if self.seed == 0 {
+            return Some(base);
+        }
+        Some(base + splitmix(self.seed ^ conn) % 4)
+    }
+
+    /// Parses the CLI spelling: comma-separated items among
+    /// `panic=<idx>` (repeatable), `drop=<frames>`, `midframe`,
+    /// `shortwrite=<bytes>`, `delay-ms=<ms>`, `panic-accept=<conn>`,
+    /// `seed=<u64>`. Returns `None` on any unknown or malformed item.
+    pub fn parse(spec: &str) -> Option<FaultPlan> {
+        let mut plan = FaultPlan::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match item.split_once('=') {
+                Some(("panic", v)) => {
+                    plan.panic_requests.insert(v.parse().ok()?);
+                }
+                Some(("drop", v)) => plan.drop_after = Some(v.parse().ok()?),
+                Some(("shortwrite", v)) => {
+                    let bytes: usize = v.parse().ok()?;
+                    if bytes == 0 {
+                        return None;
+                    }
+                    plan.short_write = Some(bytes);
+                }
+                Some(("delay-ms", v)) => {
+                    plan.write_delay = Some(Duration::from_millis(v.parse().ok()?))
+                }
+                Some(("panic-accept", v)) => plan.panic_accept = Some(v.parse().ok()?),
+                Some(("seed", v)) => plan.seed = v.parse().ok()?,
+                None if item == "midframe" => plan.midframe = true,
+                _ => return None,
+            }
+        }
+        Some(plan)
+    }
+
+    /// The message an injected solver panic unwinds with (contains
+    /// [`INJECTED_FAULT_MARKER`]).
+    pub fn panic_message(id: u64) -> String {
+        format!("{INJECTED_FAULT_MARKER} (request {id})")
+    }
+}
+
+/// SplitMix64 finaliser: cheap, deterministic, good avalanche — exactly
+/// what staggering drop points needs, with no RNG state to carry.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_full_spelling() {
+        let plan =
+            FaultPlan::parse("panic=3, panic=9,drop=12,midframe,shortwrite=7,delay-ms=2,seed=42")
+                .unwrap();
+        assert_eq!(plan.panic_requests.len(), 2);
+        assert!(plan.panics_on(3) && plan.panics_on(9));
+        assert_eq!(plan.drop_after, Some(12));
+        assert!(plan.midframe);
+        assert_eq!(plan.short_write, Some(7));
+        assert_eq!(plan.write_delay, Some(Duration::from_millis(2)));
+        assert_eq!(plan.seed, 42);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_items() {
+        assert_eq!(FaultPlan::parse("panic=x"), None);
+        assert_eq!(FaultPlan::parse("drop"), None);
+        assert_eq!(FaultPlan::parse("shortwrite=0"), None);
+        assert_eq!(FaultPlan::parse("wat=1"), None);
+        assert_eq!(FaultPlan::parse("midframes"), None);
+    }
+
+    #[test]
+    fn panic_match_ignores_connection_bits() {
+        let plan = FaultPlan::parse("panic=5").unwrap();
+        // The same submission index matches with any connection prefix.
+        assert!(plan.panics_on(5));
+        assert!(plan.panics_on((3 << 40) | 5));
+        assert!(!plan.panics_on((3 << 40) | 6));
+    }
+
+    #[test]
+    fn drop_points_are_deterministic_and_staggered() {
+        let plan = FaultPlan::parse("drop=10,seed=7").unwrap();
+        let a = plan.drop_point(0).unwrap();
+        let b = plan.drop_point(0).unwrap();
+        assert_eq!(a, b, "drop point must be deterministic per connection");
+        assert!((10..14).contains(&a));
+        // Unseeded plans drop at exactly the configured frame.
+        let exact = FaultPlan::parse("drop=10").unwrap();
+        assert_eq!(exact.drop_point(9), Some(10));
+    }
+}

@@ -80,6 +80,7 @@
 
 pub mod cache;
 mod dispatch;
+pub mod fault;
 mod pool;
 mod reference;
 pub mod repair;
@@ -88,7 +89,8 @@ mod worker;
 
 pub use cache::ResponseCache;
 pub use dispatch::{batch_requests, Batch, Dispatcher};
+pub use fault::{FaultPlan, INJECTED_FAULT_MARKER};
 pub use pool::{ResponseSink, SolverPool};
 pub use reference::replay_oneshot;
 pub use repair::{try_repair, yield_upper_bound, Repair};
-pub use worker::{ServiceAlgo, ServiceConfig, Worker, REPAIR_WINNER};
+pub use worker::{OverloadControl, ServiceAlgo, ServiceConfig, Worker, REPAIR_WINNER};

@@ -1,11 +1,49 @@
-//! The resident solver pool: one long-lived thread per worker.
+//! The resident solver pool: one long-lived thread per worker, with
+//! panic supervision and overload control.
+//!
+//! ## Supervision
+//!
+//! Each worker thread runs its solve loop under
+//! [`std::panic::catch_unwind`]. A panic mid-solve (a solver bug, or an
+//! injected [`crate::FaultPlan`] fault) is contained to the request that
+//! triggered it: the in-flight request is answered with
+//! [`RequestOutcome::Failed`] — never a hang — and the worker is
+//! *respawned in place*: the panicked stream's state is discarded (its
+//! half-mutated instance, warm yields and cache entries are exactly the
+//! state a mid-solve panic can poison) and the engine is rebuilt from
+//! scratch. The respawn deliberately preserves every **other** stream's
+//! warm state: engines are deterministic functions of
+//! `(instance, hint, budget)`, so unaffected streams keep answering
+//! bit-for-bit what a fault-free run answers (the chaos suite in
+//! `tests/integration_chaos.rs` pins this at 1 and 4 workers). Nothing
+//! is replayed silently — follow-up requests on the discarded stream
+//! answer `stale-stream` until the client re-sends `New`.
+//!
+//! ## Overload control
+//!
+//! With [`ServiceConfig::overload`] configured, each worker's queue is
+//! bounded: a submission that would exceed `queue_depth` is *shed* —
+//! answered immediately with [`RequestOutcome::Overloaded`] and a
+//! `retry_after` hint sized from the worker's backlog and recent service
+//! time — and with `shed_expired`, requests whose wall-clock budget
+//! expired while queued are shed at dequeue. Shedding a mutating request
+//! (`New`/`Delta`) poisons its stream like a panic does, because the
+//! server-side state no longer matches the client's view; the poison
+//! marker takes the shed request's FIFO position, so requests already
+//! queued for the stream still answer normally.
+//!
+//! [`RequestOutcome::Failed`]: vmplace_model::RequestOutcome::Failed
+//! [`RequestOutcome::Overloaded`]: vmplace_model::RequestOutcome::Overloaded
 
 use crate::dispatch::Dispatcher;
 use crate::worker::{ServiceConfig, Worker};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use vmplace_model::{AllocRequest, AllocResponse};
+use std::time::{Duration, Instant};
+use vmplace_model::{AllocRequest, AllocResponse, RequestKind};
 
 /// Where workers deliver finished responses.
 ///
@@ -42,7 +80,20 @@ pub type ResponseSink = Arc<dyn Fn(AllocResponse) + Send + Sync>;
 /// What travels down a worker's request channel.
 enum WorkerMsg {
     /// A batch of consecutive same-stream requests to process in order.
-    Batch(Vec<AllocRequest>),
+    Batch {
+        requests: Vec<AllocRequest>,
+        /// When the batch was admitted (deadline-aware shedding measures
+        /// queueing delay from here).
+        enqueued: Instant,
+    },
+    /// A mutating request for `stream` was shed at admission: poison the
+    /// stream at the shed request's FIFO position (earlier queued
+    /// requests of the stream still answer normally; later ones answer
+    /// `stale-stream`).
+    Discard {
+        /// The stream whose state must be discarded.
+        stream: u64,
+    },
     /// Forget every stream with `stream & mask == prefix` (see
     /// [`SolverPool::retire_streams`]).
     Retire {
@@ -51,6 +102,39 @@ enum WorkerMsg {
         /// Mask selecting the namespace bits.
         mask: u64,
     },
+}
+
+/// Shared load gauge of one worker: the logical queue depth (incremented
+/// at admission, decremented as requests finish) and an EMA of the
+/// per-request service time, in microseconds (single writer: the owning
+/// worker thread).
+#[derive(Clone, Default)]
+struct Gauge {
+    depth: Arc<AtomicUsize>,
+    ema_us: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    fn note_service(&self, wall: Duration) {
+        let us = wall.as_micros().min(u128::from(u64::MAX)) as u64;
+        let prev = self.ema_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            us
+        } else {
+            prev - prev / 8 + us / 8
+        };
+        self.ema_us.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// Suggested retry delay: roughly the time the current backlog needs
+    /// to clear at the recent service rate, floored at 1 ms (a hint of
+    /// zero would invite an immediate, equally doomed retry) and capped
+    /// at 30 s.
+    fn retry_hint(&self) -> Duration {
+        let ema = self.ema_us.load(Ordering::Relaxed).max(1_000);
+        let backlog = self.depth.load(Ordering::SeqCst) as u64 + 1;
+        Duration::from_micros(ema.saturating_mul(backlog).min(30_000_000))
+    }
 }
 
 /// A pool of resident solver workers.
@@ -98,6 +182,15 @@ pub struct SolverPool {
     results: Option<Receiver<AllocResponse>>,
     handles: Vec<JoinHandle<()>>,
     pending: usize,
+    /// Per-worker load gauges (admission control + retry hints).
+    gauges: Vec<Gauge>,
+    /// Bounded queue depth, when overload control is on.
+    queue_depth: Option<usize>,
+    /// The same completion the workers deliver to — shed responses are
+    /// delivered from the submitting thread without a queue trip.
+    completion: Completion,
+    /// Requests shed at admission since the pool started.
+    shed: u64,
 }
 
 impl SolverPool {
@@ -123,30 +216,15 @@ impl SolverPool {
     fn spawn(config: &ServiceConfig, completion: Completion) -> SolverPool {
         let workers = config.workers.max(1);
         let dispatcher = Dispatcher::new(workers);
+        let gauges: Vec<Gauge> = (0..workers).map(|_| Gauge::default()).collect();
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for gauge in gauges.iter().cloned() {
             let (tx, rx) = channel::<WorkerMsg>();
             let completion = completion.clone();
             let config = config.clone();
             handles.push(std::thread::spawn(move || {
-                let mut worker = Worker::new(&config);
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        WorkerMsg::Batch(batch) => {
-                            for request in batch {
-                                // A closed result channel means the pool
-                                // is gone; finish quietly.
-                                if !completion.deliver(worker.process(request)) {
-                                    return;
-                                }
-                            }
-                        }
-                        WorkerMsg::Retire { prefix, mask } => {
-                            worker.retire_streams(prefix, mask);
-                        }
-                    }
-                }
+                supervised_loop(rx, &config, completion, gauge)
             }));
             senders.push(tx);
         }
@@ -156,6 +234,10 @@ impl SolverPool {
             results: None,
             handles,
             pending: 0,
+            gauges,
+            queue_depth: config.overload.map(|o| o.queue_depth.max(1)),
+            completion,
+            shed: 0,
         }
     }
 
@@ -163,13 +245,69 @@ impl SolverPool {
     /// same-stream runs) and routed to their streams' workers. In channel
     /// mode, pair with [`SolverPool::collect`]; in sink mode, responses
     /// arrive through the callback.
+    ///
+    /// With overload control on, requests that would push a worker's
+    /// queue past its depth are shed here: they are answered immediately
+    /// with [`RequestOutcome::Overloaded`] (through the same channel or
+    /// sink as every other response — a shed request still counts as
+    /// pending and still reaches [`SolverPool::collect`]) and never reach
+    /// the worker. A shed `New`/`Delta` additionally poisons its stream
+    /// at the shed slot's FIFO position.
+    ///
+    /// [`RequestOutcome::Overloaded`]: vmplace_model::RequestOutcome::Overloaded
     pub fn submit(&mut self, requests: Vec<AllocRequest>) {
         for batch in self.dispatcher.batch(requests) {
-            self.pending += batch.requests.len();
-            self.senders[batch.worker]
-                .send(WorkerMsg::Batch(batch.requests))
-                .expect("worker thread alive while pool exists");
+            let w = batch.worker;
+            // Requests admitted so far from this batch, not yet sent:
+            // kept aside so a shed mid-batch can flush them first and
+            // keep per-stream FIFO order exact.
+            let mut run: Vec<AllocRequest> = Vec::new();
+            for request in batch.requests {
+                self.pending += 1;
+                let admit = match self.queue_depth {
+                    Some(depth) => self.gauges[w].depth.load(Ordering::SeqCst) + run.len() < depth,
+                    None => true,
+                };
+                if admit {
+                    run.push(request);
+                    continue;
+                }
+                send_run(&self.senders[w], &self.gauges[w], &mut run);
+                self.shed += 1;
+                if matches!(request.kind, RequestKind::New(_) | RequestKind::Delta(_)) {
+                    // The client's view of the stream now diverges from
+                    // the server's: poison it in the shed slot's place.
+                    self.senders[w]
+                        .send(WorkerMsg::Discard {
+                            stream: request.stream,
+                        })
+                        .expect("worker thread alive while pool exists");
+                }
+                let response = AllocResponse::overloaded(
+                    request.id,
+                    request.stream,
+                    self.gauges[w].retry_hint(),
+                );
+                self.completion.deliver(response);
+            }
+            send_run(&self.senders[w], &self.gauges[w], &mut run);
         }
+    }
+
+    /// Requests shed at admission since the pool started (dequeue-time
+    /// deadline sheds are not counted here; they surface only through
+    /// their `Overloaded` responses).
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Current logical queue depth of each worker (requests admitted but
+    /// not yet finished).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.gauges
+            .iter()
+            .map(|g| g.depth.load(Ordering::SeqCst))
+            .collect()
     }
 
     /// Tells every worker to forget the streams matching
@@ -243,6 +381,93 @@ impl SolverPool {
 impl Drop for SolverPool {
     fn drop(&mut self) {
         self.join();
+    }
+}
+
+/// Flushes an admitted run to its worker (bumping the queue gauge first,
+/// so concurrent admission checks see the backlog immediately).
+fn send_run(sender: &Sender<WorkerMsg>, gauge: &Gauge, run: &mut Vec<AllocRequest>) {
+    if run.is_empty() {
+        return;
+    }
+    gauge.depth.fetch_add(run.len(), Ordering::SeqCst);
+    sender
+        .send(WorkerMsg::Batch {
+            requests: std::mem::take(run),
+            enqueued: Instant::now(),
+        })
+        .expect("worker thread alive while pool exists");
+}
+
+/// One worker thread's supervised solve loop (see the module docs:
+/// panics answer `Failed` and respawn the worker in place; expired
+/// budgets shed at dequeue when configured).
+fn supervised_loop(
+    rx: Receiver<WorkerMsg>,
+    config: &ServiceConfig,
+    completion: Completion,
+    gauge: Gauge,
+) {
+    let mut worker = Worker::new(config);
+    let shed_expired = config.overload.is_some_and(|o| o.shed_expired);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Batch { requests, enqueued } => {
+                for request in requests {
+                    let (id, stream) = (request.id, request.stream);
+                    let mutates =
+                        matches!(request.kind, RequestKind::New(_) | RequestKind::Delta(_));
+                    let expired = shed_expired
+                        && request
+                            .budget
+                            .or(config.default_budget)
+                            .is_some_and(|b| enqueued.elapsed() >= b);
+                    let response = if expired {
+                        // The budget burned away in the queue: shedding
+                        // now costs nothing; solving would cost a full
+                        // solve for an answer the client stopped waiting
+                        // for. A shed mutation poisons the stream, same
+                        // as at admission.
+                        if mutates {
+                            worker.discard_stream(stream);
+                        }
+                        AllocResponse::overloaded(id, stream, gauge.retry_hint())
+                    } else {
+                        // `AssertUnwindSafe` is justified by the recovery
+                        // discipline: everything a panic can leave
+                        // half-written (the in-flight stream's state, the
+                        // engine's solve scratch) is discarded or rebuilt
+                        // by `recover_from_panic` before the worker is
+                        // used again.
+                        match catch_unwind(AssertUnwindSafe(|| worker.process(request))) {
+                            Ok(response) => {
+                                gauge.note_service(response.wall);
+                                response
+                            }
+                            Err(_) => {
+                                worker.recover_from_panic(stream);
+                                AllocResponse::failed(
+                                    id,
+                                    stream,
+                                    format!(
+                                        "worker panicked while solving request {id}; \
+                                         stream state discarded"
+                                    ),
+                                )
+                            }
+                        }
+                    };
+                    gauge.depth.fetch_sub(1, Ordering::SeqCst);
+                    // A closed result channel means the pool is gone;
+                    // finish quietly.
+                    if !completion.deliver(response) {
+                        return;
+                    }
+                }
+            }
+            WorkerMsg::Discard { stream } => worker.discard_stream(stream),
+            WorkerMsg::Retire { prefix, mask } => worker.retire_streams(prefix, mask),
+        }
     }
 }
 
@@ -420,5 +645,163 @@ mod tests {
     fn collect_on_sink_pool_panics() {
         let mut pool = SolverPool::with_sink(&ServiceConfig::default(), Arc::new(|_| {}));
         pool.collect();
+    }
+
+    fn req(id: u64, stream: u64, kind: RequestKind) -> AllocRequest {
+        AllocRequest {
+            id,
+            stream,
+            kind,
+            budget: None,
+            policy: Default::default(),
+        }
+    }
+
+    #[test]
+    fn panic_answers_failed_and_replacement_keeps_serving() {
+        let mut faults = crate::FaultPlan::default();
+        faults.panic_requests.insert(2);
+        let config = ServiceConfig {
+            workers: 1,
+            faults: Some(faults),
+            ..ServiceConfig::default()
+        };
+        let mut pool = SolverPool::new(&config);
+        // Two streams on the one worker: stream 0 takes the panic,
+        // stream 1 must come through untouched.
+        let trace = vec![
+            req(0, 0, RequestKind::New(instance(0))),
+            req(1, 1, RequestKind::New(instance(1))),
+            req(2, 0, RequestKind::Resolve), // injected panic
+            req(3, 1, RequestKind::Resolve),
+            req(4, 0, RequestKind::Resolve), // stream 0 was discarded
+            req(5, 1, RequestKind::Resolve),
+        ];
+        let responses = pool.replay(trace);
+        assert_eq!(responses.len(), 6);
+        assert_eq!(responses[2].outcome, RequestOutcome::Failed);
+        assert!(responses[2].error.as_deref().unwrap().contains("panicked"));
+        assert_eq!(responses[4].outcome, RequestOutcome::StaleStream);
+
+        // The untouched stream matches a fault-free run bit-for-bit.
+        let mut clean = SolverPool::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let clean_responses = clean.replay(vec![
+            req(1, 1, RequestKind::New(instance(1))),
+            req(3, 1, RequestKind::Resolve),
+            req(5, 1, RequestKind::Resolve),
+        ]);
+        for (faulted, clean) in [1usize, 3, 5].into_iter().zip(&clean_responses) {
+            let (a, b) = (
+                responses[faulted].solution.as_ref().unwrap(),
+                clean.solution.as_ref().unwrap(),
+            );
+            assert_eq!(a.min_yield.to_bits(), b.min_yield.to_bits());
+            assert_eq!(responses[faulted].probes, clean.probes);
+        }
+
+        // The replacement serves: re-send New, the stream is live again.
+        let after = pool.replay(vec![
+            req(6, 0, RequestKind::New(instance(0))),
+            req(7, 0, RequestKind::Resolve),
+        ]);
+        assert!(
+            after.iter().all(|r| r.outcome == RequestOutcome::Solved),
+            "{after:?}"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_past_queue_depth_and_answers_everything() {
+        use crate::worker::OverloadControl;
+        let mut pool = SolverPool::new(&ServiceConfig {
+            workers: 1,
+            overload: Some(OverloadControl {
+                queue_depth: 1,
+                shed_expired: false,
+            }),
+            ..ServiceConfig::default()
+        });
+        // One burst on one stream: exactly one request fits the queue;
+        // the rest shed at admission, deterministically.
+        let mut trace = vec![req(0, 0, RequestKind::New(instance(0)))];
+        trace.extend((1..8u64).map(|id| req(id, 0, RequestKind::Resolve)));
+        let responses = pool.replay(trace);
+        assert_eq!(responses.len(), 8, "shed requests still answer");
+        assert_eq!(responses[0].outcome, RequestOutcome::Solved);
+        for r in &responses[1..] {
+            assert_eq!(r.outcome, RequestOutcome::Overloaded);
+            assert!(r.retry_after.unwrap() > Duration::ZERO);
+        }
+        assert_eq!(pool.shed_count(), 7);
+
+        // The backlog drained: the same stream answers again.
+        let after = pool.replay(vec![req(8, 0, RequestKind::Resolve)]);
+        assert_eq!(after[0].outcome, RequestOutcome::Solved);
+    }
+
+    #[test]
+    fn shed_mutation_poisons_its_stream_until_new() {
+        use crate::worker::OverloadControl;
+        let mut pool = SolverPool::new(&ServiceConfig {
+            workers: 1,
+            overload: Some(OverloadControl {
+                queue_depth: 1,
+                shed_expired: false,
+            }),
+            ..ServiceConfig::default()
+        });
+        let inst = instance(0);
+        let delta = vmplace_model::WorkloadDelta::default();
+        let responses = pool.replay(vec![
+            req(0, 0, RequestKind::New(inst.clone())),
+            req(1, 0, RequestKind::Delta(delta)), // shed → stream poisoned
+            req(2, 0, RequestKind::Resolve),
+        ]);
+        assert_eq!(responses[1].outcome, RequestOutcome::Overloaded);
+        // Depending on drain timing the resolve is shed or admitted; if
+        // admitted it must answer stale-stream, never a wrong answer.
+        assert!(
+            matches!(
+                responses[2].outcome,
+                RequestOutcome::Overloaded | RequestOutcome::StaleStream
+            ),
+            "{:?}",
+            responses[2].outcome
+        );
+        // Re-sending New recovers the stream (one per cycle — the depth-1
+        // queue would shed the second request of a two-request burst).
+        let after = pool.replay(vec![req(3, 0, RequestKind::New(inst))]);
+        assert_eq!(after[0].outcome, RequestOutcome::Solved);
+        let after = pool.replay(vec![req(4, 0, RequestKind::Resolve)]);
+        assert_eq!(after[0].outcome, RequestOutcome::Solved);
+    }
+
+    #[test]
+    fn expired_budgets_shed_at_dequeue_when_configured() {
+        use crate::worker::OverloadControl;
+        let mut pool = SolverPool::new(&ServiceConfig {
+            workers: 1,
+            overload: Some(OverloadControl {
+                queue_depth: 64,
+                shed_expired: true,
+            }),
+            ..ServiceConfig::default()
+        });
+        let responses = pool.replay(vec![
+            req(0, 0, RequestKind::New(instance(0))),
+            AllocRequest {
+                budget: Some(Duration::ZERO), // expired on arrival
+                ..req(1, 0, RequestKind::Resolve)
+            },
+            req(2, 0, RequestKind::Resolve),
+        ]);
+        assert_eq!(responses[0].outcome, RequestOutcome::Solved);
+        assert_eq!(responses[1].outcome, RequestOutcome::Overloaded);
+        assert!(responses[1].retry_after.is_some());
+        // A non-mutating shed leaves the stream intact.
+        assert_eq!(responses[2].outcome, RequestOutcome::Solved);
     }
 }

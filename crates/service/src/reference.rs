@@ -179,6 +179,7 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
             error: None,
             cached: false,
             migrations,
+            retry_after: None,
         });
     }
 

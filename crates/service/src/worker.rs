@@ -1,8 +1,9 @@
 //! A resident solver worker: per-stream state plus long-lived engines.
 
 use crate::cache::ResponseCache;
+use crate::fault::FaultPlan;
 use crate::repair::{try_repair, Repair};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 use vmplace_core::{Algorithm, EngineHandle, MetaGreedy, MetaVp, RandomizedRounding, SolveCtx};
 use vmplace_lp::{MilpOptions, MilpSolver, YieldLp};
@@ -89,6 +90,47 @@ pub struct ServiceConfig {
     /// bit-for-bit equal to the uncached path and carry
     /// `AllocResponse::cached = true`.
     pub response_cache: bool,
+    /// Overload control (`None` = unbounded queues, admit everything —
+    /// the behaviour of every release before this field existed).
+    pub overload: Option<OverloadControl>,
+    /// Deterministic fault injection for chaos testing (`None` in
+    /// production: no panics are injected and the plan is never
+    /// consulted).
+    pub faults: Option<FaultPlan>,
+}
+
+/// Overload-control knobs of the service (see
+/// [`ServiceConfig::overload`]).
+///
+/// With a control configured, each worker's logical queue is bounded:
+/// requests that would push the queue past `queue_depth` are *shed* —
+/// answered immediately with [`RequestOutcome::Overloaded`] and a
+/// `retry_after` hint sized from the worker's recent per-request
+/// service time — and
+/// with `shed_expired` on, requests whose wall-clock budget already
+/// expired while queued are shed at dequeue instead of burning a solve
+/// on an answer the client has stopped waiting for. Shedding a `New` or
+/// `Delta` poisons its stream (the server-side state no longer matches
+/// what the client believes), so the stream answers
+/// `stale-stream` until the client re-sends `New` — the service never
+/// silently answers against state the client didn't build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadControl {
+    /// Most requests allowed in one worker's queue; submissions beyond it
+    /// are shed.
+    pub queue_depth: usize,
+    /// Shed requests whose budget expired before the worker dequeued
+    /// them (deadline-aware admission).
+    pub shed_expired: bool,
+}
+
+impl Default for OverloadControl {
+    fn default() -> Self {
+        OverloadControl {
+            queue_depth: 256,
+            shed_expired: true,
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +143,8 @@ impl Default for ServiceConfig {
             warm_start: true,
             ordered_roster: true,
             response_cache: true,
+            overload: None,
+            faults: None,
         }
     }
 }
@@ -263,6 +307,10 @@ pub struct Worker {
     streams: HashMap<u64, StreamState>,
     /// Response cache for identical re-solves (`None` when disabled).
     cache: Option<ResponseCache>,
+    /// Streams whose state was discarded by panic recovery or by
+    /// shedding a mutating request: they answer `stale-stream` until the
+    /// client re-opens them with `New`.
+    discarded: HashSet<u64>,
 }
 
 impl Worker {
@@ -273,6 +321,7 @@ impl Worker {
             engine: WorkerEngine::build(config),
             streams: HashMap::new(),
             cache: config.response_cache.then(ResponseCache::new),
+            discarded: HashSet::new(),
         }
     }
 
@@ -285,6 +334,29 @@ impl Worker {
             budget,
             policy,
         } = request;
+
+        // Injected solver crash (chaos testing only; `faults` is `None`
+        // in production). Placed before any state update so the poisoned
+        // set the supervisor discards is exactly what a real mid-solve
+        // panic could have left half-written.
+        if let Some(plan) = &self.config.faults {
+            if plan.panics_on(id) {
+                panic!("{}", FaultPlan::panic_message(id));
+            }
+        }
+
+        // A discarded stream answers `stale-stream` until the client
+        // re-opens it: the server-side state no longer matches the
+        // client's view, and silently solving against it would return
+        // confidently wrong answers. `New` replaces state wholesale, so
+        // it (and only it) clears the marker.
+        if self.discarded.contains(&stream) {
+            if matches!(kind, RequestKind::New(_)) {
+                self.discarded.remove(&stream);
+            } else {
+                return AllocResponse::stale_stream(id, stream);
+            }
+        }
 
         // Update the stream state (and pick the warm hint) first; solve
         // against the updated instance. For the repaired policy, capture
@@ -420,6 +492,7 @@ impl Worker {
             error: None,
             cached: false,
             migrations,
+            retry_after: None,
         };
         if resolve {
             if let Some(cache) = &mut self.cache {
@@ -442,6 +515,42 @@ impl Worker {
         self.streams.len()
     }
 
+    /// Discards one stream's state — instance, warm yields, response- and
+    /// model-cache entries — and marks it stale: follow-up requests
+    /// answer `stale-stream` until the client re-sends `New`. Called when
+    /// a *mutating* request (`New`/`Delta`) is shed under overload, so
+    /// the service never answers against state the client didn't build.
+    pub fn discard_stream(&mut self, stream: u64) {
+        self.streams.remove(&stream);
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate(stream);
+        }
+        if let WorkerEngine::Milp { cache, .. } = &mut self.engine {
+            if matches!(cache, Some(c) if c.stream == stream) {
+                *cache = None;
+            }
+        }
+        self.discarded.insert(stream);
+    }
+
+    /// Recovers this worker after a panic unwound out of
+    /// [`Worker::process`]: the in-flight stream's state is discarded
+    /// (the panic may have left it half-mutated) and the engine is
+    /// rebuilt from scratch — a panic mid-solve can leave engine scratch
+    /// (packing workspaces, simplex state, the MILP model cache)
+    /// inconsistent. Rebuilding is result-invariant for every *other*
+    /// stream: engines are deterministic functions of (instance, hint,
+    /// budget), and the per-stream warm state that seeds them is kept.
+    pub fn recover_from_panic(&mut self, stream: u64) {
+        self.discard_stream(stream);
+        self.engine = WorkerEngine::build(&self.config);
+    }
+
+    /// Streams currently marked stale (discarded but not yet re-opened).
+    pub fn discarded_count(&self) -> usize {
+        self.discarded.len()
+    }
+
     /// Forgets every stream matching `stream & mask == prefix`: warm
     /// state, cache entries and — if it belongs to such a stream — the
     /// exact path's model cache. A long-lived front door calls this when
@@ -450,6 +559,9 @@ impl Worker {
     /// seen.
     pub fn retire_streams(&mut self, prefix: u64, mask: u64) {
         self.streams.retain(|s, _| s & mask != prefix);
+        // Retirement clears stale markers too: a retired namespace's ids
+        // may be reused by a future connection, which starts clean.
+        self.discarded.retain(|s| s & mask != prefix);
         if let Some(cache) = &mut self.cache {
             cache.retire(prefix, mask);
         }
@@ -724,6 +836,115 @@ mod tests {
             policy: ResponsePolicy::default(),
         });
         assert_eq!(ok.outcome, RequestOutcome::Solved);
+    }
+
+    #[test]
+    fn injected_fault_panics_and_recovery_preserves_other_streams() {
+        let config = ServiceConfig {
+            workers: 1,
+            faults: FaultPlan::parse("panic=5"),
+            ..ServiceConfig::default()
+        };
+        let mut worker = Worker::new(&config);
+        // Two streams; stream 1 will be hit by the fault.
+        let open = |worker: &mut Worker, id: u64, stream: u64| {
+            worker.process(AllocRequest {
+                id,
+                stream,
+                kind: RequestKind::New(small_instance()),
+                budget: None,
+                policy: ResponsePolicy::default(),
+            })
+        };
+        open(&mut worker, 0, 0);
+        open(&mut worker, 1, 1);
+        let clean = worker.process(AllocRequest {
+            id: 2,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+            policy: ResponsePolicy::default(),
+        });
+
+        let faulted = AllocRequest {
+            id: 5,
+            stream: 1,
+            kind: RequestKind::Resolve,
+            budget: None,
+            policy: ResponsePolicy::default(),
+        };
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.process(faulted)))
+                .expect_err("request 5 must panic");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.contains(crate::fault::INJECTED_FAULT_MARKER),
+            "{message}"
+        );
+
+        worker.recover_from_panic(1);
+        assert_eq!(worker.discarded_count(), 1);
+        // The poisoned stream answers stale-stream until a New arrives…
+        let stale = worker.process(AllocRequest {
+            id: 6,
+            stream: 1,
+            kind: RequestKind::Resolve,
+            budget: None,
+            policy: ResponsePolicy::default(),
+        });
+        assert_eq!(stale.outcome, RequestOutcome::StaleStream);
+        // …a New re-opens it…
+        let reopened = open(&mut worker, 7, 1);
+        assert_eq!(reopened.outcome, RequestOutcome::Solved);
+        assert_eq!(worker.discarded_count(), 0);
+        // …and the unaffected stream's answers are bit-for-bit unchanged
+        // across the engine rebuild.
+        let after = worker.process(AllocRequest {
+            id: 8,
+            stream: 0,
+            kind: RequestKind::Resolve,
+            budget: None,
+            policy: ResponsePolicy::default(),
+        });
+        assert_eq!(
+            clean.min_yield().unwrap().to_bits(),
+            after.min_yield().unwrap().to_bits()
+        );
+        assert_eq!(clean.probes, after.probes);
+    }
+
+    #[test]
+    fn discard_stream_marks_stale_and_new_reopens() {
+        let mut worker = Worker::new(&ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        worker.process(req(0, RequestKind::New(small_instance())));
+        worker.discard_stream(0);
+        let stale = worker.process(req(
+            1,
+            RequestKind::Delta(WorkloadDelta {
+                scale_need: vec![(0, 0.9)],
+                ..WorkloadDelta::default()
+            }),
+        ));
+        assert_eq!(stale.outcome, RequestOutcome::StaleStream);
+        assert!(stale.error.is_some());
+        let reopened = worker.process(req(2, RequestKind::New(small_instance())));
+        assert_eq!(reopened.outcome, RequestOutcome::Solved);
+    }
+
+    #[test]
+    fn retire_streams_clears_stale_markers() {
+        let mut worker = Worker::new(&ServiceConfig::default());
+        worker.process(req(0, RequestKind::New(small_instance())));
+        worker.discard_stream(0);
+        assert_eq!(worker.discarded_count(), 1);
+        worker.retire_streams(0, 0); // mask 0 matches everything
+        assert_eq!(worker.discarded_count(), 0);
+        // A retired stream behaves like a never-opened one, not a stale one.
+        let r = worker.process(req(1, RequestKind::Resolve));
+        assert_eq!(r.outcome, RequestOutcome::Rejected);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use errors::{apply_min_threshold, perturb_cpu_needs};
 pub use platform::{HomogeneousDim, PlatformConfig};
 pub use runtime::{zero_knowledge_placement, AllocationPolicy, ErrorRun};
 pub use scenario::{Scenario, ScenarioConfig};
-pub use trace::TraceConfig;
+pub use trace::{Adversarial, TraceConfig};
 pub use waterfill::weighted_water_fill;
 pub use workload::WorkloadConfig;

@@ -15,6 +15,34 @@ use rand::{Rng, SeedableRng};
 use std::time::Duration;
 use vmplace_model::{AllocRequest, RequestKind, ResponsePolicy, Service, WorkloadDelta};
 
+/// Adversarial traffic shapes layered over the base generator — the
+/// load patterns the fault-tolerance layer must degrade gracefully
+/// under (chaos suite + the overload grid in `BENCH_net.json`).
+///
+/// [`Adversarial::None`] leaves the generator byte-identical to the
+/// shape-free versions of a config: the adversarial branches draw from
+/// the RNG only when active.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Adversarial {
+    /// The plain workload mix (the default).
+    #[default]
+    None,
+    /// Correlated demand spike: in the middle third of the trace, every
+    /// stream's follow-up becomes a demand *increase* on a random
+    /// service — all tenants surge together, so no stream's solve gets
+    /// cheaper while the others get dearer.
+    Spike,
+    /// Flash crowd: once every stream has opened, follow-ups concentrate
+    /// on stream 0 (the hot stream), with only every fourth request
+    /// visiting the others — one tenant floods the service while the
+    /// rest must stay live.
+    FlashCrowd,
+    /// Churn storm: follow-ups alternate whole rounds of arrivals and
+    /// departures — instances grow and shrink as fast as the generator
+    /// allows, the worst case for per-stream warm state.
+    ChurnStorm,
+}
+
 /// Configuration of the trace generator.
 #[derive(Clone, Debug)]
 pub struct TraceConfig {
@@ -42,6 +70,10 @@ pub struct TraceConfig {
     /// no placement to repair yet, and keeping them exact makes the
     /// repaired trace's opening solves comparable to the exact trace's).
     pub policy: ResponsePolicy,
+    /// Adversarial traffic shape layered over the mix
+    /// ([`Adversarial::None`] reproduces shape-free traces byte for
+    /// byte).
+    pub adversarial: Adversarial,
 }
 
 impl Default for TraceConfig {
@@ -60,6 +92,7 @@ impl Default for TraceConfig {
             resolve_budget: None,
             resolve_burst: 1,
             policy: ResponsePolicy::Exact,
+            adversarial: Adversarial::None,
         }
     }
 }
@@ -83,9 +116,20 @@ impl TraceConfig {
         let mut templates: Vec<Vec<Service>> = Vec::with_capacity(self.streams);
         let mut bursting: Vec<usize> = vec![0; self.streams];
 
+        // Demand spikes hit the middle third of the trace: every stream
+        // is open and warm by then, and recovery is observable after.
+        let spike_window = self.requests / 3..(2 * self.requests) / 3;
+
         let mut trace = Vec::with_capacity(self.requests);
         for id in 0..self.requests as u64 {
-            let stream = id % self.streams as u64;
+            let all_open = id >= self.streams as u64;
+            let stream = match self.adversarial {
+                // Flash crowd: concentrate on stream 0 once every stream
+                // has opened; every fourth request still visits the
+                // round-robin stream so the cold streams stay live.
+                Adversarial::FlashCrowd if all_open && id % 4 != 3 => 0,
+                _ => id % self.streams as u64,
+            };
             let s = stream as usize;
             if s >= counts.len() {
                 // First visit: open the stream.
@@ -117,7 +161,24 @@ impl TraceConfig {
                 continue;
             }
 
-            let (kind, budget) = match weighted_index(&mut rng, &weights) {
+            let spiking =
+                self.adversarial == Adversarial::Spike && spike_window.contains(&(id as usize));
+            let flavour = match self.adversarial {
+                // Correlated spike: every stream's follow-up in the
+                // window is a (forced-upward) demand change.
+                Adversarial::Spike if spiking => 2,
+                // Churn storm: whole rounds of arrivals alternate with
+                // whole rounds of departures.
+                Adversarial::ChurnStorm => {
+                    if (id as usize / self.streams) % 2 == 0 {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                _ => weighted_index(&mut rng, &weights),
+            };
+            let (kind, budget) = match flavour {
                 // Arrival: a template service with uniformly rescaled
                 // needs and memory (uniform scaling preserves validity;
                 // memory only ever scales *down*, so an arrival is always
@@ -157,10 +218,15 @@ impl TraceConfig {
                         None,
                     )
                 }
-                // Demand change on a random service.
+                // Demand change on a random service (a spike window
+                // forces the change upward — correlated pressure).
                 2 => {
                     let j = rng.gen_range(0..counts[s]);
-                    let factor = rng.gen_range(0.6..1.4);
+                    let factor = if spiking {
+                        rng.gen_range(1.05..1.35)
+                    } else {
+                        rng.gen_range(0.6..1.4)
+                    };
                     (
                         RequestKind::Delta(WorkloadDelta {
                             scale_need: vec![(j, factor)],
@@ -346,6 +412,108 @@ mod tests {
         .generate(9);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                std::mem::discriminant(&x.kind),
+                std::mem::discriminant(&y.kind)
+            );
+        }
+    }
+
+    #[test]
+    fn spike_window_forces_upward_demand_changes() {
+        let cfg = TraceConfig {
+            requests: 90,
+            adversarial: Adversarial::Spike,
+            ..TraceConfig::default()
+        };
+        let trace = cfg.generate(5);
+        materialise(&trace); // still a valid delta chain
+        let window = cfg.requests / 3..(2 * cfg.requests) / 3;
+        let mut spikes = 0;
+        for req in trace.iter().filter(|r| window.contains(&(r.id as usize))) {
+            match &req.kind {
+                RequestKind::Delta(d) if !d.scale_need.is_empty() => {
+                    assert!(
+                        d.scale_need.iter().all(|(_, f)| *f > 1.0),
+                        "spike window scaled demand down: {:?}",
+                        d.scale_need
+                    );
+                    spikes += 1;
+                }
+                RequestKind::New(_) => {} // a late-opening stream
+                other => panic!("non-spike follow-up in the window: {other:?}"),
+            }
+        }
+        assert!(spikes > 20, "only {spikes} spikes in the window");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_on_the_hot_stream() {
+        let cfg = TraceConfig {
+            requests: 100,
+            adversarial: Adversarial::FlashCrowd,
+            ..TraceConfig::default()
+        };
+        let trace = cfg.generate(6);
+        materialise(&trace);
+        // Every stream still opens (with New first)…
+        let opened: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter(|r| matches!(r.kind, RequestKind::New(_)))
+            .map(|r| r.stream)
+            .collect();
+        assert_eq!(opened.len(), cfg.streams);
+        // …but the bulk of the follow-ups floods stream 0.
+        let after_open = &trace[cfg.streams..];
+        let hot = after_open.iter().filter(|r| r.stream == 0).count();
+        assert!(
+            hot * 10 >= after_open.len() * 7,
+            "hot stream got {hot} of {} follow-ups",
+            after_open.len()
+        );
+        // The cold streams keep seeing traffic.
+        assert!(after_open.iter().any(|r| r.stream != 0));
+    }
+
+    #[test]
+    fn churn_storm_alternates_arrivals_and_departures() {
+        let cfg = TraceConfig {
+            requests: 120,
+            adversarial: Adversarial::ChurnStorm,
+            ..TraceConfig::default()
+        };
+        let trace = cfg.generate(2);
+        materialise(&trace);
+        let adds = trace
+            .iter()
+            .filter(|r| matches!(&r.kind, RequestKind::Delta(d) if !d.add.is_empty()))
+            .count();
+        let removes = trace
+            .iter()
+            .filter(|r| matches!(&r.kind, RequestKind::Delta(d) if !d.remove.is_empty()))
+            .count();
+        assert!(adds > 20, "churn storm produced only {adds} arrivals");
+        assert!(
+            removes > 20,
+            "churn storm produced only {removes} departures"
+        );
+    }
+
+    #[test]
+    fn adversarial_none_reproduces_the_plain_trace() {
+        let cfg = TraceConfig {
+            requests: 60,
+            ..TraceConfig::default()
+        };
+        let a = cfg.generate(9);
+        let b = TraceConfig {
+            adversarial: Adversarial::None,
+            ..cfg
+        }
+        .generate(9);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stream, y.stream);
             assert_eq!(
                 std::mem::discriminant(&x.kind),
                 std::mem::discriminant(&y.kind)

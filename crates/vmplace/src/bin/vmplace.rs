@@ -7,10 +7,12 @@
 //!                [--no-cache] [--oneshot] [--budget-ms MS] [--policy P] [--quiet]
 //! vmplace replay --gen [--streams S] [--requests R] [--seed K] [--hosts N]
 //!                [--services J] [--cov C] [--slack S] [--burst B] [--emit]
-//!                [--workers N] …
+//!                [--shape spike|flash|churn] [--workers N] …
 //! vmplace serve  [--port P | --addr A] [--algo …] [--workers N] [--no-warm]
 //!                [--no-order] [--no-cache] [--budget-ms MS]
-//! vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping] […--gen opts]
+//!                [--queue-depth N] [--faults SPEC]
+//! vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]
+//!                [--retries N] […--gen opts]
 //! vmplace gen    [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
 //! vmplace example
 //! ```
@@ -35,10 +37,15 @@
 //!
 //! `serve` binds the allocation service's TCP front-end (`--port 0`
 //! picks an ephemeral port and reports it) and runs until a client sends
-//! the `shutdown` frame; `client` connects to a running server and
-//! drives a trace through it — the network twin of `replay`, with
-//! `--shutdown` to stop the server afterwards and `--ping` for a
-//! liveness round-trip.
+//! the `shutdown` frame; `--queue-depth` bounds each worker's queue
+//! (overload answers `overloaded` with a `retry-after-ms` hint instead
+//! of queueing forever) and `--faults` injects a deterministic
+//! `FaultPlan` (e.g. `panic=5,drop=20,seed=7`) for chaos testing.
+//! `client` connects to a running server and drives a trace through
+//! it — the network twin of `replay`, with `--shutdown` to stop the
+//! server afterwards, `--ping` for a liveness round-trip, and
+//! `--retries N` for the resilient replay (reconnect with backoff,
+//! resubmit unanswered streams, honor retry hints).
 //!
 //! `gen` prints a generated §4-style instance (pipe it to a file, edit
 //! it, solve it). `example` prints the paper's Figure 1 instance.
@@ -55,11 +62,13 @@ fn usage() -> ! {
          \x20              [--no-cache] [--oneshot] [--budget-ms MS] [--quiet]\n  \
          \x20              [--policy exact|repaired|repaired:<tol>:<maxmig>]\n  \
          \x20              (--gen also: [--streams S] [--requests R] [--seed K] [--hosts N]\n  \
-         \x20               [--services J] [--cov C] [--slack S] [--burst B] [--emit])\n  \
+         \x20               [--services J] [--cov C] [--slack S] [--burst B]\n  \
+         \x20               [--shape spike|flash|churn] [--emit])\n  \
          vmplace serve [--port P | --addr A] [--algo A] [--workers N] [--no-warm]\n  \
          \x20              [--no-order] [--no-cache] [--budget-ms MS]\n  \
+         \x20              [--queue-depth N] [--faults SPEC]\n  \
          vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]\n  \
-         \x20              (--gen and --policy opts as for replay)\n  \
+         \x20              [--retries N] (--gen and --policy opts as for replay)\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -261,6 +270,16 @@ fn trace_from_args(args: &[String], path_index: usize) -> Vec<AllocRequest> {
                 ..ScenarioConfig::default()
             },
             resolve_burst: get("--burst", 1.0).max(1.0) as usize,
+            adversarial: match flag_value(args, "--shape").as_deref() {
+                None | Some("plain") => Adversarial::None,
+                Some("spike") => Adversarial::Spike,
+                Some("flash") => Adversarial::FlashCrowd,
+                Some("churn") => Adversarial::ChurnStorm,
+                Some(other) => {
+                    eprintln!("error: unknown --shape `{other}` (try spike, flash, churn)");
+                    std::process::exit(2);
+                }
+            },
             ..TraceConfig::default()
         };
         cfg.generate(get("--seed", 0.0) as u64)
@@ -317,6 +336,32 @@ fn service_config_from_args(args: &[String]) -> ServiceConfig {
     if let Some(ms) = flag_value(args, "--budget-ms").and_then(|v| v.parse::<u64>().ok()) {
         config.default_budget = Some(std::time::Duration::from_millis(ms));
     }
+    if let Some(depth) = flag_value(args, "--queue-depth") {
+        match depth.parse::<usize>().ok().filter(|d| *d > 0) {
+            Some(queue_depth) => {
+                config.overload = Some(OverloadControl {
+                    queue_depth,
+                    ..OverloadControl::default()
+                })
+            }
+            None => {
+                eprintln!("error: --queue-depth wants a positive integer, got `{depth}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(spec) = flag_value(args, "--faults") {
+        match FaultPlan::parse(&spec) {
+            Some(plan) => config.faults = Some(plan).filter(|p| !p.is_empty()),
+            None => {
+                eprintln!(
+                    "error: bad --faults spec `{spec}` (items: panic=<idx>, drop=<frames>, \
+                     midframe, shortwrite=<bytes>, delay-ms=<ms>, panic-accept=<conn>, seed=<u64>)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     config
 }
 
@@ -334,12 +379,19 @@ fn report_responses(
     let mut rejected = 0usize;
     let mut infeasible = 0usize;
     let mut cached = 0usize;
+    let mut shed = 0usize;
     for r in responses {
         match r.outcome {
             RequestOutcome::Solved => solved += 1,
             RequestOutcome::TimedOut => timed_out += 1,
             RequestOutcome::Infeasible => infeasible += 1,
             RequestOutcome::Rejected => rejected += 1,
+            // Service-side failures: a supervised worker panic, a load
+            // shed, or a request against a discarded stream. All are
+            // retryable (`vmplace client --retries`).
+            RequestOutcome::Failed | RequestOutcome::Overloaded | RequestOutcome::StaleStream => {
+                shed += 1
+            }
         }
         cached += r.cached as usize;
         if !quiet {
@@ -362,6 +414,9 @@ fn report_responses(
             if r.cached {
                 print!("  cached");
             }
+            if let Some(after) = r.retry_after {
+                print!("  retry-after {} ms", after.as_millis().max(1));
+            }
             if let Some(m) = r.migrations {
                 print!("  repaired ({m} moved)");
             }
@@ -373,7 +428,7 @@ fn report_responses(
     }
     let requests = responses.len();
     eprintln!(
-        "# {} {} requests in {:.1} ms — {:.3} ms/request amortised ({detail}) — {} solved, {} infeasible, {} timed out, {} rejected, {} cached",
+        "# {} {} requests in {:.1} ms — {:.3} ms/request amortised ({detail}) — {} solved, {} infeasible, {} timed out, {} rejected, {} failed/shed, {} cached",
         requests,
         label,
         wall.as_secs_f64() * 1e3,
@@ -382,6 +437,7 @@ fn report_responses(
         infeasible,
         timed_out,
         rejected,
+        shed,
         cached,
     );
     solved + timed_out
@@ -460,38 +516,64 @@ fn cmd_serve(args: &[String]) {
     eprintln!("# drained and shut down");
 }
 
-/// `vmplace client`: drive a trace through a running server.
-fn cmd_client(args: &[String]) {
-    let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
-        usage();
-    };
-    let mut client = match vmplace::net::Client::connect(addr.as_str()) {
+fn connect_or_exit(addr: &str) -> vmplace::net::Client {
+    match vmplace::net::Client::connect(addr) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: cannot connect to {addr}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// `vmplace client`: drive a trace through a running server.
+fn cmd_client(args: &[String]) {
+    let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage();
     };
+    // A trace is optional: `client <addr> --ping` and `client <addr>
+    // --shutdown` are complete invocations on their own.
+    let has_trace =
+        args.iter().any(|a| a == "--gen") || args.get(2).is_some_and(|a| !a.starts_with("--"));
+    let retries = flag_value(args, "--retries").and_then(|v| v.parse::<u32>().ok());
+
+    // The resilient replay opens its own connections, so only the plain
+    // paths connect up front (a faulty server may kill early connection
+    // attempts — `--retries` must survive that).
+    let want_plain =
+        args.iter().any(|a| a == "--ping" || a == "--shutdown") || (has_trace && retries.is_none());
+    let mut client = want_plain.then(|| connect_or_exit(addr));
+
     if args.iter().any(|a| a == "--ping") {
         let t0 = std::time::Instant::now();
-        if let Err(e) = client.ping("vmplace") {
+        if let Err(e) = client.as_mut().expect("plain client").ping("vmplace") {
             eprintln!("error: ping failed: {e}");
             std::process::exit(1);
         }
         eprintln!("# pong in {:.2} ms", t0.elapsed().as_secs_f64() * 1e3);
     }
 
-    // A trace is optional: `client <addr> --ping` and `client <addr>
-    // --shutdown` are complete invocations on their own.
-    let has_trace =
-        args.iter().any(|a| a == "--gen") || args.get(2).is_some_and(|a| !a.starts_with("--"));
     let mut useful = 1usize;
     let mut requests = 0usize;
     if has_trace {
         let trace = trace_from_args(args, 2);
         requests = trace.len();
         let t0 = std::time::Instant::now();
-        let responses = match client.replay(&trace) {
+        let result = match retries {
+            // Resilient replay: reconnect with backoff across
+            // teardowns, resubmit unanswered streams, honor
+            // `retry-after-ms` — capped at this many attempts.
+            Some(attempts) => vmplace::net::replay_resilient(
+                addr.as_str(),
+                &trace,
+                &vmplace::net::RetryPolicy {
+                    max_attempts: attempts.max(1),
+                    ..vmplace::net::RetryPolicy::default()
+                },
+            ),
+            None => client.as_mut().expect("plain client").replay(&trace),
+        };
+        let responses = match result {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: replay failed: {e}");
@@ -511,7 +593,7 @@ fn cmd_client(args: &[String]) {
     }
 
     if args.iter().any(|a| a == "--shutdown") {
-        match client.shutdown_server() {
+        match client.take().expect("plain client").shutdown_server() {
             Ok(_) => eprintln!("# server drained and shut down"),
             Err(e) => {
                 eprintln!("error: shutdown failed: {e}");

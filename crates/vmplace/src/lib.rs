@@ -68,11 +68,12 @@ pub mod prelude {
         WorkloadDelta,
     };
     pub use vmplace_service::{
-        replay_oneshot, yield_upper_bound, ServiceAlgo, ServiceConfig, SolverPool, REPAIR_WINNER,
+        replay_oneshot, yield_upper_bound, FaultPlan, OverloadControl, ServiceAlgo, ServiceConfig,
+        SolverPool, REPAIR_WINNER,
     };
     pub use vmplace_sim::{
-        apply_min_threshold, perturb_cpu_needs, zero_knowledge_placement, AllocationPolicy,
-        ErrorRun, HomogeneousDim, PlatformConfig, Scenario, ScenarioConfig, TraceConfig,
-        WorkloadConfig,
+        apply_min_threshold, perturb_cpu_needs, zero_knowledge_placement, Adversarial,
+        AllocationPolicy, ErrorRun, HomogeneousDim, PlatformConfig, Scenario, ScenarioConfig,
+        TraceConfig, WorkloadConfig,
     };
 }
