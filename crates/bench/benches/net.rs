@@ -9,7 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use vmplace_model::{AllocRequest, RequestKind};
-use vmplace_net::{Client, Server, ServerConfig};
+use vmplace_net::wire::PROTOCOL_V2;
+use vmplace_net::{codec, Client, IoBackend, Server, ServerConfig};
+use vmplace_service::trace_io::{write_request, BlockAssembler};
 use vmplace_service::{ServiceConfig, SolverPool};
 use vmplace_sim::{ScenarioConfig, TraceConfig};
 
@@ -61,12 +63,76 @@ fn bench_net(c: &mut Criterion) {
         "127.0.0.1:0",
         &ServerConfig {
             service: config.clone(),
+            ..ServerConfig::default()
         },
     )
     .expect("bind loopback");
     let mut client = Client::connect(server.local_addr()).expect("connect");
-    group.bench_function("loopback_server", |b| {
+    group.bench_function("loopback_threads_v1", |b| {
         b.iter(|| client.replay(&trace).expect("remote replay"))
+    });
+    drop(client);
+    drop(server);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServerConfig {
+            service: config.clone(),
+            io: IoBackend::Events,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect_with(server.local_addr(), PROTOCOL_V2).expect("connect");
+    group.bench_function("loopback_events_v2", |b| {
+        b.iter(|| client.replay(&trace).expect("remote replay"))
+    });
+    drop(client);
+    drop(server);
+
+    // Codec alone, no sockets: one instance-carrying New body through
+    // each wire generation's encode and decode path.
+    let request = trace
+        .iter()
+        .find(|r| matches!(r.kind, RequestKind::New(_)))
+        .expect("trace opens with a New")
+        .clone();
+    let mut text = String::new();
+    write_request(&mut text, &request);
+    group.bench_function("codec_v1_text_encode", |b| {
+        b.iter(|| {
+            let mut s = String::with_capacity(text.len());
+            write_request(&mut s, &request);
+            s
+        })
+    });
+    group.bench_function("codec_v1_text_decode", |b| {
+        b.iter(|| {
+            let mut asm = BlockAssembler::new();
+            let mut out = None;
+            for (i, line) in text.lines().enumerate() {
+                if let Some(req) = asm.feed(i + 1, line).expect("v1 parse") {
+                    out = Some(req);
+                }
+            }
+            out
+        })
+    });
+    let mut bin = Vec::new();
+    codec::encode_request(&mut bin, &request);
+    let mut head = [0u8; codec::HEADER_LEN];
+    head.copy_from_slice(&bin[..codec::HEADER_LEN]);
+    let (kind, _len) = codec::parse_header(&head);
+    let body = bin[codec::HEADER_LEN..].to_vec();
+    group.bench_function("codec_v2_binary_encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(bin.len());
+            codec::encode_request(&mut out, &request);
+            out
+        })
+    });
+    group.bench_function("codec_v2_binary_decode", |b| {
+        b.iter(|| codec::decode_client_frame(kind, &body).expect("v2 decode"))
     });
 
     let bursts = resolve_burst_trace(16);

@@ -1,6 +1,8 @@
 //! Emits the `BENCH_net.json` numbers: loopback server throughput across
-//! a connections × workers grid against the in-process pool, plus the
-//! response-cache speedup on identical re-solves.
+//! a connections × workers grid against the in-process pool, ping
+//! latency quantiles at 256/1024 connections across the {io backend} ×
+//! {wire version} matrix, the v1-text vs v2-binary codec microbench,
+//! and the response-cache speedup on identical re-solves.
 //!
 //! ```text
 //! cargo run --release -p vmplace-bench --example net_stats [reps]
@@ -10,7 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use vmplace_model::{AllocRequest, RequestKind, RequestOutcome};
-use vmplace_net::{Client, Server, ServerConfig};
+use vmplace_net::wire::PROTOCOL_V2;
+use vmplace_net::{codec, Client, IoBackend, Server, ServerConfig};
+use vmplace_service::trace_io::{write_request, BlockAssembler};
 use vmplace_service::{OverloadControl, ResponseSink, ServiceConfig, SolverPool};
 use vmplace_sim::{Adversarial, ScenarioConfig, TraceConfig};
 
@@ -65,7 +69,7 @@ fn main() {
 
     println!("{{");
     println!(
-        "  \"note\": \"seconds, mean of {reps} replays after warm-up; loopback = vmplace-net client/server over 127.0.0.1 (trace split by stream across connections), inprocess = SolverPool in the same process; overload = a spike trace paced at a multiple of measured capacity into bounded queues (sojourn quantiles over served requests only); cached vs uncached = identical Resolve burst with the response cache on/off; worker counts beyond effective_parallelism cannot speed up wall-clock\","
+        "  \"note\": \"seconds, mean of {reps} replays after warm-up; loopback = vmplace-net client/server over 127.0.0.1 (trace split by stream across connections), inprocess = SolverPool in the same process; connection_scale = ping round-trip quantiles at 256/1024 mostly-idle connections per {{io backend}} x {{wire version}} cell, with idle wake-ups per second while no traffic flows; codec = one-request encode/decode microbench, v1 text vs v2 binary, on New bodies; overload = a spike trace paced at a multiple of measured capacity into bounded queues (sojourn quantiles over served requests only); cached vs uncached = identical Resolve burst with the response cache on/off; worker counts beyond effective_parallelism cannot speed up wall-clock\","
     );
     println!(
         "  \"effective_parallelism\": {},",
@@ -98,6 +102,7 @@ fn main() {
                     "127.0.0.1:0",
                     &ServerConfig {
                         service: service.clone(),
+                        ..ServerConfig::default()
                     },
                 )
                 .expect("bind");
@@ -141,6 +146,201 @@ fn main() {
                 );
             }
         }
+    }
+    println!();
+    println!("  ],");
+
+    // ── Connection scale: ping latency at 256/1024 connections ───────
+    // Many mostly-idle connections, a few driver threads walking them
+    // with ping round-trips: the event backend must hold bounded p99 at
+    // 1024 connections where the threaded backend pays two OS threads
+    // and a 100 ms poll wake-up per connection. Pings bypass the solver
+    // pool, so the quantiles measure the I/O core itself.
+    println!("  \"connection_scale\": [");
+    let mut first = true;
+    for io in [IoBackend::Threads, IoBackend::Events] {
+        for wire in [1u32, PROTOCOL_V2] {
+            for connections in [256usize, 1024] {
+                let config = ServerConfig {
+                    service: ServiceConfig {
+                        workers: 1,
+                        ..ServiceConfig::default()
+                    },
+                    io,
+                    ..ServerConfig::default()
+                };
+                let server = Server::bind("127.0.0.1:0", &config).expect("bind");
+                let addr = server.local_addr();
+
+                let drivers = 8usize;
+                let rounds = if connections >= 1024 { 2usize } else { 4 };
+                let connect_t0 = Instant::now();
+                let handles: Vec<_> = (0..drivers)
+                    .map(|_| {
+                        let per = connections / drivers;
+                        std::thread::spawn(move || {
+                            let mut conns = Vec::with_capacity(per);
+                            let mut refused = 0usize;
+                            for _ in 0..per {
+                                match Client::connect_with(addr, wire) {
+                                    Ok(c) => conns.push(c),
+                                    Err(_) => refused += 1,
+                                }
+                            }
+                            (conns, refused)
+                        })
+                    })
+                    .collect();
+                let mut groups = Vec::new();
+                let mut refused = 0usize;
+                for h in handles {
+                    let (c, r) = h.join().expect("connect driver");
+                    groups.push(c);
+                    refused += r;
+                }
+                let connect_s = connect_t0.elapsed().as_secs_f64();
+
+                // Idle cost: wake-ups per second while nothing happens.
+                std::thread::sleep(Duration::from_millis(300));
+                let w0 = server.io_wakeups();
+                std::thread::sleep(Duration::from_millis(500));
+                let idle_wakeups_per_sec = (server.io_wakeups() - w0) as f64 / 0.5;
+
+                let ping_t0 = Instant::now();
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|mut conns| {
+                        std::thread::spawn(move || {
+                            let mut lat_ms = Vec::with_capacity(conns.len() * rounds);
+                            for _ in 0..rounds {
+                                for client in conns.iter_mut() {
+                                    let t = Instant::now();
+                                    if client.ping("lat").is_ok() {
+                                        lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                }
+                            }
+                            (lat_ms, conns)
+                        })
+                    })
+                    .collect();
+                let mut lat_ms = Vec::new();
+                let mut held = Vec::new();
+                for h in handles {
+                    let (l, c) = h.join().expect("ping driver");
+                    lat_ms.extend(l);
+                    held.push(c);
+                }
+                let ping_s = ping_t0.elapsed().as_secs_f64();
+                drop(held);
+                drop(server);
+
+                lat_ms.sort_by(f64::total_cmp);
+                let quantile = |q: f64| {
+                    if lat_ms.is_empty() {
+                        f64::NAN
+                    } else {
+                        lat_ms[((lat_ms.len() - 1) as f64 * q).round() as usize]
+                    }
+                };
+
+                if !first {
+                    println!(",");
+                }
+                first = false;
+                print!(
+                    "    {{\"io\": \"{io:?}\", \"wire\": {wire}, \"connections\": {connections}, \
+                     \"refused\": {refused}, \"connect_s\": {connect_s:.2}, \
+                     \"pings\": {}, \"ping_p50_ms\": {:.3}, \"ping_p99_ms\": {:.3}, \
+                     \"ping_throughput_rps\": {:.0}, \"idle_wakeups_per_sec\": {idle_wakeups_per_sec:.1}}}",
+                    lat_ms.len(),
+                    quantile(0.5),
+                    quantile(0.99),
+                    lat_ms.len() as f64 / ping_s,
+                );
+                eprintln!(
+                    "{io:?} v{wire} c={connections:<4} refused {refused:<3} p50 {:.2}ms p99 {:.2}ms  idle wakeups {:.0}/s",
+                    quantile(0.5),
+                    quantile(0.99),
+                    idle_wakeups_per_sec,
+                );
+            }
+        }
+    }
+    println!();
+    println!("  ],");
+
+    // ── Codec: v1 text vs v2 binary, one `New` request ────────────────
+    println!("  \"codec\": [");
+    let mut first = true;
+    for (hosts, services) in [(16usize, 40usize), (64, 100)] {
+        let request = make_trace(hosts, services, 1, 1).remove(0);
+        assert!(
+            matches!(request.kind, RequestKind::New(_)),
+            "codec microbench wants the instance-carrying New body"
+        );
+        let iters = 2_000usize;
+
+        let mut text = String::new();
+        write_request(&mut text, &request);
+        let v1_bytes = text.len();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut s = String::with_capacity(v1_bytes);
+            write_request(&mut s, &request);
+            std::hint::black_box(&s);
+        }
+        let v1_enc_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut asm = BlockAssembler::new();
+            let mut out = None;
+            for (i, line) in text.lines().enumerate() {
+                if let Some(req) = asm.feed(i + 1, line).expect("v1 parse") {
+                    out = Some(req);
+                }
+            }
+            std::hint::black_box(&out);
+        }
+        let v1_dec_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+        let mut bin = Vec::new();
+        codec::encode_request(&mut bin, &request);
+        let v2_bytes = bin.len();
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut b = Vec::with_capacity(v2_bytes);
+            codec::encode_request(&mut b, &request);
+            std::hint::black_box(&b);
+        }
+        let v2_enc_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        let mut head = [0u8; codec::HEADER_LEN];
+        head.copy_from_slice(&bin[..codec::HEADER_LEN]);
+        let (kind, _len) = codec::parse_header(&head);
+        let body = &bin[codec::HEADER_LEN..];
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let frame = codec::decode_client_frame(kind, body).expect("v2 decode");
+            std::hint::black_box(&frame);
+        }
+        let v2_dec_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+
+        if !first {
+            println!(",");
+        }
+        first = false;
+        print!(
+            "    {{\"hosts\": {hosts}, \"services\": {services}, \"v1_bytes\": {v1_bytes}, \
+             \"v2_bytes\": {v2_bytes}, \"v1_encode_us\": {v1_enc_us:.2}, \"v1_decode_us\": {v1_dec_us:.2}, \
+             \"v2_encode_us\": {v2_enc_us:.2}, \"v2_decode_us\": {v2_dec_us:.2}, \
+             \"encode_speedup\": {:.1}, \"decode_speedup\": {:.1}}}",
+            v1_enc_us / v2_enc_us,
+            v1_dec_us / v2_dec_us,
+        );
+        eprintln!(
+            "codec H={hosts:<3} J={services:<4} v1 {v1_bytes}B enc {v1_enc_us:.1}us dec {v1_dec_us:.1}us | v2 {v2_bytes}B enc {v2_enc_us:.1}us dec {v2_dec_us:.1}us ({:.1}x decode)",
+            v1_dec_us / v2_dec_us,
+        );
     }
     println!();
     println!("  ],");

@@ -1,10 +1,11 @@
 //! The blocking client: connect, pipelined submit, iterate responses.
 
+use crate::codec;
 use crate::wire::{
     self, read_line_bounded, read_server_frame, LineRead, NetError, ServerFrame, MAX_LINE_BYTES,
-    PROTOCOL_VERSION,
+    MAX_PROTOCOL_VERSION, PROTOCOL_V2, PROTOCOL_VERSION,
 };
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use vmplace_model::{AllocRequest, AllocResponse};
 use vmplace_service::trace_io::write_request;
@@ -16,6 +17,13 @@ use vmplace_service::trace_io::write_request;
 /// response; the server streams responses back in submission order.
 /// [`Client::recv_response`] (or the [`Client::responses`] iterator)
 /// flushes pending writes and blocks for the next frame.
+///
+/// [`Client::connect`] speaks wire protocol v1 (text);
+/// [`Client::connect_with`] requests a higher version and transparently
+/// accepts whatever the server negotiates down to — after the text
+/// handshake the connection is driven in the negotiated framing, and
+/// every response is identical field-for-field whichever version carried
+/// it ([`Client::wire_version`] reports the outcome).
 ///
 /// ```no_run
 /// use vmplace_net::Client;
@@ -30,23 +38,41 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     /// Solver requests submitted but not yet answered.
     pending: usize,
+    /// Negotiated wire version (1 = text, 2 = binary).
+    wire: u32,
     scratch: String,
+    bin_scratch: Vec<u8>,
 }
 
 impl Client {
-    /// Connects and performs the protocol handshake. A server that is
-    /// shutting down answers the handshake with `draining`, surfaced as
-    /// [`NetError::Draining`].
+    /// Connects speaking wire protocol v1 (text) and performs the
+    /// handshake. A server that is shutting down answers the handshake
+    /// with `draining`, surfaced as [`NetError::Draining`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, NetError> {
+        Client::connect_with(addr, PROTOCOL_VERSION)
+    }
+
+    /// Connects requesting wire version `wire` (1 or 2) and accepts
+    /// whatever the server negotiates down to. Requesting
+    /// [`PROTOCOL_V2`] against a v1-only server transparently yields a
+    /// working v1 text connection.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, wire: u32) -> Result<Client, NetError> {
+        if !(1..=MAX_PROTOCOL_VERSION).contains(&wire) {
+            return Err(NetError::Protocol(format!(
+                "unsupported wire version {wire} (this build speaks 1..={MAX_PROTOCOL_VERSION})"
+            )));
+        }
         let stream = TcpStream::connect(addr)?;
         let reader = BufReader::new(stream.try_clone()?);
         let mut client = Client {
             reader,
             writer: BufWriter::new(stream),
             pending: 0,
+            wire: PROTOCOL_VERSION,
             scratch: String::new(),
+            bin_scratch: Vec::new(),
         };
-        writeln!(client.writer, "{} {}", wire::MAGIC, PROTOCOL_VERSION).map_err(NetError::from)?;
+        writeln!(client.writer, "{} {}", wire::MAGIC, wire).map_err(NetError::from)?;
         client.writer.flush().map_err(NetError::from)?;
 
         let greeting = match read_line_bounded(&mut client.reader, MAX_LINE_BYTES)? {
@@ -56,7 +82,20 @@ impl Client {
         };
         let mut words = greeting.split_whitespace();
         match (words.next(), words.next(), words.next()) {
-            (Some(wire::MAGIC), Some(_), Some("ready")) => Ok(client),
+            (Some(wire::MAGIC), Some(version), Some("ready")) => {
+                // The server's greeting names the negotiated version; it
+                // can only be ≤ what we asked for.
+                let negotiated: u32 = version
+                    .parse()
+                    .map_err(|_| NetError::Protocol(format!("bad greeting `{greeting}`")))?;
+                if !(1..=wire).contains(&negotiated) {
+                    return Err(NetError::Protocol(format!(
+                        "server negotiated unsupported version {negotiated}"
+                    )));
+                }
+                client.wire = negotiated;
+                Ok(client)
+            }
             (Some(wire::MAGIC), Some(_), Some("draining")) => Err(NetError::Draining),
             (Some("error"), code, _) => Err(NetError::Remote {
                 code: code.unwrap_or("").to_string(),
@@ -70,14 +109,28 @@ impl Client {
         }
     }
 
+    /// The wire version this connection negotiated (1 = text, 2 =
+    /// binary).
+    pub fn wire_version(&self) -> u32 {
+        self.wire
+    }
+
     /// Queues one request frame (buffered; no syscall until a flush).
     /// Stream ids must stay below [`wire::MAX_STREAM_ID`].
     pub fn submit(&mut self, request: &AllocRequest) -> Result<(), NetError> {
-        self.scratch.clear();
-        write_request(&mut self.scratch, request);
-        self.writer
-            .write_all(self.scratch.as_bytes())
-            .map_err(NetError::from)?;
+        if self.wire >= PROTOCOL_V2 {
+            self.bin_scratch.clear();
+            codec::encode_request(&mut self.bin_scratch, request);
+            self.writer
+                .write_all(&self.bin_scratch)
+                .map_err(NetError::from)?;
+        } else {
+            self.scratch.clear();
+            write_request(&mut self.scratch, request);
+            self.writer
+                .write_all(self.scratch.as_bytes())
+                .map_err(NetError::from)?;
+        }
         self.pending += 1;
         Ok(())
     }
@@ -92,12 +145,36 @@ impl Client {
         self.pending
     }
 
+    /// Blocks for the next server frame in the negotiated framing.
+    fn read_frame(&mut self) -> Result<ServerFrame, NetError> {
+        if self.wire < PROTOCOL_V2 {
+            return read_server_frame(&mut self.reader);
+        }
+        let mut head = [0u8; codec::HEADER_LEN];
+        if let Err(e) = self.reader.read_exact(&mut head) {
+            return match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => Err(NetError::Closed),
+                _ => Err(NetError::from(e)),
+            };
+        }
+        let (kind, len) = codec::parse_header(&head);
+        if len > codec::MAX_FRAME_BYTES {
+            return Err(NetError::Protocol(format!(
+                "server frame of {len} bytes exceeds {}",
+                codec::MAX_FRAME_BYTES
+            )));
+        }
+        let mut body = vec![0u8; len as usize];
+        self.reader.read_exact(&mut body).map_err(NetError::from)?;
+        codec::decode_server_frame(kind, &body).map_err(|e| NetError::Protocol(e.to_string()))
+    }
+
     /// Flushes, then blocks for the next response frame. A structured
     /// `error` frame from the server is surfaced as [`NetError::Remote`]
     /// (after which the server closes the connection).
     pub fn recv_response(&mut self) -> Result<AllocResponse, NetError> {
         self.flush()?;
-        match read_server_frame(&mut self.reader)? {
+        match self.read_frame()? {
             ServerFrame::Response(r) => {
                 self.pending = self.pending.saturating_sub(1);
                 Ok(*r)
@@ -128,9 +205,17 @@ impl Client {
             self.pending == 0,
             "ping with pending responses would misread the stream"
         );
-        writeln!(self.writer, "ping {token}").map_err(NetError::from)?;
+        if self.wire >= PROTOCOL_V2 {
+            self.bin_scratch.clear();
+            codec::encode_ping(&mut self.bin_scratch, token);
+            self.writer
+                .write_all(&self.bin_scratch)
+                .map_err(NetError::from)?;
+        } else {
+            writeln!(self.writer, "ping {token}").map_err(NetError::from)?;
+        }
         self.flush()?;
-        match read_server_frame(&mut self.reader)? {
+        match self.read_frame()? {
             ServerFrame::Pong(t) if t == token => Ok(()),
             ServerFrame::Pong(t) => Err(NetError::Protocol(format!(
                 "pong token mismatch: sent `{token}`, got `{t}`"
@@ -159,13 +244,20 @@ impl Client {
     /// stream to its `bye`, returning any responses that were still in
     /// flight. Consumes the client.
     pub fn shutdown_server(mut self) -> Result<Vec<AllocResponse>, NetError> {
-        self.writer
-            .write_all(b"shutdown\n")
-            .map_err(NetError::from)?;
+        if self.wire >= PROTOCOL_V2 {
+            self.bin_scratch.clear();
+            codec::encode_shutdown(&mut self.bin_scratch);
+            let frame = std::mem::take(&mut self.bin_scratch);
+            self.writer.write_all(&frame).map_err(NetError::from)?;
+        } else {
+            self.writer
+                .write_all(b"shutdown\n")
+                .map_err(NetError::from)?;
+        }
         self.flush()?;
         let mut leftovers = Vec::new();
         loop {
-            match read_server_frame(&mut self.reader) {
+            match self.read_frame() {
                 Ok(ServerFrame::Response(r)) => leftovers.push(*r),
                 Ok(ServerFrame::Pong(_)) => {}
                 Ok(ServerFrame::Bye) | Err(NetError::Closed) => return Ok(leftovers),

@@ -1,0 +1,864 @@
+//! Binary wire framing, protocol version 2.
+//!
+//! Version 1 ships every frame as text lines; version 2 keeps the text
+//! handshake (`vmplace-net 2` / `vmplace-net 2 ready`) and then switches
+//! both directions to length-prefixed binary frames:
+//!
+//! ```text
+//! ┌──────────┬────────────────────┬────────────────┐
+//! │ kind: u8 │ body length: u32LE │ body bytes ... │
+//! └──────────┴────────────────────┴────────────────┘
+//! ```
+//!
+//! Every integer is **little-endian** and **fixed-width** (no varints),
+//! every float travels as its raw IEEE-754 bits ([`f64::to_bits`]), so
+//! decoding is bit-identical to encoding *by construction* — v1 reaches
+//! the same guarantee via shortest-round-trip `Display`, but pays a
+//! float parse per value for it. Strings are `u32` length + UTF-8
+//! bytes; optional fields are a `u8` presence tag (0/1) followed by the
+//! value. `crates/net/README.md` documents the full field tables and a
+//! worked hex example (parsed verbatim by `tests/readme_frames.rs`).
+//!
+//! Decoders never trust the length prefix: a header advertising more
+//! than [`MAX_FRAME_BYTES`] is answered with `frame-too-large` before
+//! any allocation, and inside a body every count is checked against the
+//! bytes actually present, so a lying length or count field yields a
+//! structured [`CodecError`] (the server answers `bad-frame` and closes)
+//! instead of an allocation, a panic or a hang.
+
+use std::time::Duration;
+use vmplace_model::{
+    AllocRequest, AllocResponse, Node, Placement, ProblemInstance, RequestKind, RequestOutcome,
+    ResourceVector, ResponsePolicy, Service, Solution, WorkloadDelta,
+};
+
+use crate::wire::ServerFrame;
+
+/// Bytes in the fixed v2 frame header (`kind: u8` + `body len: u32`).
+pub const HEADER_LEN: usize = 5;
+
+/// Largest accepted v2 frame body. The bound plays the role v1's
+/// `MAX_LINE_BYTES × MAX_BODY_LINES` pair plays: a header advertising
+/// more is rejected (`frame-too-large`) before any buffer is grown.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Frame kinds. Client→server kinds have the high bit clear,
+/// server→client kinds have it set, so a desynchronised peer fails fast
+/// with an unknown-kind error instead of misparsing a body.
+pub mod kind {
+    /// Client→server: one solver request ([`super::encode_request`]).
+    pub const REQUEST: u8 = 0x01;
+    /// Client→server: liveness probe; body is the raw UTF-8 token.
+    pub const PING: u8 = 0x02;
+    /// Client→server: ask the server to drain and exit; empty body.
+    pub const SHUTDOWN: u8 = 0x03;
+    /// Server→client: one solver response ([`super::encode_response`]).
+    pub const RESPONSE: u8 = 0x81;
+    /// Server→client: reply to ping; body echoes the token.
+    pub const PONG: u8 = 0x82;
+    /// Server→client: structured error; body is code + message strings.
+    pub const ERROR: u8 = 0x83;
+    /// Server→client: clean end of the response stream; empty body.
+    pub const BYE: u8 = 0x84;
+}
+
+/// A v2 decode failure (malformed header or body). The server answers
+/// these with an `error bad-frame <detail>` frame and closes, exactly
+/// like a v1 text parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v2 frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(what: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(what.into()))
+}
+
+/// Builds the 5-byte frame header for a body of `len` bytes.
+///
+/// # Panics
+/// When `len` exceeds [`MAX_FRAME_BYTES`] — encoders only produce bodies
+/// within the protocol bound by construction.
+pub fn header(kind: u8, len: usize) -> [u8; HEADER_LEN] {
+    assert!(len <= MAX_FRAME_BYTES as usize, "oversized v2 frame body");
+    let len = len as u32;
+    let b = len.to_le_bytes();
+    [kind, b[0], b[1], b[2], b[3]]
+}
+
+/// Splits a header into `(kind, body_len)`. The length is **not**
+/// checked against [`MAX_FRAME_BYTES`] here — the reader must check it
+/// before allocating, so a lying length field can be answered with
+/// `frame-too-large` rather than an allocation.
+pub fn parse_header(bytes: &[u8; HEADER_LEN]) -> (u8, u32) {
+    let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]);
+    (bytes[0], len)
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt(out: &mut Vec<u8>, present: bool) -> bool {
+    out.push(u8::from(present));
+    present
+}
+
+fn put_vector(out: &mut Vec<u8>, v: &ResourceVector) {
+    // No per-vector count: the enclosing record fixed `dims` already.
+    for &x in v.as_slice() {
+        put_f64(out, x);
+    }
+}
+
+fn put_service(out: &mut Vec<u8>, s: &Service) {
+    put_u32(out, s.dims() as u32);
+    put_vector(out, &s.req_elem);
+    put_vector(out, &s.req_agg);
+    put_vector(out, &s.need_elem);
+    put_vector(out, &s.need_agg);
+}
+
+fn put_instance(out: &mut Vec<u8>, inst: &ProblemInstance) {
+    put_u32(out, inst.dims() as u32);
+    put_u32(out, inst.num_nodes() as u32);
+    for node in inst.nodes() {
+        put_vector(out, &node.elementary);
+        put_vector(out, &node.aggregate);
+    }
+    put_u32(out, inst.num_services() as u32);
+    for service in inst.services() {
+        // Instance services share the instance dims; the per-service
+        // dims prefix keeps the record self-contained (delta `add`
+        // reuses it without cross-frame state).
+        put_service(out, service);
+    }
+}
+
+fn put_delta(out: &mut Vec<u8>, delta: &WorkloadDelta) {
+    put_u32(out, delta.scale_need.len() as u32);
+    for &(j, f) in &delta.scale_need {
+        put_u64(out, j as u64);
+        put_f64(out, f);
+    }
+    put_u32(out, delta.remove.len() as u32);
+    for &j in &delta.remove {
+        put_u64(out, j as u64);
+    }
+    put_u32(out, delta.add.len() as u32);
+    for service in &delta.add {
+        put_service(out, service);
+    }
+}
+
+/// Appends one complete `REQUEST` frame (header + body) to `out`.
+pub fn encode_request(out: &mut Vec<u8>, req: &AllocRequest) {
+    let mut body = Vec::with_capacity(64);
+    put_u64(&mut body, req.id);
+    put_u64(&mut body, req.stream);
+    if put_opt(&mut body, req.budget.is_some()) {
+        let nanos = req.budget.expect("tagged present").as_nanos();
+        put_u64(&mut body, u64::try_from(nanos).unwrap_or(u64::MAX));
+    }
+    match req.policy {
+        ResponsePolicy::Exact => body.push(0),
+        ResponsePolicy::Repaired {
+            tolerance,
+            max_migrations,
+        } => {
+            body.push(1);
+            put_f64(&mut body, tolerance);
+            put_u64(&mut body, max_migrations as u64);
+        }
+    }
+    match &req.kind {
+        RequestKind::New(inst) => {
+            body.push(0);
+            put_instance(&mut body, inst);
+        }
+        RequestKind::Delta(delta) => {
+            body.push(1);
+            put_delta(&mut body, delta);
+        }
+        RequestKind::Resolve => body.push(2),
+    }
+    out.extend_from_slice(&header(kind::REQUEST, body.len()));
+    out.extend_from_slice(&body);
+}
+
+fn outcome_tag(outcome: RequestOutcome) -> u8 {
+    match outcome {
+        RequestOutcome::Solved => 0,
+        RequestOutcome::Infeasible => 1,
+        RequestOutcome::TimedOut => 2,
+        RequestOutcome::Rejected => 3,
+        RequestOutcome::Failed => 4,
+        RequestOutcome::Overloaded => 5,
+        RequestOutcome::StaleStream => 6,
+    }
+}
+
+fn outcome_from_tag(tag: u8) -> Option<RequestOutcome> {
+    Some(match tag {
+        0 => RequestOutcome::Solved,
+        1 => RequestOutcome::Infeasible,
+        2 => RequestOutcome::TimedOut,
+        3 => RequestOutcome::Rejected,
+        4 => RequestOutcome::Failed,
+        5 => RequestOutcome::Overloaded,
+        6 => RequestOutcome::StaleStream,
+        _ => return None,
+    })
+}
+
+/// Sentinel node index for an unplaced service in a solution's
+/// placement list (v1 spells it `-`).
+pub const UNPLACED: u64 = u64::MAX;
+
+/// Appends one complete `RESPONSE` frame (header + body) to `out`.
+///
+/// Field-level fidelity matches v1 exactly: `wall` travels in whole
+/// microseconds and `retry_after` in whole milliseconds rounded up to at
+/// least 1 — so a response decoded from a v2 frame equals the same
+/// response decoded from a v1 frame in every field.
+pub fn encode_response(out: &mut Vec<u8>, resp: &AllocResponse) {
+    let mut body = Vec::with_capacity(64);
+    put_u64(&mut body, resp.id);
+    put_u64(&mut body, resp.stream);
+    body.push(outcome_tag(resp.outcome));
+    put_u64(&mut body, resp.probes);
+    put_u64(
+        &mut body,
+        u64::try_from(resp.wall.as_micros()).unwrap_or(u64::MAX),
+    );
+    body.push(u8::from(resp.cached));
+    if put_opt(&mut body, resp.winner.is_some()) {
+        put_str(&mut body, resp.winner.as_deref().expect("tagged present"));
+    }
+    if put_opt(&mut body, resp.error.is_some()) {
+        put_str(&mut body, resp.error.as_deref().expect("tagged present"));
+    }
+    if put_opt(&mut body, resp.migrations.is_some()) {
+        put_u64(&mut body, resp.migrations.expect("tagged present"));
+    }
+    if put_opt(&mut body, resp.retry_after.is_some()) {
+        let ms = resp.retry_after.expect("tagged present").as_millis().max(1);
+        put_u64(&mut body, u64::try_from(ms).unwrap_or(u64::MAX));
+    }
+    if put_opt(&mut body, resp.solution.is_some()) {
+        let sol = resp.solution.as_ref().expect("tagged present");
+        put_f64(&mut body, sol.min_yield);
+        put_u32(&mut body, sol.yields.len() as u32);
+        for &y in &sol.yields {
+            put_f64(&mut body, y);
+        }
+        for j in 0..sol.placement.len() {
+            put_u64(
+                &mut body,
+                sol.placement.node_of(j).map_or(UNPLACED, |h| h as u64),
+            );
+        }
+    }
+    out.extend_from_slice(&header(kind::RESPONSE, body.len()));
+    out.extend_from_slice(&body);
+}
+
+/// Appends one `PING` frame; the body is the raw token.
+pub fn encode_ping(out: &mut Vec<u8>, token: &str) {
+    out.extend_from_slice(&header(kind::PING, token.len()));
+    out.extend_from_slice(token.as_bytes());
+}
+
+/// Appends one `SHUTDOWN` frame (empty body).
+pub fn encode_shutdown(out: &mut Vec<u8>) {
+    out.extend_from_slice(&header(kind::SHUTDOWN, 0));
+}
+
+/// Appends one `PONG` frame; the body echoes the token.
+pub fn encode_pong(out: &mut Vec<u8>, token: &str) {
+    out.extend_from_slice(&header(kind::PONG, token.len()));
+    out.extend_from_slice(token.as_bytes());
+}
+
+/// Appends one `ERROR` frame (code + message strings).
+pub fn encode_error(out: &mut Vec<u8>, code: &str, message: &str) {
+    let mut body = Vec::with_capacity(code.len() + message.len() + 8);
+    put_str(&mut body, code);
+    put_str(&mut body, message);
+    out.extend_from_slice(&header(kind::ERROR, body.len()));
+    out.extend_from_slice(&body);
+}
+
+/// Appends one `BYE` frame (empty body).
+pub fn encode_bye(out: &mut Vec<u8>) {
+    out.extend_from_slice(&header(kind::BYE, 0));
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked body reader: every take verifies the bytes are
+/// actually present, so lying counts inside a body fail with a
+/// structured error instead of a panic or an out-of-bounds slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let remaining = self.buf.len() - self.pos;
+        if n > remaining {
+            return err(format!(
+                "truncated body: needed {n} bytes, {remaining} left"
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A count field about to drive `count × elem_bytes` reads: checked
+    /// against the bytes left so a lying count cannot trigger a huge
+    /// allocation before the truncation is noticed.
+    fn count(&mut self, elem_bytes: usize, what: &str) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(elem_bytes.max(1)) > remaining {
+            return err(format!("{what} count {n} exceeds the frame body"));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.count(1, "string length")?;
+        match std::str::from_utf8(self.take(n)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("string is not valid UTF-8"),
+        }
+    }
+
+    fn opt(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => err(format!("bad presence tag {t}")),
+        }
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, CodecError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn usize64(&mut self, what: &str) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError(format!("{what} overflows usize")))
+    }
+
+    /// Asserts the body was consumed exactly: trailing garbage means the
+    /// peer's length field lied about where the frame ends.
+    fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            err(format!(
+                "{} trailing bytes after the body",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn take_service(c: &mut Cursor<'_>) -> Result<Service, CodecError> {
+    let dims = c.count(4 * 8, "service dims")?;
+    Ok(Service::new(
+        c.f64s(dims)?,
+        c.f64s(dims)?,
+        c.f64s(dims)?,
+        c.f64s(dims)?,
+    ))
+}
+
+fn take_instance(c: &mut Cursor<'_>) -> Result<ProblemInstance, CodecError> {
+    let dims = c.u32()? as usize;
+    let num_nodes = c.count(dims.saturating_mul(16), "node")?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        nodes.push(Node::new(c.f64s(dims)?, c.f64s(dims)?));
+    }
+    let num_services = c.count(4 + dims.saturating_mul(32), "service")?;
+    let mut services = Vec::with_capacity(num_services);
+    for _ in 0..num_services {
+        let service = take_service(c)?;
+        if service.dims() != dims {
+            return err(format!(
+                "service dims {} != instance dims {dims}",
+                service.dims()
+            ));
+        }
+        services.push(service);
+    }
+    ProblemInstance::new(nodes, services).map_err(|e| CodecError(format!("invalid instance: {e}")))
+}
+
+fn take_delta(c: &mut Cursor<'_>) -> Result<WorkloadDelta, CodecError> {
+    let n_scale = c.count(16, "scale")?;
+    let mut scale_need = Vec::with_capacity(n_scale);
+    for _ in 0..n_scale {
+        let j = c.usize64("scale index")?;
+        scale_need.push((j, c.f64()?));
+    }
+    let n_remove = c.count(8, "remove")?;
+    let mut remove = Vec::with_capacity(n_remove);
+    for _ in 0..n_remove {
+        remove.push(c.usize64("remove index")?);
+    }
+    let n_add = c.count(4, "add")?;
+    let mut add = Vec::with_capacity(n_add);
+    for _ in 0..n_add {
+        add.push(take_service(c)?);
+    }
+    Ok(WorkloadDelta {
+        scale_need,
+        remove,
+        add,
+    })
+}
+
+/// Decodes a `REQUEST` frame body.
+pub fn decode_request(body: &[u8]) -> Result<AllocRequest, CodecError> {
+    let mut c = Cursor::new(body);
+    let id = c.u64()?;
+    let stream = c.u64()?;
+    let budget = if c.opt()? {
+        Some(Duration::from_nanos(c.u64()?))
+    } else {
+        None
+    };
+    let policy = match c.u8()? {
+        0 => ResponsePolicy::Exact,
+        1 => {
+            let tolerance = c.f64()?;
+            let max_migrations = c.usize64("max_migrations")?;
+            if !(tolerance.is_finite() && tolerance >= 0.0) {
+                return err("policy tolerance must be finite and non-negative");
+            }
+            ResponsePolicy::Repaired {
+                tolerance,
+                max_migrations,
+            }
+        }
+        t => return err(format!("bad policy tag {t}")),
+    };
+    let kind = match c.u8()? {
+        0 => RequestKind::New(take_instance(&mut c)?),
+        1 => RequestKind::Delta(take_delta(&mut c)?),
+        2 => RequestKind::Resolve,
+        t => return err(format!("bad request kind tag {t}")),
+    };
+    c.finish()?;
+    Ok(AllocRequest {
+        id,
+        stream,
+        kind,
+        budget,
+        policy,
+    })
+}
+
+/// Decodes a `RESPONSE` frame body.
+pub fn decode_response(body: &[u8]) -> Result<AllocResponse, CodecError> {
+    let mut c = Cursor::new(body);
+    let id = c.u64()?;
+    let stream = c.u64()?;
+    let outcome = {
+        let tag = c.u8()?;
+        outcome_from_tag(tag).ok_or_else(|| CodecError(format!("bad outcome tag {tag}")))?
+    };
+    let probes = c.u64()?;
+    let wall = Duration::from_micros(c.u64()?);
+    let cached = match c.u8()? {
+        0 => false,
+        1 => true,
+        t => return err(format!("bad cached tag {t}")),
+    };
+    let winner = if c.opt()? { Some(c.str()?) } else { None };
+    let error = if c.opt()? { Some(c.str()?) } else { None };
+    let migrations = if c.opt()? { Some(c.u64()?) } else { None };
+    let retry_after = if c.opt()? {
+        Some(Duration::from_millis(c.u64()?))
+    } else {
+        None
+    };
+    let solution = if c.opt()? {
+        let min_yield = c.f64()?;
+        let n = c.count(16, "solution entry")?;
+        let yields = c.f64s(n)?;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let h = c.u64()?;
+            if h == UNPLACED {
+                nodes.push(None);
+            } else {
+                nodes
+                    .push(Some(usize::try_from(h).map_err(|_| {
+                        CodecError("node index overflows usize".into())
+                    })?));
+            }
+        }
+        Some(Solution {
+            placement: Placement::from_assignment(nodes),
+            yields,
+            min_yield,
+        })
+    } else {
+        None
+    };
+    c.finish()?;
+    Ok(AllocResponse {
+        id,
+        stream,
+        outcome,
+        solution,
+        winner,
+        probes,
+        wall,
+        error,
+        cached,
+        migrations,
+        retry_after,
+    })
+}
+
+/// A decoded client→server v2 frame.
+#[derive(Debug)]
+pub enum ClientFrame {
+    /// One solver request.
+    Request(Box<AllocRequest>),
+    /// Liveness probe carrying its echo token.
+    Ping(String),
+    /// Drain-and-exit order.
+    Shutdown,
+}
+
+/// Decodes a client→server frame from its header kind and body.
+pub fn decode_client_frame(frame_kind: u8, body: &[u8]) -> Result<ClientFrame, CodecError> {
+    match frame_kind {
+        kind::REQUEST => Ok(ClientFrame::Request(Box::new(decode_request(body)?))),
+        kind::PING => match std::str::from_utf8(body) {
+            Ok(token) => Ok(ClientFrame::Ping(token.to_string())),
+            Err(_) => err("ping token is not valid UTF-8"),
+        },
+        kind::SHUTDOWN => {
+            if body.is_empty() {
+                Ok(ClientFrame::Shutdown)
+            } else {
+                err("shutdown frame must have an empty body")
+            }
+        }
+        other => err(format!("unknown client frame kind 0x{other:02x}")),
+    }
+}
+
+/// Decodes a server→client frame into the same [`ServerFrame`] the v1
+/// text parser produces, so the client's dispatch is version-blind.
+pub fn decode_server_frame(frame_kind: u8, body: &[u8]) -> Result<ServerFrame, CodecError> {
+    match frame_kind {
+        kind::RESPONSE => Ok(ServerFrame::Response(Box::new(decode_response(body)?))),
+        kind::PONG => match std::str::from_utf8(body) {
+            Ok(token) => Ok(ServerFrame::Pong(token.to_string())),
+            Err(_) => err("pong token is not valid UTF-8"),
+        },
+        kind::ERROR => {
+            let mut c = Cursor::new(body);
+            let code = c.str()?;
+            let message = c.str()?;
+            c.finish()?;
+            Ok(ServerFrame::Error { code, message })
+        }
+        kind::BYE => {
+            if body.is_empty() {
+                Ok(ServerFrame::Bye)
+            } else {
+                err("bye frame must have an empty body")
+            }
+        }
+        other => err(format!("unknown server frame kind 0x{other:02x}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmplace_model::ResponsePolicy;
+
+    fn sample_instance() -> ProblemInstance {
+        let nodes = vec![
+            Node::new(vec![1.0, 1.0], vec![2.0, 1.0]),
+            Node::new(vec![0.5, 1.0], vec![2.0, 1.0]),
+        ];
+        let services = vec![
+            Service::new(
+                vec![0.25, 0.5],
+                vec![0.25, 0.5],
+                vec![0.5, 0.0],
+                vec![0.5, 0.0],
+            ),
+            Service::rigid(vec![0.125, 0.25], vec![0.25, 0.25]),
+        ];
+        ProblemInstance::new(nodes, services).expect("valid instance")
+    }
+
+    fn frame_body(bytes: &[u8], expect_kind: u8) -> &[u8] {
+        let mut head = [0u8; HEADER_LEN];
+        head.copy_from_slice(&bytes[..HEADER_LEN]);
+        let (kind, len) = parse_header(&head);
+        assert_eq!(kind, expect_kind);
+        assert_eq!(len as usize, bytes.len() - HEADER_LEN);
+        &bytes[HEADER_LEN..]
+    }
+
+    #[test]
+    fn request_roundtrip_is_bit_exact() {
+        let req = AllocRequest {
+            id: 7,
+            stream: 3,
+            kind: RequestKind::New(sample_instance()),
+            budget: Some(Duration::from_micros(12_345)),
+            policy: ResponsePolicy::Repaired {
+                tolerance: 0.05,
+                max_migrations: 4,
+            },
+        };
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, &req);
+        let back = decode_request(frame_body(&bytes, kind::REQUEST)).expect("decode");
+        assert_eq!(back.id, 7);
+        assert_eq!(back.stream, 3);
+        assert_eq!(back.budget, Some(Duration::from_micros(12_345)));
+        assert_eq!(back.policy, req.policy);
+        let (RequestKind::New(a), RequestKind::New(b)) = (&req.kind, &back.kind) else {
+            panic!("kind changed in flight");
+        };
+        assert_eq!(a.nodes(), b.nodes());
+        assert_eq!(a.services(), b.services());
+    }
+
+    #[test]
+    fn delta_and_resolve_roundtrip() {
+        let delta = WorkloadDelta {
+            scale_need: vec![(0, 1.5), (3, 0.25)],
+            remove: vec![1],
+            add: vec![Service::rigid(vec![0.1, 0.1], vec![0.1, 0.1])],
+        };
+        let req = AllocRequest {
+            id: 9,
+            stream: 1,
+            kind: RequestKind::Delta(delta.clone()),
+            budget: None,
+            policy: ResponsePolicy::Exact,
+        };
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, &req);
+        let back = decode_request(frame_body(&bytes, kind::REQUEST)).expect("decode");
+        let RequestKind::Delta(d) = back.kind else {
+            panic!("kind changed in flight");
+        };
+        assert_eq!(d.scale_need, delta.scale_need);
+        assert_eq!(d.remove, delta.remove);
+        assert_eq!(d.add, delta.add);
+
+        let resolve = AllocRequest {
+            id: 10,
+            stream: 1,
+            kind: RequestKind::Resolve,
+            budget: None,
+            policy: ResponsePolicy::Exact,
+        };
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, &resolve);
+        let back = decode_request(frame_body(&bytes, kind::REQUEST)).expect("decode");
+        assert!(matches!(back.kind, RequestKind::Resolve));
+    }
+
+    #[test]
+    fn response_roundtrip_is_bit_exact_and_v1_faithful() {
+        let resp = AllocResponse {
+            id: 42,
+            stream: 7,
+            outcome: RequestOutcome::Solved,
+            solution: Some(Solution {
+                placement: Placement::from_assignment(vec![Some(1), Some(0), None]),
+                yields: vec![0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE],
+                min_yield: 1.0 / 3.0,
+            }),
+            winner: Some("FF/MAX_DESC/NAT".into()),
+            probes: 99,
+            wall: Duration::from_micros(12345),
+            error: None,
+            cached: true,
+            migrations: Some(2),
+            retry_after: None,
+        };
+        let mut bytes = Vec::new();
+        encode_response(&mut bytes, &resp);
+        let back = decode_response(frame_body(&bytes, kind::RESPONSE)).expect("decode");
+        assert_eq!(back.id, 42);
+        assert_eq!(back.stream, 7);
+        assert_eq!(back.outcome, RequestOutcome::Solved);
+        assert!(back.cached);
+        assert_eq!(back.migrations, Some(2));
+        assert_eq!(back.winner.as_deref(), Some("FF/MAX_DESC/NAT"));
+        let (a, b) = (resp.solution.unwrap(), back.solution.unwrap());
+        assert_eq!(a.min_yield.to_bits(), b.min_yield.to_bits());
+        for (x, y) in a.yields.iter().zip(&b.yields) {
+            assert_eq!(x.to_bits(), y.to_bits(), "yield bits");
+        }
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn retry_hints_round_like_v1() {
+        // Sub-millisecond hints round up to 1 ms, exactly as v1 text.
+        let resp = AllocResponse::overloaded(8, 2, Duration::from_micros(3));
+        let mut bytes = Vec::new();
+        encode_response(&mut bytes, &resp);
+        let back = decode_response(frame_body(&bytes, kind::RESPONSE)).expect("decode");
+        assert_eq!(back.retry_after, Some(Duration::from_millis(1)));
+        assert_eq!(back.outcome, RequestOutcome::Overloaded);
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        let mut bytes = Vec::new();
+        encode_ping(&mut bytes, "tok");
+        let got = decode_client_frame(kind::PING, frame_body(&bytes, kind::PING)).expect("ping");
+        assert!(matches!(got, ClientFrame::Ping(t) if t == "tok"));
+
+        let mut bytes = Vec::new();
+        encode_error(&mut bytes, "bad-frame", "length field lies");
+        match decode_server_frame(kind::ERROR, frame_body(&bytes, kind::ERROR)).expect("error") {
+            ServerFrame::Error { code, message } => {
+                assert_eq!(code, "bad-frame");
+                assert_eq!(message, "length field lies");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let mut bytes = Vec::new();
+        encode_bye(&mut bytes);
+        assert!(matches!(
+            decode_server_frame(kind::BYE, frame_body(&bytes, kind::BYE)),
+            Ok(ServerFrame::Bye)
+        ));
+    }
+
+    #[test]
+    fn lying_counts_and_truncations_fail_structurally() {
+        // A request body whose node count promises more bytes than exist.
+        let req = AllocRequest {
+            id: 1,
+            stream: 0,
+            kind: RequestKind::New(sample_instance()),
+            budget: None,
+            policy: ResponsePolicy::Exact,
+        };
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, &req);
+        let body = frame_body(&bytes, kind::REQUEST).to_vec();
+
+        // Truncate at every prefix: must error, never panic.
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+
+        // Inflate the node count (offset: id 8 + stream 8 + budget tag 1
+        // + policy tag 1 + kind tag 1 + dims 4 = 23).
+        let mut lied = body.clone();
+        lied[23..27].copy_from_slice(&u32::MAX.to_le_bytes());
+        let e = decode_request(&lied).expect_err("lying count accepted");
+        assert!(e.to_string().contains("count"), "{e}");
+
+        // Trailing garbage is rejected too.
+        let mut padded = body.clone();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_and_tags_are_rejected() {
+        assert!(decode_client_frame(0x7f, &[]).is_err());
+        assert!(decode_server_frame(0x05, &[]).is_err());
+        // Bad presence tag inside a response body.
+        let resp = AllocResponse::stale_stream(1, 2);
+        let mut bytes = Vec::new();
+        encode_response(&mut bytes, &resp);
+        let mut body = frame_body(&bytes, kind::RESPONSE).to_vec();
+        // winner presence tag sits after id+stream+outcome+probes+wall+cached = 34 bytes
+        body[34] = 9;
+        assert!(decode_response(&body).is_err());
+    }
+
+    #[test]
+    fn header_roundtrip_and_length_cap() {
+        let h = header(kind::REQUEST, 1234);
+        let (k, len) = parse_header(&h);
+        assert_eq!((k, len), (kind::REQUEST, 1234));
+        // A lying length beyond the cap is representable in a header —
+        // the reader must check it against MAX_FRAME_BYTES (tested at
+        // the server level in tests/integration_net.rs).
+        let lie = [kind::REQUEST, 0xff, 0xff, 0xff, 0xff];
+        let (_, len) = parse_header(&lie);
+        assert!(len > MAX_FRAME_BYTES);
+    }
+}

@@ -3,11 +3,14 @@
 //! The paper's allocator decides placements for a hosting platform; a
 //! deployment serves those decisions to cluster managers over the wire.
 //! This crate is that front door: a dependency-free (`std::net`) TCP
-//! [`Server`] that parses a line-oriented wire protocol — the request
-//! framing of [`vmplace_service::trace_io`] extended with connection
-//! control frames — and routes requests into the resident
+//! [`Server`] speaking two negotiated wire versions — the v1 text
+//! protocol (the request framing of [`vmplace_service::trace_io`]
+//! extended with connection control frames) and the v2 length-prefixed
+//! binary framing of [`codec`] — routing requests into the resident
 //! [`vmplace_service::SolverPool`], plus a blocking, pipelining
-//! [`Client`].
+//! [`Client`]. Connection sockets are driven by one of two I/O
+//! backends ([`IoBackend`]): thread-per-connection, or a few
+//! `poll(2)`-based event-loop threads multiplexing all sockets.
 //!
 //! Properties the integration suite (`tests/integration_net.rs`) pins:
 //!
@@ -31,11 +34,13 @@
 #![warn(missing_docs)]
 
 mod client;
+pub mod codec;
+mod event;
 mod retry;
 mod server;
 pub mod wire;
 
 pub use client::{Client, Responses};
-pub use retry::{replay_resilient, RetryPolicy};
-pub use server::{Server, ServerConfig};
+pub use retry::{replay_resilient, replay_resilient_with, RetryPolicy};
+pub use server::{IoBackend, Server, ServerConfig};
 pub use wire::NetError;

@@ -108,6 +108,18 @@ pub fn replay_resilient<A: ToSocketAddrs + Clone>(
     trace: &[AllocRequest],
     policy: &RetryPolicy,
 ) -> Result<Vec<AllocResponse>, NetError> {
+    replay_resilient_with(addr, trace, policy, crate::wire::PROTOCOL_VERSION)
+}
+
+/// [`replay_resilient`] requesting wire version `wire` on every
+/// (re)connection — each fresh connection re-negotiates, so a resilient
+/// replay keeps working against servers of either protocol generation.
+pub fn replay_resilient_with<A: ToSocketAddrs + Clone>(
+    addr: A,
+    trace: &[AllocRequest],
+    policy: &RetryPolicy,
+    wire: u32,
+) -> Result<Vec<AllocResponse>, NetError> {
     let mut finals: BTreeMap<u64, AllocResponse> = BTreeMap::new();
     let mut hint: Option<Duration> = None;
     let mut last_err: Option<NetError> = None;
@@ -132,7 +144,7 @@ pub fn replay_resilient<A: ToSocketAddrs + Clone>(
             .cloned()
             .collect();
 
-        let mut client = match Client::connect(addr.clone()) {
+        let mut client = match Client::connect_with(addr.clone(), wire) {
             Ok(client) => client,
             Err(e) => {
                 last_err = Some(e);

@@ -1,39 +1,57 @@
-//! The TCP front-end: acceptor, per-connection reader/writer threads,
-//! graceful drain.
+//! The TCP front-end: acceptor, connection I/O backends, graceful drain.
 //!
 //! ```text
 //!            acceptor thread
 //!                  │ accept()
-//!        ┌─────────┴─────────┐  per connection
-//!        ▼                   ▼
-//!   reader thread       writer thread
-//!   parse frames        reorder completions by submission
-//!   remap ids/streams   sequence, restore client ids,
-//!   submit to pool      write response frames
-//!        │                   ▲
-//!        ▼                   │ completion sink (routes by the
-//!   SolverPool ──────────────┘ connection bits of the response id)
+//!     ┌────────────┴──────────────┐ ServerConfig::io
+//!     ▼ Threads                   ▼ Events
+//!   per connection:            a few event-loop threads
+//!   reader thread +            (crate::event) multiplexing
+//!   writer thread              every socket via poll(2)
+//!        │      ▲                  │      ▲
+//!        ▼      │                  ▼      │
+//!   SolverPool ─┘ completion sink ─┴──────┘
+//!               (routes by the connection bits of the response id)
 //! ```
+//!
+//! Both backends drive the same protocol engine, [`ConnProto`]: a
+//! byte-fed state machine that performs the version handshake, parses
+//! v1 text lines or v2 binary frames, remaps ids, submits to the shared
+//! [`SolverPool`] and narrates the submission order as [`Meta`] events.
+//! The threaded backend feeds it from a blocking reader thread and
+//! replays the metas on a writer thread; the event backend feeds it
+//! from non-blocking reads and drains the metas into per-connection
+//! outbound byte rings. Because the engine is shared, the two backends
+//! are wire-identical — the differential suite pins them to each other
+//! and to the in-process pool bit for bit.
 //!
 //! Requests are submitted to the shared [`SolverPool`] in sink
 //! (completion-callback) mode. Because different streams of one
 //! connection land on different workers, completions arrive out of
-//! order; the writer holds them in a heap and emits frames strictly in
-//! the connection's submission order — pongs and error frames take their
-//! in-band position in that same sequence.
+//! order; each connection holds them in a heap and emits frames
+//! strictly in the connection's submission order — pongs and error
+//! frames take their in-band position in that same sequence.
 //!
 //! **Namespacing.** Client ids and stream ids are connection-local. The
 //! server rewrites both on the way in — `(connection index << 40) |
 //! value` — so streams of different connections can never alias inside
 //! the pool, and restores the client's own values on the way out (the
-//! writer knows them per sequence number, so client *ids* are arbitrary
-//! u64s; client *streams* must stay below 2^40).
+//! connection knows them per sequence number, so client *ids* are
+//! arbitrary u64s; client *streams* must stay below 2^40).
+//!
+//! **Version negotiation.** The hello line carries the client's wire
+//! version; the server answers `min(client, ServerConfig::max_wire)`
+//! for known versions (1 and 2) and `error bad-version` for anything
+//! else. A v1 client is answered byte-for-byte as by a v1-only build.
 
+use crate::codec;
+use crate::event::EventCore;
 use crate::wire::{
-    self, codes, write_response, MAX_BODY_LINES, MAX_LINE_BYTES, MAX_STREAM_ID, PROTOCOL_VERSION,
+    self, codes, write_response, MAX_BODY_LINES, MAX_LINE_BYTES, MAX_PROTOCOL_VERSION,
+    MAX_STREAM_ID, PROTOCOL_V2, PROTOCOL_VERSION,
 };
 use std::collections::{BinaryHeap, HashMap};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -46,67 +64,126 @@ use vmplace_service::{
 };
 
 /// Bits of a server-side id/stream holding the connection-local value.
-const CONN_SHIFT: u32 = 40;
-const SEQ_MASK: u64 = (1 << CONN_SHIFT) - 1;
+pub(crate) const CONN_SHIFT: u32 = 40;
+pub(crate) const SEQ_MASK: u64 = (1 << CONN_SHIFT) - 1;
 
 /// Connection indices must fit in the bits above the shift; a server
 /// that has accepted this many connections over its lifetime refuses
 /// further ones rather than alias ids across tenants.
 const CONN_LIMIT: u64 = 1 << (64 - CONN_SHIFT);
 
-/// Socket read timeout: how often an idle reader wakes to check the
-/// draining flag. During a drain, readers first consume every frame
-/// already received (reads return data, not timeouts, while the buffer
-/// is non-empty), so requests flushed before the drain began are still
-/// answered; the first quiet interval ends the connection.
-const READ_POLL: std::time::Duration = std::time::Duration::from_millis(100);
+/// Threaded-backend socket read timeout: how often an idle reader wakes
+/// to check the draining flag — and the reason the threaded backend
+/// burns N wake-ups per 100 ms with N idle connections (measured by
+/// [`Server::io_wakeups`]; the event backend blocks until readiness
+/// instead). The same interval serves as the drain's quiet window in
+/// both backends: requests flushed before the drain began are still
+/// read and answered, and the first quiet interval ends the connection.
+pub(crate) const READ_POLL: std::time::Duration = std::time::Duration::from_millis(100);
 
-/// How long a draining reader keeps accepting frames from a client that
-/// never goes quiet. Frames already buffered at drain time are consumed
-/// within microseconds; this bound only stops a continuously streaming
-/// client from holding the drain open forever.
-const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
+/// How long a draining connection keeps accepting frames from a client
+/// that never goes quiet. Frames already buffered at drain time are
+/// consumed within microseconds; this bound only stops a continuously
+/// streaming client from holding the drain open forever.
+pub(crate) const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(500);
 
 /// Socket write timeout: a client that pipelines requests but never
-/// reads responses would otherwise block its writer thread in
-/// `write_all` forever once the kernel send buffer fills — and the drain
-/// joins every writer. On expiry the connection is treated as dead (the
-/// writer keeps consuming completions without writing).
-const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+/// reads responses must not wedge its connection's writer forever once
+/// the kernel send buffer fills — the drain waits on every writer. On
+/// expiry the connection is torn down.
+pub(crate) const WRITE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Acceptor back-off after a file-descriptor-exhaustion accept failure
+/// (also advertised as the rejection's `retry-after-ms` hint).
+const ACCEPT_BACKOFF: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Which I/O engine drives connection sockets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoBackend {
+    /// One blocking reader thread + one writer thread per connection
+    /// (the fallback backend; two OS threads and ~10 idle wake-ups per
+    /// second per connection).
+    #[default]
+    Threads,
+    /// A few event-loop threads multiplexing every connection socket
+    /// via `poll(2)` readiness (see `crates/net/src/event.rs`): idle
+    /// connections cost zero wake-ups, and thousands of sockets share a
+    /// handful of threads.
+    Events,
+}
+
+impl IoBackend {
+    /// Parses the CLI spelling (`threads` | `events`).
+    pub fn parse(s: &str) -> Option<IoBackend> {
+        match s.trim() {
+            "threads" => Some(IoBackend::Threads),
+            "events" => Some(IoBackend::Events),
+            _ => None,
+        }
+    }
+}
 
 /// Configuration of the network front-end.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// The allocation-service configuration backing the pool (workers,
     /// algorithm, warm start, response cache, default budget).
     pub service: ServiceConfig,
+    /// The connection I/O engine (default: [`IoBackend::Threads`]).
+    pub io: IoBackend,
+    /// Event-loop threads under [`IoBackend::Events`] (0 = default 2).
+    pub event_threads: usize,
+    /// Highest wire protocol version offered in negotiation (clamped
+    /// to `1..=`[`MAX_PROTOCOL_VERSION`]; default the maximum). Set to
+    /// 1 to pin a v1-only server.
+    pub max_wire: u32,
 }
 
-/// What the reader tells the writer about each submission-order slot.
-enum Meta {
-    /// Emit the protocol greeting (successful handshake).
-    Greeting,
-    /// A solver request occupies this slot; the writer must wait for its
-    /// completion and restore the client's id and stream.
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            service: ServiceConfig::default(),
+            io: IoBackend::Threads,
+            event_threads: 0,
+            max_wire: MAX_PROTOCOL_VERSION,
+        }
+    }
+}
+
+/// What the protocol engine tells the emit side about each
+/// submission-order slot.
+pub(crate) enum Meta {
+    /// Emit the protocol greeting for the negotiated wire version.
+    Greeting(u32),
+    /// A solver request occupies this slot; the emitter must wait for
+    /// its completion and restore the client's id and stream.
     Request {
+        /// Connection-local submission sequence number.
         seq: u64,
+        /// The id the client sent (restored on the response).
         client_id: u64,
+        /// The stream the client sent (restored on the response).
         client_stream: u64,
     },
     /// Emit a pong immediately.
     Pong(String),
     /// Emit a structured error frame immediately.
-    Error { code: &'static str, message: String },
+    Error {
+        /// One of [`codes`].
+        code: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
     /// Emit `bye`, flush, and end the connection's response stream.
     Bye,
 }
 
-/// One live connection's drain handle: a socket clone plus the reader
-/// and writer threads to join.
+/// One live threaded-backend connection's drain handle: a socket clone
+/// plus the reader and writer threads to join.
 type ConnHandle = (TcpStream, JoinHandle<()>, JoinHandle<()>);
 
 /// Completions keyed (and min-ordered) by submission sequence.
-struct Pending(u64, AllocResponse);
+pub(crate) struct Pending(pub(crate) u64, pub(crate) AllocResponse);
 
 impl PartialEq for Pending {
     fn eq(&self, other: &Self) -> bool {
@@ -126,33 +203,39 @@ impl Ord for Pending {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     addr: SocketAddr,
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Set at the very end of the drain: the acceptor exits instead of
-    /// answering `draining`.
-    accept_stop: AtomicBool,
+    /// answering `draining`, and the event loops may finish.
+    pub(crate) accept_stop: AtomicBool,
     /// Signalled when a `shutdown` wire frame (or [`Server::shutdown`])
     /// requests the drain.
     shutdown_requested: (Mutex<bool>, Condvar),
-    /// Completion routing: connection index → writer's completion sender.
+    /// Threaded-backend completion routing: connection index → writer's
+    /// completion sender. (The event backend routes completions through
+    /// its loop injectors instead.)
     routes: Mutex<HashMap<u64, Sender<Pending>>>,
     /// The shared pool, in sink mode. Taken (and dropped, joining the
     /// workers) at the end of the drain.
-    pool: Mutex<Option<SolverPool>>,
-    /// Live connection bookkeeping for the drain: a socket clone (keeps
-    /// the fd addressable for future needs, e.g. forced aborts) and the
-    /// reader/writer thread handles to join.
+    pub(crate) pool: Mutex<Option<SolverPool>>,
+    /// Live threaded-backend connection bookkeeping for the drain.
     conns: Mutex<Vec<ConnHandle>>,
     next_conn: AtomicU64,
     /// Socket-level fault injection (`None` in production). The same
     /// plan travels into the pool workers via [`ServiceConfig::faults`]
     /// for the solver-panic faults.
-    faults: Option<FaultPlan>,
+    pub(crate) faults: Option<FaultPlan>,
+    /// Highest wire version this server negotiates.
+    pub(crate) max_wire: u32,
+    /// I/O wake-ups: threaded reader timeout polls plus event-loop
+    /// `poll(2)` returns. The idle-connection suite asserts the event
+    /// backend's count stays ~zero while connections are quiet.
+    pub(crate) wakeups: AtomicU64,
 }
 
 impl Shared {
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         let (lock, cvar) = &self.shutdown_requested;
         *lock.lock().expect("shutdown flag") = true;
         cvar.notify_all();
@@ -166,11 +249,398 @@ impl Shared {
     fn lock_routes(&self) -> MutexGuard<'_, HashMap<u64, Sender<Pending>>> {
         self.routes.lock().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// Retires one connection's stream namespace in the pool. FIFO per
+    /// worker orders the retirement after every request the connection
+    /// submitted, so long-lived worker memory (instances, warm yields,
+    /// caches) tracks live clients.
+    pub(crate) fn retire_conn(&self, conn_id: u64) {
+        if let Some(pool) = self.pool.lock().expect("pool slot").as_mut() {
+            pool.retire_streams(conn_id << CONN_SHIFT, !SEQ_MASK);
+        }
+    }
 }
 
+// ---------------------------------------------------------- frame output
+
+/// The greeting is a text line in every protocol version — a client can
+/// always read the negotiated version before switching framing.
+pub(crate) fn greeting_frame(wire: u32) -> Vec<u8> {
+    format!("{} {} ready\n", wire::MAGIC, wire.max(1)).into_bytes()
+}
+
+pub(crate) fn pong_frame(wire: u32, token: &str) -> Vec<u8> {
+    if wire >= PROTOCOL_V2 {
+        let mut out = Vec::new();
+        codec::encode_pong(&mut out, token);
+        out
+    } else if token.is_empty() {
+        b"pong\n".to_vec()
+    } else {
+        format!("pong {token}\n").into_bytes()
+    }
+}
+
+pub(crate) fn error_frame(wire: u32, code: &str, message: &str) -> Vec<u8> {
+    if wire >= PROTOCOL_V2 {
+        let mut out = Vec::new();
+        codec::encode_error(&mut out, code, message);
+        out
+    } else {
+        format!("error {code} {message}\n").into_bytes()
+    }
+}
+
+pub(crate) fn bye_frame(wire: u32) -> Vec<u8> {
+    if wire >= PROTOCOL_V2 {
+        let mut out = Vec::new();
+        codec::encode_bye(&mut out);
+        out
+    } else {
+        b"bye\n".to_vec()
+    }
+}
+
+pub(crate) fn response_frame(wire: u32, response: &AllocResponse) -> Vec<u8> {
+    if wire >= PROTOCOL_V2 {
+        let mut out = Vec::new();
+        codec::encode_response(&mut out, response);
+        out
+    } else {
+        let mut text = String::new();
+        write_response(&mut text, response);
+        text.into_bytes()
+    }
+}
+
+// ------------------------------------------------------- protocol engine
+
+/// What the engine's driver should do after feeding it bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// Keep reading.
+    Continue,
+    /// The engine queued its final meta (`bye`, possibly after an
+    /// error); stop reading. The emit side still owes the queued frames
+    /// and every submitted request's response.
+    Closed,
+}
+
+enum ProtoState {
+    /// Awaiting the text hello line.
+    Handshake,
+    /// Established, v1: text lines into the [`BlockAssembler`].
+    V1,
+    /// Established, v2: accumulating a 5-byte binary frame header.
+    V2Head,
+    /// Established, v2: accumulating a frame body.
+    V2Body,
+}
+
+/// The wire-version-agnostic protocol engine one connection runs
+/// (module docs sketch how both I/O backends drive it).
+///
+/// `feed` never blocks and never performs socket I/O: it consumes
+/// whatever bytes the driver has, queues [`Meta`] events through the
+/// driver's sink, and submits complete requests to the pool. All
+/// protocol limits (line length, body lines, frame bytes, stream-id
+/// range) are enforced here, so the backends cannot drift apart.
+pub(crate) struct ConnProto {
+    conn_id: u64,
+    state: ProtoState,
+    /// Negotiated wire version (0 until the handshake completes; the
+    /// emit side treats 0 as v1 text so pre-handshake errors stay
+    /// readable to every client).
+    pub(crate) wire: u32,
+    /// Partial text line (handshake and v1).
+    line: Vec<u8>,
+    /// v2 header accumulator.
+    head: [u8; codec::HEADER_LEN],
+    head_len: usize,
+    /// v2 body accumulator and the header it belongs to.
+    body: Vec<u8>,
+    body_need: usize,
+    body_kind: u8,
+    assembler: BlockAssembler,
+    seq: u64,
+    line_no: usize,
+    closed: bool,
+}
+
+impl ConnProto {
+    pub(crate) fn new(conn_id: u64) -> ConnProto {
+        ConnProto {
+            conn_id,
+            state: ProtoState::Handshake,
+            wire: 0,
+            line: Vec::new(),
+            head: [0; codec::HEADER_LEN],
+            head_len: 0,
+            body: Vec::new(),
+            body_need: 0,
+            body_kind: 0,
+            assembler: BlockAssembler::new(),
+            seq: 0,
+            line_no: 0,
+            closed: false,
+        }
+    }
+
+    /// Queues a structured error followed by `bye` and closes intake.
+    pub(crate) fn fail(
+        &mut self,
+        code: &'static str,
+        message: String,
+        metas: &mut dyn FnMut(Meta),
+    ) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        metas(Meta::Error { code, message });
+        metas(Meta::Bye);
+    }
+
+    /// The peer is gone (EOF / read error) or went quiet during a
+    /// drain: queue the clean `bye` and close intake.
+    pub(crate) fn on_eof(&mut self, metas: &mut dyn FnMut(Meta)) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        metas(Meta::Bye);
+    }
+
+    /// Feeds freshly read bytes through the engine.
+    pub(crate) fn feed(
+        &mut self,
+        shared: &Shared,
+        mut bytes: &[u8],
+        metas: &mut dyn FnMut(Meta),
+    ) -> Flow {
+        while !bytes.is_empty() && !self.closed {
+            match self.state {
+                ProtoState::Handshake | ProtoState::V1 => {
+                    match bytes.iter().position(|&b| b == b'\n') {
+                        Some(i) if self.line.len() + i <= MAX_LINE_BYTES => {
+                            self.line.extend_from_slice(&bytes[..i]);
+                            bytes = &bytes[i + 1..];
+                            if self.line.last() == Some(&b'\r') {
+                                self.line.pop();
+                            }
+                            let raw = std::mem::take(&mut self.line);
+                            self.line_no += 1;
+                            match String::from_utf8(raw) {
+                                Ok(line) => self.on_line(shared, &line, metas),
+                                Err(_) => {
+                                    let what = if matches!(self.state, ProtoState::Handshake) {
+                                        "hello not UTF-8".to_string()
+                                    } else {
+                                        format!("line {} is not valid UTF-8", self.line_no)
+                                    };
+                                    self.fail(codes::BAD_UTF8, what, metas);
+                                }
+                            }
+                        }
+                        _ if self.line.len() + bytes.len() > MAX_LINE_BYTES => {
+                            let what = if matches!(self.state, ProtoState::Handshake) {
+                                "oversized hello".to_string()
+                            } else {
+                                format!("line {} exceeds {MAX_LINE_BYTES} bytes", self.line_no + 1)
+                            };
+                            self.fail(codes::FRAME_TOO_LARGE, what, metas);
+                        }
+                        _ => {
+                            self.line.extend_from_slice(bytes);
+                            bytes = &[];
+                        }
+                    }
+                }
+                ProtoState::V2Head => {
+                    let want = codec::HEADER_LEN - self.head_len;
+                    let take = want.min(bytes.len());
+                    self.head[self.head_len..self.head_len + take].copy_from_slice(&bytes[..take]);
+                    self.head_len += take;
+                    bytes = &bytes[take..];
+                    if self.head_len == codec::HEADER_LEN {
+                        self.head_len = 0;
+                        let (kind, len) = codec::parse_header(&self.head);
+                        if len > codec::MAX_FRAME_BYTES {
+                            // A lying length field is refused before any
+                            // allocation (the v1 analogue of an oversized
+                            // line).
+                            self.fail(
+                                codes::FRAME_TOO_LARGE,
+                                format!("frame of {len} bytes exceeds {}", codec::MAX_FRAME_BYTES),
+                                metas,
+                            );
+                        } else if len == 0 {
+                            self.on_v2_frame(shared, kind, &[], metas);
+                        } else {
+                            self.body_kind = kind;
+                            self.body_need = len as usize;
+                            self.body.clear();
+                            // Capacity grows with arriving bytes; a lying
+                            // header alone never allocates the advertised
+                            // size.
+                            self.state = ProtoState::V2Body;
+                        }
+                    }
+                }
+                ProtoState::V2Body => {
+                    let want = self.body_need - self.body.len();
+                    let take = want.min(bytes.len());
+                    self.body.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if self.body.len() == self.body_need {
+                        let body = std::mem::take(&mut self.body);
+                        self.state = ProtoState::V2Head;
+                        self.on_v2_frame(shared, self.body_kind, &body, metas);
+                    }
+                }
+            }
+        }
+        if self.closed {
+            Flow::Closed
+        } else {
+            Flow::Continue
+        }
+    }
+
+    fn on_line(&mut self, shared: &Shared, line: &str, metas: &mut dyn FnMut(Meta)) {
+        if matches!(self.state, ProtoState::Handshake) {
+            let mut words = line.split_whitespace();
+            let version = if words.next() == Some(wire::MAGIC) {
+                words.next().and_then(|v| v.parse::<u32>().ok())
+            } else {
+                None
+            };
+            let version = version.filter(|_| words.next().is_none());
+            match version {
+                Some(v @ 1..=MAX_PROTOCOL_VERSION) => {
+                    self.wire = v.min(shared.max_wire.clamp(1, MAX_PROTOCOL_VERSION));
+                    self.state = if self.wire >= PROTOCOL_V2 {
+                        ProtoState::V2Head
+                    } else {
+                        ProtoState::V1
+                    };
+                    metas(Meta::Greeting(self.wire));
+                }
+                _ => self.fail(
+                    codes::BAD_VERSION,
+                    format!(
+                        "expected `{} <version ≤ {}>`, got `{line}`",
+                        wire::MAGIC,
+                        MAX_PROTOCOL_VERSION
+                    ),
+                    metas,
+                ),
+            }
+            return;
+        }
+
+        if !self.assembler.in_block() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                return;
+            }
+            let (verb, rest) = trimmed
+                .split_once(char::is_whitespace)
+                .unwrap_or((trimmed, ""));
+            match verb {
+                "ping" => {
+                    metas(Meta::Pong(rest.trim().to_string()));
+                    return;
+                }
+                "shutdown" => {
+                    self.order_shutdown(shared, metas);
+                    return;
+                }
+                "request" => {} // falls through to the assembler
+                other => {
+                    return self.fail(
+                        codes::UNKNOWN_VERB,
+                        format!("line {}: unknown verb `{other}`", self.line_no),
+                        metas,
+                    )
+                }
+            }
+        } else if line.trim() != "end" && self.assembler.body_lines() >= MAX_BODY_LINES {
+            // Only lines that would *join* the body count against the
+            // limit — a block of exactly MAX_BODY_LINES still closes.
+            return self.fail(
+                codes::FRAME_TOO_LARGE,
+                format!("request block exceeds {MAX_BODY_LINES} body lines"),
+                metas,
+            );
+        }
+
+        match self.assembler.feed(self.line_no, line) {
+            Ok(None) => {}
+            Ok(Some(request)) => self.submit(shared, request, metas),
+            Err(e) => self.fail(codes::BAD_FRAME, e.to_string(), metas),
+        }
+    }
+
+    fn on_v2_frame(&mut self, shared: &Shared, kind: u8, body: &[u8], metas: &mut dyn FnMut(Meta)) {
+        match codec::decode_client_frame(kind, body) {
+            Ok(codec::ClientFrame::Request(request)) => self.submit(shared, *request, metas),
+            Ok(codec::ClientFrame::Ping(token)) => metas(Meta::Pong(token)),
+            Ok(codec::ClientFrame::Shutdown) => self.order_shutdown(shared, metas),
+            Err(e) => self.fail(codes::BAD_FRAME, e.to_string(), metas),
+        }
+    }
+
+    /// The `shutdown` verb: begin the server-wide drain; this
+    /// connection's in-flight responses still go out before `bye`.
+    fn order_shutdown(&mut self, shared: &Shared, metas: &mut dyn FnMut(Meta)) {
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.request_shutdown();
+        self.on_eof(metas);
+    }
+
+    /// Remaps one parsed request into the connection's namespace,
+    /// narrates its slot and hands it to the pool.
+    fn submit(&mut self, shared: &Shared, request: AllocRequest, metas: &mut dyn FnMut(Meta)) {
+        if request.stream >= MAX_STREAM_ID {
+            return self.fail(
+                codes::BAD_FRAME,
+                format!("stream id {} exceeds {}", request.stream, MAX_STREAM_ID - 1),
+                metas,
+            );
+        }
+        let client_id = request.id;
+        let client_stream = request.stream;
+        let remapped = AllocRequest {
+            id: (self.conn_id << CONN_SHIFT) | self.seq,
+            stream: (self.conn_id << CONN_SHIFT) | client_stream,
+            kind: request.kind,
+            budget: request.budget,
+            policy: request.policy,
+        };
+        metas(Meta::Request {
+            seq: self.seq,
+            client_id,
+            client_stream,
+        });
+        self.seq += 1;
+        let mut pool = shared.pool.lock().expect("pool slot");
+        match pool.as_mut() {
+            Some(pool) => pool.submit(vec![remapped]),
+            None => {
+                // Drained under us: the emit side answers instead.
+                drop(pool);
+                self.fail(codes::DRAINING, "server is draining".into(), metas);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- the server
+
 /// A running allocation server. The module docs at the top of
-/// `server.rs` describe the thread layout; `crates/net/README.md` has
-/// the protocol.
+/// `server.rs` describe the two I/O backends; `crates/net/README.md`
+/// has the protocol (both wire versions).
 ///
 /// Binding to port 0 picks an ephemeral port; [`Server::local_addr`]
 /// reports the actual address (tests and CI never collide on a fixed
@@ -179,10 +649,11 @@ impl Shared {
 /// [`Server::shutdown`] is graceful and idempotent: new connections are
 /// rejected with a `draining` greeting, every request already submitted
 /// is solved and its response delivered, and all threads (acceptor,
-/// per-connection pairs, pool workers) are joined before it returns.
+/// connection I/O, pool workers) are joined before it returns.
 /// Dropping the server calls it implicitly.
 pub struct Server {
     shared: Arc<Shared>,
+    core: Option<Arc<EventCore>>,
     acceptor: Option<JoinHandle<()>>,
     /// Drain-once guard: `true` once a shutdown completed.
     done: Mutex<bool>,
@@ -207,29 +678,54 @@ impl Server {
                 .faults
                 .clone()
                 .filter(|plan| !plan.is_empty()),
+            max_wire: config.max_wire.clamp(1, MAX_PROTOCOL_VERSION),
+            wakeups: AtomicU64::new(0),
         });
 
+        let core = match config.io {
+            IoBackend::Threads => None,
+            IoBackend::Events => {
+                let threads = if config.event_threads == 0 {
+                    2
+                } else {
+                    config.event_threads.min(64)
+                };
+                Some(EventCore::start(shared.clone(), threads)?)
+            }
+        };
+
         // The pool delivers completions straight to the owning
-        // connection's writer, routed by the connection bits of the id.
+        // connection, routed by the connection bits of the id: to the
+        // writer thread's channel (threads) or the owning event loop's
+        // injector (events).
         let sink_shared = shared.clone();
+        let sink_core = core.clone();
         let pool = SolverPool::with_sink(
             &config.service,
             Arc::new(move |response: AllocResponse| {
                 let conn = response.id >> CONN_SHIFT;
                 let seq = response.id & SEQ_MASK;
-                let routes = sink_shared.lock_routes();
-                if let Some(tx) = routes.get(&conn) {
-                    // A closed writer (client vanished) just discards.
-                    let _ = tx.send(Pending(seq, response));
+                match &sink_core {
+                    Some(core) => core.complete(conn, Pending(seq, response)),
+                    None => {
+                        let routes = sink_shared.lock_routes();
+                        if let Some(tx) = routes.get(&conn) {
+                            // A closed writer (client vanished) just discards.
+                            let _ = tx.send(Pending(seq, response));
+                        }
+                    }
                 }
             }),
         );
         *shared.pool.lock().expect("pool slot") = Some(pool);
 
         let acceptor_shared = shared.clone();
-        let acceptor = std::thread::spawn(move || accept_loop(listener, acceptor_shared));
+        let acceptor_core = core.clone();
+        let acceptor =
+            std::thread::spawn(move || accept_loop(listener, acceptor_shared, acceptor_core));
         Ok(Server {
             shared,
+            core,
             acceptor: Some(acceptor),
             done: Mutex::new(false),
         })
@@ -243,6 +739,16 @@ impl Server {
     /// Whether a shutdown has begun.
     pub fn is_draining(&self) -> bool {
         self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Cumulative I/O wake-ups: timeout polls of threaded readers plus
+    /// `poll(2)` returns of event loops. With N idle connections the
+    /// threaded backend accrues ~N wake-ups per read-timeout tick; the
+    /// event backend blocks until readiness and accrues ~zero (pinned
+    /// by `idle_connections_cost_no_wakeups_on_the_event_backend` in
+    /// `tests/integration_net.rs`).
+    pub fn io_wakeups(&self) -> u64 {
+        self.shared.wakeups.load(Ordering::Relaxed)
     }
 
     /// Blocks until a shutdown is requested — by [`Server::shutdown`]
@@ -267,6 +773,9 @@ impl Server {
     pub fn begin_shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.request_shutdown();
+        if let Some(core) = &self.core {
+            core.wake_all();
+        }
     }
 
     /// Graceful, idempotent shutdown: reject new connections with a
@@ -287,14 +796,20 @@ impl Server {
         let shared = &self.shared;
         shared.draining.store(true, Ordering::SeqCst);
         shared.request_shutdown();
+        if let Some(core) = &self.core {
+            // Wake the event loops so they notice the draining flag and
+            // start their per-connection grace windows.
+            core.wake_all();
+        }
 
-        // Wind down live connections: each reader first consumes every
-        // frame already received (reads keep returning data while the
-        // socket buffer is non-empty), then exits on its first quiet
-        // [`READ_POLL`] interval; its writer then drains every completion
-        // of the requests read (the pool workers are still running) and
-        // says `bye`. New connections keep being answered with the
-        // `draining` greeting throughout.
+        // Wind down live threaded connections: each reader first
+        // consumes every frame already received (reads keep returning
+        // data while the socket buffer is non-empty), then exits on its
+        // first quiet [`READ_POLL`] interval; its writer then drains
+        // every completion of the requests read (the pool workers are
+        // still running) and says `bye`. New connections keep being
+        // answered with the `draining` greeting throughout. (Event-loop
+        // connections run the same protocol inside their loops.)
         let conns = std::mem::take(&mut *shared.conns.lock().expect("conns"));
         for (_stream, reader, writer) in conns {
             let _ = reader.join();
@@ -318,6 +833,14 @@ impl Server {
             let _ = writer.join();
         }
 
+        // Event loops exit once `accept_stop` is up and their last
+        // connection has been answered and closed; the pool workers are
+        // still alive underneath them until that point.
+        if let Some(core) = &self.core {
+            core.wake_all();
+            core.join();
+        }
+
         // Finally the pool itself: dropping it drains worker queues
         // (already empty — every completion was awaited) and joins the
         // worker threads.
@@ -332,12 +855,77 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+// ------------------------------------------------------------- acceptor
+
+/// `EMFILE` (per-process fd limit) / `ENFILE` (system-wide table full):
+/// the two accept failures that mean "out of descriptors, try later",
+/// never "the listener broke".
+fn is_fd_exhaustion(e: &std::io::Error) -> bool {
+    // ENFILE = 23, EMFILE = 24 on Linux and the BSDs.
+    matches!(e.raw_os_error(), Some(23) | Some(24))
+}
+
+/// The one-line refusal for an accept the server had no descriptors
+/// for: the `overloaded` code plus the same `retry-after-ms` contract
+/// shed responses carry. [`crate::Client::connect`] surfaces it as
+/// [`crate::NetError::Remote`]; `replay_resilient` retries through it.
+fn overload_reject_line() -> String {
+    format!(
+        "error {} retry-after-ms={} file descriptors exhausted; retry\n",
+        codes::OVERLOADED,
+        ACCEPT_BACKOFF.as_millis()
+    )
+}
+
+/// One spare descriptor the acceptor can release to answer a pending
+/// connection when `accept` fails with fd exhaustion — without it the
+/// rejection itself would need a descriptor the process doesn't have.
+struct FdReserve(Option<std::fs::File>);
+
+impl FdReserve {
+    fn new() -> FdReserve {
+        FdReserve(std::fs::File::open("/dev/null").ok())
+    }
+
+    fn release(&mut self) {
+        self.0 = None;
+    }
+
+    fn rearm(&mut self) {
+        if self.0.is_none() {
+            self.0 = std::fs::File::open("/dev/null").ok();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, core: Option<Arc<EventCore>>) {
+    let mut reserve = FdReserve::new();
+    let mut accepted: u64 = 0;
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            // Listener failure: trigger a drain so `wait` callers return.
-            shared.request_shutdown();
-            return;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if is_fd_exhaustion(&e) => {
+                // Out of descriptors is load, not failure: release the
+                // reserve fd, answer the pending connection with the
+                // overloaded + retry-after contract, back off, re-arm.
+                // The acceptor itself must survive.
+                reserve.release();
+                if let Ok((stream, _)) = listener.accept() {
+                    if shared.accept_stop.load(Ordering::SeqCst) {
+                        return; // the drain's wake-up connection
+                    }
+                    reject(stream, &overload_reject_line());
+                }
+                std::thread::sleep(ACCEPT_BACKOFF);
+                reserve.rearm();
+                continue;
+            }
+            Err(_) => {
+                // Listener failure: trigger a drain so `wait` callers
+                // return.
+                shared.request_shutdown();
+                return;
+            }
         };
         if shared.accept_stop.load(Ordering::SeqCst) {
             return; // the drain's wake-up connection
@@ -350,6 +938,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 &format!("{} {} draining\n", wire::MAGIC, PROTOCOL_VERSION),
             );
             continue;
+        }
+        accepted += 1;
+        if let Some(plan) = &shared.faults {
+            // Deterministic fd-exhaustion injection: treat the first N
+            // accepts as if `accept` had failed with EMFILE, exercising
+            // the same rejection path the reserve-fd branch uses.
+            if plan.fd_exhaust.is_some_and(|n| accepted <= n) {
+                reject(stream, &overload_reject_line());
+                std::thread::sleep(ACCEPT_BACKOFF);
+                continue;
+            }
         }
         let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
         if conn_id >= CONN_LIMIT {
@@ -366,10 +965,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         // new-connection intake (regression test in
         // `tests/integration_chaos.rs` via `FaultPlan::panic_accept`).
         match catch_unwind(AssertUnwindSafe(|| {
-            spawn_connection(&shared, stream, conn_id)
+            connection_intake(&shared, &core, stream, conn_id)
         })) {
-            Ok(Ok(entry)) => shared.conns.lock().expect("conns").push(entry),
-            Ok(Err(_)) => continue, // socket clone failure: drop the connection
+            Ok(Ok(Some(entry))) => shared.conns.lock().expect("conns").push(entry),
+            Ok(Ok(None)) => {}      // event backend: the loop owns it now
+            Ok(Err(_)) => continue, // socket setup failure: drop the connection
             Err(_) => {
                 // The panicked setup may have registered its completion
                 // route already; unregister (tolerant of the poison the
@@ -396,18 +996,34 @@ fn reject(mut stream: TcpStream, line: &str) {
     while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
 }
 
-/// Sets up one connection: registers the completion route, spawns the
-/// reader (which performs the handshake) and the writer.
-fn spawn_connection(
+/// Hands one accepted connection to the configured I/O backend.
+fn connection_intake(
     shared: &Arc<Shared>,
+    core: &Option<Arc<EventCore>>,
     stream: TcpStream,
     conn_id: u64,
-) -> std::io::Result<ConnHandle> {
+) -> std::io::Result<Option<ConnHandle>> {
     if let Some(plan) = &shared.faults {
         if plan.panic_accept == Some(conn_id) {
             panic!("{INJECTED_FAULT_MARKER} (accept, connection {conn_id})");
         }
     }
+    match core {
+        Some(core) => {
+            core.add_conn(stream, conn_id)?;
+            Ok(None)
+        }
+        None => spawn_connection(shared, stream, conn_id).map(Some),
+    }
+}
+
+/// Threaded backend: registers the completion route, spawns the reader
+/// (which performs the handshake) and the writer.
+fn spawn_connection(
+    shared: &Arc<Shared>,
+    stream: TcpStream,
+    conn_id: u64,
+) -> std::io::Result<ConnHandle> {
     let registry_stream = stream.try_clone()?;
     let write_stream = stream.try_clone()?;
 
@@ -428,115 +1044,21 @@ fn spawn_connection(
         writer_shared.lock_routes().remove(&conn_id);
         // Retire the connection's stream namespace so long-lived worker
         // memory (instances, warm yields, caches) tracks live clients.
-        // FIFO per worker orders this after every submitted request.
-        if let Some(pool) = writer_shared.pool.lock().expect("pool slot").as_mut() {
-            pool.retire_streams(conn_id << CONN_SHIFT, !SEQ_MASK);
-        }
+        writer_shared.retire_conn(conn_id);
     });
     Ok((registry_stream, reader, writer))
 }
 
-/// One bounded, timeout-polling line read (see [`READ_POLL`]).
-enum FrameLine {
-    Line(String),
-    Eof,
-    TooLong,
-    BadUtf8,
-    /// A quiet interval elapsed while the server is draining.
-    DrainTimeout,
-}
-
-/// Reads one line, keeping partial input in `partial` across timeout
-/// wake-ups so mid-line timeouts lose nothing. Never buffers more than
-/// `MAX_LINE_BYTES + 1` bytes.
-fn read_frame_line(
-    reader: &mut BufReader<TcpStream>,
-    partial: &mut Vec<u8>,
-    draining: &AtomicBool,
-) -> FrameLine {
-    loop {
-        let budget = (MAX_LINE_BYTES + 1).saturating_sub(partial.len());
-        match reader.take(budget as u64).read_until(b'\n', partial) {
-            Ok(0) => {
-                // EOF (a truncated final line is dropped — the client is
-                // gone mid-frame). `budget == 0` cannot reach here: the
-                // over-budget case returned `TooLong` below.
-                return FrameLine::Eof;
-            }
-            Ok(_) => {
-                if partial.last() == Some(&b'\n') {
-                    partial.pop();
-                    if partial.last() == Some(&b'\r') {
-                        partial.pop();
-                    }
-                    let bytes = std::mem::take(partial);
-                    return match String::from_utf8(bytes) {
-                        Ok(s) => FrameLine::Line(s),
-                        Err(_) => FrameLine::BadUtf8,
-                    };
-                }
-                if partial.len() > MAX_LINE_BYTES {
-                    return FrameLine::TooLong;
-                }
-                // Short read without newline (buffer boundary): read on.
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if draining.load(Ordering::SeqCst) {
-                    return FrameLine::DrainTimeout;
-                }
-            }
-            Err(_) => return FrameLine::Eof,
-        }
-    }
-}
-
-/// Parses frames off the socket, submits solver requests, narrates the
-/// submission order to the writer. Every exit path queues `Meta::Bye` so
-/// the writer terminates.
-fn read_loop(shared: Arc<Shared>, stream: TcpStream, conn_id: u64, meta: Sender<Meta>) {
+/// Threaded backend reader: blocking chunk reads (with the [`READ_POLL`]
+/// timeout as the drain's quiet detector) fed through the shared
+/// [`ConnProto`] engine; metas stream to the writer thread.
+fn read_loop(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64, meta: Sender<Meta>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
-    let mut reader = BufReader::new(stream);
-    let mut partial = Vec::new();
-    let fail = |meta: &Sender<Meta>, code, message: String| {
-        let _ = meta.send(Meta::Error { code, message });
-        let _ = meta.send(Meta::Bye);
+    let mut proto = ConnProto::new(conn_id);
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut sink = |m: Meta| {
+        let _ = meta.send(m);
     };
-
-    // Handshake: the hello line must come first.
-    match read_frame_line(&mut reader, &mut partial, &shared.draining) {
-        FrameLine::Line(hello) => {
-            let mut words = hello.split_whitespace();
-            let ok = words.next() == Some(wire::MAGIC)
-                && words.next().and_then(|v| v.parse::<u32>().ok()) == Some(PROTOCOL_VERSION)
-                && words.next().is_none();
-            if !ok {
-                fail(
-                    &meta,
-                    codes::BAD_VERSION,
-                    format!(
-                        "expected `{} {}`, got `{hello}`",
-                        wire::MAGIC,
-                        PROTOCOL_VERSION
-                    ),
-                );
-                return;
-            }
-            let _ = meta.send(Meta::Greeting);
-        }
-        FrameLine::TooLong => return fail(&meta, codes::FRAME_TOO_LARGE, "oversized hello".into()),
-        FrameLine::BadUtf8 => return fail(&meta, codes::BAD_UTF8, "hello not UTF-8".into()),
-        FrameLine::Eof | FrameLine::DrainTimeout => {
-            let _ = meta.send(Meta::Bye);
-            return;
-        }
-    }
-
-    let mut assembler = BlockAssembler::new();
-    let mut seq: u64 = 0;
-    let mut line_no: usize = 1;
     // When a drain begins, frames already in the socket buffer are still
     // consumed; the grace deadline stops a client that keeps streaming
     // from holding the drain open forever.
@@ -545,109 +1067,30 @@ fn read_loop(shared: Arc<Shared>, stream: TcpStream, conn_id: u64, meta: Sender<
         if shared.draining.load(Ordering::SeqCst) {
             let seen = *drain_seen.get_or_insert_with(std::time::Instant::now);
             if seen.elapsed() > DRAIN_GRACE {
-                return fail(&meta, codes::DRAINING, "server is draining".into());
+                return proto.fail(codes::DRAINING, "server is draining".into(), &mut sink);
             }
         }
-        line_no += 1;
-        let line = match read_frame_line(&mut reader, &mut partial, &shared.draining) {
-            FrameLine::Line(l) => l,
-            FrameLine::Eof | FrameLine::DrainTimeout => break,
-            FrameLine::TooLong => {
-                return fail(
-                    &meta,
-                    codes::FRAME_TOO_LARGE,
-                    format!("line {line_no} exceeds {MAX_LINE_BYTES} bytes"),
-                )
-            }
-            FrameLine::BadUtf8 => {
-                return fail(
-                    &meta,
-                    codes::BAD_UTF8,
-                    format!("line {line_no} is not valid UTF-8"),
-                )
-            }
-        };
-
-        if !assembler.in_block() {
-            let trimmed = line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
-            }
-            let (verb, rest) = trimmed
-                .split_once(char::is_whitespace)
-                .unwrap_or((trimmed, ""));
-            match verb {
-                "ping" => {
-                    let _ = meta.send(Meta::Pong(rest.trim().to_string()));
-                    continue;
-                }
-                "shutdown" => {
-                    // Begin the server-wide drain; this connection's
-                    // in-flight responses still go out before `bye`.
-                    shared.draining.store(true, Ordering::SeqCst);
-                    shared.request_shutdown();
-                    break;
-                }
-                "request" => {} // falls through to the assembler
-                other => {
-                    return fail(
-                        &meta,
-                        codes::UNKNOWN_VERB,
-                        format!("line {line_no}: unknown verb `{other}`"),
-                    )
+        match stream.read(&mut buf) {
+            Ok(0) => return proto.on_eof(&mut sink),
+            Ok(n) => {
+                if proto.feed(&shared, &buf[..n], &mut sink) == Flow::Closed {
+                    return;
                 }
             }
-        } else if line.trim() != "end" && assembler.body_lines() >= MAX_BODY_LINES {
-            // Only lines that would *join* the body count against the
-            // limit — a block of exactly MAX_BODY_LINES still closes.
-            return fail(
-                &meta,
-                codes::FRAME_TOO_LARGE,
-                format!("request block exceeds {MAX_BODY_LINES} body lines"),
-            );
-        }
-
-        match assembler.feed(line_no, &line) {
-            Ok(None) => {}
-            Ok(Some(request)) => {
-                if request.stream >= MAX_STREAM_ID {
-                    return fail(
-                        &meta,
-                        codes::BAD_FRAME,
-                        format!("stream id {} exceeds {}", request.stream, MAX_STREAM_ID - 1),
-                    );
-                }
-                let client_id = request.id;
-                let client_stream = request.stream;
-                let remapped = AllocRequest {
-                    id: (conn_id << CONN_SHIFT) | seq,
-                    stream: (conn_id << CONN_SHIFT) | client_stream,
-                    kind: request.kind,
-                    budget: request.budget,
-                    policy: request.policy,
-                };
-                let _ = meta.send(Meta::Request {
-                    seq,
-                    client_id,
-                    client_stream,
-                });
-                seq += 1;
-                let mut pool = shared.pool.lock().expect("pool slot");
-                match pool.as_mut() {
-                    Some(pool) => pool.submit(vec![remapped]),
-                    None => {
-                        // Drained under us: the writer answers instead.
-                        drop(pool);
-                        return fail(&meta, codes::DRAINING, "server is draining".into());
-                    }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                if shared.draining.load(Ordering::SeqCst) {
+                    // First quiet interval during a drain: done reading.
+                    return proto.on_eof(&mut sink);
                 }
             }
-            Err(e) => {
-                return fail(&meta, codes::BAD_FRAME, e.to_string());
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return proto.on_eof(&mut sink),
         }
     }
-    let _ = meta.send(Meta::Bye);
 }
 
 /// The writer's socket half: owns the buffered stream, the liveness
@@ -662,7 +1105,7 @@ fn read_loop(shared: Arc<Shared>, stream: TcpStream, conn_id: u64, meta: Sender<
 /// reader sees EOF, exits, and triggers stream retirement through the
 /// normal `bye` path.
 struct FrameWriter {
-    out: BufWriter<TcpStream>,
+    out: std::io::BufWriter<TcpStream>,
     alive: bool,
     conn_id: u64,
     faults: Option<FaultPlan>,
@@ -673,7 +1116,7 @@ struct FrameWriter {
 impl FrameWriter {
     fn new(stream: TcpStream, conn_id: u64, faults: Option<FaultPlan>) -> FrameWriter {
         FrameWriter {
-            out: BufWriter::new(stream),
+            out: std::io::BufWriter::new(stream),
             alive: true,
             conn_id,
             faults,
@@ -725,7 +1168,7 @@ impl FrameWriter {
     /// frame boundary, or (`midframe`) after leaking roughly half the
     /// frame's bytes, which is exactly the torn write a real mid-frame
     /// failure leaves behind.
-    fn emit_response_frame(&mut self, text: &str) {
+    fn emit_response_frame(&mut self, frame: &[u8]) {
         if !self.alive {
             return;
         }
@@ -736,14 +1179,14 @@ impl FrameWriter {
             .is_some_and(|point| self.frames >= point);
         if cut {
             if self.faults.as_ref().is_some_and(|f| f.midframe) {
-                let half = text.len() / 2;
-                let _ = self.out.write_all(&text.as_bytes()[..half]);
+                let half = frame.len() / 2;
+                let _ = self.out.write_all(&frame[..half]);
                 let _ = self.out.flush();
             }
             self.teardown();
             return;
         }
-        self.emit(text.as_bytes());
+        self.emit(frame);
         if self.alive {
             self.frames += 1;
         }
@@ -756,8 +1199,9 @@ impl FrameWriter {
     }
 }
 
-/// Emits frames in submission order, restoring client ids/streams on
-/// responses. Exits on `Bye` (or a dead socket).
+/// Threaded backend writer: emits frames in submission order, restoring
+/// client ids/streams on responses, encoding for the wire version the
+/// greeting negotiated. Exits on `Bye` (or a dead socket).
 fn write_loop(
     stream: TcpStream,
     meta: Receiver<Meta>,
@@ -771,7 +1215,9 @@ fn write_loop(
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut writer = FrameWriter::new(stream, conn_id, faults);
     let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
-    let mut text = String::new();
+    // Until the greeting lands the connection speaks v1 text (the
+    // handshake and its error answers are text in every version).
+    let mut wire: u32 = PROTOCOL_VERSION;
 
     // Blocking recv, but flush whenever the queue momentarily empties so
     // pipelined bursts coalesce and lone frames still go out promptly.
@@ -790,24 +1236,15 @@ fn write_loop(
                 }
             },
         };
-        text.clear();
-        let mut response_frame = false;
         match item {
-            Meta::Greeting => {
-                text.push_str(&format!("{} {} ready\n", wire::MAGIC, PROTOCOL_VERSION));
+            Meta::Greeting(v) => {
+                wire = v;
+                writer.emit(&greeting_frame(v));
             }
-            Meta::Pong(token) => {
-                if token.is_empty() {
-                    text.push_str("pong\n");
-                } else {
-                    text.push_str(&format!("pong {token}\n"));
-                }
-            }
-            Meta::Error { code, message } => {
-                text.push_str(&format!("error {code} {message}\n"));
-            }
+            Meta::Pong(token) => writer.emit(&pong_frame(wire, &token)),
+            Meta::Error { code, message } => writer.emit(&error_frame(wire, code, &message)),
             Meta::Bye => {
-                writer.emit(b"bye\n");
+                writer.emit(&bye_frame(wire));
                 writer.flush();
                 // Close the TCP connection for real: the drain registry
                 // holds another clone of this socket, so dropping our fd
@@ -834,15 +1271,7 @@ fn write_loop(
                 };
                 response.id = client_id;
                 response.stream = client_stream;
-                write_response(&mut text, &response);
-                response_frame = true;
-            }
-        }
-        if !text.is_empty() {
-            if response_frame {
-                writer.emit_response_frame(&text);
-            } else {
-                writer.emit(text.as_bytes());
+                writer.emit_response_frame(&response_frame(wire, &response));
             }
         }
         if next.is_none() {

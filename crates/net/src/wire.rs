@@ -42,9 +42,19 @@ use std::io::{BufRead, Read};
 use std::time::Duration;
 use vmplace_model::{AllocResponse, Placement, RequestOutcome, Solution};
 
-/// Protocol version spoken by this build. The hello/greeting carries it;
-/// mismatches are answered with an `error bad-version …` frame.
+/// The line-oriented text protocol version (the v1 this module
+/// implements). The hello/greeting carries the version; servers answer
+/// `min(client version, server maximum)` for known versions and
+/// `error bad-version …` for unknown ones.
 pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The length-prefixed binary protocol version (see [`crate::codec`]).
+/// After a `vmplace-net 2 ready` greeting both directions switch to
+/// binary frames; the handshake itself stays text in every version.
+pub const PROTOCOL_V2: u32 = 2;
+
+/// Highest protocol version this build can speak.
+pub const MAX_PROTOCOL_VERSION: u32 = PROTOCOL_V2;
 
 /// Magic word opening the hello and greeting lines.
 pub const MAGIC: &str = "vmplace-net";
@@ -77,6 +87,11 @@ pub mod codes {
     pub const UNKNOWN_VERB: &str = "unknown-verb";
     /// The server is shutting down and no longer accepts work.
     pub const DRAINING: &str = "draining";
+    /// The server is out of capacity to even accept the connection
+    /// (file-descriptor exhaustion). The message carries a
+    /// `retry-after-ms=N` hint, mirroring the `overloaded` response
+    /// outcome's retry contract.
+    pub const OVERLOADED: &str = "overloaded";
 }
 
 /// Errors surfaced by the client (and by the server's internal reader).

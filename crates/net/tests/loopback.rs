@@ -17,6 +17,7 @@ fn config(workers: usize) -> ServerConfig {
             workers,
             ..ServiceConfig::default()
         },
+        ..ServerConfig::default()
     }
 }
 

@@ -7,18 +7,21 @@
 //! fails the build.
 
 use std::io::BufReader;
+use vmplace_net::codec::{self, ClientFrame};
 use vmplace_net::wire::{read_server_frame, NetError, ServerFrame};
 use vmplace_service::trace_io::BlockAssembler;
 
 const README: &str = include_str!("../README.md");
 
-/// The contents of every ```frames fenced block, in document order.
-fn frames_blocks() -> Vec<String> {
+/// The contents of every fenced block with the given info string, in
+/// document order.
+fn fenced_blocks(tag: &str) -> Vec<String> {
+    let fence = format!("```{tag}");
     let mut blocks = Vec::new();
     let mut current: Option<String> = None;
     for line in README.lines() {
         match &mut current {
-            None if line.trim() == "```frames" => current = Some(String::new()),
+            None if line.trim() == fence => current = Some(String::new()),
             None => {}
             Some(block) => {
                 if line.trim() == "```" {
@@ -30,9 +33,14 @@ fn frames_blocks() -> Vec<String> {
             }
         }
     }
-    assert!(current.is_none(), "unclosed ```frames block in README");
-    assert!(!blocks.is_empty(), "README has no ```frames examples");
+    assert!(current.is_none(), "unclosed ```{tag} block in README");
+    assert!(!blocks.is_empty(), "README has no ```{tag} examples");
     blocks
+}
+
+/// The contents of every ```frames fenced block, in document order.
+fn frames_blocks() -> Vec<String> {
+    fenced_blocks("frames")
 }
 
 #[test]
@@ -142,4 +150,75 @@ fn readme_examples_carry_the_failure_model() {
     ] {
         assert!(seen.contains(&outcome), "no `{outcome:?}` example");
     }
+}
+
+#[test]
+fn readme_v2_hex_example_decodes_verbatim() {
+    use std::time::Duration;
+
+    // Everything left of a `#` in the ```v2-frames-hex block is wire
+    // bytes; concatenate and walk it with the production decoders.
+    let mut bytes = Vec::new();
+    for block in fenced_blocks("v2-frames-hex") {
+        for line in block.lines() {
+            let wire = line.split('#').next().unwrap_or("");
+            for word in wire.split_whitespace() {
+                let byte = u8::from_str_radix(word, 16)
+                    .unwrap_or_else(|e| panic!("bad hex `{word}` in README v2 example: {e}"));
+                bytes.push(byte);
+            }
+        }
+    }
+
+    let mut frames = Vec::new();
+    let mut rest = &bytes[..];
+    while !rest.is_empty() {
+        assert!(rest.len() >= codec::HEADER_LEN, "torn header in README hex");
+        let mut head = [0u8; codec::HEADER_LEN];
+        head.copy_from_slice(&rest[..codec::HEADER_LEN]);
+        let (kind, len) = codec::parse_header(&head);
+        let end = codec::HEADER_LEN + len as usize;
+        assert!(rest.len() >= end, "README hex truncates a body");
+        let body = &rest[codec::HEADER_LEN..end];
+        // The high bit of the kind says which direction's decoder owns it.
+        if kind & 0x80 == 0 {
+            frames.push(format!(
+                "{:?}",
+                codec::decode_client_frame(kind, body)
+                    .unwrap_or_else(|e| panic!("README client frame failed to decode: {e}"))
+            ));
+            if kind == codec::kind::REQUEST {
+                let ClientFrame::Request(req) =
+                    codec::decode_client_frame(kind, body).expect("request")
+                else {
+                    panic!("REQUEST kind decoded to a non-request frame");
+                };
+                assert_eq!(req.id, 3, "README example id");
+                assert_eq!(req.stream, 0, "README example stream");
+                assert_eq!(
+                    req.budget,
+                    Some(Duration::from_micros(500)),
+                    "README example budget"
+                );
+                assert!(
+                    matches!(req.kind, vmplace_model::RequestKind::Resolve),
+                    "README example is a resolve"
+                );
+            }
+        } else {
+            frames.push(format!(
+                "{:?}",
+                codec::decode_server_frame(kind, body)
+                    .unwrap_or_else(|e| panic!("README server frame failed to decode: {e}"))
+            ));
+        }
+        rest = &rest[end..];
+    }
+
+    // The documented conversation: request, ping, pong, bye — in order.
+    assert_eq!(frames.len(), 4, "README example frame count: {frames:?}");
+    assert!(frames[0].starts_with("Request"), "{frames:?}");
+    assert_eq!(frames[1], format!("{:?}", ClientFrame::Ping("ok".into())));
+    assert_eq!(frames[2], format!("{:?}", ServerFrame::Pong("ok".into())));
+    assert_eq!(frames[3], format!("{:?}", ServerFrame::Bye));
 }

@@ -60,6 +60,12 @@ pub struct FaultPlan {
     /// Accept-path panic: handling the connection with this index panics
     /// before the handshake (exercises the acceptor's panic guard).
     pub panic_accept: Option<u64>,
+    /// File-descriptor exhaustion: the acceptor treats the first N
+    /// accepted connections as if `accept(2)` had failed with `EMFILE`,
+    /// refusing each with the `overloaded` + retry-after answer and
+    /// backing off — the real exhaustion path, reachable without
+    /// actually starving the process of descriptors.
+    pub fd_exhaust: Option<u64>,
 }
 
 impl FaultPlan {
@@ -92,7 +98,8 @@ impl FaultPlan {
     /// Parses the CLI spelling: comma-separated items among
     /// `panic=<idx>` (repeatable), `drop=<frames>`, `midframe`,
     /// `shortwrite=<bytes>`, `delay-ms=<ms>`, `panic-accept=<conn>`,
-    /// `seed=<u64>`. Returns `None` on any unknown or malformed item.
+    /// `fd-exhaust=<n>`, `seed=<u64>`. Returns `None` on any unknown or
+    /// malformed item.
     pub fn parse(spec: &str) -> Option<FaultPlan> {
         let mut plan = FaultPlan::default();
         for item in spec.split(',') {
@@ -116,6 +123,7 @@ impl FaultPlan {
                     plan.write_delay = Some(Duration::from_millis(v.parse().ok()?))
                 }
                 Some(("panic-accept", v)) => plan.panic_accept = Some(v.parse().ok()?),
+                Some(("fd-exhaust", v)) => plan.fd_exhaust = Some(v.parse().ok()?),
                 Some(("seed", v)) => plan.seed = v.parse().ok()?,
                 None if item == "midframe" => plan.midframe = true,
                 _ => return None,
@@ -188,5 +196,13 @@ mod tests {
         // Unseeded plans drop at exactly the configured frame.
         let exact = FaultPlan::parse("drop=10").unwrap();
         assert_eq!(exact.drop_point(9), Some(10));
+    }
+
+    #[test]
+    fn fd_exhaust_parses_and_counts_as_non_empty() {
+        let plan = FaultPlan::parse("fd-exhaust=3").unwrap();
+        assert_eq!(plan.fd_exhaust, Some(3));
+        assert!(!plan.is_empty());
+        assert_eq!(FaultPlan::parse("fd-exhaust=x"), None);
     }
 }

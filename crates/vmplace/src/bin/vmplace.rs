@@ -10,9 +10,10 @@
 //!                [--shape spike|flash|churn] [--workers N] …
 //! vmplace serve  [--port P | --addr A] [--algo …] [--workers N] [--no-warm]
 //!                [--no-order] [--no-cache] [--budget-ms MS]
-//!                [--queue-depth N] [--faults SPEC]
+//!                [--queue-depth N] [--faults SPEC] [--wire v1|v2]
+//!                [--io threads|events] [--event-threads N]
 //! vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]
-//!                [--retries N] […--gen opts]
+//!                [--retries N] [--wire v1|v2] […--gen opts]
 //! vmplace gen    [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
 //! vmplace example
 //! ```
@@ -45,7 +46,8 @@
 //! it — the network twin of `replay`, with `--shutdown` to stop the
 //! server afterwards, `--ping` for a liveness round-trip, and
 //! `--retries N` for the resilient replay (reconnect with backoff,
-//! resubmit unanswered streams, honor retry hints).
+//! resubmit unanswered streams, honor retry hints; the up-front
+//! `--ping`/`--shutdown` connection retries refusals too).
 //!
 //! `gen` prints a generated §4-style instance (pipe it to a file, edit
 //! it, solve it). `example` prints the paper's Figure 1 instance.
@@ -66,9 +68,10 @@ fn usage() -> ! {
          \x20               [--shape spike|flash|churn] [--emit])\n  \
          vmplace serve [--port P | --addr A] [--algo A] [--workers N] [--no-warm]\n  \
          \x20              [--no-order] [--no-cache] [--budget-ms MS]\n  \
-         \x20              [--queue-depth N] [--faults SPEC]\n  \
+         \x20              [--queue-depth N] [--faults SPEC] [--wire v1|v2]\n  \
+         \x20              [--io threads|events] [--event-threads N]\n  \
          vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]\n  \
-         \x20              [--retries N] (--gen and --policy opts as for replay)\n  \
+         \x20              [--retries N] [--wire v1|v2] (--gen and --policy opts as for replay)\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -492,7 +495,32 @@ fn cmd_serve(args: &[String]) {
         (None, Some(port)) => format!("127.0.0.1:{port}"),
         (None, None) => "127.0.0.1:0".to_string(),
     };
-    let config = vmplace::net::ServerConfig { service };
+    let io = match flag_value(args, "--io") {
+        None => vmplace::net::IoBackend::default(),
+        Some(spec) => match vmplace::net::IoBackend::parse(&spec) {
+            Some(io) => io,
+            None => {
+                eprintln!("error: bad --io `{spec}` (use threads|events)");
+                std::process::exit(2);
+            }
+        },
+    };
+    let max_wire = match flag_value(args, "--wire").as_deref() {
+        None | Some("v2") => vmplace::net::wire::MAX_PROTOCOL_VERSION,
+        Some("v1") => 1,
+        Some(spec) => {
+            eprintln!("error: bad --wire `{spec}` (use v1|v2)");
+            std::process::exit(2);
+        }
+    };
+    let config = vmplace::net::ServerConfig {
+        service,
+        io,
+        event_threads: flag_value(args, "--event-threads")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        max_wire,
+    };
     let server = match vmplace::net::Server::bind(addr.as_str(), &config) {
         Ok(s) => s,
         Err(e) => {
@@ -506,22 +534,38 @@ fn cmd_serve(args: &[String]) {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     eprintln!(
-        "# serving algo {} on {} workers (warm {}, cache {}) — stop with `vmplace client <addr> --shutdown`",
+        "# serving algo {} on {} workers (warm {}, cache {}, io {:?}, wire ≤ v{}) — stop with `vmplace client <addr> --shutdown`",
         config.service.algo.label(),
         config.service.workers.max(1),
         config.service.warm_start,
         config.service.response_cache,
+        config.io,
+        config.max_wire,
     );
     server.wait();
     eprintln!("# drained and shut down");
 }
 
-fn connect_or_exit(addr: &str) -> vmplace::net::Client {
-    match vmplace::net::Client::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: cannot connect to {addr}: {e}");
-            std::process::exit(1);
+/// Connects or exits with a diagnostic; refused connections retry with
+/// doubling backoff up to `attempts` — under `--retries N` the up-front
+/// plain connection for `--ping`/`--shutdown` must survive the same
+/// transient refusals (`overloaded` greetings from fd exhaustion,
+/// accept-time drops) that the resilient replay reconnects through.
+fn connect_or_exit_retrying(addr: &str, wire: u32, attempts: u32) -> vmplace::net::Client {
+    let mut delay = std::time::Duration::from_millis(20);
+    let mut round = 0u32;
+    loop {
+        match vmplace::net::Client::connect_with(addr, wire) {
+            Ok(c) => return c,
+            Err(_) if round + 1 < attempts.max(1) => {
+                round += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(std::time::Duration::from_secs(2));
+            }
+            Err(e) => {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -530,6 +574,17 @@ fn connect_or_exit(addr: &str) -> vmplace::net::Client {
 fn cmd_client(args: &[String]) {
     let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
         usage();
+    };
+    // Defaults to v1 so existing scripts keep their byte-for-byte wire
+    // traffic; `--wire v2` opts into the binary framing (negotiated down
+    // transparently against a v1-only server).
+    let wire = match flag_value(args, "--wire").as_deref() {
+        None | Some("v1") => 1,
+        Some("v2") => vmplace::net::wire::PROTOCOL_V2,
+        Some(spec) => {
+            eprintln!("error: bad --wire `{spec}` (use v1|v2)");
+            std::process::exit(2);
+        }
     };
     // A trace is optional: `client <addr> --ping` and `client <addr>
     // --shutdown` are complete invocations on their own.
@@ -542,7 +597,7 @@ fn cmd_client(args: &[String]) {
     // attempts — `--retries` must survive that).
     let want_plain =
         args.iter().any(|a| a == "--ping" || a == "--shutdown") || (has_trace && retries.is_none());
-    let mut client = want_plain.then(|| connect_or_exit(addr));
+    let mut client = want_plain.then(|| connect_or_exit_retrying(addr, wire, retries.unwrap_or(1)));
 
     if args.iter().any(|a| a == "--ping") {
         let t0 = std::time::Instant::now();
@@ -563,13 +618,14 @@ fn cmd_client(args: &[String]) {
             // Resilient replay: reconnect with backoff across
             // teardowns, resubmit unanswered streams, honor
             // `retry-after-ms` — capped at this many attempts.
-            Some(attempts) => vmplace::net::replay_resilient(
+            Some(attempts) => vmplace::net::replay_resilient_with(
                 addr.as_str(),
                 &trace,
                 &vmplace::net::RetryPolicy {
                     max_attempts: attempts.max(1),
                     ..vmplace::net::RetryPolicy::default()
                 },
+                wire,
             ),
             None => client.as_mut().expect("plain client").replay(&trace),
         };

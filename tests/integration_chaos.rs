@@ -12,7 +12,11 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::time::Duration;
-use vmplace::net::{replay_resilient, Client, RetryPolicy, Server, ServerConfig};
+use vmplace::net::wire::PROTOCOL_V2;
+use vmplace::net::{
+    replay_resilient, replay_resilient_with, Client, IoBackend, NetError, RetryPolicy, Server,
+    ServerConfig,
+};
 use vmplace::prelude::*;
 use vmplace::service::INJECTED_FAULT_MARKER;
 
@@ -44,6 +48,25 @@ fn server_config(workers: usize) -> ServerConfig {
             response_cache: false,
             ..ServiceConfig::default()
         },
+        ..ServerConfig::default()
+    }
+}
+
+fn server_config_on(workers: usize, io: IoBackend) -> ServerConfig {
+    ServerConfig {
+        io,
+        ..server_config(workers)
+    }
+}
+
+/// The wire version each backend is paired with in the chaos matrix:
+/// the threaded baseline re-proves the PR 7 text-protocol contracts,
+/// the event backend runs the new binary framing — together they cover
+/// all four fault surfaces without doubling the grid again.
+fn chaos_wire(io: IoBackend) -> u32 {
+    match io {
+        IoBackend::Threads => 1,
+        IoBackend::Events => PROTOCOL_V2,
     }
 }
 
@@ -194,22 +217,27 @@ fn chaos_loopback_resilient_replay_equals_fault_free_run() {
         "shortwrite=7",
         "shortwrite=64,delay-ms=1",
     ];
-    for spec in plans {
-        let mut config = server_config(2);
-        config.service.faults = FaultPlan::parse(spec);
-        assert!(config.service.faults.is_some(), "plan `{spec}` must parse");
-        let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
+    for io in [IoBackend::Threads, IoBackend::Events] {
+        let wire = chaos_wire(io);
+        for spec in plans {
+            let what = format!("plan `{spec}` on {io:?} v{wire}");
+            let mut config = server_config_on(2, io);
+            config.service.faults = FaultPlan::parse(spec);
+            assert!(config.service.faults.is_some(), "{what}: plan must parse");
+            let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
 
-        let got = replay_resilient(server.local_addr(), &trace, &chaos_policy(16, 1))
-            .unwrap_or_else(|e| panic!("plan `{spec}`: resilient replay failed: {e}"));
-        server.shutdown();
+            let got =
+                replay_resilient_with(server.local_addr(), &trace, &chaos_policy(16, 1), wire)
+                    .unwrap_or_else(|e| panic!("{what}: resilient replay failed: {e}"));
+            server.shutdown();
 
-        // Complete, and every answer bit-for-bit the fault-free answer.
-        assert_replays_equal(&reference, &got, &format!("plan `{spec}`"));
-        assert!(
-            got.iter().all(|r| !r.outcome.is_retryable()),
-            "plan `{spec}`: a retryable verdict leaked into the final set"
-        );
+            // Complete, and every answer bit-for-bit the fault-free answer.
+            assert_replays_equal(&reference, &got, &what);
+            assert!(
+                got.iter().all(|r| !r.outcome.is_retryable()),
+                "{what}: a retryable verdict leaked into the final set"
+            );
+        }
     }
 }
 
@@ -268,47 +296,104 @@ fn acceptor_survives_connection_handler_panics() {
 
 #[test]
 fn overloaded_server_answers_every_request_and_resilient_replay_completes() {
-    let mut config = server_config(2);
-    config.service.overload = Some(OverloadControl {
-        queue_depth: 6,
-        shed_expired: true,
-    });
-    let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
-    let addr = server.local_addr();
-    let trace = test_trace(16, 13);
+    for io in [IoBackend::Threads, IoBackend::Events] {
+        let wire = chaos_wire(io);
+        let mut config = server_config_on(2, io);
+        config.service.overload = Some(OverloadControl {
+            queue_depth: 6,
+            shed_expired: true,
+        });
+        let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
+        let addr = server.local_addr();
+        let trace = test_trace(16, 13);
 
-    // A plain client bursting the whole trace gets one prompt answer per
-    // request — solved, or shed with a retry hint — never a hang.
-    let mut client = Client::connect(addr).expect("connect");
-    for request in &trace {
-        client.submit(request).expect("submit");
-    }
-    client.flush().expect("flush");
-    let responses: Result<Vec<_>, _> = client.responses().collect();
-    let responses = responses.expect("every burst request answered");
-    assert_eq!(responses.len(), trace.len());
-    for r in &responses {
-        if r.outcome == RequestOutcome::Overloaded {
-            assert!(
-                r.retry_after.is_some_and(|d| d > Duration::ZERO),
-                "overloaded answers carry a retry hint (id {})",
-                r.id
-            );
+        // A plain client bursting the whole trace gets one prompt answer
+        // per request — solved, or shed with a retry hint — never a hang.
+        let mut client = Client::connect_with(addr, wire).expect("connect");
+        for request in &trace {
+            client.submit(request).expect("submit");
         }
-    }
-    drop(client);
+        client.flush().expect("flush");
+        let responses: Result<Vec<_>, _> = client.responses().collect();
+        let responses = responses.expect("every burst request answered");
+        assert_eq!(responses.len(), trace.len());
+        for r in &responses {
+            if r.outcome == RequestOutcome::Overloaded {
+                assert!(
+                    r.retry_after.is_some_and(|d| d > Duration::ZERO),
+                    "{io:?}: overloaded answers carry a retry hint (id {})",
+                    r.id
+                );
+            }
+        }
+        drop(client);
 
-    // The resilient client turns the same burst into a complete run by
-    // honoring the hints and resubmitting shed prefixes.
-    let policy = RetryPolicy {
-        max_attempts: 64,
-        base_backoff: Duration::from_millis(1),
-        max_backoff: Duration::from_millis(50),
-        seed: 2,
-    };
-    let got = replay_resilient(addr, &trace, &policy).expect("resilient replay completes");
+        // The resilient client turns the same burst into a complete run
+        // by honoring the hints and resubmitting shed prefixes.
+        let policy = RetryPolicy {
+            max_attempts: 64,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            seed: 2,
+        };
+        let got = replay_resilient_with(addr, &trace, &policy, wire)
+            .unwrap_or_else(|e| panic!("{io:?}: resilient replay failed: {e}"));
+        assert_eq!(got.len(), trace.len());
+        assert!(got.iter().all(|r| !r.outcome.is_retryable()));
+        server.shutdown();
+    }
+}
+
+#[test]
+fn fd_exhaustion_backs_off_and_keeps_the_acceptor_alive() {
+    // `fd-exhaust=N` makes the acceptor treat its first N accepted
+    // connections as if accept(2) had failed with EMFILE: the reserve
+    // descriptor is burned to answer `overloaded` + retry-after instead
+    // of tearing the acceptor down.
+    for io in [IoBackend::Threads, IoBackend::Events] {
+        let mut config = server_config_on(1, io);
+        config.service.faults = FaultPlan::parse("fd-exhaust=2");
+        let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
+        let addr = server.local_addr();
+
+        for attempt in 0..2 {
+            match Client::connect(addr) {
+                Err(NetError::Remote { code, message }) => {
+                    assert_eq!(code, "overloaded", "{io:?} attempt {attempt}");
+                    assert!(
+                        message.contains("retry-after-ms="),
+                        "{io:?} attempt {attempt}: refusal must carry a retry hint, got `{message}`"
+                    );
+                }
+                Err(other) => {
+                    panic!("{io:?} attempt {attempt}: expected overloaded refusal, got {other:?}")
+                }
+                Ok(_) => panic!("{io:?} attempt {attempt}: connection must be refused"),
+            }
+        }
+        // The acceptor survived both synthetic exhaustions and serves the
+        // third connection fully.
+        let mut client = Client::connect(addr).expect("acceptor kept accepting");
+        let responses = client.replay(&test_trace(6, 31)).expect("replay");
+        assert_eq!(responses.len(), 6);
+        drop(client);
+        server.shutdown();
+    }
+
+    // The resilient client rides through the refusals on its own: the
+    // `overloaded` greeting is a retryable error like any other.
+    let mut config = server_config_on(1, IoBackend::Events);
+    config.service.faults = FaultPlan::parse("fd-exhaust=3");
+    let mut server = Server::bind("127.0.0.1:0", &config).expect("bind");
+    let trace = test_trace(8, 33);
+    let got = replay_resilient_with(
+        server.local_addr(),
+        &trace,
+        &chaos_policy(16, 7),
+        PROTOCOL_V2,
+    )
+    .expect("resilient replay converges through fd exhaustion");
     assert_eq!(got.len(), trace.len());
-    assert!(got.iter().all(|r| !r.outcome.is_retryable()));
     server.shutdown();
 }
 
