@@ -19,5 +19,21 @@ fn main() {
             r.simplex_iterations as f64 / r.nodes as f64,
             t.elapsed().as_secs_f64()
         );
+        let f = &r.factor;
+        println!(
+            "          refactor={} warm_reuse={:.2} fill_nnz={} eta_folds={} snapshots={} eta_clones={} \
+             ftran_sparsity={:.3} btran_sparse={}/{} btran_sparsity={:.3} batched_cols={}",
+            f.refactorisations,
+            f.warm_reuse_ratio(),
+            f.fill_nnz,
+            f.eta_folds,
+            f.snapshots,
+            f.snapshot_eta_clones,
+            f.ftran_sparsity(),
+            f.btran_sparse,
+            f.btran_solves,
+            f.btran_sparsity(),
+            f.pricing_batched_cols
+        );
     }
 }

@@ -72,6 +72,25 @@ fn main() {
                         r.simplex_iterations,
                         r.simplex_iterations as f64 / r.nodes.max(1) as f64
                     );
+                    let f = &r.factor;
+                    println!(
+                        "         factorisation: {} refactorisations (warm reuse {:.2}, fill {} nnz), {} eta folds, {} snapshots ({} eta clones)",
+                        f.refactorisations,
+                        f.warm_reuse_ratio(),
+                        f.fill_nnz,
+                        f.eta_folds,
+                        f.snapshots,
+                        f.snapshot_eta_clones
+                    );
+                    println!(
+                        "         solves: {} FTRAN (sparsity {:.3}), {} BTRAN ({} sparse, sparsity {:.3}), {} batched pricing cols",
+                        f.ftran_solves,
+                        f.ftran_sparsity(),
+                        f.btran_solves,
+                        f.btran_sparse,
+                        f.btran_sparsity(),
+                        f.pricing_batched_cols
+                    );
                 }
             }
         }

@@ -37,5 +37,7 @@ pub mod yield_lp;
 
 pub use milp::{solve_milp, MilpOptions, MilpResult, MilpSolver, MilpStatus};
 pub use problem::{LinearProgram, RowSense, VarId};
-pub use simplex::{BasisSnapshot, LpSolution, LpStatus, SimplexOptions, SimplexSolver};
+pub use simplex::{
+    BasisSnapshot, FactorStats, LpSolution, LpStatus, SimplexOptions, SimplexSolver,
+};
 pub use yield_lp::{RelaxedSolution, YieldLp};

@@ -8,7 +8,15 @@
 //! The factorisation satisfies `P·B = L·U` with `L` unit lower triangular
 //! and `U` upper triangular in pivot order; `P` maps pivot order to original
 //! row indices. Both ordinary and transpose solves are provided — the
-//! simplex method needs `B·x = a` (FTRAN) and `Bᵀ·y = c_B` (BTRAN).
+//! simplex method needs `B·x = a` (FTRAN) and `Bᵀ·y = c_B` (BTRAN) — in
+//! dense, sparsity-exploiting, and batched multi-RHS variants.
+//!
+//! Because the construction is left-looking, column `j` of `L`/`U` depends
+//! only on input columns `0..=j` (and the pivot rows they chose). A new
+//! factorisation whose leading columns match an existing one can therefore
+//! reuse that prefix verbatim — see [`SparseLu::refactorize_from`] — and the
+//! result is bit-for-bit identical to refactorising from scratch; no
+//! separate pivot-compatibility check is needed.
 
 /// Error returned when the matrix is numerically singular.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,18 +34,21 @@ impl std::fmt::Display for SingularMatrix {
 impl std::error::Error for SingularMatrix {}
 
 const PIVOT_TOL: f64 = 1e-11;
+const UNPIVOTED: usize = usize::MAX;
 
-/// Reusable scratch space for [`SparseLu::solve_sparse`].
+/// Reusable scratch space for [`SparseLu::solve_sparse`] and
+/// [`SparseLu::solve_transpose_sparse`].
 ///
 /// Holds the DFS markers and stacks of the symbolic phases so repeated
-/// solves (the simplex FTRAN inner loop) allocate nothing. One instance may
-/// be shared across factorisations of different matrices; it grows to the
-/// largest dimension seen.
+/// solves (the simplex FTRAN/BTRAN inner loops) allocate nothing. One
+/// instance may be shared across factorisations of different matrices; it
+/// grows to the largest dimension seen.
 #[derive(Clone, Debug, Default)]
 pub struct SolveScratch {
     visited: Vec<bool>,
     stack: Vec<(usize, usize)>,
     reach_l: Vec<usize>,
+    reach_u: Vec<usize>,
 }
 
 impl SolveScratch {
@@ -64,18 +75,19 @@ pub struct SparseLu {
     // pivot_row[k] = original row pivoted at step k; pivot_of_row inverse.
     pivot_row: Vec<usize>,
     pivot_of_row: Vec<usize>,
+    // Row-wise (CSR) *pattern* mirrors, values omitted, used by the sparse
+    // transpose symbolic walks: `ut` lists for each pivot m the columns
+    // k > m whose U column contains row m; `lt` lists for each pivot p the
+    // columns k < p whose L column contains original row `pivot_row[p]`.
+    ut_ptr: Vec<usize>,
+    ut_cols: Vec<usize>,
+    lt_ptr: Vec<usize>,
+    lt_cols: Vec<usize>,
 }
 
 impl SparseLu {
-    /// Factorises an `n×n` matrix given by a column-provider callback:
-    /// `column(j, buf)` must fill `buf` with the `(row, value)` entries of
-    /// column `j` (unsorted is fine, duplicates are not allowed).
-    pub fn factorize<F>(n: usize, mut column: F) -> Result<SparseLu, SingularMatrix>
-    where
-        F: FnMut(usize, &mut Vec<(usize, f64)>),
-    {
-        const UNPIVOTED: usize = usize::MAX;
-        let mut lu = SparseLu {
+    fn empty(n: usize) -> SparseLu {
+        SparseLu {
             n,
             l_ptr: vec![0],
             l_rows: Vec::new(),
@@ -86,8 +98,87 @@ impl SparseLu {
             diag: vec![0.0; n],
             pivot_row: vec![0; n],
             pivot_of_row: vec![UNPIVOTED; n],
-        };
+            ut_ptr: Vec::new(),
+            ut_cols: Vec::new(),
+            lt_ptr: Vec::new(),
+            lt_cols: Vec::new(),
+        }
+    }
 
+    /// Factorises an `n×n` matrix given by a column-provider callback:
+    /// `column(j, buf)` must fill `buf` with the `(row, value)` entries of
+    /// column `j` (unsorted is fine, duplicates are not allowed).
+    pub fn factorize<F>(n: usize, mut column: F) -> Result<SparseLu, SingularMatrix>
+    where
+        F: FnMut(usize, &mut Vec<(usize, f64)>),
+    {
+        let mut lu = SparseLu::empty(n);
+        lu.factorize_columns(0, &mut column)?;
+        lu.build_row_patterns();
+        Ok(lu)
+    }
+
+    /// Factorises a matrix that shares its leading `keep` columns with
+    /// `prev`, reusing the already-computed `L`/`U` prefix.
+    ///
+    /// `column` is only consulted for columns `keep..n`. Left-looking
+    /// construction makes column `j` a function of input columns `0..=j`
+    /// alone, so the reused prefix — and the remainder built on top of it —
+    /// is bit-for-bit identical to a full [`SparseLu::factorize`] of the
+    /// whole matrix. `keep` is typically the longest common prefix of the
+    /// old and new simplex basis column lists.
+    pub fn refactorize_from<F>(
+        prev: &SparseLu,
+        keep: usize,
+        mut column: F,
+    ) -> Result<SparseLu, SingularMatrix>
+    where
+        F: FnMut(usize, &mut Vec<(usize, f64)>),
+    {
+        debug_assert!(keep <= prev.n);
+        let mut lu = prev.prefix(keep);
+        lu.factorize_columns(keep, &mut column)?;
+        lu.build_row_patterns();
+        Ok(lu)
+    }
+
+    /// A partially-factorised copy holding only columns `0..keep`.
+    fn prefix(&self, keep: usize) -> SparseLu {
+        let ln = self.l_ptr[keep];
+        let un = self.u_ptr[keep];
+        let mut pivot_of_row = vec![UNPIVOTED; self.n];
+        let mut pivot_row = vec![0; self.n];
+        pivot_row[..keep].copy_from_slice(&self.pivot_row[..keep]);
+        for (k, &r) in pivot_row[..keep].iter().enumerate() {
+            pivot_of_row[r] = k;
+        }
+        let mut diag = vec![0.0; self.n];
+        diag[..keep].copy_from_slice(&self.diag[..keep]);
+        SparseLu {
+            n: self.n,
+            l_ptr: self.l_ptr[..=keep].to_vec(),
+            l_rows: self.l_rows[..ln].to_vec(),
+            l_vals: self.l_vals[..ln].to_vec(),
+            u_ptr: self.u_ptr[..=keep].to_vec(),
+            u_rows: self.u_rows[..un].to_vec(),
+            u_vals: self.u_vals[..un].to_vec(),
+            diag,
+            pivot_row,
+            pivot_of_row,
+            ut_ptr: Vec::new(),
+            ut_cols: Vec::new(),
+            lt_ptr: Vec::new(),
+            lt_cols: Vec::new(),
+        }
+    }
+
+    /// Runs the left-looking loop for columns `start..n`. Columns `0..start`
+    /// must already be factored (`l_ptr`/`u_ptr` have `start + 1` entries).
+    fn factorize_columns<F>(&mut self, start: usize, column: &mut F) -> Result<(), SingularMatrix>
+    where
+        F: FnMut(usize, &mut Vec<(usize, f64)>),
+    {
+        let n = self.n;
         let mut x = vec![0.0f64; n]; // dense accumulator
         let mut in_pattern = vec![false; n]; // row -> currently in pattern
         let mut pattern: Vec<usize> = Vec::new(); // touched rows
@@ -96,7 +187,7 @@ impl SparseLu {
         let mut visited = vec![false; n]; // pivot index -> visited this column
         let mut stack: Vec<(usize, usize)> = Vec::new(); // DFS (pivot, l-cursor)
 
-        for j in 0..n {
+        for j in start..n {
             colbuf.clear();
             column(j, &mut colbuf);
 
@@ -118,20 +209,20 @@ impl SparseLu {
             // pattern through L (fill-in), iteratively to bound stack depth.
             for pi in 0..pattern.len() {
                 let r = pattern[pi];
-                let k0 = lu.pivot_of_row[r];
+                let k0 = self.pivot_of_row[r];
                 if k0 == UNPIVOTED || visited[k0] {
                     continue;
                 }
                 visited[k0] = true;
-                stack.push((k0, lu.l_ptr[k0]));
+                stack.push((k0, self.l_ptr[k0]));
                 while let Some(&(k, cursor)) = stack.last() {
-                    let end = lu.l_ptr[k + 1];
+                    let end = self.l_ptr[k + 1];
                     let mut next_child = None;
                     let mut c = cursor;
                     while c < end {
-                        let r2 = lu.l_rows[c];
+                        let r2 = self.l_rows[c];
                         c += 1;
-                        let k2 = lu.pivot_of_row[r2];
+                        let k2 = self.pivot_of_row[r2];
                         if k2 != UNPIVOTED && !visited[k2] {
                             next_child = Some(k2);
                             break;
@@ -141,7 +232,7 @@ impl SparseLu {
                     match next_child {
                         Some(k2) => {
                             visited[k2] = true;
-                            stack.push((k2, lu.l_ptr[k2]));
+                            stack.push((k2, self.l_ptr[k2]));
                         }
                         None => {
                             reached.push(k);
@@ -157,18 +248,18 @@ impl SparseLu {
             // Numeric phase: sparse lower-triangular solve.
             for &k in &reached {
                 visited[k] = false; // reset for next column
-                let xk = x[lu.pivot_row[k]];
+                let xk = x[self.pivot_row[k]];
                 if xk == 0.0 {
                     continue;
                 }
-                for idx in lu.l_ptr[k]..lu.l_ptr[k + 1] {
-                    let r2 = lu.l_rows[idx];
+                for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                    let r2 = self.l_rows[idx];
                     if !in_pattern[r2] {
                         in_pattern[r2] = true;
                         pattern.push(r2);
                         x[r2] = 0.0;
                     }
-                    x[r2] -= lu.l_vals[idx] * xk;
+                    x[r2] -= self.l_vals[idx] * xk;
                 }
             }
 
@@ -176,7 +267,7 @@ impl SparseLu {
             let mut best_row = UNPIVOTED;
             let mut best_abs = 0.0f64;
             for &r in &pattern {
-                if lu.pivot_of_row[r] == UNPIVOTED {
+                if self.pivot_of_row[r] == UNPIVOTED {
                     let a = x[r].abs();
                     if a > best_abs {
                         best_abs = a;
@@ -195,24 +286,24 @@ impl SparseLu {
 
             // Emit U column (pivoted rows) and L column (unpivoted rows).
             for &r in &pattern {
-                let k = lu.pivot_of_row[r];
+                let k = self.pivot_of_row[r];
                 if k != UNPIVOTED && x[r] != 0.0 {
-                    lu.u_rows.push(k);
-                    lu.u_vals.push(x[r]);
+                    self.u_rows.push(k);
+                    self.u_vals.push(x[r]);
                 }
             }
-            lu.u_ptr.push(lu.u_rows.len());
+            self.u_ptr.push(self.u_rows.len());
             let pivot_val = x[best_row];
-            lu.diag[j] = pivot_val;
+            self.diag[j] = pivot_val;
             for &r in &pattern {
-                if lu.pivot_of_row[r] == UNPIVOTED && r != best_row && x[r] != 0.0 {
-                    lu.l_rows.push(r);
-                    lu.l_vals.push(x[r] / pivot_val);
+                if self.pivot_of_row[r] == UNPIVOTED && r != best_row && x[r] != 0.0 {
+                    self.l_rows.push(r);
+                    self.l_vals.push(x[r] / pivot_val);
                 }
             }
-            lu.l_ptr.push(lu.l_rows.len());
-            lu.pivot_of_row[best_row] = j;
-            lu.pivot_row[j] = best_row;
+            self.l_ptr.push(self.l_rows.len());
+            self.pivot_of_row[best_row] = j;
+            self.pivot_row[j] = best_row;
 
             // Clear scratch.
             for &r in &pattern {
@@ -220,7 +311,56 @@ impl SparseLu {
                 x[r] = 0.0;
             }
         }
-        Ok(lu)
+        Ok(())
+    }
+
+    /// Builds the row-wise pattern mirrors of `U` and `L` (counting sort;
+    /// values are not duplicated). These drive the symbolic reachability of
+    /// [`SparseLu::solve_transpose_sparse`].
+    fn build_row_patterns(&mut self) {
+        let n = self.n;
+        // U: entry (m, k) lives in column k with u_rows == m; mirror keyed
+        // by m. The two-slot shift lets `ut_ptr[m + 1]` double as the fill
+        // cursor for row m and land on the final CSR offsets.
+        self.ut_ptr.clear();
+        self.ut_ptr.resize(n + 2, 0);
+        for &m in &self.u_rows {
+            self.ut_ptr[m + 2] += 1;
+        }
+        for i in 2..n + 2 {
+            self.ut_ptr[i] += self.ut_ptr[i - 1];
+        }
+        self.ut_cols.clear();
+        self.ut_cols.resize(self.u_rows.len(), 0);
+        for k in 0..n {
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                let m = self.u_rows[idx];
+                self.ut_cols[self.ut_ptr[m + 1]] = k;
+                self.ut_ptr[m + 1] += 1;
+            }
+        }
+        self.ut_ptr.pop();
+
+        // L: entry in column k with original row r belongs to pivot
+        // p = pivot_of_row[r] > k; mirror keyed by p.
+        self.lt_ptr.clear();
+        self.lt_ptr.resize(n + 2, 0);
+        for &r in &self.l_rows {
+            self.lt_ptr[self.pivot_of_row[r] + 2] += 1;
+        }
+        for i in 2..n + 2 {
+            self.lt_ptr[i] += self.lt_ptr[i - 1];
+        }
+        self.lt_cols.clear();
+        self.lt_cols.resize(self.l_rows.len(), 0);
+        for k in 0..n {
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                let p = self.pivot_of_row[self.l_rows[idx]];
+                self.lt_cols[self.lt_ptr[p + 1]] = k;
+                self.lt_ptr[p + 1] += 1;
+            }
+        }
+        self.lt_ptr.pop();
     }
 
     /// Matrix dimension.
@@ -232,6 +372,15 @@ impl SparseLu {
     /// Number of stored nonzeros in `L` and `U` (diagnostics).
     pub fn fill_nnz(&self) -> usize {
         self.l_rows.len() + self.u_rows.len() + self.n
+    }
+
+    /// The pivot permutation: element `k` is the original row pivoted at
+    /// elimination step `k`. Two factorisations of the same basis are
+    /// identical iff their pivot rows (and values) agree — the differential
+    /// suites compare this to certify warm ≡ cold.
+    #[inline]
+    pub fn pivot_rows(&self) -> &[usize] {
+        &self.pivot_row[..self.n]
     }
 
     /// Solves `B·x = b`.
@@ -259,6 +408,45 @@ impl SparseLu {
             if xk != 0.0 {
                 for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
                     out[self.u_rows[idx]] -= self.u_vals[idx] * xk;
+                }
+            }
+        }
+    }
+
+    /// Solves `B·x = b` for `N` right-hand sides at once.
+    ///
+    /// Lane `i` of `b`/`out` is one right-hand side, laid out exactly as in
+    /// [`SparseLu::solve`]. The factor entries are loaded once per column
+    /// and applied to every lane, so the memory traffic over `L`/`U` is paid
+    /// once instead of `N` times. Each lane's arithmetic runs in the same
+    /// order as a scalar solve, so per-lane results equal `N` sequential
+    /// [`SparseLu::solve`] calls.
+    pub fn solve_batch<const N: usize>(&self, b: &mut [[f64; N]], out: &mut [[f64; N]]) {
+        debug_assert_eq!(b.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        for k in 0..self.n {
+            let w = b[self.pivot_row[k]];
+            out[k] = w;
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                let r = self.l_rows[idx];
+                let v = self.l_vals[idx];
+                for lane in 0..N {
+                    b[r][lane] -= v * w[lane];
+                }
+            }
+        }
+        for k in (0..self.n).rev() {
+            let d = self.diag[k];
+            let mut xk = out[k];
+            for lane in 0..N {
+                xk[lane] /= d;
+            }
+            out[k] = xk;
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                let m = self.u_rows[idx];
+                let v = self.u_vals[idx];
+                for lane in 0..N {
+                    out[m][lane] -= v * xk[lane];
                 }
             }
         }
@@ -422,6 +610,179 @@ impl SparseLu {
             out[self.pivot_row[k]] = c[k];
         }
     }
+
+    /// Solves `Bᵀ·y = c` for `N` right-hand sides at once.
+    ///
+    /// Lane layout and contracts follow [`SparseLu::solve_transpose`]; the
+    /// factor is traversed once per column with every lane updated in the
+    /// scalar arithmetic order, so per-lane results equal `N` sequential
+    /// [`SparseLu::solve_transpose`] calls.
+    pub fn solve_transpose_batch<const N: usize>(&self, c: &mut [[f64; N]], out: &mut [[f64; N]]) {
+        debug_assert_eq!(c.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        for k in 0..self.n {
+            let mut s = c[k];
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                let v = self.u_vals[idx];
+                let cm = c[self.u_rows[idx]];
+                for lane in 0..N {
+                    s[lane] -= v * cm[lane];
+                }
+            }
+            let d = self.diag[k];
+            for lane in 0..N {
+                s[lane] /= d;
+            }
+            c[k] = s;
+        }
+        for k in (0..self.n).rev() {
+            let mut s = c[k];
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                let v = self.l_vals[idx];
+                let cp = c[self.pivot_of_row[self.l_rows[idx]]];
+                for lane in 0..N {
+                    s[lane] -= v * cp[lane];
+                }
+            }
+            c[k] = s;
+        }
+        for k in 0..self.n {
+            out[self.pivot_row[k]] = c[k];
+        }
+    }
+
+    /// Solves `Bᵀ·y = c` exploiting sparsity of the right-hand side.
+    ///
+    /// `c` (indexed by pivot order) must be zero outside the positions
+    /// listed in `c_pattern`, and `out` (indexed by original row) must be
+    /// entirely zero on entry. The symbolic phases walk the row-wise
+    /// pattern mirrors (`Uᵀ` then `Lᵀ`), while the numeric phases *gather*
+    /// through the column-stored factors in exactly the order of
+    /// [`SparseLu::solve_transpose`] — so every computed entry is
+    /// bit-identical to the dense path (untouched entries stay `0.0` where
+    /// dense may produce a differently-signed zero). On return `c` is
+    /// restored to all-zero and `out_pattern` lists every original row of
+    /// `out` that may be nonzero.
+    pub fn solve_transpose_sparse(
+        &self,
+        c: &mut [f64],
+        c_pattern: &[usize],
+        out: &mut [f64],
+        out_pattern: &mut Vec<usize>,
+        scratch: &mut SolveScratch,
+    ) {
+        debug_assert_eq!(c.len(), self.n);
+        debug_assert_eq!(out.len(), self.n);
+        debug_assert_eq!(self.ut_ptr.len(), self.n + 1, "row patterns not built");
+        scratch.ensure(self.n);
+
+        // Symbolic forward pass: z[k] can be nonzero iff k is reachable
+        // from the c-pattern through Uᵀ — edges m → k for every column
+        // k > m whose U column contains row m (the `ut` mirror). Reverse
+        // postorder puts ancestors (smaller k) first: a valid order for the
+        // ascending forward substitution.
+        scratch.reach_u.clear();
+        for &k0 in c_pattern {
+            if scratch.visited[k0] {
+                continue;
+            }
+            scratch.visited[k0] = true;
+            scratch.stack.push((k0, self.ut_ptr[k0]));
+            while let Some(&(k, cursor)) = scratch.stack.last() {
+                let end = self.ut_ptr[k + 1];
+                let mut next_child = None;
+                let mut cur = cursor;
+                while cur < end {
+                    let k2 = self.ut_cols[cur];
+                    cur += 1;
+                    if !scratch.visited[k2] {
+                        next_child = Some(k2);
+                        break;
+                    }
+                }
+                scratch.stack.last_mut().unwrap().1 = cur;
+                match next_child {
+                    Some(k2) => {
+                        scratch.visited[k2] = true;
+                        scratch.stack.push((k2, self.ut_ptr[k2]));
+                    }
+                    None => {
+                        scratch.reach_u.push(k);
+                        scratch.stack.pop();
+                    }
+                }
+            }
+        }
+        // Numeric forward: gather s = c[k] − Σ U[m,k]·z[m] over column k's
+        // full stored pattern, identical to the dense loop (entries outside
+        // the reach set are zero and contribute nothing).
+        for &k in scratch.reach_u.iter().rev() {
+            scratch.visited[k] = false;
+            let mut s = c[k];
+            for idx in self.u_ptr[k]..self.u_ptr[k + 1] {
+                s -= self.u_vals[idx] * c[self.u_rows[idx]];
+            }
+            c[k] = s / self.diag[k];
+        }
+
+        // Symbolic backward pass: w[k] can be nonzero iff k is reachable
+        // from the z-pattern through Lᵀ — edges p → k for every column
+        // k < p whose L column contains original row pivot_row[p] (the `lt`
+        // mirror). Reverse postorder puts larger k first: a valid order for
+        // the descending backward substitution.
+        scratch.reach_l.clear();
+        for &k0 in &scratch.reach_u {
+            if scratch.visited[k0] {
+                continue;
+            }
+            scratch.visited[k0] = true;
+            scratch.stack.push((k0, self.lt_ptr[k0]));
+            while let Some(&(k, cursor)) = scratch.stack.last() {
+                let end = self.lt_ptr[k + 1];
+                let mut next_child = None;
+                let mut cur = cursor;
+                while cur < end {
+                    let k2 = self.lt_cols[cur];
+                    cur += 1;
+                    if !scratch.visited[k2] {
+                        next_child = Some(k2);
+                        break;
+                    }
+                }
+                scratch.stack.last_mut().unwrap().1 = cur;
+                match next_child {
+                    Some(k2) => {
+                        scratch.visited[k2] = true;
+                        scratch.stack.push((k2, self.lt_ptr[k2]));
+                    }
+                    None => {
+                        scratch.reach_l.push(k);
+                        scratch.stack.pop();
+                    }
+                }
+            }
+        }
+        // Numeric backward: gather s = z[k] − Σ L[r,k]·w[κ(r)] over column
+        // k's full stored pattern, again identical to the dense loop.
+        for &k in scratch.reach_l.iter().rev() {
+            scratch.visited[k] = false;
+            let mut s = c[k];
+            for idx in self.l_ptr[k]..self.l_ptr[k + 1] {
+                s -= self.l_vals[idx] * c[self.pivot_of_row[self.l_rows[idx]]];
+            }
+            c[k] = s;
+        }
+
+        // Scatter y = Pᵀ·w, record the pattern, and restore c to zero. The
+        // backward reach contains the forward reach (its DFS roots), so one
+        // sweep clears everything written.
+        out_pattern.clear();
+        for &k in &scratch.reach_l {
+            out[self.pivot_row[k]] = c[k];
+            out_pattern.push(self.pivot_row[k]);
+            c[k] = 0.0;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -502,12 +863,9 @@ mod tests {
         assert!(r.is_err());
     }
 
-    #[test]
-    fn larger_random_matrix() {
-        // Deterministic pseudo-random sparse diagonally-dominant matrix.
-        let n = 60;
+    fn random_sparse(n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut a = vec![vec![0.0f64; n]; n];
-        let mut state = 0x12345678u64;
+        let mut state = seed;
         let mut rnd = || {
             state = state
                 .wrapping_mul(6364136223846793005)
@@ -521,8 +879,14 @@ mod tests {
             }
             a[i][i] += 8.0; // dominance => nonsingular
         }
+        a
+    }
+
+    #[test]
+    fn larger_random_matrix() {
+        let a = random_sparse(60, 0x12345678);
         let refs: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
-        let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 2.0).collect();
+        let b: Vec<f64> = (0..60).map(|i| (i as f64) * 0.1 - 2.0).collect();
         check_solve(&refs, &b);
         check_solve_transpose(&refs, &b);
     }
@@ -570,6 +934,169 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sparse_transpose_matches_dense_transpose() {
+        // Sparse right-hand sides through solve_transpose_sparse must agree
+        // bit-for-bit with the dense transpose path, restore c to zero, and
+        // report a pattern covering every nonzero of the solution.
+        for (n, seed) in [(20usize, 0xfeedu64), (60, 0xdeadbeef)] {
+            let a = random_sparse(n, seed);
+            let refs: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
+            let lu = factor(&refs);
+            let mut scratch = SolveScratch::default();
+            for nz in 0..n {
+                for &nz2 in &[nz, (nz + 7) % n, (nz + n / 2) % n] {
+                    let mut c_dense = vec![0.0; n];
+                    c_dense[nz] = 1.25;
+                    c_dense[nz2] += -0.75;
+                    let mut expect = c_dense.clone();
+                    let mut y_dense = vec![0.0; n];
+                    lu.solve_transpose(&mut expect, &mut y_dense);
+
+                    let mut c = c_dense.clone();
+                    let mut pattern = vec![nz];
+                    if nz2 != nz {
+                        pattern.push(nz2);
+                    }
+                    let mut y = vec![0.0; n];
+                    let mut out_pattern = Vec::new();
+                    lu.solve_transpose_sparse(
+                        &mut c,
+                        &pattern,
+                        &mut y,
+                        &mut out_pattern,
+                        &mut scratch,
+                    );
+                    assert!(c.iter().all(|&v| v == 0.0), "c not restored to zero");
+                    for r in 0..n {
+                        assert!(
+                            y[r] == y_dense[r],
+                            "y[{r}] = {} vs dense {}",
+                            y[r],
+                            y_dense[r]
+                        );
+                        if y[r] != 0.0 {
+                            assert!(out_pattern.contains(&r), "pattern misses nonzero {r}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_solves_match_sequential() {
+        const N: usize = 4;
+        let a = random_sparse(40, 0xabcd);
+        let refs: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
+        let n = refs.len();
+        let lu = factor(&refs);
+        let mut state = 0x55aa55aau64;
+        let mut rnd = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) - 1.0
+        };
+        let rhs: Vec<Vec<f64>> = (0..N).map(|_| (0..n).map(|_| rnd()).collect()).collect();
+
+        // FTRAN batch vs N scalar solves.
+        let mut b_batch: Vec<[f64; N]> =
+            (0..n).map(|i| std::array::from_fn(|l| rhs[l][i])).collect();
+        let mut x_batch = vec![[0.0f64; N]; n];
+        lu.solve_batch(&mut b_batch, &mut x_batch);
+        for (lane, r) in rhs.iter().enumerate() {
+            let mut b = r.clone();
+            let mut x = vec![0.0; n];
+            lu.solve(&mut b, &mut x);
+            for k in 0..n {
+                assert!(
+                    x_batch[k][lane] == x[k],
+                    "ftran lane {lane} pos {k}: {} vs {}",
+                    x_batch[k][lane],
+                    x[k]
+                );
+            }
+        }
+
+        // BTRAN batch vs N scalar transpose solves.
+        let mut c_batch: Vec<[f64; N]> =
+            (0..n).map(|i| std::array::from_fn(|l| rhs[l][i])).collect();
+        let mut y_batch = vec![[0.0f64; N]; n];
+        lu.solve_transpose_batch(&mut c_batch, &mut y_batch);
+        for (lane, r) in rhs.iter().enumerate() {
+            let mut c = r.clone();
+            let mut y = vec![0.0; n];
+            lu.solve_transpose(&mut c, &mut y);
+            for k in 0..n {
+                assert!(
+                    y_batch[k][lane] == y[k],
+                    "btran lane {lane} pos {k}: {} vs {}",
+                    y_batch[k][lane],
+                    y[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_refactorisation_is_bit_identical() {
+        // Factor A, then build B sharing a leading column prefix with A and
+        // differing afterwards; refactorize_from must equal a from-scratch
+        // factorisation of B exactly (pivot rows, values, solves).
+        let n = 50;
+        let a = random_sparse(n, 0x1357);
+        let mut b = a.clone();
+        let mut state = 0x2468u64;
+        let mut rnd = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64 / 2.0) - 1.0
+        };
+        for keep in [0usize, 1, 17, 30, n - 1, n] {
+            // B = A on columns 0..keep, perturbed (dense-ish, so pivoting
+            // reshuffles) on columns keep..n.
+            for col in 0..n {
+                for row in 0..n {
+                    b[row][col] = a[row][col];
+                    if col >= keep {
+                        b[row][col] += rnd() * 0.5;
+                    }
+                }
+                if col >= keep {
+                    b[col][col] += 4.0;
+                }
+            }
+            let refs_b: Vec<&[f64]> = b.iter().map(|r| r.as_slice()).collect();
+            let cols_b = dense_cols(&refs_b);
+            let refs_a: Vec<&[f64]> = a.iter().map(|r| r.as_slice()).collect();
+            let lu_a = factor(&refs_a);
+            let cold = SparseLu::factorize(n, |j, buf| buf.extend_from_slice(&cols_b[j])).unwrap();
+            let warm = SparseLu::refactorize_from(&lu_a, keep, |j, buf| {
+                assert!(j >= keep, "column callback consulted inside the prefix");
+                buf.extend_from_slice(&cols_b[j])
+            })
+            .unwrap();
+
+            assert_eq!(warm.pivot_rows(), cold.pivot_rows(), "keep={keep}");
+            assert_eq!(warm.fill_nnz(), cold.fill_nnz(), "keep={keep}");
+            let rhs: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 4.0).collect();
+            let (mut b1, mut b2) = (rhs.clone(), rhs.clone());
+            let mut x1 = vec![0.0; n];
+            let mut x2 = vec![0.0; n];
+            warm.solve(&mut b1, &mut x1);
+            cold.solve(&mut b2, &mut x2);
+            assert!(x1 == x2, "keep={keep}: warm/cold FTRAN differ");
+            let (mut c1, mut c2) = (rhs.clone(), rhs.clone());
+            let mut y1 = vec![0.0; n];
+            let mut y2 = vec![0.0; n];
+            warm.solve_transpose(&mut c1, &mut y1);
+            cold.solve_transpose(&mut c2, &mut y2);
+            assert!(y1 == y2, "keep={keep}: warm/cold BTRAN differ");
         }
     }
 

@@ -15,7 +15,7 @@
 //! worst-case instances from running away.
 
 use crate::problem::LinearProgram;
-use crate::simplex::{BasisSnapshot, LpStatus, SimplexOptions, SimplexSolver};
+use crate::simplex::{BasisSnapshot, FactorStats, LpStatus, SimplexOptions, SimplexSolver};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -92,6 +92,10 @@ pub struct MilpResult {
     /// Total simplex iterations across every node LP solve (solver-effort
     /// telemetry: warm starts should keep this far below `nodes × cold`).
     pub simplex_iterations: usize,
+    /// Factorisation and pricing telemetry accumulated across every node LP
+    /// solve: refactorisation counts, warm-column reuse, eta folds,
+    /// FTRAN/BTRAN sparsity, and snapshot eta-clone counts.
+    pub factor: FactorStats,
 }
 
 /// A pending node: its bound box, the basis of the parent that spawned it
@@ -181,7 +185,8 @@ impl MilpSolver {
         self.solver.reset_state();
         let deadline = self.opts.time_budget.map(|b| Instant::now() + b);
         self.solver.set_deadline(deadline);
-        let result = self.search(deadline);
+        let mut result = self.search(deadline);
+        result.factor = self.solver.stats().clone();
         self.solver.set_deadline(None);
         result
     }
@@ -244,6 +249,7 @@ impl MilpSolver {
                     values: best_values,
                     nodes,
                     simplex_iterations,
+                    factor: FactorStats::default(),
                 };
             }
             // Wall-clock cutoff, checked once per node; the node's own simplex
@@ -255,6 +261,7 @@ impl MilpSolver {
                     values: best_values,
                     nodes,
                     simplex_iterations,
+                    factor: FactorStats::default(),
                 };
             }
             nodes += 1;
@@ -273,6 +280,7 @@ impl MilpSolver {
                         values: best_values,
                         nodes,
                         simplex_iterations,
+                        factor: FactorStats::default(),
                     };
                 }
                 LpStatus::Unbounded | LpStatus::IterationLimit | LpStatus::Numerical => {
@@ -282,6 +290,7 @@ impl MilpSolver {
                         values: best_values,
                         nodes,
                         simplex_iterations,
+                        factor: FactorStats::default(),
                     };
                 }
             }
@@ -419,6 +428,7 @@ impl MilpSolver {
             values: best_values,
             nodes,
             simplex_iterations,
+            factor: FactorStats::default(),
         }
     }
 }

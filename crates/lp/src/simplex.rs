@@ -22,17 +22,29 @@
 //! * The basis inverse is kept as a sparse LU factorisation
 //!   ([`crate::lu::SparseLu`]) of a reference basis plus a product-form eta
 //!   file; the basis is refactorised every `refactor_interval` pivots, which
-//!   also recomputes the basic values to wash out drift.
+//!   also recomputes the basic values to wash out drift. Refactorisation is
+//!   *partial*: the longest common prefix of the reference LU's basis and
+//!   the current basis is reused verbatim through
+//!   [`crate::lu::SparseLu::refactorize_from`] (left-looking columns depend
+//!   only on earlier columns, so the reuse is bit-for-bit identical to a
+//!   from-scratch rebuild; disable with [`SimplexOptions::partial_refactor`]
+//!   to ablate).
 //! * Pricing is candidate-list partial pricing with static steepest-edge
 //!   scoring (`|d_j| / √(1 + ‖a_j‖²)`): a short list of attractive columns
 //!   is re-priced against fresh duals each iteration and refilled by a
 //!   rotating section scan once it goes stale; a full rotation with no
-//!   candidate proves optimality. A long degenerate stall switches to
-//!   Bland's rule (full lowest-index scan), restoring the termination
-//!   guarantee.
+//!   candidate proves optimality. With
+//!   [`SimplexOptions::exact_candidate_weights`] the refill finalists get
+//!   *exact* steepest-edge weights `√(1 + ‖B⁻¹a_j‖²)` from one batched
+//!   multi-RHS FTRAN ([`crate::lu::SparseLu::solve_batch`]). A long
+//!   degenerate stall switches to Bland's rule (full lowest-index scan),
+//!   restoring the termination guarantee.
 //! * FTRAN tracks the nonzero pattern symbolically through
 //!   [`crate::lu::SparseLu::solve_sparse`] and the eta file, so the ratio
-//!   test and basic-value updates touch only actual nonzeros.
+//!   test and basic-value updates touch only actual nonzeros. BTRAN does
+//!   the same through [`crate::lu::SparseLu::solve_transpose_sparse`]
+//!   whenever `c_B` is sparse (in phase 2 of the yield LP it has a single
+//!   nonzero), falling back to the dense transpose solve otherwise.
 //! * The ratio test performs bound flips for the entering variable when the
 //!   opposite bound is reached first, and breaks near-ties by pivot
 //!   magnitude for numerical stability.
@@ -41,6 +53,7 @@ use crate::lu::{SolveScratch, SparseLu};
 use crate::problem::{LinearProgram, RowSense};
 use crate::sparse::CscMatrix;
 use std::rc::Rc;
+
 use std::time::Instant;
 
 /// Options controlling the simplex method.
@@ -56,6 +69,16 @@ pub struct SimplexOptions {
     pub opt_tol: f64,
     /// Consecutive degenerate pivots before switching to Bland's rule.
     pub stall_threshold: usize,
+    /// Reuse the unchanged leading columns of the previous reference LU on
+    /// refactorisation (see [`crate::lu::SparseLu::refactorize_from`]).
+    /// The produced factorisation is bit-identical either way; turning this
+    /// off exists for differential testing and benchmarking only.
+    pub partial_refactor: bool,
+    /// Compute *exact* steepest-edge weights `√(1 + ‖B⁻¹a_j‖²)` for the
+    /// candidate-list refill finalists via one batched multi-RHS FTRAN,
+    /// instead of the static column norms. Changes pivot sequences
+    /// (deterministically); off by default.
+    pub exact_candidate_weights: bool,
 }
 
 impl Default for SimplexOptions {
@@ -66,6 +89,8 @@ impl Default for SimplexOptions {
             feas_tol: 1e-7,
             opt_tol: 1e-7,
             stall_threshold: 800,
+            partial_refactor: true,
+            exact_candidate_weights: false,
         }
     }
 }
@@ -123,6 +148,110 @@ pub struct BasisSnapshot {
     /// top of it — shared so warm starts skip refactorisation entirely.
     lu: Option<Rc<SparseLu>>,
     etas: Rc<Vec<Eta>>,
+    /// The basis the reference LU factorised (`basis` minus the eta-file
+    /// pivots) — the anchor for partial refactorisation after restore.
+    lu_basis: Rc<Vec<usize>>,
+}
+
+/// Factorisation and triangular-solve telemetry accumulated by a
+/// [`SimplexSolver`] since its last [`SimplexSolver::reset_state`] (for a
+/// [`crate::MilpSolver`], one branch & bound tree).
+///
+/// Every counter is observational: reading or resetting it never affects
+/// the solve path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FactorStats {
+    /// Reference-LU rebuilds (interval refactorisations, snapshot eta
+    /// fold-ins, and warm-start restores without a shared factorisation).
+    pub refactorisations: u64,
+    /// Basis columns factored from scratch across all refactorisations.
+    pub cols_factored: u64,
+    /// Basis columns reused verbatim from the previous reference LU
+    /// (partial refactorisation warm reuse).
+    pub cols_reused: u64,
+    /// Snapshot-triggered eta-file fold-ins (a refactorisation taken
+    /// because the eta file grew past the snapshot fold threshold).
+    pub eta_folds: u64,
+    /// Stored nonzeros of the most recent reference LU.
+    pub fill_nnz: usize,
+    /// Sparsity-tracked FTRAN solves (one per simplex pivot attempt).
+    pub ftran_solves: u64,
+    /// Total nonzeros across all FTRAN results.
+    pub ftran_nnz: u64,
+    /// Total FTRAN result length (`m` per solve) — denominator for
+    /// [`FactorStats::ftran_sparsity`].
+    pub ftran_dim: u64,
+    /// Dual (BTRAN) solves performed.
+    pub btran_solves: u64,
+    /// BTRAN solves that took the sparse reachability path.
+    pub btran_sparse: u64,
+    /// Total nonzeros across sparse-path BTRAN results (the pattern length
+    /// the reachability walk reports; the dense path does not count its
+    /// output — scanning it would cost more than the telemetry is worth).
+    pub btran_nnz: u64,
+    /// Total sparse-path BTRAN result length (`m` per sparse solve) —
+    /// denominator for [`FactorStats::btran_sparsity`].
+    pub btran_dim: u64,
+    /// Candidate columns re-weighted through batched multi-RHS FTRANs
+    /// (only nonzero with [`SimplexOptions::exact_candidate_weights`]).
+    pub pricing_batched_cols: u64,
+    /// Basis snapshots taken.
+    pub snapshots: u64,
+    /// Snapshots that had to deep-clone the eta file (the rest reused the
+    /// cached `Rc` because no pivot had touched the file in between).
+    pub snapshot_eta_clones: u64,
+}
+
+impl FactorStats {
+    /// Fraction of refactorised basis columns reused from the previous
+    /// reference LU (0 when no refactorisation happened).
+    pub fn warm_reuse_ratio(&self) -> f64 {
+        let total = self.cols_factored + self.cols_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.cols_reused as f64 / total as f64
+        }
+    }
+
+    /// Mean FTRAN result density `nnz / m` (1.0 = dense).
+    pub fn ftran_sparsity(&self) -> f64 {
+        if self.ftran_dim == 0 {
+            0.0
+        } else {
+            self.ftran_nnz as f64 / self.ftran_dim as f64
+        }
+    }
+
+    /// Mean sparse-path BTRAN result density `nnz / m` (1.0 = dense);
+    /// 0.0 when no BTRAN took the sparse path.
+    pub fn btran_sparsity(&self) -> f64 {
+        if self.btran_dim == 0 {
+            0.0
+        } else {
+            self.btran_nnz as f64 / self.btran_dim as f64
+        }
+    }
+
+    /// Merges another solver's counters into this one (used when a result
+    /// aggregates several solver lifetimes).
+    pub fn absorb(&mut self, other: &FactorStats) {
+        self.refactorisations += other.refactorisations;
+        self.cols_factored += other.cols_factored;
+        self.cols_reused += other.cols_reused;
+        self.eta_folds += other.eta_folds;
+        self.fill_nnz = other.fill_nnz.max(self.fill_nnz);
+        self.ftran_solves += other.ftran_solves;
+        self.ftran_nnz += other.ftran_nnz;
+        self.ftran_dim += other.ftran_dim;
+        self.btran_solves += other.btran_solves;
+        self.btran_sparse += other.btran_sparse;
+        self.btran_nnz += other.btran_nnz;
+        self.btran_dim += other.btran_dim;
+        self.pricing_batched_cols += other.pricing_batched_cols;
+        self.snapshots += other.snapshots;
+        self.snapshot_eta_clones += other.snapshot_eta_clones;
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -143,7 +272,16 @@ const SECTION_MIN: usize = 64;
 const REFILL_DECAY: f64 = 0.5;
 /// Snapshots fold eta files at least this long into a fresh LU; shorter
 /// files are cheaper to clone than to refactorise away.
-const SNAPSHOT_FOLD_ETAS: usize = 24;
+const SNAPSHOT_FOLD_ETAS: usize = 16;
+/// Lanes per batched multi-RHS pricing FTRAN (exact candidate weights).
+const PRICE_BATCH: usize = 8;
+/// The dual solve takes the sparse BTRAN path when `c_B` (after the eta
+/// transpose application) touches at most this fraction of the basis.
+/// The reachability walk only beats the dense triangular sweeps when the
+/// right-hand side is *very* sparse — at these basis sizes (m ≈ 70) the
+/// transpose reach closure of even a handful of entries covers most of the
+/// matrix, so the threshold is deliberately strict.
+const BTRAN_SPARSE_FRACTION: usize = 32;
 /// The iteration loop polls the wall-clock deadline whenever
 /// `iterations & DEADLINE_CHECK_MASK == 0` — every 64th iteration, keeping
 /// the `Instant::now` syscall off the per-pivot hot path.
@@ -184,19 +322,40 @@ pub struct SimplexSolver {
     xb: Vec<f64>,
     rhs: Vec<f64>,
     lu: Option<Rc<SparseLu>>,
+    /// The basis the reference LU factorised; shared with snapshots so a
+    /// restore re-anchors partial refactorisation without copying.
+    lu_basis: Rc<Vec<usize>>,
     lu_scratch: SolveScratch,
     etas: Vec<Eta>,
+    /// Cached `Rc` of the eta file handed to the last snapshot; reused by
+    /// later snapshots until a pivot or refactorisation touches the file.
+    snap_etas: Option<Rc<Vec<Eta>>>,
     opts: SimplexOptions,
     // scratch
     dense_a: Vec<f64>,
     dense_b: Vec<f64>,
     y: Vec<f64>,
+    /// Positions of `y` written by the last sparse BTRAN (`y_dense` false).
+    y_pattern: Vec<usize>,
+    /// Whether the last BTRAN overwrote all of `y` via the dense path.
+    y_dense: bool,
+    /// BTRAN right-hand side c_B; all-zero between calls.
+    du: Vec<f64>,
+    du_pattern: Vec<usize>,
+    du_mark: Vec<bool>,
     fb: Vec<f64>, // FTRAN right-hand side; all-zero between calls
     t: Vec<f64>,  // FTRAN result; zero outside t_pattern between pivots
     t_pattern: Vec<usize>,
     t_mark: Vec<bool>,
+    // batched pricing scratch (lazily sized to m)
+    batch_b: Vec<[f64; PRICE_BATCH]>,
+    batch_x: Vec<[f64; PRICE_BATCH]>,
     // pricing
     cand: Vec<usize>,
+    /// Steepest-edge weight per cached candidate (parallel to `cand`):
+    /// the static column norm, or the exact `√(1 + ‖B⁻¹a_j‖²)` when
+    /// `exact_candidate_weights` is on.
+    cand_weight: Vec<f64>,
     scan_cursor: usize,
     /// Static steepest-edge weights: `√(1 + ‖a_j‖²)` per column.
     col_norm: Vec<f64>,
@@ -209,6 +368,7 @@ pub struct SimplexSolver {
     bland: bool,
     /// Wall-clock cutoff checked periodically in the iteration loop.
     deadline: Option<Instant>,
+    stats: FactorStats,
 }
 
 /// Solves `lp` with the given structural-variable bounds (callers may
@@ -284,17 +444,27 @@ impl SimplexSolver {
             xb: vec![0.0; m],
             rhs: lp.rhs.clone(),
             lu: None,
+            lu_basis: Rc::new(Vec::new()),
             lu_scratch: SolveScratch::default(),
             etas: Vec::new(),
+            snap_etas: None,
             opts,
             dense_a: vec![0.0; m],
             dense_b: vec![0.0; m],
             y: vec![0.0; m],
+            y_pattern: Vec::new(),
+            y_dense: false,
+            du: vec![0.0; m],
+            du_pattern: Vec::new(),
+            du_mark: vec![false; m],
             fb: vec![0.0; m],
             t: vec![0.0; m],
             t_pattern: Vec::new(),
             t_mark: vec![false; m],
+            batch_b: Vec::new(),
+            batch_x: Vec::new(),
             cand: Vec::new(),
+            cand_weight: Vec::new(),
             scan_cursor: 0,
             col_norm,
             refill_floor: 0.0,
@@ -302,7 +472,22 @@ impl SimplexSolver {
             degenerate_streak: 0,
             bland: false,
             deadline: None,
+            stats: FactorStats::default(),
         }
+    }
+
+    /// Factorisation and triangular-solve telemetry accumulated since the
+    /// last [`SimplexSolver::reset_state`].
+    pub fn stats(&self) -> &FactorStats {
+        &self.stats
+    }
+
+    /// Pivot rows of the current reference LU, or `None` before the first
+    /// factorisation. Differential suites compare this across solvers to
+    /// certify that partial and full refactorisation produce the same
+    /// pivot sequence.
+    pub fn lu_pivot_rows(&self) -> Option<&[usize]> {
+        self.lu.as_deref().map(SparseLu::pivot_rows)
     }
 
     /// The options this solver was built with.
@@ -335,20 +520,29 @@ impl SimplexSolver {
         self.basis.fill(0);
         self.xb.fill(0.0);
         self.lu = None;
+        self.lu_basis = Rc::new(Vec::new());
         self.etas.clear();
+        self.snap_etas = None;
         self.dense_a.fill(0.0);
         self.dense_b.fill(0.0);
         self.y.fill(0.0);
+        self.y_pattern.clear();
+        self.y_dense = false;
+        self.du.fill(0.0);
+        self.du_pattern.clear();
+        self.du_mark.fill(false);
         self.fb.fill(0.0);
         self.t.fill(0.0);
         self.t_pattern.clear();
         self.t_mark.fill(false);
         self.cand.clear();
+        self.cand_weight.clear();
         self.scan_cursor = 0;
         self.refill_floor = 0.0;
         self.iterations = 0;
         self.degenerate_streak = 0;
         self.bland = false;
+        self.stats = FactorStats::default();
     }
 
     /// Captures the current basis and variable statuses for warm-starting a
@@ -359,15 +553,31 @@ impl SimplexSolver {
     /// folded into a fresh LU first — cloning it would cost more than the
     /// factorisation it saves.
     pub fn snapshot(&mut self) -> BasisSnapshot {
-        if self.lu.is_some() && self.etas.len() >= SNAPSHOT_FOLD_ETAS && self.refactorize().is_err()
-        {
-            self.lu = None; // defensive: snapshot degrades to basis-only
+        if self.lu.is_some() && self.etas.len() >= SNAPSHOT_FOLD_ETAS {
+            self.stats.eta_folds += 1;
+            if self.refactorize().is_err() {
+                self.lu = None; // defensive: snapshot degrades to basis-only
+            }
         }
+        self.stats.snapshots += 1;
+        // Branch & bound snapshots the same state once per branched node
+        // (both children share it) and often re-snapshots an unchanged
+        // solver; clone the eta file only when it actually changed.
+        let etas = match &self.snap_etas {
+            Some(rc) => rc.clone(),
+            None => {
+                self.stats.snapshot_eta_clones += 1;
+                let rc = Rc::new(self.etas.clone());
+                self.snap_etas = Some(rc.clone());
+                rc
+            }
+        };
         BasisSnapshot {
             status: self.status.clone(),
             basis: self.basis.clone(),
             lu: self.lu.clone(),
-            etas: Rc::new(self.etas.clone()),
+            etas,
+            lu_basis: self.lu_basis.clone(),
         }
     }
 
@@ -528,11 +738,16 @@ impl SimplexSolver {
                 self.status[j] = self.normalize_status(j, snap.status[j]);
             }
             self.etas.clear();
+            self.snap_etas = None;
             if let Some(lu) = &snap.lu {
                 // The snapshot carries the factorisation of exactly this
                 // basis: reference LU plus the eta file on top of it.
                 self.lu = Some(lu.clone());
+                self.lu_basis = snap.lu_basis.clone();
                 self.etas.clone_from(&snap.etas);
+                // The eta file now equals the snapshot's Rc verbatim; a
+                // snapshot taken before the next pivot can reuse it.
+                self.snap_etas = Some(snap.etas.clone());
                 self.recompute_xb();
             } else {
                 if self.refactorize().is_err() {
@@ -661,6 +876,7 @@ impl SimplexSolver {
             }
         }
         self.etas.clear();
+        self.snap_etas = None;
         if self.refactorize().is_err() {
             return LpStatus::Numerical;
         }
@@ -807,6 +1023,7 @@ impl SimplexSolver {
                         pivot,
                         entries,
                     });
+                    self.snap_etas = None;
                     self.note_degenerate(step <= self.opts.feas_tol);
 
                     if self.etas.len() >= self.opts.refactor_interval {
@@ -830,43 +1047,154 @@ impl SimplexSolver {
     }
 
     /// y = Bᵀ⁻¹ c_B via the eta file and the LU transpose solve.
+    ///
+    /// `c_B` is assembled sparsely (in phase 2 of the yield LP the
+    /// objective has a single nonzero) and the eta transpose application is
+    /// pattern-tracked — each eta changes only its own position, so the
+    /// pattern grows by at most one per eta. When the resulting right-hand
+    /// side stays sparse the LU solve takes the reachability-walk transpose
+    /// path; either way `y` holds the dense-valued duals afterwards (zeros
+    /// everywhere the solution is zero).
     fn compute_duals(&mut self) {
         let m = self.m;
-        let u = &mut self.dense_a;
+        let du = &mut self.du;
+        let du_mark = &mut self.du_mark;
+        let du_pattern = &mut self.du_pattern;
+        du_pattern.clear();
         for p in 0..m {
-            u[p] = self.cost[self.basis[p]];
+            let c = self.cost[self.basis[p]];
+            if c != 0.0 {
+                du[p] = c;
+                du_mark[p] = true;
+                du_pattern.push(p);
+            }
         }
         for eta in self.etas.iter().rev() {
             // uᵀ ← uᵀ E⁻¹: only component `pos` changes.
             let mut dot = 0.0;
             for &(p, v) in &eta.entries {
-                dot += v * u[p];
+                dot += v * du[p];
             }
-            u[eta.pos] = (u[eta.pos] - dot) / eta.pivot;
+            du[eta.pos] = (du[eta.pos] - dot) / eta.pivot;
+            if !du_mark[eta.pos] {
+                du_mark[eta.pos] = true;
+                du_pattern.push(eta.pos);
+            }
         }
-        self.lu
-            .as_ref()
-            .expect("factorized")
-            .solve_transpose(u, &mut self.y);
+
+        // Clear the previous duals down to the zero invariant.
+        if self.y_dense {
+            self.y.fill(0.0);
+        } else {
+            for &r in &self.y_pattern {
+                self.y[r] = 0.0;
+            }
+        }
+        self.y_pattern.clear();
+        let lu = self.lu.as_ref().expect("factorized");
+        self.stats.btran_solves += 1;
+        if self.du_pattern.len() * BTRAN_SPARSE_FRACTION <= m {
+            lu.solve_transpose_sparse(
+                &mut self.du,
+                &self.du_pattern,
+                &mut self.y,
+                &mut self.y_pattern,
+                &mut self.lu_scratch,
+            );
+            self.y_dense = false;
+            self.stats.btran_sparse += 1;
+            self.stats.btran_nnz += self.y_pattern.len() as u64;
+            self.stats.btran_dim += m as u64;
+            // The sparse solve restored `du` to zero; drop the marks.
+            for &p in &self.du_pattern {
+                self.du_mark[p] = false;
+            }
+        } else {
+            lu.solve_transpose(&mut self.du, &mut self.y);
+            self.y_dense = true;
+            // The dense solve consumed `du` as scratch: restore it.
+            self.du.fill(0.0);
+            for &p in &self.du_pattern {
+                self.du_mark[p] = false;
+            }
+        }
     }
 
     /// Entering eligibility of column `j` against the current duals:
-    /// `(direction, score)` where direction +1 increases from the resting
-    /// point and −1 decreases. The score is the reduced-cost magnitude
-    /// normalised by the static steepest-edge column weight, which picks
-    /// markedly better pivots than raw Dantzig scoring.
+    /// `(direction, |d_j|)` where direction +1 increases from the resting
+    /// point and −1 decreases. Callers normalise the reduced-cost magnitude
+    /// by a steepest-edge weight (static column norm or the exact batched
+    /// weight), which picks markedly better pivots than raw Dantzig
+    /// scoring.
     fn eligibility(&self, j: usize) -> Option<(f64, f64)> {
+        match self.status[j] {
+            VarStatus::Basic(_) => None,
+            VarStatus::AtLower | VarStatus::AtUpper if self.upper[j] - self.lower[j] <= 0.0 => {
+                None // fixed
+            }
+            _ => self.eligibility_given(j, self.reduced_cost(j)),
+        }
+    }
+
+    /// Prices the contiguous column run `lo..hi` against the refill sweep's
+    /// dots, appending eligible entries as `(column, direction, score,
+    /// static weight)`. Zipped slice iteration keeps the per-column cost to
+    /// a handful of branch-predictable loads — this loop sees every column
+    /// of the problem once per refill and most are rejected.
+    fn scan_run(&self, lo: usize, hi: usize, found: &mut Vec<(usize, f64, f64, f64)>) {
         let tol = self.opts.opt_tol;
-        let attractive = |d: f64| d / self.col_norm[j];
+        for j in lo..hi {
+            let (dir, absd) = match self.status[j] {
+                VarStatus::Basic(_) => continue,
+                VarStatus::AtLower => {
+                    if self.upper[j] - self.lower[j] <= 0.0 {
+                        continue;
+                    }
+                    let d = self.reduced_cost(j);
+                    if d >= -tol {
+                        continue;
+                    }
+                    (1.0, -d)
+                }
+                VarStatus::AtUpper => {
+                    if self.upper[j] - self.lower[j] <= 0.0 {
+                        continue;
+                    }
+                    let d = self.reduced_cost(j);
+                    if d <= tol {
+                        continue;
+                    }
+                    (-1.0, d)
+                }
+                VarStatus::Free => {
+                    let d = self.reduced_cost(j);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            let nm = self.col_norm[j];
+            found.push((j, dir, absd / nm, nm));
+        }
+    }
+
+    /// [`SimplexSolver::eligibility`] with the reduced cost already in hand
+    /// — the refill scan computes every column's `d` in one row sweep.
+    #[inline]
+    fn eligibility_given(&self, j: usize, d: f64) -> Option<(f64, f64)> {
+        let tol = self.opts.opt_tol;
         match self.status[j] {
             VarStatus::Basic(_) => None,
             VarStatus::AtLower => {
                 if self.upper[j] - self.lower[j] <= 0.0 {
                     return None; // fixed
                 }
-                let d = self.reduced_cost(j);
                 if d < -tol {
-                    Some((1.0, attractive(-d)))
+                    Some((1.0, -d))
                 } else {
                     None
                 }
@@ -875,19 +1203,17 @@ impl SimplexSolver {
                 if self.upper[j] - self.lower[j] <= 0.0 {
                     return None;
                 }
-                let d = self.reduced_cost(j);
                 if d > tol {
-                    Some((-1.0, attractive(d)))
+                    Some((-1.0, d))
                 } else {
                     None
                 }
             }
             VarStatus::Free => {
-                let d = self.reduced_cost(j);
                 if d < -tol {
-                    Some((1.0, attractive(-d)))
+                    Some((1.0, -d))
                 } else if d > tol {
-                    Some((-1.0, attractive(d)))
+                    Some((-1.0, d))
                 } else {
                     None
                 }
@@ -902,19 +1228,28 @@ impl SimplexSolver {
             return self.price_bland();
         }
         // Re-price the cached candidates against the fresh duals; drop the
-        // ones no longer attractive.
+        // ones no longer attractive. Each candidate is scored against its
+        // stored steepest-edge weight.
         let mut cand = std::mem::take(&mut self.cand);
+        let mut weights = std::mem::take(&mut self.cand_weight);
         let mut best: Option<(usize, f64, f64)> = None;
-        cand.retain(|&j| match self.eligibility(j) {
-            Some((dir, score)) => {
+        let mut kept = 0usize;
+        for i in 0..cand.len() {
+            let j = cand[i];
+            if let Some((dir, absd)) = self.eligibility(j) {
+                let score = absd / weights[i];
                 if best.map(|(_, _, s)| score > s).unwrap_or(true) {
                     best = Some((j, dir, score));
                 }
-                true
+                cand[kept] = j;
+                weights[kept] = weights[i];
+                kept += 1;
             }
-            None => false,
-        });
+        }
+        cand.truncate(kept);
+        weights.truncate(kept);
         self.cand = cand;
+        self.cand_weight = weights;
         // Serve from the cache only while its best stays competitive with
         // the scores seen at the last refill; grinding a stale list down to
         // its dregs costs far more iterations than a rescan costs columns.
@@ -927,19 +1262,20 @@ impl SimplexSolver {
         // accumulate for decent pivot diversity; a full rotation finding
         // nothing proves optimality for the current costs.
         self.cand.clear();
+        self.cand_weight.clear();
         let n_total = self.n_total();
         let section = (n_total / 4).clamp(SECTION_MIN.min(n_total), n_total);
         let mut scanned = 0usize;
-        let mut found: Vec<(usize, f64, f64)> = Vec::new();
+        // (column, direction, score, weight) with score = |d| / weight.
+        let mut found: Vec<(usize, f64, f64, f64)> = Vec::new();
         while scanned < n_total {
             let start = self.scan_cursor;
             let len = section.min(n_total - scanned);
-            for step in 0..len {
-                let j = (start + step) % n_total;
-                if let Some((dir, score)) = self.eligibility(j) {
-                    found.push((j, dir, score));
-                }
-            }
+            // The rotating window wraps at most once; scanning it as two
+            // contiguous runs keeps the hot loop free of index arithmetic.
+            let first_end = (start + len).min(n_total);
+            self.scan_run(start, first_end, &mut found);
+            self.scan_run(0, (start + len).saturating_sub(n_total), &mut found);
             self.scan_cursor = (start + len) % n_total;
             scanned += len;
             if found.len() >= CAND_CAP {
@@ -953,10 +1289,72 @@ impl SimplexSolver {
         }
         found.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
         found.truncate(CAND_CAP);
-        self.cand.extend(found.iter().map(|&(j, _, _)| j));
-        let (j, dir, top) = found[0];
+        if self.opts.exact_candidate_weights {
+            self.exact_reweight(&mut found);
+        }
+        self.cand.extend(found.iter().map(|&(j, _, _, _)| j));
+        self.cand_weight.extend(found.iter().map(|&(_, _, _, w)| w));
+        let (j, dir, top, _) = found[0];
         self.refill_floor = top * REFILL_DECAY;
         Some((j, dir))
+    }
+
+    /// Replaces the refill finalists' static weights with exact steepest
+    /// edge weights `√(1 + ‖B⁻¹a_j‖²)`, computed through batched multi-RHS
+    /// FTRANs ([`SparseLu::solve_batch`], [`PRICE_BATCH`] lanes per pass
+    /// over the factor) plus the eta file, then re-sorts by the exact
+    /// score.
+    fn exact_reweight(&mut self, found: &mut [(usize, f64, f64, f64)]) {
+        let m = self.m;
+        if self.batch_b.len() < m {
+            self.batch_b.resize(m, [0.0; PRICE_BATCH]);
+            self.batch_x.resize(m, [0.0; PRICE_BATCH]);
+        }
+        let mut start = 0;
+        while start < found.len() {
+            let lanes = (found.len() - start).min(PRICE_BATCH);
+            for row in self.batch_b[..m].iter_mut() {
+                *row = [0.0; PRICE_BATCH];
+            }
+            for (lane, &(j, ..)) in found[start..start + lanes].iter().enumerate() {
+                let (rows, vals) = self.a.col(j);
+                for (&r, &v) in rows.iter().zip(vals) {
+                    self.batch_b[r][lane] = v;
+                }
+            }
+            self.lu
+                .as_ref()
+                .expect("factorized")
+                .solve_batch(&mut self.batch_b[..m], &mut self.batch_x[..m]);
+            let batch_x = &mut self.batch_x;
+            for eta in &self.etas {
+                let xp = batch_x[eta.pos];
+                let mut tr = [0.0f64; PRICE_BATCH];
+                for (lane, t) in tr.iter_mut().enumerate() {
+                    *t = xp[lane] / eta.pivot;
+                }
+                batch_x[eta.pos] = tr;
+                for &(p, v) in &eta.entries {
+                    let row = &mut batch_x[p];
+                    for lane in 0..PRICE_BATCH {
+                        row[lane] -= v * tr[lane];
+                    }
+                }
+            }
+            for (lane, entry) in found[start..start + lanes].iter_mut().enumerate() {
+                let mut gamma = 1.0;
+                for row in self.batch_x[..m].iter() {
+                    gamma += row[lane] * row[lane];
+                }
+                let weight = gamma.sqrt();
+                let absd = entry.2 * entry.3;
+                entry.2 = absd / weight;
+                entry.3 = weight;
+            }
+            self.stats.pricing_batched_cols += lanes as u64;
+            start += lanes;
+        }
+        found.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     }
 
     /// Bland's rule: the eligible column with the lowest index.
@@ -1022,6 +1420,9 @@ impl SimplexSolver {
                 false
             }
         });
+        self.stats.ftran_solves += 1;
+        self.stats.ftran_nnz += self.t_pattern.len() as u64;
+        self.stats.ftran_dim += self.m as u64;
     }
 
     fn ratio_test(&self, q: usize, dir: f64) -> RatioOutcome {
@@ -1096,17 +1497,39 @@ impl SimplexSolver {
     }
 
     /// Rebuilds the LU factorisation of the current basis and recomputes the
-    /// basic values from scratch (washing out accumulated drift).
+    /// basic values (washing out accumulated drift).
+    ///
+    /// When [`SimplexOptions::partial_refactor`] is on and a reference LU
+    /// exists, the factorisation is *warm*: the longest common prefix of the
+    /// previous and current basis column lists keeps its already-factored
+    /// L/U columns verbatim ([`SparseLu::refactorize_from`]) and only the
+    /// suffix is re-eliminated. Left-looking construction makes the result
+    /// bit-for-bit identical to a from-scratch factorisation.
     fn refactorize(&mut self) -> Result<(), ()> {
         let a = &self.a;
         let basis = &self.basis;
-        let lu = SparseLu::factorize(self.m, |p, buf| {
+        let keep = if self.opts.partial_refactor {
+            lcp(&self.lu_basis, basis)
+        } else {
+            0
+        };
+        let column = |p: usize, buf: &mut Vec<(usize, f64)>| {
             let (rows, vals) = a.col(basis[p]);
             buf.extend(rows.iter().copied().zip(vals.iter().copied()));
-        })
+        };
+        let lu = match (keep > 0).then_some(self.lu.as_deref()).flatten() {
+            Some(prev) => SparseLu::refactorize_from(prev, keep, column),
+            None => SparseLu::factorize(self.m, column),
+        }
         .map_err(|_| ())?;
+        self.stats.refactorisations += 1;
+        self.stats.cols_factored += (self.m - keep) as u64;
+        self.stats.cols_reused += keep as u64;
+        self.stats.fill_nnz = lu.fill_nnz();
         self.lu = Some(Rc::new(lu));
+        Rc::make_mut(&mut self.lu_basis).clone_from(basis);
         self.etas.clear();
+        self.snap_etas = None;
         // With the eta file just cleared this reduces to a plain LU solve.
         self.recompute_xb();
         Ok(())
@@ -1158,6 +1581,12 @@ enum RatioOutcome {
         step: f64,
         to_upper: bool,
     },
+}
+
+/// Length of the longest common prefix of two basis column lists — the
+/// number of leading LU columns a warm partial refactorisation can reuse.
+fn lcp(a: &[usize], b: &[usize]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
 #[inline]
@@ -1387,6 +1816,91 @@ mod tests {
                     "bounds {lo:?}..{hi:?}: warm {} vs cold {}",
                     warm.objective,
                     cold.objective
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reuses_eta_rc_until_pivots_dirty_it() {
+        // Branch & bound snapshots the same solved state once per branched
+        // node; the eta file must be cloned once, not per snapshot.
+        let mut lp = LinearProgram::new();
+        lp.set_maximize(true);
+        let x = lp.add_var(0.0, 10.0, 3.0);
+        let y = lp.add_var(0.0, 10.0, 2.0);
+        lp.add_row(RowSense::Le, 4.0, &[(x, 1.0), (y, 1.0)]);
+        lp.add_row(RowSense::Le, 6.0, &[(x, 1.0), (y, 3.0)]);
+        let mut solver = SimplexSolver::new(&lp, SimplexOptions::default());
+        assert_eq!(
+            solver.solve_from(None, &[0.0, 0.0], &[10.0, 10.0]).status,
+            LpStatus::Optimal
+        );
+        let a = solver.snapshot();
+        let b = solver.snapshot();
+        assert!(Rc::ptr_eq(&a.etas, &b.etas), "unchanged eta file recloned");
+        assert_eq!(solver.stats().snapshot_eta_clones, 1);
+        // A solve that pivots (bound change forces re-optimisation) must
+        // invalidate the cache: the next snapshot sees a different eta file.
+        let warm = solver.solve_from(Some(&a), &[0.0, 0.0], &[2.5, 10.0]);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        let c = solver.snapshot();
+        assert!(
+            !Rc::ptr_eq(&a.etas, &c.etas),
+            "stale eta Rc served after pivoting"
+        );
+    }
+
+    #[test]
+    fn exact_candidate_weights_matches_static_weights() {
+        // The exact steepest-edge refill weights change pivot order, not
+        // answers: statuses and objectives must agree with the static path.
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..20 {
+            let mut lp = LinearProgram::new();
+            lp.set_maximize(true);
+            let n = 6;
+            let vars: Vec<usize> = (0..n).map(|_| lp.add_var(0.0, 8.0, rnd() * 4.0)).collect();
+            for _ in 0..4 {
+                let coeffs: Vec<(usize, f64)> = vars
+                    .iter()
+                    .filter_map(|&v| {
+                        if rnd() < 0.7 {
+                            Some((v, rnd() * 3.0 + 0.1))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if coeffs.is_empty() {
+                    continue;
+                }
+                lp.add_row(RowSense::Le, 6.0 + rnd() * 10.0, &coeffs);
+            }
+            let lo = vec![0.0; n];
+            let hi = vec![8.0; n];
+            let static_w = lp.solve_with_bounds(&lo, &hi, &SimplexOptions::default());
+            let exact_w = lp.solve_with_bounds(
+                &lo,
+                &hi,
+                &SimplexOptions {
+                    exact_candidate_weights: true,
+                    ..SimplexOptions::default()
+                },
+            );
+            assert_eq!(static_w.status, exact_w.status, "trial {trial}");
+            if static_w.status == LpStatus::Optimal {
+                assert!(
+                    (static_w.objective - exact_w.objective).abs() < 1e-7,
+                    "trial {trial}: static {} vs exact {}",
+                    static_w.objective,
+                    exact_w.objective
                 );
             }
         }
