@@ -182,6 +182,7 @@ impl Client {
             ServerFrame::Error { code, message } => Err(NetError::Remote { code, message }),
             ServerFrame::Bye => Err(NetError::Closed),
             ServerFrame::Pong(_) => Err(NetError::Protocol("unsolicited pong".into())),
+            ServerFrame::Stats(_) => Err(NetError::Protocol("unsolicited stats".into())),
         }
     }
 
@@ -225,6 +226,33 @@ impl Client {
         }
     }
 
+    /// Fetches the server's live metrics snapshot as a single-line JSON
+    /// string (counters, gauges, latency histograms and derived ratios
+    /// from the server's [`vmplace_obs::Registry`]). Like pongs, the
+    /// reply is **in-band**: call with `pending() == 0` so the snapshot
+    /// frame is the next frame on the stream.
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        debug_assert!(
+            self.pending == 0,
+            "stats with pending responses would misread the stream"
+        );
+        if self.wire >= PROTOCOL_V2 {
+            self.bin_scratch.clear();
+            codec::encode_stats(&mut self.bin_scratch);
+            self.writer
+                .write_all(&self.bin_scratch)
+                .map_err(NetError::from)?;
+        } else {
+            self.writer.write_all(b"stats\n").map_err(NetError::from)?;
+        }
+        self.flush()?;
+        match self.read_frame()? {
+            ServerFrame::Stats(json) => Ok(json),
+            ServerFrame::Error { code, message } => Err(NetError::Remote { code, message }),
+            _ => Err(NetError::Protocol("expected stats".into())),
+        }
+    }
+
     /// Pipelined replay: submits the whole trace, then collects every
     /// response and returns them sorted by request id (the submission
     /// stream order of the trace).
@@ -259,7 +287,7 @@ impl Client {
         loop {
             match self.read_frame() {
                 Ok(ServerFrame::Response(r)) => leftovers.push(*r),
-                Ok(ServerFrame::Pong(_)) => {}
+                Ok(ServerFrame::Pong(_)) | Ok(ServerFrame::Stats(_)) => {}
                 Ok(ServerFrame::Bye) | Err(NetError::Closed) => return Ok(leftovers),
                 Ok(ServerFrame::Error { code, message }) => {
                     return Err(NetError::Remote { code, message })

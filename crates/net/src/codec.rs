@@ -52,6 +52,8 @@ pub mod kind {
     pub const PING: u8 = 0x02;
     /// Client→server: ask the server to drain and exit; empty body.
     pub const SHUTDOWN: u8 = 0x03;
+    /// Client→server: ask for a live metrics snapshot; empty body.
+    pub const STATS: u8 = 0x04;
     /// Server→client: one solver response ([`super::encode_response`]).
     pub const RESPONSE: u8 = 0x81;
     /// Server→client: reply to ping; body echoes the token.
@@ -60,6 +62,9 @@ pub mod kind {
     pub const ERROR: u8 = 0x83;
     /// Server→client: clean end of the response stream; empty body.
     pub const BYE: u8 = 0x84;
+    /// Server→client: reply to stats; body is the raw UTF-8 JSON
+    /// snapshot ([`super::encode_stats_reply`]).
+    pub const STATS_REPLY: u8 = 0x85;
 }
 
 /// A v2 decode failure (malformed header or body). The server answers
@@ -293,6 +298,17 @@ pub fn encode_ping(out: &mut Vec<u8>, token: &str) {
 /// Appends one `SHUTDOWN` frame (empty body).
 pub fn encode_shutdown(out: &mut Vec<u8>) {
     out.extend_from_slice(&header(kind::SHUTDOWN, 0));
+}
+
+/// Appends one `STATS` request frame (empty body).
+pub fn encode_stats(out: &mut Vec<u8>) {
+    out.extend_from_slice(&header(kind::STATS, 0));
+}
+
+/// Appends one `STATS_REPLY` frame; the body is the raw JSON snapshot.
+pub fn encode_stats_reply(out: &mut Vec<u8>, json: &str) {
+    out.extend_from_slice(&header(kind::STATS_REPLY, json.len()));
+    out.extend_from_slice(json.as_bytes());
 }
 
 /// Appends one `PONG` frame; the body echoes the token.
@@ -586,6 +602,8 @@ pub enum ClientFrame {
     Ping(String),
     /// Drain-and-exit order.
     Shutdown,
+    /// Live metrics snapshot request.
+    Stats,
 }
 
 /// Decodes a client→server frame from its header kind and body.
@@ -601,6 +619,13 @@ pub fn decode_client_frame(frame_kind: u8, body: &[u8]) -> Result<ClientFrame, C
                 Ok(ClientFrame::Shutdown)
             } else {
                 err("shutdown frame must have an empty body")
+            }
+        }
+        kind::STATS => {
+            if body.is_empty() {
+                Ok(ClientFrame::Stats)
+            } else {
+                err("stats frame must have an empty body")
             }
         }
         other => err(format!("unknown client frame kind 0x{other:02x}")),
@@ -630,6 +655,10 @@ pub fn decode_server_frame(frame_kind: u8, body: &[u8]) -> Result<ServerFrame, C
                 err("bye frame must have an empty body")
             }
         }
+        kind::STATS_REPLY => match std::str::from_utf8(body) {
+            Ok(json) => Ok(ServerFrame::Stats(json.to_string())),
+            Err(_) => err("stats snapshot is not valid UTF-8"),
+        },
         other => err(format!("unknown server frame kind 0x{other:02x}")),
     }
 }
@@ -798,6 +827,28 @@ mod tests {
             decode_server_frame(kind::BYE, frame_body(&bytes, kind::BYE)),
             Ok(ServerFrame::Bye)
         ));
+    }
+
+    #[test]
+    fn stats_frames_roundtrip() {
+        // The request is an empty-bodied client frame…
+        let mut bytes = Vec::new();
+        encode_stats(&mut bytes);
+        assert!(matches!(
+            decode_client_frame(kind::STATS, frame_body(&bytes, kind::STATS)),
+            Ok(ClientFrame::Stats)
+        ));
+        assert!(decode_client_frame(kind::STATS, b"x").is_err());
+
+        // …the reply carries the snapshot JSON verbatim.
+        let json = "{\"counters\":{\"net.requests\":7}}";
+        let mut bytes = Vec::new();
+        encode_stats_reply(&mut bytes, json);
+        match decode_server_frame(kind::STATS_REPLY, frame_body(&bytes, kind::STATS_REPLY)) {
+            Ok(ServerFrame::Stats(s)) => assert_eq!(s, json),
+            other => panic!("{other:?}"),
+        }
+        assert!(decode_server_frame(kind::STATS_REPLY, &[0xff]).is_err());
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! [`Server::io_wakeups`]: crate::Server::io_wakeups
 
 use crate::server::{
-    bye_frame, error_frame, greeting_frame, pong_frame, response_frame, ConnProto, Flow, Meta,
-    Pending, Shared, DRAIN_GRACE, READ_POLL, WRITE_TIMEOUT,
+    bye_frame, error_frame, greeting_frame, pong_frame, response_frame, stats_frame, stats_json,
+    ConnProto, Flow, Meta, Pending, Shared, DRAIN_GRACE, READ_POLL, WRITE_TIMEOUT,
 };
 use crate::wire::codes;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -414,12 +414,23 @@ impl EConn {
                     };
                     response.id = client_id;
                     response.stream = client_stream;
-                    self.emit_response(shared, &response_frame(wire, &response));
+                    let t_encode = Instant::now();
+                    let frame = response_frame(wire, &response);
+                    shared.metrics.encode_us.record(t_encode.elapsed());
+                    self.emit_response(shared, &frame);
                 }
                 Some(_) => match self.metas.pop_front().expect("front() said Some") {
                     Meta::Greeting(v) => self.append(shared, &greeting_frame(v)),
-                    Meta::Pong(token) => self.append(shared, &pong_frame(wire, &token)),
+                    Meta::Pong(token, received) => {
+                        self.append(shared, &pong_frame(wire, &token));
+                        shared.metrics.ping_us.record(received.elapsed());
+                    }
+                    Meta::Stats => {
+                        let json = stats_json(shared);
+                        self.append(shared, &stats_frame(wire, &json));
+                    }
                     Meta::Error { code, message } => {
+                        shared.metrics.errors.inc();
                         self.append(shared, &error_frame(wire, code, &message));
                     }
                     Meta::Bye => {
@@ -477,11 +488,15 @@ impl EConn {
                 self.flush(); // best-effort leak of the torn half
             }
             self.teardown();
+            shared.metrics.responses_dropped.inc();
             return;
         }
         self.append(shared, frame);
-        if !self.torn {
+        if self.torn {
+            shared.metrics.responses_dropped.inc();
+        } else {
             self.frames += 1;
+            shared.metrics.responses.inc();
         }
     }
 
@@ -552,8 +567,9 @@ fn event_loop<E: EventedIo>(
                 }
                 Injected::Completion(conn_id, pending) => {
                     // Torn-down connections discard their completions.
-                    if let Some(conn) = conns.get_mut(&conn_id) {
-                        conn.heap.push(pending);
+                    match conns.get_mut(&conn_id) {
+                        Some(conn) => conn.heap.push(pending),
+                        None => shared.metrics.responses_dropped.inc(),
                     }
                 }
             }
@@ -573,7 +589,11 @@ fn event_loop<E: EventedIo>(
             }
         }
         for conn_id in dead {
-            conns.remove(&conn_id);
+            if let Some(conn) = conns.remove(&conn_id) {
+                // Completions already delivered but never written — the
+                // writer-teardown contract counts them as dropped.
+                shared.metrics.responses_dropped.add(conn.heap.len() as u64);
+            }
             // FIFO per worker orders the retirement after everything the
             // connection submitted from this same thread.
             shared.retire_conn(conn_id);
@@ -629,7 +649,7 @@ fn event_loop<E: EventedIo>(
                 // handled by the per-connection reads seeing the error.
             }
         }
-        shared.wakeups.fetch_add(1, Ordering::Relaxed);
+        shared.wakeups.inc();
 
         // Drain the self-pipe (its payload carries no meaning).
         if fds[0].revents & READABLE != 0 {

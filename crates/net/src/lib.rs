@@ -42,5 +42,5 @@ pub mod wire;
 
 pub use client::{Client, Responses};
 pub use retry::{replay_resilient, replay_resilient_with, RetryPolicy};
-pub use server::{IoBackend, Server, ServerConfig};
+pub use server::{render_stats, IoBackend, Server, ServerConfig};
 pub use wire::NetError;

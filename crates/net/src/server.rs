@@ -58,7 +58,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 use vmplace_model::{AllocRequest, AllocResponse};
+use vmplace_obs::{Counter, Gauge, Histogram, Registry, TraceId};
 use vmplace_service::{
     trace_io::BlockAssembler, FaultPlan, ServiceConfig, SolverPool, INJECTED_FAULT_MARKER,
 };
@@ -150,6 +152,66 @@ impl Default for ServerConfig {
     }
 }
 
+/// The network layer's metric handles — cheap clones of registry-owned
+/// atomics (see [`vmplace_obs`]), shared by both I/O backends. Recording
+/// is strictly off the result path: every handle is a relaxed atomic and
+/// nothing here can change a response byte.
+#[derive(Clone)]
+pub(crate) struct NetMetrics {
+    /// `net.conns.threads` / `net.conns.events`: connections accepted
+    /// into each backend over the server's lifetime.
+    pub(crate) conns_threads: Counter,
+    pub(crate) conns_events: Counter,
+    /// `net.conns.open`: currently live connections.
+    pub(crate) conns_open: Gauge,
+    /// `net.wire.v1` / `net.wire.v2`: handshakes by negotiated version.
+    pub(crate) wire_v1: Counter,
+    pub(crate) wire_v2: Counter,
+    /// `net.requests`: solver requests admitted past parsing.
+    pub(crate) requests: Counter,
+    /// `net.pings`: ping frames received.
+    pub(crate) pings: Counter,
+    /// `net.stats_requests`: stats frames received.
+    pub(crate) stats_requests: Counter,
+    /// `net.errors`: structured error frames emitted.
+    pub(crate) errors: Counter,
+    /// `net.responses`: response frames fully written (threads) or fully
+    /// queued to the outbound ring (events).
+    pub(crate) responses: Counter,
+    /// `net.responses_dropped`: completed responses that never reached
+    /// the wire — the owning connection was torn down (write failure,
+    /// injected drop) or already gone when the completion arrived.
+    pub(crate) responses_dropped: Counter,
+    /// `net.ping_us`: ping receipt → pong emission.
+    pub(crate) ping_us: Histogram,
+    /// `net.request_us`: request admission → completion arrival (queue
+    /// wait + solve, the request's sojourn in the pool).
+    pub(crate) request_us: Histogram,
+    /// `net.encode_us`: response frame encode time.
+    pub(crate) encode_us: Histogram,
+}
+
+impl NetMetrics {
+    fn new(r: &Registry) -> NetMetrics {
+        NetMetrics {
+            conns_threads: r.counter("net.conns.threads"),
+            conns_events: r.counter("net.conns.events"),
+            conns_open: r.gauge("net.conns.open"),
+            wire_v1: r.counter("net.wire.v1"),
+            wire_v2: r.counter("net.wire.v2"),
+            requests: r.counter("net.requests"),
+            pings: r.counter("net.pings"),
+            stats_requests: r.counter("net.stats_requests"),
+            errors: r.counter("net.errors"),
+            responses: r.counter("net.responses"),
+            responses_dropped: r.counter("net.responses_dropped"),
+            ping_us: r.histogram("net.ping_us"),
+            request_us: r.histogram("net.request_us"),
+            encode_us: r.histogram("net.encode_us"),
+        }
+    }
+}
+
 /// What the protocol engine tells the emit side about each
 /// submission-order slot.
 pub(crate) enum Meta {
@@ -165,8 +227,13 @@ pub(crate) enum Meta {
         /// The stream the client sent (restored on the response).
         client_stream: u64,
     },
-    /// Emit a pong immediately.
-    Pong(String),
+    /// Emit a pong immediately (the instant is the ping's receipt, for
+    /// the `net.ping_us` histogram).
+    Pong(String, Instant),
+    /// Emit a metrics snapshot immediately. The JSON is rendered at
+    /// emission time, so the snapshot reflects every request already
+    /// answered ahead of it in this connection's stream.
+    Stats,
     /// Emit a structured error frame immediately.
     Error {
         /// One of [`codes`].
@@ -230,8 +297,17 @@ pub(crate) struct Shared {
     pub(crate) max_wire: u32,
     /// I/O wake-ups: threaded reader timeout polls plus event-loop
     /// `poll(2)` returns. The idle-connection suite asserts the event
-    /// backend's count stays ~zero while connections are quiet.
-    pub(crate) wakeups: AtomicU64,
+    /// backend's count stays ~zero while connections are quiet. A
+    /// registry counter (`net.io_wakeups`), so `stats` reports it.
+    pub(crate) wakeups: Counter,
+    /// The server's metrics registry: the pool workers, the connection
+    /// backends and the `stats` verb all read and write this one.
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) metrics: NetMetrics,
+    /// In-flight admissions: remapped request id → (trace id minted at
+    /// admission, admission instant). The completion sink removes the
+    /// entry and records the sojourn into `net.request_us`.
+    inflight: Mutex<HashMap<u64, (TraceId, Instant)>>,
 }
 
 impl Shared {
@@ -255,10 +331,65 @@ impl Shared {
     /// submitted, so long-lived worker memory (instances, warm yields,
     /// caches) tracks live clients.
     pub(crate) fn retire_conn(&self, conn_id: u64) {
+        self.metrics.conns_open.sub(1);
         if let Some(pool) = self.pool.lock().expect("pool slot").as_mut() {
             pool.retire_streams(conn_id << CONN_SHIFT, !SEQ_MASK);
         }
     }
+
+    /// Records a request's admission (trace id + instant) under its
+    /// remapped id; the completion sink takes it back.
+    fn admit(&self, remapped_id: u64) {
+        let trace = TraceId::mint();
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(remapped_id, (trace, Instant::now()));
+    }
+
+    /// Removes an admission record (on completion, or when a submission
+    /// could not be handed to the pool after all).
+    pub(crate) fn unadmit(&self, remapped_id: u64) -> Option<(TraceId, Instant)> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&remapped_id)
+    }
+}
+
+/// Renders a server registry's live metrics snapshot as one line of
+/// JSON: the full registry (counters, gauges, histogram quantiles) plus
+/// derived ratios. The body of every `stats` reply, `--metrics-interval`
+/// line and `vmplace top` screen — hand it the handle from
+/// [`Server::metrics`] to render snapshots without holding the server.
+pub fn render_stats(registry: &Registry) -> String {
+    let mut snap = registry.snapshot();
+    let hits = snap
+        .counters
+        .get("service.cache.hits")
+        .copied()
+        .unwrap_or(0);
+    let misses = snap
+        .counters
+        .get("service.cache.misses")
+        .copied()
+        .unwrap_or(0);
+    let lookups = hits + misses;
+    snap.derive(
+        "service.cache.hit_ratio",
+        if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        },
+    );
+    snap.to_json()
+}
+
+/// The internal spelling: both backends answer `stats` from the shared
+/// state's registry.
+pub(crate) fn stats_json(shared: &Shared) -> String {
+    render_stats(&shared.registry)
 }
 
 // ---------------------------------------------------------- frame output
@@ -288,6 +419,16 @@ pub(crate) fn error_frame(wire: u32, code: &str, message: &str) -> Vec<u8> {
         out
     } else {
         format!("error {code} {message}\n").into_bytes()
+    }
+}
+
+pub(crate) fn stats_frame(wire: u32, json: &str) -> Vec<u8> {
+    if wire >= PROTOCOL_V2 {
+        let mut out = Vec::new();
+        codec::encode_stats_reply(&mut out, json);
+        out
+    } else {
+        format!("stats {json}\n").into_bytes()
     }
 }
 
@@ -520,8 +661,10 @@ impl ConnProto {
                 Some(v @ 1..=MAX_PROTOCOL_VERSION) => {
                     self.wire = v.min(shared.max_wire.clamp(1, MAX_PROTOCOL_VERSION));
                     self.state = if self.wire >= PROTOCOL_V2 {
+                        shared.metrics.wire_v2.inc();
                         ProtoState::V2Head
                     } else {
+                        shared.metrics.wire_v1.inc();
                         ProtoState::V1
                     };
                     metas(Meta::Greeting(self.wire));
@@ -549,7 +692,13 @@ impl ConnProto {
                 .unwrap_or((trimmed, ""));
             match verb {
                 "ping" => {
-                    metas(Meta::Pong(rest.trim().to_string()));
+                    shared.metrics.pings.inc();
+                    metas(Meta::Pong(rest.trim().to_string(), Instant::now()));
+                    return;
+                }
+                "stats" => {
+                    shared.metrics.stats_requests.inc();
+                    metas(Meta::Stats);
                     return;
                 }
                 "shutdown" => {
@@ -585,7 +734,14 @@ impl ConnProto {
     fn on_v2_frame(&mut self, shared: &Shared, kind: u8, body: &[u8], metas: &mut dyn FnMut(Meta)) {
         match codec::decode_client_frame(kind, body) {
             Ok(codec::ClientFrame::Request(request)) => self.submit(shared, *request, metas),
-            Ok(codec::ClientFrame::Ping(token)) => metas(Meta::Pong(token)),
+            Ok(codec::ClientFrame::Ping(token)) => {
+                shared.metrics.pings.inc();
+                metas(Meta::Pong(token, Instant::now()));
+            }
+            Ok(codec::ClientFrame::Stats) => {
+                shared.metrics.stats_requests.inc();
+                metas(Meta::Stats);
+            }
             Ok(codec::ClientFrame::Shutdown) => self.order_shutdown(shared, metas),
             Err(e) => self.fail(codes::BAD_FRAME, e.to_string(), metas),
         }
@@ -624,12 +780,18 @@ impl ConnProto {
             client_stream,
         });
         self.seq += 1;
+        // Admission: mint the trace id and stamp the sojourn clock before
+        // the pool can complete the request (the sink takes both back).
+        shared.metrics.requests.inc();
+        let remapped_id = remapped.id;
+        shared.admit(remapped_id);
         let mut pool = shared.pool.lock().expect("pool slot");
         match pool.as_mut() {
             Some(pool) => pool.submit(vec![remapped]),
             None => {
                 // Drained under us: the emit side answers instead.
                 drop(pool);
+                shared.unadmit(remapped_id);
                 self.fail(codes::DRAINING, "server is draining".into(), metas);
             }
         }
@@ -664,6 +826,13 @@ impl Server {
     pub fn bind<A: ToSocketAddrs>(addr: A, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Every server is instrumented: adopt the caller's registry when
+        // the config carries one, otherwise create a private one, and
+        // inject it into the service config so the pool workers record
+        // into the same registry the `stats` verb snapshots.
+        let mut service = config.service.clone();
+        let registry = service.metrics.get_or_insert_with(Registry::shared).clone();
+        let metrics = NetMetrics::new(&registry);
         let shared = Arc::new(Shared {
             addr,
             draining: AtomicBool::new(false),
@@ -673,13 +842,12 @@ impl Server {
             pool: Mutex::new(None),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
-            faults: config
-                .service
-                .faults
-                .clone()
-                .filter(|plan| !plan.is_empty()),
+            faults: service.faults.clone().filter(|plan| !plan.is_empty()),
             max_wire: config.max_wire.clamp(1, MAX_PROTOCOL_VERSION),
-            wakeups: AtomicU64::new(0),
+            wakeups: registry.counter("net.io_wakeups"),
+            registry,
+            metrics,
+            inflight: Mutex::new(HashMap::new()),
         });
 
         let core = match config.io {
@@ -701,17 +869,24 @@ impl Server {
         let sink_shared = shared.clone();
         let sink_core = core.clone();
         let pool = SolverPool::with_sink(
-            &config.service,
+            &service,
             Arc::new(move |response: AllocResponse| {
                 let conn = response.id >> CONN_SHIFT;
                 let seq = response.id & SEQ_MASK;
+                // Close out the admission record: the elapsed time is the
+                // request's sojourn through the pool (queue wait + solve).
+                if let Some((_trace, admitted)) = sink_shared.unadmit(response.id) {
+                    sink_shared.metrics.request_us.record(admitted.elapsed());
+                }
                 match &sink_core {
                     Some(core) => core.complete(conn, Pending(seq, response)),
                     None => {
                         let routes = sink_shared.lock_routes();
-                        if let Some(tx) = routes.get(&conn) {
-                            // A closed writer (client vanished) just discards.
-                            let _ = tx.send(Pending(seq, response));
+                        match routes.get(&conn) {
+                            // A closed writer (client vanished) discards —
+                            // a counted in-flight drop.
+                            Some(tx) if tx.send(Pending(seq, response)).is_ok() => {}
+                            _ => sink_shared.metrics.responses_dropped.inc(),
                         }
                     }
                 }
@@ -748,7 +923,23 @@ impl Server {
     /// by `idle_connections_cost_no_wakeups_on_the_event_backend` in
     /// `tests/integration_net.rs`).
     pub fn io_wakeups(&self) -> u64 {
-        self.shared.wakeups.load(Ordering::Relaxed)
+        self.shared.wakeups.get()
+    }
+
+    /// The server's metrics registry — the one the pool workers and the
+    /// connection backends record into and the `stats` wire verb
+    /// snapshots. [`ServerConfig::service`] may supply a registry via
+    /// [`ServiceConfig::metrics`]; otherwise [`Server::bind`] creates
+    /// one, so this is never empty. `vmplace serve --metrics-interval`
+    /// polls it for periodic stderr snapshot lines.
+    pub fn metrics(&self) -> Arc<Registry> {
+        self.shared.registry.clone()
+    }
+
+    /// The server's live stats snapshot as one line of JSON — exactly
+    /// the body a `stats` wire request would be answered with.
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.shared)
     }
 
     /// Blocks until a shutdown is requested — by [`Server::shutdown`]
@@ -1011,9 +1202,16 @@ fn connection_intake(
     match core {
         Some(core) => {
             core.add_conn(stream, conn_id)?;
+            shared.metrics.conns_events.inc();
+            shared.metrics.conns_open.add(1);
             Ok(None)
         }
-        None => spawn_connection(shared, stream, conn_id).map(Some),
+        None => {
+            let handle = spawn_connection(shared, stream, conn_id)?;
+            shared.metrics.conns_threads.inc();
+            shared.metrics.conns_open.add(1);
+            Ok(Some(handle))
+        }
     }
 }
 
@@ -1036,9 +1234,9 @@ fn spawn_connection(
         read_loop(reader_shared, stream, conn_id, meta_tx);
     });
     let writer_shared = shared.clone();
-    let writer_faults = shared.faults.clone();
+    let loop_shared = shared.clone();
     let writer = std::thread::spawn(move || {
-        write_loop(write_stream, meta_rx, comp_rx, conn_id, writer_faults);
+        write_loop(loop_shared, write_stream, meta_rx, comp_rx, conn_id);
         // Past this point no completion for this connection can be in
         // flight (every submitted request was awaited before `bye`).
         writer_shared.lock_routes().remove(&conn_id);
@@ -1081,7 +1279,7 @@ fn read_loop(shared: Arc<Shared>, mut stream: TcpStream, conn_id: u64, meta: Sen
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                shared.wakeups.inc();
                 if shared.draining.load(Ordering::SeqCst) {
                     // First quiet interval during a drain: done reading.
                     return proto.on_eof(&mut sink);
@@ -1111,16 +1309,23 @@ struct FrameWriter {
     faults: Option<FaultPlan>,
     /// Response frames fully written (the drop-point counter).
     frames: u64,
+    metrics: NetMetrics,
 }
 
 impl FrameWriter {
-    fn new(stream: TcpStream, conn_id: u64, faults: Option<FaultPlan>) -> FrameWriter {
+    fn new(
+        stream: TcpStream,
+        conn_id: u64,
+        faults: Option<FaultPlan>,
+        metrics: NetMetrics,
+    ) -> FrameWriter {
         FrameWriter {
             out: std::io::BufWriter::new(stream),
             alive: true,
             conn_id,
             faults,
             frames: 0,
+            metrics,
         }
     }
 
@@ -1170,6 +1375,9 @@ impl FrameWriter {
     /// failure leaves behind.
     fn emit_response_frame(&mut self, frame: &[u8]) {
         if !self.alive {
+            // The connection is already gone: this completed response
+            // never reaches the wire.
+            self.metrics.responses_dropped.inc();
             return;
         }
         let cut = self
@@ -1184,11 +1392,16 @@ impl FrameWriter {
                 let _ = self.out.flush();
             }
             self.teardown();
+            self.metrics.responses_dropped.inc();
             return;
         }
         self.emit(frame);
         if self.alive {
             self.frames += 1;
+            self.metrics.responses.inc();
+        } else {
+            // The write failed (or timed out) mid-frame: torn, not sent.
+            self.metrics.responses_dropped.inc();
         }
     }
 
@@ -1203,17 +1416,22 @@ impl FrameWriter {
 /// client ids/streams on responses, encoding for the wire version the
 /// greeting negotiated. Exits on `Bye` (or a dead socket).
 fn write_loop(
+    shared: Arc<Shared>,
     stream: TcpStream,
     meta: Receiver<Meta>,
     completions: Receiver<Pending>,
     conn_id: u64,
-    faults: Option<FaultPlan>,
 ) {
     // A non-reading client must not park this thread in write_all
     // forever — the drain joins every writer. On expiry the connection
     // is torn down (see [`FrameWriter`]), never silently resumed.
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut writer = FrameWriter::new(stream, conn_id, faults);
+    let mut writer = FrameWriter::new(
+        stream,
+        conn_id,
+        shared.faults.clone(),
+        shared.metrics.clone(),
+    );
     let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
     // Until the greeting lands the connection speaks v1 text (the
     // handshake and its error answers are text in every version).
@@ -1241,8 +1459,18 @@ fn write_loop(
                 wire = v;
                 writer.emit(&greeting_frame(v));
             }
-            Meta::Pong(token) => writer.emit(&pong_frame(wire, &token)),
-            Meta::Error { code, message } => writer.emit(&error_frame(wire, code, &message)),
+            Meta::Pong(token, received) => {
+                writer.emit(&pong_frame(wire, &token));
+                shared.metrics.ping_us.record(received.elapsed());
+            }
+            Meta::Stats => {
+                let json = stats_json(&shared);
+                writer.emit(&stats_frame(wire, &json));
+            }
+            Meta::Error { code, message } => {
+                shared.metrics.errors.inc();
+                writer.emit(&error_frame(wire, code, &message));
+            }
             Meta::Bye => {
                 writer.emit(&bye_frame(wire));
                 writer.flush();
@@ -1271,7 +1499,10 @@ fn write_loop(
                 };
                 response.id = client_id;
                 response.stream = client_stream;
-                writer.emit_response_frame(&response_frame(wire, &response));
+                let t_encode = Instant::now();
+                let frame = response_frame(wire, &response);
+                shared.metrics.encode_us.record(t_encode.elapsed());
+                writer.emit_response_frame(&frame);
             }
         }
         if next.is_none() {

@@ -14,6 +14,7 @@
 //! …body…                        # exactly trace_io's block body
 //! end
 //! ping [token]
+//! stats                         # ask for a live metrics snapshot
 //! shutdown                      # ask the server to drain and exit
 //! ```
 //!
@@ -29,6 +30,7 @@
 //! nodes <h…>                    # optional ┘ ('-' = unplaced)
 //! end
 //! pong [token]
+//! stats <json>                  # one-line metrics snapshot (reply to `stats`)
 //! error <code> <message>        # structured protocol error, then close
 //! bye                           # clean end of the response stream
 //! ```
@@ -236,6 +238,9 @@ pub enum ServerFrame {
     Response(Box<AllocResponse>),
     /// Reply to `ping`.
     Pong(String),
+    /// Reply to `stats`: the server's live metrics snapshot as one line
+    /// of JSON (see `vmplace_obs::Snapshot::to_json` for the shape).
+    Stats(String),
     /// Structured protocol error.
     Error {
         /// One of [`codes`].
@@ -264,6 +269,7 @@ pub fn read_server_frame<R: BufRead>(reader: &mut R) -> Result<ServerFrame, NetE
         .unwrap_or((header.trim(), ""));
     match verb {
         "pong" => Ok(ServerFrame::Pong(rest.trim().to_string())),
+        "stats" => Ok(ServerFrame::Stats(rest.trim().to_string())),
         "bye" => Ok(ServerFrame::Bye),
         "error" => {
             let (code, message) = rest
@@ -476,6 +482,21 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(read_server_frame(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn stats_frame_parses_with_its_json_payload() {
+        let mut r = BufReader::new(&b"stats {\"counters\":{\"net.requests\":3}}\nbye\n"[..]);
+        match read_server_frame(&mut r).unwrap() {
+            ServerFrame::Stats(json) => {
+                assert_eq!(json, "{\"counters\":{\"net.requests\":3}}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            read_server_frame(&mut r).unwrap(),
+            ServerFrame::Bye
+        ));
     }
 
     #[test]

@@ -153,6 +153,81 @@ fn readme_examples_carry_the_failure_model() {
 }
 
 #[test]
+fn readme_stats_exchange_parses_verbatim() {
+    // The v1 stats request is the bare verb…
+    for block in fenced_blocks("frames-stats") {
+        assert_eq!(block.trim(), "stats", "v1 stats request is the bare verb");
+    }
+    // …and the reply parses with the production frame reader, carrying a
+    // JSON body the obs parser accepts, with the documented shape.
+    let mut replies = 0usize;
+    for block in fenced_blocks("frames-stats-reply") {
+        let mut reader = BufReader::new(block.as_bytes());
+        loop {
+            match read_server_frame(&mut reader) {
+                Ok(ServerFrame::Stats(json)) => {
+                    let stats = vmplace_obs::json::Json::parse(&json)
+                        .unwrap_or_else(|e| panic!("README stats JSON failed to parse: {e}"));
+                    for section in ["counters", "gauges", "histograms", "derived"] {
+                        assert!(
+                            stats.get(section).is_some(),
+                            "README stats example lacks `{section}`"
+                        );
+                    }
+                    let solve = stats
+                        .get("histograms")
+                        .and_then(|h| h.get("service.solve_us"))
+                        .expect("README stats example carries a solve histogram");
+                    for key in ["count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us"] {
+                        assert!(solve.get(key).is_some(), "histogram example lacks `{key}`");
+                    }
+                    replies += 1;
+                }
+                Ok(other) => panic!("unexpected frame in README stats example: {other:?}"),
+                Err(NetError::Closed) => break,
+                Err(e) => panic!("README stats example failed to parse: {e}\n{block}"),
+            }
+        }
+    }
+    assert!(replies >= 1, "README has no stats reply example");
+}
+
+#[test]
+fn readme_v2_stats_hex_decodes_verbatim() {
+    let mut bytes = Vec::new();
+    for block in fenced_blocks("v2-stats-hex") {
+        for line in block.lines() {
+            let wire = line.split('#').next().unwrap_or("");
+            for word in wire.split_whitespace() {
+                let byte = u8::from_str_radix(word, 16)
+                    .unwrap_or_else(|e| panic!("bad hex `{word}` in README v2 stats example: {e}"));
+                bytes.push(byte);
+            }
+        }
+    }
+
+    // Client STATS frame, then the server's STATS_REPLY.
+    let (kind, len) = codec::parse_header(&bytes[..codec::HEADER_LEN].try_into().unwrap());
+    assert_eq!(kind, codec::kind::STATS, "first frame is the stats request");
+    assert_eq!(len, 0, "stats request body is empty");
+    let frame = codec::decode_client_frame(kind, &[]).expect("stats request decodes");
+    assert!(matches!(frame, ClientFrame::Stats), "{frame:?}");
+
+    let rest = &bytes[codec::HEADER_LEN..];
+    let (kind, len) = codec::parse_header(&rest[..codec::HEADER_LEN].try_into().unwrap());
+    assert_eq!(kind, codec::kind::STATS_REPLY, "second frame is the reply");
+    let body = &rest[codec::HEADER_LEN..];
+    assert_eq!(body.len(), len as usize, "README hex body length");
+    match codec::decode_server_frame(kind, body).expect("stats reply decodes") {
+        ServerFrame::Stats(json) => {
+            vmplace_obs::json::Json::parse(&json)
+                .unwrap_or_else(|e| panic!("README v2 stats body is not JSON: {e}"));
+        }
+        other => panic!("STATS_REPLY decoded to {other:?}"),
+    }
+}
+
+#[test]
 fn readme_v2_hex_example_decodes_verbatim() {
     use std::time::Duration;
 

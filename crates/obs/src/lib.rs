@@ -1,0 +1,57 @@
+//! Observability for the vmplace stack: a process-wide registry of named
+//! lock-free counters, gauges and log-bucketed latency histograms, plus
+//! request-scoped trace spans — `std`-only, with **zero allocation on the
+//! record path**.
+//!
+//! ## Design
+//!
+//! The registry splits cleanly into a cold path and a hot path:
+//!
+//! * **Registration** (`Registry::counter` / `gauge` / `histogram`) takes
+//!   a mutex, interns the metric name once and hands back a cheap
+//!   [`Counter`] / [`Gauge`] / [`Histogram`] handle — an `Arc` around the
+//!   metric's atomics. Handles for the same name share the same atomics,
+//!   so every worker thread that asks for `"service.solve_us"` records
+//!   into one histogram.
+//! * **Recording** (`Counter::inc`, `Histogram::record`, …) touches only
+//!   those atomics with `Relaxed` ordering: no locks, no allocation, no
+//!   branches beyond the bucket index — cheap enough to leave enabled in
+//!   production (the loopback benchmark grid cannot tell it apart from
+//!   noise).
+//! * **Snapshots** ([`Registry::snapshot`]) re-take the registration
+//!   mutex, read every atomic and return an owned [`Snapshot`] that
+//!   renders to JSON. Recording never blocks on a snapshot and vice
+//!   versa; counters are monotone across snapshots and histograms are
+//!   never torn (each bucket is read at least as late as the previous
+//!   snapshot read it — see the concurrency test).
+//!
+//! Components that publish values they already maintain (a worker queue
+//! depth, a cache's internal hit counter) register **readers** instead
+//! ([`Registry::counter_reader`] / [`Registry::gauge_reader`]): a closure
+//! polled at snapshot time, so the owning data structure stays the single
+//! source of truth.
+//!
+//! ## Spans
+//!
+//! A request's trace starts with a [`TraceId`] minted at admission (the
+//! network front door) and correlates the per-stage timings recorded as
+//! the request moves `net → service → engine`: queue wait, cache lookup,
+//! repair, solve, encode/write. Stages are timed with [`Span`] guards
+//! that record their elapsed time into a stage histogram on drop — the
+//! stage cannot forget to stop its clock on an early return.
+//!
+//! Everything here is strictly **off the result path**: recording (or
+//! not recording) a metric never changes a solver input, an ordering
+//! decision or a wire byte, so differential suites pass bit-for-bit with
+//! metrics on or off.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod host;
+pub mod json;
+mod metrics;
+mod span;
+
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot};
+pub use span::{Span, TraceId};

@@ -1,0 +1,581 @@
+//! The metrics registry: named lock-free counters, gauges and
+//! log-bucketed latency histograms, snapshotted to JSON.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A snapshot-time reader: a closure polled when the registry is
+/// snapshotted, for values some other structure already maintains.
+type Reader = Box<dyn Fn() -> u64 + Send + Sync>;
+
+/// A monotone event counter. Handles are cheap clones sharing one atomic;
+/// recording is a single `Relaxed` `fetch_add`.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (queue depth, open connections). Unlike a
+/// [`Counter`] it moves both ways.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (callers keep add/sub balanced; the gauge does not
+    /// guard against underflow).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of logarithmic buckets: bucket `i ≥ 1` holds values `v` (in
+/// microseconds) with `2^(i-1) ≤ v < 2^i`; bucket 0 holds `v == 0`. 64
+/// buckets cover the full `u64` range.
+const BUCKETS: usize = 64;
+
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of recorded values, µs (for the mean).
+    sum_us: AtomicU64,
+    /// Largest recorded value, µs (exact — quantile estimates are capped
+    /// by it).
+    max_us: AtomicU64,
+}
+
+/// A latency histogram with power-of-two buckets and atomic counts.
+///
+/// Recording is two `Relaxed` atomic ops plus a `fetch_max` — no locks,
+/// no allocation. Quantiles are derived at snapshot time from the bucket
+/// counts: an estimate errs by at most one bucket (a factor of two),
+/// which is the right resolution for latency distributions spanning
+/// nanoseconds to seconds; `max` is exact. The total count is the sum of
+/// the buckets, so a snapshot can never report a count its buckets do
+/// not account for.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one duration (truncated to whole microseconds).
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one value in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = bucket_index(us);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.0.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Reads the histogram's current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        HistSnapshot {
+            count: buckets.iter().sum(),
+            sum_us: self.0.sum_us.load(Ordering::Relaxed),
+            max_us: self.0.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Bucket for a value in µs: 0 stays in bucket 0, otherwise
+/// `floor(log2(v)) + 1`.
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `i`, reported as the bucket's
+/// representative value (the largest value the bucket can hold).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// An owned, consistent read of one [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Recorded samples (sum of the bucket counts).
+    pub count: u64,
+    /// Sum of recorded values, µs.
+    pub sum_us: u64,
+    /// Largest recorded value, µs (exact).
+    pub max_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) in µs: the upper bound of the
+    /// bucket holding the ranked sample, capped at the exact maximum.
+    /// Zero when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Mean of the recorded values, µs (zero when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+    counter_readers: BTreeMap<String, Reader>,
+    gauge_readers: BTreeMap<String, Reader>,
+}
+
+/// A registry of named metrics.
+///
+/// One registry normally serves a whole server (the pool and the network
+/// front door record into the same one, and the `stats` wire verb
+/// snapshots it); tests create private registries for isolation. See the
+/// crate docs for the cold-registration / hot-record split.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("registry lock");
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// An empty registry behind an `Arc`, ready to share across the
+    /// components of one server.
+    pub fn shared() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    /// The counter named `name`, created on first use. Every handle for
+    /// one name shares the same atomic.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers (or replaces) a snapshot-time reader reported among the
+    /// counters — for monotone values some other structure already
+    /// counts.
+    pub fn counter_reader(&self, name: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.counter_readers.insert(name.to_string(), Box::new(f));
+    }
+
+    /// Registers (or replaces) a snapshot-time reader reported among the
+    /// gauges — for instantaneous values some other structure already
+    /// maintains.
+    pub fn gauge_reader(&self, name: &str, f: impl Fn() -> u64 + Send + Sync + 'static) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.gauge_readers.insert(name.to_string(), Box::new(f));
+    }
+
+    /// Reads every metric (polling the registered readers) into an owned
+    /// [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        for (k, f) in &inner.counter_readers {
+            counters.insert(k.clone(), f());
+        }
+        let mut gauges: BTreeMap<String, u64> = inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        for (k, f) in &inner.gauge_readers {
+            gauges.insert(k.clone(), f());
+        }
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            derived: BTreeMap::new(),
+        }
+    }
+}
+
+/// An owned point-in-time read of a [`Registry`], renderable as JSON.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotone counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistSnapshot>,
+    /// Caller-computed derived values (ratios and the like) carried into
+    /// the JSON rendering — see [`Snapshot::derive`].
+    pub derived: BTreeMap<String, f64>,
+}
+
+impl Snapshot {
+    /// Adds a derived value (rendered in the snapshot's `"derived"`
+    /// section). Non-finite values are dropped — JSON cannot carry them.
+    pub fn derive(&mut self, name: &str, value: f64) {
+        if value.is_finite() {
+            self.derived.insert(name.to_string(), value);
+        }
+    }
+
+    /// The sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Renders the snapshot as a single-line JSON object with four
+    /// sections: `counters` and `gauges` (name → integer), `histograms`
+    /// (name → `{count, mean_us, p50_us, p90_us, p99_us, max_us}`) and
+    /// `derived` (name → float). Keys are sorted, so equal states render
+    /// byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        push_u64_map(&mut out, &self.counters);
+        out.push_str("},\"gauges\":{");
+        push_u64_map(&mut out, &self.gauges);
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                h.count,
+                h.mean_us(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max_us,
+            );
+        }
+        out.push_str("},\"derived\":{");
+        for (i, (k, v)) in self.derived.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, k);
+            // Finite by construction (`derive` drops the rest); Rust's
+            // shortest round-trip float formatting is valid JSON for
+            // finite values except that it can omit a fractional part,
+            // which JSON also allows.
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        let _ = write!(out, ":{v}");
+    }
+}
+
+/// Appends `s` as a JSON string literal (metric names are plain
+/// identifiers, but escape correctly anyway).
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Buckets partition: every value's bucket upper bound is ≥ it,
+        // and the previous bucket's is < it.
+        for v in [1u64, 2, 3, 7, 8, 100, 1 << 20, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(bucket_upper(i) >= v, "v={v} i={i}");
+            assert!(bucket_upper(i - 1) < v, "v={v} i={i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 5000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_us, 5000);
+        // p50 falls in the bucket of the 5th sample (50 → bucket [32,64)),
+        // reported as its upper bound.
+        assert_eq!(s.quantile(0.5), 63);
+        // p99 lands on the outlier; the estimate is capped by the exact max.
+        assert_eq!(s.quantile(0.99), 5000);
+        assert_eq!(s.quantile(1.0), 5000);
+        assert!(s.mean_us() >= 500);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.max_us, s.mean_us()), (0, 0, 0));
+        assert_eq!(s.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn handles_share_one_atomic_per_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        let g = r.gauge("d");
+        g.set(5);
+        g.sub(2);
+        assert_eq!(r.gauge("d").get(), 3);
+    }
+
+    #[test]
+    fn snapshot_polls_readers() {
+        let r = Registry::new();
+        let v = Arc::new(AtomicU64::new(7));
+        let v2 = v.clone();
+        r.counter_reader("ext.count", move || v2.load(Ordering::Relaxed));
+        r.gauge_reader("ext.depth", || 3);
+        let s = r.snapshot();
+        assert_eq!(s.counters["ext.count"], 7);
+        assert_eq!(s.gauges["ext.depth"], 3);
+        v.store(9, Ordering::Relaxed);
+        assert_eq!(r.snapshot().counters["ext.count"], 9);
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_parseable() {
+        let r = Registry::new();
+        r.counter("b.two").add(2);
+        r.counter("a.one").inc();
+        r.gauge("depth").set(4);
+        r.histogram("lat_us").record_us(100);
+        let mut s = r.snapshot();
+        s.derive("ratio", 0.25);
+        s.derive("bad", f64::NAN); // dropped
+        let json = s.to_json();
+        assert!(json.find("a.one").unwrap() < json.find("b.two").unwrap());
+        assert!(!json.contains("bad"));
+        let v = crate::json::Json::parse(&json).expect("snapshot JSON parses");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("a.one"))
+                .and_then(|n| n.as_u64()),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|c| c.get("depth"))
+                .and_then(|n| n.as_u64()),
+            Some(4)
+        );
+        let hist = v
+            .get("histograms")
+            .and_then(|h| h.get("lat_us"))
+            .expect("hist");
+        assert_eq!(hist.get("count").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(
+            v.get("derived")
+                .and_then(|d| d.get("ratio"))
+                .and_then(|n| n.as_f64()),
+            Some(0.25)
+        );
+    }
+
+    /// The satellite consistency contract: concurrent recorders vs a
+    /// snapshot reader — counters monotone, histograms never torn (count
+    /// always equals the bucket sum; quantiles bracketed by max).
+    #[test]
+    fn concurrent_recorders_never_tear_a_snapshot() {
+        let r = Arc::new(Registry::new());
+        let stop = Arc::new(AtomicU64::new(0));
+        const PER_THREAD: u64 = 20_000;
+        let mut writers = Vec::new();
+        for t in 0..4u64 {
+            let r = r.clone();
+            writers.push(std::thread::spawn(move || {
+                let c = r.counter("events");
+                let h = r.histogram("lat_us");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record_us((t * 37 + i) % 900);
+                }
+            }));
+        }
+        let reader = {
+            let (r, stop) = (r.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut last_count = 0u64;
+                let mut last_hist = 0u64;
+                let mut iterations = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let s = r.snapshot();
+                    let c = s.counters.get("events").copied().unwrap_or(0);
+                    assert!(
+                        c >= last_count,
+                        "counter went backwards: {last_count} → {c}"
+                    );
+                    last_count = c;
+                    if let Some(h) = s.histograms.get("lat_us") {
+                        // count is the bucket sum by construction — but it
+                        // must also be monotone across snapshots, and the
+                        // quantile estimates bounded by the exact max.
+                        assert!(h.count >= last_hist, "histogram shrank");
+                        last_hist = h.count;
+                        assert!(h.quantile(0.5) <= h.quantile(0.99).max(h.max_us));
+                        assert!(h.quantile(0.99) <= h.max_us.max(1023));
+                    }
+                    iterations += 1;
+                }
+                iterations
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0);
+        let s = r.snapshot();
+        assert_eq!(s.counters["events"], 4 * PER_THREAD);
+        assert_eq!(s.histograms["lat_us"].count, 4 * PER_THREAD);
+    }
+}

@@ -81,6 +81,7 @@
 pub mod cache;
 mod dispatch;
 pub mod fault;
+mod metrics;
 mod pool;
 mod reference;
 pub mod repair;

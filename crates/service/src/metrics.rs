@@ -1,0 +1,86 @@
+//! Service-side metric handles: pre-registered counters and stage
+//! histograms for the pool and its workers.
+//!
+//! All recording is strictly off the result path: every call sits behind
+//! [`ServiceConfig::metrics`](crate::ServiceConfig::metrics) being set,
+//! and records into lock-free atomics that never feed back into a solve,
+//! an ordering decision or a response byte — the differential suites pin
+//! bit-for-bit equality with metrics on and off.
+
+use crate::worker::ServiceConfig;
+use vmplace_obs::{Counter, Histogram, Registry};
+
+/// One worker's (or the pool's) handles into the shared registry. Handles
+/// for the same name share one atomic, so every worker records into the
+/// same `service.*` metrics.
+pub(crate) struct ServiceMetrics {
+    /// `service.requests`: requests processed by workers (including
+    /// cached and rejected answers; excludes admission-shed requests,
+    /// which never reach a worker).
+    pub requests: Counter,
+    /// `service.shed`: requests shed — at admission (queue full) or at
+    /// dequeue (budget expired while queued).
+    pub shed: Counter,
+    /// `service.worker_panics`: worker panics contained by supervision.
+    pub panics: Counter,
+    /// `service.stale_stream_responses`: requests answered
+    /// `stale-stream` because their stream's state had been discarded.
+    pub stale: Counter,
+    /// `service.cache.hits` / `service.cache.misses`: response-cache
+    /// outcomes of cacheable resolves.
+    pub cache_hits: Counter,
+    /// See [`ServiceMetrics::cache_hits`].
+    pub cache_misses: Counter,
+    /// `service.repair.accepted`: repaired-policy requests the
+    /// incremental repair path answered.
+    pub repair_accepted: Counter,
+    /// `service.repair.fallback`: repaired-policy requests that fell
+    /// back to the full solve (no usable base, or repair declined).
+    pub repair_fallback: Counter,
+    /// `service.engine.probes`: portfolio probes / greedy variants /
+    /// B&B nodes consumed by engine solves.
+    pub probes: Counter,
+    /// `service.lp.simplex_iterations`: simplex iterations across exact
+    /// solves (bridged from [`vmplace_lp::MilpResult`]).
+    pub simplex_iterations: Counter,
+    /// `service.lp.refactorisations`: reference-LU rebuilds across exact
+    /// solves (bridged from [`vmplace_lp::FactorStats`]).
+    pub refactorisations: Counter,
+    /// `service.queue_wait_us`: admission → dequeue, per request.
+    pub queue_wait: Histogram,
+    /// `service.cache_lookup_us`: response-cache lookup duration.
+    pub cache_lookup: Histogram,
+    /// `service.solve_us`: full engine-solve duration.
+    pub solve: Histogram,
+    /// `service.repair_us`: incremental-repair duration (accepted
+    /// repairs only).
+    pub repair: Histogram,
+}
+
+impl ServiceMetrics {
+    /// Handles into `config.metrics`, or `None` when the service runs
+    /// uninstrumented.
+    pub(crate) fn from_config(config: &ServiceConfig) -> Option<ServiceMetrics> {
+        config.metrics.as_deref().map(ServiceMetrics::new)
+    }
+
+    fn new(registry: &Registry) -> ServiceMetrics {
+        ServiceMetrics {
+            requests: registry.counter("service.requests"),
+            shed: registry.counter("service.shed"),
+            panics: registry.counter("service.worker_panics"),
+            stale: registry.counter("service.stale_stream_responses"),
+            cache_hits: registry.counter("service.cache.hits"),
+            cache_misses: registry.counter("service.cache.misses"),
+            repair_accepted: registry.counter("service.repair.accepted"),
+            repair_fallback: registry.counter("service.repair.fallback"),
+            probes: registry.counter("service.engine.probes"),
+            simplex_iterations: registry.counter("service.lp.simplex_iterations"),
+            refactorisations: registry.counter("service.lp.refactorisations"),
+            queue_wait: registry.histogram("service.queue_wait_us"),
+            cache_lookup: registry.histogram("service.cache_lookup_us"),
+            solve: registry.histogram("service.solve_us"),
+            repair: registry.histogram("service.repair_us"),
+        }
+    }
+}

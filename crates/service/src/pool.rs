@@ -36,6 +36,7 @@
 //! [`RequestOutcome::Overloaded`]: vmplace_model::RequestOutcome::Overloaded
 
 use crate::dispatch::Dispatcher;
+use crate::metrics::ServiceMetrics;
 use crate::worker::{ServiceConfig, Worker};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -191,6 +192,8 @@ pub struct SolverPool {
     completion: Completion,
     /// Requests shed at admission since the pool started.
     shed: u64,
+    /// Metric handles (`None` when [`ServiceConfig::metrics`] is unset).
+    metrics: Option<ServiceMetrics>,
 }
 
 impl SolverPool {
@@ -217,6 +220,22 @@ impl SolverPool {
         let workers = config.workers.max(1);
         let dispatcher = Dispatcher::new(workers);
         let gauges: Vec<Gauge> = (0..workers).map(|_| Gauge::default()).collect();
+        if let Some(registry) = &config.metrics {
+            // The gauges stay the single source of truth (admission
+            // control reads them); the registry polls them at snapshot
+            // time through per-worker readers plus an aggregate.
+            for (i, gauge) in gauges.iter().enumerate() {
+                let depth = gauge.depth.clone();
+                registry.gauge_reader(&format!("service.worker{i}.queue_depth"), move || {
+                    depth.load(Ordering::SeqCst) as u64
+                });
+            }
+            let depths: Vec<Arc<AtomicUsize>> = gauges.iter().map(|g| g.depth.clone()).collect();
+            registry.gauge_reader("service.queue_depth", move || {
+                depths.iter().map(|d| d.load(Ordering::SeqCst) as u64).sum()
+            });
+            registry.gauge("service.workers").set(workers as u64);
+        }
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for gauge in gauges.iter().cloned() {
@@ -238,6 +257,7 @@ impl SolverPool {
             queue_depth: config.overload.map(|o| o.queue_depth.max(1)),
             completion,
             shed: 0,
+            metrics: ServiceMetrics::from_config(config),
         }
     }
 
@@ -274,6 +294,9 @@ impl SolverPool {
                 }
                 send_run(&self.senders[w], &self.gauges[w], &mut run);
                 self.shed += 1;
+                if let Some(m) = &self.metrics {
+                    m.shed.inc();
+                }
                 if matches!(request.kind, RequestKind::New(_) | RequestKind::Delta(_)) {
                     // The client's view of the stream now diverges from
                     // the server's: poison it in the shed slot's place.
@@ -410,11 +433,18 @@ fn supervised_loop(
 ) {
     let mut worker = Worker::new(config);
     let shed_expired = config.overload.is_some_and(|o| o.shed_expired);
+    let metrics = ServiceMetrics::from_config(config);
     while let Ok(msg) = rx.recv() {
         match msg {
             WorkerMsg::Batch { requests, enqueued } => {
                 for request in requests {
                     let (id, stream) = (request.id, request.stream);
+                    if let Some(m) = &metrics {
+                        // Queue wait of this request: admission to the
+                        // moment the worker picks it up (later requests
+                        // of one batch waited behind the earlier ones).
+                        m.queue_wait.record(enqueued.elapsed());
+                    }
                     let mutates =
                         matches!(request.kind, RequestKind::New(_) | RequestKind::Delta(_));
                     let expired = shed_expired
@@ -431,6 +461,9 @@ fn supervised_loop(
                         if mutates {
                             worker.discard_stream(stream);
                         }
+                        if let Some(m) = &metrics {
+                            m.shed.inc();
+                        }
                         AllocResponse::overloaded(id, stream, gauge.retry_hint())
                     } else {
                         // `AssertUnwindSafe` is justified by the recovery
@@ -446,6 +479,9 @@ fn supervised_loop(
                             }
                             Err(_) => {
                                 worker.recover_from_panic(stream);
+                                if let Some(m) = &metrics {
+                                    m.panics.inc();
+                                }
                                 AllocResponse::failed(
                                     id,
                                     stream,

@@ -152,8 +152,10 @@ pub fn replay_oneshot(trace: Vec<AllocRequest>, config: &ServiceConfig) -> Vec<A
             ),
             None => {
                 let mut engine = WorkerEngine::build(config);
+                // The one-shot reference is never instrumented: it is the
+                // baseline the instrumented paths are differenced against.
                 let (solution, winner, probes, timed_out) =
-                    engine.solve(&chain.instance, stream, chain.version, hint, budget);
+                    engine.solve(&chain.instance, stream, chain.version, hint, budget, None);
                 (solution, winner, probes, timed_out, None)
             }
         };

@@ -2,8 +2,10 @@
 
 use crate::cache::ResponseCache;
 use crate::fault::FaultPlan;
+use crate::metrics::ServiceMetrics;
 use crate::repair::{try_repair, Repair};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vmplace_core::{Algorithm, EngineHandle, MetaGreedy, MetaVp, RandomizedRounding, SolveCtx};
 use vmplace_lp::{MilpOptions, MilpSolver, YieldLp};
@@ -11,6 +13,7 @@ use vmplace_model::{
     AllocRequest, AllocResponse, Placement, ProblemInstance, RequestKind, RequestOutcome,
     ResponsePolicy, Solution,
 };
+use vmplace_obs::{Registry, Span};
 
 /// Winner label carried by responses the incremental repair path
 /// produced (see [`crate::repair`]).
@@ -97,6 +100,13 @@ pub struct ServiceConfig {
     /// production: no panics are injected and the plan is never
     /// consulted).
     pub faults: Option<FaultPlan>,
+    /// Metrics registry the pool and workers record into: queue depth
+    /// and wait, shed/panic/stale-stream counters, cache and repair
+    /// outcomes, solve-stage latency histograms. `None` (the default)
+    /// runs uninstrumented; recording is strictly off the result path,
+    /// so responses are bit-for-bit identical either way (pinned by
+    /// the differential suites).
+    pub metrics: Option<Arc<Registry>>,
 }
 
 /// Overload-control knobs of the service (see
@@ -145,6 +155,7 @@ impl Default for ServiceConfig {
             response_cache: true,
             overload: None,
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -257,6 +268,7 @@ impl WorkerEngine {
         version: u64,
         hint: Option<f64>,
         budget: Option<Duration>,
+        metrics: Option<&ServiceMetrics>,
     ) -> (Option<Solution>, Option<String>, u64, bool) {
         match self {
             WorkerEngine::Portfolio(engine) => {
@@ -291,7 +303,7 @@ impl WorkerEngine {
                 (solution, winner, probes, timed_out)
             }
             WorkerEngine::Milp { options, cache } => {
-                solve_milp_cached(options, cache, stream, version, instance, budget)
+                solve_milp_cached(options, cache, stream, version, instance, budget, metrics)
             }
         }
     }
@@ -311,6 +323,9 @@ pub struct Worker {
     /// shedding a mutating request: they answer `stale-stream` until the
     /// client re-opens them with `New`.
     discarded: HashSet<u64>,
+    /// Metric handles into [`ServiceConfig::metrics`] (`None` when
+    /// uninstrumented). Recording never affects a response.
+    metrics: Option<ServiceMetrics>,
 }
 
 impl Worker {
@@ -322,6 +337,7 @@ impl Worker {
             streams: HashMap::new(),
             cache: config.response_cache.then(ResponseCache::new),
             discarded: HashSet::new(),
+            metrics: ServiceMetrics::from_config(config),
         }
     }
 
@@ -334,6 +350,9 @@ impl Worker {
             budget,
             policy,
         } = request;
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+        }
 
         // Injected solver crash (chaos testing only; `faults` is `None`
         // in production). Placed before any state update so the poisoned
@@ -354,6 +373,9 @@ impl Worker {
             if matches!(kind, RequestKind::New(_)) {
                 self.discarded.remove(&stream);
             } else {
+                if let Some(m) = &self.metrics {
+                    m.stale.inc();
+                }
                 return AllocResponse::stale_stream(id, stream);
             }
         }
@@ -419,7 +441,8 @@ impl Worker {
 
         if resolve {
             if let Some(cache) = &mut self.cache {
-                if let Some(hit) = cache.lookup(
+                let lookup_span = self.metrics.as_ref().map(|m| Span::start(&m.cache_lookup));
+                let hit = cache.lookup(
                     id,
                     stream,
                     state.version,
@@ -427,7 +450,16 @@ impl Worker {
                     hint,
                     policy,
                     repair_base.as_ref(),
-                ) {
+                );
+                drop(lookup_span);
+                if let Some(m) = &self.metrics {
+                    if hit.is_some() {
+                        m.cache_hits.inc();
+                    } else {
+                        m.cache_misses.inc();
+                    }
+                }
+                if let Some(hit) = hit {
                     // Replicate the skipped solve's only side effects: the
                     // stream's warm yield and placement (numerically a
                     // no-op — the stored solve already set them to these
@@ -464,13 +496,34 @@ impl Worker {
                 Some(r.migrations),
             ),
             None => {
-                let (solution, winner, probes, timed_out) =
-                    self.engine
-                        .solve(&state.instance, stream, state.version, hint, budget);
+                let (solution, winner, probes, timed_out) = self.engine.solve(
+                    &state.instance,
+                    stream,
+                    state.version,
+                    hint,
+                    budget,
+                    self.metrics.as_ref(),
+                );
                 (solution, winner, probes, timed_out, None)
             }
         };
         let wall = t0.elapsed();
+        if let Some(m) = &self.metrics {
+            // Stage timing and repair-path accounting: an accepted repair
+            // records into the repair histogram, everything else into the
+            // solve histogram; a repaired-policy request the repair path
+            // declined (or had no base for) counts as a fallback.
+            if migrations.is_some() {
+                m.repair_accepted.inc();
+                m.repair.record(wall);
+            } else {
+                if !policy.is_exact() {
+                    m.repair_fallback.inc();
+                }
+                m.solve.record(wall);
+            }
+            m.probes.add(probes);
+        }
 
         if let Some(sol) = &solution {
             state.last_yield = Some(sol.min_yield);
@@ -596,6 +649,7 @@ fn solve_milp_cached(
     version: u64,
     instance: &ProblemInstance,
     budget: Option<Duration>,
+    metrics: Option<&ServiceMetrics>,
 ) -> (Option<Solution>, Option<String>, u64, bool) {
     let fresh = !matches!(
         cache,
@@ -621,6 +675,12 @@ fn solve_milp_cached(
     let result = c.solver.solve();
     let timed_out = result.status == vmplace_lp::MilpStatus::TimedOut;
     let nodes = result.nodes as u64;
+    if let Some(m) = metrics {
+        // Bridge the LP layer's solve-effort telemetry (the exact path's
+        // analogue of portfolio probe counts) into the registry.
+        m.simplex_iterations.add(result.simplex_iterations as u64);
+        m.refactorisations.add(result.factor.refactorisations);
+    }
     let solution = c
         .ylp
         .decode_milp(result)

@@ -12,8 +12,10 @@
 //!                [--no-order] [--no-cache] [--budget-ms MS]
 //!                [--queue-depth N] [--faults SPEC] [--wire v1|v2]
 //!                [--io threads|events] [--event-threads N]
+//!                [--metrics-interval SECS]
 //! vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]
-//!                [--retries N] [--wire v1|v2] […--gen opts]
+//!                [--stats] [--retries N] [--wire v1|v2] […--gen opts]
+//! vmplace top    <addr> [--wire v1|v2]
 //! vmplace gen    [--hosts 64] [--services 100] [--cov 0.5] [--slack 0.5] [--seed 0]
 //! vmplace example
 //! ```
@@ -44,10 +46,17 @@
 //! `FaultPlan` (e.g. `panic=5,drop=20,seed=7`) for chaos testing.
 //! `client` connects to a running server and drives a trace through
 //! it — the network twin of `replay`, with `--shutdown` to stop the
-//! server afterwards, `--ping` for a liveness round-trip, and
+//! server afterwards, `--ping` for a liveness round-trip, `--stats` to
+//! print the server's live metrics snapshot as one line of JSON, and
 //! `--retries N` for the resilient replay (reconnect with backoff,
 //! resubmit unanswered streams, honor retry hints; the up-front
 //! `--ping`/`--shutdown` connection retries refusals too).
+//!
+//! `serve --metrics-interval SECS` prints the same JSON snapshot to
+//! stderr every `SECS` seconds while the server runs, and `top <addr>`
+//! asks a running server for one snapshot over the wire and renders a
+//! human summary (request/connection counters, queue depth, shed and
+//! panic counts, cache hit ratio, latency quantiles).
 //!
 //! `gen` prints a generated §4-style instance (pipe it to a file, edit
 //! it, solve it). `example` prints the paper's Figure 1 instance.
@@ -69,9 +78,10 @@ fn usage() -> ! {
          vmplace serve [--port P | --addr A] [--algo A] [--workers N] [--no-warm]\n  \
          \x20              [--no-order] [--no-cache] [--budget-ms MS]\n  \
          \x20              [--queue-depth N] [--faults SPEC] [--wire v1|v2]\n  \
-         \x20              [--io threads|events] [--event-threads N]\n  \
-         vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping]\n  \
+         \x20              [--io threads|events] [--event-threads N] [--metrics-interval SECS]\n  \
+         vmplace client <addr> [<trace.txt>|--gen] [--quiet] [--shutdown] [--ping] [--stats]\n  \
          \x20              [--retries N] [--wire v1|v2] (--gen and --policy opts as for replay)\n  \
+         vmplace top <addr> [--wire v1|v2]\n  \
          vmplace gen [--hosts N] [--services J] [--cov C] [--slack S] [--seed K]\n  \
          vmplace example"
     );
@@ -92,6 +102,7 @@ fn main() {
         Some("replay") => cmd_replay(&args),
         Some("serve") => cmd_serve(&args),
         Some("client") => cmd_client(&args),
+        Some("top") => cmd_top(&args),
         Some("gen") => cmd_gen(&args),
         Some("example") => {
             let nodes = vec![Node::multicore(4, 0.8, 1.0), Node::multicore(2, 1.0, 0.5)];
@@ -542,8 +553,150 @@ fn cmd_serve(args: &[String]) {
         config.io,
         config.max_wire,
     );
+    if let Some(spec) = flag_value(args, "--metrics-interval") {
+        let Some(interval) = spec
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0 && s.is_finite())
+        else {
+            eprintln!("error: --metrics-interval wants a positive number of seconds, got `{spec}`");
+            std::process::exit(2);
+        };
+        // The printer owns only the registry handle, so the server can be
+        // consumed by `wait()`; the thread dies with the process.
+        let registry = server.metrics();
+        let interval = std::time::Duration::from_secs_f64(interval);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            eprintln!("# stats {}", vmplace::net::render_stats(&registry));
+        });
+    }
     server.wait();
     eprintln!("# drained and shut down");
+}
+
+/// `vmplace top`: one `stats` round-trip against a running server,
+/// rendered as a human summary.
+fn cmd_top(args: &[String]) {
+    let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage();
+    };
+    let wire = match flag_value(args, "--wire").as_deref() {
+        // Ask for the newest framing; the handshake negotiates down
+        // against a v1-only server transparently.
+        None | Some("v2") => vmplace::net::wire::PROTOCOL_V2,
+        Some("v1") => 1,
+        Some(spec) => {
+            eprintln!("error: bad --wire `{spec}` (use v1|v2)");
+            std::process::exit(2);
+        }
+    };
+    let mut client = connect_or_exit_retrying(addr, wire, 1);
+    let json = match client.stats() {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("error: stats failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = match vmplace::obs::json::Json::parse(&json) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("error: unparseable stats snapshot ({e}): {json}");
+            std::process::exit(1);
+        }
+    };
+    print_top(addr, &stats);
+}
+
+/// Renders the parsed snapshot: the counters the issue tracker watches
+/// first (queue depth, shed/panic counts, cache hit ratio, latency
+/// quantiles), then whatever else the registry carries.
+fn print_top(addr: &str, stats: &vmplace::obs::json::Json) {
+    use vmplace::obs::json::Json;
+    let counter = |name: &str| -> u64 {
+        stats
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let gauge = |name: &str| -> u64 {
+        stats
+            .get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let quantiles = |name: &str| -> Option<(u64, f64, f64, f64)> {
+        let h = stats.get("histograms")?.get(name)?;
+        Some((
+            h.get("count")?.as_u64()?,
+            h.get("p50_us")?.as_f64()?,
+            h.get("p99_us")?.as_f64()?,
+            h.get("max_us")?.as_f64()?,
+        ))
+    };
+
+    println!("# vmplace top — {addr}");
+    println!(
+        "requests     {} net / {} service — {} responses written, {} dropped, {} errors",
+        counter("net.requests"),
+        counter("service.requests"),
+        counter("net.responses"),
+        counter("net.responses_dropped"),
+        counter("net.errors"),
+    );
+    println!(
+        "connections  {} open ({} threads, {} events accepted; wire v1 {}, v2 {})",
+        gauge("net.conns.open"),
+        counter("net.conns.threads"),
+        counter("net.conns.events"),
+        counter("net.wire.v1"),
+        counter("net.wire.v2"),
+    );
+    println!(
+        "queue        depth {} across {} workers — shed {}, panics {}, stale streams {}",
+        gauge("service.queue_depth"),
+        gauge("service.workers"),
+        counter("service.shed"),
+        counter("service.worker_panics"),
+        counter("service.stale_stream_responses"),
+    );
+    let hits = counter("service.cache.hits");
+    let misses = counter("service.cache.misses");
+    let ratio = stats
+        .get("derived")
+        .and_then(|d| d.get("service.cache.hit_ratio"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "cache        {hits} hits / {misses} misses (hit ratio {ratio:.3}) — repair accepted {}, fallback {}",
+        counter("service.repair.accepted"),
+        counter("service.repair.fallback"),
+    );
+    println!(
+        "engine       {} probes, {} simplex iterations, {} refactorisations, {} io wake-ups",
+        counter("service.engine.probes"),
+        counter("service.lp.simplex_iterations"),
+        counter("service.lp.refactorisations"),
+        counter("net.io_wakeups"),
+    );
+    for (label, name) in [
+        ("solve", "service.solve_us"),
+        ("queue wait", "service.queue_wait_us"),
+        ("request", "net.request_us"),
+        ("encode", "net.encode_us"),
+        ("ping", "net.ping_us"),
+    ] {
+        if let Some((count, p50, p99, max)) = quantiles(name) {
+            if count > 0 {
+                println!(
+                    "latency      {label:<10} n {count:<6} p50 {p50:>9.1} µs  p99 {p99:>9.1} µs  max {max:>9.1} µs"
+                );
+            }
+        }
+    }
 }
 
 /// Connects or exits with a diagnostic; refused connections retry with
@@ -595,8 +748,10 @@ fn cmd_client(args: &[String]) {
     // The resilient replay opens its own connections, so only the plain
     // paths connect up front (a faulty server may kill early connection
     // attempts — `--retries` must survive that).
-    let want_plain =
-        args.iter().any(|a| a == "--ping" || a == "--shutdown") || (has_trace && retries.is_none());
+    let want_plain = args
+        .iter()
+        .any(|a| a == "--ping" || a == "--shutdown" || a == "--stats")
+        || (has_trace && retries.is_none());
     let mut client = want_plain.then(|| connect_or_exit_retrying(addr, wire, retries.unwrap_or(1)));
 
     if args.iter().any(|a| a == "--ping") {
@@ -606,6 +761,17 @@ fn cmd_client(args: &[String]) {
             std::process::exit(1);
         }
         eprintln!("# pong in {:.2} ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    if args.iter().any(|a| a == "--stats") {
+        // Raw JSON on stdout: the line CI smokes and scripts scrape.
+        match client.as_mut().expect("plain client").stats() {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: stats failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let mut useful = 1usize;
@@ -644,7 +810,10 @@ fn cmd_client(args: &[String]) {
             &format!("server {addr}"),
             args.iter().any(|a| a == "--quiet"),
         );
-    } else if !args.iter().any(|a| a == "--ping" || a == "--shutdown") {
+    } else if !args
+        .iter()
+        .any(|a| a == "--ping" || a == "--shutdown" || a == "--stats")
+    {
         usage();
     }
 

@@ -40,6 +40,7 @@
 //! | generators, error model, runtime allocators, request traces | [`vmplace_sim`] |
 //! | long-lived allocation service: solver pool, dispatcher, response cache, trace replay | [`vmplace_service`] |
 //! | network front-end: TCP server, wire protocol, blocking client | [`vmplace_net`] |
+//! | observability: metrics registry, trace spans, JSON snapshots | [`vmplace_obs`] |
 //! | parallel executor: sweeps + portfolio primitive | [`vmplace_par`] |
 //!
 //! This facade re-exports the public API; the `vmplace-experiments` crate
@@ -51,6 +52,7 @@ pub use vmplace_core as core;
 pub use vmplace_lp as lp;
 pub use vmplace_model as model;
 pub use vmplace_net as net;
+pub use vmplace_obs as obs;
 pub use vmplace_par as par;
 pub use vmplace_service as service;
 pub use vmplace_sim as sim;
